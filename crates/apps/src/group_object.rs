@@ -1,0 +1,895 @@
+//! The generic group-object engine.
+//!
+//! [`GroupObject`] turns any [`ReplicatedApp`] into a complete group object
+//! running the paper's full discipline:
+//!
+//! 1. on every view change (and every e-view change) the **mode function**
+//!    is evaluated: REDUCED when the view cannot support the application's
+//!    capability predicate, NORMAL when this process sits in an up-to-date
+//!    capable subview, SETTLING otherwise;
+//! 2. the [`ModeEngine`] maps evaluations to the Figure 1 transitions;
+//! 3. in SETTLING mode the shared-state problem is **classified locally**
+//!    from the enriched view (§6.2) and the matching protocol runs:
+//!    * **transfer** — join the up-to-date cluster's sv-set, pull the state
+//!      (blocking or split, §5), then merge subviews;
+//!    * **creation** — merge all sv-sets (announcing "creation in
+//!      progress" to any process that arrives later — it will see a capable
+//!      sv-set and wait rather than disturb, exactly the paper's point),
+//!      exchange stable-storage view logs and snapshots, decide the
+//!      authoritative state by last-process-to-fail, install it, merge
+//!      subviews;
+//!    * **merging** — bring the diverged clusters into one sv-set, exchange
+//!      cluster snapshots, run the application's order-independent
+//!      [`StateObject::merge`], merge the subviews;
+//! 4. when this process ends up in a capable subview with up-to-date state,
+//!    it **reconciles** (the synchronous `S → N` transition).
+//!
+//! Updates are totally ordered (the engine forces the total-order layer of
+//! `vs-gcs`), so "apply the same set in the same view" (Property 2.1 plus
+//! total order) yields identical replicas within a lineage.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use vs_evs::codec::{Reader, Writer};
+use vs_evs::state::{
+    CreationMachine, CreationMsg, CreationOutcome, MergeExchange, MergeExchangeMsg, StateObject,
+    TransferDonor, TransferMode, TransferMsg, TransferReceiver, TransferStatus, ViewLog,
+    VIEW_LOG_KEY,
+};
+use vs_evs::{
+    classify_enriched, EvsConfig, EvsEndpoint, EvsEvent, EvsMsg, Mode, ModeEngine, ModeTransition,
+    ProblemClass, ViewId,
+};
+use vs_gcs::{ordering::OrderingMode, Wire};
+use vs_net::{Actor, Context, ProcessId, SimDuration, TimerId, TimerKind};
+
+/// Timer kind for the settle retry tick.
+const SETTLE_TICK: TimerKind = TimerKind(100);
+
+/// Storage keys used by persistent group objects.
+const STATE_KEY: &str = "obj/state";
+const IDENTITY_KEY: &str = "obj/identity";
+
+/// The application half of a group object.
+///
+/// Implementations provide the abstract data type: how updates transform
+/// the state ([`apply_update`](Self::apply_update)), when a process set can
+/// support NORMAL-mode service ([`capable`](Self::capable)), and how
+/// diverged states reconcile ([`StateObject::merge`]).
+pub trait ReplicatedApp: StateObject + fmt::Debug + 'static {
+    /// Whether `members` (out of a universe of `universe` replicas) can
+    /// support full NORMAL-mode service — e.g. "holds a voting majority"
+    /// (quorum objects) or "is non-empty" (weak-consistency objects that
+    /// keep serving in every partition).
+    fn capable(&self, members: &BTreeSet<ProcessId>, universe: usize) -> bool;
+
+    /// Applies a totally-ordered update. Returns an optional response blob
+    /// surfaced as [`ObjEvent::Applied`].
+    fn apply_update(&mut self, from: ProcessId, update: &[u8]) -> Option<Bytes>;
+
+    /// Whether a brand-new process' (empty) state is already authoritative.
+    /// `true` for weak-consistency objects where any replica is a valid
+    /// serving point; `false` for quorum objects whose fresh replicas must
+    /// first obtain the state.
+    fn starts_authoritative(&self) -> bool {
+        false
+    }
+}
+
+/// Wire vocabulary of the group-object engine, carried inside the enriched
+/// view synchrony stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObjMsg {
+    /// A totally-ordered application update.
+    Update(Bytes),
+    /// State-transfer traffic (point-to-point).
+    Transfer(TransferMsg),
+    /// A creation-protocol contribution (multicast).
+    Contribution(CreationMsg),
+    /// A cluster snapshot for state merging (multicast).
+    ClusterSnapshot(MergeExchangeMsg),
+}
+
+/// Observable events of a [`GroupObject`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjEvent {
+    /// A new view was installed.
+    ViewInstalled {
+        /// Its identifier.
+        view: ViewId,
+        /// Number of members.
+        members: usize,
+        /// Number of subviews in the composed e-view.
+        subviews: usize,
+    },
+    /// A Figure 1 transition was taken.
+    Mode {
+        /// The mode before the transition.
+        from: Mode,
+        /// The mode after the transition.
+        mode: Mode,
+        /// The transition.
+        transition: ModeTransition,
+    },
+    /// The shared-state problem was classified (locally, from the e-view).
+    Classified {
+        /// The diagnosis.
+        problem: ProblemClass,
+    },
+    /// An update was applied to the local replica.
+    Applied {
+        /// The update's submitter.
+        from: ProcessId,
+        /// The application's response, if any.
+        response: Option<Bytes>,
+    },
+    /// A submitted update was rejected (not in NORMAL mode).
+    Rejected {
+        /// The current mode.
+        mode: Mode,
+    },
+    /// A state transfer towards this process began.
+    TransferStarted {
+        /// The donor.
+        donor: ProcessId,
+    },
+    /// Split transfer: the synchronous piece arrived; serving may begin
+    /// while chunks stream (§5).
+    TransferSyncReady,
+    /// The transferred state was installed.
+    TransferCompleted,
+    /// The creation protocol decided.
+    CreationDecided {
+        /// The old identity whose state won; `None` on a fresh start.
+        authority: Option<ProcessId>,
+    },
+    /// The creation protocol found that the last-failing group has not
+    /// recovered; settling continues until it does.
+    CreationBlocked {
+        /// Old identities whose state is needed.
+        needed: BTreeSet<ProcessId>,
+    },
+    /// Diverged cluster states were reconciled.
+    ClustersMerged {
+        /// How many cluster snapshots went into the merge.
+        count: usize,
+    },
+    /// The Reconcile transition was taken; NORMAL service resumed.
+    Reconciled {
+        /// The state digest after reconciliation (identical across the
+        /// reconciled cluster).
+        digest: u64,
+    },
+}
+
+/// Diagnostic view of where the settle choreography stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettleState {
+    /// Not in SETTLING mode.
+    NotSettling,
+    /// Waiting for structure merges or other clusters.
+    Waiting,
+    /// A transfer is in flight.
+    Transferring,
+    /// Collecting creation contributions.
+    Creating,
+    /// Collecting cluster snapshots for a merge.
+    ExchangingSnapshots,
+}
+
+/// Configuration of a [`GroupObject`].
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectConfig {
+    /// Total number of replicas the capability predicate is judged against.
+    pub universe: usize,
+    /// Transfer strategy (blocking vs split; §5).
+    pub transfer: TransferMode,
+    /// Whether state and view logs survive crashes (enables meaningful
+    /// state creation via last-to-fail).
+    pub persist: bool,
+    /// Stack configuration. The engine forces total ordering.
+    pub evs: EvsConfig,
+    /// Settle retry period.
+    pub settle_tick: SimDuration,
+}
+
+impl Default for ObjectConfig {
+    fn default() -> Self {
+        ObjectConfig {
+            universe: 3,
+            transfer: TransferMode::Blocking,
+            persist: true,
+            evs: EvsConfig::default(),
+            settle_tick: SimDuration::from_millis(50),
+        }
+    }
+}
+
+/// A generic group object: an application replicated under the paper's full
+/// NORMAL / REDUCED / SETTLING discipline. Implements [`Actor`].
+#[derive(Debug)]
+pub struct GroupObject<A: ReplicatedApp> {
+    me: ProcessId,
+    config: ObjectConfig,
+    evs: EvsEndpoint<ObjMsg>,
+    app: A,
+    engine: ModeEngine,
+    up_to_date: bool,
+    updates_in_view: u64,
+    buffered: Vec<(u64, ProcessId, Bytes)>,
+    transfer: Option<TransferReceiver>,
+    /// `(chunks over the wire, total chunks)` of the last completed
+    /// transfer, for cost accounting (negotiated mode reuses local chunks).
+    last_transfer_cost: Option<(u64, u64)>,
+    creation: Option<CreationMachine>,
+    creation_blocked: bool,
+    merge_ex: Option<MergeExchange>,
+    last_classification: Option<ProblemClass>,
+}
+
+type Ctx<'a> = Context<'a, Wire<EvsMsg<ObjMsg>>, ObjEvent>;
+
+impl<A: ReplicatedApp> GroupObject<A> {
+    /// Creates a group object for process `me` around `app`.
+    pub fn new(me: ProcessId, app: A, mut config: ObjectConfig) -> Self {
+        // Updates must be totally ordered for replica convergence.
+        config.evs.gcs.ordering = OrderingMode::Total;
+        let evs = EvsEndpoint::new(me, config.evs);
+        let initial_capable = {
+            let members: BTreeSet<ProcessId> = std::iter::once(me).collect();
+            app.capable(&members, config.universe)
+        };
+        let up_to_date = app.starts_authoritative();
+        let initial_mode = if initial_capable && up_to_date {
+            Mode::Normal
+        } else if initial_capable {
+            Mode::Settling
+        } else {
+            Mode::Reduced
+        };
+        GroupObject {
+            me,
+            config,
+            evs,
+            app,
+            engine: ModeEngine::new(initial_mode),
+            up_to_date,
+            updates_in_view: 0,
+            buffered: Vec::new(),
+            transfer: None,
+            last_transfer_cost: None,
+            creation: None,
+            creation_blocked: false,
+            merge_ex: None,
+            last_classification: None,
+        }
+    }
+
+    /// Discovery seed; see [`EvsEndpoint::set_contacts`].
+    pub fn set_contacts(&mut self, contacts: impl IntoIterator<Item = ProcessId>) {
+        self.evs.set_contacts(contacts);
+    }
+
+    /// The wrapped application (for local reads).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// The current execution mode.
+    pub fn mode(&self) -> Mode {
+        self.engine.current()
+    }
+
+    /// The underlying enriched endpoint.
+    pub fn evs(&self) -> &EvsEndpoint<ObjMsg> {
+        &self.evs
+    }
+
+    /// Whether this replica holds up-to-date state.
+    pub fn is_up_to_date(&self) -> bool {
+        self.up_to_date
+    }
+
+    /// `(chunks over the wire, total chunks)` of the most recently
+    /// completed state transfer, if any.
+    pub fn last_transfer_cost(&self) -> Option<(u64, u64)> {
+        self.last_transfer_cost
+    }
+
+    /// Where the settle choreography currently stands.
+    pub fn settle_state(&self) -> SettleState {
+        if self.engine.current() != Mode::Settling {
+            return SettleState::NotSettling;
+        }
+        if self.transfer.is_some() {
+            SettleState::Transferring
+        } else if self.creation.is_some() {
+            SettleState::Creating
+        } else if self.merge_ex.is_some() {
+            SettleState::ExchangingSnapshots
+        } else {
+            SettleState::Waiting
+        }
+    }
+
+    /// Submits an external update. Accepted only in NORMAL mode (the mode
+    /// discipline of §3); rejected submissions surface as
+    /// [`ObjEvent::Rejected`].
+    pub fn submit_update(&mut self, update: Bytes, ctx: &mut Ctx<'_>) {
+        if self.engine.current() != Mode::Normal {
+            ctx.output(ObjEvent::Rejected {
+                mode: self.engine.current(),
+            });
+            return;
+        }
+        let (_, events) = ctx.scoped(|sub| self.evs.mcast(ObjMsg::Update(update), sub));
+        self.handle_evs_events(events, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // mode evaluation and settle choreography
+    // ------------------------------------------------------------------
+
+    fn target_mode(&self) -> Mode {
+        let ev = self.evs.eview();
+        if !self.app.capable(ev.view().members(), self.config.universe) {
+            return Mode::Reduced;
+        }
+        let in_capable_subview = ev
+            .subview_of(self.me)
+            .and_then(|sv| ev.subview_members(sv))
+            .map(|m| self.app.capable(m, self.config.universe))
+            .unwrap_or(false);
+        if self.up_to_date && in_capable_subview {
+            // Even an up-to-date cluster must settle when a *second*
+            // capable cluster exists: their diverged states need merging
+            // (§4 state merging). A lone capable cluster keeps serving
+            // while stragglers pull state — the availability the enriched
+            // model buys (§6.2).
+            let capable_clusters = ev
+                .subviews()
+                .filter(|(_, m)| self.app.capable(m, self.config.universe))
+                .count();
+            if capable_clusters >= 2 {
+                Mode::Settling
+            } else {
+                Mode::Normal
+            }
+        } else {
+            Mode::Settling
+        }
+    }
+
+    fn evaluate(&mut self, ctx: &mut Ctx<'_>) {
+        self.evaluate_with(ctx, false);
+    }
+
+    /// `is_view_change` distinguishes a real view installation (where a
+    /// SETTLING evaluation is a fresh `Reconfigure` — overlapping
+    /// reconstructions, Figure 1's S → S arc) from protocol-progress
+    /// re-evaluations (where staying in SETTLING is just `Stay`).
+    fn evaluate_with(&mut self, ctx: &mut Ctx<'_>, is_view_change: bool) {
+        let target = self.target_mode();
+        let from = self.engine.current();
+        let transition = if is_view_change {
+            self.engine.on_view_change(target)
+        } else {
+            self.engine.reevaluate(target)
+        };
+        if transition != ModeTransition::Stay {
+            ctx.output(ObjEvent::Mode {
+                from,
+                mode: self.engine.current(),
+                transition,
+            });
+        }
+        if self.engine.current() == Mode::Settling {
+            self.settle_step(ctx);
+        }
+    }
+
+    fn settle_step(&mut self, ctx: &mut Ctx<'_>) {
+        let universe = self.config.universe;
+        let eview = self.evs.eview().clone();
+        let classification =
+            classify_enriched(&eview, |m| self.app.capable(m, universe)).problem;
+        if self.last_classification.as_ref() != Some(&classification) {
+            ctx.output(ObjEvent::Classified {
+                problem: classification.clone(),
+            });
+            self.last_classification = Some(classification.clone());
+        }
+        match classification {
+            ProblemClass::None => {
+                // The whole view is one up-to-date cluster including us.
+                self.up_to_date = true;
+                self.reconcile(ctx);
+            }
+            ProblemClass::Transfer { up_to_date, receivers } => {
+                if receivers.contains(&self.me) {
+                    self.receiver_step(up_to_date[0], ctx);
+                }
+                // Donors are passive: they answer requests as they come.
+            }
+            ProblemClass::Creation { in_progress } => {
+                self.creation_step(in_progress, ctx);
+            }
+            ProblemClass::Merging { clusters, receivers } => {
+                if !receivers.contains(&self.me) {
+                    self.merging_step(&clusters, ctx);
+                }
+                // Receivers wait: once the clusters have merged into one
+                // subview the classification becomes Transfer for them.
+            }
+        }
+    }
+
+    fn receiver_step(&mut self, donor_sv: vs_evs::SubviewId, ctx: &mut Ctx<'_>) {
+        let eview = self.evs.eview().clone();
+        let Some(my_sv) = eview.subview_of(self.me) else {
+            return;
+        };
+        let (Some(my_ss), Some(donor_ss)) = (eview.svset_of(my_sv), eview.svset_of(donor_sv))
+        else {
+            return;
+        };
+        // §6.2 methodology step 1: internal operations run across subviews
+        // of one sv-set — join the donor's sv-set first.
+        if my_ss != donor_ss {
+            let (_, events) =
+                ctx.scoped(|sub| self.evs.request_svset_merge(vec![my_ss, donor_ss], sub));
+            self.handle_evs_events(events, ctx);
+            return;
+        }
+        if !self.up_to_date {
+            if self.transfer.is_none() {
+                let donor = *eview
+                    .subview_members(donor_sv)
+                    .expect("classified subview exists")
+                    .iter()
+                    .next()
+                    .expect("subviews are non-empty");
+                // Negotiated mode offers the receiver's current (stale)
+                // snapshot for chunk reuse (§5: "negotiate parts of the
+                // shared state to transfer").
+                let local = self.app.snapshot();
+                let rx = TransferReceiver::start_with_state(donor, self.config.transfer, &local);
+                let request = rx.request();
+                self.transfer = Some(rx);
+                ctx.output(ObjEvent::TransferStarted { donor });
+                let (_, events) =
+                    ctx.scoped(|sub| self.evs.send_direct(donor, ObjMsg::Transfer(request), sub));
+                self.handle_evs_events(events, ctx);
+            }
+            return;
+        }
+        // Up to date but still in our own subview: complete the methodology
+        // by merging into the up-to-date subview.
+        let (_, events) =
+            ctx.scoped(|sub| self.evs.request_subview_merge(vec![my_sv, donor_sv], sub));
+        self.handle_evs_events(events, ctx);
+    }
+
+    fn creation_step(&mut self, in_progress: bool, ctx: &mut Ctx<'_>) {
+        let eview = self.evs.eview().clone();
+        if !in_progress {
+            // Step 1: the least member merges every sv-set into one. The
+            // resulting capable sv-set is visible to latecomers as
+            // "creation in progress" — they will wait (§6.2 case (ii)).
+            if eview.view().leader() == self.me {
+                let sets: Vec<_> = eview.svsets().map(|(id, _)| id).collect();
+                if sets.len() >= 2 {
+                    let (_, events) =
+                        ctx.scoped(|sub| self.evs.request_svset_merge(sets, sub));
+                    self.handle_evs_events(events, ctx);
+                }
+            }
+            return;
+        }
+        let universe = self.config.universe;
+        let Some(cap_ss) = eview
+            .svsets()
+            .map(|(id, _)| id)
+            .find(|&id| self.app.capable(&eview.svset_members(id), universe))
+        else {
+            return;
+        };
+        // A blocked creation may need logs that only processes *outside*
+        // the creation sv-set hold (a late-recovering last-to-fail site):
+        // absorb every remaining sv-set so the whole view participates.
+        if self.creation_blocked && eview.svsets().count() > 1 {
+            if eview.view().leader() == self.me {
+                let sets: Vec<_> = eview.svsets().map(|(id, _)| id).collect();
+                let (_, events) = ctx.scoped(|sub| self.evs.request_svset_merge(sets, sub));
+                self.handle_evs_events(events, ctx);
+            }
+            return;
+        }
+        let participants = eview.svset_members(cap_ss);
+        if !participants.contains(&self.me) {
+            return; // not our creation: wait, do not disturb (§6.2)
+        }
+        // A participant-set change (newcomers absorbed) restarts the round.
+        if self
+            .creation
+            .as_ref()
+            .map(|m| m.participants() != &participants)
+            .unwrap_or(false)
+        {
+            self.creation = None;
+            self.creation_blocked = false;
+        }
+        if self.creation_blocked {
+            return; // same participants, still missing the authority: wait
+        }
+        if self.creation.is_none() {
+            self.creation = Some(CreationMachine::new(participants));
+            let msg = self.my_contribution(ctx);
+            let (_, events) =
+                ctx.scoped(|sub| self.evs.mcast(ObjMsg::Contribution(msg), sub));
+            self.handle_evs_events(events, ctx);
+        }
+    }
+
+    fn my_contribution(&mut self, ctx: &mut Ctx<'_>) -> CreationMsg {
+        let storage = ctx.storage();
+        let old_identity = storage
+            .get(IDENTITY_KEY)
+            .and_then(|b| Reader::new(&b).pid().ok())
+            .unwrap_or(self.me);
+        let view_log = storage.get(VIEW_LOG_KEY).unwrap_or_default();
+        let snapshot = if self.config.persist {
+            storage.get(STATE_KEY).unwrap_or_default()
+        } else {
+            self.app.snapshot()
+        };
+        CreationMsg {
+            old_identity,
+            view_log,
+            snapshot,
+        }
+    }
+
+    fn merging_step(&mut self, clusters: &[vs_evs::SubviewId], ctx: &mut Ctx<'_>) {
+        let eview = self.evs.eview().clone();
+        // Step 1: bring all clusters into one sv-set.
+        let svsets: BTreeSet<_> = clusters
+            .iter()
+            .filter_map(|&sv| eview.svset_of(sv))
+            .collect();
+        if svsets.len() > 1 {
+            if eview.view().leader() == self.me {
+                let (_, events) = ctx.scoped(|sub| {
+                    self.evs
+                        .request_svset_merge(svsets.into_iter().collect(), sub)
+                });
+                self.handle_evs_events(events, ctx);
+            }
+            return;
+        }
+        // Step 2: one representative per cluster publishes its snapshot.
+        let tags: BTreeSet<ProcessId> = clusters
+            .iter()
+            .filter_map(|&sv| eview.subview_members(sv))
+            .filter_map(|m| m.iter().next().copied())
+            .collect();
+        if self.merge_ex.is_none() {
+            self.merge_ex = Some(MergeExchange::new(tags.clone()));
+            if tags.contains(&self.me) {
+                let msg = MergeExchangeMsg {
+                    cluster: self.me,
+                    snapshot: self.app.snapshot(),
+                };
+                let (_, events) =
+                    ctx.scoped(|sub| self.evs.mcast(ObjMsg::ClusterSnapshot(msg), sub));
+                self.handle_evs_events(events, ctx);
+            }
+        }
+    }
+
+    fn reconcile(&mut self, ctx: &mut Ctx<'_>) {
+        if self.engine.reconcile().is_ok() {
+            self.persist_state(ctx);
+            self.transfer = None;
+            self.creation = None;
+            self.merge_ex = None;
+            ctx.output(ObjEvent::Mode {
+                from: Mode::Settling,
+                mode: Mode::Normal,
+                transition: ModeTransition::Reconcile,
+            });
+            ctx.output(ObjEvent::Reconciled {
+                digest: self.app.digest(),
+            });
+        }
+    }
+
+    fn persist_state(&mut self, ctx: &mut Ctx<'_>) {
+        if self.config.persist {
+            let snap = self.app.snapshot();
+            ctx.storage().put(STATE_KEY, snap);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // event plumbing
+    // ------------------------------------------------------------------
+
+    fn handle_evs_events(&mut self, events: Vec<EvsEvent<ObjMsg>>, ctx: &mut Ctx<'_>) {
+        for event in events {
+            match event {
+                EvsEvent::ViewChange { eview } => {
+                    if self.config.persist {
+                        let mut log = ctx
+                            .storage()
+                            .get(VIEW_LOG_KEY)
+                            .and_then(|b| ViewLog::decode(&b).ok())
+                            .unwrap_or_default();
+                        log.record(eview.view().id(), eview.view().members().clone());
+                        let encoded = log.encode();
+                        ctx.storage().put(VIEW_LOG_KEY, encoded);
+                    }
+                    self.updates_in_view = 0;
+                    self.buffered.clear();
+                    self.transfer = None;
+                    self.creation = None;
+                    self.creation_blocked = false;
+                    self.merge_ex = None;
+                    self.last_classification = None;
+                    // A process outside every capable cluster while one
+                    // exists may have missed updates: its state is stale
+                    // until the transfer protocol says otherwise.
+                    let universe = self.config.universe;
+                    let mine_capable = eview
+                        .subview_of(self.me)
+                        .and_then(|sv| eview.subview_members(sv))
+                        .map(|m| self.app.capable(m, universe))
+                        .unwrap_or(false);
+                    let other_capable = eview
+                        .subviews()
+                        .any(|(_, m)| !m.contains(&self.me) && self.app.capable(m, universe));
+                    if other_capable && !mine_capable {
+                        self.up_to_date = false;
+                    }
+                    ctx.output(ObjEvent::ViewInstalled {
+                        view: eview.view().id(),
+                        members: eview.view().len(),
+                        subviews: eview.subviews().count(),
+                    });
+                    self.evaluate_with(ctx, true);
+                }
+                EvsEvent::EViewChange { .. } => {
+                    self.evaluate(ctx);
+                }
+                EvsEvent::Deliver { sender, payload, .. } => {
+                    self.on_deliver(sender, payload, ctx);
+                }
+                EvsEvent::DeliverDirect { from, payload } => {
+                    self.on_direct(from, payload, ctx);
+                }
+                EvsEvent::Sent { .. }
+                | EvsEvent::Blocked
+                | EvsEvent::FlushAbandoned
+                | EvsEvent::GatedDropped { .. } => {}
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, from: ProcessId, payload: ObjMsg, ctx: &mut Ctx<'_>) {
+        match payload {
+            ObjMsg::Update(update) => {
+                self.updates_in_view += 1;
+                if self.up_to_date {
+                    let response = self.app.apply_update(from, &update);
+                    self.persist_state(ctx);
+                    ctx.output(ObjEvent::Applied { from, response });
+                } else {
+                    self.buffered.push((self.updates_in_view, from, update));
+                }
+            }
+            ObjMsg::Contribution(msg) => {
+                let Some(machine) = self.creation.as_mut() else {
+                    return;
+                };
+                if let Some(outcome) = machine.on_contribution(from, msg) {
+                    match outcome {
+                        CreationOutcome::Recovered { authority, snapshot } => {
+                            self.creation = None;
+                            self.app.install(&snapshot);
+                            self.up_to_date = true;
+                            self.persist_state(ctx);
+                            ctx.output(ObjEvent::CreationDecided {
+                                authority: Some(authority),
+                            });
+                            self.finish_creation_merges(ctx);
+                        }
+                        CreationOutcome::FreshStart => {
+                            self.creation = None;
+                            self.up_to_date = true;
+                            self.persist_state(ctx);
+                            ctx.output(ObjEvent::CreationDecided { authority: None });
+                            self.finish_creation_merges(ctx);
+                        }
+                        CreationOutcome::MissingAuthority { needed } => {
+                            // Keep the machine: it records which participant
+                            // set this blocked round covered, so a grown
+                            // sv-set restarts the round.
+                            self.creation_blocked = true;
+                            ctx.output(ObjEvent::CreationBlocked { needed });
+                        }
+                    }
+                    self.evaluate(ctx);
+                }
+            }
+            ObjMsg::ClusterSnapshot(msg) => {
+                let Some(ex) = self.merge_ex.as_mut() else {
+                    return;
+                };
+                if let Some(snaps) = ex.on_snapshot(msg) {
+                    self.merge_ex = None;
+                    self.app.merge(&snaps);
+                    self.up_to_date = true;
+                    self.persist_state(ctx);
+                    ctx.output(ObjEvent::ClustersMerged { count: snaps.len() });
+                    self.finish_cluster_merges(ctx);
+                    self.evaluate(ctx);
+                }
+            }
+            ObjMsg::Transfer(_) => {
+                // Transfer traffic is point-to-point; a multicast copy is a
+                // protocol error we ignore.
+            }
+        }
+    }
+
+    /// After creation decided: collapse the capable sv-set's subviews.
+    fn finish_creation_merges(&mut self, ctx: &mut Ctx<'_>) {
+        let eview = self.evs.eview().clone();
+        if eview.view().leader() != self.me {
+            return;
+        }
+        let universe = self.config.universe;
+        let cap_ss = eview
+            .svsets()
+            .map(|(id, _)| id)
+            .find(|&id| self.app.capable(&eview.svset_members(id), universe));
+        if let Some(cap_ss) = cap_ss {
+            let svs: Vec<vs_evs::SubviewId> = eview
+                .svsets()
+                .find(|(id, _)| *id == cap_ss)
+                .map(|(_, svs)| svs.iter().copied().collect())
+                .unwrap_or_default();
+            if svs.len() >= 2 {
+                let (_, events) = ctx.scoped(|sub| self.evs.request_subview_merge(svs, sub));
+                self.handle_evs_events(events, ctx);
+            }
+        }
+    }
+
+    /// After cluster states merged: collapse the cluster subviews.
+    fn finish_cluster_merges(&mut self, ctx: &mut Ctx<'_>) {
+        let eview = self.evs.eview().clone();
+        let universe = self.config.universe;
+        let clusters: Vec<_> = eview
+            .subviews()
+            .filter(|(_, m)| self.app.capable(m, universe))
+            .map(|(id, _)| id)
+            .collect();
+        if clusters.len() >= 2 && eview.view().leader() == self.me {
+            let (_, events) = ctx.scoped(|sub| self.evs.request_subview_merge(clusters, sub));
+            self.handle_evs_events(events, ctx);
+        }
+    }
+
+    fn on_direct(&mut self, from: ProcessId, payload: ObjMsg, ctx: &mut Ctx<'_>) {
+        let ObjMsg::Transfer(msg) = payload else {
+            return;
+        };
+        // Donor side: answer requests from our snapshot.
+        if matches!(msg, TransferMsg::Request { .. }) {
+            let mut w = Writer::new();
+            w.u64(self.updates_in_view);
+            w.bytes(&self.app.snapshot());
+            let blob = w.finish();
+            let mut sync = Writer::new();
+            sync.u64(self.updates_in_view);
+            let replies = TransferDonor::respond(&msg, blob, sync.finish());
+            let (_, events) = ctx.scoped(|sub| {
+                for reply in replies {
+                    self.evs.send_direct(from, ObjMsg::Transfer(reply), sub);
+                }
+            });
+            self.handle_evs_events(events, ctx);
+            return;
+        }
+        // Receiver side.
+        let Some(rx) = self.transfer.as_mut() else {
+            return;
+        };
+        if rx.donor() != from {
+            return;
+        }
+        let before = rx.status();
+        let after = rx.on_message(&msg);
+        if before == TransferStatus::Requested && after == TransferStatus::SyncReady {
+            ctx.output(ObjEvent::TransferSyncReady);
+        }
+        if after == TransferStatus::Complete {
+            let assembled = rx.assembled().expect("complete transfer assembles");
+            let wire_chunks = rx.received_chunks();
+            let mut r = Reader::new(&assembled);
+            let watermark = r.u64().unwrap_or(0);
+            let app_snapshot = r.bytes().unwrap_or_default();
+            self.app.install(&Bytes::from(app_snapshot));
+            // Apply updates delivered after the donor's snapshot point.
+            let buffered = std::mem::take(&mut self.buffered);
+            for (idx, sender, update) in buffered {
+                if idx > watermark {
+                    let response = self.app.apply_update(sender, &update);
+                    ctx.output(ObjEvent::Applied { from: sender, response });
+                }
+            }
+            self.up_to_date = true;
+            let total = self
+                .transfer
+                .as_ref()
+                .and_then(|r| r.total_chunks())
+                .unwrap_or(wire_chunks);
+            self.last_transfer_cost = Some((wire_chunks, total));
+            self.transfer = None;
+            self.persist_state(ctx);
+            ctx.output(ObjEvent::TransferCompleted);
+            self.evaluate(ctx);
+        }
+    }
+}
+
+impl<A: ReplicatedApp> Actor for GroupObject<A> {
+    type Msg = Wire<EvsMsg<ObjMsg>>;
+    type Output = ObjEvent;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.config.persist && !ctx.storage().contains(IDENTITY_KEY) {
+            let mut w = Writer::new();
+            w.pid(self.me);
+            let b = w.finish();
+            ctx.storage().put(IDENTITY_KEY, b);
+        }
+        let (_, events) = ctx.scoped(|sub| self.evs.on_start(sub));
+        self.handle_evs_events(events, ctx);
+        ctx.set_timer(self.config.settle_tick, SETTLE_TICK);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_>) {
+        let (_, events) = ctx.scoped(|sub| self.evs.on_message(from, msg, sub));
+        self.handle_evs_events(events, ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, kind: TimerKind, ctx: &mut Ctx<'_>) {
+        if kind == SETTLE_TICK {
+            // Retry loop for the settle choreography: re-drive requests that
+            // may have been lost or superseded.
+            if self.engine.current() == Mode::Settling {
+                if let Some(rx) = &self.transfer {
+                    if rx.status() == TransferStatus::Requested {
+                        let donor = rx.donor();
+                        let request = rx.request();
+                        let (_, events) = ctx.scoped(|sub| {
+                            self.evs.send_direct(donor, ObjMsg::Transfer(request), sub)
+                        });
+                        self.handle_evs_events(events, ctx);
+                    }
+                }
+                self.evaluate(ctx);
+            }
+            ctx.set_timer(self.config.settle_tick, SETTLE_TICK);
+            return;
+        }
+        let (_, events) = ctx.scoped(|sub| self.evs.on_timer(timer, kind, sub));
+        self.handle_evs_events(events, ctx);
+    }
+}

@@ -1,0 +1,370 @@
+//! A weak-consistency replicated key-value store — the state-merging
+//! showcase.
+//!
+//! The paper's case for partitionable (non-primary) view synchrony is
+//! precisely "applications with weak consistency requirements that could
+//! make progress in multiple concurrent partitions" (§5). This store is
+//! such an application: its capability predicate accepts *any* non-empty
+//! process set, so every partition keeps serving reads and writes. When
+//! partitions merge, the enriched classification reports **state merging**
+//! with one cluster per diverged subview (§4), and reconciliation is
+//! per-key last-writer-wins over `(stamp, writer)` pairs — commutative,
+//! associative and idempotent, so all clusters converge.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+
+use vs_evs::codec::{Reader, Writer};
+use vs_evs::state::{fnv1a, StateObject};
+use vs_net::ProcessId;
+
+use crate::group_object::{GroupObject, ReplicatedApp};
+
+/// External operations of the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvCmd {
+    /// Write `value` under `key`.
+    Put {
+        /// The key.
+        key: String,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Remove `key` (a tombstone write, so removals also merge by LWW).
+    Delete {
+        /// The key.
+        key: String,
+    },
+}
+
+/// One versioned cell: the Lamport-style stamp, the writer (tie-break), and
+/// the value (`None` = tombstone).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cell {
+    stamp: u64,
+    writer: ProcessId,
+    value: Option<Vec<u8>>,
+}
+
+/// The replicated KV state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvStoreApp {
+    cells: BTreeMap<String, Cell>,
+    clock: u64,
+}
+
+impl KvStoreApp {
+    /// A fresh, empty store.
+    pub fn new() -> Self {
+        KvStoreApp::default()
+    }
+
+    /// Reads a key locally.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.cells
+            .get(key)
+            .and_then(|c| c.value.as_deref())
+    }
+
+    /// Number of live (non-tombstone) keys.
+    pub fn len(&self) -> usize {
+        self.cells.values().filter(|c| c.value.is_some()).count()
+    }
+
+    /// Whether the store holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Encodes a command for [`GroupObject::submit_update`].
+    pub fn encode_cmd(cmd: &KvCmd) -> Bytes {
+        let mut w = Writer::new();
+        match cmd {
+            KvCmd::Put { key, value } => {
+                w.u8(0);
+                w.bytes(key.as_bytes());
+                w.bytes(value);
+            }
+            KvCmd::Delete { key } => {
+                w.u8(1);
+                w.bytes(key.as_bytes());
+            }
+        }
+        w.finish()
+    }
+
+    fn absorb(&mut self, key: String, cell: Cell) {
+        self.clock = self.clock.max(cell.stamp);
+        match self.cells.get(&key) {
+            Some(existing) if (existing.stamp, existing.writer) >= (cell.stamp, cell.writer) => {}
+            _ => {
+                self.cells.insert(key, cell);
+            }
+        }
+    }
+
+    fn encode_cells(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u64(self.clock);
+        w.u64(self.cells.len() as u64);
+        for (key, cell) in &self.cells {
+            w.bytes(key.as_bytes());
+            w.u64(cell.stamp);
+            w.pid(cell.writer);
+            match &cell.value {
+                Some(v) => {
+                    w.u8(1);
+                    w.bytes(v);
+                }
+                None => w.u8(0),
+            }
+        }
+        w.finish()
+    }
+
+    fn decode_cells(bytes: &[u8]) -> Option<(u64, BTreeMap<String, Cell>)> {
+        let mut r = Reader::new(bytes);
+        let clock = r.u64().ok()?;
+        let n = r.u64().ok()?;
+        let mut cells = BTreeMap::new();
+        for _ in 0..n {
+            let key = String::from_utf8(r.bytes().ok()?).ok()?;
+            let stamp = r.u64().ok()?;
+            let writer = r.pid().ok()?;
+            let value = match r.u8().ok()? {
+                1 => Some(r.bytes().ok()?),
+                _ => None,
+            };
+            cells.insert(key, Cell { stamp, writer, value });
+        }
+        Some((clock, cells))
+    }
+}
+
+impl StateObject for KvStoreApp {
+    fn snapshot(&self) -> Bytes {
+        self.encode_cells()
+    }
+
+    fn install(&mut self, snapshot: &Bytes) {
+        if let Some((clock, cells)) = KvStoreApp::decode_cells(snapshot) {
+            self.clock = clock;
+            self.cells = cells;
+        } else {
+            self.clock = 0;
+            self.cells.clear();
+        }
+    }
+
+    fn merge(&mut self, others: &[Bytes]) {
+        for snap in others {
+            if let Some((_, cells)) = KvStoreApp::decode_cells(snap) {
+                for (key, cell) in cells {
+                    self.absorb(key, cell);
+                }
+            }
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        fnv1a(&self.encode_cells())
+    }
+}
+
+impl ReplicatedApp for KvStoreApp {
+    fn capable(&self, members: &BTreeSet<ProcessId>, _universe: usize) -> bool {
+        // Weak consistency: any partition keeps serving.
+        !members.is_empty()
+    }
+
+    fn apply_update(&mut self, from: ProcessId, update: &[u8]) -> Option<Bytes> {
+        let mut r = Reader::new(update);
+        let tag = r.u8().ok()?;
+        let key = String::from_utf8(r.bytes().ok()?).ok()?;
+        let value = match tag {
+            0 => Some(r.bytes().ok()?),
+            1 => None,
+            _ => return None,
+        };
+        self.clock += 1;
+        let cell = Cell {
+            stamp: self.clock,
+            writer: from,
+            value,
+        };
+        self.absorb(key, cell);
+        None
+    }
+
+    fn starts_authoritative(&self) -> bool {
+        true // an empty replica is a valid serving point
+    }
+}
+
+/// A weak-consistency KV process: [`GroupObject`] over [`KvStoreApp`].
+pub type KvStore = GroupObject<KvStoreApp>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group_object::{ObjEvent, ObjectConfig};
+    use vs_evs::Mode;
+    use vs_net::{Sim, SimConfig, SimDuration};
+
+    fn kv_group(seed: u64, n: usize) -> (Sim<KvStore>, Vec<ProcessId>) {
+        let mut sim: Sim<KvStore> = Sim::new(seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..n {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |pid| {
+                KvStore::new(
+                    pid,
+                    KvStoreApp::new(),
+                    ObjectConfig {
+                        universe: n,
+                        ..ObjectConfig::default()
+                    },
+                )
+            }));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        (sim, pids)
+    }
+
+    fn put(sim: &mut Sim<KvStore>, p: ProcessId, key: &str, value: &[u8]) {
+        let cmd = KvCmd::Put {
+            key: key.to_string(),
+            value: value.to_vec(),
+        };
+        sim.invoke(p, |o, ctx| o.submit_update(KvStoreApp::encode_cmd(&cmd), ctx));
+        sim.run_for(SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn puts_replicate_to_all_members() {
+        let (mut sim, pids) = kv_group(1, 3);
+        put(&mut sim, pids[0], "a", b"1");
+        put(&mut sim, pids[1], "b", b"2");
+        for &p in &pids {
+            let app = sim.actor(p).unwrap().app();
+            assert_eq!(app.get("a"), Some(b"1".as_ref()));
+            assert_eq!(app.get("b"), Some(b"2".as_ref()));
+        }
+    }
+
+    #[test]
+    fn every_partition_keeps_serving() {
+        // The §5 argument: weak-consistency applications must make progress
+        // in ALL partitions (impossible under the primary-partition model).
+        let (mut sim, pids) = kv_group(2, 4);
+        sim.partition(&[vec![pids[0], pids[1]], vec![pids[2], pids[3]]]);
+        sim.run_for(SimDuration::from_secs(1));
+        for &p in &pids {
+            assert_eq!(
+                sim.actor(p).unwrap().mode(),
+                Mode::Normal,
+                "{p} serves in its partition"
+            );
+        }
+        put(&mut sim, pids[0], "left", b"L");
+        put(&mut sim, pids[2], "right", b"R");
+        assert_eq!(sim.actor(pids[1]).unwrap().app().get("left"), Some(b"L".as_ref()));
+        assert_eq!(sim.actor(pids[3]).unwrap().app().get("right"), Some(b"R".as_ref()));
+        assert_eq!(sim.actor(pids[1]).unwrap().app().get("right"), None);
+    }
+
+    #[test]
+    fn healed_partitions_merge_divergent_states() {
+        let (mut sim, pids) = kv_group(3, 4);
+        sim.partition(&[vec![pids[0], pids[1]], vec![pids[2], pids[3]]]);
+        sim.run_for(SimDuration::from_secs(1));
+        put(&mut sim, pids[0], "left", b"L");
+        put(&mut sim, pids[2], "right", b"R");
+        put(&mut sim, pids[0], "both", b"from-left");
+        put(&mut sim, pids[2], "both", b"from-right");
+        sim.drain_outputs();
+        sim.heal();
+        sim.run_for(SimDuration::from_secs(3));
+        // Everyone converged to the same merged state.
+        let d0 = sim.actor(pids[0]).unwrap().app().digest();
+        for &p in &pids[1..] {
+            let obj = sim.actor(p).unwrap();
+            assert_eq!(obj.mode(), Mode::Normal, "{p}: {:?}", obj.settle_state());
+            assert_eq!(obj.app().digest(), d0, "{p} converged");
+        }
+        let app = sim.actor(pids[0]).unwrap().app();
+        assert_eq!(app.get("left"), Some(b"L".as_ref()));
+        assert_eq!(app.get("right"), Some(b"R".as_ref()));
+        assert!(app.get("both").is_some(), "LWW picked one of the writes");
+        // The merging classification actually fired.
+        let merged = sim
+            .outputs()
+            .iter()
+            .any(|(_, _, e)| matches!(e, ObjEvent::ClustersMerged { .. }));
+        assert!(merged, "state merging ran");
+    }
+
+    #[test]
+    fn deletes_win_by_recency_across_merges() {
+        let mut a = KvStoreApp::new();
+        a.apply_update(
+            ProcessId::from_raw(0),
+            &KvStoreApp::encode_cmd(&KvCmd::Put { key: "k".into(), value: b"v".to_vec() }),
+        );
+        let mut b = KvStoreApp::new();
+        b.install(&a.snapshot());
+        // b deletes later (higher stamp).
+        b.apply_update(
+            ProcessId::from_raw(1),
+            &KvStoreApp::encode_cmd(&KvCmd::Delete { key: "k".into() }),
+        );
+        a.merge(&[b.snapshot()]);
+        assert_eq!(a.get("k"), None, "tombstone propagated");
+    }
+
+    #[test]
+    fn merge_is_commutative_and_idempotent() {
+        let mut a = KvStoreApp::new();
+        a.apply_update(
+            ProcessId::from_raw(0),
+            &KvStoreApp::encode_cmd(&KvCmd::Put { key: "x".into(), value: b"1".to_vec() }),
+        );
+        let mut b = KvStoreApp::new();
+        b.apply_update(
+            ProcessId::from_raw(1),
+            &KvStoreApp::encode_cmd(&KvCmd::Put { key: "x".into(), value: b"2".to_vec() }),
+        );
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let mut ab = a.clone();
+        ab.merge(std::slice::from_ref(&sb));
+        let mut ba = b.clone();
+        ba.merge(std::slice::from_ref(&sa));
+        assert_eq!(ab.digest(), ba.digest(), "commutative");
+        let once = ab.digest();
+        ab.merge(&[sb]);
+        assert_eq!(ab.digest(), once, "idempotent");
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut app = KvStoreApp::new();
+        for i in 0..5 {
+            app.apply_update(
+                ProcessId::from_raw(i),
+                &KvStoreApp::encode_cmd(&KvCmd::Put {
+                    key: format!("k{i}"),
+                    value: vec![i as u8],
+                }),
+            );
+        }
+        let mut copy = KvStoreApp::new();
+        copy.install(&app.snapshot());
+        assert_eq!(copy, app);
+        assert_eq!(copy.len(), 5);
+    }
+}

@@ -1,0 +1,52 @@
+//! Group objects over enriched view synchrony: framework, reference
+//! applications, and the Isis-like primary-partition baseline.
+//!
+//! The paper's application model (§3) is the *group object*: an abstract
+//! data type whose logical state is simulated by a global state distributed
+//! over the group members, kept consistent through the NORMAL / REDUCED /
+//! SETTLING mode discipline of Figure 1. This crate provides:
+//!
+//! * [`GroupObject`] — a generic group-object engine implementing the §6.2
+//!   methodology in full: mode function → Figure 1 transitions → enriched
+//!   classification → the matching shared-state protocol (transfer,
+//!   creation with last-to-fail, merging) → subview/sv-set merges →
+//!   Reconcile. Applications plug in through [`ReplicatedApp`];
+//! * [`ReplicatedFile`] — the §3 example 1: a voting/quorum replicated file
+//!   with `read`/`write` (writes need NORMAL, reads may return stale data
+//!   in REDUCED);
+//! * [`LockManager`] — the §6.2 example: a mutually-exclusive write lock
+//!   managed within a majority view;
+//! * [`KvStore`] — a weak-consistency replicated key-value store that keeps
+//!   serving in *every* partition (the progress the primary-partition model
+//!   forbids, §5) and reconciles by per-key last-writer-wins on merge —
+//!   the state-merging showcase;
+//! * [`ParallelDb`] — the §3 example 2: a fully replicated database whose
+//!   look-up queries are partitioned across the view members, with the
+//!   division of responsibility rebuilt in SETTLING mode on every view
+//!   change;
+//! * [`TaskQueue`] — a replicated work queue with exactly-once dispatch
+//!   and reaping of tasks held by departed workers;
+//! * [`primary`] — the Isis-like baseline of §5: linear (primary-partition)
+//!   membership, views that grow one member at a time, and a blocking
+//!   state-transfer tool; used by the experiments to reproduce the paper's
+//!   cost comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod group_object;
+mod kv_store;
+mod lock_manager;
+mod parallel_db;
+pub mod primary;
+mod replicated_file;
+mod task_queue;
+
+pub use group_object::{
+    GroupObject, ObjEvent, ObjMsg, ObjectConfig, ReplicatedApp, SettleState,
+};
+pub use kv_store::{KvCmd, KvStore, KvStoreApp};
+pub use lock_manager::{LockCmd, LockManager, LockManagerApp, LockReply};
+pub use parallel_db::{DbEvent, DbMsg, ParallelDb, QueryId};
+pub use replicated_file::{FileCmd, FileReply, ReplicatedFile, ReplicatedFileApp};
+pub use task_queue::{QueueCmd, TaskQueue, TaskQueueApp, TaskState};

@@ -1,0 +1,377 @@
+//! The paper's §6.2 example: a majority-view mutual-exclusion write lock.
+//!
+//! "Suppose that external operations can be run only in a view containing a
+//! majority of processes and that their implementation involves the
+//! management of a mutually-exclusive write lock within such a view. The
+//! shared global state will thus include the identities of the lock manager
+//! and the current lock holder (if any)."
+//!
+//! Acquire/Release are totally-ordered updates; the lock state (holder +
+//! FIFO waiter queue) is the shared state that must be transferred to
+//! processes rejoining a majority, and recreated when a majority is reborn.
+//! Lock state is volatile (persist = false): after a total failure the
+//! creation protocol deterministically restarts with a free lock.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use bytes::Bytes;
+
+use vs_evs::codec::{Reader, Writer};
+use vs_evs::state::{fnv1a, StateObject};
+use vs_net::ProcessId;
+
+use crate::group_object::{GroupObject, ReplicatedApp};
+
+/// External operations of the lock object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockCmd {
+    /// Request the lock for the submitting process.
+    Acquire,
+    /// Release the lock held by the submitting process.
+    Release,
+}
+
+/// Outcome of an applied lock operation, decoded from
+/// [`ObjEvent::Applied`](crate::ObjEvent::Applied) responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockReply {
+    /// The submitter now holds the lock.
+    Granted,
+    /// The submitter was enqueued behind the current holder.
+    Queued,
+    /// The lock was released (and possibly granted to the next waiter).
+    Released,
+    /// The operation was invalid (releasing a lock one does not hold).
+    Invalid,
+}
+
+impl LockReply {
+    /// Encodes the reply for the generic response channel.
+    pub fn encode(self) -> Bytes {
+        let code: u8 = match self {
+            LockReply::Granted => 0,
+            LockReply::Queued => 1,
+            LockReply::Released => 2,
+            LockReply::Invalid => 3,
+        };
+        Bytes::copy_from_slice(&[code])
+    }
+
+    /// Decodes a reply produced by [`encode`](Self::encode).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes.first()? {
+            0 => Some(LockReply::Granted),
+            1 => Some(LockReply::Queued),
+            2 => Some(LockReply::Released),
+            3 => Some(LockReply::Invalid),
+            _ => None,
+        }
+    }
+}
+
+/// The lock state: the holder and the FIFO waiter queue.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LockManagerApp {
+    holder: Option<ProcessId>,
+    waiters: VecDeque<ProcessId>,
+}
+
+impl LockManagerApp {
+    /// A fresh, free lock.
+    pub fn new() -> Self {
+        LockManagerApp::default()
+    }
+
+    /// The current lock holder.
+    pub fn holder(&self) -> Option<ProcessId> {
+        self.holder
+    }
+
+    /// Processes queued behind the holder, in grant order.
+    pub fn waiters(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.waiters.iter().copied()
+    }
+
+    /// Encodes a command for [`GroupObject::submit_update`].
+    pub fn encode_cmd(cmd: LockCmd) -> Bytes {
+        let code: u8 = match cmd {
+            LockCmd::Acquire => 0,
+            LockCmd::Release => 1,
+        };
+        Bytes::copy_from_slice(&[code])
+    }
+}
+
+impl StateObject for LockManagerApp {
+    fn snapshot(&self) -> Bytes {
+        let mut w = Writer::new();
+        match self.holder {
+            Some(p) => {
+                w.u8(1);
+                w.pid(p);
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.waiters.len() as u64);
+        for &p in &self.waiters {
+            w.pid(p);
+        }
+        w.finish()
+    }
+
+    fn install(&mut self, snapshot: &Bytes) {
+        let mut r = Reader::new(snapshot);
+        let parsed = (|| -> Result<(Option<ProcessId>, VecDeque<ProcessId>), vs_evs::DecodeError> {
+            let holder = match r.u8()? {
+                1 => Some(r.pid()?),
+                _ => None,
+            };
+            let n = r.u64()?;
+            let mut waiters = VecDeque::new();
+            for _ in 0..n {
+                waiters.push_back(r.pid()?);
+            }
+            Ok((holder, waiters))
+        })();
+        match parsed {
+            Ok((holder, waiters)) => {
+                self.holder = holder;
+                self.waiters = waiters;
+            }
+            Err(_) => {
+                self.holder = None;
+                self.waiters.clear();
+            }
+        }
+    }
+
+    fn merge(&mut self, _others: &[Bytes]) {
+        // A strict majority is obtainable in at most one concurrent view,
+        // so two diverged lock lineages cannot exist; nothing to merge.
+    }
+
+    fn digest(&self) -> u64 {
+        fnv1a(&self.snapshot())
+    }
+}
+
+impl ReplicatedApp for LockManagerApp {
+    fn capable(&self, members: &BTreeSet<ProcessId>, universe: usize) -> bool {
+        2 * members.len() > universe
+    }
+
+    fn apply_update(&mut self, from: ProcessId, update: &[u8]) -> Option<Bytes> {
+        let reply = match update.first()? {
+            0 => {
+                // Acquire.
+                if self.holder.is_none() {
+                    self.holder = Some(from);
+                    LockReply::Granted
+                } else if self.holder == Some(from) || self.waiters.contains(&from) {
+                    LockReply::Invalid
+                } else {
+                    self.waiters.push_back(from);
+                    LockReply::Queued
+                }
+            }
+            1 => {
+                // Release.
+                if self.holder == Some(from) {
+                    self.holder = self.waiters.pop_front();
+                    LockReply::Released
+                } else {
+                    LockReply::Invalid
+                }
+            }
+            _ => LockReply::Invalid,
+        };
+        Some(reply.encode())
+    }
+}
+
+/// A majority-lock process: [`GroupObject`] over [`LockManagerApp`] with
+/// volatile state.
+pub type LockManager = GroupObject<LockManagerApp>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group_object::{ObjEvent, ObjectConfig};
+    use vs_evs::state::TransferMode;
+    use vs_evs::Mode;
+    use vs_net::{Sim, SimConfig, SimDuration};
+
+    fn lock_group(seed: u64, n: usize) -> (Sim<LockManager>, Vec<ProcessId>) {
+        let mut sim: Sim<LockManager> = Sim::new(seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..n {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |pid| {
+                LockManager::new(
+                    pid,
+                    LockManagerApp::new(),
+                    ObjectConfig {
+                        universe: n,
+                        persist: false,
+                        transfer: TransferMode::Blocking,
+                        ..ObjectConfig::default()
+                    },
+                )
+            }));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        (sim, pids)
+    }
+
+    fn replies_for(
+        sim: &Sim<LockManager>,
+        p: ProcessId,
+    ) -> Vec<(ProcessId, LockReply)> {
+        sim.outputs()
+            .iter()
+            .filter(|(_, q, _)| *q == p)
+            .filter_map(|(_, _, e)| match e {
+                ObjEvent::Applied { from, response: Some(r) } => {
+                    LockReply::decode(r).map(|rep| (*from, rep))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lock_grants_and_queues_in_total_order() {
+        let (mut sim, pids) = lock_group(1, 3);
+        sim.drain_outputs();
+        sim.invoke(pids[0], |o, ctx| {
+            o.submit_update(LockManagerApp::encode_cmd(LockCmd::Acquire), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(200));
+        sim.invoke(pids[1], |o, ctx| {
+            o.submit_update(LockManagerApp::encode_cmd(LockCmd::Acquire), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(200));
+        // Every replica agrees: p0 holds, p1 queued.
+        for &p in &pids {
+            let app = sim.actor(p).unwrap().app();
+            assert_eq!(app.holder(), Some(pids[0]));
+            assert_eq!(app.waiters().collect::<Vec<_>>(), vec![pids[1]]);
+        }
+        let replies = replies_for(&sim, pids[2]);
+        assert_eq!(
+            replies,
+            vec![(pids[0], LockReply::Granted), (pids[1], LockReply::Queued)]
+        );
+    }
+
+    #[test]
+    fn release_hands_the_lock_to_the_next_waiter() {
+        let (mut sim, pids) = lock_group(2, 3);
+        for &p in &[pids[0], pids[1]] {
+            sim.invoke(p, |o, ctx| {
+                o.submit_update(LockManagerApp::encode_cmd(LockCmd::Acquire), ctx)
+            });
+            sim.run_for(SimDuration::from_millis(200));
+        }
+        sim.invoke(pids[0], |o, ctx| {
+            o.submit_update(LockManagerApp::encode_cmd(LockCmd::Release), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(200));
+        for &p in &pids {
+            assert_eq!(sim.actor(p).unwrap().app().holder(), Some(pids[1]));
+        }
+    }
+
+    #[test]
+    fn releasing_an_unheld_lock_is_invalid() {
+        let (mut sim, pids) = lock_group(3, 3);
+        sim.drain_outputs();
+        sim.invoke(pids[1], |o, ctx| {
+            o.submit_update(LockManagerApp::encode_cmd(LockCmd::Release), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(200));
+        let replies = replies_for(&sim, pids[0]);
+        assert_eq!(replies, vec![(pids[1], LockReply::Invalid)]);
+    }
+
+    #[test]
+    fn lock_state_transfers_to_a_rejoining_member() {
+        let (mut sim, pids) = lock_group(4, 3);
+        sim.partition(&[vec![pids[0], pids[1]], vec![pids[2]]]);
+        sim.run_for(SimDuration::from_secs(1));
+        sim.invoke(pids[0], |o, ctx| {
+            o.submit_update(LockManagerApp::encode_cmd(LockCmd::Acquire), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(300));
+        sim.heal();
+        sim.run_for(SimDuration::from_secs(2));
+        // The rejoined minority member knows the holder.
+        let obj = sim.actor(pids[2]).unwrap();
+        assert_eq!(obj.mode(), Mode::Normal, "{:?}", obj.settle_state());
+        assert_eq!(obj.app().holder(), Some(pids[0]));
+    }
+
+    #[test]
+    fn majority_reborn_restarts_with_a_free_lock() {
+        // Volatile state + total failure of the majority: the creation
+        // protocol runs and deterministically resets the lock.
+        let (mut sim, pids) = lock_group(5, 3);
+        sim.invoke(pids[0], |o, ctx| {
+            o.submit_update(LockManagerApp::encode_cmd(LockCmd::Acquire), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(300));
+        sim.set_recovery_factory(move |pid, _site| {
+            LockManager::new(
+                pid,
+                LockManagerApp::new(),
+                ObjectConfig {
+                    universe: 3,
+                    persist: false,
+                    ..ObjectConfig::default()
+                },
+            )
+        });
+        let sites: Vec<_> = pids.iter().map(|&p| sim.site_of(p).unwrap()).collect();
+        for &p in &pids {
+            sim.crash(p);
+        }
+        sim.run_for(SimDuration::from_millis(300));
+        let recovered: Vec<ProcessId> = sites.iter().map(|&s| sim.recover(s)).collect();
+        for &p in &recovered {
+            let all = recovered.clone();
+            sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_secs(3));
+        for &p in &recovered {
+            let obj = sim.actor(p).unwrap();
+            assert_eq!(obj.mode(), Mode::Normal, "{p}: {:?}", obj.settle_state());
+            assert_eq!(obj.app().holder(), None, "volatile lock resets after total failure");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_holder_and_queue() {
+        let mut app = LockManagerApp::new();
+        app.apply_update(ProcessId::from_raw(1), &LockManagerApp::encode_cmd(LockCmd::Acquire));
+        app.apply_update(ProcessId::from_raw(2), &LockManagerApp::encode_cmd(LockCmd::Acquire));
+        let snap = app.snapshot();
+        let mut copy = LockManagerApp::new();
+        copy.install(&snap);
+        assert_eq!(copy, app);
+        assert_eq!(copy.holder(), Some(ProcessId::from_raw(1)));
+    }
+
+    #[test]
+    fn duplicate_acquire_is_invalid() {
+        let mut app = LockManagerApp::new();
+        let acquire = LockManagerApp::encode_cmd(LockCmd::Acquire);
+        let r1 = app.apply_update(ProcessId::from_raw(1), &acquire).unwrap();
+        let r2 = app.apply_update(ProcessId::from_raw(1), &acquire).unwrap();
+        assert_eq!(LockReply::decode(&r1), Some(LockReply::Granted));
+        assert_eq!(LockReply::decode(&r2), Some(LockReply::Invalid));
+    }
+}

@@ -1,0 +1,493 @@
+//! The paper's §3 example 2: a replicated database with parallel look-up.
+//!
+//! "The database is fully replicated within the group and the query is
+//! performed in parallel by the group members, each being responsible for a
+//! subset of the database. … R-mode does not exist. Any event causing a
+//! view change, however, results in a transition to S-mode in order to
+//! redefine the division of responsibility … An inconsistency in this
+//! global state information could result in some portion of the database
+//! not being searched at all or being searched multiple times."
+//!
+//! The shared state here is not the data (every replica has all of it) but
+//! the **division of responsibility**. On every view change the process
+//! enters SETTLING, recomputes its slice of the key space from the agreed
+//! view composition, re-executes its slice for all still-pending queries,
+//! and reconciles. A completed query's partial results must tile the key
+//! space exactly — the invariant the experiments check.
+
+use std::collections::BTreeMap;
+
+use vs_evs::{EvsConfig, EvsEndpoint, EvsEvent, EvsMsg, Mode, ModeEngine, ModeTransition, ViewId};
+use vs_gcs::Wire;
+use vs_net::{Actor, Context, ProcessId, TimerId, TimerKind};
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a query, unique per submitting process.
+pub type QueryId = u64;
+
+/// Wire vocabulary of the parallel database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DbMsg {
+    /// A look-up query: find every key whose value equals `needle`.
+    Query {
+        /// The query's identifier.
+        id: QueryId,
+        /// The value to search for.
+        needle: u64,
+    },
+    /// One member's result over its responsibility range `[lo, hi)`.
+    Partial {
+        /// The query being answered.
+        id: QueryId,
+        /// View in which this slice was computed.
+        view: ViewId,
+        /// Range start (inclusive).
+        lo: u64,
+        /// Range end (exclusive).
+        hi: u64,
+        /// Matching keys within the range.
+        hits: Vec<u64>,
+    },
+}
+
+/// Observable events of a [`ParallelDb`] process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbEvent {
+    /// A Figure 1 transition was taken.
+    Mode {
+        /// Mode after the transition.
+        mode: Mode,
+        /// The transition.
+        transition: ModeTransition,
+    },
+    /// The division of responsibility was recomputed for a view.
+    Settled {
+        /// The view the division belongs to.
+        view: ViewId,
+        /// This process' range start (inclusive).
+        lo: u64,
+        /// This process' range end (exclusive).
+        hi: u64,
+    },
+    /// A query completed: the collected ranges tile the key space.
+    QueryDone {
+        /// The completed query.
+        id: QueryId,
+        /// All matching keys, ascending.
+        hits: Vec<u64>,
+        /// The contributing ranges, ascending by start — the tiling the
+        /// experiments verify.
+        ranges: Vec<(u64, u64)>,
+    },
+}
+
+struct QueryState {
+    needle: u64,
+    /// Partial results of the current view, keyed by range start.
+    collected: BTreeMap<u64, (u64, Vec<u64>)>,
+}
+
+/// One parallel-database process. Implements [`Actor`].
+///
+/// The data set (key `k` → value `dataset[k]`) is identical at every
+/// replica, as the paper's example assumes.
+#[derive(Debug)]
+pub struct ParallelDb {
+    me: ProcessId,
+    evs: EvsEndpoint<DbMsg>,
+    engine: ModeEngine,
+    dataset: Vec<u64>,
+    range: Option<(u64, u64)>,
+    pending: BTreeMap<QueryId, QueryState>,
+    next_query: u64,
+}
+
+impl std::fmt::Debug for QueryState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query(needle={}, parts={})", self.needle, self.collected.len())
+    }
+}
+
+type Ctx<'a> = Context<'a, Wire<EvsMsg<DbMsg>>, DbEvent>;
+
+impl ParallelDb {
+    /// Creates a replica of process `me` over the given data set.
+    pub fn new(me: ProcessId, dataset: Vec<u64>, config: EvsConfig) -> Self {
+        ParallelDb {
+            me,
+            evs: EvsEndpoint::new(me, config),
+            // A singleton view supports look-ups once its (trivial)
+            // division is computed; start settling.
+            engine: ModeEngine::new(Mode::Settling),
+            dataset,
+            range: None,
+            pending: BTreeMap::new(),
+            next_query: 0,
+        }
+    }
+
+    /// Discovery seed; see [`EvsEndpoint::set_contacts`].
+    pub fn set_contacts(&mut self, contacts: impl IntoIterator<Item = ProcessId>) {
+        self.evs.set_contacts(contacts);
+    }
+
+    /// Current execution mode.
+    pub fn mode(&self) -> Mode {
+        self.engine.current()
+    }
+
+    /// This process' current responsibility range.
+    pub fn range(&self) -> Option<(u64, u64)> {
+        self.range
+    }
+
+    /// Number of queries awaiting completion here.
+    pub fn pending_queries(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submits a look-up for `needle`. Returns the query id; completion is
+    /// reported via [`DbEvent::QueryDone`] at every member.
+    pub fn submit_query(&mut self, needle: u64, ctx: &mut Ctx<'_>) -> QueryId {
+        self.next_query += 1;
+        let id = (self.me.raw() << 32) | self.next_query;
+        let (_, events) = ctx.scoped(|sub| self.evs.mcast(DbMsg::Query { id, needle }, sub));
+        self.handle_evs_events(events, ctx);
+        id
+    }
+
+    fn division_for(&self, members: &std::collections::BTreeSet<ProcessId>) -> (u64, u64) {
+        let n = members.len() as u64;
+        let k = self.dataset.len() as u64;
+        let rank = members.iter().position(|&p| p == self.me).unwrap_or(0) as u64;
+        (rank * k / n, (rank + 1) * k / n)
+    }
+
+    fn search(&self, lo: u64, hi: u64, needle: u64) -> Vec<u64> {
+        (lo..hi)
+            .filter(|&key| self.dataset[key as usize] == needle)
+            .collect()
+    }
+
+    /// Recomputes the division of responsibility — the internal operation
+    /// of S-mode — then re-executes pending queries and reconciles.
+    fn settle(&mut self, ctx: &mut Ctx<'_>) {
+        let view = self.evs.view().clone();
+        let (lo, hi) = self.division_for(view.members());
+        self.range = Some((lo, hi));
+        ctx.output(DbEvent::Settled { view: view.id(), lo, hi });
+        // Partial results from older views are void (their division died
+        // with their view); re-execute every pending query under the new
+        // division.
+        let pending: Vec<(QueryId, u64)> = self
+            .pending
+            .iter()
+            .map(|(&id, q)| (id, q.needle))
+            .collect();
+        for q in self.pending.values_mut() {
+            q.collected.clear();
+        }
+        for (id, needle) in pending {
+            self.answer(id, needle, ctx);
+        }
+        // Division rebuilt: reconcile into NORMAL.
+        let transition = self.engine.reevaluate(Mode::Normal);
+        if transition != ModeTransition::Stay {
+            ctx.output(DbEvent::Mode { mode: self.engine.current(), transition });
+        }
+        if self.engine.reconcile().is_ok() {
+            ctx.output(DbEvent::Mode {
+                mode: Mode::Normal,
+                transition: ModeTransition::Reconcile,
+            });
+        }
+    }
+
+    fn answer(&mut self, id: QueryId, needle: u64, ctx: &mut Ctx<'_>) {
+        let Some((lo, hi)) = self.range else {
+            return;
+        };
+        let hits = self.search(lo, hi, needle);
+        let view = self.evs.view().id();
+        let msg = DbMsg::Partial { id, view, lo, hi, hits };
+        let (_, events) = ctx.scoped(|sub| self.evs.mcast(msg, sub));
+        self.handle_evs_events(events, ctx);
+    }
+
+    fn on_deliver(&mut self, msg: DbMsg, ctx: &mut Ctx<'_>) {
+        match msg {
+            DbMsg::Query { id, needle } => {
+                self.pending.entry(id).or_insert(QueryState {
+                    needle,
+                    collected: BTreeMap::new(),
+                });
+                self.answer(id, needle, ctx);
+            }
+            DbMsg::Partial { id, view, lo, hi, hits } => {
+                if view != self.evs.view().id() {
+                    return; // a dead view's division; re-execution covers it
+                }
+                let Some(q) = self.pending.get_mut(&id) else {
+                    return;
+                };
+                q.collected.insert(lo, (hi, hits));
+                // Complete when the ranges tile [0, K).
+                let k = self.dataset.len() as u64;
+                let mut cursor = 0;
+                for (&lo, &(hi, _)) in q.collected.iter() {
+                    if lo != cursor {
+                        return; // gap or overlap: not yet complete
+                    }
+                    cursor = hi;
+                }
+                if cursor != k {
+                    return;
+                }
+                let q = self.pending.remove(&id).expect("present");
+                let mut all_hits: Vec<u64> = Vec::new();
+                let mut ranges = Vec::new();
+                for (lo, (hi, hits)) in q.collected {
+                    ranges.push((lo, hi));
+                    all_hits.extend(hits);
+                }
+                all_hits.sort_unstable();
+                ctx.output(DbEvent::QueryDone { id, hits: all_hits, ranges });
+            }
+        }
+    }
+
+    fn handle_evs_events(&mut self, events: Vec<EvsEvent<DbMsg>>, ctx: &mut Ctx<'_>) {
+        for event in events {
+            match event {
+                EvsEvent::ViewChange { .. } => {
+                    // Any view change sends the process through S-mode to
+                    // redefine the division (the paper's mode function for
+                    // this object).
+                    let transition = self.engine.reevaluate(Mode::Settling);
+                    if transition != ModeTransition::Stay {
+                        ctx.output(DbEvent::Mode {
+                            mode: self.engine.current(),
+                            transition,
+                        });
+                    }
+                    self.settle(ctx);
+                }
+                EvsEvent::Deliver { payload, .. } => self.on_deliver(payload, ctx),
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Actor for ParallelDb {
+    type Msg = Wire<EvsMsg<DbMsg>>;
+    type Output = DbEvent;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let (_, events) = ctx.scoped(|sub| self.evs.on_start(sub));
+        self.handle_evs_events(events, ctx);
+        // The initial singleton view needs its division too.
+        if self.range.is_none() {
+            self.settle(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_>) {
+        let (_, events) = ctx.scoped(|sub| self.evs.on_message(from, msg, sub));
+        self.handle_evs_events(events, ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, kind: TimerKind, ctx: &mut Ctx<'_>) {
+        let (_, events) = ctx.scoped(|sub| self.evs.on_timer(timer, kind, sub));
+        self.handle_evs_events(events, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_net::{Sim, SimConfig, SimDuration};
+
+    /// Data set: key k holds value k % 10.
+    fn dataset(k: usize) -> Vec<u64> {
+        (0..k as u64).map(|key| key % 10).collect()
+    }
+
+    fn db_group(seed: u64, n: usize, k: usize) -> (Sim<ParallelDb>, Vec<ProcessId>) {
+        let mut sim: Sim<ParallelDb> = Sim::new(seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..n {
+            let site = sim.alloc_site();
+            pids.push(
+                sim.spawn_with(site, |pid| ParallelDb::new(pid, dataset(k), EvsConfig::default())),
+            );
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_secs(1));
+        (sim, pids)
+    }
+
+    fn done_events(sim: &Sim<ParallelDb>, p: ProcessId) -> Vec<DbEvent> {
+        sim.outputs()
+            .iter()
+            .filter(|(_, q, e)| *q == p && matches!(e, DbEvent::QueryDone { .. }))
+            .map(|(_, _, e)| e.clone())
+            .collect()
+    }
+
+    #[test]
+    fn ranges_partition_the_keyspace() {
+        let (sim, pids) = db_group(1, 4, 100);
+        let mut ranges: Vec<(u64, u64)> = pids
+            .iter()
+            .map(|&p| sim.actor(p).unwrap().range().unwrap())
+            .collect();
+        ranges.sort_unstable();
+        let mut cursor = 0;
+        for (lo, hi) in ranges {
+            assert_eq!(lo, cursor, "no gap, no overlap");
+            cursor = hi;
+        }
+        assert_eq!(cursor, 100);
+    }
+
+    #[test]
+    fn query_returns_exactly_the_matching_keys() {
+        let (mut sim, pids) = db_group(2, 3, 100);
+        sim.invoke(pids[0], |o, ctx| {
+            o.submit_query(7, ctx);
+        });
+        sim.run_for(SimDuration::from_millis(500));
+        let done = done_events(&sim, pids[0]);
+        assert_eq!(done.len(), 1);
+        let DbEvent::QueryDone { hits, ranges, .. } = &done[0] else {
+            unreachable!()
+        };
+        let expected: Vec<u64> = (0..100u64).filter(|k| k % 10 == 7).collect();
+        assert_eq!(hits, &expected, "every key found exactly once");
+        assert_eq!(ranges.len(), 3, "three members contributed");
+        // Every member completed the query, not just the submitter.
+        for &p in &pids[1..] {
+            assert_eq!(done_events(&sim, p).len(), 1);
+        }
+    }
+
+    #[test]
+    fn view_change_mid_query_still_yields_an_exact_answer() {
+        let (mut sim, pids) = db_group(3, 4, 200);
+        sim.invoke(pids[0], |o, ctx| {
+            o.submit_query(3, ctx);
+        });
+        // Crash a member immediately: its partial may or may not be out.
+        sim.crash(pids[3]);
+        sim.run_for(SimDuration::from_secs(2));
+        let done = done_events(&sim, pids[0]);
+        assert_eq!(done.len(), 1, "query completed despite the view change");
+        let DbEvent::QueryDone { hits, ranges, .. } = &done[0] else {
+            unreachable!()
+        };
+        let expected: Vec<u64> = (0..200u64).filter(|k| k % 10 == 3).collect();
+        assert_eq!(hits, &expected, "no portion missed or double-searched");
+        let mut cursor = 0;
+        for &(lo, hi) in ranges {
+            assert_eq!(lo, cursor);
+            cursor = hi;
+        }
+        assert_eq!(cursor, 200);
+    }
+
+    #[test]
+    fn every_view_change_passes_through_settling() {
+        let (mut sim, pids) = db_group(4, 3, 50);
+        sim.drain_outputs();
+        sim.crash(pids[2]);
+        sim.run_for(SimDuration::from_secs(1));
+        let settled = sim
+            .outputs()
+            .iter()
+            .filter(|(_, p, e)| *p == pids[0] && matches!(e, DbEvent::Settled { .. }))
+            .count();
+        assert!(settled >= 1, "division recomputed after the view change");
+        assert_eq!(sim.actor(pids[0]).unwrap().mode(), Mode::Normal);
+        // The two survivors now split the whole key space between them.
+        let r0 = sim.actor(pids[0]).unwrap().range().unwrap();
+        let r1 = sim.actor(pids[1]).unwrap().range().unwrap();
+        let mut rs = [r0, r1];
+        rs.sort_unstable();
+        assert_eq!(rs[0].0, 0);
+        assert_eq!(rs[0].1, rs[1].0);
+        assert_eq!(rs[1].1, 50);
+    }
+
+    #[test]
+    fn newcomer_join_triggers_re_division() {
+        let (mut sim, pids) = db_group(6, 3, 90);
+        let before: Vec<(u64, u64)> = pids
+            .iter()
+            .map(|&p| sim.actor(p).unwrap().range().unwrap())
+            .collect();
+        // A fourth replica joins with the same data set.
+        let site = sim.alloc_site();
+        let newcomer =
+            sim.spawn_with(site, |pid| ParallelDb::new(pid, dataset(90), EvsConfig::default()));
+        let mut all = pids.clone();
+        all.push(newcomer);
+        for &p in &all {
+            sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_secs(1));
+        // Everyone re-divided into four slices tiling the key space.
+        let mut ranges: Vec<(u64, u64)> = all
+            .iter()
+            .map(|&p| sim.actor(p).unwrap().range().unwrap())
+            .collect();
+        ranges.sort_unstable();
+        assert_eq!(ranges.len(), 4);
+        let mut cursor = 0;
+        for (lo, hi) in &ranges {
+            assert_eq!(*lo, cursor);
+            cursor = *hi;
+        }
+        assert_eq!(cursor, 90);
+        assert_ne!(
+            before,
+            pids.iter()
+                .map(|&p| sim.actor(p).unwrap().range().unwrap())
+                .collect::<Vec<_>>(),
+            "old members' slices shrank"
+        );
+        // And a query still returns exactly the right keys.
+        sim.invoke(newcomer, |o, ctx| {
+            o.submit_query(4, ctx);
+        });
+        sim.run_for(SimDuration::from_millis(500));
+        let done = done_events(&sim, newcomer);
+        assert_eq!(done.len(), 1);
+        let DbEvent::QueryDone { hits, .. } = &done[0] else { unreachable!() };
+        assert_eq!(hits, &(0..90u64).filter(|k| k % 10 == 4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_partitions_answer_independently() {
+        let (mut sim, pids) = db_group(5, 4, 100);
+        sim.partition(&[vec![pids[0], pids[1]], vec![pids[2], pids[3]]]);
+        sim.run_for(SimDuration::from_secs(1));
+        sim.invoke(pids[0], |o, ctx| {
+            o.submit_query(1, ctx);
+        });
+        sim.invoke(pids[2], |o, ctx| {
+            o.submit_query(2, ctx);
+        });
+        sim.run_for(SimDuration::from_secs(1));
+        let left = done_events(&sim, pids[0]);
+        let right = done_events(&sim, pids[2]);
+        assert_eq!(left.len(), 1, "left partition answers its query");
+        assert_eq!(right.len(), 1, "right partition answers its query");
+        let DbEvent::QueryDone { hits, .. } = &left[0] else { unreachable!() };
+        assert_eq!(hits, &(0..100u64).filter(|k| k % 10 == 1).collect::<Vec<_>>());
+    }
+}

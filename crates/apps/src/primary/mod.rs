@@ -1,0 +1,437 @@
+//! The Isis-like primary-partition baseline of the paper's §5.
+//!
+//! Three design decisions of Isis, reproduced for comparison:
+//!
+//! 1. **Linear (primary-partition) membership** — only the partition
+//!    carrying a majority of the previous primary membership continues;
+//!    processes in minority partitions stall ("the inability to support
+//!    applications with weak consistency requirements that could make
+//!    progress in multiple concurrent partitions");
+//! 2. **views grow by at most one member at a time** — a merge of `m`
+//!    newcomers costs `m` successive view changes ("this event will result
+//!    in \[m\] view changes in each of the two partitions … when in fact a
+//!    single view change is all that is really required");
+//! 3. **blocking state transfer integrated with admission** — each admitted
+//!    joiner receives the full state before the next admission proceeds
+//!    ("a new view including the joining process cannot be delivered until
+//!    the state transfer is complete").
+//!
+//! [`PrimaryEndpoint`] implements all three over the same `vs-gcs`
+//! substrate the enriched stack uses: underlying (partitionable) view
+//! changes are filtered into a *primary lineage*, and each batched merge is
+//! unrolled into one-at-a-time admissions, each paying a blocking whole-
+//! state transfer. The experiments count the resulting events against the
+//! single e-view installation of the enriched stack (experiments E5/E6).
+
+use std::collections::{BTreeSet, VecDeque};
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use vs_gcs::{GcsConfig, GcsEndpoint, GcsEvent, Wire};
+use vs_net::{Actor, Context, ProcessId, TimerId, TimerKind};
+
+/// Wire vocabulary of the primary-partition baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PrimMsg {
+    /// A *virtual view* announcement: the primary membership after one
+    /// admission (or one exclusion). One is multicast per single-member
+    /// growth step — the §5 cost being measured.
+    VView {
+        /// Monotonic virtual-view number of this lineage.
+        seq: u64,
+        /// The announced primary membership.
+        members: Vec<ProcessId>,
+    },
+    /// The blocking state transfer accompanying an admission: the full
+    /// state, sent to the joiner before the next admission may proceed.
+    AdmissionState {
+        /// Virtual view the joiner is admitted into.
+        seq: u64,
+        /// The complete state snapshot.
+        state: Bytes,
+    },
+    /// The joiner's acknowledgement that the state arrived and the
+    /// admission is complete.
+    AdmissionAck {
+        /// The acknowledged virtual view.
+        seq: u64,
+    },
+}
+
+/// Observable events of a [`PrimaryEndpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrimEvent {
+    /// A (virtual) primary view was installed at this process.
+    PrimaryView {
+        /// Its number in the lineage.
+        seq: u64,
+        /// Number of members.
+        members: usize,
+    },
+    /// This process is in a non-primary partition and has stalled — the
+    /// §5 price of the linear-membership model.
+    Stalled,
+    /// An admission completed (leader side).
+    Admitted {
+        /// The admitted process.
+        joiner: ProcessId,
+    },
+    /// State bytes transferred for an admission (for cost accounting).
+    TransferBytes {
+        /// Snapshot size in bytes.
+        bytes: usize,
+    },
+}
+
+/// Configuration of the baseline.
+#[derive(Debug, Clone)]
+pub struct PrimaryConfig {
+    /// Underlying group-communication configuration.
+    pub gcs: GcsConfig,
+    /// Size of the simulated application state transferred per admission.
+    pub state_size: usize,
+}
+
+impl Default for PrimaryConfig {
+    fn default() -> Self {
+        PrimaryConfig {
+            gcs: GcsConfig::default(),
+            state_size: 1024,
+        }
+    }
+}
+
+/// One process of the Isis-like baseline. Implements [`Actor`].
+#[derive(Debug)]
+pub struct PrimaryEndpoint {
+    me: ProcessId,
+    gcs: GcsEndpoint<PrimMsg>,
+    /// The primary membership as this process last knew it.
+    primary: BTreeSet<ProcessId>,
+    /// Whether this process currently belongs to the primary lineage.
+    in_primary: bool,
+    /// The process running admissions for the current lineage segment
+    /// (fixed between underlying view changes; admissions do not move it).
+    leader: Option<ProcessId>,
+    /// Virtual view counter of the lineage.
+    vseq: u64,
+    /// Leader-side admission queue (one at a time!).
+    queue: VecDeque<ProcessId>,
+    /// The admission in flight, if any.
+    admitting: Option<(ProcessId, u64)>,
+    /// The simulated application state.
+    state: Bytes,
+}
+
+type Ctx<'a> = Context<'a, Wire<PrimMsg>, PrimEvent>;
+
+impl PrimaryEndpoint {
+    /// Creates the baseline endpoint for process `me`. `founder` marks the
+    /// bootstrap member whose singleton view seeds the primary lineage;
+    /// exactly one process per group must be the founder, everyone else
+    /// joins through admissions.
+    pub fn new(me: ProcessId, founder: bool, config: PrimaryConfig) -> Self {
+        let state = Bytes::from(vec![0u8; config.state_size]);
+        PrimaryEndpoint {
+            me,
+            gcs: GcsEndpoint::new(me, config.gcs),
+            primary: if founder {
+                std::iter::once(me).collect()
+            } else {
+                BTreeSet::new()
+            },
+            in_primary: founder,
+            leader: if founder { Some(me) } else { None },
+            vseq: 0,
+            queue: VecDeque::new(),
+            admitting: None,
+            state,
+        }
+    }
+
+    /// Discovery seed; see [`GcsEndpoint::set_contacts`].
+    pub fn set_contacts(&mut self, contacts: impl IntoIterator<Item = ProcessId>) {
+        self.gcs.set_contacts(contacts);
+    }
+
+    /// Whether this process currently belongs to the primary partition.
+    pub fn in_primary(&self) -> bool {
+        self.in_primary
+    }
+
+    /// The primary membership as last known here.
+    pub fn primary_members(&self) -> &BTreeSet<ProcessId> {
+        &self.primary
+    }
+
+    /// Number of virtual view changes this process has observed.
+    pub fn virtual_views(&self) -> u64 {
+        self.vseq
+    }
+
+    fn is_leader(&self) -> bool {
+        self.in_primary && self.leader == Some(self.me)
+    }
+
+    fn announce(&mut self, ctx: &mut Ctx<'_>) {
+        self.vseq += 1;
+        let msg = PrimMsg::VView {
+            seq: self.vseq,
+            members: self.primary.iter().copied().collect(),
+        };
+        let (_, events) = ctx.scoped(|sub| self.gcs.mcast(msg, sub));
+        self.handle_gcs_events(events, ctx);
+    }
+
+    fn pump_admissions(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.is_leader() || self.admitting.is_some() {
+            return;
+        }
+        let Some(joiner) = self.queue.pop_front() else {
+            return;
+        };
+        // One admission = one virtual view change announcing the grown
+        // membership, plus a blocking whole-state transfer to the joiner.
+        self.primary.insert(joiner);
+        self.announce(ctx);
+        self.admitting = Some((joiner, self.vseq));
+        let seq = self.vseq;
+        let state = self.state.clone();
+        ctx.output(PrimEvent::TransferBytes { bytes: state.len() });
+        let (_, events) = ctx.scoped(|sub| {
+            self.gcs
+                .send_direct(joiner, PrimMsg::AdmissionState { seq, state }, sub)
+        });
+        self.handle_gcs_events(events, ctx);
+    }
+
+    fn on_underlying_view(&mut self, members: BTreeSet<ProcessId>, ctx: &mut Ctx<'_>) {
+        if self.in_primary {
+            let survivors: BTreeSet<ProcessId> =
+                self.primary.intersection(&members).copied().collect();
+            // Linear membership: the lineage continues only where a
+            // majority of the previous primary membership survives.
+            if 2 * survivors.len() > self.primary.len() {
+                self.leader = survivors.iter().next().copied();
+                if survivors.len() < self.primary.len() {
+                    // Exclusions are a single view change (shrinks are not
+                    // the issue; growth is).
+                    self.primary = survivors;
+                    self.queue.retain(|p| members.contains(p));
+                    self.admitting = None;
+                    self.announce(ctx);
+                    ctx.output(PrimEvent::PrimaryView {
+                        seq: self.vseq,
+                        members: self.primary.len(),
+                    });
+                }
+                // Newcomers are admitted ONE AT A TIME by the leader.
+                if self.is_leader() {
+                    for &p in &members {
+                        if !self.primary.contains(&p) && !self.queue.contains(&p) {
+                            self.queue.push_back(p);
+                        }
+                    }
+                    self.pump_admissions(ctx);
+                }
+            } else {
+                self.in_primary = false;
+                self.leader = None;
+                self.admitting = None;
+                self.queue.clear();
+                ctx.output(PrimEvent::Stalled);
+            }
+        }
+        // Non-primary processes wait to be admitted by the leader.
+    }
+
+    fn on_deliver(&mut self, from: ProcessId, msg: PrimMsg, ctx: &mut Ctx<'_>) {
+        match msg {
+            PrimMsg::VView { seq, members } => {
+                let members: BTreeSet<ProcessId> = members.into_iter().collect();
+                if members.contains(&self.me) {
+                    // Each virtual view is one "view change event" at every
+                    // member — the quantity §5 counts.
+                    self.vseq = self.vseq.max(seq);
+                    let was_in = self.in_primary;
+                    self.primary = members;
+                    ctx.output(PrimEvent::PrimaryView {
+                        seq,
+                        members: self.primary.len(),
+                    });
+                    // Joiners become primary only after their state arrives
+                    // (blocking transfer); existing members stay.
+                    if !was_in {
+                        // waiting for AdmissionState
+                    }
+                } else if self.in_primary {
+                    // Announced membership without us: we were excluded.
+                    self.in_primary = false;
+                    self.leader = None;
+                    ctx.output(PrimEvent::Stalled);
+                }
+            }
+            PrimMsg::AdmissionState { seq, state } => {
+                // Blocking transfer received: we are now a primary member;
+                // the sender is the lineage leader.
+                self.state = state;
+                self.in_primary = true;
+                self.leader = Some(from);
+                ctx.output(PrimEvent::TransferBytes { bytes: self.state.len() });
+                let (_, events) = ctx.scoped(|sub| {
+                    self.gcs
+                        .send_direct(from, PrimMsg::AdmissionAck { seq }, sub)
+                });
+                self.handle_gcs_events(events, ctx);
+            }
+            PrimMsg::AdmissionAck { seq } => {
+                if let Some((joiner, expected)) = self.admitting {
+                    if seq == expected {
+                        self.admitting = None;
+                        ctx.output(PrimEvent::Admitted { joiner });
+                        self.pump_admissions(ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_gcs_events(&mut self, events: Vec<GcsEvent<PrimMsg>>, ctx: &mut Ctx<'_>) {
+        for event in events {
+            match event {
+                GcsEvent::ViewChange { view, .. } => {
+                    self.on_underlying_view(view.members().clone(), ctx);
+                }
+                GcsEvent::Deliver { sender, payload, .. } => {
+                    self.on_deliver(sender, payload, ctx)
+                }
+                GcsEvent::DeliverDirect { from, payload } => self.on_deliver(from, payload, ctx),
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Actor for PrimaryEndpoint {
+    type Msg = Wire<PrimMsg>;
+    type Output = PrimEvent;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let (_, events) = ctx.scoped(|sub| self.gcs.on_start(sub));
+        self.handle_gcs_events(events, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_>) {
+        let (_, events) = ctx.scoped(|sub| self.gcs.on_message(from, msg, sub));
+        self.handle_gcs_events(events, ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, kind: TimerKind, ctx: &mut Ctx<'_>) {
+        let (_, events) = ctx.scoped(|sub| self.gcs.on_timer(timer, kind, sub));
+        self.handle_gcs_events(events, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_net::{Sim, SimConfig, SimDuration};
+
+    fn primary_group(seed: u64, n: usize) -> (Sim<PrimaryEndpoint>, Vec<ProcessId>) {
+        let mut sim: Sim<PrimaryEndpoint> = Sim::new(seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for i in 0..n {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |pid| {
+                PrimaryEndpoint::new(pid, i == 0, PrimaryConfig::default())
+            }));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_secs(3));
+        (sim, pids)
+    }
+
+    #[test]
+    fn joiners_are_admitted_one_at_a_time() {
+        let (sim, pids) = primary_group(1, 4);
+        for &p in &pids {
+            let e = sim.actor(p).unwrap();
+            assert!(e.in_primary(), "{p} admitted");
+            assert_eq!(e.primary_members().len(), 4);
+        }
+        // The founder announced one virtual view per admission: 3 joiners
+        // → at least 3 virtual views (plus possibly an initial shrink).
+        let admissions = sim
+            .outputs()
+            .iter()
+            .filter(|(_, _, e)| matches!(e, PrimEvent::Admitted { .. }))
+            .count();
+        assert_eq!(admissions, 3, "one admission event per joiner");
+        // Each member delivered ≥ 1 virtual view per admission after it
+        // joined — the §5 linear growth cost.
+        let founder_views = sim
+            .outputs()
+            .iter()
+            .filter(|(_, p, e)| *p == pids[0] && matches!(e, PrimEvent::PrimaryView { .. }))
+            .count();
+        assert!(founder_views >= 3, "founder saw {founder_views} virtual views");
+    }
+
+    #[test]
+    fn each_admission_pays_a_full_state_transfer() {
+        let (sim, _pids) = primary_group(2, 4);
+        let transfers: Vec<usize> = sim
+            .outputs()
+            .iter()
+            .filter_map(|(_, _, e)| match e {
+                PrimEvent::TransferBytes { bytes } => Some(*bytes),
+                _ => None,
+            })
+            .collect();
+        // 3 admissions × (leader send + joiner receive) = 6 records.
+        assert_eq!(transfers.len(), 6);
+        assert!(transfers.iter().all(|&b| b == 1024));
+    }
+
+    #[test]
+    fn minority_partition_stalls() {
+        let (mut sim, pids) = primary_group(3, 5);
+        sim.drain_outputs();
+        sim.partition(&[vec![pids[0], pids[1]], vec![pids[2], pids[3], pids[4]]]);
+        sim.run_for(SimDuration::from_secs(2));
+        // The 3-member side holds the majority of the old primary (3 of 5);
+        // the 2-member side stalls.
+        assert!(!sim.actor(pids[0]).unwrap().in_primary(), "minority stalled");
+        assert!(!sim.actor(pids[1]).unwrap().in_primary());
+        assert!(sim.actor(pids[2]).unwrap().in_primary(), "majority continues");
+        let stalled = sim
+            .outputs()
+            .iter()
+            .filter(|(_, _, e)| matches!(e, PrimEvent::Stalled))
+            .count();
+        assert!(stalled >= 2);
+    }
+
+    #[test]
+    fn healed_minority_rejoins_through_sequential_admissions() {
+        let (mut sim, pids) = primary_group(4, 5);
+        sim.partition(&[vec![pids[0], pids[1]], vec![pids[2], pids[3], pids[4]]]);
+        sim.run_for(SimDuration::from_secs(2));
+        sim.drain_outputs();
+        sim.heal();
+        sim.run_for(SimDuration::from_secs(3));
+        for &p in &pids {
+            assert!(sim.actor(p).unwrap().in_primary(), "{p} back in the primary");
+        }
+        let admissions = sim
+            .outputs()
+            .iter()
+            .filter(|(_, _, e)| matches!(e, PrimEvent::Admitted { .. }))
+            .count();
+        assert_eq!(admissions, 2, "the two stalled members re-admitted one by one");
+    }
+}

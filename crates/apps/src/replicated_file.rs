@@ -1,0 +1,345 @@
+//! The paper's §3 example 1: a voting/quorum replicated file.
+//!
+//! "Consider a group object implementing a file with the two external
+//! operations read and write. … With respect to write operations, the group
+//! object should behave exactly as if there were only one copy of the file;
+//! with respect to read operations, it is allowable to return stale data."
+//!
+//! Each replica holds one vote; a quorum is a strict majority of the
+//! universe, obtainable in at most one concurrent view — so at most one
+//! partition ever accepts writes. Reads are served locally in any mode
+//! (REDUCED reads may be stale, which the paper explicitly allows).
+
+use std::collections::BTreeSet;
+
+use bytes::Bytes;
+
+use vs_evs::codec::{Reader, Writer};
+use vs_evs::state::{fnv1a, StateObject};
+use vs_net::ProcessId;
+
+use crate::group_object::{GroupObject, ReplicatedApp};
+
+/// External operations of the file object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileCmd {
+    /// Read the file (served locally; may be stale outside NORMAL mode).
+    Read,
+    /// Overwrite the file contents (NORMAL mode only).
+    Write(Vec<u8>),
+}
+
+/// Result of a local read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileReply {
+    /// Monotonic version (number of writes applied on this lineage).
+    pub version: u64,
+    /// File contents.
+    pub data: Vec<u8>,
+    /// Whether the reply may be stale (replica not in NORMAL mode).
+    pub maybe_stale: bool,
+}
+
+/// The file replica state: a version counter and the contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicatedFileApp {
+    version: u64,
+    data: Vec<u8>,
+}
+
+impl ReplicatedFileApp {
+    /// A fresh, empty file.
+    pub fn new() -> Self {
+        ReplicatedFileApp::default()
+    }
+
+    /// Current version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Current contents.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Encodes a write command for [`GroupObject::submit_update`].
+    pub fn encode_write(data: &[u8]) -> Bytes {
+        let mut w = Writer::new();
+        w.bytes(data);
+        w.finish()
+    }
+
+    /// Encodes an external operation. Reads are served locally (see
+    /// [`ReplicatedFile::read`]) and encode to `None`; writes encode to the
+    /// update blob for [`GroupObject::submit_update`].
+    pub fn encode_cmd(cmd: &FileCmd) -> Option<Bytes> {
+        match cmd {
+            FileCmd::Read => None,
+            FileCmd::Write(data) => Some(ReplicatedFileApp::encode_write(data)),
+        }
+    }
+}
+
+impl StateObject for ReplicatedFileApp {
+    fn snapshot(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u64(self.version);
+        w.bytes(&self.data);
+        w.finish()
+    }
+
+    fn install(&mut self, snapshot: &Bytes) {
+        let mut r = Reader::new(snapshot);
+        if let (Ok(version), Ok(data)) = (r.u64(), r.bytes()) {
+            self.version = version;
+            self.data = data;
+        } else {
+            // An empty snapshot (fresh start) resets the file.
+            self.version = 0;
+            self.data.clear();
+        }
+    }
+
+    fn merge(&mut self, others: &[Bytes]) {
+        // With a strict-majority quorum, at most one partition ever accepts
+        // writes, so "merging" can only encounter one distinct version:
+        // keep the highest.
+        for snap in others {
+            let mut r = Reader::new(snap);
+            if let (Ok(version), Ok(data)) = (r.u64(), r.bytes()) {
+                if version > self.version {
+                    self.version = version;
+                    self.data = data;
+                }
+            }
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        fnv1a(&self.snapshot())
+    }
+}
+
+impl ReplicatedApp for ReplicatedFileApp {
+    fn capable(&self, members: &BTreeSet<ProcessId>, universe: usize) -> bool {
+        2 * members.len() > universe
+    }
+
+    fn apply_update(&mut self, _from: ProcessId, update: &[u8]) -> Option<Bytes> {
+        let mut r = Reader::new(update);
+        let data = r.bytes().ok()?;
+        self.version += 1;
+        self.data = data;
+        let mut w = Writer::new();
+        w.u64(self.version);
+        Some(w.finish())
+    }
+}
+
+/// A quorum-replicated file process: [`GroupObject`] over
+/// [`ReplicatedFileApp`].
+pub type ReplicatedFile = GroupObject<ReplicatedFileApp>;
+
+impl ReplicatedFile {
+    /// Serves a read locally, marking it possibly stale outside NORMAL
+    /// mode (allowed by the object's correctness criteria, §3).
+    pub fn read(&self) -> FileReply {
+        FileReply {
+            version: self.app().version(),
+            data: self.app().data().to_vec(),
+            maybe_stale: self.mode() != vs_evs::Mode::Normal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group_object::{ObjEvent, ObjectConfig};
+    use vs_evs::Mode;
+    use vs_net::{Sim, SimConfig, SimDuration};
+
+    fn file_group(seed: u64, n: usize) -> (Sim<ReplicatedFile>, Vec<ProcessId>) {
+        let mut sim: Sim<ReplicatedFile> = Sim::new(seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..n {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |pid| {
+                ReplicatedFile::new(
+                    pid,
+                    ReplicatedFileApp::new(),
+                    ObjectConfig {
+                        universe: n,
+                        ..ObjectConfig::default()
+                    },
+                )
+            }));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        (sim, pids)
+    }
+
+    #[test]
+    fn group_forms_and_reaches_normal_mode() {
+        let (sim, pids) = file_group(1, 3);
+        for &p in &pids {
+            let obj = sim.actor(p).unwrap();
+            assert_eq!(obj.mode(), Mode::Normal, "{p} is {:?}", obj.settle_state());
+            assert!(obj.is_up_to_date());
+        }
+        // The creation path ran: all three started empty, nobody was
+        // authoritative, the group created state from scratch.
+        let creations = sim
+            .outputs()
+            .iter()
+            .filter(|(_, _, e)| matches!(e, ObjEvent::CreationDecided { .. }))
+            .count();
+        assert!(creations >= 3, "every member decided creation");
+    }
+
+    #[test]
+    fn writes_replicate_and_version_monotonically() {
+        let (mut sim, pids) = file_group(2, 3);
+        sim.invoke(pids[0], |o, ctx| {
+            o.submit_update(ReplicatedFileApp::encode_write(b"v1"), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(300));
+        sim.invoke(pids[1], |o, ctx| {
+            o.submit_update(ReplicatedFileApp::encode_write(b"v2"), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(300));
+        for &p in &pids {
+            let reply = sim.actor(p).unwrap().read();
+            assert_eq!(reply.version, 2);
+            assert_eq!(reply.data, b"v2");
+            assert!(!reply.maybe_stale);
+        }
+    }
+
+    #[test]
+    fn minority_partition_degrades_to_reduced_and_rejects_writes() {
+        let (mut sim, pids) = file_group(3, 3);
+        sim.invoke(pids[0], |o, ctx| {
+            o.submit_update(ReplicatedFileApp::encode_write(b"before"), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(300));
+        sim.partition(&[vec![pids[0], pids[1]], vec![pids[2]]]);
+        sim.run_for(SimDuration::from_secs(1));
+        let majority_side = sim.actor(pids[0]).unwrap();
+        let minority_side = sim.actor(pids[2]).unwrap();
+        assert_eq!(majority_side.mode(), Mode::Normal);
+        assert_eq!(minority_side.mode(), Mode::Reduced);
+        // Minority read still works but is flagged stale.
+        let reply = minority_side.read();
+        assert_eq!(reply.data, b"before");
+        assert!(reply.maybe_stale);
+        // Minority write is rejected.
+        sim.drain_outputs();
+        sim.invoke(pids[2], |o, ctx| {
+            o.submit_update(ReplicatedFileApp::encode_write(b"nope"), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(200));
+        assert!(sim
+            .outputs()
+            .iter()
+            .any(|(_, p, e)| *p == pids[2] && matches!(e, ObjEvent::Rejected { .. })));
+    }
+
+    #[test]
+    fn healed_minority_catches_up_via_state_transfer() {
+        let (mut sim, pids) = file_group(4, 3);
+        sim.partition(&[vec![pids[0], pids[1]], vec![pids[2]]]);
+        sim.run_for(SimDuration::from_secs(1));
+        // Majority keeps writing while p2 is away.
+        for i in 0..3 {
+            sim.invoke(pids[0], |o, ctx| {
+                o.submit_update(ReplicatedFileApp::encode_write(format!("w{i}").as_bytes()), ctx)
+            });
+            sim.run_for(SimDuration::from_millis(100));
+        }
+        sim.drain_outputs();
+        sim.heal();
+        sim.run_for(SimDuration::from_secs(2));
+        // p2 transferred the state and reconciled.
+        let transferred = sim
+            .outputs()
+            .iter()
+            .any(|(_, p, e)| *p == pids[2] && matches!(e, ObjEvent::TransferCompleted));
+        assert!(transferred, "minority member pulled the state");
+        let reply = sim.actor(pids[2]).unwrap().read();
+        assert_eq!(reply.data, b"w2");
+        assert!(!reply.maybe_stale);
+        assert_eq!(sim.actor(pids[2]).unwrap().mode(), Mode::Normal);
+        // All replicas agree.
+        let d0 = sim.actor(pids[0]).unwrap().app().digest();
+        for &p in &pids[1..] {
+            assert_eq!(sim.actor(p).unwrap().app().digest(), d0);
+        }
+    }
+
+    #[test]
+    fn total_failure_recovers_via_last_to_fail() {
+        let (mut sim, pids) = file_group(5, 3);
+        sim.set_recovery_factory(move |pid, _site| {
+            ReplicatedFile::new(
+                pid,
+                ReplicatedFileApp::new(),
+                ObjectConfig {
+                    universe: 3,
+                    ..ObjectConfig::default()
+                },
+            )
+        });
+        sim.invoke(pids[0], |o, ctx| {
+            o.submit_update(ReplicatedFileApp::encode_write(b"precious"), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(500));
+        // Crash everyone, in sequence.
+        let sites: Vec<_> = pids.iter().map(|&p| sim.site_of(p).unwrap()).collect();
+        for &p in &pids {
+            sim.crash(p);
+            sim.run_for(SimDuration::from_millis(300));
+        }
+        // Recover all three with fresh identities.
+        let recovered: Vec<ProcessId> = sites.iter().map(|&s| sim.recover(s)).collect();
+        for &p in &recovered {
+            let all = recovered.clone();
+            sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_secs(3));
+        for &p in &recovered {
+            let obj = sim.actor(p).unwrap();
+            assert_eq!(obj.mode(), Mode::Normal, "{p}: {:?}", obj.settle_state());
+            assert_eq!(obj.app().data(), b"precious", "state survived the total failure");
+        }
+    }
+
+    #[test]
+    fn command_encoding_distinguishes_local_reads_from_writes() {
+        assert_eq!(ReplicatedFileApp::encode_cmd(&FileCmd::Read), None);
+        let w = ReplicatedFileApp::encode_cmd(&FileCmd::Write(b"x".to_vec())).unwrap();
+        assert_eq!(w, ReplicatedFileApp::encode_write(b"x"));
+    }
+
+    #[test]
+    fn snapshot_round_trip_and_merge_prefer_newer() {
+        let mut app = ReplicatedFileApp::new();
+        app.apply_update(ProcessId::from_raw(0), &ReplicatedFileApp::encode_write(b"x"));
+        let snap = app.snapshot();
+        let mut other = ReplicatedFileApp::new();
+        other.install(&snap);
+        assert_eq!(other.version(), 1);
+        assert_eq!(other.data(), b"x");
+        let mut newer = ReplicatedFileApp::new();
+        newer.apply_update(ProcessId::from_raw(0), &ReplicatedFileApp::encode_write(b"a"));
+        newer.apply_update(ProcessId::from_raw(0), &ReplicatedFileApp::encode_write(b"b"));
+        other.merge(&[newer.snapshot()]);
+        assert_eq!(other.version(), 2);
+        assert_eq!(other.data(), b"b");
+    }
+}

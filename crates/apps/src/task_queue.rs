@@ -1,0 +1,400 @@
+//! A replicated task queue — work dispatch as a group object.
+//!
+//! A further §3-style group object: producers enqueue tasks, workers claim
+//! them, claimed tasks complete or are re-queued when their worker leaves
+//! the view. The abstract-data-type invariant is *exactly-once dispatch*:
+//! at any time a task has at most one claimant, and a completed task is
+//! never dispatched again. Like the lock manager, the queue needs a strict
+//! majority (claims in two concurrent partitions would double-dispatch),
+//! so the capability predicate is a quorum and minority partitions degrade
+//! to REDUCED (read-only inspection of the queue).
+//!
+//! The interesting wrinkle relative to the other applications is the
+//! *view-sensitive* internal operation: when the view changes, tasks held
+//! by departed workers must return to the pending queue. The update stream
+//! cannot see view changes (it is totally ordered but view-local), so the
+//! engine's deterministic rule is: a claim names its worker, and a
+//! `ReapDeparted` update — submitted by the leader after reconciliation —
+//! re-queues every task whose claimant is outside the current view.
+
+use std::collections::BTreeSet;
+
+use bytes::Bytes;
+
+use vs_evs::codec::{Reader, Writer};
+use vs_evs::state::{fnv1a, StateObject};
+use vs_net::ProcessId;
+
+use crate::group_object::{GroupObject, ReplicatedApp};
+
+/// External operations of the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueCmd {
+    /// Add a task with this payload.
+    Enqueue(Vec<u8>),
+    /// Claim the oldest pending task for the submitting worker.
+    Claim,
+    /// Mark a claimed task as done (by its id).
+    Complete(u64),
+    /// Re-queue every task claimed by a process outside `alive` — the
+    /// internal reap operation the leader submits after view changes.
+    ReapDeparted(Vec<ProcessId>),
+}
+
+/// A task's lifecycle state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskState {
+    /// Waiting to be claimed.
+    Pending,
+    /// Claimed by the given worker.
+    Claimed(ProcessId),
+    /// Finished.
+    Done,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Task {
+    id: u64,
+    payload: Vec<u8>,
+    state: TaskState,
+}
+
+/// The replicated queue state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskQueueApp {
+    tasks: Vec<Task>,
+    next_id: u64,
+}
+
+impl TaskQueueApp {
+    /// A fresh, empty queue.
+    pub fn new() -> Self {
+        TaskQueueApp::default()
+    }
+
+    /// The state of task `id`.
+    pub fn task_state(&self, id: u64) -> Option<&TaskState> {
+        self.tasks.iter().find(|t| t.id == id).map(|t| &t.state)
+    }
+
+    /// Number of pending (unclaimed) tasks.
+    pub fn pending(&self) -> usize {
+        self.tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Pending)
+            .count()
+    }
+
+    /// Tasks currently claimed by `worker`.
+    pub fn claimed_by(&self, worker: ProcessId) -> Vec<u64> {
+        self.tasks
+            .iter()
+            .filter(|t| t.state == TaskState::Claimed(worker))
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Encodes a command for [`GroupObject::submit_update`].
+    pub fn encode_cmd(cmd: &QueueCmd) -> Bytes {
+        let mut w = Writer::new();
+        match cmd {
+            QueueCmd::Enqueue(payload) => {
+                w.u8(0);
+                w.bytes(payload);
+            }
+            QueueCmd::Claim => w.u8(1),
+            QueueCmd::Complete(id) => {
+                w.u8(2);
+                w.u64(*id);
+            }
+            QueueCmd::ReapDeparted(alive) => {
+                w.u8(3);
+                w.u64(alive.len() as u64);
+                for &p in alive {
+                    w.pid(p);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a claim response: the claimed task id, if one was pending.
+    pub fn decode_claim_reply(bytes: &[u8]) -> Option<u64> {
+        let mut r = Reader::new(bytes);
+        match r.u8().ok()? {
+            1 => r.u64().ok(),
+            _ => None,
+        }
+    }
+}
+
+impl StateObject for TaskQueueApp {
+    fn snapshot(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u64(self.next_id);
+        w.u64(self.tasks.len() as u64);
+        for t in &self.tasks {
+            w.u64(t.id);
+            w.bytes(&t.payload);
+            match &t.state {
+                TaskState::Pending => w.u8(0),
+                TaskState::Claimed(p) => {
+                    w.u8(1);
+                    w.pid(*p);
+                }
+                TaskState::Done => w.u8(2),
+            }
+        }
+        w.finish()
+    }
+
+    fn install(&mut self, snapshot: &Bytes) {
+        let parsed = (|| -> Option<TaskQueueApp> {
+            let mut r = Reader::new(snapshot);
+            let next_id = r.u64().ok()?;
+            let n = r.u64().ok()?;
+            let mut tasks = Vec::new();
+            for _ in 0..n {
+                let id = r.u64().ok()?;
+                let payload = r.bytes().ok()?;
+                let state = match r.u8().ok()? {
+                    0 => TaskState::Pending,
+                    1 => TaskState::Claimed(r.pid().ok()?),
+                    _ => TaskState::Done,
+                };
+                tasks.push(Task { id, payload, state });
+            }
+            Some(TaskQueueApp { tasks, next_id })
+        })();
+        *self = parsed.unwrap_or_default();
+    }
+
+    fn merge(&mut self, _others: &[Bytes]) {
+        // Quorum object: at most one lineage ever accepts claims; nothing
+        // to merge (same argument as the lock manager).
+    }
+
+    fn digest(&self) -> u64 {
+        fnv1a(&self.snapshot())
+    }
+}
+
+impl ReplicatedApp for TaskQueueApp {
+    fn capable(&self, members: &BTreeSet<ProcessId>, universe: usize) -> bool {
+        2 * members.len() > universe
+    }
+
+    fn apply_update(&mut self, from: ProcessId, update: &[u8]) -> Option<Bytes> {
+        let mut r = Reader::new(update);
+        match r.u8().ok()? {
+            0 => {
+                let payload = r.bytes().ok()?;
+                self.next_id += 1;
+                self.tasks.push(Task {
+                    id: self.next_id,
+                    payload,
+                    state: TaskState::Pending,
+                });
+                let mut w = Writer::new();
+                w.u8(0);
+                w.u64(self.next_id);
+                Some(w.finish())
+            }
+            1 => {
+                // Claim the oldest pending task for `from`.
+                let mut w = Writer::new();
+                match self
+                    .tasks
+                    .iter_mut()
+                    .find(|t| t.state == TaskState::Pending)
+                {
+                    Some(task) => {
+                        task.state = TaskState::Claimed(from);
+                        w.u8(1);
+                        w.u64(task.id);
+                    }
+                    None => w.u8(2), // nothing pending
+                }
+                Some(w.finish())
+            }
+            2 => {
+                let id = r.u64().ok()?;
+                let task = self.tasks.iter_mut().find(|t| t.id == id)?;
+                // Only the claimant may complete its task.
+                if task.state == TaskState::Claimed(from) {
+                    task.state = TaskState::Done;
+                }
+                None
+            }
+            3 => {
+                let n = r.u64().ok()?;
+                let mut alive = BTreeSet::new();
+                for _ in 0..n {
+                    alive.insert(r.pid().ok()?);
+                }
+                for task in &mut self.tasks {
+                    if let TaskState::Claimed(w) = task.state {
+                        if !alive.contains(&w) {
+                            task.state = TaskState::Pending;
+                        }
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A replicated task-queue process: [`GroupObject`] over [`TaskQueueApp`].
+pub type TaskQueue = GroupObject<TaskQueueApp>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group_object::{ObjEvent, ObjectConfig};
+    use vs_evs::Mode;
+    use vs_net::{Sim, SimConfig, SimDuration};
+
+    fn queue_group(seed: u64, n: usize) -> (Sim<TaskQueue>, Vec<ProcessId>) {
+        let mut sim: Sim<TaskQueue> = Sim::new(seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..n {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |pid| {
+                TaskQueue::new(
+                    pid,
+                    TaskQueueApp::new(),
+                    ObjectConfig { universe: n, ..ObjectConfig::default() },
+                )
+            }));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        (sim, pids)
+    }
+
+    fn submit(sim: &mut Sim<TaskQueue>, p: ProcessId, cmd: &QueueCmd) {
+        let bytes = TaskQueueApp::encode_cmd(cmd);
+        sim.invoke(p, |o, ctx| o.submit_update(bytes, ctx));
+        sim.run_for(SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn tasks_dispatch_exactly_once() {
+        let (mut sim, pids) = queue_group(1, 3);
+        submit(&mut sim, pids[0], &QueueCmd::Enqueue(b"job-a".to_vec()));
+        submit(&mut sim, pids[0], &QueueCmd::Enqueue(b"job-b".to_vec()));
+        // Two workers race to claim; total order serialises them.
+        submit(&mut sim, pids[1], &QueueCmd::Claim);
+        submit(&mut sim, pids[2], &QueueCmd::Claim);
+        for &p in &pids {
+            let app = sim.actor(p).unwrap().app();
+            assert_eq!(app.task_state(1), Some(&TaskState::Claimed(pids[1])));
+            assert_eq!(app.task_state(2), Some(&TaskState::Claimed(pids[2])));
+            assert_eq!(app.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn claims_return_the_task_id_to_the_claimant() {
+        let (mut sim, pids) = queue_group(2, 3);
+        submit(&mut sim, pids[0], &QueueCmd::Enqueue(b"only".to_vec()));
+        sim.drain_outputs();
+        submit(&mut sim, pids[2], &QueueCmd::Claim);
+        let claimed: Vec<u64> = sim
+            .outputs()
+            .iter()
+            .filter(|(_, p, _)| *p == pids[2])
+            .filter_map(|(_, _, e)| match e {
+                ObjEvent::Applied { from, response: Some(r) } if *from == pids[2] => {
+                    TaskQueueApp::decode_claim_reply(r)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(claimed, vec![1]);
+    }
+
+    #[test]
+    fn completion_is_claimant_only() {
+        let (mut sim, pids) = queue_group(3, 3);
+        submit(&mut sim, pids[0], &QueueCmd::Enqueue(b"x".to_vec()));
+        submit(&mut sim, pids[1], &QueueCmd::Claim);
+        // A non-claimant tries to complete: ignored.
+        submit(&mut sim, pids[2], &QueueCmd::Complete(1));
+        assert_eq!(
+            sim.actor(pids[0]).unwrap().app().task_state(1),
+            Some(&TaskState::Claimed(pids[1]))
+        );
+        submit(&mut sim, pids[1], &QueueCmd::Complete(1));
+        for &p in &pids {
+            assert_eq!(sim.actor(p).unwrap().app().task_state(1), Some(&TaskState::Done));
+        }
+    }
+
+    #[test]
+    fn departed_workers_tasks_are_reaped() {
+        let (mut sim, pids) = queue_group(4, 3);
+        submit(&mut sim, pids[0], &QueueCmd::Enqueue(b"orphan".to_vec()));
+        submit(&mut sim, pids[2], &QueueCmd::Claim);
+        assert_eq!(
+            sim.actor(pids[0]).unwrap().app().task_state(1),
+            Some(&TaskState::Claimed(pids[2]))
+        );
+        // The worker crashes; after the view change the leader reaps.
+        sim.crash(pids[2]);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.actor(pids[0]).unwrap().mode(), Mode::Normal);
+        let alive: Vec<ProcessId> = pids[..2].to_vec();
+        submit(&mut sim, pids[0], &QueueCmd::ReapDeparted(alive));
+        for &p in &pids[..2] {
+            let app = sim.actor(p).unwrap().app();
+            assert_eq!(app.task_state(1), Some(&TaskState::Pending), "{p}");
+            assert_eq!(app.pending(), 1);
+        }
+        // And it can be claimed again — by a live worker this time.
+        submit(&mut sim, pids[1], &QueueCmd::Claim);
+        assert_eq!(
+            sim.actor(pids[0]).unwrap().app().task_state(1),
+            Some(&TaskState::Claimed(pids[1]))
+        );
+    }
+
+    #[test]
+    fn minority_partition_cannot_claim() {
+        let (mut sim, pids) = queue_group(5, 3);
+        submit(&mut sim, pids[0], &QueueCmd::Enqueue(b"safe".to_vec()));
+        sim.partition(&[vec![pids[0], pids[1]], vec![pids[2]]]);
+        sim.run_for(SimDuration::from_secs(1));
+        sim.drain_outputs();
+        submit(&mut sim, pids[2], &QueueCmd::Claim);
+        assert!(sim
+            .outputs()
+            .iter()
+            .any(|(_, p, e)| *p == pids[2] && matches!(e, ObjEvent::Rejected { .. })));
+        // The majority side can still dispatch.
+        submit(&mut sim, pids[1], &QueueCmd::Claim);
+        assert_eq!(
+            sim.actor(pids[0]).unwrap().app().task_state(1),
+            Some(&TaskState::Claimed(pids[1]))
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_task_state() {
+        let mut app = TaskQueueApp::new();
+        app.apply_update(ProcessId::from_raw(0), &TaskQueueApp::encode_cmd(&QueueCmd::Enqueue(b"a".to_vec())));
+        app.apply_update(ProcessId::from_raw(0), &TaskQueueApp::encode_cmd(&QueueCmd::Enqueue(b"b".to_vec())));
+        app.apply_update(ProcessId::from_raw(1), &TaskQueueApp::encode_cmd(&QueueCmd::Claim));
+        app.apply_update(ProcessId::from_raw(1), &TaskQueueApp::encode_cmd(&QueueCmd::Complete(1)));
+        let mut copy = TaskQueueApp::new();
+        copy.install(&app.snapshot());
+        assert_eq!(copy, app);
+        assert_eq!(copy.task_state(1), Some(&TaskState::Done));
+        assert_eq!(copy.task_state(2), Some(&TaskState::Pending));
+    }
+}

@@ -1,0 +1,232 @@
+//! E8 — "[enriched view synchrony] can be implemented efficiently" (§6).
+//!
+//! Criterion micro-benchmarks of every data-path operation the enriched
+//! layer adds on top of plain view synchrony, plus the underlying
+//! primitives for scale context:
+//!
+//! * e-view composition from flush annotations (the per-view-change cost);
+//! * annotation encode/decode (the per-flush wire cost);
+//! * `classify_enriched` (the per-settling cost);
+//! * merge-operation application;
+//! * flush-delivery computation (plain view synchrony's own view-change
+//!   cost, for comparison);
+//! * acknowledgement tracking and causal/total order buffers (per-message
+//!   costs).
+//!
+//! Run with `cargo bench -p vs-bench`.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bytes::Bytes;
+use vs_evs::{classify_enriched, EView, MergeOp, SubviewId, SvSetId};
+use vs_gcs::{flush_deliveries, AckTracker, FlushPayload, Provenance, View, ViewId, ViewMsg};
+use vs_net::ProcessId;
+
+fn pid(n: u64) -> ProcessId {
+    ProcessId::from_raw(n)
+}
+
+fn vid(epoch: u64, coord: u64) -> ViewId {
+    ViewId { epoch, coordinator: pid(coord) }
+}
+
+/// Builds the provenance bundle of `n` singletons merging into one view.
+fn singleton_provenance(n: u64) -> (View, Vec<Provenance>) {
+    let view = View::new(vid(1, 0), (0..n).map(pid).collect());
+    let provenance = (0..n)
+        .map(|i| Provenance {
+            member: pid(i),
+            prev_view: vid(0, i),
+            annotation: EView::initial(pid(i)).encode_annotation(),
+        })
+        .collect();
+    (view, provenance)
+}
+
+/// Builds a fully merged e-view of `n` members.
+fn merged_eview(n: u64) -> EView {
+    let (view, provenance) = singleton_provenance(n);
+    let mut ev = EView::compose(view, &provenance);
+    let sets: Vec<SvSetId> = ev.svsets().map(|(id, _)| id).collect();
+    ev.apply_svset_merge(&sets, SvSetId::Merged { view: ev.view().id(), seq: 1 })
+        .expect("merge sv-sets");
+    let svs: Vec<SubviewId> = ev.subviews().map(|(id, _)| id).collect();
+    ev.apply_subview_merge(&svs, SubviewId::Merged { view: ev.view().id(), seq: 2 })
+        .expect("merge subviews");
+    ev
+}
+
+fn bench_eview_compose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eview_compose");
+    for n in [4u64, 16, 64] {
+        let (view, provenance) = singleton_provenance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| EView::compose(view.clone(), &provenance));
+        });
+    }
+    group.finish();
+}
+
+fn bench_annotation_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("annotation_codec");
+    for n in [4u64, 16, 64] {
+        let ev = merged_eview(n);
+        group.bench_with_input(BenchmarkId::new("encode", n), &ev, |b, ev| {
+            b.iter(|| ev.encode_annotation());
+        });
+        // Decode cost is measured through compose of one lineage.
+        let view = View::new(vid(2, 0), (0..n).map(pid).collect());
+        let ann = ev.encode_annotation();
+        let provenance: Vec<Provenance> = (0..n)
+            .map(|i| Provenance {
+                member: pid(i),
+                prev_view: ev.view().id(),
+                annotation: ann.clone(),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("decode_compose", n), &n, |b, _| {
+            b.iter(|| EView::compose(view.clone(), &provenance));
+        });
+    }
+    group.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_enriched");
+    for n in [4u64, 16, 64] {
+        // Worst-ish case: all singletons (no capable subview, sv-set scan).
+        let (view, provenance) = singleton_provenance(n);
+        let ev = EView::compose(view, &provenance);
+        let universe = n as usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ev, |b, ev| {
+            b.iter(|| {
+                classify_enriched(ev, |m: &BTreeSet<ProcessId>| 2 * m.len() > universe)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_op_apply");
+    for n in [4u64, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("svset_merge", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let (view, provenance) = singleton_provenance(n);
+                    let ev = EView::compose(view, &provenance);
+                    let sets: Vec<SvSetId> = ev.svsets().map(|(id, _)| id).collect();
+                    (ev, sets)
+                },
+                |(mut ev, sets)| {
+                    ev.apply_svset_merge(
+                        &sets,
+                        SvSetId::Merged { view: ev.view().id(), seq: 1 },
+                    )
+                    .expect("merge");
+                    ev
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+    // The MergeOp enum itself is trivial; benchmark its clone for context.
+    c.bench_function("merge_op_clone", |b| {
+        let op = MergeOp::SvSets(
+            (0..16)
+                .map(|i| SvSetId::Merged { view: vid(1, 0), seq: i })
+                .collect(),
+        );
+        b.iter(|| op.clone());
+    });
+}
+
+fn bench_flush_deliveries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flush_deliveries");
+    for msgs in [100u64, 1_000] {
+        let v = vid(3, 0);
+        let unstable: Vec<ViewMsg<u64>> = (1..=msgs)
+            .map(|s| ViewMsg::new(v, pid(s % 4), s, s))
+            .collect();
+        let replies: Vec<(ProcessId, ViewId, FlushPayload<u64>)> = (0..4u64)
+            .map(|i| {
+                (
+                    pid(i),
+                    v,
+                    FlushPayload { unstable: unstable.clone(), annotation: Bytes::new() },
+                )
+            })
+            .collect();
+        let delivered = BTreeSet::new();
+        group.bench_with_input(BenchmarkId::from_parameter(msgs), &replies, |b, replies| {
+            b.iter(|| flush_deliveries(v, &delivered, replies));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ack_tracking(c: &mut Criterion) {
+    c.bench_function("ack_tracker_1000_in_order", |b| {
+        b.iter(|| {
+            let mut t = AckTracker::new();
+            for s in 1..=1_000u64 {
+                t.on_receive(pid(1), s);
+            }
+            t.ack_vector()
+        });
+    });
+    c.bench_function("stable_frontier_8_members", |b| {
+        let mut t = AckTracker::new();
+        for s in 1..=100u64 {
+            t.on_receive(pid(9), s);
+        }
+        for m in 1..8u64 {
+            t.on_peer_acks(pid(m), [(pid(9), 50 + m)].into_iter().collect());
+        }
+        let members: Vec<ProcessId> = (0..8).map(pid).collect();
+        b.iter(|| t.stable_frontier(pid(0), pid(9), members.iter().copied()));
+    });
+}
+
+fn bench_order_buffers(c: &mut Criterion) {
+    use vs_gcs::ordering::{OrderBuffer, OrderingMode};
+    let v = vid(1, 0);
+    c.bench_function("fifo_buffer_1000", |b| {
+        b.iter(|| {
+            let mut buf: OrderBuffer<u64> = OrderBuffer::new(OrderingMode::Fifo);
+            let mut delivered = 0;
+            for s in 1..=1_000u64 {
+                delivered += buf.insert(ViewMsg::new(v, pid(1), s, s)).len();
+            }
+            delivered
+        });
+    });
+    c.bench_function("total_buffer_1000", |b| {
+        b.iter(|| {
+            let mut buf: OrderBuffer<u64> = OrderBuffer::new(OrderingMode::Total);
+            let mut delivered = 0;
+            for s in 1..=1_000u64 {
+                let msg = ViewMsg::new(v, pid(1), s, s);
+                let id = msg.id;
+                delivered += buf.insert(msg).len();
+                delivered += buf.on_order(s, id).len();
+            }
+            delivered
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_eview_compose,
+    bench_annotation_codec,
+    bench_classification,
+    bench_merge_ops,
+    bench_flush_deliveries,
+    bench_ack_tracking,
+    bench_order_buffers,
+);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! E1 — Figure 1: the mode-transition relation.
+//!
+//! Drives quorum-replicated-file groups through randomized fault schedules
+//! (partitions, heals, crashes) across many seeds, records every
+//! NORMAL / REDUCED / SETTLING transition every process takes, and checks
+//! the observed relation against Figure 1:
+//!
+//! * every observed transition must be one of the paper's six arcs;
+//! * all six arcs must actually be exercised by the workload.
+//!
+//! Prints the transition-count matrix — the reproduction of Figure 1 as
+//! data.
+
+use std::collections::BTreeMap;
+
+use vs_apps::{ObjEvent, ObjectConfig};
+use vs_bench::faults::{random_script, FaultPlan};
+use vs_bench::scenarios::file_group;
+use vs_bench::Table;
+use vs_evs::{Mode, ModeEngine, ModeTransition};
+use vs_net::{DetRng, SimDuration};
+
+fn main() {
+    let seeds: Vec<u64> = (0..30).collect();
+    let n = 5;
+    let mut counts: BTreeMap<(Mode, ModeTransition, Mode), u64> = BTreeMap::new();
+    let mut illegal: Vec<String> = Vec::new();
+    let mut total_events = 0u64;
+
+    // Two fault tempos: the slow one exercises the common lifecycle; the
+    // fast one lands faults *inside* settling windows, exercising the
+    // S -> R (Failure while settling) and S -> S (overlapping
+    // reconstructions) arcs.
+    let plans = [
+        FaultPlan {
+            horizon: SimDuration::from_secs(8),
+            ..FaultPlan::default()
+        },
+        FaultPlan {
+            horizon: SimDuration::from_secs(8),
+            mean_gap: SimDuration::from_millis(60),
+            ..FaultPlan::default()
+        },
+    ];
+    for &seed in &seeds {
+        let plan = plans[(seed % 2) as usize];
+        let (mut sim, pids) = file_group(seed, n, ObjectConfig {
+            universe: n,
+            ..ObjectConfig::default()
+        });
+        let mut rng = DetRng::seed_from(seed ^ 0xF16);
+        let script = random_script(&mut rng, &pids, plan, 3);
+        sim.load_script(script);
+        sim.run_for(SimDuration::from_secs(12));
+
+        for (_, p, ev) in sim.outputs() {
+            if let ObjEvent::Mode { from, mode, transition } = ev {
+                total_events += 1;
+                *counts.entry((*from, *transition, *mode)).or_insert(0) += 1;
+                if !ModeEngine::is_legal(*from, *transition, *mode) {
+                    illegal.push(format!("{p}: {from} -{transition:?}-> {mode}"));
+                }
+            }
+        }
+    }
+
+    // Scripted total-failure scenario: recovery proceeds site by site, so
+    // the recovered processes sit *blocked* in SETTLING (the last process
+    // to fail has not returned) while views keep growing — every growth is
+    // an S -> S Reconfigure, and the final recovery completes creation.
+    {
+        use vs_apps::{ReplicatedFile, ReplicatedFileApp};
+        let universe = 5;
+        let (mut sim, pids) = file_group(1000, universe, ObjectConfig {
+            universe,
+            ..ObjectConfig::default()
+        });
+        sim.set_recovery_factory(move |pid, _site| {
+            ReplicatedFile::new(
+                pid,
+                ReplicatedFileApp::new(),
+                ObjectConfig { universe, ..ObjectConfig::default() },
+            )
+        });
+        sim.invoke(pids[0], |o, ctx| {
+            o.submit_update(ReplicatedFileApp::encode_write(b"survivor"), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(500));
+        let sites: Vec<_> = pids.iter().map(|&p| sim.site_of(p).unwrap()).collect();
+        // Crash in order: p4 is the last to fail.
+        for &p in &pids {
+            sim.crash(p);
+            sim.run_for(SimDuration::from_millis(400));
+        }
+        // Recover sites 0..=2: a majority view forms but its creation is
+        // blocked on p4's state.
+        let mut recovered: Vec<_> = sites[..3].iter().map(|&s| sim.recover(s)).collect();
+        let wire = |sim: &mut vs_net::Sim<ReplicatedFile>, procs: &[vs_net::ProcessId]| {
+            let all = procs.to_vec();
+            for &p in procs {
+                sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+            }
+        };
+        wire(&mut sim, &recovered);
+        sim.run_for(SimDuration::from_secs(2));
+        // Site 3 returns: the view grows while everyone is still settling.
+        recovered.push(sim.recover(sites[3]));
+        wire(&mut sim, &recovered);
+        sim.run_for(SimDuration::from_secs(2));
+        // Site 4 (the authority) returns: creation completes.
+        recovered.push(sim.recover(sites[4]));
+        wire(&mut sim, &recovered);
+        sim.run_for(SimDuration::from_secs(3));
+        let mut blocked = 0;
+        for (_, p, ev) in sim.outputs() {
+            match ev {
+                ObjEvent::Mode { from, mode, transition } => {
+                    total_events += 1;
+                    *counts.entry((*from, *transition, *mode)).or_insert(0) += 1;
+                    if !ModeEngine::is_legal(*from, *transition, *mode) {
+                        illegal.push(format!("{p}: {from} -{transition:?}-> {mode}"));
+                    }
+                }
+                ObjEvent::CreationBlocked { .. } => blocked += 1,
+                _ => {}
+            }
+        }
+        // The recovered group must have resurrected the pre-failure state.
+        let obj = sim.actor(*recovered.last().unwrap()).unwrap();
+        assert_eq!(obj.app().data(), b"survivor", "last-to-fail recovery");
+        assert!(blocked > 0, "creation was blocked awaiting the authority");
+    }
+
+    println!("E1 — Figure 1 mode-transition relation");
+    println!(
+        "workload: {} seeds x {} processes, random partitions/heals/crashes",
+        seeds.len(),
+        n
+    );
+
+    let mut table = Table::new(&["from", "transition", "to", "count", "legal per Figure 1"]);
+    for ((from, tr, to), count) in &counts {
+        let legal = ModeEngine::is_legal(*from, *tr, *to);
+        table.row(&[from, &format!("{tr:?}"), to, count, &legal]);
+    }
+    table.print("observed transition matrix");
+
+    // Coverage: all six arcs of Figure 1.
+    let arcs = [
+        (Mode::Normal, ModeTransition::Failure, Mode::Reduced),
+        (Mode::Settling, ModeTransition::Failure, Mode::Reduced),
+        (Mode::Reduced, ModeTransition::Repair, Mode::Settling),
+        (Mode::Normal, ModeTransition::Reconfigure, Mode::Settling),
+        (Mode::Settling, ModeTransition::Reconfigure, Mode::Settling),
+        (Mode::Settling, ModeTransition::Reconcile, Mode::Normal),
+    ];
+    let covered = arcs.iter().filter(|a| counts.contains_key(a)).count();
+    println!("\narcs of Figure 1 exercised: {covered}/6");
+    for a in &arcs {
+        let hit = counts.get(a).copied().unwrap_or(0);
+        println!("  {} -{:?}-> {}: {}", a.0, a.1, a.2, hit);
+    }
+    println!("\ntotal transitions: {total_events}");
+    if illegal.is_empty() {
+        println!("transitions outside the Figure 1 relation: 0   [PAPER SHAPE: reproduced]");
+    } else {
+        println!("ILLEGAL TRANSITIONS ({}):", illegal.len());
+        for t in illegal.iter().take(20) {
+            println!("  {t}");
+        }
+        std::process::exit(1);
+    }
+    if covered < 6 {
+        println!("WARNING: not all arcs exercised by this workload");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,111 @@
+//! E3 — Figure 3: the `SVSetMerge` / `SubviewMerge` call sequence.
+//!
+//! Reproduces the paper's Figure 3 scenario exactly, in a running group:
+//! within a single view, three sv-sets (each holding one subview) merge via
+//! `SVSetMerge`, then two of the subviews merge via `SubviewMerge`. The
+//! experiment asserts the intermediate structures match the figure and
+//! measures the latency of an e-view change (no membership agreement
+//! needed) against that of a full view change (failure detection +
+//! debounce + flush) — the reason the paper can claim e-view changes are
+//! cheap (§6: "can be implemented efficiently").
+
+use vs_bench::scenarios::evs_group;
+use vs_bench::{report::ms, Table};
+use vs_evs::{EvsEvent, SubviewId, SvSetId};
+use vs_net::{SimDuration, SimTime};
+
+fn main() {
+    println!("E3 — Figure 3 e-view change sequence");
+    let (mut sim, pids) = evs_group(42, 3);
+
+    // Stage 0: the view after three joins — three sv-sets, three subviews.
+    {
+        let ev = sim.actor(pids[0]).unwrap().eview();
+        assert_eq!(ev.view().len(), 3);
+        assert_eq!(ev.svsets().count(), 3, "figure start: three sv-sets");
+        assert_eq!(ev.subviews().count(), 3);
+        println!("\nstage 0 (view installed): {ev:?}");
+    }
+
+    // Stage 1: SVSetMerge of the three sv-sets.
+    let t0 = sim.now();
+    let sets: Vec<SvSetId> = sim
+        .actor(pids[0])
+        .unwrap()
+        .eview()
+        .svsets()
+        .map(|(id, _)| id)
+        .collect();
+    sim.drain_outputs();
+    sim.invoke(pids[1], |e, ctx| e.request_svset_merge(sets, ctx));
+    sim.run_for(SimDuration::from_millis(300));
+    let svset_merge_done = last_eview_change_instant(&sim).expect("merge applied");
+    {
+        let ev = sim.actor(pids[0]).unwrap().eview();
+        assert_eq!(ev.svsets().count(), 1, "figure middle: one sv-set");
+        assert_eq!(ev.subviews().count(), 3, "subviews untouched");
+        println!("stage 1 (after SVSetMerge): {ev:?}");
+    }
+
+    // Stage 2: SubviewMerge of two of the subviews.
+    let t1 = sim.now();
+    let svs: Vec<SubviewId> = sim
+        .actor(pids[0])
+        .unwrap()
+        .eview()
+        .subviews()
+        .map(|(id, _)| id)
+        .take(2)
+        .collect();
+    sim.drain_outputs();
+    sim.invoke(pids[2], |e, ctx| e.request_subview_merge(svs, ctx));
+    sim.run_for(SimDuration::from_millis(300));
+    let subview_merge_done = last_eview_change_instant(&sim).expect("merge applied");
+    {
+        let ev = sim.actor(pids[0]).unwrap().eview();
+        assert_eq!(ev.svsets().count(), 1, "figure end: one sv-set");
+        assert_eq!(ev.subviews().count(), 2, "two subviews remain");
+        let sizes: Vec<usize> = ev.subviews().map(|(_, m)| m.len()).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+        println!("stage 2 (after SubviewMerge): {ev:?}");
+        // The view itself never changed: e-view changes happen *within* it.
+        assert_eq!(ev.view().len(), 3);
+    }
+
+    // Compare latencies: e-view change vs full view change (crash p2).
+    let evc1 = svset_merge_done.saturating_since(t0);
+    let evc2 = subview_merge_done.saturating_since(t1);
+    let t2 = sim.now();
+    sim.drain_outputs();
+    sim.crash(pids[2]);
+    sim.run_for(SimDuration::from_secs(1));
+    let view_change_done = sim
+        .outputs()
+        .iter()
+        .filter(|(_, p, ev)| *p == pids[0] && matches!(ev, EvsEvent::ViewChange { .. }))
+        .map(|(t, _, _)| *t)
+        .next_back()
+        .expect("view change after the crash");
+    let vc = view_change_done.saturating_since(t2);
+
+    let mut table = Table::new(&["event", "latency (ms)", "needs membership agreement"]);
+    table.row(&[&"SVSetMerge e-view change", &ms(evc1), &"no"]);
+    table.row(&[&"SubviewMerge e-view change", &ms(evc2), &"no"]);
+    table.row(&[&"full view change (crash)", &ms(vc), &"yes (detect + debounce + flush)"]);
+    table.print("e-view changes vs view changes");
+
+    assert!(evc1 < vc && evc2 < vc, "e-view changes are cheaper than view changes");
+    println!("\nFigure 3 sequence reproduced; e-view changes are ~{}x cheaper than view changes.",
+        (vc.as_micros() / evc1.as_micros().max(1)));
+    println!("[PAPER SHAPE: reproduced]");
+}
+
+fn last_eview_change_instant(
+    sim: &vs_net::Sim<vs_evs::EvsEndpoint<String>>,
+) -> Option<SimTime> {
+    sim.outputs()
+        .iter()
+        .filter(|(_, _, ev)| matches!(ev, EvsEvent::EViewChange { .. }))
+        .map(|(t, _, _)| *t)
+        .next_back()
+}

@@ -1,0 +1,138 @@
+//! Randomized fault schedules for the experiments.
+//!
+//! Generates reproducible sequences of partitions, heals, crashes and
+//! recoveries over a process universe — the adversarial environment of the
+//! paper's §2 model.
+
+use vs_net::{DetRng, FaultOp, FaultScript, ProcessId, SimDuration, SimTime};
+
+/// Parameters of a random fault schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Total schedule horizon.
+    pub horizon: SimDuration,
+    /// Mean gap between fault operations.
+    pub mean_gap: SimDuration,
+    /// Probability that an operation is a partition (vs heal/crash).
+    pub p_partition: f64,
+    /// Probability that an operation is a heal.
+    pub p_heal: f64,
+    /// Probability that an operation is a crash (recover ops pair with
+    /// crashes when a recovery factory is registered).
+    pub p_crash: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            horizon: SimDuration::from_secs(10),
+            mean_gap: SimDuration::from_millis(700),
+            p_partition: 0.35,
+            p_heal: 0.45,
+            p_crash: 0.2,
+        }
+    }
+}
+
+/// Builds a random fault script over `universe`, leaving at least
+/// `min_alive` processes never crashed so the group cannot disappear.
+pub fn random_script(
+    rng: &mut DetRng,
+    universe: &[ProcessId],
+    plan: FaultPlan,
+    min_alive: usize,
+) -> FaultScript {
+    let mut script = FaultScript::new();
+    let mut t = SimTime::ZERO;
+    let mut crashed: Vec<ProcessId> = Vec::new();
+    loop {
+        let gap = rng.duration_between(
+            SimDuration::from_micros(plan.mean_gap.as_micros() / 2),
+            SimDuration::from_micros(plan.mean_gap.as_micros() * 3 / 2),
+        );
+        t += gap;
+        if t > SimTime::ZERO + plan.horizon {
+            break;
+        }
+        let roll = rng.unit();
+        if roll < plan.p_partition {
+            // Split into two random non-empty groups.
+            let mut shuffled = universe.to_vec();
+            rng.shuffle(&mut shuffled);
+            let cut = 1 + rng.below((shuffled.len() - 1) as u64) as usize;
+            let (a, b) = shuffled.split_at(cut);
+            script.push(t, FaultOp::Partition(vec![a.to_vec(), b.to_vec()]));
+        } else if roll < plan.p_partition + plan.p_heal {
+            script.push(t, FaultOp::Heal);
+        } else {
+            // Crash a random never-crashed process (respecting min_alive).
+            let alive: Vec<ProcessId> = universe
+                .iter()
+                .copied()
+                .filter(|p| !crashed.contains(p))
+                .collect();
+            if alive.len() > min_alive {
+                if let Some(&victim) = rng.pick(&alive) {
+                    crashed.push(victim);
+                    script.push(t, FaultOp::Crash(victim));
+                }
+            }
+        }
+    }
+    // End in a healed state so final assertions can demand convergence.
+    script.push(SimTime::ZERO + plan.horizon, FaultOp::Heal);
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(n: u64) -> Vec<ProcessId> {
+        (0..n).map(ProcessId::from_raw).collect()
+    }
+
+    #[test]
+    fn schedules_are_reproducible() {
+        let universe = pids(6);
+        let a = random_script(&mut DetRng::seed_from(9), &universe, FaultPlan::default(), 3);
+        let b = random_script(&mut DetRng::seed_from(9), &universe, FaultPlan::default(), 3);
+        let fmt = |s: &FaultScript| {
+            s.iter()
+                .map(|(t, op)| format!("{t}:{op:?}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fmt(&a), fmt(&b));
+    }
+
+    #[test]
+    fn schedules_respect_the_horizon_and_end_healed() {
+        let universe = pids(5);
+        let plan = FaultPlan {
+            horizon: SimDuration::from_secs(3),
+            ..FaultPlan::default()
+        };
+        let script = random_script(&mut DetRng::seed_from(4), &universe, plan, 3);
+        assert!(!script.is_empty());
+        let last = script.iter().last().unwrap();
+        assert_eq!(last.0, SimTime::ZERO + plan.horizon);
+        assert!(matches!(last.1, FaultOp::Heal));
+    }
+
+    #[test]
+    fn min_alive_bounds_the_crash_count() {
+        let universe = pids(6);
+        let plan = FaultPlan {
+            p_partition: 0.0,
+            p_heal: 0.0,
+            p_crash: 1.0,
+            ..FaultPlan::default()
+        };
+        let script = random_script(&mut DetRng::seed_from(5), &universe, plan, 4);
+        let crashes = script
+            .iter()
+            .filter(|(_, op)| matches!(op, FaultOp::Crash(_)))
+            .count();
+        assert!(crashes <= 2, "at most universe - min_alive crashes");
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared harness for the paper-reproduction experiments.
+//!
+//! Each `bin/exp_*.rs` binary regenerates one figure or quantified claim of
+//! the paper (see `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for the
+//! recorded results). This library holds what they share: plain-text table
+//! rendering, group builders over the simulator, and randomized fault
+//! schedules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod report;
+pub mod scenarios;
+
+pub use report::Table;

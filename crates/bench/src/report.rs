@@ -1,0 +1,121 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Display;
+
+/// A simple right-padded text table, printed the way the paper's tables
+/// read: a header row, a rule, then data rows.
+///
+/// # Example
+///
+/// ```
+/// use vs_bench::Table;
+/// let mut t = Table::new(&["m", "views (EVS)", "views (Isis-like)"]);
+/// t.row(&[&4, &1, &4]);
+/// let s = t.render();
+/// assert!(s.contains("views (EVS)"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout with a title.
+    pub fn print(&self, title: &str) {
+        println!("\n## {title}\n");
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(part: f64, whole: f64) -> String {
+    if whole == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * part / whole)
+    }
+}
+
+/// Formats a simulated duration in milliseconds with three decimals.
+pub fn ms(d: vs_net::SimDuration) -> String {
+    format!("{:.3}", d.as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align_to_the_widest_cell() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&[&"wide-cell-content", &1]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_are_rejected() {
+        let mut t = Table::new(&["only-one"]);
+        t.row(&[&1, &2]);
+    }
+
+    #[test]
+    fn pct_handles_zero_denominator() {
+        assert_eq!(pct(1.0, 0.0), "n/a");
+        assert_eq!(pct(1.0, 4.0), "25.0%");
+    }
+}

@@ -1,0 +1,90 @@
+//! Group builders shared by the experiment binaries.
+
+use vs_apps::{KvStore, KvStoreApp, ObjectConfig, ReplicatedFile, ReplicatedFileApp};
+use vs_evs::{EvsConfig, EvsEndpoint};
+use vs_net::{ProcessId, Sim, SimConfig, SimDuration};
+
+/// Spawns `n` enriched endpoints that know about each other and lets the
+/// group form. Returns the simulator and the process ids.
+pub fn evs_group(seed: u64, n: usize) -> (Sim<EvsEndpoint<String>>, Vec<ProcessId>) {
+    let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed, SimConfig::default());
+    let mut pids = Vec::new();
+    for _ in 0..n {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |pid| EvsEndpoint::new(pid, EvsConfig::default())));
+    }
+    wire_contacts(&mut sim, &pids, |e: &mut EvsEndpoint<String>, all| {
+        e.set_contacts(all.iter().copied())
+    });
+    sim.run_for(SimDuration::from_millis(600));
+    (sim, pids)
+}
+
+/// Spawns a quorum-replicated-file group of `n` (universe `n`).
+pub fn file_group(seed: u64, n: usize, config: ObjectConfig) -> (Sim<ReplicatedFile>, Vec<ProcessId>) {
+    let mut sim: Sim<ReplicatedFile> = Sim::new(seed, SimConfig::default());
+    let mut pids = Vec::new();
+    for _ in 0..n {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |pid| {
+            ReplicatedFile::new(pid, ReplicatedFileApp::new(), config)
+        }));
+    }
+    wire_contacts(&mut sim, &pids, |o: &mut ReplicatedFile, all| {
+        o.set_contacts(all.iter().copied())
+    });
+    sim.run_for(SimDuration::from_secs(2));
+    (sim, pids)
+}
+
+/// Spawns a weak-consistency KV group of `n`.
+pub fn kv_group(seed: u64, n: usize) -> (Sim<KvStore>, Vec<ProcessId>) {
+    let mut sim: Sim<KvStore> = Sim::new(seed, SimConfig::default());
+    let mut pids = Vec::new();
+    for _ in 0..n {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |pid| {
+            KvStore::new(
+                pid,
+                KvStoreApp::new(),
+                ObjectConfig { universe: n, ..ObjectConfig::default() },
+            )
+        }));
+    }
+    wire_contacts(&mut sim, &pids, |o: &mut KvStore, all| {
+        o.set_contacts(all.iter().copied())
+    });
+    sim.run_for(SimDuration::from_secs(2));
+    (sim, pids)
+}
+
+fn wire_contacts<A, F>(sim: &mut Sim<A>, pids: &[ProcessId], mut f: F)
+where
+    A: vs_net::Actor,
+    F: FnMut(&mut A, &[ProcessId]),
+{
+    let all = pids.to_vec();
+    for &p in pids {
+        sim.invoke(p, |a, _| f(a, &all));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evs_group_forms_one_view() {
+        let (sim, pids) = evs_group(1, 4);
+        let v = sim.actor(pids[0]).unwrap().view().clone();
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn file_group_reaches_normal() {
+        let (sim, pids) = file_group(2, 3, ObjectConfig { universe: 3, ..ObjectConfig::default() });
+        assert!(pids
+            .iter()
+            .all(|&p| sim.actor(p).unwrap().mode() == vs_evs::Mode::Normal));
+    }
+}

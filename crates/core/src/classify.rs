@@ -1,0 +1,348 @@
+//! Shared-state problem classification — the paper's headline argument.
+//!
+//! §4 defines the three shared-state problems by necessary conditions over
+//! `S_R` (members that were in REDUCED mode before the change) and `S_N`
+//! (members that were in NORMAL mode, further decomposed into *clusters* by
+//! the view they came from):
+//!
+//! | problem        | necessary condition                       |
+//! |----------------|-------------------------------------------|
+//! | state transfer | `S_R ≠ ∅` and `S_N ≠ ∅`                   |
+//! | state creation | `S_N = ∅` and `S_R ≠ ∅`                   |
+//! | state merging  | `S_N` contains ≥ 2 clusters               |
+//!
+//! With **plain** views this classification is locally impossible: a view is
+//! a flat set, so a process entering SETTLING cannot see `S_N`, `S_R` or
+//! the clusters ([`classify_plain`] returns exactly the ambiguity the paper
+//! describes in §6.2, cases (i)–(iii)).
+//!
+//! With **enriched** views it becomes a local computation
+//! ([`classify_enriched`]): a subview that satisfies the application's
+//! *capability predicate* (e.g. "holds a majority") is a cluster of
+//! up-to-date processes; an sv-set that satisfies it while no single subview
+//! does marks a state creation already in progress.
+
+use std::collections::BTreeSet;
+
+use vs_gcs::View;
+use vs_net::ProcessId;
+
+use crate::eview::EView;
+use crate::subview::SubviewId;
+
+/// The shared-state problem a process faces after entering SETTLING mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProblemClass {
+    /// No reconciliation needed: the whole view is one up-to-date cluster.
+    None,
+    /// State transfer (§4): up-to-date processes must bring the rest
+    /// current.
+    Transfer {
+        /// The subview(s) whose members hold up-to-date state. With one
+        /// up-to-date cluster this is a pure transfer.
+        up_to_date: Vec<SubviewId>,
+        /// Members that need the state.
+        receivers: BTreeSet<ProcessId>,
+    },
+    /// State creation (§4): no process holds authoritative state.
+    Creation {
+        /// `true` when an sv-set satisfying the capability predicate exists
+        /// — a creation protocol is *already running* (§6.2 case (ii)) and
+        /// newcomers should wait for it rather than disturb it; `false`
+        /// when the capability is reborn from nothing (case (iii)).
+        in_progress: bool,
+    },
+    /// State merging (§4): two or more clusters served independently and
+    /// their states must be reconciled. When `receivers` is non-empty a
+    /// state-transfer problem presents itself *together* with the merge.
+    Merging {
+        /// The independent up-to-date clusters (≥ 2 subviews).
+        clusters: Vec<SubviewId>,
+        /// Members in no cluster, which additionally need a transfer.
+        receivers: BTreeSet<ProcessId>,
+    },
+}
+
+/// The full classification produced from an enriched view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Classification {
+    /// The diagnosed problem.
+    pub problem: ProblemClass,
+}
+
+/// What a process can conclude from a *plain* view — the paper's point is
+/// that this is not much.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlainClassification {
+    /// The view does not support NORMAL mode at all; the process stays (or
+    /// becomes) REDUCED and no reconciliation decision arises yet.
+    StillReduced,
+    /// The view supports NORMAL mode, but the process cannot distinguish
+    /// the paper's §6.2 cases: (i) a transfer from an existing up-to-date
+    /// set, (ii) a creation already in progress, (iii) a creation from
+    /// scratch. All three remain possible.
+    Ambiguous {
+        /// Case (i): some members may already hold up-to-date state.
+        possible_transfer: bool,
+        /// Case (ii): a creation protocol may already be running.
+        possible_creation_in_progress: bool,
+        /// Case (iii): the capability may be reborn from nothing.
+        possible_creation_from_scratch: bool,
+    },
+}
+
+/// Classifies the shared-state problem from an enriched view and the
+/// application's capability predicate (`true` for a process set that can
+/// support NORMAL-mode state, e.g. a voting quorum).
+///
+/// This is the §6.2 procedure: capable subviews are the `S_N` clusters;
+/// a capable sv-set with no capable subview means creation-in-progress.
+pub fn classify_enriched(
+    eview: &EView,
+    capable: impl Fn(&BTreeSet<ProcessId>) -> bool,
+) -> Classification {
+    let clusters: Vec<SubviewId> = eview
+        .subviews()
+        .filter(|(_, members)| capable(members))
+        .map(|(id, _)| id)
+        .collect();
+    let cluster_members: BTreeSet<ProcessId> = clusters
+        .iter()
+        .filter_map(|&id| eview.subview_members(id))
+        .flatten()
+        .copied()
+        .collect();
+    let receivers: BTreeSet<ProcessId> = eview
+        .view()
+        .members()
+        .iter()
+        .copied()
+        .filter(|p| !cluster_members.contains(p))
+        .collect();
+    let problem = match clusters.len() {
+        0 => {
+            let in_progress = eview
+                .svsets()
+                .any(|(id, _)| capable(&eview.svset_members(id)));
+            ProblemClass::Creation { in_progress }
+        }
+        1 => {
+            if receivers.is_empty() {
+                ProblemClass::None
+            } else {
+                ProblemClass::Transfer {
+                    up_to_date: clusters,
+                    receivers,
+                }
+            }
+        }
+        _ => ProblemClass::Merging { clusters, receivers },
+    };
+    Classification { problem }
+}
+
+/// Classifies from a *plain* view only — reproducing the paper's inherent
+/// ambiguity. `previous_mode_was_reduced` is the only extra local
+/// information a plain process has: whether it itself was in REDUCED mode.
+pub fn classify_plain(
+    view: &View,
+    capable: impl Fn(&BTreeSet<ProcessId>) -> bool,
+    previous_mode_was_reduced: bool,
+) -> PlainClassification {
+    if !capable(view.members()) {
+        return PlainClassification::StillReduced;
+    }
+    // The process knows the view as a whole is capable and that S_R is
+    // non-empty if it was itself reduced — and nothing else (§6.2):
+    // it cannot see which members were NORMAL, nor the clusters.
+    let _ = previous_mode_was_reduced;
+    PlainClassification::Ambiguous {
+        possible_transfer: true,
+        possible_creation_in_progress: true,
+        possible_creation_from_scratch: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use vs_gcs::{Provenance, ViewId};
+
+    use crate::subview::SvSetId;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn vid(epoch: u64, coord: u64) -> ViewId {
+        ViewId { epoch, coordinator: pid(coord) }
+    }
+
+    fn view(epoch: u64, coord: u64, members: &[u64]) -> View {
+        View::new(vid(epoch, coord), members.iter().map(|&n| pid(n)).collect())
+    }
+
+    fn prov(member: u64, prev: ViewId, annotation: Bytes) -> Provenance {
+        Provenance { member: pid(member), prev_view: prev, annotation }
+    }
+
+    /// Majority-of-5 capability predicate (the §6.2 example).
+    fn majority(members: &BTreeSet<ProcessId>) -> bool {
+        members.len() * 2 > 5
+    }
+
+    /// Builds an e-view over `members` where the processes of `groups` form
+    /// merged subviews (one per group, all in one sv-set per group).
+    fn eview_with_groups(epoch: u64, members: &[u64], groups: &[&[u64]]) -> EView {
+        let v = view(epoch, 0, members);
+        // Start from singletons...
+        let provenance: Vec<Provenance> = members
+            .iter()
+            .map(|&n| prov(n, vid(0, n), EView::initial(pid(n)).encode_annotation()))
+            .collect();
+        let mut ev = EView::compose(v, &provenance);
+        // ...then merge each group into one sv-set + one subview.
+        let mut seq = 1;
+        for group in groups {
+            let svset_ids: Vec<SvSetId> = group
+                .iter()
+                .map(|&n| ev.svset_of(ev.subview_of(pid(n)).unwrap()).unwrap())
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            if svset_ids.len() >= 2 {
+                ev.apply_svset_merge(&svset_ids, SvSetId::Merged { view: ev.view().id(), seq })
+                    .unwrap();
+                seq += 1;
+            }
+            let sv_ids: Vec<SubviewId> = group
+                .iter()
+                .map(|&n| ev.subview_of(pid(n)).unwrap())
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            if sv_ids.len() >= 2 {
+                ev.apply_subview_merge(&sv_ids, SubviewId::Merged { view: ev.view().id(), seq })
+                    .unwrap();
+                seq += 1;
+            }
+        }
+        ev
+    }
+
+    #[test]
+    fn one_capable_subview_with_outsiders_is_transfer() {
+        // {0,1,2} hold a majority subview; 3 joins fresh.
+        let ev = eview_with_groups(1, &[0, 1, 2, 3], &[&[0, 1, 2]]);
+        let c = classify_enriched(&ev, majority);
+        match c.problem {
+            ProblemClass::Transfer { up_to_date, receivers } => {
+                assert_eq!(up_to_date.len(), 1);
+                assert_eq!(receivers.into_iter().collect::<Vec<_>>(), vec![pid(3)]);
+            }
+            other => panic!("expected Transfer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_view_in_one_capable_subview_is_no_problem() {
+        let ev = eview_with_groups(1, &[0, 1, 2], &[&[0, 1, 2]]);
+        let c = classify_enriched(&ev, majority);
+        assert_eq!(c.problem, ProblemClass::None);
+    }
+
+    #[test]
+    fn no_capable_subview_or_svset_is_creation_from_scratch() {
+        // Five singletons: no subview and no sv-set reaches a majority.
+        let ev = eview_with_groups(1, &[0, 1, 2, 3, 4], &[]);
+        let c = classify_enriched(&ev, majority);
+        assert_eq!(c.problem, ProblemClass::Creation { in_progress: false });
+    }
+
+    #[test]
+    fn capable_svset_without_capable_subview_is_creation_in_progress() {
+        // {0,1,2} merged their sv-sets (the internal-operation grouping)
+        // but not yet their subviews: the creation protocol is running.
+        let v = view(1, 0, &[0, 1, 2, 3]);
+        let provenance: Vec<Provenance> = [0u64, 1, 2, 3]
+            .iter()
+            .map(|&n| prov(n, vid(0, n), EView::initial(pid(n)).encode_annotation()))
+            .collect();
+        let mut ev = EView::compose(v, &provenance);
+        let sets: Vec<SvSetId> = [0u64, 1, 2]
+            .iter()
+            .map(|&n| ev.svset_of(ev.subview_of(pid(n)).unwrap()).unwrap())
+            .collect();
+        ev.apply_svset_merge(&sets, SvSetId::Merged { view: ev.view().id(), seq: 1 })
+            .unwrap();
+        let c = classify_enriched(&ev, majority);
+        assert_eq!(c.problem, ProblemClass::Creation { in_progress: true });
+    }
+
+    #[test]
+    fn two_capable_subviews_is_merging() {
+        // Universe of 5 with quorum = 3 is impossible for two disjoint
+        // majorities; use a weighted-style predicate: any group of >= 2 is
+        // "capable" (e.g. a replication factor reached).
+        let capable = |m: &BTreeSet<ProcessId>| m.len() >= 2;
+        let ev = eview_with_groups(1, &[0, 1, 2, 3], &[&[0, 1], &[2, 3]]);
+        let c = classify_enriched(&ev, capable);
+        match c.problem {
+            ProblemClass::Merging { clusters, receivers } => {
+                assert_eq!(clusters.len(), 2);
+                assert!(receivers.is_empty());
+            }
+            other => panic!("expected Merging, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merging_with_stragglers_also_reports_receivers() {
+        let capable = |m: &BTreeSet<ProcessId>| m.len() >= 2;
+        let ev = eview_with_groups(1, &[0, 1, 2, 3, 4], &[&[0, 1], &[2, 3]]);
+        let c = classify_enriched(&ev, capable);
+        match c.problem {
+            ProblemClass::Merging { clusters, receivers } => {
+                assert_eq!(clusters.len(), 2);
+                assert_eq!(receivers.into_iter().collect::<Vec<_>>(), vec![pid(4)]);
+            }
+            other => panic!("expected Merging, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_views_cannot_distinguish_the_cases() {
+        let v = view(1, 0, &[0, 1, 2]);
+        match classify_plain(&v, majority, true) {
+            PlainClassification::Ambiguous {
+                possible_transfer,
+                possible_creation_in_progress,
+                possible_creation_from_scratch,
+            } => {
+                assert!(possible_transfer && possible_creation_in_progress && possible_creation_from_scratch);
+            }
+            other => panic!("expected ambiguity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_views_do_know_when_the_view_is_not_capable() {
+        let v = view(1, 0, &[0, 1]);
+        assert_eq!(
+            classify_plain(&v, majority, true),
+            PlainClassification::StillReduced
+        );
+    }
+
+    #[test]
+    fn enriched_classification_is_deterministic_across_members() {
+        // Every member composes the same e-view (same annotations), so the
+        // classification is identical — the "global reasoning with local
+        // information" the paper wants restored.
+        let ev = eview_with_groups(1, &[0, 1, 2, 3], &[&[0, 1, 2]]);
+        let a = classify_enriched(&ev, majority);
+        let b = classify_enriched(&ev, majority);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,311 @@
+//! Minimal binary codec for e-view structure annotations, view logs and
+//! application snapshots.
+//!
+//! Subview structure must cross the view-agreement flush as opaque bytes
+//! (the `annotation` field of `vs-gcs`'s flush payload). The workspace
+//! deliberately carries no general-purpose binary serializer, so this
+//! module provides a tiny length-prefixed writer/reader for exactly the
+//! types the annotation needs. The format is fixed-width big-endian u64s
+//! plus one-byte tags — trivially deterministic, which matters because all
+//! members must compose *identical* e-views from the same annotations.
+
+use bytes::Bytes;
+
+use vs_gcs::ViewId;
+use vs_net::ProcessId;
+
+use crate::subview::{SubviewId, SvSetId};
+
+/// Append-only byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    /// Accumulated bytes.
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a big-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a process identifier.
+    pub fn pid(&mut self, p: ProcessId) {
+        self.u64(p.raw());
+    }
+
+    /// Writes a view identifier.
+    pub fn view_id(&mut self, v: ViewId) {
+        self.u64(v.epoch);
+        self.pid(v.coordinator);
+    }
+
+    /// Writes a subview identifier.
+    pub fn subview_id(&mut self, id: SubviewId) {
+        match id {
+            SubviewId::Seeded { member, from } => {
+                self.u8(0);
+                self.pid(member);
+                self.view_id(from);
+            }
+            SubviewId::Merged { view, seq } => {
+                self.u8(1);
+                self.view_id(view);
+                self.u64(seq);
+            }
+        }
+    }
+
+    /// Writes an sv-set identifier.
+    pub fn svset_id(&mut self, id: SvSetId) {
+        match id {
+            SvSetId::Seeded { member, from } => {
+                self.u8(0);
+                self.pid(member);
+                self.view_id(from);
+            }
+            SvSetId::Merged { view, seq } => {
+                self.u8(1);
+                self.view_id(view);
+                self.u64(seq);
+            }
+        }
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Finalizes the buffer.
+    pub fn finish(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Reading error: truncated or malformed annotation or view log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError;
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed e-view annotation")
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Sequential byte reader.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        let (&first, rest) = self.buf.split_first().ok_or(DecodeError)?;
+        self.buf = rest;
+        Ok(first)
+    }
+
+    /// Reads a big-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        if self.buf.len() < 8 {
+            return Err(DecodeError);
+        }
+        let (head, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        Ok(u64::from_be_bytes(head.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a process identifier.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn pid(&mut self) -> Result<ProcessId, DecodeError> {
+        Ok(ProcessId::from_raw(self.u64()?))
+    }
+
+    /// Reads a view identifier.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn view_id(&mut self) -> Result<ViewId, DecodeError> {
+        Ok(ViewId {
+            epoch: self.u64()?,
+            coordinator: self.pid()?,
+        })
+    }
+
+    /// Reads a subview identifier.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    pub fn subview_id(&mut self) -> Result<SubviewId, DecodeError> {
+        match self.u8()? {
+            0 => Ok(SubviewId::Seeded {
+                member: self.pid()?,
+                from: self.view_id()?,
+            }),
+            1 => Ok(SubviewId::Merged {
+                view: self.view_id()?,
+                seq: self.u64()?,
+            }),
+            _ => Err(DecodeError),
+        }
+    }
+
+    /// Reads an sv-set identifier.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    pub fn svset_id(&mut self) -> Result<SvSetId, DecodeError> {
+        match self.u8()? {
+            0 => Ok(SvSetId::Seeded {
+                member: self.pid()?,
+                from: self.view_id()?,
+            }),
+            1 => Ok(SvSetId::Merged {
+                view: self.view_id()?,
+                seq: self.u64()?,
+            }),
+            _ => Err(DecodeError),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.u64()? as usize;
+        if self.buf.len() < n {
+            return Err(DecodeError);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn vid(epoch: u64, coord: u64) -> ViewId {
+        ViewId {
+            epoch,
+            coordinator: pid(coord),
+        }
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u64(u64::MAX);
+        w.pid(pid(42));
+        w.view_id(vid(3, 9));
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.pid().unwrap(), pid(42));
+        assert_eq!(r.view_id().unwrap(), vid(3, 9));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ids_round_trip_both_variants() {
+        let ids = [
+            SubviewId::Seeded { member: pid(1), from: vid(0, 1) },
+            SubviewId::Merged { view: vid(4, 0), seq: 17 },
+        ];
+        for id in ids {
+            let mut w = Writer::new();
+            w.subview_id(id);
+            let bytes = w.finish();
+            assert_eq!(Reader::new(&bytes).subview_id().unwrap(), id);
+        }
+        let sets = [
+            SvSetId::Seeded { member: pid(2), from: vid(1, 2) },
+            SvSetId::Merged { view: vid(5, 3), seq: 2 },
+        ];
+        for id in sets {
+            let mut w = Writer::new();
+            w.svset_id(id);
+            let bytes = w.finish();
+            assert_eq!(Reader::new(&bytes).svset_id().unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.u64(5);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes[..4]);
+        assert_eq!(r.u64(), Err(DecodeError));
+        let mut empty = Reader::new(&[]);
+        assert_eq!(empty.u8(), Err(DecodeError));
+    }
+
+    #[test]
+    fn byte_strings_round_trip_and_guard_truncation() {
+        let mut w = Writer::new();
+        w.bytes(b"hello");
+        w.bytes(b"");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.bytes().unwrap(), b"");
+        assert!(r.is_empty());
+        let mut short = Reader::new(&buf[..10]);
+        assert_eq!(short.bytes(), Err(DecodeError));
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let mut r = Reader::new(&[9]);
+        assert_eq!(r.subview_id(), Err(DecodeError));
+    }
+}

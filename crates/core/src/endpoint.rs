@@ -1,0 +1,702 @@
+//! The enriched view synchrony endpoint.
+//!
+//! [`EvsEndpoint`] wraps a [`vs_gcs::GcsEndpoint`] and adds the paper's §6
+//! service on top:
+//!
+//! * it maintains the process' current [`EView`] and keeps the underlying
+//!   endpoint's *flush annotation* synchronised with it, so that view
+//!   agreement transports subview structure and every member of a new view
+//!   composes the identical e-view (Property 6.3);
+//! * it implements `SVSetMerge` / `SubviewMerge` as *leader-sequenced*
+//!   e-view changes: merge requests are multicast, the view leader assigns
+//!   each a sequence number, and every member applies them in sequence
+//!   order — the total order of Property 6.1;
+//! * it stamps every application multicast with the sender's e-view
+//!   sequence number and holds back messages "from the future" until the
+//!   corresponding e-view change has been applied locally, making every
+//!   e-view change a consistent cut (Property 6.2).
+//!
+//! One deliberate semantic: merge operations racing with a *view* change
+//! may be lost (the flush annotation chosen for a lineage is its least
+//! member's). The loss is deterministic — all members compose the same
+//! e-view either way — and the application simply re-requests the merge,
+//! which is idempotent in effect.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use vs_gcs::{GcsConfig, GcsEndpoint, GcsEvent, View, ViewId, Wire};
+use vs_net::{Actor, Context, ProcessId, TimerId, TimerKind};
+
+use crate::eview::EView;
+use crate::subview::{SubviewId, SvSetId};
+
+/// Configuration of an [`EvsEndpoint`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvsConfig {
+    /// Configuration of the underlying group-communication endpoint.
+    pub gcs: GcsConfig,
+}
+
+/// A merge operation on the e-view structure (§6.1 interface).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeOp {
+    /// `SVSetMerge(sv-set-list)`: union the listed sv-sets.
+    SvSets(Vec<SvSetId>),
+    /// `SubviewMerge(sv-list)`: union the listed subviews (which must share
+    /// an sv-set, else the operation has no effect — paper §6.1).
+    Subviews(Vec<SubviewId>),
+}
+
+/// In-band message vocabulary of the enriched layer, multicast through the
+/// underlying group-communication service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EvsMsg<M> {
+    /// An application payload stamped with the sender's applied e-view
+    /// sequence number (for the Property 6.2 gating).
+    App {
+        /// E-view changes the sender had applied when multicasting.
+        eview_seq: u64,
+        /// The application payload.
+        payload: M,
+    },
+    /// A sequenced e-view change, assigned by the view leader.
+    Op {
+        /// Position in the view's total order of e-view changes (from 1).
+        seq: u64,
+        /// The operation.
+        op: MergeOp,
+    },
+    /// A merge request on its way to the leader (any member may multicast
+    /// it; only the leader acts).
+    OpRequest(MergeOp),
+}
+
+/// Output events of an [`EvsEndpoint`].
+#[derive(Clone, PartialEq)]
+pub enum EvsEvent<M> {
+    /// An application message was delivered.
+    Deliver {
+        /// View the message was sent and delivered in.
+        view: ViewId,
+        /// The multicasting process.
+        sender: ProcessId,
+        /// Sender's per-view sequence number.
+        seq: u64,
+        /// E-view changes the sender had applied when multicasting — by
+        /// Property 6.2 the receiver has applied at least as many.
+        eview_seq: u64,
+        /// The payload.
+        payload: M,
+    },
+    /// A multicast by the local process was accepted (for trace checking).
+    Sent {
+        /// View of the multicast.
+        view: ViewId,
+        /// Its sequence number.
+        seq: u64,
+    },
+    /// A new view was installed and its e-view composed.
+    ViewChange {
+        /// The freshly composed enriched view.
+        eview: EView,
+    },
+    /// An e-view change (merge) was applied within the current view.
+    EViewChange {
+        /// The structure after the change.
+        eview: EView,
+        /// Its position in the view's total order.
+        seq: u64,
+        /// The operation applied (it may have had no effect; see
+        /// [`MergeOp`]).
+        op: MergeOp,
+    },
+    /// The endpoint entered the blocked phase of a view change.
+    Blocked,
+    /// An engaged view agreement was abandoned.
+    FlushAbandoned,
+    /// A point-to-point payload arrived outside the view-synchronous
+    /// stream (see [`EvsEndpoint::send_direct`]).
+    DeliverDirect {
+        /// The sending process.
+        from: ProcessId,
+        /// The payload.
+        payload: M,
+    },
+    /// Messages gated on a never-applied e-view change were discarded at a
+    /// view boundary (uniform at all survivors; see the module docs).
+    GatedDropped {
+        /// How many messages were discarded.
+        count: usize,
+    },
+}
+
+impl<M: fmt::Debug> fmt::Debug for EvsEvent<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvsEvent::Deliver { view, sender, seq, eview_seq, payload } => {
+                write!(f, "deliver({view}, {sender}#{seq}, ev{eview_seq}, {payload:?})")
+            }
+            EvsEvent::Sent { view, seq } => write!(f, "sent({view}, #{seq})"),
+            EvsEvent::ViewChange { eview } => write!(f, "view({eview:?})"),
+            EvsEvent::EViewChange { seq, .. } => write!(f, "eview-change#{seq}"),
+            EvsEvent::Blocked => write!(f, "blocked"),
+            EvsEvent::FlushAbandoned => write!(f, "flush-abandoned"),
+            EvsEvent::DeliverDirect { from, payload } => {
+                write!(f, "direct({from}, {payload:?})")
+            }
+            EvsEvent::GatedDropped { count } => write!(f, "gated-dropped({count})"),
+        }
+    }
+}
+
+impl<M> EvsEvent<M> {
+    /// The composed e-view if this is a `ViewChange`.
+    pub fn as_view(&self) -> Option<&EView> {
+        match self {
+            EvsEvent::ViewChange { eview } => Some(eview),
+            _ => None,
+        }
+    }
+
+    /// The e-view after the change if this is an `EViewChange`.
+    pub fn as_eview_change(&self) -> Option<(&EView, u64)> {
+        match self {
+            EvsEvent::EViewChange { eview, seq, .. } => Some((eview, *seq)),
+            _ => None,
+        }
+    }
+
+    /// `(view, sender, seq)` if this is a `Deliver`.
+    pub fn as_delivery(&self) -> Option<(ViewId, ProcessId, u64)> {
+        match self {
+            EvsEvent::Deliver { view, sender, seq, .. } => Some((*view, *sender, *seq)),
+            _ => None,
+        }
+    }
+}
+
+/// One process' enriched-view-synchrony stack. Implements [`Actor`].
+#[derive(Debug)]
+pub struct EvsEndpoint<M> {
+    gcs: GcsEndpoint<EvsMsg<M>>,
+    eview: EView,
+    /// E-view changes applied in the current view.
+    applied_seq: u64,
+    /// Leader's sequencer for e-view changes.
+    next_op_seq: u64,
+    /// Ops received out of order, waiting for their predecessors.
+    pending_ops: BTreeMap<u64, MergeOp>,
+    /// App messages gated on e-view changes not yet applied here.
+    gated: Vec<GatedMsg<M>>,
+}
+
+#[derive(Debug)]
+struct GatedMsg<M> {
+    eview_seq: u64,
+    view: ViewId,
+    sender: ProcessId,
+    seq: u64,
+    payload: M,
+}
+
+type Ctx<'a, M> = Context<'a, Wire<EvsMsg<M>>, EvsEvent<M>>;
+
+impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
+    /// Creates the endpoint for process `me`, starting in its initial
+    /// degenerate e-view.
+    pub fn new(me: ProcessId, config: EvsConfig) -> Self {
+        let mut gcs = GcsEndpoint::new(me, config.gcs);
+        let eview = EView::initial(me);
+        gcs.set_annotation(eview.encode_annotation());
+        EvsEndpoint {
+            gcs,
+            eview,
+            applied_seq: 0,
+            next_op_seq: 1,
+            pending_ops: BTreeMap::new(),
+            gated: Vec::new(),
+        }
+    }
+
+    /// Discovery seed; see [`GcsEndpoint::set_contacts`].
+    pub fn set_contacts(&mut self, contacts: impl IntoIterator<Item = ProcessId>) {
+        self.gcs.set_contacts(contacts);
+    }
+
+    /// The current enriched view.
+    pub fn eview(&self) -> &EView {
+        &self.eview
+    }
+
+    /// The current (flat) view.
+    pub fn view(&self) -> &View {
+        self.eview.view()
+    }
+
+    /// Number of e-view changes applied in the current view.
+    pub fn applied_eview_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Whether a view change currently blocks multicasts.
+    pub fn is_blocked(&self) -> bool {
+        self.gcs.is_blocked()
+    }
+
+    /// Multicasts `payload` to the current view.
+    pub fn mcast(&mut self, payload: M, ctx: &mut Ctx<'_, M>) {
+        let msg = EvsMsg::App {
+            eview_seq: self.applied_seq,
+            payload,
+        };
+        let (_, events) = ctx.scoped(|sub| self.gcs.mcast(msg, sub));
+        self.handle_gcs_events(events, ctx);
+    }
+
+    /// Requests an `SVSetMerge` (paper §6.1). The view leader orders the
+    /// operation; every member applies it at the same point of the e-view
+    /// change total order.
+    pub fn request_svset_merge(&mut self, ids: Vec<SvSetId>, ctx: &mut Ctx<'_, M>) {
+        self.request_op(MergeOp::SvSets(ids), ctx);
+    }
+
+    /// Requests a `SubviewMerge` (paper §6.1). Has no effect if the
+    /// subviews do not share an sv-set.
+    pub fn request_subview_merge(&mut self, ids: Vec<SubviewId>, ctx: &mut Ctx<'_, M>) {
+        self.request_op(MergeOp::Subviews(ids), ctx);
+    }
+
+    /// Sends `payload` point-to-point to `to`, outside the view-synchronous
+    /// stream; see [`GcsEndpoint::send_direct`]. Used for bulk state
+    /// transfer that must not block view installations (§5).
+    pub fn send_direct(&mut self, to: ProcessId, payload: M, ctx: &mut Ctx<'_, M>) {
+        let msg = EvsMsg::App { eview_seq: 0, payload };
+        let (_, events) = ctx.scoped(|sub| self.gcs.send_direct(to, msg, sub));
+        self.handle_gcs_events(events, ctx);
+    }
+
+    /// Leaves the group; see [`GcsEndpoint::leave`].
+    pub fn leave(&mut self, ctx: &mut Ctx<'_, M>) {
+        let (_, events) = ctx.scoped(|sub| self.gcs.leave(sub));
+        self.handle_gcs_events(events, ctx);
+    }
+
+    fn request_op(&mut self, op: MergeOp, ctx: &mut Ctx<'_, M>) {
+        let (_, events) = ctx.scoped(|sub| self.gcs.mcast(EvsMsg::OpRequest(op), sub));
+        self.handle_gcs_events(events, ctx);
+    }
+
+    fn handle_gcs_events(&mut self, events: Vec<GcsEvent<EvsMsg<M>>>, ctx: &mut Ctx<'_, M>) {
+        for event in events {
+            match event {
+                GcsEvent::Sent { view, seq } => ctx.output(EvsEvent::Sent { view, seq }),
+                GcsEvent::Blocked => ctx.output(EvsEvent::Blocked),
+                GcsEvent::FlushAbandoned => ctx.output(EvsEvent::FlushAbandoned),
+                GcsEvent::Deliver { view, sender, seq, payload } => {
+                    self.on_gcs_deliver(view, sender, seq, payload, ctx);
+                }
+                GcsEvent::DeliverDirect { from, payload } => {
+                    if let EvsMsg::App { payload, .. } = payload {
+                        ctx.output(EvsEvent::DeliverDirect { from, payload });
+                    }
+                }
+                GcsEvent::ViewChange { view, provenance } => {
+                    // Flush deliveries for the old view were handled above;
+                    // now cross the boundary.
+                    let dropped = self.gated.len();
+                    if dropped > 0 {
+                        ctx.output(EvsEvent::GatedDropped { count: dropped });
+                    }
+                    self.gated.clear();
+                    self.pending_ops.clear();
+                    self.applied_seq = 0;
+                    self.next_op_seq = 1;
+                    self.eview = EView::compose(view, &provenance);
+                    self.gcs.set_annotation(self.eview.encode_annotation());
+                    ctx.output(EvsEvent::ViewChange {
+                        eview: self.eview.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_gcs_deliver(
+        &mut self,
+        view: ViewId,
+        sender: ProcessId,
+        seq: u64,
+        payload: EvsMsg<M>,
+        ctx: &mut Ctx<'_, M>,
+    ) {
+        match payload {
+            EvsMsg::App { eview_seq, payload } => {
+                if eview_seq <= self.applied_seq {
+                    ctx.output(EvsEvent::Deliver { view, sender, seq, eview_seq, payload });
+                } else {
+                    self.gated.push(GatedMsg { eview_seq, view, sender, seq, payload });
+                }
+            }
+            EvsMsg::Op { seq: op_seq, op } => {
+                self.pending_ops.insert(op_seq, op);
+                self.apply_ready_ops(ctx);
+            }
+            EvsMsg::OpRequest(op) => {
+                if self.view().leader() == ctx.me() {
+                    let op_seq = self.next_op_seq;
+                    self.next_op_seq += 1;
+                    let (_, events) =
+                        ctx.scoped(|sub| self.gcs.mcast(EvsMsg::Op { seq: op_seq, op }, sub));
+                    self.handle_gcs_events(events, ctx);
+                }
+            }
+        }
+    }
+
+    fn apply_ready_ops(&mut self, ctx: &mut Ctx<'_, M>) {
+        while let Some(op) = self.pending_ops.remove(&(self.applied_seq + 1)) {
+            self.applied_seq += 1;
+            let seq = self.applied_seq;
+            let view_id = self.view().id();
+            // Apply; an inapplicable operation (stale ids, cross-sv-set
+            // subview merge) deterministically has no structural effect at
+            // every member, but still occupies its slot in the total order.
+            let result = match &op {
+                MergeOp::SvSets(ids) => self
+                    .eview
+                    .apply_svset_merge(ids, SvSetId::Merged { view: view_id, seq }),
+                MergeOp::Subviews(ids) => self
+                    .eview
+                    .apply_subview_merge(ids, SubviewId::Merged { view: view_id, seq }),
+            };
+            if result.is_ok() {
+                self.gcs.set_annotation(self.eview.encode_annotation());
+            }
+            ctx.output(EvsEvent::EViewChange {
+                eview: self.eview.clone(),
+                seq,
+                op,
+            });
+            // Release application messages that waited for this change.
+            let now_ready: Vec<GatedMsg<M>> = {
+                let applied = self.applied_seq;
+                let mut ready = Vec::new();
+                let mut still = Vec::new();
+                for g in self.gated.drain(..) {
+                    if g.eview_seq <= applied {
+                        ready.push(g);
+                    } else {
+                        still.push(g);
+                    }
+                }
+                self.gated = still;
+                ready
+            };
+            for g in now_ready {
+                ctx.output(EvsEvent::Deliver {
+                    view: g.view,
+                    sender: g.sender,
+                    seq: g.seq,
+                    eview_seq: g.eview_seq,
+                    payload: g.payload,
+                });
+            }
+        }
+    }
+}
+
+impl<M: Clone + fmt::Debug + 'static> Actor for EvsEndpoint<M> {
+    type Msg = Wire<EvsMsg<M>>;
+    type Output = EvsEvent<M>;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        let (_, events) = ctx.scoped(|sub| self.gcs.on_start(sub));
+        // The underlying endpoint reports its initial singleton view; our
+        // initial e-view is already built, so just announce it.
+        for event in events {
+            if matches!(event, GcsEvent::ViewChange { .. }) {
+                ctx.output(EvsEvent::ViewChange {
+                    eview: self.eview.clone(),
+                });
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_, M>) {
+        let (_, events) = ctx.scoped(|sub| self.gcs.on_message(from, msg, sub));
+        self.handle_gcs_events(events, ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, kind: TimerKind, ctx: &mut Ctx<'_, M>) {
+        let (_, events) = ctx.scoped(|sub| self.gcs.on_timer(timer, kind, sub));
+        self.handle_gcs_events(events, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use vs_net::{Sim, SimConfig, SimDuration};
+
+    type E = EvsEndpoint<String>;
+
+    fn group(seed: u64, n: usize) -> (Sim<E>, Vec<ProcessId>) {
+        let mut sim: Sim<E> = Sim::new(seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..n {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |pid| E::new(pid, EvsConfig::default())));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_millis(500));
+        (sim, pids)
+    }
+
+    /// Merges the whole current view of `p` into one sv-set, then one
+    /// subview, driving the requests through the leader.
+    fn merge_all(sim: &mut Sim<E>, p: ProcessId) {
+        let sets: Vec<SvSetId> = sim
+            .actor(p)
+            .unwrap()
+            .eview()
+            .svsets()
+            .map(|(id, _)| id)
+            .collect();
+        if sets.len() >= 2 {
+            sim.invoke(p, |e, ctx| e.request_svset_merge(sets, ctx));
+            sim.run_for(SimDuration::from_millis(200));
+        }
+        let svs: Vec<SubviewId> = sim
+            .actor(p)
+            .unwrap()
+            .eview()
+            .subviews()
+            .map(|(id, _)| id)
+            .collect();
+        if svs.len() >= 2 {
+            sim.invoke(p, |e, ctx| e.request_subview_merge(svs, ctx));
+            sim.run_for(SimDuration::from_millis(200));
+        }
+    }
+
+    #[test]
+    fn merged_group_starts_with_singleton_structure() {
+        let (sim, pids) = group(1, 3);
+        let ev = sim.actor(pids[0]).unwrap().eview();
+        assert_eq!(ev.view().len(), 3);
+        assert_eq!(ev.subviews().count(), 3, "newcomers are singletons");
+        assert_eq!(ev.svsets().count(), 3);
+        // All members agree on the structure.
+        for &p in &pids[1..] {
+            assert_eq!(sim.actor(p).unwrap().eview(), ev);
+        }
+    }
+
+    #[test]
+    fn svset_and_subview_merges_propagate_to_all_members() {
+        let (mut sim, pids) = group(2, 3);
+        merge_all(&mut sim, pids[1]); // request from a non-leader member
+        let ev = sim.actor(pids[0]).unwrap().eview();
+        assert!(ev.is_degenerate(), "fully merged: {ev:?}");
+        for &p in &pids[1..] {
+            assert_eq!(sim.actor(p).unwrap().eview(), ev);
+        }
+        assert_eq!(sim.actor(pids[0]).unwrap().applied_eview_seq(), 2);
+    }
+
+    #[test]
+    fn eview_changes_are_totally_ordered_at_all_members() {
+        let (mut sim, pids) = group(3, 4);
+        // Two concurrent merge requests from different members.
+        let sets: Vec<SvSetId> = sim
+            .actor(pids[0])
+            .unwrap()
+            .eview()
+            .svsets()
+            .map(|(id, _)| id)
+            .collect();
+        sim.invoke(pids[1], |e, ctx| {
+            e.request_svset_merge(sets[..2].to_vec(), ctx)
+        });
+        sim.invoke(pids[2], |e, ctx| {
+            e.request_svset_merge(sets[2..].to_vec(), ctx)
+        });
+        sim.run_for(SimDuration::from_millis(300));
+        // All members saw the same op sequence.
+        let mut sequences: Vec<Vec<u64>> = Vec::new();
+        let outputs = sim.outputs().to_vec();
+        for &p in &pids {
+            let seqs: Vec<u64> = outputs
+                .iter()
+                .filter(|(_, q, _)| *q == p)
+                .filter_map(|(_, _, ev)| ev.as_eview_change().map(|(_, s)| s))
+                .collect();
+            sequences.push(seqs);
+        }
+        assert_eq!(sequences[0], vec![1, 2]);
+        for s in &sequences[1..] {
+            assert_eq!(s, &sequences[0], "Property 6.1: total order everywhere");
+        }
+        // And on the same final structure.
+        let ev = sim.actor(pids[0]).unwrap().eview().clone();
+        for &p in &pids[1..] {
+            assert_eq!(sim.actor(p).unwrap().eview(), &ev);
+        }
+    }
+
+    #[test]
+    fn structure_survives_a_member_crash() {
+        let (mut sim, pids) = group(4, 4);
+        merge_all(&mut sim, pids[0]);
+        sim.crash(pids[3]);
+        sim.run_for(SimDuration::from_millis(500));
+        let ev = sim.actor(pids[0]).unwrap().eview();
+        assert_eq!(ev.view().len(), 3);
+        assert!(ev.is_degenerate(), "survivors stay in the merged subview: {ev:?}");
+    }
+
+    #[test]
+    fn partition_heal_keeps_sides_in_their_subviews() {
+        let (mut sim, pids) = group(5, 4);
+        merge_all(&mut sim, pids[0]);
+        sim.partition(&[vec![pids[0], pids[1]], vec![pids[2], pids[3]]]);
+        sim.run_for(SimDuration::from_millis(500));
+        sim.heal();
+        sim.run_for(SimDuration::from_millis(800));
+        let ev = sim.actor(pids[0]).unwrap().eview();
+        assert_eq!(ev.view().len(), 4, "{ev:?}");
+        let sv0 = ev.subview_of(pids[0]).unwrap();
+        let sv2 = ev.subview_of(pids[2]).unwrap();
+        assert_eq!(ev.subview_of(pids[1]), Some(sv0), "side A together");
+        assert_eq!(ev.subview_of(pids[3]), Some(sv2), "side B together");
+        assert_ne!(sv0, sv2, "sides not silently rejoined (no growth)");
+        for &p in &pids[1..] {
+            assert_eq!(sim.actor(p).unwrap().eview(), ev, "identical at {p}");
+        }
+    }
+
+    #[test]
+    fn app_messages_respect_eview_cuts() {
+        let (mut sim, pids) = group(6, 3);
+        merge_all(&mut sim, pids[0]);
+        sim.drain_outputs();
+        sim.invoke(pids[0], |e, ctx| e.mcast("after-merges".into(), ctx));
+        sim.run_for(SimDuration::from_millis(300));
+        for (_, _, ev) in sim.outputs() {
+            if let EvsEvent::Deliver { eview_seq, .. } = ev {
+                assert_eq!(*eview_seq, 2, "stamped with the sender's applied seq");
+            }
+        }
+        let deliveries = sim
+            .outputs()
+            .iter()
+            .filter(|(_, _, ev)| ev.as_delivery().is_some())
+            .count();
+        assert_eq!(deliveries, 3);
+    }
+
+    #[test]
+    fn joining_process_enters_as_singleton_next_to_existing_structure() {
+        let (mut sim, pids) = group(7, 3);
+        merge_all(&mut sim, pids[0]);
+        // A fourth process joins.
+        let site = sim.alloc_site();
+        let newcomer = sim.spawn_with(site, |pid| E::new(pid, EvsConfig::default()));
+        let mut all = pids.clone();
+        all.push(newcomer);
+        for &p in &all {
+            sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_millis(800));
+        let ev = sim.actor(pids[0]).unwrap().eview();
+        assert_eq!(ev.view().len(), 4, "{ev:?}");
+        assert_eq!(ev.subviews().count(), 2, "old trio + newcomer singleton");
+        let sv_new = ev.subview_of(newcomer).unwrap();
+        assert_eq!(ev.subview_members(sv_new).unwrap().len(), 1);
+        let old: BTreeSet<ProcessId> = pids.iter().copied().collect();
+        let sv_old = ev.subview_of(pids[0]).unwrap();
+        assert_eq!(ev.subview_members(sv_old).unwrap(), &old);
+    }
+
+    #[test]
+    fn flush_repairs_a_gated_message_whose_op_was_lost() {
+        // p3 receives an app message stamped "after e-view change #1" but
+        // the change itself (the leader's Op multicast) is destroyed on the
+        // p0->p3 link; p0 then crashes. Property 6.2 gates the message at
+        // p3 — and the view-change flush must repair the situation: the
+        // survivors' unstable sets contain the Op, so p3 applies it during
+        // the flush and releases the gated message *in its original view*.
+        let (mut sim, pids) = group(40, 4);
+        sim.drain_outputs();
+        // p1 asks for a merge; the leader p0 sequences it.
+        let sets: Vec<SvSetId> = sim
+            .actor(pids[0])
+            .unwrap()
+            .eview()
+            .svsets()
+            .map(|(id, _)| id)
+            .collect();
+        sim.invoke(pids[1], |e, ctx| e.request_svset_merge(sets, ctx));
+        // Give the OpRequest time to reach p0 and the Op to depart, then
+        // cut p0 off from p3 (destroying the in-flight Op copy) and crash
+        // p0 shortly after.
+        sim.run_for(SimDuration::from_micros(2_200));
+        sim.topology_mut().sever_link(pids[0], pids[3]);
+        sim.run_for(SimDuration::from_millis(3));
+        // p1 (which has applied the change) multicasts: stamped eview_seq 1.
+        sim.invoke(pids[1], |e, ctx| e.mcast("stamped".into(), ctx));
+        sim.run_for(SimDuration::from_millis(5));
+        sim.crash(pids[0]);
+        sim.run_for(SimDuration::from_secs(1));
+
+        // All three survivors delivered the message (p3 via the flush).
+        let deliverers: std::collections::BTreeSet<ProcessId> = sim
+            .outputs()
+            .iter()
+            .filter(|(_, _, ev)| ev.as_delivery().is_some())
+            .map(|(_, p, _)| *p)
+            .collect();
+        for &p in &pids[1..] {
+            assert!(deliverers.contains(&p), "{p} missed the gated message");
+        }
+        // Nothing was dropped, and the trace checker stays green.
+        assert!(
+            !sim.outputs()
+                .iter()
+                .any(|(_, _, ev)| matches!(ev, EvsEvent::GatedDropped { .. })),
+            "the flush should have repaired the gating, not dropped"
+        );
+        crate::checker::check_evs(sim.outputs()).unwrap_or_else(|e| panic!("{e:?}"));
+        // And the structure change itself survived at all members.
+        let ev = sim.actor(pids[1]).unwrap().eview().clone();
+        for &p in &pids[2..] {
+            assert_eq!(
+                sim.actor(p).unwrap().eview().svsets().count(),
+                ev.svsets().count(),
+                "{p} structure"
+            );
+        }
+    }
+
+    #[test]
+    fn multicast_delivery_works_end_to_end() {
+        let (mut sim, pids) = group(8, 3);
+        sim.drain_outputs();
+        sim.invoke(pids[2], |e, ctx| e.mcast("hello".into(), ctx));
+        sim.run_for(SimDuration::from_millis(300));
+        let receivers: BTreeSet<ProcessId> = sim
+            .outputs()
+            .iter()
+            .filter(|(_, _, ev)| ev.as_delivery().is_some())
+            .map(|(_, p, _)| *p)
+            .collect();
+        assert_eq!(receivers.len(), 3, "everyone, including the sender");
+    }
+}

@@ -1,0 +1,762 @@
+//! Enriched views: structure, invariants, inheritance and codec.
+//!
+//! An [`EView`] is a view together with a two-level partition of its
+//! membership (paper §6.1):
+//!
+//! * the membership is partitioned into **subviews** — along any cut, each
+//!   process belongs to exactly one subview;
+//! * the subviews are partitioned into **sv-sets** — each subview belongs to
+//!   exactly one sv-set.
+//!
+//! Within a view, subviews and sv-sets never split; they merge only under
+//! application control. Across view changes, structure is *inherited*: the
+//! surviving part of every member's previous structure carries over
+//! (Property 6.3), and processes arriving from unrecognised lineages are
+//! seeded as singleton sv-sets containing singleton subviews — "a process
+//! simply cannot appear in a subview after recovery or the merger of a
+//! partition" (§6.1).
+//!
+//! Inheritance is computed by [`EView::compose`] from the per-member
+//! annotations that the flush protocol of `vs-gcs` collected; because every
+//! member of the new view receives the same annotation bundle, all members
+//! compose bit-identical e-views with no extra communication — the "minor
+//! modification to the view synchrony run-time support" of §6.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use bytes::Bytes;
+
+use vs_gcs::{Provenance, View, ViewId};
+use vs_net::ProcessId;
+
+use crate::codec::{DecodeError, Reader, Writer};
+use crate::subview::{SubviewId, SvSetId};
+
+/// A view enriched with subview / sv-set structure.
+///
+/// # Example
+///
+/// ```
+/// use vs_evs::EView;
+/// use vs_net::ProcessId;
+/// let p = ProcessId::from_raw(1);
+/// let ev = EView::initial(p);
+/// assert!(ev.is_degenerate(), "one sv-set, one subview, one member");
+/// assert_eq!(ev.subview_members(ev.subview_of(p).unwrap()).unwrap().len(), 1);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct EView {
+    view: View,
+    subviews: BTreeMap<SubviewId, BTreeSet<ProcessId>>,
+    svsets: BTreeMap<SvSetId, BTreeSet<SubviewId>>,
+}
+
+/// Violation of the e-view structural invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructureError {
+    /// A process appears in zero or several subviews.
+    NotAPartition(ProcessId),
+    /// A subview appears in zero or several sv-sets, or an sv-set references
+    /// an unknown subview.
+    BrokenSvSets,
+    /// A merge operation referenced an unknown identifier.
+    UnknownId,
+    /// A subview merge spanned different sv-sets (the paper specifies this
+    /// "has no effect"; the structured API reports it).
+    CrossSvSetMerge,
+    /// Fewer than two identifiers were given to a merge.
+    TooFewOperands,
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::NotAPartition(p) => {
+                write!(f, "process {p} is not in exactly one subview")
+            }
+            StructureError::BrokenSvSets => write!(f, "sv-sets do not partition the subviews"),
+            StructureError::UnknownId => write!(f, "merge references an unknown identifier"),
+            StructureError::CrossSvSetMerge => {
+                write!(f, "subview merge operands span different sv-sets")
+            }
+            StructureError::TooFewOperands => write!(f, "merge needs at least two operands"),
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}
+
+impl EView {
+    /// The degenerate e-view of a freshly started process: its initial
+    /// singleton view with one sv-set containing one subview containing it.
+    pub fn initial(p: ProcessId) -> Self {
+        let view = View::initial(p);
+        let from = view.id();
+        EView::seeded_for(view, p, from)
+    }
+
+    fn seeded_for(view: View, p: ProcessId, from: ViewId) -> Self {
+        let sv = SubviewId::seeded(p, from);
+        let ss = SvSetId::seeded(p, from);
+        let mut subviews = BTreeMap::new();
+        subviews.insert(sv, std::iter::once(p).collect::<BTreeSet<_>>());
+        let mut svsets = BTreeMap::new();
+        svsets.insert(ss, std::iter::once(sv).collect::<BTreeSet<_>>());
+        EView { view, subviews, svsets }
+    }
+
+    /// Builds an e-view from explicit structure, validating the partition
+    /// invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StructureError`] if the subviews do not partition the
+    /// view membership or the sv-sets do not partition the subviews.
+    pub fn new(
+        view: View,
+        subviews: BTreeMap<SubviewId, BTreeSet<ProcessId>>,
+        svsets: BTreeMap<SvSetId, BTreeSet<SubviewId>>,
+    ) -> Result<Self, StructureError> {
+        let ev = EView { view, subviews, svsets };
+        ev.validate()?;
+        Ok(ev)
+    }
+
+    /// Checks the two partition invariants.
+    pub fn validate(&self) -> Result<(), StructureError> {
+        // Subviews partition the membership.
+        let mut seen: BTreeSet<ProcessId> = BTreeSet::new();
+        for members in self.subviews.values() {
+            for &p in members {
+                if !self.view.contains(p) || !seen.insert(p) {
+                    return Err(StructureError::NotAPartition(p));
+                }
+            }
+        }
+        if let Some(&p) = self.view.members().iter().find(|p| !seen.contains(p)) {
+            return Err(StructureError::NotAPartition(p));
+        }
+        // Sv-sets partition the subviews.
+        let mut seen_sv: BTreeSet<SubviewId> = BTreeSet::new();
+        for svs in self.svsets.values() {
+            for &sv in svs {
+                if !self.subviews.contains_key(&sv) || !seen_sv.insert(sv) {
+                    return Err(StructureError::BrokenSvSets);
+                }
+            }
+        }
+        if seen_sv.len() != self.subviews.len() {
+            return Err(StructureError::BrokenSvSets);
+        }
+        Ok(())
+    }
+
+    /// The underlying (flat) view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Iterates subviews as `(id, members)`, ascending by id.
+    pub fn subviews(&self) -> impl Iterator<Item = (SubviewId, &BTreeSet<ProcessId>)> {
+        self.subviews.iter().map(|(&id, m)| (id, m))
+    }
+
+    /// Iterates sv-sets as `(id, subview ids)`, ascending by id.
+    pub fn svsets(&self) -> impl Iterator<Item = (SvSetId, &BTreeSet<SubviewId>)> {
+        self.svsets.iter().map(|(&id, s)| (id, s))
+    }
+
+    /// The subview containing `p`.
+    pub fn subview_of(&self, p: ProcessId) -> Option<SubviewId> {
+        self.subviews
+            .iter()
+            .find(|(_, members)| members.contains(&p))
+            .map(|(&id, _)| id)
+    }
+
+    /// Members of a subview.
+    pub fn subview_members(&self, id: SubviewId) -> Option<&BTreeSet<ProcessId>> {
+        self.subviews.get(&id)
+    }
+
+    /// The sv-set containing a subview.
+    pub fn svset_of(&self, sv: SubviewId) -> Option<SvSetId> {
+        self.svsets
+            .iter()
+            .find(|(_, svs)| svs.contains(&sv))
+            .map(|(&id, _)| id)
+    }
+
+    /// All processes in any subview of the given sv-set.
+    pub fn svset_members(&self, id: SvSetId) -> BTreeSet<ProcessId> {
+        self.svsets
+            .get(&id)
+            .map(|svs| {
+                svs.iter()
+                    .filter_map(|sv| self.subviews.get(sv))
+                    .flatten()
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Whether the structure is the degenerate single-sv-set /
+    /// single-subview case — "the traditional view abstraction" (§6.1).
+    pub fn is_degenerate(&self) -> bool {
+        self.svsets.len() == 1 && self.subviews.len() == 1
+    }
+
+    /// Applies an `SVSetMerge` (paper §6.1): replaces the given sv-sets
+    /// with their union under identifier `new_id`.
+    ///
+    /// # Errors
+    ///
+    /// [`StructureError::TooFewOperands`] for fewer than two distinct
+    /// operands, [`StructureError::UnknownId`] if any operand is absent.
+    pub fn apply_svset_merge(
+        &mut self,
+        ids: &[SvSetId],
+        new_id: SvSetId,
+    ) -> Result<(), StructureError> {
+        let distinct: BTreeSet<SvSetId> = ids.iter().copied().collect();
+        if distinct.len() < 2 {
+            return Err(StructureError::TooFewOperands);
+        }
+        if distinct.iter().any(|id| !self.svsets.contains_key(id)) {
+            return Err(StructureError::UnknownId);
+        }
+        let mut union: BTreeSet<SubviewId> = BTreeSet::new();
+        for id in &distinct {
+            union.extend(self.svsets.remove(id).expect("checked above"));
+        }
+        self.svsets.insert(new_id, union);
+        Ok(())
+    }
+
+    /// Applies a `SubviewMerge` (paper §6.1): replaces the given subviews —
+    /// which must all belong to the same sv-set — with their union under
+    /// identifier `new_id`, kept in that sv-set.
+    ///
+    /// # Errors
+    ///
+    /// [`StructureError::TooFewOperands`], [`StructureError::UnknownId`],
+    /// or [`StructureError::CrossSvSetMerge`] if the operands span sv-sets
+    /// (the paper specifies the call then has no effect).
+    pub fn apply_subview_merge(
+        &mut self,
+        ids: &[SubviewId],
+        new_id: SubviewId,
+    ) -> Result<(), StructureError> {
+        let distinct: BTreeSet<SubviewId> = ids.iter().copied().collect();
+        if distinct.len() < 2 {
+            return Err(StructureError::TooFewOperands);
+        }
+        if distinct.iter().any(|id| !self.subviews.contains_key(id)) {
+            return Err(StructureError::UnknownId);
+        }
+        let owners: BTreeSet<SvSetId> = distinct
+            .iter()
+            .filter_map(|&sv| self.svset_of(sv))
+            .collect();
+        if owners.len() != 1 {
+            return Err(StructureError::CrossSvSetMerge);
+        }
+        let owner = *owners.iter().next().expect("exactly one");
+        let mut union: BTreeSet<ProcessId> = BTreeSet::new();
+        for id in &distinct {
+            union.extend(self.subviews.remove(id).expect("checked above"));
+        }
+        self.subviews.insert(new_id, union);
+        let set = self.svsets.get_mut(&owner).expect("owner exists");
+        for id in &distinct {
+            set.remove(id);
+        }
+        set.insert(new_id);
+        Ok(())
+    }
+
+    /// Serializes the structure (not the view itself) into the flush
+    /// annotation format.
+    pub fn encode_annotation(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u64(self.svsets.len() as u64);
+        for (ss_id, svs) in &self.svsets {
+            w.svset_id(*ss_id);
+            w.u64(svs.len() as u64);
+            for sv_id in svs {
+                w.subview_id(*sv_id);
+                let members = &self.subviews[sv_id];
+                w.u64(members.len() as u64);
+                for &p in members {
+                    w.pid(p);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses an annotation back into structure maps.
+    #[allow(clippy::type_complexity)]
+    fn decode_annotation(
+        bytes: &[u8],
+    ) -> Result<
+        (
+            BTreeMap<SubviewId, BTreeSet<ProcessId>>,
+            BTreeMap<SvSetId, BTreeSet<SubviewId>>,
+        ),
+        DecodeError,
+    > {
+        let mut r = Reader::new(bytes);
+        let mut subviews = BTreeMap::new();
+        let mut svsets: BTreeMap<SvSetId, BTreeSet<SubviewId>> = BTreeMap::new();
+        let n_sets = r.u64()?;
+        for _ in 0..n_sets {
+            let ss_id = r.svset_id()?;
+            let n_svs = r.u64()?;
+            let mut svs = BTreeSet::new();
+            for _ in 0..n_svs {
+                let sv_id = r.subview_id()?;
+                let n_members = r.u64()?;
+                let mut members = BTreeSet::new();
+                for _ in 0..n_members {
+                    members.insert(r.pid()?);
+                }
+                subviews.insert(sv_id, members);
+                svs.insert(sv_id);
+            }
+            svsets.insert(ss_id, svs);
+        }
+        if !r.is_empty() {
+            return Err(DecodeError);
+        }
+        Ok((subviews, svsets))
+    }
+
+    /// Composes the e-view of a freshly installed view from the flush
+    /// provenance (Property 6.3).
+    ///
+    /// For every lineage (distinct previous view among the members), the
+    /// annotation of the lineage's least member is decoded, restricted to
+    /// members present in the new view, and inherited. Members whose
+    /// annotation is missing, malformed, or does not mention them are
+    /// seeded as singletons. Identifier collisions between lineages (both
+    /// sides of a healed partition inherited the same subview id) are
+    /// resolved deterministically: the lineage containing the globally
+    /// least member keeps the id, others are re-seeded — keeping the two
+    /// groups apart, since structure may grow only by application request.
+    pub fn compose(view: View, provenance: &[Provenance]) -> EView {
+        // Group members by lineage.
+        let mut lineages: BTreeMap<ViewId, Vec<&Provenance>> = BTreeMap::new();
+        for p in provenance {
+            if view.contains(p.member) {
+                lineages.entry(p.prev_view).or_default().push(p);
+            }
+        }
+        struct Piece {
+            subviews: BTreeMap<SubviewId, BTreeSet<ProcessId>>,
+            svsets: BTreeMap<SvSetId, BTreeSet<SubviewId>>,
+        }
+        let mut pieces: Vec<Piece> = Vec::new();
+        let mut covered: BTreeSet<ProcessId> = BTreeSet::new();
+        for (prev_view, members) in &lineages {
+            let lineage_members: BTreeSet<ProcessId> =
+                members.iter().map(|p| p.member).collect();
+            let least = members
+                .iter()
+                .min_by_key(|p| p.member)
+                .expect("lineage non-empty");
+            let decoded = EView::decode_annotation(&least.annotation).ok();
+            let (mut subviews, mut svsets) = decoded.unwrap_or_default();
+            // Restrict to surviving lineage members.
+            for m in subviews.values_mut() {
+                m.retain(|p| lineage_members.contains(p));
+            }
+            subviews.retain(|_, m| !m.is_empty());
+            for svs in svsets.values_mut() {
+                svs.retain(|sv| subviews.contains_key(sv));
+            }
+            svsets.retain(|_, svs| !svs.is_empty());
+            // Seed members the annotation did not cover.
+            for &p in &lineage_members {
+                let in_structure = subviews.values().any(|m| m.contains(&p));
+                if !in_structure {
+                    let sv = SubviewId::seeded(p, *prev_view);
+                    let ss = SvSetId::seeded(p, *prev_view);
+                    subviews.insert(sv, std::iter::once(p).collect());
+                    svsets.insert(ss, std::iter::once(sv).collect());
+                }
+            }
+            covered.extend(lineage_members.iter().copied());
+            pieces.push(Piece { subviews, svsets });
+        }
+        // Members with no provenance at all (defensive): seed from nothing.
+        for &p in view.members() {
+            if !covered.contains(&p) {
+                let from = ViewId::initial(p);
+                let sv = SubviewId::seeded(p, from);
+                let ss = SvSetId::seeded(p, from);
+                pieces.push(Piece {
+                    subviews: [(sv, std::iter::once(p).collect())].into_iter().collect(),
+                    svsets: [(ss, std::iter::once(sv).collect())].into_iter().collect(),
+                });
+            }
+        }
+        // Merge pieces, renaming on id collisions. The piece whose
+        // conflicting group holds the globally least process keeps the id;
+        // the loser is renamed to a fresh identifier derived from the *new*
+        // view, which nothing can already reference. Rename sequence
+        // numbers live far above the e-view-operation range so they can
+        // never collide with ids minted by later merges in this view.
+        const RENAME_BASE: u64 = 1 << 62;
+        let mut rename_counter: u64 = 0;
+        let mut subviews: BTreeMap<SubviewId, BTreeSet<ProcessId>> = BTreeMap::new();
+        let mut svsets: BTreeMap<SvSetId, BTreeSet<SubviewId>> = BTreeMap::new();
+        for piece in pieces {
+            // Subviews first, building a rename map for the sv-set pass.
+            let mut rename: BTreeMap<SubviewId, SubviewId> = BTreeMap::new();
+            for (id, members) in piece.subviews {
+                let final_id = match subviews.get(&id) {
+                    None => id,
+                    Some(existing) => {
+                        let mine = *members.iter().next().expect("non-empty");
+                        let theirs = *existing.iter().next().expect("non-empty");
+                        let fresh = SubviewId::Merged {
+                            view: view.id(),
+                            seq: RENAME_BASE + rename_counter,
+                        };
+                        rename_counter += 1;
+                        if mine < theirs {
+                            // We keep the id; relocate the incumbent.
+                            let moved = subviews.remove(&id).expect("present");
+                            subviews.insert(fresh, moved);
+                            for svs in svsets.values_mut() {
+                                if svs.remove(&id) {
+                                    svs.insert(fresh);
+                                }
+                            }
+                            id
+                        } else {
+                            fresh
+                        }
+                    }
+                };
+                if final_id != id {
+                    rename.insert(id, final_id);
+                }
+                subviews.insert(final_id, members);
+            }
+            for (id, svs) in piece.svsets {
+                let svs: BTreeSet<SubviewId> = svs
+                    .into_iter()
+                    .map(|sv| rename.get(&sv).copied().unwrap_or(sv))
+                    .collect();
+                let final_id = if svsets.contains_key(&id) {
+                    let fresh = SvSetId::Merged {
+                        view: view.id(),
+                        seq: RENAME_BASE + rename_counter,
+                    };
+                    rename_counter += 1;
+                    fresh
+                } else {
+                    id
+                };
+                svsets.insert(final_id, svs);
+            }
+        }
+        let ev = EView { view, subviews, svsets };
+        debug_assert_eq!(ev.validate(), Ok(()));
+        ev
+    }
+}
+
+impl fmt::Debug for EView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EView({} ", self.view)?;
+        let mut first_set = true;
+        for (ss, svs) in &self.svsets {
+            if !first_set {
+                write!(f, " ")?;
+            }
+            first_set = false;
+            write!(f, "{ss}=[")?;
+            let mut first_sv = true;
+            for sv in svs {
+                if !first_sv {
+                    write!(f, " ")?;
+                }
+                first_sv = false;
+                let members: Vec<String> = self.subviews[sv]
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect();
+                write!(f, "{{{}}}", members.join(","))?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn vid(epoch: u64, coord: u64) -> ViewId {
+        ViewId { epoch, coordinator: pid(coord) }
+    }
+
+    fn view(epoch: u64, coord: u64, members: &[u64]) -> View {
+        View::new(vid(epoch, coord), members.iter().map(|&n| pid(n)).collect())
+    }
+
+    fn prov(member: u64, prev: ViewId, annotation: Bytes) -> Provenance {
+        Provenance {
+            member: pid(member),
+            prev_view: prev,
+            annotation,
+        }
+    }
+
+    #[test]
+    fn initial_eview_is_degenerate_and_valid() {
+        let ev = EView::initial(pid(3));
+        assert!(ev.is_degenerate());
+        assert_eq!(ev.validate(), Ok(()));
+        let sv = ev.subview_of(pid(3)).unwrap();
+        let ss = ev.svset_of(sv).unwrap();
+        assert_eq!(ev.svset_members(ss).len(), 1);
+    }
+
+    #[test]
+    fn annotation_round_trips() {
+        let ev = EView::initial(pid(5));
+        let bytes = ev.encode_annotation();
+        let (subviews, svsets) = EView::decode_annotation(&bytes).unwrap();
+        assert_eq!(subviews.len(), 1);
+        assert_eq!(svsets.len(), 1);
+        assert!(subviews.values().next().unwrap().contains(&pid(5)));
+    }
+
+    #[test]
+    fn malformed_annotations_are_rejected() {
+        assert!(EView::decode_annotation(&[1, 2, 3]).is_err());
+        // Trailing garbage after a valid structure is also rejected.
+        let mut bytes = EView::initial(pid(1)).encode_annotation().to_vec();
+        bytes.push(0);
+        assert!(EView::decode_annotation(&bytes).is_err());
+    }
+
+    /// Builds the e-view resulting from three singletons merging into one
+    /// view — the standard post-join shape: three sv-sets, three subviews.
+    fn three_singletons() -> EView {
+        let v = view(1, 0, &[0, 1, 2]);
+        let provenance: Vec<Provenance> = (0..3u64)
+            .map(|n| {
+                prov(
+                    n,
+                    vid(0, n),
+                    EView::initial(pid(n)).encode_annotation(),
+                )
+            })
+            .collect();
+        EView::compose(v, &provenance)
+    }
+
+    #[test]
+    fn compose_seeds_singletons_for_new_lineages() {
+        let ev = three_singletons();
+        assert_eq!(ev.subviews().count(), 3);
+        assert_eq!(ev.svsets().count(), 3);
+        assert_eq!(ev.validate(), Ok(()));
+        for n in 0..3 {
+            let sv = ev.subview_of(pid(n)).unwrap();
+            assert_eq!(ev.subview_members(sv).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn svset_merge_unions_sets_and_preserves_subviews() {
+        let mut ev = three_singletons();
+        let sets: Vec<SvSetId> = ev.svsets().map(|(id, _)| id).collect();
+        let new_id = SvSetId::Merged { view: ev.view().id(), seq: 1 };
+        ev.apply_svset_merge(&sets, new_id).unwrap();
+        assert_eq!(ev.svsets().count(), 1);
+        assert_eq!(ev.subviews().count(), 3, "subviews untouched by sv-set merge");
+        assert_eq!(ev.svset_members(new_id).len(), 3);
+        assert_eq!(ev.validate(), Ok(()));
+    }
+
+    #[test]
+    fn subview_merge_requires_a_common_svset() {
+        let mut ev = three_singletons();
+        let svs: Vec<SubviewId> = ev.subviews().map(|(id, _)| id).collect();
+        let err = ev
+            .apply_subview_merge(&svs[..2], SubviewId::Merged { view: ev.view().id(), seq: 1 })
+            .unwrap_err();
+        assert_eq!(err, StructureError::CrossSvSetMerge);
+    }
+
+    #[test]
+    fn figure_3_sequence_svset_merge_then_subview_merge() {
+        // Figure 3: within one view, three sv-sets merge into one, then two
+        // of the subviews merge.
+        let mut ev = three_singletons();
+        let vid_ = ev.view().id();
+        let sets: Vec<SvSetId> = ev.svsets().map(|(id, _)| id).collect();
+        ev.apply_svset_merge(&sets, SvSetId::Merged { view: vid_, seq: 1 })
+            .unwrap();
+        let svs: Vec<SubviewId> = ev.subviews().map(|(id, _)| id).collect();
+        ev.apply_subview_merge(&svs[..2], SubviewId::Merged { view: vid_, seq: 2 })
+            .unwrap();
+        assert_eq!(ev.svsets().count(), 1);
+        assert_eq!(ev.subviews().count(), 2);
+        let merged = ev
+            .subview_members(SubviewId::Merged { view: vid_, seq: 2 })
+            .unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(ev.validate(), Ok(()));
+    }
+
+    #[test]
+    fn merges_with_unknown_or_few_operands_fail() {
+        let mut ev = three_singletons();
+        let vid_ = ev.view().id();
+        let some_set = ev.svsets().next().unwrap().0;
+        assert_eq!(
+            ev.apply_svset_merge(&[some_set], SvSetId::Merged { view: vid_, seq: 1 }),
+            Err(StructureError::TooFewOperands)
+        );
+        let ghost = SvSetId::Merged { view: vid_, seq: 99 };
+        assert_eq!(
+            ev.apply_svset_merge(&[some_set, ghost], SvSetId::Merged { view: vid_, seq: 1 }),
+            Err(StructureError::UnknownId)
+        );
+    }
+
+    #[test]
+    fn structure_is_preserved_across_a_view_change() {
+        // Property 6.3: merge everything in view v; survivors into view w
+        // stay grouped.
+        let mut ev = three_singletons();
+        let vid_ = ev.view().id();
+        let sets: Vec<SvSetId> = ev.svsets().map(|(id, _)| id).collect();
+        ev.apply_svset_merge(&sets, SvSetId::Merged { view: vid_, seq: 1 })
+            .unwrap();
+        let svs: Vec<SubviewId> = ev.subviews().map(|(id, _)| id).collect();
+        let merged_sv = SubviewId::Merged { view: vid_, seq: 2 };
+        ev.apply_subview_merge(&svs, merged_sv).unwrap();
+        // View change: p2 disappears, p0 and p1 survive.
+        let w = view(2, 0, &[0, 1]);
+        let ann = ev.encode_annotation();
+        let provenance = vec![prov(0, vid_, ann.clone()), prov(1, vid_, ann)];
+        let next = EView::compose(w, &provenance);
+        assert_eq!(next.validate(), Ok(()));
+        let sv0 = next.subview_of(pid(0)).unwrap();
+        let sv1 = next.subview_of(pid(1)).unwrap();
+        assert_eq!(sv0, sv1, "survivors remain in the same subview");
+        assert_eq!(sv0, merged_sv, "and the subview keeps its identity");
+        assert_eq!(next.subview_members(sv0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn partition_merge_keeps_lineages_apart() {
+        // View v = {0,1,2,3} fully merged; partition splits {0,1} / {2,3};
+        // each side's e-view inherits the same ids; on re-merge the two
+        // sides must NOT silently rejoin into one subview.
+        let v = view(1, 0, &[0, 1, 2, 3]);
+        let provenance: Vec<Provenance> = (0..4u64)
+            .map(|n| prov(n, vid(0, n), EView::initial(pid(n)).encode_annotation()))
+            .collect();
+        let mut ev = EView::compose(v, &provenance);
+        let vid_ = ev.view().id();
+        let sets: Vec<SvSetId> = ev.svsets().map(|(id, _)| id).collect();
+        ev.apply_svset_merge(&sets, SvSetId::Merged { view: vid_, seq: 1 })
+            .unwrap();
+        let svs: Vec<SubviewId> = ev.subviews().map(|(id, _)| id).collect();
+        let merged = SubviewId::Merged { view: vid_, seq: 2 };
+        ev.apply_subview_merge(&svs, merged).unwrap();
+
+        // Partition: each side composes its own successor view.
+        let va = view(2, 0, &[0, 1]);
+        let ann = ev.encode_annotation();
+        let side_a = EView::compose(
+            va.clone(),
+            &[prov(0, vid_, ann.clone()), prov(1, vid_, ann.clone())],
+        );
+        let vb = view(2, 2, &[2, 3]);
+        let side_b =
+            EView::compose(vb.clone(), &[prov(2, vid_, ann.clone()), prov(3, vid_, ann)]);
+        assert_eq!(side_a.subview_of(pid(0)), Some(merged));
+        assert_eq!(side_b.subview_of(pid(2)), Some(merged), "both inherit the id");
+
+        // Heal: merge the two sides into one view.
+        let w = view(3, 0, &[0, 1, 2, 3]);
+        let provenance = vec![
+            prov(0, va.id(), side_a.encode_annotation()),
+            prov(1, va.id(), side_a.encode_annotation()),
+            prov(2, vb.id(), side_b.encode_annotation()),
+            prov(3, vb.id(), side_b.encode_annotation()),
+        ];
+        let rejoined = EView::compose(w, &provenance);
+        assert_eq!(rejoined.validate(), Ok(()));
+        let sv0 = rejoined.subview_of(pid(0)).unwrap();
+        let sv2 = rejoined.subview_of(pid(2)).unwrap();
+        assert_ne!(sv0, sv2, "no growth without application request");
+        assert_eq!(rejoined.subview_of(pid(1)), Some(sv0), "side A stays together");
+        assert_eq!(rejoined.subview_of(pid(3)), Some(sv2), "side B stays together");
+        assert_eq!(sv0, merged, "the side with the least process keeps the id");
+    }
+
+    #[test]
+    fn members_missing_from_their_annotation_are_seeded() {
+        let v = view(1, 0, &[0, 1]);
+        // p1's lineage annotation only mentions p0 (malicious or buggy peer).
+        let only_p0 = EView::initial(pid(0)).encode_annotation();
+        let provenance = vec![prov(0, vid(0, 0), only_p0.clone()), prov(1, vid(0, 0), only_p0)];
+        let ev = EView::compose(v, &provenance);
+        assert_eq!(ev.validate(), Ok(()));
+        assert!(ev.subview_of(pid(1)).is_some(), "p1 seeded as singleton");
+        assert_ne!(ev.subview_of(pid(0)), ev.subview_of(pid(1)));
+    }
+
+    #[test]
+    fn garbage_annotations_fall_back_to_singletons() {
+        let v = view(1, 0, &[0, 1]);
+        let provenance = vec![
+            prov(0, vid(0, 0), Bytes::from_static(b"garbage")),
+            prov(1, vid(0, 0), Bytes::from_static(b"garbage")),
+        ];
+        let ev = EView::compose(v, &provenance);
+        assert_eq!(ev.validate(), Ok(()));
+        assert_eq!(ev.subviews().count(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_broken_structures() {
+        let v = view(1, 0, &[0, 1]);
+        // p1 missing from all subviews.
+        let sv = SubviewId::seeded(pid(0), vid(0, 0));
+        let ss = SvSetId::seeded(pid(0), vid(0, 0));
+        let subviews: BTreeMap<_, _> =
+            [(sv, std::iter::once(pid(0)).collect::<BTreeSet<_>>())].into_iter().collect();
+        let svsets: BTreeMap<_, _> =
+            [(ss, std::iter::once(sv).collect::<BTreeSet<_>>())].into_iter().collect();
+        assert_eq!(
+            EView::new(v, subviews, svsets).unwrap_err(),
+            StructureError::NotAPartition(pid(1))
+        );
+    }
+
+    #[test]
+    fn debug_output_shows_the_nesting() {
+        let ev = EView::initial(pid(1));
+        let s = format!("{ev:?}");
+        assert!(s.contains("{p1}"), "{s}");
+    }
+}

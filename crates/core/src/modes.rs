@@ -1,0 +1,359 @@
+//! Execution modes and the transition relation of the paper's Figure 1.
+//!
+//! A group-object process is always in one of three modes (§3):
+//!
+//! * **NORMAL** — serves every external operation;
+//! * **REDUCED** — serves only a (possibly empty) subset of them;
+//! * **SETTLING** — serves internal operations only, reconstructing the
+//!   shared state.
+//!
+//! The application supplies a *mode function* evaluating, on every view
+//! change, which regime the new view supports. The engine turns those
+//! evaluations into the exact transition relation of Figure 1:
+//!
+//! ```text
+//!            Failure                    Repair
+//!   NORMAL ──────────▶ REDUCED ──────────────────▶ SETTLING ◀─┐
+//!      │                  ▲                           │  │    │ Reconfigure
+//!      │ Reconfigure      │ Failure                   │  └────┘
+//!      └──────────────▶ SETTLING ◀────────────────────┘
+//!                          │ Reconcile (synchronous, app-driven)
+//!                          ▼
+//!                        NORMAL
+//! ```
+//!
+//! Two rules are easy to get wrong and are enforced here:
+//!
+//! * there is **no direct `REDUCED → NORMAL` arc** — even if the new view
+//!   supports NORMAL operation the process must pass through SETTLING and
+//!   reconstruct state first;
+//! * **Reconcile is synchronous with the computation** (§4): it happens
+//!   when the *application* declares reconstruction complete, never as a
+//!   side effect of a view change.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The three execution modes of the paper's application model (§3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Mode {
+    /// All external operations available.
+    Normal,
+    /// Only a subset of external operations available.
+    Reduced,
+    /// Internal (state-reconstruction) operations only.
+    Settling,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Normal => write!(f, "N"),
+            Mode::Reduced => write!(f, "R"),
+            Mode::Settling => write!(f, "S"),
+        }
+    }
+}
+
+/// The labelled arcs of Figure 1, plus `Stay` for view changes that do not
+/// change the mode.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum ModeTransition {
+    /// `N → R` or `S → R`: the new view cannot support full service.
+    Failure,
+    /// `R → S`: conditions for full service returned; reconstruction begins.
+    Repair,
+    /// `N → S` or `S → S`: the view grew (join/merge); the global state
+    /// must be reconstructed to reflect the new composition.
+    Reconfigure,
+    /// `S → N`: reconstruction completed (application-driven, synchronous).
+    Reconcile,
+    /// The view change left the mode unchanged (`N → N`, `R → R`).
+    Stay,
+}
+
+impl fmt::Display for ModeTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Error returned by [`ModeEngine::reconcile`] when reconciliation is not
+/// currently legal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconcileError {
+    /// The process is not in SETTLING mode.
+    NotSettling,
+    /// The current view does not support NORMAL mode (the mode function's
+    /// latest evaluation was not `Normal`); reconciling now would violate
+    /// the object's invariants.
+    ViewNotNormal,
+}
+
+impl fmt::Display for ReconcileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconcileError::NotSettling => write!(f, "reconcile outside SETTLING mode"),
+            ReconcileError::ViewNotNormal => {
+                write!(f, "current view does not support NORMAL mode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconcileError {}
+
+/// Per-process mode tracker enforcing the Figure 1 relation.
+///
+/// Feed it the mode function's evaluation on every view change via
+/// [`on_view_change`](ModeEngine::on_view_change); declare state
+/// reconstruction complete via [`reconcile`](ModeEngine::reconcile).
+///
+/// # Example
+///
+/// ```
+/// use vs_evs::{Mode, ModeEngine, ModeTransition};
+/// let mut engine = ModeEngine::new(Mode::Normal);
+/// // A failure view arrives: the quorum is lost.
+/// assert_eq!(engine.on_view_change(Mode::Reduced), ModeTransition::Failure);
+/// // The partition heals: quorum back, but state must settle first.
+/// assert_eq!(engine.on_view_change(Mode::Normal), ModeTransition::Repair);
+/// assert_eq!(engine.current(), Mode::Settling);
+/// // The application finishes reconstruction.
+/// engine.reconcile().unwrap();
+/// assert_eq!(engine.current(), Mode::Normal);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModeEngine {
+    current: Mode,
+    /// The mode function's latest evaluation (the *target* regime).
+    target: Mode,
+    history: Vec<(Mode, ModeTransition, Mode)>,
+}
+
+impl ModeEngine {
+    /// Creates an engine starting in `initial` mode (typically the mode
+    /// function's evaluation of the initial singleton view).
+    pub fn new(initial: Mode) -> Self {
+        ModeEngine {
+            current: initial,
+            target: initial,
+            history: Vec::new(),
+        }
+    }
+
+    /// The process' current effective mode.
+    pub fn current(&self) -> Mode {
+        self.current
+    }
+
+    /// The mode function's latest evaluation.
+    pub fn target(&self) -> Mode {
+        self.target
+    }
+
+    /// Processes a view change whose mode-function evaluation is `target`.
+    /// Returns the Figure 1 transition taken (possibly [`ModeTransition::Stay`]).
+    pub fn on_view_change(&mut self, target: Mode) -> ModeTransition {
+        self.target = target;
+        let (next, transition) = match (self.current, target) {
+            (Mode::Normal, Mode::Normal) => (Mode::Normal, ModeTransition::Stay),
+            (Mode::Normal, Mode::Reduced) => (Mode::Reduced, ModeTransition::Failure),
+            (Mode::Normal, Mode::Settling) => (Mode::Settling, ModeTransition::Reconfigure),
+            (Mode::Reduced, Mode::Reduced) => (Mode::Reduced, ModeTransition::Stay),
+            // No direct R → N: pass through S and reconstruct first.
+            (Mode::Reduced, Mode::Normal) => (Mode::Settling, ModeTransition::Repair),
+            (Mode::Reduced, Mode::Settling) => (Mode::Settling, ModeTransition::Repair),
+            (Mode::Settling, Mode::Reduced) => (Mode::Reduced, ModeTransition::Failure),
+            // Still settling; an expansion restarts reconstruction (S → S).
+            (Mode::Settling, Mode::Settling) => (Mode::Settling, ModeTransition::Reconfigure),
+            // The view supports N but reconstruction is not done: stay in S
+            // until the application reconciles.
+            (Mode::Settling, Mode::Normal) => (Mode::Settling, ModeTransition::Stay),
+        };
+        if transition != ModeTransition::Stay {
+            self.history.push((self.current, transition, next));
+        }
+        self.current = next;
+        transition
+    }
+
+    /// Re-evaluates the mode function outside a view change — the paper's
+    /// model re-evaluates on *every* delivered event, and protocol progress
+    /// (an e-view change, a completed transfer) can change the evaluation
+    /// without any view change. Identical to
+    /// [`on_view_change`](Self::on_view_change) except that an unchanged
+    /// SETTLING evaluation is `Stay` rather than a fresh `Reconfigure`
+    /// (only a view change restarts reconstruction).
+    pub fn reevaluate(&mut self, target: Mode) -> ModeTransition {
+        if self.current == Mode::Settling && target == Mode::Settling {
+            self.target = target;
+            return ModeTransition::Stay;
+        }
+        self.on_view_change(target)
+    }
+
+    /// Declares state reconstruction complete: the synchronous
+    /// `S → N` Reconcile transition of Figure 1.
+    ///
+    /// # Errors
+    ///
+    /// [`ReconcileError::NotSettling`] if not in SETTLING;
+    /// [`ReconcileError::ViewNotNormal`] if the current view's mode-function
+    /// evaluation is not NORMAL.
+    pub fn reconcile(&mut self) -> Result<(), ReconcileError> {
+        if self.current != Mode::Settling {
+            return Err(ReconcileError::NotSettling);
+        }
+        if self.target != Mode::Normal {
+            return Err(ReconcileError::ViewNotNormal);
+        }
+        self.history
+            .push((Mode::Settling, ModeTransition::Reconcile, Mode::Normal));
+        self.current = Mode::Normal;
+        Ok(())
+    }
+
+    /// Every non-`Stay` transition taken, in order, as
+    /// `(from, transition, to)` triples.
+    pub fn history(&self) -> &[(Mode, ModeTransition, Mode)] {
+        &self.history
+    }
+
+    /// Checks a `(from, transition, to)` triple against the Figure 1
+    /// relation. Used by the trace checker and the Figure 1 experiment.
+    pub fn is_legal(from: Mode, transition: ModeTransition, to: Mode) -> bool {
+        matches!(
+            (from, transition, to),
+            (Mode::Normal, ModeTransition::Failure, Mode::Reduced)
+                | (Mode::Settling, ModeTransition::Failure, Mode::Reduced)
+                | (Mode::Reduced, ModeTransition::Repair, Mode::Settling)
+                | (Mode::Normal, ModeTransition::Reconfigure, Mode::Settling)
+                | (Mode::Settling, ModeTransition::Reconfigure, Mode::Settling)
+                | (Mode::Settling, ModeTransition::Reconcile, Mode::Normal)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_engine_transitions_are_figure_1_legal() {
+        // Exhaustively drive the engine through every (mode, target) pair
+        // and verify the recorded history stays within the relation.
+        for initial in [Mode::Normal, Mode::Reduced, Mode::Settling] {
+            for targets in [
+                [Mode::Normal, Mode::Reduced, Mode::Settling],
+                [Mode::Settling, Mode::Normal, Mode::Reduced],
+                [Mode::Reduced, Mode::Settling, Mode::Normal],
+            ] {
+                let mut engine = ModeEngine::new(initial);
+                for t in targets {
+                    engine.on_view_change(t);
+                    if engine.current() == Mode::Settling && engine.target() == Mode::Normal {
+                        engine.reconcile().unwrap();
+                    }
+                }
+                for &(from, tr, to) in engine.history() {
+                    assert!(
+                        ModeEngine::is_legal(from, tr, to),
+                        "illegal transition {from} -{tr}-> {to}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_never_jumps_straight_to_normal() {
+        let mut engine = ModeEngine::new(Mode::Reduced);
+        let tr = engine.on_view_change(Mode::Normal);
+        assert_eq!(tr, ModeTransition::Repair);
+        assert_eq!(engine.current(), Mode::Settling, "must settle first");
+    }
+
+    #[test]
+    fn reconcile_requires_settling_and_a_normal_target() {
+        let mut engine = ModeEngine::new(Mode::Normal);
+        assert_eq!(engine.reconcile(), Err(ReconcileError::NotSettling));
+        engine.on_view_change(Mode::Reduced);
+        engine.on_view_change(Mode::Settling);
+        assert_eq!(engine.current(), Mode::Settling);
+        // Target is Settling, not Normal: cannot reconcile yet.
+        assert_eq!(engine.reconcile(), Err(ReconcileError::ViewNotNormal));
+        engine.on_view_change(Mode::Normal);
+        assert_eq!(engine.current(), Mode::Settling, "view change alone never reconciles");
+        assert_eq!(engine.reconcile(), Ok(()));
+        assert_eq!(engine.current(), Mode::Normal);
+    }
+
+    #[test]
+    fn settling_to_settling_is_reconfigure() {
+        let mut engine = ModeEngine::new(Mode::Normal);
+        engine.on_view_change(Mode::Settling);
+        let tr = engine.on_view_change(Mode::Settling);
+        assert_eq!(tr, ModeTransition::Reconfigure, "overlapping reconstructions");
+    }
+
+    #[test]
+    fn settling_can_fall_back_to_reduced() {
+        let mut engine = ModeEngine::new(Mode::Normal);
+        engine.on_view_change(Mode::Settling);
+        let tr = engine.on_view_change(Mode::Reduced);
+        assert_eq!(tr, ModeTransition::Failure);
+        assert_eq!(engine.current(), Mode::Reduced);
+    }
+
+    #[test]
+    fn stay_transitions_are_not_recorded() {
+        let mut engine = ModeEngine::new(Mode::Normal);
+        engine.on_view_change(Mode::Normal);
+        engine.on_view_change(Mode::Normal);
+        assert!(engine.history().is_empty());
+    }
+
+    #[test]
+    fn the_six_figure_1_arcs_are_exactly_the_legal_ones() {
+        let modes = [Mode::Normal, Mode::Reduced, Mode::Settling];
+        let transitions = [
+            ModeTransition::Failure,
+            ModeTransition::Repair,
+            ModeTransition::Reconfigure,
+            ModeTransition::Reconcile,
+        ];
+        let mut legal = 0;
+        for from in modes {
+            for tr in transitions {
+                for to in modes {
+                    if ModeEngine::is_legal(from, tr, to) {
+                        legal += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(legal, 6, "Figure 1 has exactly six arcs");
+    }
+
+    #[test]
+    fn full_quorum_lifecycle_walks_the_figure() {
+        // N --Failure--> R --Repair--> S --Reconcile--> N --Reconfigure--> S
+        let mut engine = ModeEngine::new(Mode::Normal);
+        assert_eq!(engine.on_view_change(Mode::Reduced), ModeTransition::Failure);
+        assert_eq!(engine.on_view_change(Mode::Normal), ModeTransition::Repair);
+        engine.reconcile().unwrap();
+        assert_eq!(engine.on_view_change(Mode::Settling), ModeTransition::Reconfigure);
+        let kinds: Vec<ModeTransition> = engine.history().iter().map(|&(_, t, _)| t).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ModeTransition::Failure,
+                ModeTransition::Repair,
+                ModeTransition::Reconcile,
+                ModeTransition::Reconfigure
+            ]
+        );
+    }
+}

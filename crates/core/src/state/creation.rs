@@ -1,0 +1,276 @@
+//! State creation after a total failure.
+//!
+//! §4: "Creation involves having each process suspend serving external
+//! operations and compare its local state to the state of all other
+//! processes … identifying which local state is to be used for recreation
+//! of the others may require determining the last process to fail \[11\]."
+//!
+//! [`CreationMachine`] runs among the participants of a creation attempt
+//! (in enriched-view terms: the members of a capable sv-set, §6.2). Every
+//! participant contributes its stable-storage view log and its permanent
+//! state snapshot; when all contributions are in, each participant locally
+//! and deterministically decides the authoritative snapshot via
+//! [`last_to_fail()`](crate::state::last_to_fail()) and installs it. If no recovered participant belongs to
+//! the last-failing group, the machine reports the missing authorities
+//! instead of silently resurrecting stale state.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use vs_net::ProcessId;
+
+use crate::state::last_to_fail::{last_to_fail, ViewLog};
+
+/// Message of the creation protocol: one participant's contribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreationMsg {
+    /// The identity the contributor had *before* the total failure (as its
+    /// view log records it); its current incarnation id differs.
+    pub old_identity: ProcessId,
+    /// Encoded [`ViewLog`] from stable storage.
+    pub view_log: Bytes,
+    /// Permanent-state snapshot from stable storage.
+    pub snapshot: Bytes,
+}
+
+/// Outcome of a completed creation round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CreationOutcome {
+    /// An authoritative snapshot was determined; every participant installs
+    /// it.
+    Recovered {
+        /// The old identity whose state won.
+        authority: ProcessId,
+        /// The snapshot to install.
+        snapshot: Bytes,
+    },
+    /// The last-failing group is known but none of its members has
+    /// contributed; recovering now could lose acknowledged updates. The
+    /// caller decides whether to wait or to accept the risk.
+    MissingAuthority {
+        /// Old identities whose state would be authoritative.
+        needed: BTreeSet<ProcessId>,
+    },
+    /// No participant had any logged history: a genuinely fresh start.
+    FreshStart,
+}
+
+/// Collects contributions from a fixed participant set and decides.
+///
+/// All participants run the same machine over the same contribution set
+/// (exchanged by multicast), so all decide identically — no coordinator
+/// needed.
+#[derive(Debug, Clone)]
+pub struct CreationMachine {
+    participants: BTreeSet<ProcessId>,
+    contributions: BTreeMap<ProcessId, CreationMsg>,
+}
+
+impl CreationMachine {
+    /// Creates a machine awaiting one contribution from each of
+    /// `participants` (their *current* incarnation ids).
+    pub fn new(participants: BTreeSet<ProcessId>) -> Self {
+        CreationMachine {
+            participants,
+            contributions: BTreeMap::new(),
+        }
+    }
+
+    /// Records the contribution of current-incarnation `from`. Returns the
+    /// outcome once every participant has contributed, `None` before that.
+    /// Contributions from non-participants are ignored; a duplicate
+    /// contribution replaces the earlier one.
+    pub fn on_contribution(&mut self, from: ProcessId, msg: CreationMsg) -> Option<CreationOutcome> {
+        if !self.participants.contains(&from) {
+            return None;
+        }
+        self.contributions.insert(from, msg);
+        if self.contributions.len() < self.participants.len() {
+            return None;
+        }
+        Some(self.decide())
+    }
+
+    /// How many contributions are still missing.
+    pub fn missing(&self) -> usize {
+        self.participants.len() - self.contributions.len()
+    }
+
+    /// The participant set this machine was created for.
+    pub fn participants(&self) -> &BTreeSet<ProcessId> {
+        &self.participants
+    }
+
+    fn decide(&self) -> CreationOutcome {
+        let mut logs: BTreeMap<ProcessId, ViewLog> = BTreeMap::new();
+        let mut snapshots: BTreeMap<ProcessId, Bytes> = BTreeMap::new();
+        for msg in self.contributions.values() {
+            if let Ok(log) = ViewLog::decode(&msg.view_log) {
+                if !log.is_empty() {
+                    logs.insert(msg.old_identity, log);
+                }
+            }
+            snapshots.insert(msg.old_identity, msg.snapshot.clone());
+        }
+        let Some((last_group, _view)) = last_to_fail(&logs) else {
+            return CreationOutcome::FreshStart;
+        };
+        // The max view over the contributed logs is only *provably* final
+        // when every one of its members has contributed: any absent member
+        // may have outlived the others and installed a later (smaller) view
+        // with newer state — Skeen's key observation [11]. Until then,
+        // resuming would risk losing acknowledged updates.
+        let missing: BTreeSet<ProcessId> = last_group
+            .iter()
+            .copied()
+            .filter(|p| {
+                logs.get(p)
+                    .and_then(|l| l.last())
+                    .map(|e| e.members != last_group)
+                    .unwrap_or(true)
+            })
+            .collect();
+        if !missing.is_empty() {
+            return CreationOutcome::MissingAuthority { needed: missing };
+        }
+        // All of the last-failing group are back: the least member's state
+        // is the (deterministic) authority.
+        let authority = *last_group.iter().next().expect("non-empty group");
+        CreationOutcome::Recovered {
+            authority,
+            snapshot: snapshots[&authority].clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_gcs::ViewId;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn vid(epoch: u64, coord: u64) -> ViewId {
+        ViewId { epoch, coordinator: pid(coord) }
+    }
+
+    fn members(ids: &[u64]) -> BTreeSet<ProcessId> {
+        ids.iter().map(|&n| pid(n)).collect()
+    }
+
+    fn contribution(old: u64, log: &ViewLog, snapshot: &[u8]) -> CreationMsg {
+        CreationMsg {
+            old_identity: pid(old),
+            view_log: log.encode(),
+            snapshot: Bytes::copy_from_slice(snapshot),
+        }
+    }
+
+    #[test]
+    fn sequential_failures_recover_from_the_last_survivor() {
+        // Old group {0,1,2}; 0 died first, then 1, then 2 alone. All three
+        // recover as incarnations {10,11,12}.
+        let mut l0 = ViewLog::new();
+        l0.record(vid(1, 0), members(&[0, 1, 2]));
+        let mut l1 = l0.clone();
+        l1.record(vid(2, 1), members(&[1, 2]));
+        let mut l2 = l1.clone();
+        l2.record(vid(3, 2), members(&[2]));
+
+        let mut m = CreationMachine::new(members(&[10, 11, 12]));
+        assert_eq!(m.missing(), 3);
+        assert!(m.on_contribution(pid(10), contribution(0, &l0, b"old")).is_none());
+        assert!(m.on_contribution(pid(11), contribution(1, &l1, b"mid")).is_none());
+        let outcome = m
+            .on_contribution(pid(12), contribution(2, &l2, b"new"))
+            .unwrap();
+        assert_eq!(
+            outcome,
+            CreationOutcome::Recovered {
+                authority: pid(2),
+                snapshot: Bytes::from_static(b"new"),
+            }
+        );
+    }
+
+    #[test]
+    fn missing_authority_is_reported_not_papered_over() {
+        // The maximal view on record is {1,2} (epoch 9), but neither old-1
+        // nor old-2 has contributed — only old-0 (whose log stops earlier)
+        // and old-9, a witness whose own final view does not match the
+        // last-failing group. Recovery must wait for 1 or 2.
+        let mut l0 = ViewLog::new();
+        l0.record(vid(2, 0), members(&[0, 1, 2]));
+        let mut l9 = ViewLog::new();
+        l9.record(vid(9, 1), members(&[1, 2]));
+        let mut m = CreationMachine::new(members(&[10, 19]));
+        m.on_contribution(pid(10), contribution(0, &l0, b"s0"));
+        let outcome = m.on_contribution(pid(19), contribution(9, &l9, b"s9")).unwrap();
+        assert_eq!(
+            outcome,
+            CreationOutcome::MissingAuthority { needed: members(&[1, 2]) }
+        );
+    }
+
+    #[test]
+    fn empty_logs_mean_a_fresh_start() {
+        let empty = ViewLog::new();
+        let mut m = CreationMachine::new(members(&[10, 11]));
+        m.on_contribution(pid(10), contribution(0, &empty, b""));
+        let outcome = m.on_contribution(pid(11), contribution(1, &empty, b"")).unwrap();
+        assert_eq!(outcome, CreationOutcome::FreshStart);
+    }
+
+    #[test]
+    fn non_participants_are_ignored() {
+        let mut m = CreationMachine::new(members(&[10]));
+        assert!(m
+            .on_contribution(pid(99), contribution(0, &ViewLog::new(), b""))
+            .is_none());
+        assert_eq!(m.missing(), 1);
+    }
+
+    #[test]
+    fn simultaneous_last_failures_pick_the_least_authority() {
+        // {0,1} crashed together in the final view.
+        let mut l = ViewLog::new();
+        l.record(vid(2, 0), members(&[0, 1]));
+        let mut m = CreationMachine::new(members(&[10, 11]));
+        m.on_contribution(pid(10), contribution(0, &l, b"a"));
+        let outcome = m.on_contribution(pid(11), contribution(1, &l, b"b")).unwrap();
+        assert_eq!(
+            outcome,
+            CreationOutcome::Recovered {
+                authority: pid(0),
+                snapshot: Bytes::from_static(b"a"),
+            }
+        );
+    }
+
+    #[test]
+    fn corrupt_logs_are_skipped_rather_than_fatal() {
+        let mut good = ViewLog::new();
+        good.record(vid(1, 0), members(&[0]));
+        let mut m = CreationMachine::new(members(&[10, 11]));
+        m.on_contribution(
+            pid(10),
+            CreationMsg {
+                old_identity: pid(9),
+                view_log: Bytes::from_static(b"corrupt!"),
+                snapshot: Bytes::from_static(b"x"),
+            },
+        );
+        let outcome = m.on_contribution(pid(11), contribution(0, &good, b"y")).unwrap();
+        assert_eq!(
+            outcome,
+            CreationOutcome::Recovered {
+                authority: pid(0),
+                snapshot: Bytes::from_static(b"y"),
+            }
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Last-process-to-fail determination over stable-storage view logs.
+//!
+//! After a *total failure*, recovering processes must rebuild the global
+//! state from permanent local state — but whose copy is authoritative? The
+//! paper (§4) points to Skeen's classic result \[11\]: determine the last
+//! process(es) to fail. With every process logging each view it installs to
+//! stable storage, the recovering group can compute this exactly: view
+//! epochs strictly increase along a lineage, so the processes whose logs
+//! end in the maximal view are precisely the final surviving group — no
+//! process outlived them (it would have installed a later, smaller view
+//! when they crashed).
+//!
+//! [`ViewLog`] is the append-only log (with a compact binary encoding for
+//! [`vs_net::Storage`]); [`last_to_fail()`](last_to_fail) is the decision function.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+
+use vs_gcs::ViewId;
+use vs_net::ProcessId;
+
+use crate::codec::{DecodeError, Reader, Writer};
+
+/// One installed view, as logged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewLogEntry {
+    /// The installed view's identifier.
+    pub view: ViewId,
+    /// Its membership.
+    pub members: BTreeSet<ProcessId>,
+}
+
+/// A process' crash-surviving record of the views it installed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ViewLog {
+    entries: Vec<ViewLogEntry>,
+}
+
+impl ViewLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ViewLog::default()
+    }
+
+    /// Appends an installed view. Entries must arrive in installation
+    /// order; stale appends (epoch not increasing) are ignored, making the
+    /// call idempotent under replays.
+    pub fn record(&mut self, view: ViewId, members: BTreeSet<ProcessId>) {
+        if let Some(last) = self.entries.last() {
+            if view <= last.view {
+                return;
+            }
+        }
+        self.entries.push(ViewLogEntry { view, members });
+    }
+
+    /// The most recent entry.
+    pub fn last(&self) -> Option<&ViewLogEntry> {
+        self.entries.last()
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[ViewLogEntry] {
+        &self.entries
+    }
+
+    /// Number of logged views.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the log for stable storage.
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.u64(self.entries.len() as u64);
+        for e in &self.entries {
+            w.view_id(e.view);
+            w.u64(e.members.len() as u64);
+            for &p in &e.members {
+                w.pid(p);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses a log from stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncated or malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let n = r.u64()?;
+        let mut entries = Vec::new();
+        for _ in 0..n {
+            let view = r.view_id()?;
+            let k = r.u64()?;
+            let mut members = BTreeSet::new();
+            for _ in 0..k {
+                members.insert(r.pid()?);
+            }
+            entries.push(ViewLogEntry { view, members });
+        }
+        if !r.is_empty() {
+            return Err(DecodeError);
+        }
+        Ok(ViewLog { entries })
+    }
+}
+
+/// The storage key under which group objects keep their view log.
+pub const VIEW_LOG_KEY: &str = "evs/view-log";
+
+/// Given the recovered processes' view logs (keyed by their *old* process
+/// identity as recorded in the logs), determines the last group to fail:
+/// the processes whose logs end in the maximal view.
+///
+/// Returns `(members of the final view, the final view id)`, or `None` if
+/// no log has any entry. Callers should check that at least one member of
+/// the returned set has recovered (its state is the authoritative one);
+/// if none has, recovery must wait — resuming from an earlier state could
+/// lose acknowledged updates.
+pub fn last_to_fail(
+    logs: &BTreeMap<ProcessId, ViewLog>,
+) -> Option<(BTreeSet<ProcessId>, ViewId)> {
+    let best = logs
+        .values()
+        .filter_map(|log| log.last())
+        .max_by_key(|e| e.view)?;
+    Some((best.members.clone(), best.view))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn vid(epoch: u64, coord: u64) -> ViewId {
+        ViewId { epoch, coordinator: pid(coord) }
+    }
+
+    fn members(ids: &[u64]) -> BTreeSet<ProcessId> {
+        ids.iter().map(|&n| pid(n)).collect()
+    }
+
+    #[test]
+    fn logs_append_in_order_and_ignore_stale_entries() {
+        let mut log = ViewLog::new();
+        log.record(vid(1, 0), members(&[0, 1]));
+        log.record(vid(2, 0), members(&[0]));
+        log.record(vid(1, 0), members(&[0, 1])); // stale replay
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.last().unwrap().view, vid(2, 0));
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut log = ViewLog::new();
+        log.record(vid(1, 0), members(&[0, 1, 2]));
+        log.record(vid(3, 1), members(&[1, 2]));
+        let bytes = log.encode();
+        assert_eq!(ViewLog::decode(&bytes).unwrap(), log);
+        assert!(ViewLog::decode(&bytes[..3]).is_err());
+    }
+
+    #[test]
+    fn the_classic_scenario_three_processes_fail_in_sequence() {
+        // View history: {0,1,2} -> {1,2} (0 crashes) -> {2} (1 crashes).
+        // p2 is the last to fail; its state is authoritative.
+        let mut l0 = ViewLog::new();
+        l0.record(vid(1, 0), members(&[0, 1, 2]));
+        let mut l1 = ViewLog::new();
+        l1.record(vid(1, 0), members(&[0, 1, 2]));
+        l1.record(vid(2, 1), members(&[1, 2]));
+        let mut l2 = ViewLog::new();
+        l2.record(vid(1, 0), members(&[0, 1, 2]));
+        l2.record(vid(2, 1), members(&[1, 2]));
+        l2.record(vid(3, 2), members(&[2]));
+        let logs: BTreeMap<ProcessId, ViewLog> =
+            [(pid(0), l0), (pid(1), l1), (pid(2), l2)].into_iter().collect();
+        let (last, view) = last_to_fail(&logs).unwrap();
+        assert_eq!(last, members(&[2]));
+        assert_eq!(view, vid(3, 2));
+    }
+
+    #[test]
+    fn simultaneous_final_failures_return_the_whole_group() {
+        // {0,1,2} all crash in view v2{0,1}: 0 and 1 are jointly last.
+        let mut l0 = ViewLog::new();
+        l0.record(vid(1, 0), members(&[0, 1, 2]));
+        l0.record(vid(2, 0), members(&[0, 1]));
+        let l1 = l0.clone();
+        let mut l2 = ViewLog::new();
+        l2.record(vid(1, 0), members(&[0, 1, 2]));
+        let logs: BTreeMap<ProcessId, ViewLog> =
+            [(pid(0), l0), (pid(1), l1), (pid(2), l2)].into_iter().collect();
+        let (last, _) = last_to_fail(&logs).unwrap();
+        assert_eq!(last, members(&[0, 1]));
+    }
+
+    #[test]
+    fn partial_recovery_still_identifies_the_missing_authority() {
+        // Only p0 recovered, but its log shows {1} was the final view:
+        // the caller learns it must wait for p1's site.
+        let mut l0 = ViewLog::new();
+        l0.record(vid(1, 0), members(&[0, 1]));
+        l0.record(vid(2, 1), members(&[1])); // p0 saw itself excluded? No —
+        // p0 logged the view in which it was excluded via its own last
+        // installed view; realistically p0's log ends at vid(1,0). Model
+        // that properly:
+        let mut l0 = ViewLog::new();
+        l0.record(vid(1, 0), members(&[0, 1]));
+        let logs: BTreeMap<ProcessId, ViewLog> = [(pid(0), l0)].into_iter().collect();
+        let (last, _) = last_to_fail(&logs).unwrap();
+        assert_eq!(last, members(&[0, 1]), "best knowledge: the last view p0 saw");
+        // p0 alone cannot prove it was last; the creation protocol must
+        // wait for p1 or accept the risk explicitly.
+    }
+
+    #[test]
+    fn empty_logs_yield_none() {
+        let logs: BTreeMap<ProcessId, ViewLog> = [(pid(0), ViewLog::new())].into_iter().collect();
+        assert_eq!(last_to_fail(&logs), None);
+        assert_eq!(last_to_fail(&BTreeMap::new()), None);
+    }
+
+    #[test]
+    fn concurrent_partition_lineages_pick_the_higher_epoch() {
+        // Partition: {0,1} in v2@p0 and {2,3} in v3@p2 (later epoch).
+        // The {2,3} side failed last by epoch order.
+        let mut l0 = ViewLog::new();
+        l0.record(vid(2, 0), members(&[0, 1]));
+        let mut l2 = ViewLog::new();
+        l2.record(vid(3, 2), members(&[2, 3]));
+        let logs: BTreeMap<ProcessId, ViewLog> =
+            [(pid(0), l0), (pid(2), l2)].into_iter().collect();
+        let (last, view) = last_to_fail(&logs).unwrap();
+        assert_eq!(last, members(&[2, 3]));
+        assert_eq!(view.epoch, 3);
+    }
+}

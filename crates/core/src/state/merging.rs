@@ -1,0 +1,160 @@
+//! State merging across healed partitions.
+//!
+//! §4: "when the conditions leading to the partition are repaired, an
+//! application-specific decision has to be taken in defining a new global
+//! state that somehow reconciles the divergence that may have taken place."
+//!
+//! The generic part — which [`MergeExchange`] provides — is the exchange:
+//! one representative per cluster (in enriched-view terms, per up-to-date
+//! subview) publishes its cluster's snapshot; once every representative's
+//! snapshot is in, each participant hands the full multiset to the
+//! application's [`StateObject::merge`], which must be order-independent so
+//! that all clusters converge to the same state. The §6.2 methodology then
+//! finishes the job: the application merges the subviews (and their
+//! sv-sets) via the enriched-view calls, collapsing the clusters into one.
+//!
+//! [`StateObject::merge`]: crate::state::StateObject::merge
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use vs_net::ProcessId;
+
+/// Message of the merge exchange: one cluster representative's snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergeExchangeMsg {
+    /// The representative's cluster, identified by its least member (a
+    /// deterministic tag all members can compute from the e-view).
+    pub cluster: ProcessId,
+    /// The cluster's state snapshot.
+    pub snapshot: Bytes,
+}
+
+/// Collects one snapshot per cluster and releases the merge input.
+#[derive(Debug, Clone)]
+pub struct MergeExchange {
+    expected: BTreeSet<ProcessId>,
+    collected: BTreeMap<ProcessId, Bytes>,
+}
+
+impl MergeExchange {
+    /// Creates an exchange expecting one snapshot per cluster tag (the
+    /// least member of each up-to-date subview).
+    pub fn new(clusters: BTreeSet<ProcessId>) -> Self {
+        MergeExchange {
+            expected: clusters,
+            collected: BTreeMap::new(),
+        }
+    }
+
+    /// Records a representative's snapshot. Returns all snapshots in
+    /// deterministic (cluster-tag) order once every cluster has reported;
+    /// `None` before that. Unknown clusters are ignored; duplicates
+    /// replace.
+    pub fn on_snapshot(&mut self, msg: MergeExchangeMsg) -> Option<Vec<Bytes>> {
+        if !self.expected.contains(&msg.cluster) {
+            return None;
+        }
+        self.collected.insert(msg.cluster, msg.snapshot);
+        if self.collected.len() < self.expected.len() {
+            return None;
+        }
+        Some(self.collected.values().cloned().collect())
+    }
+
+    /// Clusters that have not yet reported.
+    pub fn missing(&self) -> BTreeSet<ProcessId> {
+        self.expected
+            .iter()
+            .copied()
+            .filter(|c| !self.collected.contains_key(c))
+            .collect()
+    }
+
+    /// Whether all snapshots are in.
+    pub fn is_complete(&self) -> bool {
+        self.collected.len() == self.expected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::object::test_support::BlobState;
+    use crate::state::StateObject;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn clusters(ids: &[u64]) -> BTreeSet<ProcessId> {
+        ids.iter().map(|&n| pid(n)).collect()
+    }
+
+    #[test]
+    fn exchange_completes_when_every_cluster_reports() {
+        let mut ex = MergeExchange::new(clusters(&[0, 2]));
+        assert!(!ex.is_complete());
+        assert_eq!(ex.missing(), clusters(&[0, 2]));
+        assert!(ex
+            .on_snapshot(MergeExchangeMsg {
+                cluster: pid(0),
+                snapshot: Bytes::from_static(b"aaa"),
+            })
+            .is_none());
+        assert_eq!(ex.missing(), clusters(&[2]));
+        let snaps = ex
+            .on_snapshot(MergeExchangeMsg {
+                cluster: pid(2),
+                snapshot: Bytes::from_static(b"zzz"),
+            })
+            .unwrap();
+        assert_eq!(snaps, vec![Bytes::from_static(b"aaa"), Bytes::from_static(b"zzz")]);
+        assert!(ex.is_complete());
+    }
+
+    #[test]
+    fn unknown_clusters_are_ignored_and_duplicates_replace() {
+        let mut ex = MergeExchange::new(clusters(&[0]));
+        assert!(ex
+            .on_snapshot(MergeExchangeMsg { cluster: pid(9), snapshot: Bytes::new() })
+            .is_none());
+        ex.on_snapshot(MergeExchangeMsg {
+            cluster: pid(0),
+            snapshot: Bytes::from_static(b"v1"),
+        });
+        let snaps = ex
+            .on_snapshot(MergeExchangeMsg {
+                cluster: pid(0),
+                snapshot: Bytes::from_static(b"v2"),
+            })
+            .unwrap();
+        assert_eq!(snaps, vec![Bytes::from_static(b"v2")]);
+    }
+
+    #[test]
+    fn both_clusters_converge_to_the_same_merged_state() {
+        // Cluster A holds "bbb", cluster B holds "ddd". After the exchange,
+        // both run the same application merge and agree.
+        let snaps_at_a = {
+            let mut ex = MergeExchange::new(clusters(&[0, 2]));
+            ex.on_snapshot(MergeExchangeMsg { cluster: pid(2), snapshot: Bytes::from_static(b"ddd") });
+            ex.on_snapshot(MergeExchangeMsg { cluster: pid(0), snapshot: Bytes::from_static(b"bbb") })
+                .unwrap()
+        };
+        let snaps_at_b = {
+            let mut ex = MergeExchange::new(clusters(&[0, 2]));
+            ex.on_snapshot(MergeExchangeMsg { cluster: pid(0), snapshot: Bytes::from_static(b"bbb") });
+            ex.on_snapshot(MergeExchangeMsg { cluster: pid(2), snapshot: Bytes::from_static(b"ddd") })
+                .unwrap()
+        };
+        assert_eq!(snaps_at_a, snaps_at_b, "deterministic order regardless of arrival");
+        let mut a = BlobState { data: b"bbb".to_vec() };
+        a.merge(&snaps_at_a);
+        let mut b = BlobState { data: b"ddd".to_vec() };
+        b.merge(&snaps_at_b);
+        assert_eq!(a.digest(), b.digest(), "clusters converge");
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared-state management machinery.
+//!
+//! §4 of the paper defines the three shared-state problems; §5 discusses
+//! what systematic support for them should look like (Isis' state-transfer
+//! tool, split eager/lazy transfer for large states, last-process-to-fail
+//! determination for creation). This module provides that support layer as
+//! transport-agnostic protocol machines, used by the group objects in
+//! `vs-apps`:
+//!
+//! * [`StateObject`] — the application's contract: snapshot, install,
+//!   merge;
+//! * [`transfer`] — state transfer from an up-to-date member, in both the
+//!   *blocking* style (Isis: the joiner serves nothing until the full state
+//!   arrived) and the *split* style of §5 (a small piece synchronously, the
+//!   bulk streamed while the application already runs);
+//! * [`creation`] — state creation after a total failure, seeded by
+//!   [`last_to_fail()`](last_to_fail::last_to_fail) determination over stable-storage view logs
+//!   (ref \[11\], Skeen);
+//! * [`merging`] — state merging across the clusters of a healed partition,
+//!   delegating the actual reconciliation policy to the application's
+//!   [`StateObject::merge`].
+
+pub mod creation;
+pub mod last_to_fail;
+pub mod merging;
+pub mod object;
+pub mod transfer;
+
+pub use creation::{CreationMachine, CreationMsg, CreationOutcome};
+pub use last_to_fail::{last_to_fail, ViewLog, ViewLogEntry, VIEW_LOG_KEY};
+pub use merging::{MergeExchange, MergeExchangeMsg};
+pub use object::{fnv1a, StateObject};
+pub use transfer::{TransferDonor, TransferMode, TransferMsg, TransferReceiver, TransferStatus};

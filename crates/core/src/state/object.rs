@@ -1,0 +1,106 @@
+//! The application's state contract.
+
+use bytes::Bytes;
+
+/// What a group object must expose for the generic shared-state machinery
+/// to move its state around.
+///
+/// The paper (§5) notes that a generic support layer cannot know what the
+/// state *means* — "an application-specific decision has to be taken in
+/// defining a new global state" for merges — so the contract is minimal:
+/// produce an opaque snapshot, accept one, and reconcile several.
+pub trait StateObject {
+    /// Serializes the full application state.
+    fn snapshot(&self) -> Bytes;
+
+    /// Replaces the local state with a received snapshot.
+    fn install(&mut self, snapshot: &Bytes);
+
+    /// Reconciles the local state with the snapshots of other diverged
+    /// clusters (state merging, §4). The result must be independent of the
+    /// order of `others` plus the local state — every cluster runs this
+    /// with the same multiset and must arrive at the same state.
+    fn merge(&mut self, others: &[Bytes]);
+
+    /// A cheap fingerprint for equality probes and experiment assertions.
+    fn digest(&self) -> u64;
+}
+
+/// FNV-1a over a byte slice — a convenient [`StateObject::digest`] helper.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A trivial state object: an opaque blob, merged by taking the
+    /// lexicographically greatest value (a stand-in for "latest wins").
+    #[derive(Debug, Clone, Default, PartialEq)]
+    pub struct BlobState {
+        pub data: Vec<u8>,
+    }
+
+    impl StateObject for BlobState {
+        fn snapshot(&self) -> Bytes {
+            Bytes::from(self.data.clone())
+        }
+        fn install(&mut self, snapshot: &Bytes) {
+            self.data = snapshot.to_vec();
+        }
+        fn merge(&mut self, others: &[Bytes]) {
+            for o in others {
+                if o.as_ref() > self.data.as_slice() {
+                    self.data = o.to_vec();
+                }
+            }
+        }
+        fn digest(&self) -> u64 {
+            fnv1a(&self.data)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::BlobState;
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_small_changes() {
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn blob_state_round_trips_snapshots() {
+        let a = BlobState { data: b"hello".to_vec() };
+        let snap = a.snapshot();
+        let mut b = BlobState::default();
+        b.install(&snap);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn blob_merge_is_order_independent() {
+        let snaps = [
+            Bytes::from_static(b"bbb"),
+            Bytes::from_static(b"aaa"),
+            Bytes::from_static(b"ccc"),
+        ];
+        let mut x = BlobState { data: b"000".to_vec() };
+        x.merge(&snaps);
+        let mut y = BlobState { data: b"000".to_vec() };
+        let reversed: Vec<Bytes> = snaps.iter().rev().cloned().collect();
+        y.merge(&reversed);
+        assert_eq!(x, y);
+        assert_eq!(x.data, b"ccc");
+    }
+}

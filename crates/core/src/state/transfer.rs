@@ -1,0 +1,507 @@
+//! State transfer: blocking, split eager/lazy, and negotiated.
+//!
+//! §5 of the paper contrasts two designs. Isis transfers the whole state
+//! *before* the new view is even installed — simple for the programmer but
+//! "if the application involved very large amounts of data … the strategy
+//! of blocking view installations while state transfer is in progress might
+//! be infeasible". The alternative it sketches is to "split the state into
+//! two parts: a (small) piece that needs to be transferred in synchrony
+//! with the join event; another (large) piece that can be transferred
+//! concurrently with application activity in the new view".
+//!
+//! Both designs — plus the §5 refinement of *negotiating* which parts of
+//! the state to transfer ([`TransferMode::Negotiated`]) — are provided here
+//! as receiver/donor machines exchanging [`TransferMsg`]s over any
+//! transport. The experiment `exp_state_transfer` measures the
+//! unavailability window and byte cost of each as a function of state
+//! size.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use vs_net::ProcessId;
+
+use crate::state::object::fnv1a;
+
+/// Transfer strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferMode {
+    /// Whole snapshot in one message; the receiver serves nothing until it
+    /// arrives (Isis style, §5).
+    Blocking,
+    /// A small synchronous piece first (metadata the application needs to
+    /// start serving), then the bulk in chunks of the given size while the
+    /// application already runs.
+    Split {
+        /// Bytes per lazy chunk.
+        chunk_size: usize,
+    },
+    /// The §5 refinement of split transfer: "one might want to avoid
+    /// transferring the entire state blindly and might prefer a solution
+    /// where the two parties … negotiate parts of the shared state to
+    /// transfer". The receiver offers per-chunk digests of the state it
+    /// already holds; the donor sends only the chunks that differ. A
+    /// rejoining replica that missed a handful of updates pulls a handful
+    /// of chunks instead of the whole state.
+    Negotiated {
+        /// Bytes per chunk (digest granularity).
+        chunk_size: usize,
+    },
+}
+
+/// Messages of the transfer protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TransferMsg {
+    /// Receiver → donor: start a transfer in this mode.
+    Request {
+        /// Requested strategy.
+        mode: TransferMode,
+        /// Negotiated mode: per-chunk digests of the state the receiver
+        /// already holds (empty otherwise).
+        have: Vec<u64>,
+    },
+    /// Donor → receiver (blocking mode): the whole state.
+    Snapshot {
+        /// Complete state snapshot.
+        data: Bytes,
+    },
+    /// Donor → receiver (split/negotiated mode): the synchronous piece and
+    /// the chunk plan for the rest.
+    Manifest {
+        /// The small piece transferred in synchrony with the join.
+        sync_part: Bytes,
+        /// Number of lazy chunks that will follow.
+        total_chunks: u64,
+        /// Negotiated mode: chunk indices the receiver already holds (its
+        /// offered digests matched) and must take from its own state.
+        reused: Vec<u64>,
+    },
+    /// Donor → receiver (split mode): one lazy chunk.
+    Chunk {
+        /// Zero-based chunk index.
+        idx: u64,
+        /// Chunk payload.
+        data: Bytes,
+    },
+}
+
+/// Receiver-side progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferStatus {
+    /// Waiting for the donor's first message.
+    Requested,
+    /// Split mode: the synchronous piece arrived — the application may
+    /// begin serving (the §5 point) — but chunks are still streaming.
+    SyncReady,
+    /// The full state has arrived and was assembled.
+    Complete,
+}
+
+/// Receiver side of a state transfer.
+///
+/// # Example
+///
+/// ```
+/// use bytes::Bytes;
+/// use vs_evs::state::{TransferDonor, TransferMode, TransferReceiver, TransferStatus};
+/// use vs_net::ProcessId;
+///
+/// let donor_pid = ProcessId::from_raw(0);
+/// let mut rx = TransferReceiver::start(donor_pid, TransferMode::Blocking);
+/// let request = rx.request();
+/// let replies = TransferDonor::respond(&request, Bytes::from_static(b"state"), Bytes::new());
+/// for msg in replies {
+///     rx.on_message(&msg);
+/// }
+/// assert_eq!(rx.status(), TransferStatus::Complete);
+/// assert_eq!(rx.assembled().unwrap(), Bytes::from_static(b"state").to_vec());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransferReceiver {
+    donor: ProcessId,
+    mode: TransferMode,
+    status: TransferStatus,
+    sync_part: Option<Bytes>,
+    total_chunks: Option<u64>,
+    chunks: Vec<Option<Bytes>>,
+    /// The receiver's pre-transfer state, reused chunk-wise in negotiated
+    /// mode.
+    base: Vec<u8>,
+    /// How many chunks arrived over the wire (excludes reused ones).
+    received_chunks: u64,
+}
+
+impl TransferReceiver {
+    /// Begins a transfer from `donor` with the given strategy. For
+    /// [`TransferMode::Negotiated`], prefer
+    /// [`start_with_state`](Self::start_with_state) so local chunks can be
+    /// offered for reuse; without a base state, negotiation degenerates to
+    /// a plain split transfer.
+    pub fn start(donor: ProcessId, mode: TransferMode) -> Self {
+        TransferReceiver::start_with_state(donor, mode, &[])
+    }
+
+    /// Begins a transfer, offering the receiver's current `local` state
+    /// for chunk reuse in negotiated mode.
+    pub fn start_with_state(donor: ProcessId, mode: TransferMode, local: &[u8]) -> Self {
+        TransferReceiver {
+            donor,
+            mode,
+            status: TransferStatus::Requested,
+            sync_part: None,
+            total_chunks: None,
+            chunks: Vec::new(),
+            base: local.to_vec(),
+            received_chunks: 0,
+        }
+    }
+
+    /// Chunks that actually crossed the wire (negotiated mode skips the
+    /// reused ones); for cost accounting in experiments.
+    pub fn received_chunks(&self) -> u64 {
+        self.received_chunks
+    }
+
+    /// Total chunks of the transfer plan, once the manifest arrived.
+    pub fn total_chunks(&self) -> Option<u64> {
+        self.total_chunks
+    }
+
+    /// The donor this receiver is pulling from.
+    pub fn donor(&self) -> ProcessId {
+        self.donor
+    }
+
+    /// The request message to send to the donor.
+    pub fn request(&self) -> TransferMsg {
+        let have = match self.mode {
+            TransferMode::Negotiated { chunk_size } => self
+                .base
+                .chunks(chunk_size.max(1))
+                .map(fnv1a)
+                .collect(),
+            _ => Vec::new(),
+        };
+        TransferMsg::Request { mode: self.mode, have }
+    }
+
+    /// Current progress.
+    pub fn status(&self) -> TransferStatus {
+        self.status
+    }
+
+    /// The synchronous piece, once it arrived (split mode).
+    pub fn sync_part(&self) -> Option<&Bytes> {
+        self.sync_part.as_ref()
+    }
+
+    /// Fraction of lazy chunks received, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        match self.total_chunks {
+            None => {
+                if self.status == TransferStatus::Complete {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Some(0) => 1.0,
+            Some(total) => {
+                self.chunks.iter().filter(|c| c.is_some()).count() as f64 / total as f64
+            }
+        }
+    }
+
+    /// Feeds a donor message; returns the new status.
+    pub fn on_message(&mut self, msg: &TransferMsg) -> TransferStatus {
+        match msg {
+            TransferMsg::Snapshot { data } => {
+                self.sync_part = Some(data.clone());
+                self.total_chunks = Some(0);
+                self.status = TransferStatus::Complete;
+            }
+            TransferMsg::Manifest { sync_part, total_chunks, reused } => {
+                self.sync_part = Some(sync_part.clone());
+                self.total_chunks = Some(*total_chunks);
+                self.chunks = vec![None; *total_chunks as usize];
+                // Negotiated mode: fill the reused slots from our own state.
+                if let TransferMode::Negotiated { chunk_size } = self.mode {
+                    let chunk_size = chunk_size.max(1);
+                    for &idx in reused {
+                        let lo = idx as usize * chunk_size;
+                        let hi = (lo + chunk_size).min(self.base.len());
+                        if lo < self.base.len() {
+                            if let Some(slot) = self.chunks.get_mut(idx as usize) {
+                                *slot = Some(Bytes::copy_from_slice(&self.base[lo..hi]));
+                            }
+                        }
+                    }
+                }
+                self.status = if self.chunks.iter().all(|c| c.is_some()) {
+                    TransferStatus::Complete
+                } else {
+                    TransferStatus::SyncReady
+                };
+            }
+            TransferMsg::Chunk { idx, data } => {
+                if let Some(slot) = self.chunks.get_mut(*idx as usize) {
+                    if slot.is_none() {
+                        self.received_chunks += 1;
+                    }
+                    *slot = Some(data.clone());
+                }
+                if self.chunks.iter().all(|c| c.is_some()) && self.total_chunks.is_some() {
+                    self.status = TransferStatus::Complete;
+                }
+            }
+            TransferMsg::Request { .. } => {}
+        }
+        self.status
+    }
+
+    /// The assembled bulk state, once complete: the concatenation of all
+    /// chunks (split mode) or the snapshot (blocking mode). The sync part
+    /// is exposed separately via [`sync_part`](Self::sync_part).
+    pub fn assembled(&self) -> Option<Vec<u8>> {
+        if self.status != TransferStatus::Complete {
+            return None;
+        }
+        match self.mode {
+            TransferMode::Blocking => self.sync_part.as_ref().map(|b| b.to_vec()),
+            TransferMode::Split { .. } | TransferMode::Negotiated { .. } => {
+                let mut out = Vec::new();
+                for c in &self.chunks {
+                    out.extend_from_slice(c.as_ref()?);
+                }
+                Some(out)
+            }
+        }
+    }
+}
+
+/// Donor side: stateless responder.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferDonor;
+
+impl TransferDonor {
+    /// Produces the reply messages for a transfer request. `state` is the
+    /// bulk snapshot; `sync_part` is the small synchronous piece used in
+    /// split mode (ignored in blocking mode, where everything is one
+    /// snapshot).
+    pub fn respond(request: &TransferMsg, state: Bytes, sync_part: Bytes) -> Vec<TransferMsg> {
+        let TransferMsg::Request { mode, have } = request else {
+            return Vec::new();
+        };
+        match mode {
+            TransferMode::Blocking => vec![TransferMsg::Snapshot { data: state }],
+            TransferMode::Split { chunk_size } => {
+                let chunk_size = (*chunk_size).max(1);
+                let total_chunks = state.len().div_ceil(chunk_size) as u64;
+                let mut out = vec![TransferMsg::Manifest {
+                    sync_part,
+                    total_chunks,
+                    reused: Vec::new(),
+                }];
+                for (idx, chunk) in state.chunks(chunk_size).enumerate() {
+                    out.push(TransferMsg::Chunk {
+                        idx: idx as u64,
+                        data: Bytes::copy_from_slice(chunk),
+                    });
+                }
+                out
+            }
+            TransferMode::Negotiated { chunk_size } => {
+                let chunk_size = (*chunk_size).max(1);
+                let total_chunks = state.len().div_ceil(chunk_size) as u64;
+                // A chunk is reusable when the receiver offered a matching
+                // digest at the same position AND it is full-sized there
+                // (a trailing partial chunk of the receiver's shorter state
+                // must not masquerade as a full chunk of ours).
+                let mut reused = Vec::new();
+                let mut fresh = Vec::new();
+                for (idx, chunk) in state.chunks(chunk_size).enumerate() {
+                    if have.get(idx).copied() == Some(fnv1a(chunk)) {
+                        reused.push(idx as u64);
+                    } else {
+                        fresh.push(TransferMsg::Chunk {
+                            idx: idx as u64,
+                            data: Bytes::copy_from_slice(chunk),
+                        });
+                    }
+                }
+                let mut out = vec![TransferMsg::Manifest {
+                    sync_part,
+                    total_chunks,
+                    reused,
+                }];
+                out.extend(fresh);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    #[test]
+    fn blocking_transfer_completes_in_one_message() {
+        let mut rx = TransferReceiver::start(pid(0), TransferMode::Blocking);
+        assert_eq!(rx.status(), TransferStatus::Requested);
+        let replies = TransferDonor::respond(&rx.request(), Bytes::from_static(b"abc"), Bytes::new());
+        assert_eq!(replies.len(), 1);
+        rx.on_message(&replies[0]);
+        assert_eq!(rx.status(), TransferStatus::Complete);
+        assert_eq!(rx.assembled().unwrap(), b"abc");
+        assert_eq!(rx.progress(), 1.0);
+    }
+
+    #[test]
+    fn split_transfer_is_serve_ready_before_complete() {
+        let mut rx = TransferReceiver::start(pid(0), TransferMode::Split { chunk_size: 2 });
+        let replies = TransferDonor::respond(
+            &rx.request(),
+            Bytes::from_static(b"abcde"),
+            Bytes::from_static(b"meta"),
+        );
+        assert_eq!(replies.len(), 4, "manifest + 3 chunks");
+        rx.on_message(&replies[0]);
+        assert_eq!(rx.status(), TransferStatus::SyncReady);
+        assert_eq!(rx.sync_part().unwrap().as_ref(), b"meta");
+        assert!(rx.assembled().is_none(), "bulk not yet available");
+        rx.on_message(&replies[1]);
+        rx.on_message(&replies[2]);
+        assert_eq!(rx.status(), TransferStatus::SyncReady);
+        assert!((rx.progress() - 2.0 / 3.0).abs() < 1e-9);
+        rx.on_message(&replies[3]);
+        assert_eq!(rx.status(), TransferStatus::Complete);
+        assert_eq!(rx.assembled().unwrap(), b"abcde");
+    }
+
+    #[test]
+    fn chunks_tolerate_reordering_and_duplication() {
+        let mut rx = TransferReceiver::start(pid(0), TransferMode::Split { chunk_size: 1 });
+        let replies = TransferDonor::respond(&rx.request(), Bytes::from_static(b"xyz"), Bytes::new());
+        rx.on_message(&replies[0]);
+        rx.on_message(&replies[3]); // z first
+        rx.on_message(&replies[1]); // x
+        rx.on_message(&replies[1]); // duplicate
+        rx.on_message(&replies[2]); // y
+        assert_eq!(rx.status(), TransferStatus::Complete);
+        assert_eq!(rx.assembled().unwrap(), b"xyz");
+    }
+
+    #[test]
+    fn empty_state_split_transfer_completes_immediately() {
+        let mut rx = TransferReceiver::start(pid(0), TransferMode::Split { chunk_size: 8 });
+        let replies = TransferDonor::respond(&rx.request(), Bytes::new(), Bytes::from_static(b"m"));
+        assert_eq!(replies.len(), 1);
+        rx.on_message(&replies[0]);
+        assert_eq!(rx.status(), TransferStatus::Complete);
+        assert_eq!(rx.assembled().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn blocking_vs_split_message_counts_reflect_the_design() {
+        // The §5 trade-off in numbers: blocking = 1 big message; split =
+        // 1 + ceil(n / chunk) messages but a tiny synchronous piece.
+        let state = Bytes::from(vec![0u8; 1000]);
+        let blocking = TransferDonor::respond(
+            &TransferMsg::Request { mode: TransferMode::Blocking, have: Vec::new() },
+            state.clone(),
+            Bytes::new(),
+        );
+        let split = TransferDonor::respond(
+            &TransferMsg::Request {
+                mode: TransferMode::Split { chunk_size: 100 },
+                have: Vec::new(),
+            },
+            state,
+            Bytes::from_static(b"tiny"),
+        );
+        assert_eq!(blocking.len(), 1);
+        assert_eq!(split.len(), 11);
+        match &split[0] {
+            TransferMsg::Manifest { sync_part, .. } => assert_eq!(sync_part.len(), 4),
+            other => panic!("expected manifest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negotiated_transfer_reuses_matching_chunks() {
+        // Receiver holds an old state that shares its first two chunks
+        // with the donor's; only the differing tail crosses the wire.
+        let old_state = b"AAAABBBBCCCC".to_vec();
+        let new_state = Bytes::from_static(b"AAAABBBBDDDDEEEE");
+        let mode = TransferMode::Negotiated { chunk_size: 4 };
+        let mut rx = TransferReceiver::start_with_state(pid(0), mode, &old_state);
+        let replies = TransferDonor::respond(&rx.request(), new_state.clone(), Bytes::new());
+        // Manifest + 2 fresh chunks (DDDD, EEEE); AAAA and BBBB reused.
+        assert_eq!(replies.len(), 3, "{replies:?}");
+        for msg in &replies {
+            rx.on_message(msg);
+        }
+        assert_eq!(rx.status(), TransferStatus::Complete);
+        assert_eq!(rx.assembled().unwrap(), new_state.to_vec());
+        assert_eq!(rx.received_chunks(), 2, "only the differing chunks travelled");
+    }
+
+    #[test]
+    fn negotiated_transfer_with_identical_state_sends_nothing() {
+        let state = Bytes::from_static(b"unchanged-state!");
+        let mode = TransferMode::Negotiated { chunk_size: 4 };
+        let mut rx = TransferReceiver::start_with_state(pid(0), mode, &state);
+        let replies = TransferDonor::respond(&rx.request(), state.clone(), Bytes::new());
+        assert_eq!(replies.len(), 1, "manifest only");
+        rx.on_message(&replies[0]);
+        assert_eq!(rx.status(), TransferStatus::Complete);
+        assert_eq!(rx.assembled().unwrap(), state.to_vec());
+        assert_eq!(rx.received_chunks(), 0);
+    }
+
+    #[test]
+    fn negotiated_transfer_with_empty_base_degenerates_to_split() {
+        let state = Bytes::from_static(b"xyzw1234");
+        let mode = TransferMode::Negotiated { chunk_size: 4 };
+        let mut rx = TransferReceiver::start(pid(0), mode);
+        let replies = TransferDonor::respond(&rx.request(), state.clone(), Bytes::new());
+        assert_eq!(replies.len(), 3, "manifest + both chunks");
+        for msg in &replies {
+            rx.on_message(msg);
+        }
+        assert_eq!(rx.assembled().unwrap(), state.to_vec());
+        assert_eq!(rx.received_chunks(), 2);
+    }
+
+    #[test]
+    fn negotiated_trailing_partial_chunk_is_not_falsely_reused() {
+        // Receiver's state is a strict prefix of the donor's; its final
+        // (partial) chunk digest must not collide with the donor's full
+        // chunk at that position.
+        let old_state = b"AAAABB".to_vec(); // chunk 1 is partial: "BB"
+        let new_state = Bytes::from_static(b"AAAABBBB");
+        let mode = TransferMode::Negotiated { chunk_size: 4 };
+        let mut rx = TransferReceiver::start_with_state(pid(0), mode, &old_state);
+        let replies = TransferDonor::respond(&rx.request(), new_state.clone(), Bytes::new());
+        for msg in &replies {
+            rx.on_message(msg);
+        }
+        assert_eq!(rx.status(), TransferStatus::Complete);
+        assert_eq!(rx.assembled().unwrap(), new_state.to_vec());
+    }
+
+    #[test]
+    fn non_request_inputs_to_the_donor_are_ignored() {
+        let out = TransferDonor::respond(
+            &TransferMsg::Chunk { idx: 0, data: Bytes::new() },
+            Bytes::new(),
+            Bytes::new(),
+        );
+        assert!(out.is_empty());
+    }
+}

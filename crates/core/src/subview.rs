@@ -1,0 +1,164 @@
+//! Subview and sv-set identifiers.
+//!
+//! Identity is the whole point of subviews: Property 6.3 says processes in
+//! the same subview *remain* in the same subview across view changes, so a
+//! subview's identifier must be stable for as long as any member survives,
+//! and globally unique across concurrent partitions that have never heard
+//! of each other.
+//!
+//! Both requirements are met without coordination by deriving identifiers
+//! from already-unique material:
+//!
+//! * a **seeded** subview — the singleton a process occupies when it enters
+//!   a view from an unknown lineage — is named by `(member, member's
+//!   previous view)`; a process enters from a given view at most once;
+//! * a **merged** subview — created by `SubviewMerge`/`SVSetMerge` — is
+//!   named by `(view it was created in, e-view sequence number)`; e-view
+//!   changes are totally ordered within a view (Property 6.1), so the pair
+//!   is agreed by all members.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use vs_gcs::ViewId;
+use vs_net::ProcessId;
+
+/// Identifier of a subview.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SubviewId {
+    /// The singleton subview a process occupies on entering a view from an
+    /// unrecognised lineage (fresh join, or the degenerate initial view).
+    Seeded {
+        /// The process this subview was seeded for.
+        member: ProcessId,
+        /// The view the process came from when the subview was seeded.
+        from: ViewId,
+    },
+    /// A subview created by a merge operation.
+    Merged {
+        /// The view the merge happened in.
+        view: ViewId,
+        /// The e-view change sequence number of the merge within that view.
+        seq: u64,
+    },
+}
+
+impl fmt::Debug for SubviewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubviewId::Seeded { member, from } => write!(f, "sv({member}<-{from})"),
+            SubviewId::Merged { view, seq } => write!(f, "sv({view}!{seq})"),
+        }
+    }
+}
+
+impl fmt::Display for SubviewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of a subview-set, with the same two naming schemes as
+/// [`SubviewId`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SvSetId {
+    /// The singleton sv-set seeded together with a seeded subview.
+    Seeded {
+        /// The process this sv-set was seeded for.
+        member: ProcessId,
+        /// The view the process came from.
+        from: ViewId,
+    },
+    /// An sv-set created by an `SVSetMerge` operation.
+    Merged {
+        /// The view the merge happened in.
+        view: ViewId,
+        /// The e-view change sequence number of the merge.
+        seq: u64,
+    },
+}
+
+impl fmt::Debug for SvSetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvSetId::Seeded { member, from } => write!(f, "ss({member}<-{from})"),
+            SvSetId::Merged { view, seq } => write!(f, "ss({view}!{seq})"),
+        }
+    }
+}
+
+impl fmt::Display for SvSetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl SubviewId {
+    /// The seeded subview id for `member` arriving from `from`.
+    pub fn seeded(member: ProcessId, from: ViewId) -> Self {
+        SubviewId::Seeded { member, from }
+    }
+}
+
+impl SvSetId {
+    /// The seeded sv-set id for `member` arriving from `from`.
+    pub fn seeded(member: ProcessId, from: ViewId) -> Self {
+        SvSetId::Seeded { member, from }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn vid(epoch: u64, coord: u64) -> ViewId {
+        ViewId {
+            epoch,
+            coordinator: pid(coord),
+        }
+    }
+
+    #[test]
+    fn seeded_ids_differ_by_member_and_origin() {
+        let a = SubviewId::seeded(pid(1), vid(0, 1));
+        let b = SubviewId::seeded(pid(1), vid(3, 0));
+        let c = SubviewId::seeded(pid(2), vid(0, 2));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn merged_ids_differ_by_view_and_seq() {
+        let a = SubviewId::Merged { view: vid(2, 0), seq: 1 };
+        let b = SubviewId::Merged { view: vid(2, 0), seq: 2 };
+        let c = SubviewId::Merged { view: vid(2, 5), seq: 1 };
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn display_names_are_distinct_for_subviews_and_svsets() {
+        let sv = SubviewId::seeded(pid(1), vid(0, 1));
+        let ss = SvSetId::seeded(pid(1), vid(0, 1));
+        assert_eq!(sv.to_string(), "sv(p1<-v0@p1)");
+        assert_eq!(ss.to_string(), "ss(p1<-v0@p1)");
+    }
+
+    #[test]
+    fn ids_are_ordered_deterministically() {
+        let mut ids = vec![
+            SubviewId::Merged { view: vid(1, 0), seq: 2 },
+            SubviewId::seeded(pid(0), vid(0, 0)),
+            SubviewId::Merged { view: vid(1, 0), seq: 1 },
+        ];
+        ids.sort();
+        let sorted = ids.clone();
+        ids.sort();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,381 @@
+//! Trace validation of the view-synchrony properties.
+//!
+//! The simulator records every [`GcsEvent`] each process emits; this module
+//! replays such a trace and verifies the paper's specification:
+//!
+//! * **Property 2.1 (Agreement)** — processes that survive from a view `v`
+//!   to the same next view deliver the same set of messages in `v`;
+//! * **Property 2.2 (Uniqueness)** — every delivery happens in the view the
+//!   message was multicast in, and the delivering process is in that view
+//!   at delivery time;
+//! * **Property 2.3 (Integrity)** — no process delivers the same message
+//!   twice, and every delivered message was actually multicast;
+//! * view sanity — view epochs strictly increase at every process.
+//!
+//! The property tests and every experiment binary run their traces through
+//! [`check`]; a reproduction whose own correctness claims were not machine-
+//! checked would be worth little.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use vs_membership::ViewId;
+use vs_net::{ProcessId, SimTime};
+
+use crate::events::GcsEvent;
+
+/// A message's global identity in a trace: origin view, sender, sequence.
+pub type GlobalMsgId = (ViewId, ProcessId, u64);
+
+/// One violated property instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A process delivered the same message twice (Property 2.3).
+    DuplicateDelivery {
+        /// The offending process.
+        process: ProcessId,
+        /// The message delivered twice.
+        msg: GlobalMsgId,
+    },
+    /// A delivered message was never multicast (Property 2.3).
+    GhostMessage {
+        /// The process that delivered it.
+        process: ProcessId,
+        /// The unexplained message.
+        msg: GlobalMsgId,
+    },
+    /// A message was delivered by a process whose current view differs from
+    /// the message's origin view (Property 2.2).
+    WrongView {
+        /// The offending process.
+        process: ProcessId,
+        /// The message.
+        msg: GlobalMsgId,
+        /// The view the process was actually in.
+        current: ViewId,
+    },
+    /// Two survivors of the same view transition delivered different sets
+    /// (Property 2.1).
+    AgreementMismatch {
+        /// The common predecessor view.
+        from: ViewId,
+        /// The common successor view.
+        to: ViewId,
+        /// First survivor.
+        p: ProcessId,
+        /// Second survivor.
+        q: ProcessId,
+        /// Messages delivered by `p` but not `q`.
+        only_p: Vec<GlobalMsgId>,
+        /// Messages delivered by `q` but not `p`.
+        only_q: Vec<GlobalMsgId>,
+    },
+    /// A process installed a view whose epoch did not increase.
+    NonMonotonicView {
+        /// The offending process.
+        process: ProcessId,
+        /// The earlier view.
+        before: ViewId,
+        /// The later (non-increasing) view.
+        after: ViewId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DuplicateDelivery { process, msg } => {
+                write!(f, "{process} delivered {msg:?} twice")
+            }
+            Violation::GhostMessage { process, msg } => {
+                write!(f, "{process} delivered never-multicast message {msg:?}")
+            }
+            Violation::WrongView { process, msg, current } => {
+                write!(f, "{process} delivered {msg:?} while in view {current}")
+            }
+            Violation::AgreementMismatch { from, to, p, q, only_p, only_q } => write!(
+                f,
+                "survivors {p},{q} of {from}->{to} disagree: {} vs {} extra deliveries",
+                only_p.len(),
+                only_q.len()
+            ),
+            Violation::NonMonotonicView { process, before, after } => {
+                write!(f, "{process} installed {after} after {before}")
+            }
+        }
+    }
+}
+
+/// Summary statistics of a checked trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Processes observed in the trace.
+    pub processes: usize,
+    /// Total deliveries checked.
+    pub deliveries: usize,
+    /// Total view installations checked.
+    pub views: usize,
+    /// Survivor pairs compared for Agreement.
+    pub agreement_pairs: usize,
+}
+
+/// Verifies a recorded trace against Properties 2.1–2.3.
+///
+/// Accepts the output buffer of a [`vs_net::Sim`] running
+/// [`GcsEndpoint`](crate::GcsEndpoint)s (or anything shaped like it).
+/// Returns statistics on success and the complete violation list on
+/// failure.
+///
+/// # Errors
+///
+/// Returns `Err` with every violation found; the trace is always scanned to
+/// the end.
+pub fn check<M>(trace: &[(SimTime, ProcessId, GcsEvent<M>)]) -> Result<CheckStats, Vec<Violation>> {
+    let mut violations = Vec::new();
+    let mut stats = CheckStats::default();
+
+    // Multicast record for Integrity: Sent events keyed by global id.
+    let mut sent: BTreeSet<GlobalMsgId> = BTreeSet::new();
+    for (_, p, ev) in trace {
+        if let GcsEvent::Sent { view, seq } = ev {
+            sent.insert((*view, *p, *seq));
+        }
+    }
+
+    // Per-process walk.
+    struct ProcState {
+        current: Option<ViewId>,
+        /// Views installed, in order.
+        views: Vec<ViewId>,
+        /// Delivered sets keyed by the view they were delivered in.
+        delivered: BTreeMap<ViewId, BTreeSet<GlobalMsgId>>,
+    }
+    let mut procs: BTreeMap<ProcessId, ProcState> = BTreeMap::new();
+
+    for (_, p, ev) in trace {
+        let st = procs.entry(*p).or_insert(ProcState {
+            current: None,
+            views: Vec::new(),
+            delivered: BTreeMap::new(),
+        });
+        match ev {
+            GcsEvent::Deliver { view, sender, seq, .. } => {
+                stats.deliveries += 1;
+                let gid: GlobalMsgId = (*view, *sender, *seq);
+                if !sent.contains(&gid) {
+                    violations.push(Violation::GhostMessage { process: *p, msg: gid });
+                }
+                match st.current {
+                    Some(cur) if cur == *view => {}
+                    Some(cur) => {
+                        violations.push(Violation::WrongView {
+                            process: *p,
+                            msg: gid,
+                            current: cur,
+                        });
+                    }
+                    None => violations.push(Violation::WrongView {
+                        process: *p,
+                        msg: gid,
+                        current: ViewId::initial(*p),
+                    }),
+                }
+                let set = st.delivered.entry(*view).or_default();
+                if !set.insert(gid) {
+                    violations.push(Violation::DuplicateDelivery { process: *p, msg: gid });
+                }
+            }
+            GcsEvent::ViewChange { view, .. } => {
+                stats.views += 1;
+                if let Some(prev) = st.current {
+                    if view.id().epoch <= prev.epoch && view.id() != prev {
+                        violations.push(Violation::NonMonotonicView {
+                            process: *p,
+                            before: prev,
+                            after: view.id(),
+                        });
+                    }
+                }
+                st.current = Some(view.id());
+                st.views.push(view.id());
+            }
+            _ => {}
+        }
+    }
+    stats.processes = procs.len();
+
+    // Agreement: group survivors by (from, to) consecutive transitions.
+    let mut transitions: BTreeMap<(ViewId, ViewId), Vec<ProcessId>> = BTreeMap::new();
+    for (p, st) in &procs {
+        for w in st.views.windows(2) {
+            transitions.entry((w[0], w[1])).or_default().push(*p);
+        }
+    }
+    for ((from, to), members) in &transitions {
+        for pair in members.windows(2) {
+            stats.agreement_pairs += 1;
+            let (p, q) = (pair[0], pair[1]);
+            let empty = BTreeSet::new();
+            let dp = procs[&p].delivered.get(from).unwrap_or(&empty);
+            let dq = procs[&q].delivered.get(from).unwrap_or(&empty);
+            if dp != dq {
+                violations.push(Violation::AgreementMismatch {
+                    from: *from,
+                    to: *to,
+                    p,
+                    q,
+                    only_p: dp.difference(dq).copied().collect(),
+                    only_q: dq.difference(dp).copied().collect(),
+                });
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(stats)
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_membership::View;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn vid(epoch: u64, coord: u64) -> ViewId {
+        ViewId { epoch, coordinator: pid(coord) }
+    }
+
+    fn view(epoch: u64, coord: u64, members: &[u64]) -> View {
+        View::new(vid(epoch, coord), members.iter().map(|&n| pid(n)).collect())
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    type Ev = GcsEvent<&'static str>;
+
+    fn vc(v: View) -> Ev {
+        GcsEvent::ViewChange { view: v, provenance: vec![] }
+    }
+
+    fn sent(view: ViewId, seq: u64) -> Ev {
+        GcsEvent::Sent { view, seq }
+    }
+
+    fn deliver(view: ViewId, sender: u64, seq: u64) -> Ev {
+        GcsEvent::Deliver { view, sender: pid(sender), seq, payload: "m" }
+    }
+
+    #[test]
+    fn clean_trace_passes_with_stats() {
+        let v = vid(1, 0);
+        let trace = vec![
+            (t(0), pid(0), vc(view(1, 0, &[0, 1]))),
+            (t(0), pid(1), vc(view(1, 0, &[0, 1]))),
+            (t(1), pid(0), sent(v, 1)),
+            (t(1), pid(0), deliver(v, 0, 1)),
+            (t(2), pid(1), deliver(v, 0, 1)),
+        ];
+        let stats = check(&trace).expect("clean trace");
+        assert_eq!(stats.processes, 2);
+        assert_eq!(stats.deliveries, 2);
+        assert_eq!(stats.views, 2);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_flagged() {
+        let v = vid(1, 0);
+        let trace = vec![
+            (t(0), pid(0), vc(view(1, 0, &[0]))),
+            (t(1), pid(0), sent(v, 1)),
+            (t(1), pid(0), deliver(v, 0, 1)),
+            (t(2), pid(0), deliver(v, 0, 1)),
+        ];
+        let errs = check(&trace).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, Violation::DuplicateDelivery { .. })));
+    }
+
+    #[test]
+    fn ghost_message_is_flagged() {
+        let v = vid(1, 0);
+        let trace = vec![
+            (t(0), pid(0), vc(view(1, 0, &[0]))),
+            (t(1), pid(0), deliver(v, 9, 1)),
+        ];
+        let errs = check(&trace).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, Violation::GhostMessage { .. })));
+    }
+
+    #[test]
+    fn delivery_in_the_wrong_view_is_flagged() {
+        let v1 = vid(1, 0);
+        let trace = vec![
+            (t(0), pid(0), vc(view(1, 0, &[0]))),
+            (t(1), pid(0), sent(v1, 1)),
+            (t(2), pid(0), vc(view(2, 0, &[0]))),
+            (t(3), pid(0), deliver(v1, 0, 1)), // v1 message delivered in v2
+        ];
+        let errs = check(&trace).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, Violation::WrongView { .. })));
+    }
+
+    #[test]
+    fn agreement_mismatch_between_survivors_is_flagged() {
+        let v1 = view(1, 0, &[0, 1]);
+        let v2 = view(2, 0, &[0, 1]);
+        let trace = vec![
+            (t(0), pid(0), vc(v1.clone())),
+            (t(0), pid(1), vc(v1.clone())),
+            (t(1), pid(0), sent(v1.id(), 1)),
+            (t(1), pid(0), deliver(v1.id(), 0, 1)),
+            // p1 never delivers p0#1 yet both survive into v2.
+            (t(2), pid(0), vc(v2.clone())),
+            (t(2), pid(1), vc(v2)),
+        ];
+        let errs = check(&trace).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, Violation::AgreementMismatch { .. })));
+    }
+
+    #[test]
+    fn diverging_survivors_into_different_views_are_allowed() {
+        // p0 goes v1 -> v2a, p1 goes v1 -> v2b: Agreement does not relate
+        // them (different next views), so differing deliveries are fine.
+        let v1 = view(1, 0, &[0, 1]);
+        let trace = vec![
+            (t(0), pid(0), vc(v1.clone())),
+            (t(0), pid(1), vc(v1.clone())),
+            (t(1), pid(0), sent(v1.id(), 1)),
+            (t(1), pid(0), deliver(v1.id(), 0, 1)),
+            (t(2), pid(0), vc(view(2, 0, &[0]))),
+            (t(2), pid(1), vc(view(2, 1, &[1]))),
+        ];
+        assert!(check(&trace).is_ok());
+    }
+
+    #[test]
+    fn non_monotonic_views_are_flagged() {
+        let trace = vec![
+            (t(0), pid(0), vc(view(5, 0, &[0]))),
+            (t(1), pid(0), vc(view(3, 0, &[0]))),
+        ];
+        let errs = check(&trace).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, Violation::NonMonotonicView { .. })));
+    }
+
+    #[test]
+    fn violations_render_human_readably() {
+        let v = Violation::DuplicateDelivery {
+            process: pid(3),
+            msg: (vid(1, 0), pid(2), 7),
+        };
+        let s = v.to_string();
+        assert!(s.contains("p3") && s.contains("twice"), "{s}");
+    }
+}

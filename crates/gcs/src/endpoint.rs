@@ -1,0 +1,826 @@
+//! The view-synchronous group-communication endpoint.
+//!
+//! [`GcsEndpoint`] is one process' complete group-communication stack: the
+//! heartbeat failure detector, the membership estimator, the view-agreement
+//! machine, the reliable multicast with acknowledgement-based stability and
+//! loss recovery, the optional ordering layer, and the flush logic that
+//! welds them into view synchrony.
+//!
+//! Life of a multicast: the application calls [`GcsEndpoint::mcast`]; the
+//! message is tagged with the current view and a per-view sequence number,
+//! delivered locally, and sent to every other view member. Losses are
+//! repaired by negative acknowledgements and by heartbeat-driven
+//! retransmission. When the membership changes, the agreement protocol
+//! blocks multicasting, collects every member's unstable messages, and the
+//! commit delivers the common closure *before* the new view is announced —
+//! Properties 2.1–2.3 of the paper.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use vs_membership::{
+    AgreementAction, AgreementConfig, AgreementMachine, AgreementMsg, DetectorConfig,
+    EstimatorConfig, FailureDetector, MembershipEstimator, View, ViewId,
+};
+use vs_net::{Actor, Context, ProcessId, TimerId, TimerKind};
+
+use crate::events::{GcsEvent, Provenance};
+use crate::flush::{flush_deliveries, FlushPayload};
+use crate::message::{MsgId, ViewMsg};
+use crate::ordering::{OrderBuffer, OrderingMode};
+use crate::stability::AckTracker;
+
+/// Timer kind used for the endpoint's single periodic tick.
+const TICK: TimerKind = TimerKind(1);
+
+/// Configuration of a [`GcsEndpoint`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcsConfig {
+    /// Failure-detector tuning.
+    pub detector: DetectorConfig,
+    /// Membership-estimator tuning.
+    pub estimator: EstimatorConfig,
+    /// View-agreement tuning.
+    pub agreement: AgreementConfig,
+    /// Intra-view delivery order.
+    pub ordering: OrderingMode,
+    /// Uniform delivery (Schiper & Sandoz, the paper's ref \[10\]): hold
+    /// each message until it is *stable* (received by every view member)
+    /// before delivering, so that no process — not even one about to be
+    /// excluded — delivers a message the others might miss. Trades latency
+    /// (one extra acknowledgement round) for the uniformity guarantee.
+    pub uniform: bool,
+}
+
+/// Wire messages exchanged between endpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Wire<M> {
+    /// Periodic liveness beacon carrying the sender's acknowledgement
+    /// vector for its current view.
+    Heartbeat {
+        /// The sender's current view.
+        view: ViewId,
+        /// Per-sender contiguous receive frontiers at the sender.
+        acks: BTreeMap<ProcessId, u64>,
+    },
+    /// An application multicast (original transmission or retransmission).
+    App(ViewMsg<M>),
+    /// Request to resend the sender's own messages with these sequence
+    /// numbers (gap repair).
+    Nack {
+        /// View the gap was observed in.
+        view: ViewId,
+        /// Missing sequence numbers of the addressee's messages.
+        missing: Vec<u64>,
+    },
+    /// Sequencer decision under total ordering: message `id` is the
+    /// `idx`-th delivery of view `view`.
+    Order {
+        /// View this decision belongs to.
+        view: ViewId,
+        /// Global delivery index (from 1).
+        idx: u64,
+        /// The message assigned to that index.
+        id: MsgId,
+    },
+    /// View-agreement traffic.
+    Agreement(AgreementMsg<FlushPayload<M>>),
+    /// A point-to-point payload outside the view-synchronous multicast
+    /// stream (no ordering, agreement or uniqueness guarantees). Used for
+    /// bulk state transfer, which the paper explicitly wants *outside* the
+    /// synchronised path (§5).
+    Direct(M),
+    /// Graceful leave notification: the sender is exiting the group.
+    Goodbye,
+}
+
+/// One process' view-synchronous group-communication stack. Implements
+/// [`Actor`]; drive it with [`vs_net::Sim`] or [`vs_net::threaded`].
+///
+/// Outputs a stream of [`GcsEvent`]s.
+#[derive(Debug)]
+pub struct GcsEndpoint<M> {
+    me: ProcessId,
+    config: GcsConfig,
+    fd: FailureDetector,
+    estimator: MembershipEstimator,
+    agreement: AgreementMachine<FlushPayload<M>>,
+    contacts: BTreeSet<ProcessId>,
+    annotation: Bytes,
+    view: View,
+    my_seq: u64,
+    sent: BTreeMap<u64, ViewMsg<M>>,
+    received: BTreeMap<MsgId, ViewMsg<M>>,
+    delivered: BTreeSet<MsgId>,
+    acks: AckTracker,
+    order_buf: OrderBuffer<M>,
+    next_order_idx: u64,
+    pending_out: Vec<M>,
+    stash: Vec<ViewMsg<M>>,
+    /// Uniform mode: messages ready for delivery but not yet stable.
+    held_for_stability: Vec<ViewMsg<M>>,
+    left: bool,
+}
+
+type Ctx<'a, M> = Context<'a, Wire<M>, GcsEvent<M>>;
+
+impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
+    /// Creates the endpoint for process `me`. The process starts alone in
+    /// its initial singleton view and discovers peers through `contacts`
+    /// (see [`set_contacts`](Self::set_contacts)).
+    pub fn new(me: ProcessId, config: GcsConfig) -> Self {
+        GcsEndpoint {
+            me,
+            config,
+            fd: FailureDetector::new(me, config.detector),
+            estimator: MembershipEstimator::new(
+                std::iter::once(me).collect(),
+                config.estimator,
+            ),
+            agreement: AgreementMachine::new(me, config.agreement),
+            contacts: BTreeSet::new(),
+            annotation: Bytes::new(),
+            view: View::initial(me),
+            my_seq: 0,
+            sent: BTreeMap::new(),
+            received: BTreeMap::new(),
+            delivered: BTreeSet::new(),
+            acks: AckTracker::new(),
+            order_buf: OrderBuffer::new(config.ordering),
+            next_order_idx: 1,
+            pending_out: Vec::new(),
+            stash: Vec::new(),
+            held_for_stability: Vec::new(),
+            left: false,
+        }
+    }
+
+    /// Sets the processes this endpoint heartbeats towards even before they
+    /// share a view — the discovery seed. In a deployment this would be a
+    /// name service; experiments pass every process of the universe.
+    pub fn set_contacts(&mut self, contacts: impl IntoIterator<Item = ProcessId>) {
+        self.contacts = contacts.into_iter().filter(|&p| p != self.me).collect();
+    }
+
+    /// Sets the opaque annotation attached to this process' flush payloads.
+    /// `vs-evs` stores the serialized subview structure here.
+    pub fn set_annotation(&mut self, annotation: Bytes) {
+        self.annotation = annotation;
+    }
+
+    /// The currently installed view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Whether multicasts are currently blocked by an in-flight view change.
+    pub fn is_blocked(&self) -> bool {
+        self.agreement.is_engaged()
+    }
+
+    /// Whether this endpoint has left the group.
+    pub fn has_left(&self) -> bool {
+        self.left
+    }
+
+    /// Multicasts `payload` to the current view (including the local
+    /// process). If a view change is in progress the message is queued and
+    /// multicast in the next view — it will be delivered in exactly one
+    /// view either way (Property 2.2).
+    pub fn mcast(&mut self, payload: M, ctx: &mut Ctx<'_, M>) {
+        if self.left {
+            return;
+        }
+        if self.is_blocked() {
+            self.pending_out.push(payload);
+            return;
+        }
+        self.do_mcast(payload, ctx);
+    }
+
+    /// Sends `payload` point-to-point to `to`, outside the view-synchronous
+    /// stream: no view tagging, no flush, no agreement. The receiver sees a
+    /// [`GcsEvent::DeliverDirect`]. Intended for bulk data (state-transfer
+    /// chunks) that must not block view installations (§5 of the paper).
+    pub fn send_direct(&mut self, to: ProcessId, payload: M, ctx: &mut Ctx<'_, M>) {
+        if !self.left {
+            ctx.send(to, Wire::Direct(payload));
+        }
+    }
+
+    /// Leaves the group: notifies the current view and goes silent. Peers
+    /// exclude this process through the normal view-change path.
+    pub fn leave(&mut self, ctx: &mut Ctx<'_, M>) {
+        if self.left {
+            return;
+        }
+        self.left = true;
+        let peers: Vec<ProcessId> = self.view.members().iter().copied().filter(|&p| p != self.me).collect();
+        ctx.send_all(peers, Wire::Goodbye);
+    }
+
+    fn do_mcast(&mut self, payload: M, ctx: &mut Ctx<'_, M>) {
+        self.my_seq += 1;
+        let mut msg = ViewMsg::new(self.view.id(), self.me, self.my_seq, payload);
+        msg.vc = self.order_buf.make_clock(self.me, self.my_seq);
+        self.sent.insert(self.my_seq, msg.clone());
+        ctx.output(GcsEvent::Sent {
+            view: self.view.id(),
+            seq: self.my_seq,
+        });
+        let peers: Vec<ProcessId> = self
+            .view
+            .members()
+            .iter()
+            .copied()
+            .filter(|&p| p != self.me)
+            .collect();
+        ctx.send_all(peers, Wire::App(msg.clone()));
+        self.offer(msg, ctx);
+    }
+
+    /// Common receive path for local and remote application messages.
+    fn offer(&mut self, msg: ViewMsg<M>, ctx: &mut Ctx<'_, M>) {
+        if msg.view != self.view.id() {
+            return; // a different view's message: Uniqueness forbids delivery
+        }
+        if self.received.contains_key(&msg.id) || self.delivered.contains(&msg.id) {
+            return; // duplicate (Integrity)
+        }
+        let gaps = self.acks.on_receive(msg.id.sender, msg.id.seq);
+        if !gaps.is_empty() && msg.id.sender != self.me {
+            ctx.send(
+                msg.id.sender,
+                Wire::Nack {
+                    view: self.view.id(),
+                    missing: gaps,
+                },
+            );
+        }
+        self.received.insert(msg.id, msg.clone());
+        // Total order: the view leader sequences every fresh message.
+        if self.config.ordering == OrderingMode::Total && self.view.leader() == self.me {
+            let idx = self.next_order_idx;
+            self.next_order_idx += 1;
+            let peers: Vec<ProcessId> = self
+                .view
+                .members()
+                .iter()
+                .copied()
+                .filter(|&p| p != self.me)
+                .collect();
+            ctx.send_all(
+                peers,
+                Wire::Order {
+                    view: self.view.id(),
+                    idx,
+                    id: msg.id,
+                },
+            );
+            let id = msg.id;
+            let mut ready = self.order_buf.insert(msg);
+            ready.extend(self.order_buf.on_order(idx, id));
+            for m in ready {
+                self.deliver(m, ctx);
+            }
+            return;
+        }
+        let ready = self.order_buf.insert(msg);
+        for m in ready {
+            self.deliver(m, ctx);
+        }
+    }
+
+    fn deliver(&mut self, msg: ViewMsg<M>, ctx: &mut Ctx<'_, M>) {
+        if self.config.uniform {
+            // Uniform delivery: hold until the message is stable. (The
+            // flush protocol delivers whatever is still held at a view
+            // change — by then its delivery is agreed among all
+            // survivors, which is the uniformity condition.)
+            let members: Vec<ProcessId> = self.view.members().iter().copied().collect();
+            let frontier =
+                self.acks
+                    .stable_frontier(self.me, msg.id.sender, members.iter().copied());
+            if msg.id.seq > frontier {
+                self.held_for_stability.push(msg);
+                return;
+            }
+        }
+        self.deliver_now(msg, ctx);
+    }
+
+    fn deliver_now(&mut self, msg: ViewMsg<M>, ctx: &mut Ctx<'_, M>) {
+        if !self.delivered.insert(msg.id) {
+            return;
+        }
+        ctx.output(GcsEvent::Deliver {
+            view: msg.view,
+            sender: msg.id.sender,
+            seq: msg.id.seq,
+            payload: msg.payload,
+        });
+    }
+
+    /// Uniform mode: release held messages that have become stable.
+    fn release_stable(&mut self, ctx: &mut Ctx<'_, M>) {
+        if self.held_for_stability.is_empty() {
+            return;
+        }
+        let members: Vec<ProcessId> = self.view.members().iter().copied().collect();
+        let held = std::mem::take(&mut self.held_for_stability);
+        for msg in held {
+            let frontier =
+                self.acks
+                    .stable_frontier(self.me, msg.id.sender, members.iter().copied());
+            if msg.id.seq <= frontier {
+                self.deliver_now(msg, ctx);
+            } else {
+                self.held_for_stability.push(msg);
+            }
+        }
+    }
+
+    fn heartbeat_targets(&self) -> BTreeSet<ProcessId> {
+        self.contacts
+            .iter()
+            .copied()
+            .chain(self.view.members().iter().copied())
+            .chain(self.fd.known())
+            .filter(|&p| p != self.me)
+            .collect()
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, M>) {
+        let now = ctx.now();
+        // 1. Heartbeats (liveness beacon + ack gossip).
+        let hb = Wire::Heartbeat {
+            view: self.view.id(),
+            acks: self.acks.ack_vector(),
+        };
+        ctx.send_all(self.heartbeat_targets(), hb);
+        // 2. Membership estimation.
+        let trusted = self.fd.trusted(now);
+        if let Some(candidate) = self.estimator.observe(trusted, now) {
+            if candidate.iter().next() == Some(&self.me) {
+                self.estimator.agreement_started();
+                let actions = self.agreement.start(candidate, now);
+                self.process_agreement(actions, ctx);
+            }
+        }
+        // 3. Agreement timeouts.
+        let actions = self.agreement.on_tick(now);
+        self.process_agreement(actions, ctx);
+        // 4. Stability pruning: messages everyone has can never matter to a
+        //    flush again.
+        let members: Vec<ProcessId> = self.view.members().iter().copied().collect();
+        let senders: BTreeSet<ProcessId> = self.received.keys().map(|id| id.sender).collect();
+        for s in senders {
+            let frontier = self.acks.stable_frontier(self.me, s, members.iter().copied());
+            self.received
+                .retain(|id, _| id.sender != s || id.seq > frontier);
+            if s == self.me {
+                self.sent.retain(|&seq, _| seq > frontier);
+            }
+        }
+        // 5. Re-arm.
+        ctx.set_timer(self.config.detector.heartbeat_every, TICK);
+    }
+
+    fn process_agreement(
+        &mut self,
+        actions: Vec<AgreementAction<FlushPayload<M>>>,
+        ctx: &mut Ctx<'_, M>,
+    ) {
+        let mut work = actions;
+        while !work.is_empty() {
+            let mut next = Vec::new();
+            for action in work {
+                match action {
+                    AgreementAction::Send(to, msg) => ctx.send(to, Wire::Agreement(msg)),
+                    AgreementAction::NeedPayload { proposal } => {
+                        if !self.estimator.is_in_progress() {
+                            self.estimator.agreement_started();
+                        }
+                        ctx.output(GcsEvent::Blocked);
+                        let mut unstable: Vec<ViewMsg<M>> =
+                            self.received.values().cloned().collect();
+                        unstable.sort_by_key(|m| m.flush_key());
+                        let payload = FlushPayload {
+                            unstable,
+                            annotation: self.annotation.clone(),
+                        };
+                        next.extend(self.agreement.provide_payload(proposal, payload));
+                    }
+                    AgreementAction::Install { view, replies } => {
+                        self.install(view, replies, ctx);
+                    }
+                    AgreementAction::Abandoned => {
+                        self.estimator.agreement_failed();
+                        ctx.output(GcsEvent::FlushAbandoned);
+                        // Replay messages that arrived during the aborted
+                        // flush: the view did not change, they are live.
+                        for msg in std::mem::take(&mut self.stash) {
+                            self.offer(msg, ctx);
+                        }
+                        for payload in std::mem::take(&mut self.pending_out) {
+                            self.do_mcast(payload, ctx);
+                        }
+                    }
+                }
+            }
+            work = next;
+        }
+    }
+
+    fn install(
+        &mut self,
+        view: View,
+        replies: Vec<(ProcessId, ViewId, FlushPayload<M>)>,
+        ctx: &mut Ctx<'_, M>,
+    ) {
+        // Synchronised deliveries of the old view, before anything else.
+        let prev = self.view.id();
+        let deliveries = flush_deliveries(prev, &self.delivered, &replies);
+        for msg in deliveries {
+            self.deliver_now(msg, ctx);
+        }
+        // Reset per-view multicast state.
+        self.view = view.clone();
+        self.my_seq = 0;
+        self.sent.clear();
+        self.received.clear();
+        self.delivered.clear();
+        self.acks = AckTracker::new();
+        self.order_buf = OrderBuffer::new(self.config.ordering);
+        self.next_order_idx = 1;
+        self.stash.clear();
+        self.held_for_stability.clear();
+        self.estimator.view_installed(view.members().clone());
+        let provenance: Vec<Provenance> = replies
+            .iter()
+            .map(|(p, vid, payload)| Provenance {
+                member: *p,
+                prev_view: *vid,
+                annotation: payload.annotation.clone(),
+            })
+            .collect();
+        ctx.output(GcsEvent::ViewChange { view, provenance });
+        // Multicasts queued during the block phase go out in the new view.
+        for payload in std::mem::take(&mut self.pending_out) {
+            self.do_mcast(payload, ctx);
+        }
+    }
+}
+
+impl<M: Clone + std::fmt::Debug + 'static> Actor for GcsEndpoint<M> {
+    type Msg = Wire<M>;
+    type Output = GcsEvent<M>;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        ctx.output(GcsEvent::ViewChange {
+            view: self.view.clone(),
+            provenance: vec![Provenance {
+                member: self.me,
+                prev_view: self.view.id(),
+                annotation: Bytes::new(),
+            }],
+        });
+        ctx.set_timer(self.config.detector.heartbeat_every, TICK);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Wire<M>, ctx: &mut Ctx<'_, M>) {
+        if self.left {
+            return;
+        }
+        self.fd.heard_from(from, ctx.now());
+        match msg {
+            Wire::Heartbeat { view, acks } => {
+                if view == self.view.id() && self.view.contains(from) {
+                    self.acks.on_peer_acks(from, acks);
+                    self.release_stable(ctx);
+                    // Retransmit whatever the peer is missing of ours.
+                    let frontier = self.acks.peer_frontier(from, self.me);
+                    let resend: Vec<ViewMsg<M>> = self
+                        .sent
+                        .range((frontier + 1)..)
+                        .map(|(_, m)| m.clone())
+                        .collect();
+                    for m in resend {
+                        ctx.send(from, Wire::App(m));
+                    }
+                }
+            }
+            Wire::App(msg) => {
+                if self.is_blocked() {
+                    // Received mid-flush: its fate is decided by the flush
+                    // union; keep it aside in case the flush is abandoned.
+                    if msg.view == self.view.id() {
+                        self.stash.push(msg);
+                    }
+                } else {
+                    self.offer(msg, ctx);
+                }
+            }
+            Wire::Nack { view, missing } => {
+                if view == self.view.id() {
+                    for seq in missing {
+                        if let Some(m) = self.sent.get(&seq) {
+                            ctx.send(from, Wire::App(m.clone()));
+                        }
+                    }
+                }
+            }
+            Wire::Order { view, idx, id } => {
+                if view == self.view.id() {
+                    let ready = self.order_buf.on_order(idx, id);
+                    for m in ready {
+                        self.deliver(m, ctx);
+                    }
+                }
+            }
+            Wire::Agreement(am) => {
+                let now = ctx.now();
+                let actions = self.agreement.handle(from, am, now);
+                self.process_agreement(actions, ctx);
+            }
+            Wire::Direct(payload) => {
+                ctx.output(GcsEvent::DeliverDirect { from, payload });
+            }
+            Wire::Goodbye => {
+                self.fd.forget(from);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, kind: TimerKind, ctx: &mut Ctx<'_, M>) {
+        if kind == TICK && !self.left {
+            self.on_tick(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_net::{Sim, SimConfig, SimDuration};
+
+    type E = GcsEndpoint<String>;
+
+    /// Spawns `n` endpoints that all know about each other and lets the
+    /// group form.
+    fn group(seed: u64, n: usize) -> (Sim<E>, Vec<ProcessId>) {
+        let mut sim: Sim<E> = Sim::new(seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..n {
+            let site = sim.alloc_site();
+            let pid = sim.spawn_with(site, |pid| E::new(pid, GcsConfig::default()));
+            pids.push(pid);
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_millis(500));
+        (sim, pids)
+    }
+
+    fn latest_view(sim: &Sim<E>, p: ProcessId) -> View {
+        sim.actor(p).unwrap().view().clone()
+    }
+
+    #[test]
+    fn singletons_merge_into_one_view() {
+        let (sim, pids) = group(1, 4);
+        let v0 = latest_view(&sim, pids[0]);
+        assert_eq!(v0.len(), 4, "all four merged: {v0}");
+        for &p in &pids[1..] {
+            assert_eq!(latest_view(&sim, p).id(), v0.id(), "same view everywhere");
+        }
+    }
+
+    #[test]
+    fn multicast_reaches_every_member_exactly_once() {
+        let (mut sim, pids) = group(2, 3);
+        sim.drain_outputs();
+        sim.invoke(pids[1], |e, ctx| e.mcast("hello".to_string(), ctx));
+        sim.run_for(SimDuration::from_millis(200));
+        let deliveries: Vec<(ProcessId, ProcessId, u64)> = sim
+            .outputs()
+            .iter()
+            .filter_map(|(_, p, ev)| ev.as_delivery().map(|(_, s, q)| (*p, s, q)))
+            .collect();
+        assert_eq!(deliveries.len(), 3, "one delivery per member");
+        assert!(deliveries.iter().all(|(_, s, _)| *s == pids[1]));
+        let receivers: BTreeSet<ProcessId> = deliveries.iter().map(|(p, _, _)| *p).collect();
+        assert_eq!(receivers.len(), 3);
+    }
+
+    #[test]
+    fn crash_shrinks_the_view() {
+        let (mut sim, pids) = group(3, 3);
+        sim.crash(pids[2]);
+        sim.run_for(SimDuration::from_millis(500));
+        let v = latest_view(&sim, pids[0]);
+        assert_eq!(v.len(), 2, "crashed member excluded: {v}");
+        assert!(!v.contains(pids[2]));
+        assert_eq!(latest_view(&sim, pids[1]).id(), v.id());
+    }
+
+    #[test]
+    fn partition_makes_concurrent_views_and_heal_merges_them() {
+        let (mut sim, pids) = group(4, 4);
+        sim.partition(&[vec![pids[0], pids[1]], vec![pids[2], pids[3]]]);
+        sim.run_for(SimDuration::from_millis(500));
+        let va = latest_view(&sim, pids[0]);
+        let vb = latest_view(&sim, pids[2]);
+        assert_eq!(va.len(), 2);
+        assert_eq!(vb.len(), 2);
+        assert_ne!(va.id(), vb.id(), "concurrent views in concurrent partitions");
+        sim.heal();
+        sim.run_for(SimDuration::from_millis(700));
+        let v = latest_view(&sim, pids[0]);
+        assert_eq!(v.len(), 4, "merged back: {v}");
+        for &p in &pids[1..] {
+            assert_eq!(latest_view(&sim, p).id(), v.id());
+        }
+    }
+
+    #[test]
+    fn message_sent_during_flush_is_not_lost_if_queued() {
+        let (mut sim, pids) = group(5, 3);
+        // Trigger a view change and immediately multicast: the message is
+        // queued and goes out in the new view.
+        sim.crash(pids[2]);
+        sim.run_for(SimDuration::from_millis(40));
+        sim.drain_outputs();
+        sim.invoke(pids[0], |e, ctx| e.mcast("late".to_string(), ctx));
+        sim.run_for(SimDuration::from_millis(800));
+        let deliveries: Vec<ProcessId> = sim
+            .outputs()
+            .iter()
+            .filter_map(|(_, p, ev)| ev.as_delivery().map(|_| *p))
+            .collect();
+        assert_eq!(deliveries.len(), 2, "delivered at both survivors");
+    }
+
+    #[test]
+    fn graceful_leave_shrinks_the_view_quickly() {
+        let (mut sim, pids) = group(6, 3);
+        sim.invoke(pids[1], |e, ctx| e.leave(ctx));
+        sim.run_for(SimDuration::from_millis(500));
+        let v = latest_view(&sim, pids[0]);
+        assert_eq!(v.len(), 2);
+        assert!(!v.contains(pids[1]));
+        assert!(sim.actor(pids[1]).unwrap().has_left());
+    }
+
+    #[test]
+    fn lossy_links_do_not_break_delivery() {
+        let mut config = SimConfig::default();
+        config.link.loss = 0.2;
+        let mut sim: Sim<E> = Sim::new(7, config);
+        let mut pids = Vec::new();
+        for _ in 0..3 {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |pid| E::new(pid, GcsConfig::default())));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(latest_view(&sim, pids[0]).len(), 3);
+        sim.drain_outputs();
+        for i in 0..5 {
+            sim.invoke(pids[0], |e, ctx| e.mcast(format!("m{i}"), ctx));
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        // Count deliveries at the non-sender members; retransmission must
+        // repair the 20% loss.
+        let mut per_member: BTreeMap<ProcessId, usize> = BTreeMap::new();
+        for (_, p, ev) in sim.outputs() {
+            if ev.as_delivery().is_some() {
+                *per_member.entry(*p).or_insert(0) += 1;
+            }
+        }
+        // A view change caused by loss-induced false suspicion may dissolve
+        // the group temporarily, but messages multicast in a view every
+        // member stayed in must arrive everywhere.
+        for (&p, &n) in &per_member {
+            assert!(n >= 1, "{p} delivered nothing");
+        }
+        assert_eq!(
+            per_member.get(&pids[0]).copied().unwrap_or(0),
+            5,
+            "sender delivers its own multicasts"
+        );
+    }
+
+    #[test]
+    fn sequence_numbers_restart_per_view() {
+        let (mut sim, pids) = group(8, 3);
+        sim.invoke(pids[0], |e, ctx| e.mcast("a".into(), ctx));
+        sim.run_for(SimDuration::from_millis(100));
+        sim.crash(pids[2]);
+        sim.run_for(SimDuration::from_millis(500));
+        sim.drain_outputs();
+        sim.invoke(pids[0], |e, ctx| e.mcast("b".into(), ctx));
+        sim.run_for(SimDuration::from_millis(100));
+        let seqs: Vec<u64> = sim
+            .outputs()
+            .iter()
+            .filter_map(|(_, _, ev)| ev.as_delivery().map(|(_, _, s)| s))
+            .collect();
+        assert!(seqs.iter().all(|&s| s == 1), "fresh view, fresh seq: {seqs:?}");
+    }
+
+    #[test]
+    fn uniform_delivery_waits_for_stability() {
+        let mut sim: Sim<E> = Sim::new(20, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..3 {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |pid| {
+                E::new(pid, GcsConfig { uniform: true, ..GcsConfig::default() })
+            }));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_millis(500));
+        sim.drain_outputs();
+        sim.invoke(pids[0], |e, ctx| e.mcast("uniform".to_string(), ctx));
+        // Delivery needs receipt everywhere plus an acknowledgement round
+        // (piggybacked on ~10ms heartbeats); within 2ms nobody delivers.
+        sim.run_for(SimDuration::from_millis(2));
+        let early = sim
+            .outputs()
+            .iter()
+            .filter(|(_, _, ev)| ev.as_delivery().is_some())
+            .count();
+        assert_eq!(early, 0, "no delivery before stability");
+        sim.run_for(SimDuration::from_millis(300));
+        let total = sim
+            .outputs()
+            .iter()
+            .filter(|(_, _, ev)| ev.as_delivery().is_some())
+            .count();
+        assert_eq!(total, 3, "all deliver once stable");
+    }
+
+    #[test]
+    fn uniform_delivery_is_all_or_nothing_across_a_crash() {
+        // The uniformity guarantee: if ANY process delivered a message in
+        // view v, every survivor of v delivers it too — even though the
+        // sender crashes right after multicasting.
+        for seed in 0..6 {
+            let mut sim: Sim<E> = Sim::new(30 + seed, SimConfig::default());
+            let mut pids = Vec::new();
+            for _ in 0..4 {
+                let site = sim.alloc_site();
+                pids.push(sim.spawn_with(site, |pid| {
+                    E::new(pid, GcsConfig { uniform: true, ..GcsConfig::default() })
+                }));
+            }
+            let all = pids.clone();
+            for &p in &pids {
+                sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+            }
+            sim.run_for(SimDuration::from_millis(500));
+            sim.drain_outputs();
+            sim.invoke(pids[3], |e, ctx| e.mcast("last words".to_string(), ctx));
+            // Crash the sender at a seed-dependent instant inside the
+            // stabilisation window.
+            sim.run_for(SimDuration::from_micros(500 + seed * 3_000));
+            sim.crash(pids[3]);
+            sim.run_for(SimDuration::from_secs(1));
+            let deliverers: BTreeSet<ProcessId> = sim
+                .outputs()
+                .iter()
+                .filter(|(_, _, ev)| ev.as_delivery().is_some())
+                .map(|(_, p, _)| *p)
+                .collect();
+            let survivors: BTreeSet<ProcessId> = pids[..3].iter().copied().collect();
+            assert!(
+                deliverers.is_empty() || deliverers.is_superset(&survivors),
+                "seed {seed}: uniformity violated — only {deliverers:?} delivered"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_state_is_reported() {
+        let (mut sim, pids) = group(9, 3);
+        sim.drain_outputs();
+        sim.crash(pids[2]);
+        sim.run_for(SimDuration::from_millis(500));
+        let blocked = sim
+            .outputs()
+            .iter()
+            .any(|(_, _, ev)| matches!(ev, GcsEvent::Blocked));
+        assert!(blocked, "view change must pass through the blocked phase");
+    }
+}

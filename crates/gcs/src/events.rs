@@ -1,0 +1,148 @@
+//! Events the group-communication endpoint reports to its embedder.
+
+use bytes::Bytes;
+use std::fmt;
+
+use vs_membership::{View, ViewId};
+use vs_net::ProcessId;
+
+/// Where a member of a freshly installed view came from: its previous view
+/// and the opaque annotation it contributed to the flush.
+///
+/// Plain view synchrony ignores annotations; the enriched-view layer
+/// (`vs-evs`) reconstructs subview structure from them (the paper's §6
+/// "minor modifications to the view synchrony run-time support").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// The member in question.
+    pub member: ProcessId,
+    /// The view it belonged to immediately before this one.
+    pub prev_view: ViewId,
+    /// Its flush annotation (empty unless an upper layer set one).
+    pub annotation: Bytes,
+}
+
+/// Output events of a [`GcsEndpoint`](crate::GcsEndpoint), in the order the
+/// paper's model presents them: message deliveries and view changes.
+#[derive(Clone, PartialEq)]
+pub enum GcsEvent<M> {
+    /// An application multicast was delivered.
+    Deliver {
+        /// The view the message was sent (and is being delivered) in.
+        view: ViewId,
+        /// The multicasting process.
+        sender: ProcessId,
+        /// The sender's per-view sequence number.
+        seq: u64,
+        /// The payload.
+        payload: M,
+    },
+    /// A multicast by the local process was accepted for transmission
+    /// (recorded so the trace checker can verify Integrity: every delivered
+    /// message was actually multicast).
+    Sent {
+        /// The view the message was multicast in.
+        view: ViewId,
+        /// Its sequence number.
+        seq: u64,
+    },
+    /// A new view was installed. All pending flush deliveries for the
+    /// previous view were emitted immediately before this event.
+    ViewChange {
+        /// The newly installed view.
+        view: View,
+        /// Provenance of every member.
+        provenance: Vec<Provenance>,
+    },
+    /// The endpoint entered the blocked phase of a view change: multicasts
+    /// are queued until the next `ViewChange`.
+    Blocked,
+    /// A view agreement this process was engaged in was abandoned
+    /// (coordinator silent); multicasting resumed in the current view.
+    FlushAbandoned,
+    /// A point-to-point payload arrived outside the view-synchronous
+    /// stream (see [`GcsEndpoint::send_direct`](crate::GcsEndpoint::send_direct)).
+    DeliverDirect {
+        /// The sending process.
+        from: ProcessId,
+        /// The payload.
+        payload: M,
+    },
+}
+
+impl<M: fmt::Debug> fmt::Debug for GcsEvent<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcsEvent::Deliver {
+                view,
+                sender,
+                seq,
+                payload,
+            } => write!(f, "deliver({view}, {sender}#{seq}, {payload:?})"),
+            GcsEvent::Sent { view, seq } => write!(f, "sent({view}, #{seq})"),
+            GcsEvent::ViewChange { view, .. } => write!(f, "view({view})"),
+            GcsEvent::Blocked => write!(f, "blocked"),
+            GcsEvent::FlushAbandoned => write!(f, "flush-abandoned"),
+            GcsEvent::DeliverDirect { from, payload } => {
+                write!(f, "direct({from}, {payload:?})")
+            }
+        }
+    }
+}
+
+impl<M> GcsEvent<M> {
+    /// The installed view if this is a `ViewChange` event.
+    pub fn as_view(&self) -> Option<&View> {
+        match self {
+            GcsEvent::ViewChange { view, .. } => Some(view),
+            _ => None,
+        }
+    }
+
+    /// `(view, sender, seq)` if this is a `Deliver` event.
+    pub fn as_delivery(&self) -> Option<(ViewId, ProcessId, u64)> {
+        match self {
+            GcsEvent::Deliver {
+                view, sender, seq, ..
+            } => Some((*view, *sender, *seq)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_select_the_right_variants() {
+        let v = View::initial(ProcessId::from_raw(1));
+        let ev: GcsEvent<u8> = GcsEvent::ViewChange {
+            view: v.clone(),
+            provenance: vec![],
+        };
+        assert_eq!(ev.as_view(), Some(&v));
+        assert_eq!(ev.as_delivery(), None);
+
+        let d: GcsEvent<u8> = GcsEvent::Deliver {
+            view: v.id(),
+            sender: ProcessId::from_raw(1),
+            seq: 3,
+            payload: 9,
+        };
+        assert_eq!(d.as_delivery(), Some((v.id(), ProcessId::from_raw(1), 3)));
+        assert!(d.as_view().is_none());
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        let v = View::initial(ProcessId::from_raw(2));
+        let ev: GcsEvent<u8> = GcsEvent::Deliver {
+            view: v.id(),
+            sender: ProcessId::from_raw(2),
+            seq: 1,
+            payload: 5,
+        };
+        assert_eq!(format!("{ev:?}"), "deliver(v0@p2, p2#1, 5)");
+    }
+}

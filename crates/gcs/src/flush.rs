@@ -1,0 +1,189 @@
+//! Flush payloads and synchronised delivery.
+//!
+//! When view agreement asks a member for its state (the *block* phase), the
+//! member hands over a [`FlushPayload`]: every message of the current view
+//! it has received that is not yet known stable, plus an opaque annotation
+//! for the layers above (enriched views store subview structure there).
+//!
+//! On commit, every member of the new view receives *all* payloads. The
+//! function [`flush_deliveries`] computes, per receiving process, which of
+//! those messages must be delivered **before** the new view is installed:
+//! exactly the union of unstable messages reported by members that were in
+//! the *same previous view* as the receiver, minus what the receiver already
+//! delivered. All survivors of one view into the same next view therefore
+//! deliver the same set — Property 2.1 (Agreement). Messages from other
+//! predecessor views (concurrent partitions being merged) are *not*
+//! delivered: they were sent in a view this process never belonged to, and
+//! delivering them would violate Property 2.2 (Uniqueness).
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+use vs_membership::ViewId;
+use vs_net::ProcessId;
+
+use crate::message::{MsgId, ViewMsg};
+
+/// A member's contribution to the view-change flush.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlushPayload<M> {
+    /// Messages of the member's current view not yet known stable.
+    pub unstable: Vec<ViewMsg<M>>,
+    /// Opaque per-member annotation for upper layers (subview structure in
+    /// `vs-evs`; empty otherwise).
+    pub annotation: Bytes,
+}
+
+impl<M> Default for FlushPayload<M> {
+    fn default() -> Self {
+        FlushPayload {
+            unstable: Vec::new(),
+            annotation: Bytes::new(),
+        }
+    }
+}
+
+/// Computes the synchronised deliveries a process owes before installing a
+/// new view.
+///
+/// * `my_prev_view` — the view the process is leaving;
+/// * `already_delivered` — message ids the process has already delivered in
+///   that view;
+/// * `replies` — every new-view member's `(member, previous view, payload)`
+///   triple from the agreement commit.
+///
+/// Returns the missing messages in deterministic `(sender, seq)` order.
+pub fn flush_deliveries<M: Clone>(
+    my_prev_view: ViewId,
+    already_delivered: &BTreeSet<MsgId>,
+    replies: &[(ProcessId, ViewId, FlushPayload<M>)],
+) -> Vec<ViewMsg<M>> {
+    let mut out: Vec<ViewMsg<M>> = Vec::new();
+    let mut seen: BTreeSet<MsgId> = BTreeSet::new();
+    for (_, prev_view, payload) in replies {
+        if *prev_view != my_prev_view {
+            continue; // a different partition's history: not ours to deliver
+        }
+        for msg in &payload.unstable {
+            if msg.view != my_prev_view {
+                continue; // defensive: payloads must only carry current-view messages
+            }
+            if already_delivered.contains(&msg.id) || !seen.insert(msg.id) {
+                continue;
+            }
+            out.push(msg.clone());
+        }
+    }
+    out.sort_by_key(|m| m.flush_key());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn vid(epoch: u64, coord: u64) -> ViewId {
+        ViewId {
+            epoch,
+            coordinator: pid(coord),
+        }
+    }
+
+    fn msg(view: ViewId, sender: u64, seq: u64) -> ViewMsg<&'static str> {
+        ViewMsg::new(view, pid(sender), seq, "m")
+    }
+
+    fn payload(msgs: Vec<ViewMsg<&'static str>>) -> FlushPayload<&'static str> {
+        FlushPayload {
+            unstable: msgs,
+            annotation: Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn union_of_same_view_payloads_is_delivered_sorted() {
+        let v = vid(1, 0);
+        let replies = vec![
+            (pid(0), v, payload(vec![msg(v, 1, 2), msg(v, 0, 1)])),
+            (pid(1), v, payload(vec![msg(v, 1, 1), msg(v, 1, 2)])),
+        ];
+        let out = flush_deliveries(v, &BTreeSet::new(), &replies);
+        let keys: Vec<_> = out.iter().map(|m| m.flush_key()).collect();
+        assert_eq!(keys, vec![(pid(0), 1), (pid(1), 1), (pid(1), 2)]);
+    }
+
+    #[test]
+    fn already_delivered_messages_are_skipped() {
+        let v = vid(1, 0);
+        let replies = vec![(pid(0), v, payload(vec![msg(v, 0, 1), msg(v, 0, 2)]))];
+        let delivered: BTreeSet<MsgId> = [MsgId { sender: pid(0), seq: 1 }].into_iter().collect();
+        let out = flush_deliveries(v, &delivered, &replies);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id.seq, 2);
+    }
+
+    #[test]
+    fn other_partitions_histories_are_not_delivered() {
+        // Merging partitions A (view va) and B (view vb): a member of A
+        // must deliver only A's unstable messages (Uniqueness).
+        let va = vid(3, 0);
+        let vb = vid(3, 5);
+        let replies = vec![
+            (pid(0), va, payload(vec![msg(va, 0, 1)])),
+            (pid(5), vb, payload(vec![msg(vb, 5, 1), msg(vb, 5, 2)])),
+        ];
+        let out = flush_deliveries(va, &BTreeSet::new(), &replies);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id.sender, pid(0));
+
+        let out_b = flush_deliveries(vb, &BTreeSet::new(), &replies);
+        assert_eq!(out_b.len(), 2);
+        assert!(out_b.iter().all(|m| m.view == vb));
+    }
+
+    #[test]
+    fn duplicates_across_payloads_appear_once() {
+        let v = vid(2, 1);
+        let replies = vec![
+            (pid(1), v, payload(vec![msg(v, 1, 1)])),
+            (pid(2), v, payload(vec![msg(v, 1, 1)])),
+            (pid(3), v, payload(vec![msg(v, 1, 1)])),
+        ];
+        let out = flush_deliveries(v, &BTreeSet::new(), &replies);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn survivors_of_the_same_view_agree_on_the_flush_set() {
+        // The heart of Property 2.1: different already-delivered prefixes
+        // converge to the same total delivered set.
+        let v = vid(4, 0);
+        let all = vec![msg(v, 0, 1), msg(v, 1, 1), msg(v, 1, 2)];
+        let replies = vec![
+            (pid(0), v, payload(all.clone())),
+            (pid(1), v, payload(vec![msg(v, 1, 1)])),
+        ];
+        // p0 already delivered everything; p1 only one message.
+        let d0: BTreeSet<MsgId> = all.iter().map(|m| m.id).collect();
+        let d1: BTreeSet<MsgId> = [MsgId { sender: pid(1), seq: 1 }].into_iter().collect();
+        let f0 = flush_deliveries(v, &d0, &replies);
+        let f1 = flush_deliveries(v, &d1, &replies);
+        let total0: BTreeSet<MsgId> = d0.iter().copied().chain(f0.iter().map(|m| m.id)).collect();
+        let total1: BTreeSet<MsgId> = d1.iter().copied().chain(f1.iter().map(|m| m.id)).collect();
+        assert_eq!(total0, total1, "both survivors end with the same delivered set");
+    }
+
+    #[test]
+    fn stray_foreign_messages_inside_a_payload_are_ignored() {
+        let v = vid(1, 0);
+        let w = vid(9, 9);
+        let replies = vec![(pid(0), v, payload(vec![msg(w, 0, 1)]))];
+        let out = flush_deliveries(v, &BTreeSet::new(), &replies);
+        assert!(out.is_empty());
+    }
+}

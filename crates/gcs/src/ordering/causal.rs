@@ -1,0 +1,174 @@
+//! Vector-clock causal delivery.
+//!
+//! Every outgoing message carries a vector clock `vc` where `vc[sender]` is
+//! the message's own sequence number and `vc[q]` (for `q ≠ sender`) is the
+//! number of `q`'s messages the sender had delivered when multicasting. A
+//! receiver delivers the message once it has delivered the `vc[sender]-1`
+//! preceding messages of the sender and at least `vc[q]` messages of every
+//! other process — the classic Birman–Schiper–Stephenson condition.
+
+use std::collections::BTreeMap;
+
+use vs_net::ProcessId;
+
+use crate::message::ViewMsg;
+
+/// Causal reorder buffer for one view.
+#[derive(Debug, Clone)]
+pub struct CausalBuffer<M> {
+    /// Messages delivered so far, per sender.
+    delivered: BTreeMap<ProcessId, u64>,
+    /// Held-back messages.
+    held: Vec<ViewMsg<M>>,
+}
+
+impl<M: Clone> CausalBuffer<M> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        CausalBuffer {
+            delivered: BTreeMap::new(),
+            held: Vec::new(),
+        }
+    }
+
+    /// The vector clock to attach to an outgoing message with sequence
+    /// number `seq` from `me`: own entry set to `seq`, all others to the
+    /// local delivery counts.
+    pub fn make_clock(&self, me: ProcessId, seq: u64) -> BTreeMap<ProcessId, u64> {
+        let mut vc = self.delivered.clone();
+        vc.insert(me, seq);
+        vc
+    }
+
+    /// Offers a message; returns everything now deliverable in causal order.
+    ///
+    /// Messages without a vector clock (sent by an endpoint running another
+    /// mode) are treated as causally unconstrained and pass through; mixing
+    /// modes within one group is a configuration error but must not wedge
+    /// the buffer.
+    pub fn insert(&mut self, msg: ViewMsg<M>) -> Vec<ViewMsg<M>> {
+        if msg.vc.is_none() {
+            self.bump(msg.id.sender);
+            return vec![msg];
+        }
+        self.held.push(msg);
+        let mut out = Vec::new();
+        loop {
+            let idx = self.held.iter().position(|m| self.deliverable(m));
+            match idx {
+                Some(i) => {
+                    let m = self.held.remove(i);
+                    self.bump(m.id.sender);
+                    out.push(m);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn deliverable(&self, msg: &ViewMsg<M>) -> bool {
+        let vc = msg.vc.as_ref().expect("held messages carry clocks");
+        let sender = msg.id.sender;
+        for (&q, &k) in vc {
+            let have = self.delivered.get(&q).copied().unwrap_or(0);
+            if q == sender {
+                if have != k - 1 {
+                    return false;
+                }
+            } else if have < k {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn bump(&mut self, sender: ProcessId) {
+        *self.delivered.entry(sender).or_insert(0) += 1;
+    }
+
+    /// Number of held-back messages.
+    pub fn pending(&self) -> usize {
+        self.held.len()
+    }
+}
+
+impl<M: Clone> Default for CausalBuffer<M> {
+    fn default() -> Self {
+        CausalBuffer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_membership::ViewId;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn msg(sender: u64, seq: u64, vc: &[(u64, u64)]) -> ViewMsg<&'static str> {
+        let mut m = ViewMsg::new(ViewId::initial(pid(0)), pid(sender), seq, "x");
+        m.vc = Some(vc.iter().map(|&(p, k)| (pid(p), k)).collect());
+        m
+    }
+
+    #[test]
+    fn fifo_within_one_sender_is_implied() {
+        let mut b = CausalBuffer::new();
+        assert!(b.insert(msg(1, 2, &[(1, 2)])).is_empty(), "seq 2 before seq 1");
+        let out = b.insert(msg(1, 1, &[(1, 1)]));
+        let seqs: Vec<u64> = out.iter().map(|m| m.id.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn causal_dependency_across_senders_is_respected() {
+        // p2 sends m2 after delivering p1's m1: m2's clock is {p1:1, p2:1}.
+        // A receiver that gets m2 first must wait for m1.
+        let mut b = CausalBuffer::new();
+        assert!(b.insert(msg(2, 1, &[(1, 1), (2, 1)])).is_empty());
+        let out = b.insert(msg(1, 1, &[(1, 1)]));
+        let senders: Vec<ProcessId> = out.iter().map(|m| m.id.sender).collect();
+        assert_eq!(senders, vec![pid(1), pid(2)], "cause before effect");
+    }
+
+    #[test]
+    fn concurrent_messages_deliver_in_arrival_order() {
+        let mut b = CausalBuffer::new();
+        let out1 = b.insert(msg(1, 1, &[(1, 1)]));
+        let out2 = b.insert(msg(2, 1, &[(2, 1)]));
+        assert_eq!(out1.len(), 1);
+        assert_eq!(out2.len(), 1);
+    }
+
+    #[test]
+    fn make_clock_reflects_deliveries() {
+        let mut b = CausalBuffer::new();
+        b.insert(msg(1, 1, &[(1, 1)]));
+        b.insert(msg(2, 1, &[(2, 1)]));
+        let vc = b.make_clock(pid(0), 1);
+        assert_eq!(vc.get(&pid(0)), Some(&1));
+        assert_eq!(vc.get(&pid(1)), Some(&1));
+        assert_eq!(vc.get(&pid(2)), Some(&1));
+    }
+
+    #[test]
+    fn deep_chains_unwind_in_one_insert() {
+        let mut b = CausalBuffer::new();
+        assert!(b.insert(msg(1, 3, &[(1, 3)])).is_empty());
+        assert!(b.insert(msg(1, 2, &[(1, 2)])).is_empty());
+        assert_eq!(b.pending(), 2);
+        let out = b.insert(msg(1, 1, &[(1, 1)]));
+        assert_eq!(out.len(), 3);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn clockless_messages_pass_through() {
+        let mut b = CausalBuffer::new();
+        let bare = ViewMsg::new(ViewId::initial(pid(0)), pid(5), 1, "x");
+        assert_eq!(b.insert(bare).len(), 1);
+    }
+}

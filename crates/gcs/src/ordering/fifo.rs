@@ -1,0 +1,104 @@
+//! Per-sender FIFO delivery.
+
+use std::collections::BTreeMap;
+
+use vs_net::ProcessId;
+
+use crate::message::ViewMsg;
+
+/// Holds back messages until every earlier message of the same sender has
+/// been delivered.
+#[derive(Debug, Clone)]
+pub struct FifoBuffer<M> {
+    /// Next sequence number to deliver, per sender (starts at 1).
+    next: BTreeMap<ProcessId, u64>,
+    /// Out-of-order messages keyed by `(sender, seq)`.
+    held: BTreeMap<(ProcessId, u64), ViewMsg<M>>,
+}
+
+impl<M: Clone> FifoBuffer<M> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        FifoBuffer {
+            next: BTreeMap::new(),
+            held: BTreeMap::new(),
+        }
+    }
+
+    /// Offers a message; returns the maximal deliverable run.
+    pub fn insert(&mut self, msg: ViewMsg<M>) -> Vec<ViewMsg<M>> {
+        let sender = msg.id.sender;
+        self.held.insert((sender, msg.id.seq), msg);
+        let next = self.next.entry(sender).or_insert(1);
+        let mut out = Vec::new();
+        while let Some(m) = self.held.remove(&(sender, *next)) {
+            out.push(m);
+            *next += 1;
+        }
+        out
+    }
+
+    /// Number of held-back messages.
+    pub fn pending(&self) -> usize {
+        self.held.len()
+    }
+}
+
+impl<M: Clone> Default for FifoBuffer<M> {
+    fn default() -> Self {
+        FifoBuffer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_membership::ViewId;
+
+    fn msg(sender: u64, seq: u64) -> ViewMsg<u64> {
+        ViewMsg::new(
+            ViewId::initial(ProcessId::from_raw(0)),
+            ProcessId::from_raw(sender),
+            seq,
+            seq * 10,
+        )
+    }
+
+    #[test]
+    fn in_order_messages_flow_through() {
+        let mut b = FifoBuffer::new();
+        assert_eq!(b.insert(msg(1, 1)).len(), 1);
+        assert_eq!(b.insert(msg(1, 2)).len(), 1);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn gaps_hold_later_messages_back() {
+        let mut b = FifoBuffer::new();
+        assert!(b.insert(msg(1, 2)).is_empty());
+        assert!(b.insert(msg(1, 3)).is_empty());
+        assert_eq!(b.pending(), 2);
+        let out = b.insert(msg(1, 1));
+        let seqs: Vec<u64> = out.iter().map(|m| m.id.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn senders_are_independent() {
+        let mut b = FifoBuffer::new();
+        assert!(b.insert(msg(1, 2)).is_empty());
+        assert_eq!(b.insert(msg(2, 1)).len(), 1, "sender 2 is unaffected");
+    }
+
+    #[test]
+    fn delivery_order_preserves_sequence_numbers() {
+        let mut b = FifoBuffer::new();
+        b.insert(msg(3, 4));
+        b.insert(msg(3, 2));
+        b.insert(msg(3, 3));
+        let out = b.insert(msg(3, 1));
+        let seqs: Vec<u64> = out.iter().map(|m| m.id.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Optional delivery-ordering layers.
+//!
+//! The paper's view-synchrony specification deliberately leaves intra-view
+//! delivery order unconstrained (§2): ordering "can only help in solving
+//! shared state problems but cannot prevent them". Applications that want
+//! order anyway pick an [`OrderingMode`]; the endpoint then routes received
+//! messages through an [`OrderBuffer`] which holds them back until their
+//! ordering condition is met.
+//!
+//! * [`Fifo`](fifo::FifoBuffer) — per-sender sequence order;
+//! * [`Causal`](causal::CausalBuffer) — vector-clock causal order (implies
+//!   FIFO);
+//! * [`Total`](total::TotalBuffer) — a view-leader sequencer assigns one
+//!   global order (implies nothing about causality across views; within a
+//!   view it is a total order consistent with the leader's receipt order).
+//!
+//! Buffers are per-view: a view change discards them (the flush protocol
+//! delivers any retained messages in deterministic order instead, which is
+//! the synchronisation point that makes discarding safe).
+
+pub mod causal;
+pub mod fifo;
+pub mod total;
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use vs_net::ProcessId;
+
+use crate::message::{MsgId, ViewMsg};
+
+/// Which intra-view delivery order the endpoint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OrderingMode {
+    /// Deliver on receipt — the paper's base model.
+    #[default]
+    Unordered,
+    /// Per-sender FIFO.
+    Fifo,
+    /// Vector-clock causal order.
+    Causal,
+    /// Leader-sequenced total order.
+    Total,
+}
+
+/// A per-view reorder buffer implementing the selected mode.
+#[derive(Debug, Clone)]
+pub enum OrderBuffer<M> {
+    /// Pass-through.
+    Unordered,
+    /// Per-sender FIFO buffering.
+    Fifo(fifo::FifoBuffer<M>),
+    /// Causal buffering.
+    Causal(causal::CausalBuffer<M>),
+    /// Total-order buffering.
+    Total(total::TotalBuffer<M>),
+}
+
+impl<M: Clone> OrderBuffer<M> {
+    /// Creates the buffer for a fresh view.
+    pub fn new(mode: OrderingMode) -> Self {
+        match mode {
+            OrderingMode::Unordered => OrderBuffer::Unordered,
+            OrderingMode::Fifo => OrderBuffer::Fifo(fifo::FifoBuffer::new()),
+            OrderingMode::Causal => OrderBuffer::Causal(causal::CausalBuffer::new()),
+            OrderingMode::Total => OrderBuffer::Total(total::TotalBuffer::new()),
+        }
+    }
+
+    /// Offers a freshly received message; returns every message that is now
+    /// deliverable, in delivery order.
+    pub fn insert(&mut self, msg: ViewMsg<M>) -> Vec<ViewMsg<M>> {
+        match self {
+            OrderBuffer::Unordered => vec![msg],
+            OrderBuffer::Fifo(b) => b.insert(msg),
+            OrderBuffer::Causal(b) => b.insert(msg),
+            OrderBuffer::Total(b) => b.insert(msg),
+        }
+    }
+
+    /// Feeds a sequencer decision (total order only); returns newly
+    /// deliverable messages.
+    pub fn on_order(&mut self, idx: u64, id: MsgId) -> Vec<ViewMsg<M>> {
+        match self {
+            OrderBuffer::Total(b) => b.on_order(idx, id),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Builds the vector clock to attach to an outgoing message (causal
+    /// mode only; `None` otherwise).
+    pub fn make_clock(&self, me: ProcessId, seq: u64) -> Option<BTreeMap<ProcessId, u64>> {
+        match self {
+            OrderBuffer::Causal(b) => Some(b.make_clock(me, seq)),
+            _ => None,
+        }
+    }
+
+    /// Messages still held back (used by tests and diagnostics).
+    pub fn pending(&self) -> usize {
+        match self {
+            OrderBuffer::Unordered => 0,
+            OrderBuffer::Fifo(b) => b.pending(),
+            OrderBuffer::Causal(b) => b.pending(),
+            OrderBuffer::Total(b) => b.pending(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_membership::ViewId;
+
+    fn msg(sender: u64, seq: u64) -> ViewMsg<&'static str> {
+        ViewMsg::new(
+            ViewId::initial(ProcessId::from_raw(0)),
+            ProcessId::from_raw(sender),
+            seq,
+            "x",
+        )
+    }
+
+    #[test]
+    fn unordered_is_pass_through() {
+        let mut b: OrderBuffer<&'static str> = OrderBuffer::new(OrderingMode::Unordered);
+        let out = b.insert(msg(1, 5));
+        assert_eq!(out.len(), 1);
+        assert_eq!(b.pending(), 0);
+        assert!(b.make_clock(ProcessId::from_raw(0), 1).is_none());
+    }
+
+    #[test]
+    fn mode_selection_builds_the_right_buffer() {
+        assert!(matches!(
+            OrderBuffer::<u8>::new(OrderingMode::Fifo),
+            OrderBuffer::Fifo(_)
+        ));
+        assert!(matches!(
+            OrderBuffer::<u8>::new(OrderingMode::Causal),
+            OrderBuffer::Causal(_)
+        ));
+        assert!(matches!(
+            OrderBuffer::<u8>::new(OrderingMode::Total),
+            OrderBuffer::Total(_)
+        ));
+    }
+}

@@ -1,0 +1,130 @@
+//! Leader-sequenced total order.
+//!
+//! The least member of each view acts as sequencer: for every multicast it
+//! receives (including its own) it assigns the next global index and
+//! broadcasts the decision. Members deliver messages strictly in index
+//! order. Leader failure is handled by the view change itself — the flush
+//! protocol delivers whatever remains in deterministic order and the next
+//! view elects the new least member.
+
+use std::collections::BTreeMap;
+
+use crate::message::{MsgId, ViewMsg};
+
+/// Total-order reorder buffer for one view (member side; the sequencing
+/// decisions themselves are produced by the endpoint when it is leader).
+#[derive(Debug, Clone)]
+pub struct TotalBuffer<M> {
+    /// Messages received but whose position is not yet deliverable.
+    held: BTreeMap<MsgId, ViewMsg<M>>,
+    /// Sequencer decisions received so far: index → message.
+    order: BTreeMap<u64, MsgId>,
+    /// Next index to deliver.
+    next: u64,
+}
+
+impl<M: Clone> TotalBuffer<M> {
+    /// Creates an empty buffer; indices start at 1.
+    pub fn new() -> Self {
+        TotalBuffer {
+            held: BTreeMap::new(),
+            order: BTreeMap::new(),
+            next: 1,
+        }
+    }
+
+    /// Offers a received message; returns anything now deliverable.
+    pub fn insert(&mut self, msg: ViewMsg<M>) -> Vec<ViewMsg<M>> {
+        self.held.insert(msg.id, msg);
+        self.drain()
+    }
+
+    /// Feeds a sequencer decision; returns anything now deliverable.
+    pub fn on_order(&mut self, idx: u64, id: MsgId) -> Vec<ViewMsg<M>> {
+        self.order.insert(idx, id);
+        self.drain()
+    }
+
+    fn drain(&mut self) -> Vec<ViewMsg<M>> {
+        let mut out = Vec::new();
+        while let Some(&id) = self.order.get(&self.next) {
+            match self.held.remove(&id) {
+                Some(msg) => {
+                    self.order.remove(&self.next);
+                    self.next += 1;
+                    out.push(msg);
+                }
+                None => break, // decision known, message not yet received
+            }
+        }
+        out
+    }
+
+    /// Number of messages awaiting either their decision or their turn.
+    pub fn pending(&self) -> usize {
+        self.held.len()
+    }
+}
+
+impl<M: Clone> Default for TotalBuffer<M> {
+    fn default() -> Self {
+        TotalBuffer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_membership::ViewId;
+    use vs_net::ProcessId;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn msg(sender: u64, seq: u64) -> ViewMsg<&'static str> {
+        ViewMsg::new(ViewId::initial(pid(0)), pid(sender), seq, "x")
+    }
+
+    #[test]
+    fn delivery_follows_the_sequencer_not_arrival() {
+        let mut b = TotalBuffer::new();
+        // Arrivals: (p2,1) then (p1,1); sequencer says (p1,1) is first.
+        assert!(b.insert(msg(2, 1)).is_empty());
+        assert!(b.insert(msg(1, 1)).is_empty());
+        assert!(!b.on_order(1, MsgId { sender: pid(1), seq: 1 }).is_empty());
+        let out = b.on_order(2, MsgId { sender: pid(2), seq: 1 });
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id.sender, pid(2));
+    }
+
+    #[test]
+    fn decision_before_message_waits_for_the_message() {
+        let mut b = TotalBuffer::new();
+        assert!(b.on_order(1, MsgId { sender: pid(1), seq: 1 }).is_empty());
+        let out = b.insert(msg(1, 1));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn out_of_order_decisions_hold_back_later_indices() {
+        let mut b = TotalBuffer::new();
+        b.insert(msg(1, 1));
+        b.insert(msg(2, 1));
+        assert!(b.on_order(2, MsgId { sender: pid(2), seq: 1 }).is_empty());
+        let out = b.on_order(1, MsgId { sender: pid(1), seq: 1 });
+        let senders: Vec<ProcessId> = out.iter().map(|m| m.id.sender).collect();
+        assert_eq!(senders, vec![pid(1), pid(2)]);
+    }
+
+    #[test]
+    fn indices_advance_monotonically() {
+        let mut b = TotalBuffer::new();
+        b.insert(msg(1, 1));
+        b.on_order(1, MsgId { sender: pid(1), seq: 1 });
+        b.insert(msg(1, 2));
+        let out = b.on_order(2, MsgId { sender: pid(1), seq: 2 });
+        assert_eq!(out.len(), 1);
+        assert_eq!(b.pending(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Acknowledgement tracking and message stability.
+//!
+//! A multicast is **stable** once every member of the current view has
+//! received it: stable messages can never be the cause of an Agreement
+//! (Property 2.1) discrepancy, so they are pruned from the retransmission
+//! store and excluded from flush payloads. Acknowledgements travel as
+//! per-sender *contiguous frontiers* piggybacked on heartbeats: `acks[s] =
+//! k` means "I have received every message from `s` up to sequence `k`".
+//!
+//! The same vectors drive loss recovery: a peer whose frontier for me lags
+//! behind my send counter is missing messages, which I retransmit; a gap in
+//! my own receive stream triggers a negative acknowledgement to the sender.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vs_net::ProcessId;
+
+/// Per-view acknowledgement state of one process.
+///
+/// Reset on every view change (sequence numbers restart per view).
+#[derive(Debug, Clone, Default)]
+pub struct AckTracker {
+    /// For each sender: highest contiguous sequence number received here.
+    received_upto: BTreeMap<ProcessId, u64>,
+    /// For each sender: sequence numbers received *above* the contiguous
+    /// frontier (out-of-order arrivals waiting for the gap to fill).
+    ooo: BTreeMap<ProcessId, BTreeSet<u64>>,
+    /// Last acknowledgement vector heard from each view member.
+    peer_acks: BTreeMap<ProcessId, BTreeMap<ProcessId, u64>>,
+}
+
+impl AckTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        AckTracker::default()
+    }
+
+    /// Records receipt of message `seq` from `sender`. Returns the sequence
+    /// numbers (if any) that are now known missing below `seq` — the gap to
+    /// NACK to the sender.
+    pub fn on_receive(&mut self, sender: ProcessId, seq: u64) -> Vec<u64> {
+        let upto = self.received_upto.entry(sender).or_insert(0);
+        let ooo = self.ooo.entry(sender).or_default();
+        if seq <= *upto || ooo.contains(&seq) {
+            return Vec::new(); // duplicate
+        }
+        ooo.insert(seq);
+        // Advance the contiguous frontier as far as possible.
+        while ooo.remove(&(*upto + 1)) {
+            *upto += 1;
+        }
+        // Anything between the frontier and the smallest out-of-order seq is
+        // a detected gap.
+        match ooo.iter().next() {
+            Some(&lowest) => ((*upto + 1)..lowest).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether `seq` from `sender` has been received (contiguously or not).
+    pub fn has_received(&self, sender: ProcessId, seq: u64) -> bool {
+        if seq == 0 {
+            return true;
+        }
+        self.received_upto.get(&sender).copied().unwrap_or(0) >= seq
+            || self
+                .ooo
+                .get(&sender)
+                .map(|s| s.contains(&seq))
+                .unwrap_or(false)
+    }
+
+    /// This process' acknowledgement vector: contiguous frontier per sender.
+    pub fn ack_vector(&self) -> BTreeMap<ProcessId, u64> {
+        self.received_upto
+            .iter()
+            .filter(|(_, &k)| k > 0)
+            .map(|(&p, &k)| (p, k))
+            .collect()
+    }
+
+    /// Records the acknowledgement vector heard from `peer`.
+    pub fn on_peer_acks(&mut self, peer: ProcessId, acks: BTreeMap<ProcessId, u64>) {
+        self.peer_acks.insert(peer, acks);
+    }
+
+    /// The last frontier `peer` reported for messages of `sender` (0 if
+    /// never reported).
+    pub fn peer_frontier(&self, peer: ProcessId, sender: ProcessId) -> u64 {
+        self.peer_acks
+            .get(&peer)
+            .and_then(|v| v.get(&sender))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The stability frontier for messages of `sender` across `members`:
+    /// the minimum of every member's reported frontier (self included via
+    /// its own receive state). Messages at or below it are stable.
+    pub fn stable_frontier(
+        &self,
+        me: ProcessId,
+        sender: ProcessId,
+        members: impl IntoIterator<Item = ProcessId>,
+    ) -> u64 {
+        members
+            .into_iter()
+            .map(|m| {
+                if m == me {
+                    self.received_upto.get(&sender).copied().unwrap_or(0)
+                } else {
+                    self.peer_frontier(m, sender)
+                }
+            })
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    #[test]
+    fn in_order_receipt_advances_the_frontier() {
+        let mut t = AckTracker::new();
+        assert!(t.on_receive(pid(1), 1).is_empty());
+        assert!(t.on_receive(pid(1), 2).is_empty());
+        assert_eq!(t.ack_vector().get(&pid(1)), Some(&2));
+    }
+
+    #[test]
+    fn out_of_order_receipt_reports_the_gap() {
+        let mut t = AckTracker::new();
+        let gap = t.on_receive(pid(1), 3);
+        assert_eq!(gap, vec![1, 2]);
+        assert!(t.has_received(pid(1), 3));
+        assert!(!t.has_received(pid(1), 2));
+        assert!(!t.ack_vector().contains_key(&pid(1)), "frontier still 0");
+    }
+
+    #[test]
+    fn gap_fill_advances_past_buffered_messages() {
+        let mut t = AckTracker::new();
+        t.on_receive(pid(1), 3);
+        t.on_receive(pid(1), 1);
+        assert_eq!(t.ack_vector().get(&pid(1)), Some(&1));
+        let gap = t.on_receive(pid(1), 2);
+        assert!(gap.is_empty());
+        assert_eq!(t.ack_vector().get(&pid(1)), Some(&3));
+    }
+
+    #[test]
+    fn duplicates_are_detected() {
+        let mut t = AckTracker::new();
+        t.on_receive(pid(1), 1);
+        assert!(t.on_receive(pid(1), 1).is_empty());
+        t.on_receive(pid(1), 5);
+        assert_eq!(t.on_receive(pid(1), 5), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn frontiers_are_per_sender() {
+        let mut t = AckTracker::new();
+        t.on_receive(pid(1), 1);
+        t.on_receive(pid(2), 4);
+        assert!(t.has_received(pid(1), 1));
+        assert!(!t.has_received(pid(2), 1));
+        assert!(t.has_received(pid(2), 4));
+    }
+
+    #[test]
+    fn stable_frontier_is_the_minimum_across_members() {
+        let me = pid(0);
+        let mut t = AckTracker::new();
+        // I have 1..=5 from sender p9.
+        for s in 1..=5 {
+            t.on_receive(pid(9), s);
+        }
+        t.on_peer_acks(pid(1), [(pid(9), 3)].into_iter().collect());
+        t.on_peer_acks(pid(2), [(pid(9), 4)].into_iter().collect());
+        let members = [me, pid(1), pid(2)];
+        assert_eq!(t.stable_frontier(me, pid(9), members.iter().copied()), 3);
+    }
+
+    #[test]
+    fn silent_member_pins_stability_at_zero() {
+        let me = pid(0);
+        let mut t = AckTracker::new();
+        t.on_receive(pid(9), 1);
+        t.on_peer_acks(pid(1), [(pid(9), 1)].into_iter().collect());
+        // p2 never reported anything.
+        let members = [me, pid(1), pid(2)];
+        assert_eq!(t.stable_frontier(me, pid(9), members.iter().copied()), 0);
+    }
+
+    #[test]
+    fn peer_frontier_defaults_to_zero() {
+        let t = AckTracker::new();
+        assert_eq!(t.peer_frontier(pid(1), pid(2)), 0);
+    }
+
+    #[test]
+    fn seq_zero_is_vacuously_received() {
+        let t = AckTracker::new();
+        assert!(t.has_received(pid(1), 0));
+    }
+}

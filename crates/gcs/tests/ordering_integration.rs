@@ -1,0 +1,183 @@
+//! End-to-end tests of the optional ordering layers over the full stack:
+//! the paper leaves intra-view order unconstrained (§2), so these layers
+//! must strengthen delivery order without disturbing the view-synchrony
+//! properties.
+
+use vs_gcs::ordering::OrderingMode;
+use vs_gcs::{checker::check, GcsConfig, GcsEndpoint, GcsEvent};
+use vs_net::{DelayModel, LinkConfig, ProcessId, Sim, SimConfig, SimDuration};
+
+fn group(
+    seed: u64,
+    n: usize,
+    ordering: OrderingMode,
+    link: LinkConfig,
+) -> (Sim<GcsEndpoint<String>>, Vec<ProcessId>) {
+    let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, SimConfig { link });
+    let mut pids = Vec::new();
+    for _ in 0..n {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, move |p| {
+            GcsEndpoint::new(p, GcsConfig { ordering, ..GcsConfig::default() })
+        }));
+    }
+    let all = pids.clone();
+    for &p in &pids {
+        sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+    }
+    sim.run_for(SimDuration::from_millis(700));
+    (sim, pids)
+}
+
+/// High-jitter link so that un-ordered delivery would actually interleave.
+fn jittery() -> LinkConfig {
+    LinkConfig {
+        delay: DelayModel::Uniform(SimDuration::from_micros(200), SimDuration::from_millis(8)),
+        loss: 0.0,
+    }
+}
+
+fn deliveries_at(
+    sim: &Sim<GcsEndpoint<String>>,
+    p: ProcessId,
+) -> Vec<(ProcessId, u64, String)> {
+    sim.outputs()
+        .iter()
+        .filter(|(_, q, _)| *q == p)
+        .filter_map(|(_, _, ev)| match ev {
+            GcsEvent::Deliver { sender, seq, payload, .. } => {
+                Some((*sender, *seq, payload.clone()))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn fifo_mode_preserves_per_sender_order_under_jitter() {
+    let (mut sim, pids) = group(1, 4, OrderingMode::Fifo, jittery());
+    for i in 0..20 {
+        sim.invoke(pids[0], |e, ctx| e.mcast(format!("a{i}"), ctx));
+        sim.invoke(pids[1], |e, ctx| e.mcast(format!("b{i}"), ctx));
+    }
+    sim.run_for(SimDuration::from_secs(1));
+    for &p in &pids {
+        let seqs_from_p0: Vec<u64> = deliveries_at(&sim, p)
+            .into_iter()
+            .filter(|(s, _, _)| *s == pids[0])
+            .map(|(_, seq, _)| seq)
+            .collect();
+        assert_eq!(seqs_from_p0.len(), 20, "{p} got all of p0's messages");
+        assert!(
+            seqs_from_p0.windows(2).all(|w| w[0] < w[1]),
+            "{p}: FIFO violated: {seqs_from_p0:?}"
+        );
+    }
+    check(sim.outputs()).unwrap_or_else(|e| panic!("{e:?}"));
+}
+
+#[test]
+fn total_mode_gives_one_global_order() {
+    let (mut sim, pids) = group(2, 4, OrderingMode::Total, jittery());
+    // Everyone multicasts concurrently.
+    for round in 0..10 {
+        for &p in &pids {
+            sim.invoke(p, |e, ctx| e.mcast(format!("r{round}"), ctx));
+        }
+        sim.run_for(SimDuration::from_millis(20));
+    }
+    sim.run_for(SimDuration::from_secs(1));
+    let reference: Vec<(ProcessId, u64)> = deliveries_at(&sim, pids[0])
+        .into_iter()
+        .map(|(s, seq, _)| (s, seq))
+        .collect();
+    assert_eq!(reference.len(), 40);
+    for &p in &pids[1..] {
+        let order: Vec<(ProcessId, u64)> = deliveries_at(&sim, p)
+            .into_iter()
+            .map(|(s, seq, _)| (s, seq))
+            .collect();
+        assert_eq!(order, reference, "{p} disagrees with the total order");
+    }
+    check(sim.outputs()).unwrap_or_else(|e| panic!("{e:?}"));
+}
+
+#[test]
+fn causal_mode_never_delivers_an_effect_before_its_cause() {
+    // p0 multicasts a "question"; whoever delivers it multicasts an
+    // "answer" referencing it. Under causal order, no process may deliver
+    // an answer before the corresponding question.
+    let (mut sim, pids) = group(3, 4, OrderingMode::Causal, jittery());
+    for round in 0..8 {
+        sim.invoke(pids[0], |e, ctx| e.mcast(format!("q{round}"), ctx));
+        // Let p1 deliver the question, then answer it — a causal chain.
+        sim.run_for(SimDuration::from_millis(30));
+        sim.invoke(pids[1], |e, ctx| e.mcast(format!("a{round}"), ctx));
+        sim.run_for(SimDuration::from_millis(5));
+    }
+    sim.run_for(SimDuration::from_secs(1));
+    for &p in &pids {
+        let log: Vec<String> = deliveries_at(&sim, p)
+            .into_iter()
+            .map(|(_, _, m)| m)
+            .collect();
+        for round in 0..8 {
+            let q = log.iter().position(|m| m == &format!("q{round}"));
+            let a = log.iter().position(|m| m == &format!("a{round}"));
+            if let (Some(q), Some(a)) = (q, a) {
+                assert!(q < a, "{p}: answer a{round} before question q{round}: {log:?}");
+            }
+        }
+    }
+    check(sim.outputs()).unwrap_or_else(|e| panic!("{e:?}"));
+}
+
+#[test]
+fn total_order_survives_a_leader_crash() {
+    // The sequencer is the view leader; crash it mid-stream. The flush
+    // must hand over cleanly and the survivors must stay consistent.
+    let (mut sim, pids) = group(4, 4, OrderingMode::Total, jittery());
+    for i in 0..5 {
+        sim.invoke(pids[1], |e, ctx| e.mcast(format!("pre{i}"), ctx));
+    }
+    sim.run_for(SimDuration::from_millis(50));
+    sim.crash(pids[0]); // the leader/sequencer
+    sim.run_for(SimDuration::from_millis(200));
+    for i in 0..5 {
+        sim.invoke(pids[2], |e, ctx| e.mcast(format!("post{i}"), ctx));
+        sim.run_for(SimDuration::from_millis(30));
+    }
+    sim.run_for(SimDuration::from_secs(1));
+    check(sim.outputs()).unwrap_or_else(|e| panic!("{e:?}"));
+    // Survivors delivered the post-crash stream identically.
+    let survivors = &pids[1..];
+    let reference: Vec<String> = deliveries_at(&sim, survivors[0])
+        .into_iter()
+        .map(|(_, _, m)| m)
+        .filter(|m| m.starts_with("post"))
+        .collect();
+    assert_eq!(reference.len(), 5);
+    for &p in &survivors[1..] {
+        let log: Vec<String> = deliveries_at(&sim, p)
+            .into_iter()
+            .map(|(_, _, m)| m)
+            .filter(|m| m.starts_with("post"))
+            .collect();
+        assert_eq!(log, reference, "{p} diverged after the leader crash");
+    }
+}
+
+#[test]
+fn unordered_mode_may_reorder_but_stays_view_synchronous() {
+    let (mut sim, pids) = group(5, 3, OrderingMode::Unordered, jittery());
+    for i in 0..30 {
+        sim.invoke(pids[i % 3], |e, ctx| e.mcast(format!("m{i}"), ctx));
+    }
+    sim.run_for(SimDuration::from_secs(1));
+    // No ordering assertion — the paper's base model; but the safety
+    // properties must hold and everyone must deliver everything.
+    for &p in &pids {
+        assert_eq!(deliveries_at(&sim, p).len(), 30);
+    }
+    check(sim.outputs()).unwrap_or_else(|e| panic!("{e:?}"));
+}

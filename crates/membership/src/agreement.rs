@@ -1,0 +1,901 @@
+//! Coordinator-based view agreement.
+//!
+//! This is the synchronisation backbone of view synchrony: when the
+//! membership estimator proposes a new membership, the least process of the
+//! candidate set coordinates a three-phase exchange —
+//!
+//! 1. **Prepare**: the coordinator invites every candidate member;
+//! 2. **StateReply**: each invitee stops multicasting, gathers its *flush
+//!    payload* (supplied by the layer above: unstable messages, subview
+//!    annotations, …) and replies;
+//! 3. **Commit**: once every invitee replied, the coordinator broadcasts
+//!    the new [`View`] together with *all* collected payloads.
+//!
+//! Every member thus installs the same view with the same payload bundle;
+//! the group-communication layer turns the bundle into the synchronised
+//! delivery that Property 2.1 (Agreement) requires, and the enriched-view
+//! layer (`vs-evs`) composes subview structure from it (Property 6.3).
+//!
+//! The machine is *partitionable*: concurrent coordinators in disjoint
+//! components run independent agreements, yielding the concurrent views the
+//! paper's model embraces. Coordinator failure is handled by per-member
+//! engagement timeouts plus re-proposal under a higher epoch.
+//!
+//! The machine is sans-I/O: it emits [`AgreementAction`]s and never touches
+//! the network or clock directly. Timeouts are checked by the periodic
+//! [`AgreementMachine::on_tick`] call.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use vs_net::{ProcessId, SimDuration, SimTime};
+
+use crate::view::{View, ViewId};
+
+/// Identifier of a view-change proposal.
+///
+/// Ordered by `(epoch, attempt, coordinator)`: members engaged in a lesser
+/// proposal defect to a greater one, which resolves races between concurrent
+/// coordinators inside one component.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProposalId {
+    /// Proposed view epoch; strictly greater than any epoch the coordinator
+    /// has seen.
+    pub epoch: u64,
+    /// Retry counter of this coordinator for this epoch.
+    pub attempt: u32,
+    /// The proposing coordinator.
+    pub coordinator: ProcessId,
+}
+
+impl fmt::Debug for ProposalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prop(e{}.a{}@{})", self.epoch, self.attempt, self.coordinator)
+    }
+}
+
+/// Wire messages of the agreement protocol. Generic over the opaque flush
+/// payload `P` supplied by the layer above.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AgreementMsg<P> {
+    /// Coordinator → invitees: join this proposal.
+    Prepare {
+        /// The proposal being prepared.
+        proposal: ProposalId,
+        /// The candidate membership of the next view.
+        invited: BTreeSet<ProcessId>,
+    },
+    /// Invitee → coordinator: my flush payload for this proposal.
+    StateReply {
+        /// The proposal this reply belongs to.
+        proposal: ProposalId,
+        /// The view the invitee is currently in.
+        prev_view: ViewId,
+        /// Opaque flush payload (unstable messages, annotations, …).
+        payload: P,
+    },
+    /// Invitee → coordinator: your epoch is stale; retry above `epoch_hint`.
+    Nack {
+        /// The rejected proposal.
+        proposal: ProposalId,
+        /// Minimum epoch the coordinator must exceed to engage this process.
+        epoch_hint: u64,
+    },
+    /// Coordinator → members: install this view with these payloads.
+    Commit {
+        /// The committed proposal.
+        proposal: ProposalId,
+        /// The agreed next view.
+        view: View,
+        /// Every member's `(id, previous view, payload)` triple.
+        replies: Vec<(ProcessId, ViewId, P)>,
+    },
+}
+
+/// Effects requested by the machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgreementAction<P> {
+    /// Transmit a protocol message.
+    Send(ProcessId, AgreementMsg<P>),
+    /// The machine is engaged in `proposal` and needs the local flush
+    /// payload; the driver must respond with
+    /// [`AgreementMachine::provide_payload`]. Between this action and the
+    /// view installation the driver must stop initiating multicasts (the
+    /// "block" phase of the flush).
+    NeedPayload {
+        /// The proposal awaiting this process' payload.
+        proposal: ProposalId,
+    },
+    /// Install `view`; `replies` carries every member's flush payload. The
+    /// driver performs synchronised delivery *before* exposing the new view
+    /// to the application.
+    Install {
+        /// The newly agreed view.
+        view: View,
+        /// Flush payloads of all members of `view`.
+        replies: Vec<(ProcessId, ViewId, P)>,
+    },
+    /// The in-flight engagement was abandoned (coordinator silent); the
+    /// driver should resume multicasting in the current view and re-arm the
+    /// estimator.
+    Abandoned,
+}
+
+/// Timeouts of the agreement protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct AgreementConfig {
+    /// How long the coordinator waits for all `StateReply`s before
+    /// re-proposing without the silent members.
+    pub reply_timeout: SimDuration,
+    /// How long an engaged member waits for `Commit` before abandoning.
+    pub commit_timeout: SimDuration,
+}
+
+impl Default for AgreementConfig {
+    fn default() -> Self {
+        AgreementConfig {
+            reply_timeout: SimDuration::from_millis(40),
+            commit_timeout: SimDuration::from_millis(120),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CoordState<P> {
+    proposal: ProposalId,
+    invited: BTreeSet<ProcessId>,
+    replies: BTreeMap<ProcessId, (ViewId, P)>,
+    deadline: SimTime,
+}
+
+#[derive(Debug)]
+struct Engagement {
+    proposal: ProposalId,
+    coordinator: ProcessId,
+    deadline: SimTime,
+    awaiting_payload: bool,
+}
+
+/// The per-process view-agreement state machine.
+///
+/// See the module documentation for the protocol; see `vs-gcs` for
+/// the driver that wires it to a network.
+#[derive(Debug)]
+pub struct AgreementMachine<P> {
+    me: ProcessId,
+    config: AgreementConfig,
+    current_view: View,
+    max_epoch_seen: u64,
+    coord: Option<CoordState<P>>,
+    engaged: Option<Engagement>,
+}
+
+impl<P: Clone + fmt::Debug> AgreementMachine<P> {
+    /// Creates the machine for process `me`, starting in its initial
+    /// singleton view.
+    pub fn new(me: ProcessId, config: AgreementConfig) -> Self {
+        AgreementMachine {
+            me,
+            config,
+            current_view: View::initial(me),
+            max_epoch_seen: 0,
+            coord: None,
+            engaged: None,
+        }
+    }
+
+    /// The view this process is currently in.
+    pub fn current_view(&self) -> &View {
+        &self.current_view
+    }
+
+    /// Whether this process is currently engaged in a proposal (and must
+    /// therefore hold back new multicasts).
+    pub fn is_engaged(&self) -> bool {
+        self.engaged.is_some()
+    }
+
+    /// Starts coordinating a view change towards `candidate`. Call only
+    /// when `me` is the least process of `candidate`; otherwise this is a
+    /// no-op returning no actions (the least member will coordinate).
+    pub fn start(&mut self, candidate: BTreeSet<ProcessId>, now: SimTime) -> Vec<AgreementAction<P>> {
+        if candidate.iter().next() != Some(&self.me) || candidate.is_empty() {
+            return Vec::new();
+        }
+        self.propose(candidate, now)
+    }
+
+    fn propose(&mut self, invited: BTreeSet<ProcessId>, now: SimTime) -> Vec<AgreementAction<P>> {
+        let attempt = match &self.coord {
+            Some(c) if c.proposal.epoch >= self.max_epoch_seen => c.proposal.attempt + 1,
+            _ => 0,
+        };
+        self.max_epoch_seen = self.max_epoch_seen.max(self.current_view.id().epoch);
+        let proposal = ProposalId {
+            epoch: self.max_epoch_seen + 1,
+            attempt,
+            coordinator: self.me,
+        };
+        self.coord = Some(CoordState {
+            proposal,
+            invited: invited.clone(),
+            replies: BTreeMap::new(),
+            deadline: now + self.config.reply_timeout,
+        });
+        // Engage ourselves like any other member.
+        self.engaged = Some(Engagement {
+            proposal,
+            coordinator: self.me,
+            deadline: now + self.config.commit_timeout,
+            awaiting_payload: true,
+        });
+        let mut actions = vec![AgreementAction::NeedPayload { proposal }];
+        for &p in invited.iter().filter(|&&p| p != self.me) {
+            actions.push(AgreementAction::Send(
+                p,
+                AgreementMsg::Prepare {
+                    proposal,
+                    invited: invited.clone(),
+                },
+            ));
+        }
+        actions
+    }
+
+    /// Supplies the flush payload requested by
+    /// [`AgreementAction::NeedPayload`].
+    pub fn provide_payload(&mut self, proposal: ProposalId, payload: P) -> Vec<AgreementAction<P>> {
+        let Some(eng) = &mut self.engaged else {
+            return Vec::new();
+        };
+        if eng.proposal != proposal || !eng.awaiting_payload {
+            return Vec::new();
+        }
+        eng.awaiting_payload = false;
+        let coordinator = eng.coordinator;
+        let prev_view = self.current_view.id();
+        if coordinator == self.me {
+            self.record_reply(self.me, prev_view, payload)
+        } else {
+            vec![AgreementAction::Send(
+                coordinator,
+                AgreementMsg::StateReply {
+                    proposal,
+                    prev_view,
+                    payload,
+                },
+            )]
+        }
+    }
+
+    /// Handles a protocol message from `from`.
+    pub fn handle(
+        &mut self,
+        from: ProcessId,
+        msg: AgreementMsg<P>,
+        now: SimTime,
+    ) -> Vec<AgreementAction<P>> {
+        match msg {
+            AgreementMsg::Prepare { proposal, invited } => self.on_prepare(from, proposal, invited, now),
+            AgreementMsg::StateReply {
+                proposal,
+                prev_view,
+                payload,
+            } => self.on_state_reply(from, proposal, prev_view, payload),
+            AgreementMsg::Nack { proposal, epoch_hint } => self.on_nack(proposal, epoch_hint, now),
+            AgreementMsg::Commit {
+                proposal,
+                view,
+                replies,
+            } => self.on_commit(proposal, view, replies),
+        }
+    }
+
+    /// Periodic timeout check; call at least once per heartbeat interval.
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<AgreementAction<P>> {
+        let mut actions = Vec::new();
+        // Coordinator: silent invitees are dropped and the proposal retried.
+        if let Some(c) = &self.coord {
+            if now >= c.deadline {
+                let responders: BTreeSet<ProcessId> = c
+                    .replies
+                    .keys()
+                    .copied()
+                    .chain(std::iter::once(self.me))
+                    .collect();
+                if responders.len() < c.invited.len() {
+                    actions.extend(self.propose(responders, now));
+                } else {
+                    // All replied but commit somehow not sent (payload still
+                    // pending); extend the deadline.
+                    if let Some(c) = &mut self.coord {
+                        c.deadline = now + self.config.reply_timeout;
+                    }
+                }
+            }
+        }
+        // Member: a silent coordinator means the engagement is abandoned.
+        if let Some(eng) = &self.engaged {
+            if eng.coordinator != self.me && now >= eng.deadline {
+                self.engaged = None;
+                actions.push(AgreementAction::Abandoned);
+            }
+        }
+        actions
+    }
+
+    fn on_prepare(
+        &mut self,
+        from: ProcessId,
+        proposal: ProposalId,
+        _invited: BTreeSet<ProcessId>,
+        now: SimTime,
+    ) -> Vec<AgreementAction<P>> {
+        self.max_epoch_seen = self.max_epoch_seen.max(proposal.epoch);
+        if proposal.epoch <= self.current_view.id().epoch {
+            // Stale coordinator; tell it where the epoch stands.
+            return vec![AgreementAction::Send(
+                from,
+                AgreementMsg::Nack {
+                    proposal,
+                    epoch_hint: self.current_view.id().epoch,
+                },
+            )];
+        }
+        if let Some(eng) = &self.engaged {
+            if proposal <= eng.proposal {
+                return Vec::new(); // already engaged in something at least as new
+            }
+        }
+        // Defecting to a greater proposal also drops any coordination of a
+        // lesser one.
+        if let Some(c) = &self.coord {
+            if c.proposal < proposal {
+                self.coord = None;
+            }
+        }
+        self.engaged = Some(Engagement {
+            proposal,
+            coordinator: from,
+            deadline: now + self.config.commit_timeout,
+            awaiting_payload: true,
+        });
+        vec![AgreementAction::NeedPayload { proposal }]
+    }
+
+    fn on_state_reply(
+        &mut self,
+        from: ProcessId,
+        proposal: ProposalId,
+        prev_view: ViewId,
+        payload: P,
+    ) -> Vec<AgreementAction<P>> {
+        match &self.coord {
+            Some(c) if c.proposal == proposal => self.record_reply(from, prev_view, payload),
+            _ => Vec::new(),
+        }
+    }
+
+    fn record_reply(
+        &mut self,
+        from: ProcessId,
+        prev_view: ViewId,
+        payload: P,
+    ) -> Vec<AgreementAction<P>> {
+        let Some(c) = &mut self.coord else {
+            return Vec::new();
+        };
+        if !c.invited.contains(&from) {
+            return Vec::new();
+        }
+        c.replies.insert(from, (prev_view, payload));
+        if c.replies.len() < c.invited.len() {
+            return Vec::new();
+        }
+        // Everyone replied: commit.
+        let c = self.coord.take().expect("checked above");
+        let view = View::new(
+            ViewId {
+                epoch: c.proposal.epoch,
+                coordinator: self.me,
+            },
+            c.invited.clone(),
+        );
+        let replies: Vec<(ProcessId, ViewId, P)> = c
+            .replies
+            .into_iter()
+            .map(|(p, (vid, pl))| (p, vid, pl))
+            .collect();
+        let mut actions = Vec::new();
+        for &p in c.invited.iter().filter(|&&p| p != self.me) {
+            actions.push(AgreementAction::Send(
+                p,
+                AgreementMsg::Commit {
+                    proposal: c.proposal,
+                    view: view.clone(),
+                    replies: replies.clone(),
+                },
+            ));
+        }
+        actions.extend(self.install(view, replies));
+        actions
+    }
+
+    fn on_commit(
+        &mut self,
+        proposal: ProposalId,
+        view: View,
+        replies: Vec<(ProcessId, ViewId, P)>,
+    ) -> Vec<AgreementAction<P>> {
+        if !view.contains(self.me) {
+            return Vec::new();
+        }
+        if view.id().epoch <= self.current_view.id().epoch {
+            return Vec::new(); // stale commit from a superseded lineage
+        }
+        let engaged_matches = self
+            .engaged
+            .as_ref()
+            .map(|e| e.proposal == proposal)
+            .unwrap_or(false);
+        if !engaged_matches {
+            // A commit for a proposal we never engaged in (e.g. we defected
+            // to a lesser-known one, or our reply raced). Installing is
+            // still safe — the coordinator included our payload only if we
+            // replied; if we are in the view, we replied.
+            if !replies.iter().any(|(p, _, _)| *p == self.me) {
+                return Vec::new();
+            }
+        }
+        self.install(view, replies)
+    }
+
+    fn install(
+        &mut self,
+        view: View,
+        replies: Vec<(ProcessId, ViewId, P)>,
+    ) -> Vec<AgreementAction<P>> {
+        self.max_epoch_seen = self.max_epoch_seen.max(view.id().epoch);
+        self.current_view = view.clone();
+        self.engaged = None;
+        self.coord = None;
+        vec![AgreementAction::Install { view, replies }]
+    }
+
+    fn on_nack(&mut self, proposal: ProposalId, epoch_hint: u64, now: SimTime) -> Vec<AgreementAction<P>> {
+        self.max_epoch_seen = self.max_epoch_seen.max(epoch_hint);
+        match &self.coord {
+            Some(c) if c.proposal == proposal => {
+                let invited = c.invited.clone();
+                self.propose(invited, now)
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn set(ids: &[u64]) -> BTreeSet<ProcessId> {
+        ids.iter().map(|&n| pid(n)).collect()
+    }
+
+    fn cfg() -> AgreementConfig {
+        AgreementConfig {
+            reply_timeout: SimDuration::from_millis(40),
+            commit_timeout: SimDuration::from_millis(120),
+        }
+    }
+
+    type M = AgreementMachine<&'static str>;
+
+    /// Runs a full three-process agreement by hand, returning the installed
+    /// views observed at each machine.
+    #[test]
+    fn three_process_agreement_installs_everywhere() {
+        let now = SimTime::ZERO;
+        let mut m0: M = AgreementMachine::new(pid(0), cfg());
+        let mut m1: M = AgreementMachine::new(pid(1), cfg());
+        let mut m2: M = AgreementMachine::new(pid(2), cfg());
+
+        // p0 (least) coordinates.
+        let acts = m0.start(set(&[0, 1, 2]), now);
+        let proposal = match &acts[0] {
+            AgreementAction::NeedPayload { proposal } => *proposal,
+            other => panic!("expected NeedPayload, got {other:?}"),
+        };
+        assert_eq!(acts.len(), 3, "NeedPayload + two Prepares");
+
+        // Deliver prepares.
+        let prep = |acts: &[AgreementAction<&'static str>], to: ProcessId| {
+            acts.iter()
+                .find_map(|a| match a {
+                    AgreementAction::Send(p, m @ AgreementMsg::Prepare { .. }) if *p == to => {
+                        Some(m.clone())
+                    }
+                    _ => None,
+                })
+                .expect("prepare for target")
+        };
+        let a1 = m1.handle(pid(0), prep(&acts, pid(1)), now);
+        let a2 = m2.handle(pid(0), prep(&acts, pid(2)), now);
+        assert!(matches!(a1[0], AgreementAction::NeedPayload { .. }));
+        assert!(matches!(a2[0], AgreementAction::NeedPayload { .. }));
+        assert!(m1.is_engaged() && m2.is_engaged());
+
+        // Members provide payloads; replies go to the coordinator.
+        let r1 = m1.provide_payload(proposal, "p1-state");
+        let r2 = m2.provide_payload(proposal, "p2-state");
+        let reply_of = |acts: Vec<AgreementAction<&'static str>>| match acts.into_iter().next() {
+            Some(AgreementAction::Send(to, m @ AgreementMsg::StateReply { .. })) => (to, m),
+            other => panic!("expected StateReply, got {other:?}"),
+        };
+        let (to1, rep1) = reply_of(r1);
+        let (to2, rep2) = reply_of(r2);
+        assert_eq!((to1, to2), (pid(0), pid(0)));
+
+        // Coordinator's own payload plus both replies trigger the commit.
+        let own = m0.provide_payload(proposal, "p0-state");
+        assert!(own.is_empty(), "commit waits for all three payloads");
+        assert!(m0.handle(pid(1), rep1, now).is_empty());
+        let acts = m0.handle(pid(2), rep2, now);
+        let commit_to = |to: ProcessId| {
+            acts.iter()
+                .find_map(|a| match a {
+                    AgreementAction::Send(p, m @ AgreementMsg::Commit { .. }) if *p == to => {
+                        Some(m.clone())
+                    }
+                    _ => None,
+                })
+                .expect("commit for target")
+        };
+        let installed_at_coord = acts.iter().any(|a| matches!(a, AgreementAction::Install { .. }));
+        assert!(installed_at_coord);
+
+        let i1 = m1.handle(pid(0), commit_to(pid(1)), now);
+        let i2 = m2.handle(pid(0), commit_to(pid(2)), now);
+        for (m, acts) in [(&m1, &i1), (&m2, &i2)] {
+            match acts.first() {
+                Some(AgreementAction::Install { view, replies }) => {
+                    assert_eq!(view.members(), &set(&[0, 1, 2]));
+                    assert_eq!(replies.len(), 3);
+                    assert_eq!(m.current_view().members(), &set(&[0, 1, 2]));
+                }
+                other => panic!("expected Install, got {other:?}"),
+            }
+        }
+        assert_eq!(m0.current_view().id(), m1.current_view().id());
+        assert_eq!(m1.current_view().id(), m2.current_view().id());
+        assert!(!m0.is_engaged() && !m1.is_engaged() && !m2.is_engaged());
+    }
+
+    #[test]
+    fn non_least_process_does_not_coordinate() {
+        let mut m1: M = AgreementMachine::new(pid(1), cfg());
+        assert!(m1.start(set(&[0, 1]), SimTime::ZERO).is_empty());
+        assert!(!m1.is_engaged());
+    }
+
+    #[test]
+    fn silent_invitee_is_dropped_on_retry() {
+        let now = SimTime::ZERO;
+        let mut m0: M = AgreementMachine::new(pid(0), cfg());
+        let acts = m0.start(set(&[0, 1, 2]), now);
+        let proposal = match &acts[0] {
+            AgreementAction::NeedPayload { proposal } => *proposal,
+            _ => unreachable!(),
+        };
+        m0.provide_payload(proposal, "p0");
+        // p1 replies, p2 stays silent.
+        let reply = AgreementMsg::StateReply {
+            proposal,
+            prev_view: ViewId::initial(pid(1)),
+            payload: "p1",
+        };
+        assert!(m0.handle(pid(1), reply, now).is_empty());
+        // Timeout: retry without p2.
+        let later = now + SimDuration::from_millis(50);
+        let acts = m0.on_tick(later);
+        let new_invited: Vec<BTreeSet<ProcessId>> = acts
+            .iter()
+            .filter_map(|a| match a {
+                AgreementAction::Send(_, AgreementMsg::Prepare { invited, .. }) => {
+                    Some(invited.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(new_invited, vec![set(&[0, 1])], "p2 dropped from the retry");
+        let retry_proposal = acts
+            .iter()
+            .find_map(|a| match a {
+                AgreementAction::NeedPayload { proposal } => Some(*proposal),
+                _ => None,
+            })
+            .expect("retry requests payload again");
+        assert!(retry_proposal > proposal);
+    }
+
+    #[test]
+    fn engaged_member_abandons_after_commit_timeout() {
+        let now = SimTime::ZERO;
+        let mut m1: M = AgreementMachine::new(pid(1), cfg());
+        let proposal = ProposalId {
+            epoch: 1,
+            attempt: 0,
+            coordinator: pid(0),
+        };
+        let acts = m1.handle(
+            pid(0),
+            AgreementMsg::Prepare {
+                proposal,
+                invited: set(&[0, 1]),
+            },
+            now,
+        );
+        assert!(matches!(acts[0], AgreementAction::NeedPayload { .. }));
+        m1.provide_payload(proposal, "p1");
+        assert!(m1.is_engaged());
+        let acts = m1.on_tick(now + SimDuration::from_millis(120));
+        assert_eq!(acts, vec![AgreementAction::Abandoned]);
+        assert!(!m1.is_engaged());
+    }
+
+    #[test]
+    fn greater_proposal_wins_defection() {
+        let now = SimTime::ZERO;
+        let mut m2: M = AgreementMachine::new(pid(2), cfg());
+        let weak = ProposalId {
+            epoch: 1,
+            attempt: 0,
+            coordinator: pid(1),
+        };
+        let strong = ProposalId {
+            epoch: 2,
+            attempt: 0,
+            coordinator: pid(0),
+        };
+        m2.handle(
+            pid(1),
+            AgreementMsg::Prepare {
+                proposal: weak,
+                invited: set(&[1, 2]),
+            },
+            now,
+        );
+        let acts = m2.handle(
+            pid(0),
+            AgreementMsg::Prepare {
+                proposal: strong,
+                invited: set(&[0, 1, 2]),
+            },
+            now,
+        );
+        assert!(
+            matches!(acts[0], AgreementAction::NeedPayload { proposal } if proposal == strong),
+            "member defects to the greater proposal"
+        );
+        // The weaker proposal arriving again is ignored.
+        let acts = m2.handle(
+            pid(1),
+            AgreementMsg::Prepare {
+                proposal: weak,
+                invited: set(&[1, 2]),
+            },
+            now,
+        );
+        assert!(acts.is_empty());
+    }
+
+    #[test]
+    fn stale_prepare_is_nacked_with_epoch_hint() {
+        let now = SimTime::ZERO;
+        let mut m1: M = AgreementMachine::new(pid(1), cfg());
+        // Fast-forward m1 into epoch 5 by installing a commit.
+        let view = View::new(
+            ViewId {
+                epoch: 5,
+                coordinator: pid(1),
+            },
+            set(&[1]),
+        );
+        let proposal5 = ProposalId {
+            epoch: 5,
+            attempt: 0,
+            coordinator: pid(1),
+        };
+        m1.handle(
+            pid(1),
+            AgreementMsg::Commit {
+                proposal: proposal5,
+                view,
+                replies: vec![(pid(1), ViewId::initial(pid(1)), "s")],
+            },
+            now,
+        );
+        assert_eq!(m1.current_view().id().epoch, 5);
+        // A coordinator still at epoch 2 prepares: m1 nacks.
+        let stale = ProposalId {
+            epoch: 2,
+            attempt: 0,
+            coordinator: pid(0),
+        };
+        let acts = m1.handle(
+            pid(0),
+            AgreementMsg::Prepare {
+                proposal: stale,
+                invited: set(&[0, 1]),
+            },
+            now,
+        );
+        match &acts[0] {
+            AgreementAction::Send(to, AgreementMsg::Nack { epoch_hint, .. }) => {
+                assert_eq!(*to, pid(0));
+                assert_eq!(*epoch_hint, 5);
+            }
+            other => panic!("expected Nack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nack_causes_retry_above_the_hint() {
+        let now = SimTime::ZERO;
+        let mut m0: M = AgreementMachine::new(pid(0), cfg());
+        let acts = m0.start(set(&[0, 1]), now);
+        let proposal = match &acts[0] {
+            AgreementAction::NeedPayload { proposal } => *proposal,
+            _ => unreachable!(),
+        };
+        assert_eq!(proposal.epoch, 1);
+        let acts = m0.handle(
+            pid(1),
+            AgreementMsg::Nack {
+                proposal,
+                epoch_hint: 9,
+            },
+            now,
+        );
+        let retry = acts
+            .iter()
+            .find_map(|a| match a {
+                AgreementAction::Send(_, AgreementMsg::Prepare { proposal, .. }) => Some(*proposal),
+                _ => None,
+            })
+            .expect("retry prepare");
+        assert_eq!(retry.epoch, 10, "retry jumps above the hinted epoch");
+    }
+
+    #[test]
+    fn commit_for_a_view_excluding_us_is_ignored() {
+        let now = SimTime::ZERO;
+        let mut m2: M = AgreementMachine::new(pid(2), cfg());
+        let view = View::new(
+            ViewId {
+                epoch: 3,
+                coordinator: pid(0),
+            },
+            set(&[0, 1]),
+        );
+        let acts = m2.handle(
+            pid(0),
+            AgreementMsg::Commit {
+                proposal: ProposalId {
+                    epoch: 3,
+                    attempt: 0,
+                    coordinator: pid(0),
+                },
+                view,
+                replies: vec![],
+            },
+            now,
+        );
+        assert!(acts.is_empty());
+        assert_eq!(m2.current_view().id().epoch, 0);
+    }
+
+    #[test]
+    fn duplicate_commit_is_idempotent() {
+        let now = SimTime::ZERO;
+        let mut m1: M = AgreementMachine::new(pid(1), cfg());
+        let proposal = ProposalId {
+            epoch: 1,
+            attempt: 0,
+            coordinator: pid(0),
+        };
+        m1.handle(
+            pid(0),
+            AgreementMsg::Prepare {
+                proposal,
+                invited: set(&[0, 1]),
+            },
+            now,
+        );
+        m1.provide_payload(proposal, "p1");
+        let view = View::new(
+            ViewId {
+                epoch: 1,
+                coordinator: pid(0),
+            },
+            set(&[0, 1]),
+        );
+        let commit = AgreementMsg::Commit {
+            proposal,
+            view,
+            replies: vec![
+                (pid(0), ViewId::initial(pid(0)), "s0"),
+                (pid(1), ViewId::initial(pid(1)), "s1"),
+            ],
+        };
+        let first = m1.handle(pid(0), commit.clone(), now);
+        assert!(matches!(first[0], AgreementAction::Install { .. }));
+        let second = m1.handle(pid(0), commit, now);
+        assert!(second.is_empty(), "replayed commit must not reinstall");
+    }
+
+    #[test]
+    fn payload_for_wrong_proposal_is_ignored() {
+        let now = SimTime::ZERO;
+        let mut m1: M = AgreementMachine::new(pid(1), cfg());
+        let proposal = ProposalId {
+            epoch: 1,
+            attempt: 0,
+            coordinator: pid(0),
+        };
+        m1.handle(
+            pid(0),
+            AgreementMsg::Prepare {
+                proposal,
+                invited: set(&[0, 1]),
+            },
+            now,
+        );
+        let wrong = ProposalId {
+            epoch: 7,
+            attempt: 0,
+            coordinator: pid(0),
+        };
+        assert!(m1.provide_payload(wrong, "x").is_empty());
+        // The right proposal still works afterwards.
+        let acts = m1.provide_payload(proposal, "p1");
+        assert!(matches!(
+            acts[0],
+            AgreementAction::Send(_, AgreementMsg::StateReply { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_partitions_install_distinct_views() {
+        // Two disjoint candidate sets coordinate independently — the
+        // partitionable behaviour the paper requires (§2, §5).
+        let now = SimTime::ZERO;
+        let mut m0: M = AgreementMachine::new(pid(0), cfg());
+        let mut m2: M = AgreementMachine::new(pid(2), cfg());
+        let a0 = m0.start(set(&[0]), now);
+        let a2 = m2.start(set(&[2]), now);
+        let p0 = match &a0[0] {
+            AgreementAction::NeedPayload { proposal } => *proposal,
+            _ => unreachable!(),
+        };
+        let p2 = match &a2[0] {
+            AgreementAction::NeedPayload { proposal } => *proposal,
+            _ => unreachable!(),
+        };
+        let i0 = m0.provide_payload(p0, "s0");
+        let i2 = m2.provide_payload(p2, "s2");
+        assert!(matches!(i0[0], AgreementAction::Install { .. }));
+        assert!(matches!(i2[0], AgreementAction::Install { .. }));
+        assert_ne!(
+            m0.current_view().id(),
+            m2.current_view().id(),
+            "same epoch but different coordinators"
+        );
+        assert_eq!(m0.current_view().id().epoch, m2.current_view().id().epoch);
+    }
+}

@@ -1,0 +1,188 @@
+//! Heartbeat failure detection.
+//!
+//! In an asynchronous system "the inability to communicate with a certain
+//! process cannot be attributed to its real cause" (paper §1, citing FLP
+//! [7]). A failure detector therefore cannot be accurate; it can only be
+//! *complete* (eventually notice silence). [`FailureDetector`] is the
+//! classic heartbeat scheme: every process periodically pings its contacts;
+//! a contact silent for longer than the suspicion timeout is suspected.
+//! False suspicions are expected and harmless — the membership and flush
+//! layers above convert them into (possibly spurious) view changes, which
+//! the application model of the paper is designed to absorb.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vs_net::{ProcessId, SimDuration, SimTime};
+
+/// Tuning parameters of the failure detector.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// How often a process sends heartbeats.
+    pub heartbeat_every: SimDuration,
+    /// Silence threshold after which a contact is suspected.
+    pub suspect_after: SimDuration,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            heartbeat_every: SimDuration::from_millis(10),
+            suspect_after: SimDuration::from_millis(35),
+        }
+    }
+}
+
+/// Tracks the last time each contact was heard from and derives the set of
+/// currently trusted (unsuspected) contacts.
+///
+/// # Example
+///
+/// ```
+/// use vs_membership::{DetectorConfig, FailureDetector};
+/// use vs_net::{ProcessId, SimDuration, SimTime};
+///
+/// let me = ProcessId::from_raw(0);
+/// let peer = ProcessId::from_raw(1);
+/// let mut fd = FailureDetector::new(me, DetectorConfig::default());
+/// fd.heard_from(peer, SimTime::ZERO);
+/// assert!(fd.trusted(SimTime::ZERO + SimDuration::from_millis(10)).contains(&peer));
+/// assert!(!fd.trusted(SimTime::ZERO + SimDuration::from_millis(100)).contains(&peer));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    me: ProcessId,
+    config: DetectorConfig,
+    last_heard: BTreeMap<ProcessId, SimTime>,
+}
+
+impl FailureDetector {
+    /// Creates a detector for process `me`.
+    pub fn new(me: ProcessId, config: DetectorConfig) -> Self {
+        FailureDetector {
+            me,
+            config,
+            last_heard: BTreeMap::new(),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+
+    /// Records evidence of life from `p` at instant `now`. Any message
+    /// counts, not only explicit heartbeats.
+    pub fn heard_from(&mut self, p: ProcessId, now: SimTime) {
+        if p == self.me {
+            return;
+        }
+        let entry = self.last_heard.entry(p).or_insert(now);
+        if *entry < now {
+            *entry = now;
+        }
+    }
+
+    /// Forgets a process entirely (it left, or its partition is stale).
+    pub fn forget(&mut self, p: ProcessId) {
+        self.last_heard.remove(&p);
+    }
+
+    /// The set of processes currently trusted at `now`: every contact heard
+    /// from within the suspicion timeout, plus `me` (a process always trusts
+    /// itself).
+    pub fn trusted(&self, now: SimTime) -> BTreeSet<ProcessId> {
+        let mut out: BTreeSet<ProcessId> = self
+            .last_heard
+            .iter()
+            .filter(|(_, &t)| now.saturating_since(t) < self.config.suspect_after)
+            .map(|(&p, _)| p)
+            .collect();
+        out.insert(self.me);
+        out
+    }
+
+    /// Whether `p` is currently suspected (known but silent too long).
+    /// Unknown processes are not "suspected" — they are simply unknown.
+    pub fn suspects(&self, p: ProcessId, now: SimTime) -> bool {
+        match self.last_heard.get(&p) {
+            Some(&t) => now.saturating_since(t) >= self.config.suspect_after,
+            None => false,
+        }
+    }
+
+    /// Every process this detector has ever heard from (alive or not).
+    pub fn known(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.last_heard.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig {
+            heartbeat_every: SimDuration::from_millis(10),
+            suspect_after: SimDuration::from_millis(30),
+        }
+    }
+
+    #[test]
+    fn fresh_detector_trusts_only_itself() {
+        let fd = FailureDetector::new(pid(0), cfg());
+        let t = fd.trusted(SimTime::ZERO);
+        assert_eq!(t.into_iter().collect::<Vec<_>>(), vec![pid(0)]);
+    }
+
+    #[test]
+    fn recent_contact_is_trusted_then_suspected() {
+        let mut fd = FailureDetector::new(pid(0), cfg());
+        fd.heard_from(pid(1), SimTime::from_micros(0));
+        assert!(fd.trusted(SimTime::from_micros(29_000)).contains(&pid(1)));
+        assert!(!fd.trusted(SimTime::from_micros(30_000)).contains(&pid(1)));
+        assert!(fd.suspects(pid(1), SimTime::from_micros(30_000)));
+    }
+
+    #[test]
+    fn new_evidence_refreshes_trust() {
+        let mut fd = FailureDetector::new(pid(0), cfg());
+        fd.heard_from(pid(1), SimTime::from_micros(0));
+        fd.heard_from(pid(1), SimTime::from_micros(25_000));
+        assert!(fd.trusted(SimTime::from_micros(50_000)).contains(&pid(1)));
+    }
+
+    #[test]
+    fn stale_evidence_does_not_regress_the_clock() {
+        let mut fd = FailureDetector::new(pid(0), cfg());
+        fd.heard_from(pid(1), SimTime::from_micros(20_000));
+        fd.heard_from(pid(1), SimTime::from_micros(5_000)); // out-of-order arrival
+        assert!(fd.trusted(SimTime::from_micros(45_000)).contains(&pid(1)));
+    }
+
+    #[test]
+    fn self_evidence_is_ignored_but_self_is_always_trusted() {
+        let mut fd = FailureDetector::new(pid(0), cfg());
+        fd.heard_from(pid(0), SimTime::ZERO);
+        assert_eq!(fd.known().count(), 0);
+        assert!(fd.trusted(SimTime::from_micros(1_000_000)).contains(&pid(0)));
+    }
+
+    #[test]
+    fn unknown_processes_are_not_suspected() {
+        let fd = FailureDetector::new(pid(0), cfg());
+        assert!(!fd.suspects(pid(7), SimTime::from_micros(1_000_000)));
+    }
+
+    #[test]
+    fn forget_removes_knowledge() {
+        let mut fd = FailureDetector::new(pid(0), cfg());
+        fd.heard_from(pid(1), SimTime::ZERO);
+        fd.forget(pid(1));
+        assert_eq!(fd.known().count(), 0);
+        assert!(!fd.trusted(SimTime::ZERO).contains(&pid(1)));
+    }
+}

@@ -1,0 +1,232 @@
+//! Views and view identifiers.
+//!
+//! A *view* (paper §2) is the membership service's current belief about
+//! which processes are up and mutually reachable. View identifiers must
+//! support two things at once:
+//!
+//! * a **total order along any one partition's lineage** — each partition
+//!   installs views with strictly increasing epochs, so "newer" is
+//!   well-defined locally;
+//! * **global uniqueness across concurrent partitions** — two partitions
+//!   may pick the same epoch independently, so the identifier also carries
+//!   the installing coordinator, making `(epoch, coordinator)` unique.
+//!
+//! Concurrent views (same epoch, different coordinators; or incomparable
+//! lineages) are exactly what the paper's partitionable model permits and
+//! what the primary-partition model (Isis, §5) forbids.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+use vs_net::ProcessId;
+
+/// Identifier of an installed view: the agreement epoch plus the proposing
+/// coordinator.
+///
+/// Ordered lexicographically by `(epoch, coordinator)`; this order is total
+/// but only *meaningful* along one partition lineage. The initial singleton
+/// view of a freshly started process `p` is `(0, p)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ViewId {
+    /// Agreement epoch; strictly increases along any lineage.
+    pub epoch: u64,
+    /// The coordinator that committed this view; disambiguates concurrent
+    /// partitions that picked the same epoch.
+    pub coordinator: ProcessId,
+}
+
+impl ViewId {
+    /// The identifier of the initial singleton view of process `p`.
+    pub fn initial(p: ProcessId) -> Self {
+        ViewId { epoch: 0, coordinator: p }
+    }
+}
+
+impl fmt::Debug for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}@{}", self.epoch, self.coordinator)
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}@{}", self.epoch, self.coordinator)
+    }
+}
+
+/// An agreed membership snapshot.
+///
+/// # Example
+///
+/// ```
+/// use vs_membership::View;
+/// use vs_net::ProcessId;
+/// let p = ProcessId::from_raw(1);
+/// let q = ProcessId::from_raw(2);
+/// let v = View::initial(p);
+/// assert!(v.contains(p));
+/// assert!(!v.contains(q));
+/// assert_eq!(v.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    id: ViewId,
+    members: BTreeSet<ProcessId>,
+}
+
+impl View {
+    /// Builds a view from its identifier and membership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty — views always contain at least the
+    /// installing process.
+    pub fn new(id: ViewId, members: BTreeSet<ProcessId>) -> Self {
+        assert!(!members.is_empty(), "a view cannot be empty");
+        View { id, members }
+    }
+
+    /// The initial singleton view of a freshly started process: it is alone
+    /// until the first agreed view change (the paper's model of `join`).
+    pub fn initial(p: ProcessId) -> Self {
+        View {
+            id: ViewId::initial(p),
+            members: std::iter::once(p).collect(),
+        }
+    }
+
+    /// This view's identifier.
+    pub fn id(&self) -> ViewId {
+        self.id
+    }
+
+    /// The agreed membership, ascending.
+    pub fn members(&self) -> &BTreeSet<ProcessId> {
+        &self.members
+    }
+
+    /// Whether `p` belongs to this view.
+    pub fn contains(&self, p: ProcessId) -> bool {
+        self.members.contains(&p)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Views are never empty; this always returns `false` and exists for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The deterministic coordinator of in-view protocols: the least member.
+    pub fn leader(&self) -> ProcessId {
+        *self.members.iter().next().expect("views are non-empty")
+    }
+
+    /// Members of this view that also belong to `next` — the paper's
+    /// "processes that survive from one view to the same next view".
+    pub fn survivors<'a>(&'a self, next: &'a View) -> impl Iterator<Item = ProcessId> + 'a {
+        self.members
+            .iter()
+            .copied()
+            .filter(move |p| next.contains(*p))
+    }
+
+    /// Whether this view contains a strict majority of a universe of
+    /// `total` processes — the usual quorum predicate of the paper's
+    /// replicated-file example (§3) and majority-lock example (§6.2).
+    pub fn is_majority_of(&self, total: usize) -> bool {
+        2 * self.members.len() > total
+    }
+}
+
+impl fmt::Debug for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:?}", self.id, self.members.iter().collect::<Vec<_>>())
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = self.members.iter().map(|p| p.to_string()).collect();
+        write!(f, "{}{{{}}}", self.id, names.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn view(epoch: u64, coord: u64, members: &[u64]) -> View {
+        View::new(
+            ViewId { epoch, coordinator: pid(coord) },
+            members.iter().map(|&n| pid(n)).collect(),
+        )
+    }
+
+    #[test]
+    fn view_ids_order_by_epoch_then_coordinator() {
+        let a = ViewId { epoch: 1, coordinator: pid(5) };
+        let b = ViewId { epoch: 2, coordinator: pid(0) };
+        let c = ViewId { epoch: 2, coordinator: pid(1) };
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn concurrent_views_with_same_epoch_are_distinct() {
+        let left = ViewId { epoch: 3, coordinator: pid(0) };
+        let right = ViewId { epoch: 3, coordinator: pid(4) };
+        assert_ne!(left, right);
+    }
+
+    #[test]
+    fn initial_view_is_a_singleton() {
+        let v = View::initial(pid(9));
+        assert_eq!(v.len(), 1);
+        assert!(v.contains(pid(9)));
+        assert_eq!(v.leader(), pid(9));
+        assert_eq!(v.id(), ViewId { epoch: 0, coordinator: pid(9) });
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_views_are_rejected() {
+        View::new(ViewId::initial(pid(0)), BTreeSet::new());
+    }
+
+    #[test]
+    fn leader_is_least_member() {
+        let v = view(1, 0, &[3, 1, 2]);
+        assert_eq!(v.leader(), pid(1));
+    }
+
+    #[test]
+    fn survivors_intersects_memberships() {
+        let v = view(1, 0, &[1, 2, 3]);
+        let w = view(2, 0, &[2, 3, 4]);
+        let s: Vec<_> = v.survivors(&w).collect();
+        assert_eq!(s, vec![pid(2), pid(3)]);
+    }
+
+    #[test]
+    fn majority_is_strict() {
+        let v = view(1, 0, &[1, 2]);
+        assert!(v.is_majority_of(3));
+        assert!(!v.is_majority_of(4), "2 of 4 is not a strict majority");
+        assert!(!v.is_majority_of(5));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = view(2, 1, &[1, 2]);
+        assert_eq!(v.to_string(), "v2@p1{p1,p2}");
+    }
+}

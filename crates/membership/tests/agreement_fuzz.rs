@@ -1,0 +1,194 @@
+//! Adversarial scheduling of the raw view-agreement machines.
+//!
+//! The full-stack property tests exercise agreement through the simulator;
+//! this suite attacks the machine directly: random interleavings of
+//! message deliveries, drops, ticks and re-triggers across a set of
+//! machines, checking the safety invariants that view synchrony builds on:
+//!
+//! * epochs installed at any one machine strictly increase;
+//! * two machines installing a view with the same identifier install the
+//!   same membership and the same payload bundle;
+//! * an installed view always contains its installer.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use vs_membership::{
+    AgreementAction, AgreementConfig, AgreementMachine, AgreementMsg, View, ViewId,
+};
+use vs_net::{ProcessId, SimDuration, SimTime};
+
+type Payload = String;
+type Machine = AgreementMachine<Payload>;
+
+#[derive(Debug, Clone)]
+struct Installed {
+    view: View,
+    replies: Vec<(ProcessId, ViewId, Payload)>,
+}
+
+struct World {
+    machines: BTreeMap<ProcessId, Machine>,
+    inboxes: BTreeMap<ProcessId, VecDeque<(ProcessId, AgreementMsg<Payload>)>>,
+    installs: BTreeMap<ProcessId, Vec<Installed>>,
+    now: SimTime,
+}
+
+impl World {
+    fn new(n: u64) -> Self {
+        let config = AgreementConfig {
+            reply_timeout: SimDuration::from_millis(40),
+            commit_timeout: SimDuration::from_millis(120),
+        };
+        let mut machines = BTreeMap::new();
+        let mut inboxes = BTreeMap::new();
+        let mut installs = BTreeMap::new();
+        for i in 0..n {
+            let p = ProcessId::from_raw(i);
+            machines.insert(p, Machine::new(p, config));
+            inboxes.insert(p, VecDeque::new());
+            installs.insert(p, Vec::new());
+        }
+        World {
+            machines,
+            inboxes,
+            installs,
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn pids(&self) -> Vec<ProcessId> {
+        self.machines.keys().copied().collect()
+    }
+
+    fn apply(&mut self, at: ProcessId, actions: Vec<AgreementAction<Payload>>) {
+        for action in actions {
+            match action {
+                AgreementAction::Send(to, msg) => {
+                    self.inboxes.get_mut(&to).expect("known").push_back((at, msg));
+                }
+                AgreementAction::NeedPayload { proposal } => {
+                    let payload = format!("state-of-{at}");
+                    let more = self
+                        .machines
+                        .get_mut(&at)
+                        .expect("known")
+                        .provide_payload(proposal, payload);
+                    self.apply(at, more);
+                }
+                AgreementAction::Install { view, replies } => {
+                    self.installs
+                        .get_mut(&at)
+                        .expect("known")
+                        .push(Installed { view, replies });
+                }
+                AgreementAction::Abandoned => {}
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn agreement_safety_under_random_schedules(
+        n in 2u64..6,
+        steps in proptest::collection::vec((0u8..5, 0u64..6, 0u64..6), 10..120),
+    ) {
+        let mut world = World::new(n);
+        let pids = world.pids();
+
+        for (kind, a, b) in steps {
+            let pa = pids[(a % n) as usize];
+            match kind {
+                // Trigger: some machine proposes a random candidate set
+                // containing itself as the least member.
+                0 => {
+                    let candidate: BTreeSet<ProcessId> = pids
+                        .iter()
+                        .copied()
+                        .filter(|p| *p >= pa && (p.raw() + b) % 2 == 0 || *p == pa)
+                        .collect();
+                    let now = world.now;
+                    let actions = world
+                        .machines
+                        .get_mut(&pa)
+                        .expect("known")
+                        .start(candidate, now);
+                    world.apply(pa, actions);
+                }
+                // Deliver the next queued message at pa.
+                1 | 2 => {
+                    if let Some((from, msg)) = world.inboxes.get_mut(&pa).expect("known").pop_front() {
+                        let now = world.now;
+                        let actions = world
+                            .machines
+                            .get_mut(&pa)
+                            .expect("known")
+                            .handle(from, msg, now);
+                        world.apply(pa, actions);
+                    }
+                }
+                // Drop the next queued message at pa.
+                3 => {
+                    world.inboxes.get_mut(&pa).expect("known").pop_front();
+                }
+                // Advance time and tick pa (fires its timeouts).
+                _ => {
+                    world.now += SimDuration::from_millis(10 + b * 15);
+                    let now = world.now;
+                    let actions = world.machines.get_mut(&pa).expect("known").on_tick(now);
+                    world.apply(pa, actions);
+                }
+            }
+        }
+        // Drain all remaining messages round-robin (bounded).
+        for _ in 0..2_000 {
+            let mut progressed = false;
+            for &p in &pids {
+                if let Some((from, msg)) = world.inboxes.get_mut(&p).expect("known").pop_front() {
+                    let now = world.now;
+                    let actions = world.machines.get_mut(&p).expect("known").handle(from, msg, now);
+                    world.apply(p, actions);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // Invariant 1: per-machine epochs strictly increase, and every
+        // installed view contains its installer.
+        for (&p, installs) in &world.installs {
+            let mut prev = 0u64;
+            for inst in installs {
+                prop_assert!(
+                    inst.view.id().epoch > prev,
+                    "{p}: epoch not increasing: {:?}",
+                    installs.iter().map(|i| i.view.id()).collect::<Vec<_>>()
+                );
+                prev = inst.view.id().epoch;
+                prop_assert!(inst.view.contains(p), "{p} installed a view without itself");
+            }
+        }
+
+        // Invariant 2: same view id => same membership and payload bundle.
+        type Seen<'a> = (&'a View, &'a Vec<(ProcessId, ViewId, Payload)>);
+        let mut by_id: BTreeMap<ViewId, Seen<'_>> = BTreeMap::new();
+        for installs in world.installs.values() {
+            for inst in installs {
+                match by_id.get(&inst.view.id()) {
+                    None => {
+                        by_id.insert(inst.view.id(), (&inst.view, &inst.replies));
+                    }
+                    Some((v, r)) => {
+                        prop_assert_eq!(v.members(), inst.view.members());
+                        prop_assert_eq!(*r, &inst.replies);
+                    }
+                }
+            }
+        }
+    }
+}

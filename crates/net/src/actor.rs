@@ -1,0 +1,330 @@
+//! The sans-I/O protocol interface.
+//!
+//! Every protocol layer in this reproduction — failure detector, view
+//! agreement, view-synchronous multicast, enriched views, group objects —
+//! is ultimately packaged as an [`Actor`]: a deterministic state machine
+//! that reacts to messages and timer expirations by recording actions into
+//! a [`Context`]. Actors perform no I/O of their own, which is what lets the
+//! same protocol code run unchanged under the discrete-event [`Sim`] and
+//! under the real threaded transport in [`threaded`].
+//!
+//! [`Sim`]: crate::Sim
+//! [`threaded`]: crate::threaded
+
+use std::fmt;
+
+use crate::id::{ProcessId, SiteId};
+use crate::rng::DetRng;
+use crate::storage::Storage;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle for a pending timer, returned by [`Context::set_timer`] and usable
+/// with [`Context::cancel_timer`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+impl fmt::Debug for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// Application-chosen discriminator distinguishing the purposes of timers
+/// (heartbeat tick, suspicion check, flush timeout, …).
+///
+/// A plain small integer rather than a generic parameter keeps actor
+/// composition simple: nested layers carve up disjoint ranges.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerKind(pub u32);
+
+impl fmt::Debug for TimerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kind#{}", self.0)
+    }
+}
+
+/// A deterministic protocol state machine.
+///
+/// Implementations must be deterministic functions of their inputs (messages,
+/// timers, and draws from [`Context::rng`]); this is what makes simulated
+/// runs replayable.
+///
+/// # Example
+///
+/// ```
+/// use vs_net::{Actor, Context, ProcessId};
+///
+/// /// Counts the messages it receives and reports each count.
+/// struct Counter(u64);
+///
+/// impl Actor for Counter {
+///     type Msg = ();
+///     type Output = u64;
+///     fn on_message(&mut self, _from: ProcessId, _msg: (), ctx: &mut Context<'_, (), u64>) {
+///         self.0 += 1;
+///         ctx.output(self.0);
+///     }
+/// }
+/// ```
+pub trait Actor: 'static {
+    /// Wire message type exchanged between instances of this actor.
+    type Msg: Clone + fmt::Debug + 'static;
+    /// Observable output type collected by the driver (delivered application
+    /// events, installed views, …). Tests and experiments read these.
+    type Output: fmt::Debug + 'static;
+
+    /// Invoked once when the process starts (spawn or recovery).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        let _ = ctx;
+    }
+
+    /// Invoked for every message delivered to this process.
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    );
+
+    /// Invoked when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(
+        &mut self,
+        timer: TimerId,
+        kind: TimerKind,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    ) {
+        let _ = (timer, kind, ctx);
+    }
+}
+
+/// Execution context handed to an [`Actor`] callback.
+///
+/// Collects the actor's effects — message sends, timer manipulations,
+/// observable outputs — and exposes the process identity, the virtual clock,
+/// per-site stable storage, and the deterministic RNG.
+pub struct Context<'a, M, O> {
+    pub(crate) me: ProcessId,
+    pub(crate) site: SiteId,
+    pub(crate) now: SimTime,
+    pub(crate) sends: Vec<(ProcessId, M)>,
+    pub(crate) timers_set: Vec<(SimDuration, TimerKind, TimerId)>,
+    pub(crate) timers_cancelled: Vec<TimerId>,
+    pub(crate) outputs: Vec<O>,
+    pub(crate) storage: &'a mut Storage,
+    pub(crate) rng: &'a mut DetRng,
+    pub(crate) next_timer: &'a mut u64,
+}
+
+impl<'a, M, O> Context<'a, M, O> {
+    pub(crate) fn new(
+        me: ProcessId,
+        site: SiteId,
+        now: SimTime,
+        storage: &'a mut Storage,
+        rng: &'a mut DetRng,
+        next_timer: &'a mut u64,
+    ) -> Self {
+        Context {
+            me,
+            site,
+            now,
+            sends: Vec::new(),
+            timers_set: Vec::new(),
+            timers_cancelled: Vec::new(),
+            outputs: Vec::new(),
+            storage,
+            rng,
+            next_timer,
+        }
+    }
+
+    /// The identity of the running process.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The site this process runs at.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Current instant of the virtual clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Queues a message to `to`. Delivery is asynchronous, unordered across
+    /// destinations, FIFO per destination, and happens only if sender and
+    /// receiver remain mutually reachable.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Queues the same message to every process in `to`, skipping `self`
+    /// only if the iterator does (self-sends loop back locally).
+    pub fn send_all<I>(&mut self, to: I, msg: M)
+    where
+        I: IntoIterator<Item = ProcessId>,
+        M: Clone,
+    {
+        for p in to {
+            self.sends.push((p, msg.clone()));
+        }
+    }
+
+    /// Arms a timer that fires after `after`, tagged with `kind`.
+    pub fn set_timer(&mut self, after: SimDuration, kind: TimerKind) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.timers_set.push((after, kind, id));
+        id
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.timers_cancelled.push(id);
+    }
+
+    /// Records an observable output for the driver (test harness,
+    /// experiment, or embedding application).
+    pub fn output(&mut self, out: O) {
+        self.outputs.push(out);
+    }
+
+    /// Per-site stable storage; survives crashes of processes at this site.
+    pub fn storage(&mut self) -> &mut Storage {
+        self.storage
+    }
+
+    /// Deterministic random source.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Runs `f` with a sub-context sharing this context's identity, clock,
+    /// storage and RNG but collecting a *different output type*. Sends and
+    /// timer operations performed by the sub-context are merged into this
+    /// context; the sub-context's outputs are returned for the caller to
+    /// inspect, translate, or discard.
+    ///
+    /// This is how layered actors compose: an enriched-view endpoint drives
+    /// its inner group-communication endpoint through a scoped context and
+    /// re-emits the inner events in its own vocabulary.
+    pub fn scoped<O2, R>(&mut self, f: impl FnOnce(&mut Context<'_, M, O2>) -> R) -> (R, Vec<O2>) {
+        let mut sub: Context<'_, M, O2> = Context::new(
+            self.me,
+            self.site,
+            self.now,
+            self.storage,
+            self.rng,
+            self.next_timer,
+        );
+        let r = f(&mut sub);
+        let outputs = std::mem::take(&mut sub.outputs);
+        self.sends.append(&mut sub.sends);
+        self.timers_set.append(&mut sub.timers_set);
+        self.timers_cancelled.append(&mut sub.timers_cancelled);
+        (r, outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_collects_actions_in_order() {
+        let mut storage = Storage::default();
+        let mut rng = DetRng::seed_from(0);
+        let mut next_timer = 0;
+        let mut ctx: Context<'_, &'static str, u32> = Context::new(
+            ProcessId::from_raw(1),
+            SiteId::from_raw(0),
+            SimTime::from_micros(5),
+            &mut storage,
+            &mut rng,
+            &mut next_timer,
+        );
+        ctx.send(ProcessId::from_raw(2), "hello");
+        ctx.send(ProcessId::from_raw(3), "world");
+        let t = ctx.set_timer(SimDuration::from_millis(1), TimerKind(9));
+        ctx.cancel_timer(t);
+        ctx.output(7);
+
+        assert_eq!(ctx.me(), ProcessId::from_raw(1));
+        assert_eq!(ctx.site(), SiteId::from_raw(0));
+        assert_eq!(ctx.now(), SimTime::from_micros(5));
+        assert_eq!(ctx.sends.len(), 2);
+        assert_eq!(ctx.sends[0], (ProcessId::from_raw(2), "hello"));
+        assert_eq!(ctx.timers_set.len(), 1);
+        assert_eq!(ctx.timers_set[0].1, TimerKind(9));
+        assert_eq!(ctx.timers_cancelled, vec![t]);
+        assert_eq!(ctx.outputs, vec![7]);
+    }
+
+    #[test]
+    fn timer_ids_are_unique_and_increasing() {
+        let mut storage = Storage::default();
+        let mut rng = DetRng::seed_from(0);
+        let mut next_timer = 0;
+        let mut ctx: Context<'_, (), ()> = Context::new(
+            ProcessId::from_raw(1),
+            SiteId::from_raw(0),
+            SimTime::ZERO,
+            &mut storage,
+            &mut rng,
+            &mut next_timer,
+        );
+        let a = ctx.set_timer(SimDuration::ZERO, TimerKind(0));
+        let b = ctx.set_timer(SimDuration::ZERO, TimerKind(0));
+        assert!(a < b);
+        assert_eq!(next_timer, 2);
+    }
+
+    #[test]
+    fn scoped_contexts_share_effects_but_split_outputs() {
+        let mut storage = Storage::default();
+        let mut rng = DetRng::seed_from(0);
+        let mut next_timer = 0;
+        let mut ctx: Context<'_, u8, &'static str> = Context::new(
+            ProcessId::from_raw(1),
+            SiteId::from_raw(0),
+            SimTime::ZERO,
+            &mut storage,
+            &mut rng,
+            &mut next_timer,
+        );
+        ctx.output("outer");
+        let ((), inner_outputs) = ctx.scoped(|sub: &mut Context<'_, u8, u32>| {
+            sub.send(ProcessId::from_raw(2), 7);
+            sub.set_timer(SimDuration::from_millis(1), TimerKind(3));
+            sub.output(99);
+        });
+        assert_eq!(inner_outputs, vec![99]);
+        assert_eq!(ctx.outputs, vec!["outer"], "inner outputs do not leak");
+        assert_eq!(ctx.sends, vec![(ProcessId::from_raw(2), 7)]);
+        assert_eq!(ctx.timers_set.len(), 1);
+        // Timer ids remain globally unique across scopes.
+        let t = ctx.set_timer(SimDuration::ZERO, TimerKind(0));
+        assert_eq!(t, TimerId(1));
+    }
+
+    #[test]
+    fn send_all_clones_to_every_destination() {
+        let mut storage = Storage::default();
+        let mut rng = DetRng::seed_from(0);
+        let mut next_timer = 0;
+        let mut ctx: Context<'_, u8, ()> = Context::new(
+            ProcessId::from_raw(1),
+            SiteId::from_raw(0),
+            SimTime::ZERO,
+            &mut storage,
+            &mut rng,
+            &mut next_timer,
+        );
+        let targets = [ProcessId::from_raw(4), ProcessId::from_raw(5)];
+        ctx.send_all(targets.iter().copied(), 9);
+        assert_eq!(ctx.sends, vec![(targets[0], 9), (targets[1], 9)]);
+    }
+}

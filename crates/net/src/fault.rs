@@ -1,0 +1,142 @@
+//! Scripted fault injection.
+//!
+//! Experiments describe failure scenarios declaratively as a [`FaultScript`]:
+//! a time-ordered list of [`FaultOp`]s applied by the simulator when the
+//! virtual clock reaches each instant. The same operations are also available
+//! imperatively on [`Sim`] for interactive tests.
+//!
+//! [`Sim`]: crate::Sim
+
+use crate::id::{ProcessId, SiteId};
+use crate::time::SimTime;
+
+/// One fault-injection operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Crash a process. Its timers die with it; messages addressed to it are
+    /// dropped. Its site's stable storage survives.
+    Crash(ProcessId),
+    /// Start a fresh process incarnation at `site` using the simulator's
+    /// recovery factory. Per the paper's model the incarnation gets a *new*
+    /// process identifier.
+    Recover(SiteId),
+    /// Split the network into the given groups (see
+    /// [`Topology::partition`](crate::Topology::partition)).
+    Partition(Vec<Vec<ProcessId>>),
+    /// Merge the partition components containing the listed processes.
+    MergeComponents(Vec<ProcessId>),
+    /// Reunify the whole network and restore all severed links.
+    Heal,
+    /// Put one process into a partition of its own.
+    Isolate(ProcessId),
+    /// Sever the single (bidirectional) link between two processes.
+    SeverLink(ProcessId, ProcessId),
+    /// Restore a previously severed link.
+    RestoreLink(ProcessId, ProcessId),
+}
+
+/// A time-ordered fault schedule.
+///
+/// # Example
+///
+/// ```
+/// use vs_net::{FaultOp, FaultScript, ProcessId, SimTime};
+/// let p = ProcessId::from_raw(0);
+/// let script = FaultScript::new()
+///     .at(SimTime::from_micros(1_000), FaultOp::Crash(p))
+///     .at(SimTime::from_micros(500), FaultOp::Isolate(p));
+/// // Iteration is by time regardless of insertion order:
+/// let times: Vec<_> = script.iter().map(|(t, _)| t.as_micros()).collect();
+/// assert_eq!(times, vec![500, 1_000]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    ops: Vec<(SimTime, FaultOp)>,
+}
+
+impl FaultScript {
+    /// Creates an empty script.
+    pub fn new() -> Self {
+        FaultScript::default()
+    }
+
+    /// Adds an operation at the given instant (builder style).
+    pub fn at(mut self, when: SimTime, op: FaultOp) -> Self {
+        self.push(when, op);
+        self
+    }
+
+    /// Adds an operation at the given instant (mutating style).
+    pub fn push(&mut self, when: SimTime, op: FaultOp) {
+        let idx = self.ops.partition_point(|(t, _)| *t <= when);
+        self.ops.insert(idx, (when, op));
+    }
+
+    /// Iterates the operations in time order. Operations scheduled at the
+    /// same instant keep their insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &FaultOp)> {
+        self.ops.iter().map(|(t, op)| (*t, op))
+    }
+
+    /// Number of scheduled operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl IntoIterator for FaultScript {
+    type Item = (SimTime, FaultOp);
+    type IntoIter = std::vec::IntoIter<(SimTime, FaultOp)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    #[test]
+    fn operations_sort_by_time() {
+        let script = FaultScript::new()
+            .at(SimTime::from_micros(30), FaultOp::Heal)
+            .at(SimTime::from_micros(10), FaultOp::Crash(pid(1)))
+            .at(SimTime::from_micros(20), FaultOp::Isolate(pid(2)));
+        let ops: Vec<_> = script.iter().map(|(t, _)| t.as_micros()).collect();
+        assert_eq!(ops, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_operations_keep_insertion_order() {
+        let t = SimTime::from_micros(5);
+        let script = FaultScript::new()
+            .at(t, FaultOp::Crash(pid(1)))
+            .at(t, FaultOp::Crash(pid(2)));
+        let who: Vec<_> = script
+            .iter()
+            .map(|(_, op)| match op {
+                FaultOp::Crash(p) => *p,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(who, vec![pid(1), pid(2)]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut script = FaultScript::new();
+        assert!(script.is_empty());
+        script.push(SimTime::ZERO, FaultOp::Heal);
+        assert_eq!(script.len(), 1);
+        assert!(!script.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Link delay and loss model.
+//!
+//! Delays are sampled per message from a configurable distribution; the
+//! sampler additionally enforces *per-ordered-pair FIFO* delivery, the usual
+//! assumption for point-to-point channels under TCP-like transports (the
+//! reliability and agreement machinery above never depends on it for safety,
+//! but FIFO links keep the retransmission layer simple). Losses model flaky
+//! links *within* a partition component; cross-partition messages are
+//! dropped by the topology, not by this model.
+
+use std::collections::BTreeMap;
+
+use crate::id::ProcessId;
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Shape of the per-message delay distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayModel {
+    /// Every message takes exactly this long.
+    Constant(SimDuration),
+    /// Uniformly distributed between the two bounds (inclusive).
+    Uniform(SimDuration, SimDuration),
+    /// Mostly `base`, but each message independently suffers an extra delay
+    /// of up to `spike` with probability `p` — a crude but effective model of
+    /// the "transient failures and highly-variable loads" the paper cites as
+    /// the reason time-based reasoning fails.
+    Spiky {
+        /// Common-case one-way latency.
+        base: SimDuration,
+        /// Maximum additional latency when a spike hits.
+        spike: SimDuration,
+        /// Probability that a given message hits a spike.
+        p: f64,
+    },
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::Uniform(SimDuration::from_micros(500), SimDuration::from_micros(2_000))
+    }
+}
+
+/// Configuration of the link layer.
+#[derive(Debug, Clone, Default)]
+pub struct LinkConfig {
+    /// Delay distribution applied to every message.
+    pub delay: DelayModel,
+    /// Independent per-message loss probability (within a component).
+    pub loss: f64,
+}
+
+/// Stateful delay/loss sampler. Tracks the last scheduled delivery time per
+/// ordered pair to enforce FIFO links.
+#[derive(Debug)]
+pub(crate) struct LinkModel {
+    config: LinkConfig,
+    last_delivery: BTreeMap<(ProcessId, ProcessId), SimTime>,
+}
+
+impl LinkModel {
+    pub(crate) fn new(config: LinkConfig) -> Self {
+        LinkModel {
+            config,
+            last_delivery: BTreeMap::new(),
+        }
+    }
+
+    /// Samples the delivery instant for a message sent `from → to` at `now`,
+    /// or `None` if the message is lost.
+    pub(crate) fn schedule(
+        &mut self,
+        rng: &mut DetRng,
+        from: ProcessId,
+        to: ProcessId,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        if self.config.loss > 0.0 && rng.chance(self.config.loss) {
+            return None;
+        }
+        let delay = match self.config.delay {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform(lo, hi) => rng.duration_between(lo, hi),
+            DelayModel::Spiky { base, spike, p } => {
+                if rng.chance(p) {
+                    base + rng.duration_between(SimDuration::ZERO, spike)
+                } else {
+                    base
+                }
+            }
+        };
+        let mut at = now + delay;
+        if let Some(&prev) = self.last_delivery.get(&(from, to)) {
+            if at < prev {
+                at = prev; // FIFO: never overtake an earlier message
+            }
+        }
+        self.last_delivery.insert((from, to), at);
+        Some(at)
+    }
+
+    /// Drops FIFO bookkeeping for a process that no longer exists.
+    pub(crate) fn forget(&mut self, p: ProcessId) {
+        self.last_delivery.retain(|&(a, b), _| a != p && b != p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    #[test]
+    fn constant_delay_is_exact() {
+        let mut model = LinkModel::new(LinkConfig {
+            delay: DelayModel::Constant(SimDuration::from_millis(2)),
+            loss: 0.0,
+        });
+        let mut rng = DetRng::seed_from(0);
+        let at = model
+            .schedule(&mut rng, pid(0), pid(1), SimTime::from_micros(100))
+            .unwrap();
+        assert_eq!(at, SimTime::from_micros(2_100));
+    }
+
+    #[test]
+    fn uniform_delay_is_within_bounds() {
+        let lo = SimDuration::from_micros(10);
+        let hi = SimDuration::from_micros(50);
+        let mut model = LinkModel::new(LinkConfig {
+            delay: DelayModel::Uniform(lo, hi),
+            loss: 0.0,
+        });
+        let mut rng = DetRng::seed_from(1);
+        for i in 0..200 {
+            // Distinct pairs so the FIFO clamp never interferes.
+            let at = model
+                .schedule(&mut rng, pid(i), pid(i + 1000), SimTime::ZERO)
+                .unwrap();
+            assert!(at >= SimTime::ZERO + lo && at <= SimTime::ZERO + hi);
+        }
+    }
+
+    #[test]
+    fn fifo_clamp_prevents_overtaking() {
+        let mut model = LinkModel::new(LinkConfig {
+            delay: DelayModel::Uniform(SimDuration::from_micros(1), SimDuration::from_micros(1_000)),
+            loss: 0.0,
+        });
+        let mut rng = DetRng::seed_from(2);
+        let mut prev = SimTime::ZERO;
+        for t in 0..100 {
+            let at = model
+                .schedule(&mut rng, pid(0), pid(1), SimTime::from_micros(t))
+                .unwrap();
+            assert!(at >= prev, "FIFO violated: {at:?} < {prev:?}");
+            prev = at;
+        }
+    }
+
+    #[test]
+    fn fifo_clamp_is_per_ordered_pair() {
+        let mut model = LinkModel::new(LinkConfig {
+            delay: DelayModel::Constant(SimDuration::from_micros(100)),
+            loss: 0.0,
+        });
+        let mut rng = DetRng::seed_from(3);
+        let a2b = model.schedule(&mut rng, pid(0), pid(1), SimTime::from_micros(500));
+        let b2a = model.schedule(&mut rng, pid(1), pid(0), SimTime::ZERO);
+        // The reverse direction is not clamped by the forward direction.
+        assert_eq!(b2a.unwrap(), SimTime::from_micros(100));
+        assert_eq!(a2b.unwrap(), SimTime::from_micros(600));
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut model = LinkModel::new(LinkConfig {
+            delay: DelayModel::default(),
+            loss: 1.0,
+        });
+        let mut rng = DetRng::seed_from(4);
+        assert!(model.schedule(&mut rng, pid(0), pid(1), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn partial_loss_drops_roughly_that_fraction() {
+        let mut model = LinkModel::new(LinkConfig {
+            delay: DelayModel::Constant(SimDuration::ZERO),
+            loss: 0.3,
+        });
+        let mut rng = DetRng::seed_from(5);
+        let lost = (0..10_000)
+            .filter(|&i| {
+                model
+                    .schedule(&mut rng, pid(i), pid(i + 20_000), SimTime::ZERO)
+                    .is_none()
+            })
+            .count();
+        assert!((2_500..3_500).contains(&lost), "lost {lost} of 10000");
+    }
+
+    #[test]
+    fn spiky_delay_exceeds_base_only_on_spikes() {
+        let base = SimDuration::from_micros(100);
+        let spike = SimDuration::from_micros(10_000);
+        let mut model = LinkModel::new(LinkConfig {
+            delay: DelayModel::Spiky { base, spike, p: 0.5 },
+            loss: 0.0,
+        });
+        let mut rng = DetRng::seed_from(6);
+        let mut spiked = 0;
+        for i in 0..1_000 {
+            let at = model
+                .schedule(&mut rng, pid(i), pid(i + 5_000), SimTime::ZERO)
+                .unwrap();
+            assert!(at >= SimTime::ZERO + base);
+            if at > SimTime::ZERO + base {
+                spiked += 1;
+            }
+        }
+        assert!((300..700).contains(&spiked), "spiked {spiked} of 1000");
+    }
+
+    #[test]
+    fn forget_clears_fifo_state() {
+        let mut model = LinkModel::new(LinkConfig {
+            delay: DelayModel::Constant(SimDuration::from_micros(10)),
+            loss: 0.0,
+        });
+        let mut rng = DetRng::seed_from(7);
+        model.schedule(&mut rng, pid(0), pid(1), SimTime::from_micros(1_000));
+        model.forget(pid(1));
+        // Without the clamp a later spawn reusing the pair starts fresh.
+        let at = model.schedule(&mut rng, pid(0), pid(1), SimTime::ZERO).unwrap();
+        assert_eq!(at, SimTime::from_micros(10));
+    }
+}

@@ -1,0 +1,200 @@
+//! Deterministic random number generation.
+//!
+//! All randomness in the simulator — link delays, fault schedules, workload
+//! generation — flows from a single seeded generator so that a run is fully
+//! determined by `(seed, script, actor code)`. [`DetRng`] is a thin wrapper
+//! over `rand`'s `SmallRng` with a few distribution helpers that the link
+//! model and the workload generators share.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// Deterministic RNG used throughout the simulator.
+///
+/// # Example
+///
+/// ```
+/// use vs_net::DetRng;
+/// let mut a = DetRng::seed_from(7);
+/// let mut b = DetRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give subsystems
+    /// (links, faults, workload) their own streams so adding draws in one
+    /// does not perturb another.
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::seed_from(self.next_u64())
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "lo must not exceed hi");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen_bool(p)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A duration sampled uniformly between `lo` and `hi` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn duration_between(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        SimDuration::from_micros(self.range_inclusive(lo.as_micros(), hi.as_micros()))
+    }
+
+    /// Picks a uniformly random element of `items`, or `None` if empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.below(items.len() as u64) as usize;
+            Some(&items[i])
+        }
+    }
+
+    /// Fisher–Yates shuffle, in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from(1);
+        let mut b = DetRng::seed_from(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::seed_from(1);
+        let mut b = DetRng::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = DetRng::seed_from(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = DetRng::seed_from(4);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            match r.range_inclusive(0, 1) {
+                0 => saw_lo = true,
+                1 => saw_hi = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = DetRng::seed_from(5);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        // The children must not mirror each other.
+        let same = (0..16).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn duration_between_is_bounded() {
+        let mut r = DetRng::seed_from(6);
+        let lo = SimDuration::from_micros(10);
+        let hi = SimDuration::from_micros(20);
+        for _ in 0..200 {
+            let d = r.duration_between(lo, hi);
+            assert!(d >= lo && d <= hi);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::seed_from(7);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pick_none_on_empty() {
+        let mut r = DetRng::seed_from(8);
+        let empty: [u8; 0] = [];
+        assert!(r.pick(&empty).is_none());
+        assert_eq!(r.pick(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::seed_from(9);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(r.chance(2.0));
+        assert!(!r.chance(-1.0));
+    }
+}

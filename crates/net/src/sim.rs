@@ -1,0 +1,717 @@
+//! The deterministic discrete-event simulator.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use crate::actor::{Actor, Context, TimerId, TimerKind};
+use crate::fault::{FaultOp, FaultScript};
+use crate::id::{ProcessId, SiteId};
+use crate::link::{LinkConfig, LinkModel};
+use crate::rng::DetRng;
+use crate::stats::NetStats;
+use crate::storage::Storage;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    /// Link delay and loss model.
+    pub link: LinkConfig,
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// Owns every process, the virtual clock, the connectivity oracle, per-site
+/// stable storage, and the event queue. Runs with the same seed, actors and
+/// fault script are bit-for-bit identical.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Sim<A: Actor> {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<QueueEntry<A::Msg>>>,
+    seq: u64,
+    procs: BTreeMap<ProcessId, ProcEntry<A>>,
+    sites: BTreeMap<SiteId, Storage>,
+    topology: Topology,
+    links: LinkModel,
+    rng: DetRng,
+    next_pid: u64,
+    next_site: u32,
+    next_timer: u64,
+    cancelled: BTreeSet<TimerId>,
+    outputs: Vec<(SimTime, ProcessId, A::Output)>,
+    stats: NetStats,
+    recovery: Option<Box<dyn FnMut(ProcessId, SiteId) -> A>>,
+}
+
+struct ProcEntry<A> {
+    actor: A,
+    site: SiteId,
+    alive: bool,
+}
+
+struct QueueEntry<M> {
+    at: SimTime,
+    seq: u64,
+    ev: Queued<M>,
+}
+
+enum Queued<M> {
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Timer {
+        pid: ProcessId,
+        id: TimerId,
+        kind: TimerKind,
+    },
+    Fault(FaultOp),
+}
+
+impl<M> PartialEq for QueueEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueueEntry<M> {}
+impl<M> PartialOrd for QueueEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueueEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<A: Actor> Sim<A> {
+    /// Creates a simulator with the given seed and configuration.
+    pub fn new(seed: u64, config: SimConfig) -> Self {
+        let mut rng = DetRng::seed_from(seed);
+        let link_rng = rng.fork();
+        let _ = link_rng; // links share the main stream; forking reserved for workloads
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            procs: BTreeMap::new(),
+            sites: BTreeMap::new(),
+            topology: Topology::new(),
+            links: LinkModel::new(config.link),
+            rng,
+            next_pid: 0,
+            next_site: 0,
+            next_timer: 0,
+            cancelled: BTreeSet::new(),
+            outputs: Vec::new(),
+            stats: NetStats::default(),
+            recovery: None,
+        }
+    }
+
+    /// Registers the factory used to build recovered process incarnations
+    /// (for [`FaultOp::Recover`] and [`Sim::recover`]).
+    pub fn set_recovery_factory(&mut self, f: impl FnMut(ProcessId, SiteId) -> A + 'static) {
+        self.recovery = Some(Box::new(f));
+    }
+
+    /// Spawns a process at a fresh site. Returns its identifier.
+    pub fn spawn(&mut self, actor: A) -> ProcessId {
+        let site = self.alloc_site();
+        self.spawn_at(site, actor)
+    }
+
+    /// Spawns a process at the given site (creating the site if needed).
+    pub fn spawn_at(&mut self, site: SiteId, actor: A) -> ProcessId {
+        self.spawn_with(site, |_pid| actor)
+    }
+
+    /// Spawns a process whose actor is built from its freshly allocated
+    /// identifier.
+    pub fn spawn_with(&mut self, site: SiteId, f: impl FnOnce(ProcessId) -> A) -> ProcessId {
+        let pid = ProcessId::from_raw(self.next_pid);
+        self.next_pid += 1;
+        self.next_site = self.next_site.max(site.raw() + 1);
+        let actor = f(pid);
+        self.sites.entry(site).or_default();
+        self.procs.insert(pid, ProcEntry { actor, site, alive: true });
+        self.with_ctx(pid, |actor, ctx| actor.on_start(ctx));
+        pid
+    }
+
+    /// Allocates a fresh site identifier without spawning anything.
+    pub fn alloc_site(&mut self) -> SiteId {
+        let site = SiteId::from_raw(self.next_site);
+        self.next_site += 1;
+        self.sites.entry(site).or_default();
+        site
+    }
+
+    /// Crashes a process immediately. Safe to call on an already crashed or
+    /// unknown process (no-op).
+    pub fn crash(&mut self, pid: ProcessId) {
+        if let Some(entry) = self.procs.get_mut(&pid) {
+            entry.alive = false;
+        }
+        self.links.forget(pid);
+    }
+
+    /// Starts a fresh process incarnation at `site` using the recovery
+    /// factory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no recovery factory was registered.
+    pub fn recover(&mut self, site: SiteId) -> ProcessId {
+        let mut factory = self
+            .recovery
+            .take()
+            .expect("recover() requires set_recovery_factory()");
+        let pid = ProcessId::from_raw(self.next_pid);
+        self.next_pid += 1;
+        let actor = factory(pid, site);
+        self.recovery = Some(factory);
+        self.sites.entry(site).or_default();
+        self.procs.insert(pid, ProcEntry { actor, site, alive: true });
+        self.with_ctx(pid, |actor, ctx| actor.on_start(ctx));
+        pid
+    }
+
+    /// Splits the network into the given groups (in-flight messages across
+    /// the new boundary are dropped at delivery time).
+    pub fn partition(&mut self, groups: &[Vec<ProcessId>]) {
+        self.topology.partition(groups);
+    }
+
+    /// Reunifies the network.
+    pub fn heal(&mut self) {
+        self.topology.heal();
+    }
+
+    /// Mutable access to the connectivity oracle for fine-grained faults.
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Read access to the connectivity oracle.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Loads a fault script; each operation is applied when the clock
+    /// reaches its instant.
+    pub fn load_script(&mut self, script: FaultScript) {
+        for (at, op) in script {
+            self.push_event(at, Queued::Fault(op));
+        }
+    }
+
+    /// Injects a message "from the outside" (or on behalf of `from`); it
+    /// traverses the normal link model.
+    pub fn post(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) {
+        self.route(from, to, msg);
+    }
+
+    /// Synchronously invokes a closure on a live actor with a full
+    /// [`Context`], processing any resulting actions. This is how drivers
+    /// model client requests arriving at a process. Returns `None` if the
+    /// process is not alive.
+    pub fn invoke<R>(
+        &mut self,
+        pid: ProcessId,
+        f: impl FnOnce(&mut A, &mut Context<'_, A::Msg, A::Output>) -> R,
+    ) -> Option<R> {
+        if !self.is_alive(pid) {
+            return None;
+        }
+        Some(self.with_ctx(pid, f))
+    }
+
+    /// Whether the process exists and has not crashed.
+    pub fn is_alive(&self, pid: ProcessId) -> bool {
+        self.procs.get(&pid).map(|e| e.alive).unwrap_or(false)
+    }
+
+    /// The site a process runs (or ran) at.
+    pub fn site_of(&self, pid: ProcessId) -> Option<SiteId> {
+        self.procs.get(&pid).map(|e| e.site)
+    }
+
+    /// Identifiers of all live processes, ascending.
+    pub fn alive_pids(&self) -> Vec<ProcessId> {
+        self.procs
+            .iter()
+            .filter(|(_, e)| e.alive)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Shared access to an actor (alive or crashed), for post-mortem
+    /// inspection in tests.
+    pub fn actor(&self, pid: ProcessId) -> Option<&A> {
+        self.procs.get(&pid).map(|e| &e.actor)
+    }
+
+    /// Exclusive access to an actor. Mutating protocol state out-of-band
+    /// breaks determinism of replays; reserved for tests.
+    pub fn actor_mut(&mut self, pid: ProcessId) -> Option<&mut A> {
+        self.procs.get_mut(&pid).map(|e| &mut e.actor)
+    }
+
+    /// Read access to a site's stable storage.
+    pub fn storage(&self, site: SiteId) -> Option<&Storage> {
+        self.sites.get(&site)
+    }
+
+    /// Exclusive access to a site's stable storage (e.g. to model media
+    /// faults by wiping it).
+    pub fn storage_mut(&mut self, site: SiteId) -> Option<&mut Storage> {
+        self.sites.get_mut(&site)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Mutable network counters (for per-phase resets in experiments).
+    pub fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    /// All outputs recorded so far, in emission order.
+    pub fn outputs(&self) -> &[(SimTime, ProcessId, A::Output)] {
+        &self.outputs
+    }
+
+    /// Removes and returns all recorded outputs.
+    pub fn drain_outputs(&mut self) -> Vec<(SimTime, ProcessId, A::Output)> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Processes the next event, if any. Returns the new virtual time, or
+    /// `None` when the queue is empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let Reverse(entry) = self.queue.pop()?;
+        debug_assert!(entry.at >= self.now, "time ran backwards");
+        self.now = entry.at;
+        match entry.ev {
+            Queued::Deliver { from, to, msg } => self.dispatch_delivery(from, to, msg),
+            Queued::Timer { pid, id, kind } => self.dispatch_timer(pid, id, kind),
+            Queued::Fault(op) => self.apply_fault(op),
+        }
+        Some(self.now)
+    }
+
+    /// Runs every event scheduled up to and including `deadline`, then
+    /// advances the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(entry)) = self.queue.peek() {
+            if entry.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs the simulation for `span` of virtual time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Runs until the event queue drains or `limit` is reached, whichever
+    /// comes first. Only meaningful for actors that eventually stop setting
+    /// timers.
+    pub fn run_until_quiescent(&mut self, limit: SimTime) {
+        while self.now <= limit {
+            if self.step().is_none() {
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn push_event(&mut self, at: SimTime, ev: Queued<A::Msg>) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueueEntry { at, seq, ev }));
+    }
+
+    fn route(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) {
+        self.stats.sent += 1;
+        // Send-time partition check: a sender in a different component
+        // cannot inject anything into the receiver's component.
+        if !self.topology.reachable(from, to) {
+            self.stats.dropped_partition += 1;
+            return;
+        }
+        match self.links.schedule(&mut self.rng, from, to, self.now) {
+            Some(at) => self.push_event(at, Queued::Deliver { from, to, msg }),
+            None => self.stats.dropped_loss += 1,
+        }
+    }
+
+    fn dispatch_delivery(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) {
+        let Some(entry) = self.procs.get(&to) else {
+            self.stats.dropped_crashed += 1;
+            return;
+        };
+        if !entry.alive {
+            self.stats.dropped_crashed += 1;
+            return;
+        }
+        // Delivery-time partition check: a partition that appeared while the
+        // message was in flight destroys it.
+        if !self.topology.reachable(from, to) {
+            self.stats.dropped_partition += 1;
+            return;
+        }
+        self.stats.delivered += 1;
+        self.with_ctx(to, |actor, ctx| actor.on_message(from, msg, ctx));
+    }
+
+    fn dispatch_timer(&mut self, pid: ProcessId, id: TimerId, kind: TimerKind) {
+        if self.cancelled.remove(&id) {
+            self.stats.timers_discarded += 1;
+            return;
+        }
+        if !self.is_alive(pid) {
+            self.stats.timers_discarded += 1;
+            return;
+        }
+        self.stats.timers_fired += 1;
+        self.with_ctx(pid, |actor, ctx| actor.on_timer(id, kind, ctx));
+    }
+
+    fn apply_fault(&mut self, op: FaultOp) {
+        match op {
+            FaultOp::Crash(pid) => self.crash(pid),
+            FaultOp::Recover(site) => {
+                self.recover(site);
+            }
+            FaultOp::Partition(groups) => self.topology.partition(&groups),
+            FaultOp::MergeComponents(ps) => self.topology.merge_components(&ps),
+            FaultOp::Heal => self.topology.heal(),
+            FaultOp::Isolate(pid) => self.topology.isolate(pid),
+            FaultOp::SeverLink(a, b) => self.topology.sever_link(a, b),
+            FaultOp::RestoreLink(a, b) => self.topology.restore_link(a, b),
+        }
+    }
+
+    fn with_ctx<R>(
+        &mut self,
+        pid: ProcessId,
+        f: impl FnOnce(&mut A, &mut Context<'_, A::Msg, A::Output>) -> R,
+    ) -> R {
+        // Temporarily detach the entry so the context can borrow sim parts.
+        let mut entry = self.procs.remove(&pid).expect("process must exist");
+        let storage = self.sites.entry(entry.site).or_default();
+        // The context borrows storage and rng; collect the rest after.
+        let (result, sends, timers_set, timers_cancelled, outputs) = {
+            let mut ctx = Context::new(
+                pid,
+                entry.site,
+                self.now,
+                storage,
+                &mut self.rng,
+                &mut self.next_timer,
+            );
+            let result = f(&mut entry.actor, &mut ctx);
+            (
+                result,
+                std::mem::take(&mut ctx.sends),
+                std::mem::take(&mut ctx.timers_set),
+                std::mem::take(&mut ctx.timers_cancelled),
+                std::mem::take(&mut ctx.outputs),
+            )
+        };
+        self.procs.insert(pid, entry);
+        for (to, msg) in sends {
+            self.route(pid, to, msg);
+        }
+        for (after, kind, id) in timers_set {
+            let at = self.now + after;
+            self.push_event(at, Queued::Timer { pid, id, kind });
+        }
+        for id in timers_cancelled {
+            self.cancelled.insert(id);
+        }
+        for out in outputs {
+            self.outputs.push((self.now, pid, out));
+        }
+        result
+    }
+}
+
+impl<A: Actor> std::fmt::Debug for Sim<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("processes", &self.procs.len())
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test actor: forwards each received number, incremented, to a fixed
+    /// next hop; reports everything it receives.
+    struct Relay {
+        next: Option<ProcessId>,
+        limit: u32,
+    }
+
+    impl Actor for Relay {
+        type Msg = u32;
+        type Output = u32;
+        fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut Context<'_, u32, u32>) {
+            ctx.output(msg);
+            if let Some(next) = self.next {
+                if msg < self.limit {
+                    ctx.send(next, msg + 1);
+                }
+            }
+        }
+    }
+
+    /// Test actor: arms a periodic timer and counts the ticks.
+    struct Ticker {
+        period: SimDuration,
+        ticks: u32,
+    }
+
+    impl Actor for Ticker {
+        type Msg = ();
+        type Output = u32;
+        fn on_start(&mut self, ctx: &mut Context<'_, (), u32>) {
+            ctx.set_timer(self.period, TimerKind(1));
+        }
+        fn on_message(&mut self, _from: ProcessId, _msg: (), _ctx: &mut Context<'_, (), u32>) {}
+        fn on_timer(&mut self, _t: TimerId, _k: TimerKind, ctx: &mut Context<'_, (), u32>) {
+            self.ticks += 1;
+            ctx.output(self.ticks);
+            ctx.set_timer(self.period, TimerKind(1));
+        }
+    }
+
+    fn two_relays(seed: u64) -> (Sim<Relay>, ProcessId, ProcessId) {
+        let mut sim = Sim::new(seed, SimConfig::default());
+        let a = sim.spawn(Relay { next: None, limit: 0 });
+        let b = sim.spawn(Relay { next: Some(a), limit: 10 });
+        sim.actor_mut(a).unwrap().next = Some(b);
+        sim.actor_mut(a).unwrap().limit = 10;
+        (sim, a, b)
+    }
+
+    #[test]
+    fn messages_flow_and_outputs_are_recorded() {
+        let (mut sim, a, _b) = two_relays(1);
+        sim.post(a, a, 0); // a receives 0, then ping-pongs up to 10
+        sim.run_for(SimDuration::from_secs(5));
+        let values: Vec<u32> = sim.outputs().iter().map(|(_, _, v)| *v).collect();
+        assert_eq!(values, (0..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_seeds_are_bitwise_reproducible() {
+        let run = |seed| {
+            let (mut sim, a, _) = two_relays(seed);
+            sim.post(a, a, 0);
+            sim.run_for(SimDuration::from_secs(5));
+            sim.outputs()
+                .iter()
+                .map(|(t, p, v)| (t.as_micros(), p.raw(), *v))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should change timing");
+    }
+
+    #[test]
+    fn virtual_time_advances_with_deliveries() {
+        let (mut sim, a, _) = two_relays(2);
+        assert_eq!(sim.now(), SimTime::ZERO);
+        sim.post(a, a, 0);
+        sim.run_for(SimDuration::from_secs(5));
+        assert!(sim.now() >= SimTime::from_micros(500 * 10), "10 hops of >=500us each");
+    }
+
+    #[test]
+    fn crash_stops_delivery_and_timers() {
+        let mut sim: Sim<Ticker> = Sim::new(3, SimConfig::default());
+        let p = sim.spawn(Ticker { period: SimDuration::from_millis(10), ticks: 0 });
+        sim.run_for(SimDuration::from_millis(35));
+        let before = sim.outputs().len();
+        assert_eq!(before, 3);
+        sim.crash(p);
+        sim.run_for(SimDuration::from_millis(100));
+        assert_eq!(sim.outputs().len(), before, "no ticks after crash");
+        assert!(!sim.is_alive(p));
+        assert!(sim.stats().timers_discarded > 0);
+    }
+
+    #[test]
+    fn partition_drops_messages_both_at_send_and_in_flight() {
+        let (mut sim, a, b) = two_relays(4);
+        sim.partition(&[vec![a], vec![b]]);
+        sim.post(a, b, 0);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.outputs().len(), 0);
+        assert_eq!(sim.stats().dropped_partition, 1);
+
+        // In-flight drop: send first, partition before delivery.
+        sim.heal();
+        sim.post(a, b, 0);
+        sim.partition(&[vec![a], vec![b]]);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.outputs().len(), 0);
+        assert_eq!(sim.stats().dropped_partition, 2);
+    }
+
+    #[test]
+    fn heal_restores_communication() {
+        let (mut sim, a, b) = two_relays(5);
+        sim.partition(&[vec![a], vec![b]]);
+        sim.heal();
+        sim.post(a, b, 9);
+        sim.run_for(SimDuration::from_secs(1));
+        let values: Vec<u32> = sim.outputs().iter().map(|(_, _, v)| *v).collect();
+        assert_eq!(values, vec![9, 10]);
+    }
+
+    #[test]
+    fn recovery_allocates_fresh_identifiers_and_keeps_storage() {
+        let mut sim: Sim<Ticker> = Sim::new(6, SimConfig::default());
+        sim.set_recovery_factory(|_pid, _site| Ticker {
+            period: SimDuration::from_millis(10),
+            ticks: 0,
+        });
+        let p = sim.spawn(Ticker { period: SimDuration::from_millis(10), ticks: 0 });
+        let site = sim.site_of(p).unwrap();
+        sim.storage_mut(site)
+            .unwrap()
+            .put("k", bytes::Bytes::from_static(b"v"));
+        sim.crash(p);
+        let q = sim.recover(site);
+        assert_ne!(p, q, "recovered incarnation must have a fresh id");
+        assert_eq!(sim.site_of(q), Some(site));
+        assert_eq!(
+            sim.storage(site).unwrap().get("k"),
+            Some(bytes::Bytes::from_static(b"v")),
+            "stable storage survives the crash"
+        );
+    }
+
+    #[test]
+    fn scripted_faults_apply_at_their_instants() {
+        let mut sim: Sim<Ticker> = Sim::new(7, SimConfig::default());
+        let p = sim.spawn(Ticker { period: SimDuration::from_millis(10), ticks: 0 });
+        let script = FaultScript::new().at(SimTime::from_micros(25_000), FaultOp::Crash(p));
+        sim.load_script(script);
+        sim.run_for(SimDuration::from_millis(100));
+        // Ticks at 10ms and 20ms happen; the crash at 25ms stops the rest.
+        assert_eq!(sim.outputs().len(), 2);
+    }
+
+    #[test]
+    fn invoke_reaches_only_live_processes() {
+        let (mut sim, a, _) = two_relays(8);
+        let r = sim.invoke(a, |actor, _ctx| actor.limit);
+        assert_eq!(r, Some(10));
+        sim.crash(a);
+        assert_eq!(sim.invoke(a, |actor, _ctx| actor.limit), None);
+    }
+
+    #[test]
+    fn invoke_actions_are_processed() {
+        let (mut sim, a, b) = two_relays(9);
+        sim.invoke(a, |_actor, ctx| ctx.send(b, 5));
+        sim.run_for(SimDuration::from_secs(1));
+        let values: Vec<u32> = sim.outputs().iter().map(|(_, _, v)| *v).collect();
+        assert_eq!(values, (5..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn alive_pids_reflects_crashes() {
+        let (mut sim, a, b) = two_relays(10);
+        assert_eq!(sim.alive_pids(), vec![a, b]);
+        sim.crash(a);
+        assert_eq!(sim.alive_pids(), vec![b]);
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        struct CancelSelf;
+        impl Actor for CancelSelf {
+            type Msg = ();
+            type Output = &'static str;
+            fn on_start(&mut self, ctx: &mut Context<'_, (), &'static str>) {
+                let t = ctx.set_timer(SimDuration::from_millis(5), TimerKind(0));
+                ctx.cancel_timer(t);
+                ctx.set_timer(SimDuration::from_millis(10), TimerKind(1));
+            }
+            fn on_message(&mut self, _: ProcessId, _: (), _: &mut Context<'_, (), &'static str>) {}
+            fn on_timer(
+                &mut self,
+                _t: TimerId,
+                kind: TimerKind,
+                ctx: &mut Context<'_, (), &'static str>,
+            ) {
+                ctx.output(if kind == TimerKind(0) { "cancelled!" } else { "kept" });
+            }
+        }
+        let mut sim: Sim<CancelSelf> = Sim::new(11, SimConfig::default());
+        sim.spawn(CancelSelf);
+        sim.run_for(SimDuration::from_secs(1));
+        let outs: Vec<&str> = sim.outputs().iter().map(|(_, _, s)| *s).collect();
+        assert_eq!(outs, vec!["kept"]);
+    }
+
+    #[test]
+    fn stats_count_sends_and_deliveries() {
+        let (mut sim, a, b) = two_relays(12);
+        sim.post(a, b, 8);
+        sim.run_for(SimDuration::from_secs(1));
+        // 8 -> b, 9 -> a, 10 -> b: 3 messages total (the initial post counts).
+        assert_eq!(sim.stats().sent, 3);
+        assert_eq!(sim.stats().delivered, 3);
+        assert_eq!(sim.stats().dropped_total(), 0);
+    }
+
+    #[test]
+    fn drain_outputs_empties_the_buffer() {
+        let (mut sim, a, _) = two_relays(13);
+        sim.post(a, a, 10);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.drain_outputs().len(), 1);
+        assert!(sim.outputs().is_empty());
+    }
+
+    #[test]
+    fn run_until_quiescent_stops_when_queue_drains() {
+        let (mut sim, a, _) = two_relays(14);
+        sim.post(a, a, 9);
+        sim.run_until_quiescent(SimTime::from_micros(u64::MAX / 2));
+        let values: Vec<u32> = sim.outputs().iter().map(|(_, _, v)| *v).collect();
+        assert_eq!(values, vec![9, 10]);
+    }
+}

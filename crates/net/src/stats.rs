@@ -1,0 +1,68 @@
+//! Network-level counters.
+//!
+//! The experiment harness reports message complexity (e.g. the §5 comparison
+//! between one-member-at-a-time view growth and arbitrary merges) from these
+//! counters rather than from ad-hoc instrumentation inside protocols.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate counters maintained by the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages accepted for transmission.
+    pub sent: u64,
+    /// Messages handed to a receiving actor.
+    pub delivered: u64,
+    /// Messages dropped because sender and receiver were in different
+    /// partition components (at send or delivery time).
+    pub dropped_partition: u64,
+    /// Messages dropped by the probabilistic loss model.
+    pub dropped_loss: u64,
+    /// Messages dropped because the destination had crashed.
+    pub dropped_crashed: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Timer events discarded (cancelled, or owner crashed).
+    pub timers_discarded: u64,
+}
+
+impl NetStats {
+    /// All messages dropped, for any reason.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_partition + self.dropped_loss + self.dropped_crashed
+    }
+
+    /// Resets every counter to zero. Experiments call this between phases to
+    /// attribute message complexity to a specific protocol step.
+    pub fn reset(&mut self) {
+        *self = NetStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropped_total_sums_all_causes() {
+        let stats = NetStats {
+            dropped_partition: 2,
+            dropped_loss: 3,
+            dropped_crashed: 4,
+            ..NetStats::default()
+        };
+        assert_eq!(stats.dropped_total(), 9);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut stats = NetStats {
+            sent: 10,
+            delivered: 9,
+            timers_fired: 5,
+            ..NetStats::default()
+        };
+        stats.reset();
+        assert_eq!(stats, NetStats::default());
+    }
+}

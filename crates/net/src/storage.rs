@@ -1,0 +1,142 @@
+//! Per-site stable storage.
+//!
+//! The paper's application model (§3) allows part of a process' local state
+//! to be "permanent and survive across failures", which is what makes
+//! recovery — and the *state creation* problem after total failures —
+//! meaningful at all. [`Storage`] is a small key-value abstraction keyed by
+//! strings and holding opaque bytes; the simulator owns one instance per
+//! [`SiteId`] and hands it to whichever process incarnation currently runs
+//! there. The last-process-to-fail machinery (paper §4, ref [11]) logs view
+//! histories through it.
+//!
+//! [`SiteId`]: crate::SiteId
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Crash-surviving key-value store of one site.
+///
+/// # Example
+///
+/// ```
+/// use vs_net::Storage;
+/// use bytes::Bytes;
+/// let mut st = Storage::default();
+/// st.put("epoch", Bytes::from_static(b"7"));
+/// assert_eq!(st.get("epoch"), Some(Bytes::from_static(b"7")));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Storage {
+    entries: BTreeMap<String, Bytes>,
+}
+
+impl Storage {
+    /// Creates empty storage.
+    pub fn new() -> Self {
+        Storage::default()
+    }
+
+    /// Reads the value stored under `key`, if any. Cloning `Bytes` is cheap
+    /// (reference-counted).
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        self.entries.get(key).cloned()
+    }
+
+    /// Writes `value` under `key`, returning the previous value if any.
+    pub fn put(&mut self, key: impl Into<String>, value: Bytes) -> Option<Bytes> {
+        self.entries.insert(key.into(), value)
+    }
+
+    /// Removes `key`, returning the removed value if any.
+    pub fn remove(&mut self, key: &str) -> Option<Bytes> {
+        self.entries.remove(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Appends `value` to the byte string stored at `key` (creating it if
+    /// absent). Handy for append-only logs such as the view log used by
+    /// last-process-to-fail determination.
+    pub fn append(&mut self, key: &str, value: &[u8]) {
+        let mut buf = self
+            .entries
+            .get(key)
+            .map(|b| b.to_vec())
+            .unwrap_or_default();
+        buf.extend_from_slice(value);
+        self.entries.insert(key.to_string(), Bytes::from(buf));
+    }
+
+    /// Iterates over keys with the given prefix, in lexicographic order.
+    pub fn keys_with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the storage holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Erases everything — used to model media failure in total-failure
+    /// experiments.
+    pub fn wipe(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let mut st = Storage::new();
+        assert!(st.is_empty());
+        assert_eq!(st.put("a", Bytes::from_static(b"1")), None);
+        assert_eq!(st.put("a", Bytes::from_static(b"2")), Some(Bytes::from_static(b"1")));
+        assert_eq!(st.get("a"), Some(Bytes::from_static(b"2")));
+        assert!(st.contains("a"));
+        assert_eq!(st.remove("a"), Some(Bytes::from_static(b"2")));
+        assert_eq!(st.get("a"), None);
+        assert!(!st.contains("a"));
+    }
+
+    #[test]
+    fn append_builds_a_log() {
+        let mut st = Storage::new();
+        st.append("log", b"ab");
+        st.append("log", b"cd");
+        assert_eq!(st.get("log"), Some(Bytes::from_static(b"abcd")));
+    }
+
+    #[test]
+    fn prefix_iteration_is_ordered_and_scoped() {
+        let mut st = Storage::new();
+        st.put("view/1", Bytes::new());
+        st.put("view/2", Bytes::new());
+        st.put("state", Bytes::new());
+        let keys: Vec<&str> = st.keys_with_prefix("view/").collect();
+        assert_eq!(keys, vec!["view/1", "view/2"]);
+    }
+
+    #[test]
+    fn wipe_erases_everything() {
+        let mut st = Storage::new();
+        st.put("a", Bytes::new());
+        st.put("b", Bytes::new());
+        assert_eq!(st.len(), 2);
+        st.wipe();
+        assert!(st.is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Simulated time.
+//!
+//! Time in the simulator is a virtual clock measured in microseconds. The
+//! paper's model is asynchronous — protocols must never rely on bounds on
+//! delays for *safety* — but timeouts still exist as a *liveness* mechanism
+//! (failure detection). Keeping time virtual lets experiments compress hours
+//! of failure scenarios into milliseconds of wall-clock and, more
+//! importantly, keeps every run deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulated clock, in microseconds since the start of the
+/// run.
+///
+/// # Example
+///
+/// ```
+/// use vs_net::{SimDuration, SimTime};
+/// let t = SimTime::ZERO + SimDuration::from_millis(5);
+/// assert_eq!(t.as_micros(), 5_000);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+///
+/// # Example
+///
+/// ```
+/// use vs_net::SimDuration;
+/// assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulated clock.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// This instant as microseconds since the start of the run.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as (fractional) milliseconds, for reporting.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The elapsed span since `earlier`, saturating at zero if `earlier` is
+    /// in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a span from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Builds a span from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Builds a span from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// This span in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This span as (fractional) milliseconds, for reporting.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Multiplies the span by an integer factor.
+    pub const fn saturating_mul(self, k: u64) -> Self {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}us", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_saturating_and_consistent() {
+        let t = SimTime::from_micros(10);
+        assert_eq!(t + SimDuration::from_micros(5), SimTime::from_micros(15));
+        assert_eq!(SimTime::from_micros(15) - t, SimDuration::from_micros(5));
+        // Saturating subtraction: earlier minus later is zero, not a panic.
+        assert_eq!(t - SimTime::from_micros(15), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(SimDuration::from_millis(1).as_micros(), 1_000);
+        assert_eq!(SimDuration::from_millis(2_500), SimDuration::from_micros(2_500_000));
+    }
+
+    #[test]
+    fn saturating_since_handles_future_instants() {
+        let early = SimTime::from_micros(5);
+        let late = SimTime::from_micros(9);
+        assert_eq!(late.saturating_since(early).as_micros(), 4);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_uses_milliseconds() {
+        assert_eq!(SimTime::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_micros(250).to_string(), "0.250ms");
+    }
+
+    #[test]
+    fn saturating_mul_scales_spans() {
+        assert_eq!(
+            SimDuration::from_millis(3).saturating_mul(4),
+            SimDuration::from_millis(12)
+        );
+        assert_eq!(SimDuration::from_micros(u64::MAX).saturating_mul(2).as_micros(), u64::MAX);
+    }
+}

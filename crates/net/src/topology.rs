@@ -1,0 +1,285 @@
+//! Reachability oracle: partitions, merges, and per-link faults.
+//!
+//! The paper's failure scenarios include "complex communication scenarios
+//! that include network partitions" (§1). [`Topology`] models the network's
+//! *current* connectivity as a partition of the process set into connected
+//! components, optionally refined by individually severed links. Messages
+//! between processes in different components — or across a severed link —
+//! are silently dropped, exactly the observable behaviour of a partition in
+//! an asynchronous system (no error is reported to the sender; the paper's
+//! point is that the sender *cannot* learn why silence happens).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::id::ProcessId;
+
+/// Mutable connectivity state of the simulated network.
+///
+/// Newly spawned processes join the *default component* (0); partitions are
+/// expressed by assigning groups to distinct components. Severed links
+/// refine the component structure for targeted link-failure experiments.
+///
+/// # Example
+///
+/// ```
+/// use vs_net::{ProcessId, Topology};
+/// let (a, b, c) = (ProcessId::from_raw(0), ProcessId::from_raw(1), ProcessId::from_raw(2));
+/// let mut topo = Topology::default();
+/// assert!(topo.reachable(a, b));
+/// topo.partition(&[vec![a], vec![b, c]]);
+/// assert!(!topo.reachable(a, b));
+/// assert!(topo.reachable(b, c));
+/// topo.heal();
+/// assert!(topo.reachable(a, b));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    /// Component label per process; absent means the default component 0.
+    component: BTreeMap<ProcessId, u32>,
+    /// Individually severed (bidirectional) links, normalized (lo, hi).
+    severed: BTreeSet<(ProcessId, ProcessId)>,
+}
+
+impl Topology {
+    /// Creates a fully connected topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Whether a message from `a` can currently reach `b`.
+    ///
+    /// Reachability is reflexive (a process can always talk to itself) and
+    /// symmetric, matching the paper's symmetric-partition model.
+    pub fn reachable(&self, a: ProcessId, b: ProcessId) -> bool {
+        if a == b {
+            return true;
+        }
+        if self.severed.contains(&normalize(a, b)) {
+            return false;
+        }
+        self.component_of(a) == self.component_of(b)
+    }
+
+    /// The component label of `p`.
+    pub fn component_of(&self, p: ProcessId) -> u32 {
+        self.component.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Splits the network into the given groups. Every listed process is
+    /// assigned to the component of its group; unlisted processes keep their
+    /// current assignment. Group indices start above all labels in use so
+    /// that unlisted processes never accidentally share a fresh component.
+    pub fn partition(&mut self, groups: &[Vec<ProcessId>]) {
+        let base = self
+            .component
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .saturating_add(1);
+        for (i, group) in groups.iter().enumerate() {
+            for &p in group {
+                self.component.insert(p, base + i as u32);
+            }
+        }
+    }
+
+    /// Moves `p` into its own fresh component (a one-process partition).
+    pub fn isolate(&mut self, p: ProcessId) {
+        self.partition(&[vec![p]]);
+    }
+
+    /// Reunifies the entire network into one component and restores all
+    /// severed links.
+    pub fn heal(&mut self) {
+        self.component.clear();
+        self.severed.clear();
+    }
+
+    /// Merges the components currently containing the given processes into
+    /// one (the component of the first listed process). Other components are
+    /// untouched — this models a *partial* repair.
+    pub fn merge_components(&mut self, witnesses: &[ProcessId]) {
+        let Some(&first) = witnesses.first() else {
+            return;
+        };
+        let target = self.component_of(first);
+        let labels: BTreeSet<u32> = witnesses.iter().map(|&p| self.component_of(p)).collect();
+        let members: Vec<ProcessId> = self
+            .component
+            .iter()
+            .filter(|(_, &c)| labels.contains(&c))
+            .map(|(&p, _)| p)
+            .collect();
+        for p in members {
+            self.component.insert(p, target);
+        }
+        // Processes implicitly in component 0 need explicit labels only when
+        // 0 is among the merged labels and the target differs.
+        if labels.contains(&0) && target != 0 {
+            // Everything defaulting to 0 must follow the merge; we express
+            // that by relabelling the target group back to 0 instead.
+            for (_, c) in self.component.iter_mut() {
+                if *c == target {
+                    *c = 0;
+                }
+            }
+        }
+    }
+
+    /// Severs the (bidirectional) link between `a` and `b` without changing
+    /// component structure.
+    pub fn sever_link(&mut self, a: ProcessId, b: ProcessId) {
+        if a != b {
+            self.severed.insert(normalize(a, b));
+        }
+    }
+
+    /// Restores a previously severed link.
+    pub fn restore_link(&mut self, a: ProcessId, b: ProcessId) {
+        self.severed.remove(&normalize(a, b));
+    }
+
+    /// All processes currently reachable from `p` among `universe`
+    /// (including `p` itself). Used by tests and by the omniscient ground
+    /// truth of classification experiments.
+    pub fn reachable_set(
+        &self,
+        p: ProcessId,
+        universe: impl IntoIterator<Item = ProcessId>,
+    ) -> BTreeSet<ProcessId> {
+        universe
+            .into_iter()
+            .filter(|&q| self.reachable(p, q))
+            .chain(std::iter::once(p))
+            .collect()
+    }
+}
+
+fn normalize(a: ProcessId, b: ProcessId) -> (ProcessId, ProcessId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    #[test]
+    fn fully_connected_by_default() {
+        let topo = Topology::new();
+        assert!(topo.reachable(pid(0), pid(99)));
+    }
+
+    #[test]
+    fn reachability_is_reflexive_even_across_partitions() {
+        let mut topo = Topology::new();
+        topo.partition(&[vec![pid(0)], vec![pid(1)]]);
+        assert!(topo.reachable(pid(0), pid(0)));
+        assert!(topo.reachable(pid(1), pid(1)));
+    }
+
+    #[test]
+    fn partition_separates_and_heal_reunites() {
+        let mut topo = Topology::new();
+        topo.partition(&[vec![pid(0), pid(1)], vec![pid(2), pid(3)]]);
+        assert!(topo.reachable(pid(0), pid(1)));
+        assert!(topo.reachable(pid(2), pid(3)));
+        assert!(!topo.reachable(pid(1), pid(2)));
+        topo.heal();
+        assert!(topo.reachable(pid(1), pid(2)));
+    }
+
+    #[test]
+    fn reachability_is_symmetric() {
+        let mut topo = Topology::new();
+        topo.partition(&[vec![pid(0)], vec![pid(1), pid(2)]]);
+        for a in [pid(0), pid(1), pid(2)] {
+            for b in [pid(0), pid(1), pid(2)] {
+                assert_eq!(topo.reachable(a, b), topo.reachable(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn isolate_cuts_one_process_off() {
+        let mut topo = Topology::new();
+        topo.isolate(pid(5));
+        assert!(!topo.reachable(pid(5), pid(0)));
+        assert!(topo.reachable(pid(0), pid(1)));
+    }
+
+    #[test]
+    fn unlisted_processes_keep_their_component() {
+        let mut topo = Topology::new();
+        topo.partition(&[vec![pid(0), pid(1)]]);
+        // pid(2) and pid(3) were never listed: they stay together (component 0)
+        assert!(topo.reachable(pid(2), pid(3)));
+        assert!(!topo.reachable(pid(0), pid(2)));
+    }
+
+    #[test]
+    fn merge_components_repairs_partially() {
+        let mut topo = Topology::new();
+        topo.partition(&[vec![pid(0), pid(1)], vec![pid(2), pid(3)], vec![pid(4)]]);
+        topo.merge_components(&[pid(0), pid(2)]);
+        assert!(topo.reachable(pid(0), pid(3)));
+        assert!(topo.reachable(pid(1), pid(2)));
+        assert!(!topo.reachable(pid(0), pid(4)), "third partition untouched");
+    }
+
+    #[test]
+    fn merge_with_default_component_pulls_group_back() {
+        let mut topo = Topology::new();
+        topo.partition(&[vec![pid(0), pid(1)]]);
+        // pid(7) is implicitly in component 0; merging 0's group with it
+        // must make everyone mutually reachable again.
+        topo.merge_components(&[pid(0), pid(7)]);
+        assert!(topo.reachable(pid(0), pid(7)));
+        assert!(topo.reachable(pid(1), pid(7)));
+    }
+
+    #[test]
+    fn severed_links_cut_without_partitioning() {
+        let mut topo = Topology::new();
+        topo.sever_link(pid(0), pid(1));
+        assert!(!topo.reachable(pid(0), pid(1)));
+        assert!(!topo.reachable(pid(1), pid(0)));
+        assert!(topo.reachable(pid(0), pid(2)));
+        assert!(topo.reachable(pid(1), pid(2)));
+        topo.restore_link(pid(1), pid(0));
+        assert!(topo.reachable(pid(0), pid(1)));
+    }
+
+    #[test]
+    fn self_links_cannot_be_severed() {
+        let mut topo = Topology::new();
+        topo.sever_link(pid(3), pid(3));
+        assert!(topo.reachable(pid(3), pid(3)));
+    }
+
+    #[test]
+    fn reachable_set_includes_self_and_component() {
+        let mut topo = Topology::new();
+        topo.partition(&[vec![pid(0), pid(1)], vec![pid(2)]]);
+        let universe = [pid(0), pid(1), pid(2)];
+        let r = topo.reachable_set(pid(0), universe.iter().copied());
+        assert_eq!(r.into_iter().collect::<Vec<_>>(), vec![pid(0), pid(1)]);
+    }
+
+    #[test]
+    fn repeated_partitions_use_fresh_labels() {
+        let mut topo = Topology::new();
+        topo.partition(&[vec![pid(0)]]);
+        topo.partition(&[vec![pid(1)]]);
+        // Two separately isolated processes must not share a component.
+        assert!(!topo.reachable(pid(0), pid(1)));
+    }
+}

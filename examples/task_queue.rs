@@ -1,0 +1,66 @@
+//! A replicated task queue: exactly-once dispatch surviving a worker crash.
+//!
+//! Run with: `cargo run --example task_queue`
+
+use view_synchrony::apps::{ObjectConfig, QueueCmd, TaskQueue, TaskQueueApp, TaskState};
+use view_synchrony::net::{ProcessId, Sim, SimConfig, SimDuration};
+
+fn submit(sim: &mut Sim<TaskQueue>, p: ProcessId, cmd: &QueueCmd) {
+    let bytes = TaskQueueApp::encode_cmd(cmd);
+    sim.invoke(p, |o, ctx| o.submit_update(bytes, ctx));
+    sim.run_for(SimDuration::from_millis(200));
+}
+
+fn main() {
+    let n = 3;
+    let mut sim: Sim<TaskQueue> = Sim::new(55, SimConfig::default());
+    let mut pids = Vec::new();
+    for _ in 0..n {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |pid| {
+            TaskQueue::new(
+                pid,
+                TaskQueueApp::new(),
+                ObjectConfig { universe: n, ..ObjectConfig::default() },
+            )
+        }));
+    }
+    let all = pids.clone();
+    for &p in &pids {
+        sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+    }
+    sim.run_for(SimDuration::from_secs(2));
+
+    println!("== producer enqueues three jobs ==");
+    for job in ["build", "test", "deploy"] {
+        submit(&mut sim, pids[0], &QueueCmd::Enqueue(job.as_bytes().to_vec()));
+    }
+    println!("pending: {}", sim.actor(pids[0]).unwrap().app().pending());
+
+    println!("\n== workers p1 and p2 claim ==");
+    submit(&mut sim, pids[1], &QueueCmd::Claim);
+    submit(&mut sim, pids[2], &QueueCmd::Claim);
+    let app = sim.actor(pids[0]).unwrap().app();
+    for id in 1..=3u64 {
+        println!("task {id}: {:?}", app.task_state(id).unwrap());
+    }
+
+    println!("\n== p2 crashes holding task 2; the group reaps it ==");
+    sim.crash(pids[2]);
+    sim.run_for(SimDuration::from_secs(1));
+    submit(&mut sim, pids[0], &QueueCmd::ReapDeparted(pids[..2].to_vec()));
+    let app = sim.actor(pids[0]).unwrap().app();
+    println!("task 2 after reap: {:?}", app.task_state(2).unwrap());
+    assert_eq!(app.task_state(2), Some(&TaskState::Pending));
+
+    println!("\n== p1 finishes task 1 and picks up task 2 ==");
+    submit(&mut sim, pids[1], &QueueCmd::Complete(1));
+    submit(&mut sim, pids[1], &QueueCmd::Claim);
+    let app = sim.actor(pids[0]).unwrap().app();
+    for id in 1..=3u64 {
+        println!("task {id}: {:?}", app.task_state(id).unwrap());
+    }
+    assert_eq!(app.task_state(1), Some(&TaskState::Done));
+    assert_eq!(app.task_state(2), Some(&TaskState::Claimed(pids[1])));
+    println!("\nexactly-once dispatch maintained through the crash: OK");
+}

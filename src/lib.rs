@@ -1,0 +1,65 @@
+//! # view-synchrony
+//!
+//! A complete, from-scratch reproduction of *"On Programming with View
+//! Synchrony"* (Babaoğlu, Bartoli, Dini — ICDCS 1996): the view-synchrony
+//! programming model for partitionable asynchronous systems, the
+//! NORMAL / REDUCED / SETTLING group-object discipline, the shared-state
+//! problem analysis (transfer / creation / merging), and the paper's
+//! contribution — **Enriched View Synchrony** with subviews and
+//! subview-sets.
+//!
+//! This is an umbrella crate re-exporting the full stack:
+//!
+//! | layer | crate | contents |
+//! |-------|-------|----------|
+//! | [`net`] | `vs-net` | deterministic simulation of an asynchronous, partitionable network; threaded live transport |
+//! | [`membership`] | `vs-membership` | heartbeat failure detection, membership estimation, coordinator-based view agreement |
+//! | [`gcs`] | `vs-gcs` | view-synchronous reliable multicast (Properties 2.1–2.3), ordering layers, trace checker |
+//! | [`evs`] | `vs-evs` | enriched views, merge primitives (Properties 6.1–6.3), mode engine, classification, state machinery |
+//! | [`apps`] | `vs-apps` | group-object framework, replicated file, lock manager, KV store, parallel DB, Isis-like baseline |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use view_synchrony::evs::{EvsConfig, EvsEndpoint};
+//! use view_synchrony::net::{Sim, SimConfig, SimDuration};
+//!
+//! // Three processes discover each other and form one group.
+//! let mut sim: Sim<EvsEndpoint<String>> = Sim::new(42, SimConfig::default());
+//! let mut pids = Vec::new();
+//! for _ in 0..3 {
+//!     let site = sim.alloc_site();
+//!     pids.push(sim.spawn_with(site, |pid| EvsEndpoint::new(pid, EvsConfig::default())));
+//! }
+//! let all = pids.clone();
+//! for &p in &pids {
+//!     sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+//! }
+//! sim.run_for(SimDuration::from_secs(1));
+//!
+//! // Everyone installed the same view of three members.
+//! let view = sim.actor(pids[0]).unwrap().view().clone();
+//! assert_eq!(view.len(), 3);
+//!
+//! // Multicast a message; every member (sender included) delivers it.
+//! sim.invoke(pids[0], |e, ctx| e.mcast("hello group".to_string(), ctx));
+//! sim.run_for(SimDuration::from_millis(200));
+//! let deliveries = sim
+//!     .outputs()
+//!     .iter()
+//!     .filter(|(_, _, ev)| ev.as_delivery().is_some())
+//!     .count();
+//! assert_eq!(deliveries, 3);
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the paper-reproduction map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vs_apps as apps;
+pub use vs_evs as evs;
+pub use vs_gcs as gcs;
+pub use vs_membership as membership;
+pub use vs_net as net;

@@ -1,0 +1,227 @@
+//! Targeted failure injection: the awkward schedules that break naive
+//! view-synchrony implementations. Every scenario machine-checks the
+//! recorded trace against the paper's properties afterwards.
+
+use view_synchrony::evs::{checker::check_evs, EvsConfig, EvsEndpoint};
+use view_synchrony::gcs::{checker::check, GcsConfig, GcsEndpoint};
+use view_synchrony::net::{LinkConfig, ProcessId, Sim, SimConfig, SimDuration};
+
+fn gcs_group_with(
+    seed: u64,
+    n: usize,
+    config: SimConfig,
+) -> (Sim<GcsEndpoint<String>>, Vec<ProcessId>) {
+    let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, config);
+    let mut pids = Vec::new();
+    for _ in 0..n {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |p| GcsEndpoint::new(p, GcsConfig::default())));
+    }
+    let all = pids.clone();
+    for &p in &pids {
+        sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+    }
+    sim.run_for(SimDuration::from_millis(700));
+    (sim, pids)
+}
+
+#[test]
+fn coordinator_crash_mid_view_change() {
+    // The view-change coordinator is the least live pid. Crash a member to
+    // trigger a view change, then crash the coordinator during the
+    // agreement window, repeatedly.
+    for seed in 0..8 {
+        let (mut sim, pids) = gcs_group_with(seed, 5, SimConfig::default());
+        sim.invoke(pids[1], |e, ctx| e.mcast("pre".into(), ctx));
+        sim.run_for(SimDuration::from_millis(100));
+        // Trigger: crash p4. The coordinator (p0) will start the agreement
+        // after the suspicion timeout (~35ms) + debounce (~25ms).
+        sim.crash(pids[4]);
+        sim.run_for(SimDuration::from_millis(65));
+        // Kill the coordinator mid-protocol.
+        sim.crash(pids[0]);
+        sim.run_for(SimDuration::from_secs(2));
+        // The survivors must converge to a common view of the three.
+        let v1 = sim.actor(pids[1]).unwrap().view().clone();
+        assert_eq!(v1.len(), 3, "seed {seed}: survivors regrouped: {v1}");
+        for &p in &pids[2..4] {
+            assert_eq!(sim.actor(p).unwrap().view().id(), v1.id(), "seed {seed}");
+        }
+        if let Err(errs) = check(sim.outputs()) {
+            panic!("seed {seed}: {errs:?}");
+        }
+    }
+}
+
+#[test]
+fn cascading_coordinator_crashes() {
+    // Crash coordinators one after another while the group keeps changing.
+    let (mut sim, pids) = gcs_group_with(77, 6, SimConfig::default());
+    for &victim in &pids[..3] {
+        sim.crash(victim);
+        sim.run_for(SimDuration::from_millis(60)); // inside the next agreement
+    }
+    sim.run_for(SimDuration::from_secs(2));
+    let v = sim.actor(pids[3]).unwrap().view().clone();
+    assert_eq!(v.len(), 3, "{v}");
+    for &p in &pids[4..] {
+        assert_eq!(sim.actor(p).unwrap().view().id(), v.id());
+    }
+    check(sim.outputs()).unwrap_or_else(|e| panic!("{e:?}"));
+}
+
+#[test]
+fn message_loss_during_flush_is_repaired() {
+    // 15% message loss across the board, including agreement traffic: the
+    // retry machinery (nacks, heartbeat retransmission, proposal retries)
+    // must still form views and deliver consistently.
+    let config = SimConfig {
+        link: LinkConfig { loss: 0.15, ..LinkConfig::default() },
+    };
+    let (mut sim, pids) = gcs_group_with(3, 4, config);
+    // The group may need longer under loss.
+    sim.run_for(SimDuration::from_secs(3));
+    let v = sim.actor(pids[0]).unwrap().view().clone();
+    assert_eq!(v.len(), 4, "group formed under loss: {v}");
+    for i in 0..6 {
+        sim.invoke(pids[i % 4], |e, ctx| e.mcast(format!("lossy-{i}"), ctx));
+        sim.run_for(SimDuration::from_millis(300));
+    }
+    sim.crash(pids[3]);
+    sim.run_for(SimDuration::from_secs(3));
+    check(sim.outputs()).unwrap_or_else(|e| panic!("{e:?}"));
+}
+
+#[test]
+fn flapping_partition_does_not_wedge_the_group() {
+    // Partition and heal faster than the debounce can always settle; the
+    // group must eventually converge once the flapping stops.
+    let (mut sim, pids) = gcs_group_with(4, 5, SimConfig::default());
+    for round in 0..10 {
+        let cut = 1 + (round % 4);
+        sim.partition(&[pids[..cut].to_vec(), pids[cut..].to_vec()]);
+        sim.run_for(SimDuration::from_millis(40));
+        sim.heal();
+        sim.run_for(SimDuration::from_millis(40));
+    }
+    sim.run_for(SimDuration::from_secs(3));
+    let v = sim.actor(pids[0]).unwrap().view().clone();
+    assert_eq!(v.len(), 5, "converged after flapping: {v}");
+    for &p in &pids[1..] {
+        assert_eq!(sim.actor(p).unwrap().view().id(), v.id());
+    }
+    check(sim.outputs()).unwrap_or_else(|e| panic!("{e:?}"));
+}
+
+#[test]
+fn one_way_link_failure_excludes_cleanly() {
+    // Sever a single link: p0 and p1 cannot talk, everyone else sees both.
+    // The membership must still converge to agreed views (which particular
+    // split is chosen depends on the failure detector), with no property
+    // violations.
+    let (mut sim, pids) = gcs_group_with(5, 4, SimConfig::default());
+    sim.topology_mut().sever_link(pids[0], pids[1]);
+    sim.run_for(SimDuration::from_secs(3));
+    // p0 and p1 must not share a view (they cannot both ack a flush).
+    let v0 = sim.actor(pids[0]).unwrap().view().clone();
+    let v1 = sim.actor(pids[1]).unwrap().view().clone();
+    assert!(
+        !(v0.contains(pids[1]) && v1.contains(pids[0]) && v0.id() == v1.id())
+            || v0.id() != v1.id(),
+        "a stable common view across a dead link is impossible: {v0} vs {v1}"
+    );
+    sim.topology_mut().restore_link(pids[0], pids[1]);
+    sim.run_for(SimDuration::from_secs(2));
+    let v = sim.actor(pids[0]).unwrap().view().clone();
+    assert_eq!(v.len(), 4, "full group after repair: {v}");
+    check(sim.outputs()).unwrap_or_else(|e| panic!("{e:?}"));
+}
+
+#[test]
+fn evs_merge_racing_a_view_change_is_deterministically_resolved() {
+    // Request structure merges and immediately crash a member: whatever
+    // survives the race, every member must compose identical structure and
+    // the checker must stay green.
+    for seed in 0..8 {
+        let mut sim: Sim<EvsEndpoint<String>> = Sim::new(1000 + seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..4 {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |p| EvsEndpoint::new(p, EvsConfig::default())));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_millis(700));
+        let sets: Vec<_> = sim
+            .actor(pids[0])
+            .unwrap()
+            .eview()
+            .svsets()
+            .map(|(id, _)| id)
+            .collect();
+        sim.invoke(pids[1], |e, ctx| e.request_svset_merge(sets, ctx));
+        // Crash while the merge op is in flight.
+        sim.run_for(SimDuration::from_micros(1_500));
+        sim.crash(pids[3]);
+        sim.run_for(SimDuration::from_secs(2));
+        let ev = sim.actor(pids[0]).unwrap().eview().clone();
+        for &p in &pids[1..3] {
+            assert_eq!(
+                sim.actor(p).unwrap().eview(),
+                &ev,
+                "seed {seed}: structure must be identical"
+            );
+        }
+        check_evs(sim.outputs()).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+    }
+}
+
+#[test]
+fn storage_wipe_forces_a_fresh_start() {
+    use view_synchrony::apps::{ObjectConfig, ReplicatedFile, ReplicatedFileApp};
+    // Total failure + wiped disks: creation must fall back to FreshStart
+    // (no logs), not hang or resurrect garbage.
+    let universe = 3;
+    let config = ObjectConfig { universe, ..ObjectConfig::default() };
+    let mut sim: Sim<ReplicatedFile> = Sim::new(6, SimConfig::default());
+    sim.set_recovery_factory(move |pid, _site| {
+        ReplicatedFile::new(pid, ReplicatedFileApp::new(), config)
+    });
+    let mut pids = Vec::new();
+    for _ in 0..universe {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |pid| {
+            ReplicatedFile::new(pid, ReplicatedFileApp::new(), config)
+        }));
+    }
+    let all = pids.clone();
+    for &p in &pids {
+        sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+    }
+    sim.run_for(SimDuration::from_secs(2));
+    sim.invoke(pids[0], |o, ctx| {
+        o.submit_update(ReplicatedFileApp::encode_write(b"doomed"), ctx)
+    });
+    sim.run_for(SimDuration::from_millis(300));
+    let sites: Vec<_> = pids.iter().map(|&p| sim.site_of(p).unwrap()).collect();
+    for &p in &pids {
+        sim.crash(p);
+    }
+    sim.run_for(SimDuration::from_millis(300));
+    for &s in &sites {
+        sim.storage_mut(s).unwrap().wipe(); // media failure
+    }
+    let recovered: Vec<ProcessId> = sites.iter().map(|&s| sim.recover(s)).collect();
+    for &p in &recovered {
+        let cs = recovered.clone();
+        sim.invoke(p, |o, _| o.set_contacts(cs.iter().copied()));
+    }
+    sim.run_for(SimDuration::from_secs(3));
+    for &p in &recovered {
+        let obj = sim.actor(p).unwrap();
+        assert_eq!(obj.mode(), view_synchrony::evs::Mode::Normal, "{p}");
+        assert_eq!(obj.app().data(), b"", "fresh start after media loss");
+    }
+}

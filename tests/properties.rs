@@ -1,0 +1,384 @@
+//! Property-based tests over the paper's invariants.
+//!
+//! Two families:
+//!
+//! * **data-structure laws** — e-view composition invariants, codec round
+//!   trips, ack-tracker frontiers, KV merge algebra — checked over many
+//!   random inputs;
+//! * **whole-system properties** — random fault schedules driven through
+//!   the full stack under the simulator, with the recorded traces checked
+//!   against Properties 2.1–2.3 and 6.1–6.3. These are the paper's safety
+//!   claims, tested adversarially.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use view_synchrony::apps::{KvCmd, KvStoreApp, ReplicatedApp};
+use view_synchrony::evs::state::{StateObject, ViewLog};
+use view_synchrony::evs::{checker::check_evs, EView, EvsConfig, EvsEndpoint};
+use view_synchrony::gcs::{checker::check, AckTracker, GcsConfig, GcsEndpoint, Provenance, View, ViewId};
+use view_synchrony::net::{FaultOp, FaultScript, ProcessId, Sim, SimConfig, SimDuration, SimTime};
+
+fn pid(n: u64) -> ProcessId {
+    ProcessId::from_raw(n)
+}
+
+// ---------------------------------------------------------------------
+// data-structure laws
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Composing an e-view from arbitrary singleton lineages always yields
+    /// a valid double partition covering exactly the view membership.
+    #[test]
+    fn eview_compose_is_always_a_partition(n in 1u64..20) {
+        let view = View::new(
+            ViewId { epoch: 1, coordinator: pid(0) },
+            (0..n).map(pid).collect(),
+        );
+        let provenance: Vec<Provenance> = (0..n)
+            .map(|i| Provenance {
+                member: pid(i),
+                prev_view: ViewId { epoch: 0, coordinator: pid(i) },
+                annotation: EView::initial(pid(i)).encode_annotation(),
+            })
+            .collect();
+        let ev = EView::compose(view, &provenance);
+        prop_assert_eq!(ev.validate(), Ok(()));
+        prop_assert_eq!(ev.subviews().count() as u64, n);
+    }
+
+    /// Structure annotations survive an encode/decode round trip through
+    /// composition: re-composing from a view's own annotation reproduces
+    /// the same grouping.
+    #[test]
+    fn annotation_round_trip_preserves_grouping(n in 2u64..12, merge_k in 2u64..12) {
+        let merge_k = merge_k.min(n);
+        let view = View::new(
+            ViewId { epoch: 1, coordinator: pid(0) },
+            (0..n).map(pid).collect(),
+        );
+        let provenance: Vec<Provenance> = (0..n)
+            .map(|i| Provenance {
+                member: pid(i),
+                prev_view: ViewId { epoch: 0, coordinator: pid(i) },
+                annotation: EView::initial(pid(i)).encode_annotation(),
+            })
+            .collect();
+        let mut ev = EView::compose(view, &provenance);
+        // Merge the first merge_k members into one sv-set + subview.
+        use view_synchrony::evs::{SubviewId, SvSetId};
+        let sets: Vec<SvSetId> = (0..merge_k)
+            .map(|i| ev.svset_of(ev.subview_of(pid(i)).unwrap()).unwrap())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if sets.len() >= 2 {
+            ev.apply_svset_merge(&sets, SvSetId::Merged { view: ev.view().id(), seq: 1 })
+                .unwrap();
+            let svs: Vec<SubviewId> = (0..merge_k)
+                .map(|i| ev.subview_of(pid(i)).unwrap())
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            ev.apply_subview_merge(&svs, SubviewId::Merged { view: ev.view().id(), seq: 2 })
+                .unwrap();
+        }
+        // Survive into a next view with the same members.
+        let next = View::new(
+            ViewId { epoch: 2, coordinator: pid(0) },
+            (0..n).map(pid).collect(),
+        );
+        let ann = ev.encode_annotation();
+        let provenance: Vec<Provenance> = (0..n)
+            .map(|i| Provenance {
+                member: pid(i),
+                prev_view: ev.view().id(),
+                annotation: ann.clone(),
+            })
+            .collect();
+        let reborn = EView::compose(next, &provenance);
+        prop_assert_eq!(reborn.validate(), Ok(()));
+        for a in 0..n {
+            for b in 0..n {
+                let together_before = ev.subview_of(pid(a)) == ev.subview_of(pid(b));
+                let together_after = reborn.subview_of(pid(a)) == reborn.subview_of(pid(b));
+                prop_assert_eq!(together_before, together_after, "pair ({}, {})", a, b);
+            }
+        }
+    }
+
+    /// The ack tracker's contiguous frontier equals the longest prefix of
+    /// received sequence numbers, whatever the arrival order.
+    #[test]
+    fn ack_frontier_is_the_longest_prefix(mut seqs in proptest::collection::vec(1u64..40, 1..40)) {
+        let mut tracker = AckTracker::new();
+        for &s in &seqs {
+            tracker.on_receive(pid(1), s);
+        }
+        seqs.sort_unstable();
+        seqs.dedup();
+        let mut expected = 0;
+        for (&s, want) in seqs.iter().zip(1u64..) {
+            if s == want {
+                expected = want;
+            } else {
+                break;
+            }
+        }
+        prop_assert_eq!(tracker.ack_vector().get(&pid(1)).copied().unwrap_or(0), expected);
+    }
+
+    /// View logs round-trip through their storage encoding.
+    #[test]
+    fn view_log_codec_round_trips(entries in proptest::collection::vec((1u64..50, 0u64..8, 1usize..6), 0..10)) {
+        let mut log = ViewLog::new();
+        for (epoch, coord, size) in entries {
+            log.record(
+                ViewId { epoch, coordinator: pid(coord) },
+                (0..size as u64).map(pid).collect(),
+            );
+        }
+        let decoded = ViewLog::decode(&log.encode()).expect("round trip");
+        prop_assert_eq!(decoded, log);
+    }
+
+    /// KV merge is commutative, associative and idempotent over arbitrary
+    /// divergent histories — the precondition for cluster convergence.
+    #[test]
+    fn kv_merge_laws(
+        ops_a in proptest::collection::vec((0u8..3, 0u8..4, any::<u8>()), 0..12),
+        ops_b in proptest::collection::vec((0u8..3, 0u8..4, any::<u8>()), 0..12),
+        ops_c in proptest::collection::vec((0u8..3, 0u8..4, any::<u8>()), 0..12),
+    ) {
+        let build = |writer: u64, ops: &[(u8, u8, u8)]| {
+            let mut kv = KvStoreApp::new();
+            for &(kind, key, val) in ops {
+                let key = format!("k{key}");
+                let cmd = if kind == 2 {
+                    KvCmd::Delete { key }
+                } else {
+                    KvCmd::Put { key, value: vec![val] }
+                };
+                kv.apply_update(pid(writer), &KvStoreApp::encode_cmd(&cmd));
+            }
+            kv
+        };
+        let a = build(1, &ops_a);
+        let b = build(2, &ops_b);
+        let c = build(3, &ops_c);
+        let (sa, sb, sc) = (a.snapshot(), b.snapshot(), c.snapshot());
+
+        // Commutativity: a ⊔ b == b ⊔ a.
+        let mut ab = a.clone();
+        ab.merge(std::slice::from_ref(&sb));
+        let mut ba = b.clone();
+        ba.merge(std::slice::from_ref(&sa));
+        prop_assert_eq!(ab.digest(), ba.digest());
+
+        // Associativity: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(std::slice::from_ref(&sc));
+        let mut bc = b.clone();
+        bc.merge(std::slice::from_ref(&sc));
+        let mut a_bc = a.clone();
+        a_bc.merge(&[bc.snapshot()]);
+        prop_assert_eq!(ab_c.digest(), a_bc.digest());
+
+        // Idempotence: x ⊔ x == x.
+        let before = ab.digest();
+        let snap = ab.snapshot();
+        ab.merge(std::slice::from_ref(&snap));
+        prop_assert_eq!(ab.digest(), before);
+    }
+}
+
+// ---------------------------------------------------------------------
+// whole-system properties under random fault schedules
+// ---------------------------------------------------------------------
+
+/// A compact random fault plan proptest can shrink.
+#[derive(Debug, Clone)]
+struct MiniPlan {
+    n: usize,
+    ops: Vec<(u64, u8, u64)>, // (millis offset, op kind, operand)
+}
+
+fn mini_plan() -> impl Strategy<Value = MiniPlan> {
+    (3usize..7, proptest::collection::vec((50u64..600, 0u8..4, 0u64..7), 0..8))
+        .prop_map(|(n, ops)| MiniPlan { n, ops })
+}
+
+fn build_script(plan: &MiniPlan, pids: &[ProcessId]) -> FaultScript {
+    let mut script = FaultScript::new();
+    let mut t = SimTime::ZERO;
+    for &(gap, kind, operand) in &plan.ops {
+        t += SimDuration::from_millis(gap);
+        let op = match kind {
+            0 => {
+                let cut = 1 + (operand as usize) % (pids.len() - 1);
+                FaultOp::Partition(vec![pids[..cut].to_vec(), pids[cut..].to_vec()])
+            }
+            1 => FaultOp::Heal,
+            2 => FaultOp::Isolate(pids[(operand as usize) % pids.len()]),
+            _ => FaultOp::Heal,
+        };
+        script.push(t, op);
+    }
+    script.push(t + SimDuration::from_millis(500), FaultOp::Heal);
+    script
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Properties 2.1–2.3 hold under arbitrary partition/isolate schedules
+    /// with concurrent multicasting.
+    #[test]
+    fn view_synchrony_holds_under_random_schedules(plan in mini_plan(), seed in 0u64..1000) {
+        let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..plan.n {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |p| GcsEndpoint::new(p, GcsConfig::default())));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_millis(600));
+        sim.load_script(build_script(&plan, &pids));
+        for i in 0..12u64 {
+            sim.run_for(SimDuration::from_millis(250));
+            let target = pids[(i as usize) % pids.len()];
+            sim.invoke(target, |e, ctx| e.mcast(format!("m{i}"), ctx));
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        if let Err(errs) = check(sim.outputs()) {
+            return Err(TestCaseError::fail(format!("{errs:?}")));
+        }
+    }
+
+    /// Properties 6.1–6.3 hold under the same schedules with merge traffic.
+    #[test]
+    fn enriched_views_hold_under_random_schedules(plan in mini_plan(), seed in 0u64..1000) {
+        let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..plan.n {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |p| EvsEndpoint::new(p, EvsConfig::default())));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_millis(600));
+        sim.load_script(build_script(&plan, &pids));
+        for i in 0..10u64 {
+            sim.run_for(SimDuration::from_millis(300));
+            let target = pids[(i as usize) % pids.len()];
+            if i % 3 == 0 {
+                // Random structure merges alongside the faults.
+                let sets: Vec<_> = sim
+                    .actor(target)
+                    .map(|e| e.eview().svsets().map(|(id, _)| id).take(2).collect())
+                    .unwrap_or_default();
+                if sets.len() == 2 {
+                    sim.invoke(target, |e, ctx| e.request_svset_merge(sets, ctx));
+                }
+            } else {
+                sim.invoke(target, |e, ctx| e.mcast(format!("m{i}"), ctx));
+            }
+        }
+        sim.run_for(SimDuration::from_secs(2));
+        if let Err(errs) = check_evs(sim.outputs()) {
+            return Err(TestCaseError::fail(format!("{errs:?}")));
+        }
+    }
+
+    /// Uniform delivery (ref [10]) is all-or-nothing under random crash
+    /// timings: if any process delivered a message in a view, every
+    /// survivor of that view delivered it too.
+    #[test]
+    fn uniform_delivery_is_all_or_nothing(
+        seed in 0u64..500,
+        crash_after_us in 100u64..20_000,
+        n in 3usize..6,
+    ) {
+        use view_synchrony::gcs::GcsEvent;
+        let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..n {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |p| {
+                GcsEndpoint::new(p, GcsConfig { uniform: true, ..GcsConfig::default() })
+            }));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_millis(700));
+        sim.drain_outputs();
+        let sender = *pids.last().expect("non-empty");
+        sim.invoke(sender, |e, ctx| e.mcast("last words".into(), ctx));
+        sim.run_for(SimDuration::from_micros(crash_after_us));
+        sim.crash(sender);
+        sim.run_for(SimDuration::from_secs(2));
+        let deliverers: BTreeSet<ProcessId> = sim
+            .outputs()
+            .iter()
+            .filter(|(_, _, ev)| matches!(ev, GcsEvent::Deliver { .. }))
+            .map(|(_, p, _)| *p)
+            .collect();
+        let survivors: BTreeSet<ProcessId> = pids[..n - 1].iter().copied().collect();
+        prop_assert!(
+            deliverers.is_empty() || deliverers.is_superset(&survivors),
+            "only {:?} delivered", deliverers
+        );
+    }
+
+    /// Quorum uniqueness: with a strict-majority capability, at no instant
+    /// do two concurrent views both hold a quorum (derived from the view
+    /// streams of all processes).
+    #[test]
+    fn majority_views_never_overlap(plan in mini_plan(), seed in 0u64..1000) {
+        use view_synchrony::gcs::GcsEvent;
+        let n = plan.n;
+        let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, SimConfig::default());
+        let mut pids = Vec::new();
+        for _ in 0..n {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |p| GcsEndpoint::new(p, GcsConfig::default())));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        }
+        sim.run_for(SimDuration::from_millis(600));
+        sim.load_script(build_script(&plan, &pids));
+        sim.run_for(SimDuration::from_secs(4));
+
+        // Two *distinct* majority views can never be installed by disjoint
+        // member sets at overlapping epochs: since each holds > n/2
+        // members, they intersect — so a process would have to install
+        // both, giving them an order. Check the static fact that any two
+        // majority views share a member.
+        let mut majority_views: Vec<View> = Vec::new();
+        for (_, _, ev) in sim.outputs() {
+            if let GcsEvent::ViewChange { view, .. } = ev {
+                if 2 * view.len() > n && !majority_views.iter().any(|v| v.id() == view.id()) {
+                    majority_views.push(view.clone());
+                }
+            }
+        }
+        for (i, a) in majority_views.iter().enumerate() {
+            for b in &majority_views[i + 1..] {
+                let disjoint = a.members().intersection(b.members()).next().is_none();
+                prop_assert!(!disjoint, "disjoint majorities {a} and {b}");
+            }
+        }
+    }
+}
