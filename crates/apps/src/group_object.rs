@@ -274,6 +274,12 @@ impl<A: ReplicatedApp> GroupObject<A> {
         self.evs.set_contacts(contacts);
     }
 
+    /// Routes the whole stack's metrics and trace events into a shared
+    /// observability handle; see [`EvsEndpoint::set_obs`].
+    pub fn set_obs(&mut self, obs: vs_obs::Obs) {
+        self.evs.set_obs(obs);
+    }
+
     /// The wrapped application (for local reads).
     pub fn app(&self) -> &A {
         &self.app

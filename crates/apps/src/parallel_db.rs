@@ -132,6 +132,12 @@ impl ParallelDb {
         self.evs.set_contacts(contacts);
     }
 
+    /// Routes the whole stack's metrics and trace events into a shared
+    /// observability handle; see [`EvsEndpoint::set_obs`].
+    pub fn set_obs(&mut self, obs: vs_obs::Obs) {
+        self.evs.set_obs(obs);
+    }
+
     /// Current execution mode.
     pub fn mode(&self) -> Mode {
         self.engine.current()

@@ -155,6 +155,12 @@ impl PrimaryEndpoint {
         self.gcs.set_contacts(contacts);
     }
 
+    /// Routes the whole stack's metrics and trace events into a shared
+    /// observability handle; see [`GcsEndpoint::set_obs`].
+    pub fn set_obs(&mut self, obs: vs_obs::Obs) {
+        self.gcs.set_obs(obs);
+    }
+
     /// Whether this process currently belongs to the primary partition.
     pub fn in_primary(&self) -> bool {
         self.in_primary

@@ -1,8 +1,8 @@
 //! E8 — "[enriched view synchrony] can be implemented efficiently" (§6).
 //!
-//! Criterion micro-benchmarks of every data-path operation the enriched
-//! layer adds on top of plain view synchrony, plus the underlying
-//! primitives for scale context:
+//! Micro-benchmarks of every data-path operation the enriched layer adds
+//! on top of plain view synchrony, plus the underlying primitives for
+//! scale context:
 //!
 //! * e-view composition from flush annotations (the per-view-change cost);
 //! * annotation encode/decode (the per-flush wire cost);
@@ -13,16 +13,58 @@
 //! * acknowledgement tracking and causal/total order buffers (per-message
 //!   costs).
 //!
-//! Run with `cargo bench -p vs-bench`.
+//! Uses a small self-contained harness (median-of-samples timing, one JSON
+//! line per benchmark on stdout) instead of Criterion so the workspace
+//! builds without crates.io access. Run with `cargo bench -p vs-bench`.
 
 use std::collections::BTreeSet;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use bytes::Bytes;
 use vs_evs::{classify_enriched, EView, MergeOp, SubviewId, SvSetId};
 use vs_gcs::{flush_deliveries, AckTracker, FlushPayload, Provenance, View, ViewId, ViewMsg};
 use vs_net::ProcessId;
+use vs_obs::json::Obj;
+
+/// Times `f` over several sampled batches and prints a JSON result line.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm up and size the batch so one sample takes ~1ms.
+    let mut iters_per_sample = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters_per_sample {
+            black_box(f());
+        }
+        if t.elapsed().as_micros() >= 1_000 || iters_per_sample >= 1 << 20 {
+            break;
+        }
+        iters_per_sample *= 2;
+    }
+    const SAMPLES: usize = 15;
+    let mut per_iter_ns: Vec<u64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            (t.elapsed().as_nanos() as u64) / iters_per_sample
+        })
+        .collect();
+    per_iter_ns.sort_unstable();
+    let median = per_iter_ns[SAMPLES / 2];
+    let (min, max) = (per_iter_ns[0], per_iter_ns[SAMPLES - 1]);
+    println!(
+        "{}",
+        Obj::new()
+            .str("bench", name)
+            .u64("median_ns", median)
+            .u64("min_ns", min)
+            .u64("max_ns", max)
+            .u64("iters_per_sample", iters_per_sample)
+            .finish()
+    );
+}
 
 fn pid(n: u64) -> ProcessId {
     ProcessId::from_raw(n)
@@ -58,23 +100,20 @@ fn merged_eview(n: u64) -> EView {
     ev
 }
 
-fn bench_eview_compose(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eview_compose");
+fn bench_eview_compose() {
     for n in [4u64, 16, 64] {
         let (view, provenance) = singleton_provenance(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| EView::compose(view.clone(), &provenance));
+        bench(&format!("eview_compose/{n}"), || {
+            EView::compose(view.clone(), &provenance)
         });
     }
-    group.finish();
 }
 
-fn bench_annotation_codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("annotation_codec");
+fn bench_annotation_codec() {
     for n in [4u64, 16, 64] {
         let ev = merged_eview(n);
-        group.bench_with_input(BenchmarkId::new("encode", n), &ev, |b, ev| {
-            b.iter(|| ev.encode_annotation());
+        bench(&format!("annotation_codec/encode/{n}"), || {
+            ev.encode_annotation()
         });
         // Decode cost is measured through compose of one lineage.
         let view = View::new(vid(2, 0), (0..n).map(pid).collect());
@@ -86,66 +125,46 @@ fn bench_annotation_codec(c: &mut Criterion) {
                 annotation: ann.clone(),
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("decode_compose", n), &n, |b, _| {
-            b.iter(|| EView::compose(view.clone(), &provenance));
+        bench(&format!("annotation_codec/decode_compose/{n}"), || {
+            EView::compose(view.clone(), &provenance)
         });
     }
-    group.finish();
 }
 
-fn bench_classification(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classify_enriched");
+fn bench_classification() {
     for n in [4u64, 16, 64] {
         // Worst-ish case: all singletons (no capable subview, sv-set scan).
         let (view, provenance) = singleton_provenance(n);
         let ev = EView::compose(view, &provenance);
         let universe = n as usize;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &ev, |b, ev| {
-            b.iter(|| {
-                classify_enriched(ev, |m: &BTreeSet<ProcessId>| 2 * m.len() > universe)
-            });
+        bench(&format!("classify_enriched/{n}"), || {
+            classify_enriched(&ev, |m: &BTreeSet<ProcessId>| 2 * m.len() > universe)
         });
     }
-    group.finish();
 }
 
-fn bench_merge_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merge_op_apply");
+fn bench_merge_ops() {
     for n in [4u64, 16, 64] {
-        group.bench_with_input(BenchmarkId::new("svset_merge", n), &n, |b, &n| {
-            b.iter_batched(
-                || {
-                    let (view, provenance) = singleton_provenance(n);
-                    let ev = EView::compose(view, &provenance);
-                    let sets: Vec<SvSetId> = ev.svsets().map(|(id, _)| id).collect();
-                    (ev, sets)
-                },
-                |(mut ev, sets)| {
-                    ev.apply_svset_merge(
-                        &sets,
-                        SvSetId::Merged { view: ev.view().id(), seq: 1 },
-                    )
-                    .expect("merge");
-                    ev
-                },
-                criterion::BatchSize::SmallInput,
-            );
+        let (view, provenance) = singleton_provenance(n);
+        let template = EView::compose(view, &provenance);
+        let sets: Vec<SvSetId> = template.svsets().map(|(id, _)| id).collect();
+        bench(&format!("merge_op_apply/svset_merge/{n}"), || {
+            let mut ev = template.clone();
+            ev.apply_svset_merge(&sets, SvSetId::Merged { view: ev.view().id(), seq: 1 })
+                .expect("merge");
+            ev
         });
     }
-    group.finish();
     // The MergeOp enum itself is trivial; benchmark its clone for context.
-    c.bench_function("merge_op_clone", |b| {
-        let op = MergeOp::SvSets(
-            (0..16)
-                .map(|i| SvSetId::Merged { view: vid(1, 0), seq: i })
-                .collect(),
-        );
-        b.iter(|| op.clone());
-    });
+    let op = MergeOp::SvSets(
+        (0..16)
+            .map(|i| SvSetId::Merged { view: vid(1, 0), seq: i })
+            .collect(),
+    );
+    bench("merge_op_clone", || op.clone());
 }
 
-fn bench_flush_deliveries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flush_deliveries");
+fn bench_flush_deliveries() {
     for msgs in [100u64, 1_000] {
         let v = vid(3, 0);
         let unstable: Vec<ViewMsg<u64>> = (1..=msgs)
@@ -161,72 +180,63 @@ fn bench_flush_deliveries(c: &mut Criterion) {
             })
             .collect();
         let delivered = BTreeSet::new();
-        group.bench_with_input(BenchmarkId::from_parameter(msgs), &replies, |b, replies| {
-            b.iter(|| flush_deliveries(v, &delivered, replies));
+        bench(&format!("flush_deliveries/{msgs}"), || {
+            flush_deliveries(v, &delivered, &replies)
         });
     }
-    group.finish();
 }
 
-fn bench_ack_tracking(c: &mut Criterion) {
-    c.bench_function("ack_tracker_1000_in_order", |b| {
-        b.iter(|| {
-            let mut t = AckTracker::new();
-            for s in 1..=1_000u64 {
-                t.on_receive(pid(1), s);
-            }
-            t.ack_vector()
-        });
-    });
-    c.bench_function("stable_frontier_8_members", |b| {
+fn bench_ack_tracking() {
+    bench("ack_tracker_1000_in_order", || {
         let mut t = AckTracker::new();
-        for s in 1..=100u64 {
-            t.on_receive(pid(9), s);
+        for s in 1..=1_000u64 {
+            t.on_receive(pid(1), s);
         }
-        for m in 1..8u64 {
-            t.on_peer_acks(pid(m), [(pid(9), 50 + m)].into_iter().collect());
-        }
-        let members: Vec<ProcessId> = (0..8).map(pid).collect();
-        b.iter(|| t.stable_frontier(pid(0), pid(9), members.iter().copied()));
+        t.ack_vector().clone()
+    });
+    let mut t = AckTracker::new();
+    for s in 1..=100u64 {
+        t.on_receive(pid(9), s);
+    }
+    for m in 1..8u64 {
+        t.on_peer_acks(pid(m), [(pid(9), 50 + m)].into_iter().collect());
+    }
+    let members: Vec<ProcessId> = (0..8).map(pid).collect();
+    bench("stable_frontier_8_members", || {
+        t.stable_frontier(pid(0), pid(9), members.iter().copied())
     });
 }
 
-fn bench_order_buffers(c: &mut Criterion) {
+fn bench_order_buffers() {
     use vs_gcs::ordering::{OrderBuffer, OrderingMode};
     let v = vid(1, 0);
-    c.bench_function("fifo_buffer_1000", |b| {
-        b.iter(|| {
-            let mut buf: OrderBuffer<u64> = OrderBuffer::new(OrderingMode::Fifo);
-            let mut delivered = 0;
-            for s in 1..=1_000u64 {
-                delivered += buf.insert(ViewMsg::new(v, pid(1), s, s)).len();
-            }
-            delivered
-        });
+    bench("fifo_buffer_1000", || {
+        let mut buf: OrderBuffer<u64> = OrderBuffer::new(OrderingMode::Fifo);
+        let mut delivered = 0;
+        for s in 1..=1_000u64 {
+            delivered += buf.insert(ViewMsg::new(v, pid(1), s, s)).len();
+        }
+        delivered
     });
-    c.bench_function("total_buffer_1000", |b| {
-        b.iter(|| {
-            let mut buf: OrderBuffer<u64> = OrderBuffer::new(OrderingMode::Total);
-            let mut delivered = 0;
-            for s in 1..=1_000u64 {
-                let msg = ViewMsg::new(v, pid(1), s, s);
-                let id = msg.id;
-                delivered += buf.insert(msg).len();
-                delivered += buf.on_order(s, id).len();
-            }
-            delivered
-        });
+    bench("total_buffer_1000", || {
+        let mut buf: OrderBuffer<u64> = OrderBuffer::new(OrderingMode::Total);
+        let mut delivered = 0;
+        for s in 1..=1_000u64 {
+            let msg = ViewMsg::new(v, pid(1), s, s);
+            let id = msg.id;
+            delivered += buf.insert(msg).len();
+            delivered += buf.on_order(s, id).len();
+        }
+        delivered
     });
 }
 
-criterion_group!(
-    benches,
-    bench_eview_compose,
-    bench_annotation_codec,
-    bench_classification,
-    bench_merge_ops,
-    bench_flush_deliveries,
-    bench_ack_tracking,
-    bench_order_buffers,
-);
-criterion_main!(benches);
+fn main() {
+    bench_eview_compose();
+    bench_annotation_codec();
+    bench_classification();
+    bench_merge_ops();
+    bench_flush_deliveries();
+    bench_ack_tracking();
+    bench_order_buffers();
+}

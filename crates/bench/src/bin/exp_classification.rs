@@ -25,6 +25,7 @@ use vs_evs::{
 };
 use vs_gcs::{Provenance, View};
 use vs_net::{DetRng, ProcessId, SimDuration};
+use vs_obs::MetricsRegistry;
 
 /// Ground-truth scenario classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -261,6 +262,8 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\n-- live cross-check (quorum replicated file) --");
 
+    let mut agg = MetricsRegistry::new();
+
     // Scenario A: group bootstrap => creation-from-scratch at every member.
     let (sim, _pids) = file_group(77, 5, ObjectConfig { universe: 5, ..ObjectConfig::default() });
     let scratch = sim
@@ -275,6 +278,7 @@ fn main() {
         .count();
     println!("bootstrap: {scratch} creation-from-scratch classifications (expected >= 5)");
     assert!(scratch >= 5);
+    agg.absorb(&sim.obs().metrics_snapshot());
 
     // Scenario B: heal after a minority partition => transfer at the
     // rejoining member.
@@ -294,6 +298,8 @@ fn main() {
         .count();
     println!("heal: {transfers} transfer classification(s) at the rejoiner (expected >= 1)");
     assert!(transfers >= 1);
+    agg.absorb(&sim.obs().metrics_snapshot());
 
     println!("\n[PAPER SHAPE: reproduced] — EVS classifies exactly; plain VS cannot.");
+    vs_bench::print_metrics_snapshot("exp_classification", &agg);
 }

@@ -12,11 +12,13 @@ use vs_bench::Table;
 use vs_evs::{EvsConfig, EvsEndpoint};
 use vs_gcs::{GcsConfig, GcsEndpoint};
 use vs_net::{NetStats, ProcessId, Sim, SimConfig, SimDuration, SimTime};
+use vs_obs::MetricsRegistry;
 
 struct Run {
     stats: NetStats,
     merge_ms: f64,
     annotation_bytes: usize,
+    metrics: MetricsRegistry,
 }
 
 fn workload<A, FSpawn, FWire, FMcast, FView>(
@@ -70,6 +72,7 @@ where
             .saturating_since(t0)
             .as_millis_f64(),
         annotation_bytes: annotation_bytes(&sim, pids[0]),
+        metrics: sim.obs().metrics_snapshot(),
     }
 }
 
@@ -83,6 +86,7 @@ fn main() {
         "annotation bytes/member",
         "merge time (ms)",
     ]);
+    let mut agg = MetricsRegistry::new();
     for &n in &[4usize, 8, 16] {
         let plain = workload::<GcsEndpoint<String>, _, _, _, _>(
             n as u64,
@@ -93,8 +97,12 @@ fn main() {
             },
             |sim, pids| {
                 let all = pids.to_vec();
+                let obs = sim.obs().clone();
                 for &p in pids {
-                    sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+                    sim.invoke(p, |e, _| {
+                        e.set_contacts(all.iter().copied());
+                        e.set_obs(obs.clone());
+                    });
                 }
             },
             |sim, p, m| {
@@ -112,8 +120,12 @@ fn main() {
             },
             |sim, pids| {
                 let all = pids.to_vec();
+                let obs = sim.obs().clone();
                 for &p in pids {
-                    sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+                    sim.invoke(p, |e, _| {
+                        e.set_contacts(all.iter().copied());
+                        e.set_obs(obs.clone());
+                    });
                 }
             },
             |sim, p, m| {
@@ -126,6 +138,8 @@ fn main() {
                     .unwrap_or(0)
             },
         );
+        agg.absorb(&plain.metrics);
+        agg.absorb(&enriched.metrics);
         let overhead =
             (enriched.stats.sent as f64 / plain.stats.sent as f64 - 1.0) * 100.0;
         table.row(&[
@@ -153,4 +167,5 @@ fn main() {
          [PAPER SHAPE: supported if the message overhead is within a few percent\n\
           and merge times are comparable]"
     );
+    vs_bench::print_metrics_snapshot("exp_evs_overhead", &agg);
 }

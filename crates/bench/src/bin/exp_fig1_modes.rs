@@ -19,6 +19,7 @@ use vs_bench::scenarios::file_group;
 use vs_bench::Table;
 use vs_evs::{Mode, ModeEngine, ModeTransition};
 use vs_net::{DetRng, SimDuration};
+use vs_obs::MetricsRegistry;
 
 fn main() {
     let seeds: Vec<u64> = (0..30).collect();
@@ -26,6 +27,7 @@ fn main() {
     let mut counts: BTreeMap<(Mode, ModeTransition, Mode), u64> = BTreeMap::new();
     let mut illegal: Vec<String> = Vec::new();
     let mut total_events = 0u64;
+    let mut agg = MetricsRegistry::new();
 
     // Two fault tempos: the slow one exercises the common lifecycle; the
     // fast one lands faults *inside* settling windows, exercising the
@@ -62,6 +64,7 @@ fn main() {
                 }
             }
         }
+        agg.absorb(&sim.obs().metrics_snapshot());
     }
 
     // Scripted total-failure scenario: recovery proceeds site by site, so
@@ -129,6 +132,7 @@ fn main() {
         let obj = sim.actor(*recovered.last().unwrap()).unwrap();
         assert_eq!(obj.app().data(), b"survivor", "last-to-fail recovery");
         assert!(blocked > 0, "creation was blocked awaiting the authority");
+        agg.absorb(&sim.obs().metrics_snapshot());
     }
 
     println!("E1 — Figure 1 mode-transition relation");
@@ -174,4 +178,5 @@ fn main() {
         println!("WARNING: not all arcs exercised by this workload");
         std::process::exit(1);
     }
+    vs_bench::print_metrics_snapshot("exp_fig1_modes", &agg);
 }

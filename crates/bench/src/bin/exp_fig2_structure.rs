@@ -17,9 +17,10 @@
 use vs_bench::faults::{random_script, FaultPlan};
 use vs_bench::scenarios::evs_group;
 use vs_bench::Table;
-use vs_evs::checker::check_evs;
+use vs_evs::checker::{check_evs, report_with_trace};
 use vs_evs::{SubviewId, SvSetId};
 use vs_net::{DetRng, SimDuration};
+use vs_obs::MetricsRegistry;
 
 fn main() {
     println!("E2 — Figure 2 structure & Properties 6.1-6.3");
@@ -27,6 +28,7 @@ fn main() {
         "n", "seeds", "e-views", "e-view changes", "deliveries", "violations",
     ]);
     let mut all_clean = true;
+    let mut agg = MetricsRegistry::new();
 
     for &n in &[4usize, 8, 16] {
         let seeds: Vec<u64> = (0..10).collect();
@@ -96,17 +98,21 @@ fn main() {
                 }
                 Err(errs) => {
                     violations += errs.len();
-                    for e in errs.iter().take(5) {
-                        eprintln!("  seed {seed}, n {n}: {e}");
-                    }
+                    eprintln!("seed {seed}, n {n}:");
+                    eprintln!(
+                        "{}",
+                        report_with_trace(&errs, &sim.obs().journal_snapshot(), 12)
+                    );
                 }
             }
+            agg.absorb(&sim.obs().metrics_snapshot());
         }
         all_clean &= violations == 0;
         table.row(&[&n, &seeds.len(), &eviews, &changes, &deliveries, &violations]);
     }
 
     table.print("randomized runs, all properties machine-checked");
+    vs_bench::print_metrics_snapshot("exp_fig2_structure", &agg);
     if all_clean {
         println!("\nProperties 6.1-6.3 and the structural invariants hold in every run.");
         println!("[PAPER SHAPE: reproduced]");

@@ -34,8 +34,12 @@ fn main() {
         }));
     }
     let all = pids.clone();
+    let obs = sim.obs().clone();
     for &p in &pids {
-        sim.invoke(p, |o, _| o.set_contacts(all.iter().copied()));
+        sim.invoke(p, |o, _| {
+            o.set_contacts(all.iter().copied());
+            o.set_obs(obs.clone());
+        });
     }
     sim.run_for(SimDuration::from_secs(1));
 
@@ -129,4 +133,5 @@ fn main() {
          every completed query tiles the key space exactly, across {settles} re-divisions.\n\
          [PAPER SHAPE: reproduced]"
     );
+    vs_bench::print_metrics("exp_parallel_db", sim.obs());
 }

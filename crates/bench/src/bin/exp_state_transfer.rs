@@ -25,6 +25,7 @@ use vs_bench::scenarios::file_group;
 use vs_bench::Table;
 use vs_evs::state::{StateObject, TransferMode};
 use vs_net::{SimDuration, SimTime};
+use vs_obs::MetricsRegistry;
 
 const REF_BANDWIDTH: f64 = 10.0 * 1024.0 * 1024.0; // bytes per second
 
@@ -36,7 +37,7 @@ struct Outcome {
     reconciled_ms: f64,
 }
 
-fn run(state_size: usize, mode: TransferMode, seed: u64) -> Outcome {
+fn run(state_size: usize, mode: TransferMode, seed: u64, agg: &mut MetricsRegistry) -> Outcome {
     let universe = 3;
     let (mut sim, pids) = file_group(seed, universe, ObjectConfig {
         universe,
@@ -97,6 +98,7 @@ fn run(state_size: usize, mode: TransferMode, seed: u64) -> Outcome {
             (8, ((wire as usize) * chunk_size + 8).min(snapshot_len + 8))
         }
     };
+    agg.absorb(&sim.obs().metrics_snapshot());
     Outcome {
         bytes_before_serving,
         total_bytes,
@@ -108,6 +110,7 @@ fn run(state_size: usize, mode: TransferMode, seed: u64) -> Outcome {
 
 fn main() {
     println!("E6 — blocking vs split state transfer (§5)");
+    let mut agg = MetricsRegistry::new();
     let mut table = Table::new(&[
         "state size",
         "strategy",
@@ -124,7 +127,7 @@ fn main() {
             ("split/64KiB", TransferMode::Split { chunk_size: 64 * 1024 }),
             ("negotiated/64KiB", TransferMode::Negotiated { chunk_size: 64 * 1024 }),
         ] {
-            let o = run(size, mode, 600 + size as u64 % 97);
+            let o = run(size, mode, 600 + size as u64 % 97, &mut agg);
             table.row(&[
                 &human(size),
                 &label,
@@ -151,6 +154,7 @@ fn main() {
          changed while the receiver was away — constant here, since the writes\n\
          rewrote identical content."
     );
+    vs_bench::print_metrics_snapshot("exp_state_transfer", &agg);
 }
 
 fn human(bytes: usize) -> String {

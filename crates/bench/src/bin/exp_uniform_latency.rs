@@ -12,8 +12,9 @@
 use vs_bench::Table;
 use vs_gcs::{GcsConfig, GcsEndpoint, GcsEvent};
 use vs_net::{ProcessId, Sim, SimConfig, SimDuration, SimTime};
+use vs_obs::MetricsRegistry;
 
-fn run(n: usize, uniform: bool, seed: u64) -> Vec<f64> {
+fn run(n: usize, uniform: bool, seed: u64, agg: &mut MetricsRegistry) -> Vec<f64> {
     let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, SimConfig::default());
     let mut pids = Vec::new();
     for _ in 0..n {
@@ -23,8 +24,12 @@ fn run(n: usize, uniform: bool, seed: u64) -> Vec<f64> {
         }));
     }
     let all = pids.clone();
+    let obs = sim.obs().clone();
     for &p in &pids {
-        sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        sim.invoke(p, |e, _| {
+            e.set_contacts(all.iter().copied());
+            e.set_obs(obs.clone());
+        });
     }
     sim.run_for(SimDuration::from_millis(700));
     sim.drain_outputs();
@@ -66,6 +71,7 @@ fn run(n: usize, uniform: bool, seed: u64) -> Vec<f64> {
         })
         .collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    agg.absorb(&sim.obs().metrics_snapshot());
     latencies
 }
 
@@ -83,9 +89,10 @@ fn main() {
         "p95 (ms)",
         "max (ms)",
     ]);
+    let mut agg = MetricsRegistry::new();
     for &n in &[3usize, 5, 8] {
         for (label, uniform) in [("regular", false), ("uniform", true)] {
-            let lat = run(n, uniform, 4000 + n as u64);
+            let lat = run(n, uniform, 4000 + n as u64, &mut agg);
             table.row(&[
                 &n,
                 &label,
@@ -103,4 +110,5 @@ fn main() {
          latency for the all-or-nothing guarantee of ref [10].\n\
          [PAPER SHAPE: supported]"
     );
+    vs_bench::print_metrics_snapshot("exp_uniform_latency", &agg);
 }

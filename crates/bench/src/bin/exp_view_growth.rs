@@ -17,9 +17,10 @@ use vs_apps::primary::{PrimEvent, PrimaryConfig, PrimaryEndpoint};
 use vs_bench::Table;
 use vs_evs::{EvsConfig, EvsEndpoint, EvsEvent};
 use vs_net::{ProcessId, Sim, SimConfig, SimDuration};
+use vs_obs::MetricsRegistry;
 
 /// Partitionable EVS: count view changes per process caused by the heal.
-fn run_evs(m: usize, seed: u64) -> (f64, f64) {
+fn run_evs(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64) {
     let n = 2 * m + 1;
     let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed, SimConfig::default());
     let mut pids = Vec::new();
@@ -28,8 +29,12 @@ fn run_evs(m: usize, seed: u64) -> (f64, f64) {
         pids.push(sim.spawn_with(site, |pid| EvsEndpoint::new(pid, EvsConfig::default())));
     }
     let all = pids.clone();
+    let obs = sim.obs().clone();
     for &p in &pids {
-        sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        sim.invoke(p, |e, _| {
+            e.set_contacts(all.iter().copied());
+            e.set_obs(obs.clone());
+        });
     }
     // Pre-partition into the two sides and let each form its view.
     let (left, right) = pids.split_at(m + 1);
@@ -57,12 +62,13 @@ fn run_evs(m: usize, seed: u64) -> (f64, f64) {
         }
     }
     let avg = per_proc.iter().sum::<u64>() as f64 / per_proc.len() as f64;
+    agg.absorb(&sim.obs().metrics_snapshot());
     (avg, merged_at.saturating_since(t0).as_millis_f64())
 }
 
 /// Isis-like baseline: the right half stalls (linear membership), then is
 /// re-admitted one process at a time; count virtual view changes.
-fn run_primary(m: usize, seed: u64) -> (f64, f64, u64) {
+fn run_primary(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64, u64) {
     let n = 2 * m + 1;
     let mut sim: Sim<PrimaryEndpoint> = Sim::new(seed, SimConfig::default());
     let mut pids: Vec<ProcessId> = Vec::new();
@@ -73,8 +79,12 @@ fn run_primary(m: usize, seed: u64) -> (f64, f64, u64) {
         }));
     }
     let all = pids.clone();
+    let obs = sim.obs().clone();
     for &p in &pids {
-        sim.invoke(p, |e, _| e.set_contacts(all.iter().copied()));
+        sim.invoke(p, |e, _| {
+            e.set_contacts(all.iter().copied());
+            e.set_obs(obs.clone());
+        });
     }
     // Let the full group assemble first (the founder admits everyone), then
     // partition and heal — the §5 merge scenario.
@@ -114,6 +124,7 @@ fn run_primary(m: usize, seed: u64) -> (f64, f64, u64) {
     // Average over the surviving primary members (the left side), who are
     // the paper's "each of the two partitions" observers.
     let avg = per_proc[..m + 1].iter().sum::<u64>() as f64 / (m + 1) as f64;
+    agg.absorb(&sim.obs().metrics_snapshot());
     (avg, done_at.saturating_since(t0).as_millis_f64(), transfers / 2)
 }
 
@@ -127,9 +138,10 @@ fn main() {
         "Isis-like: merge time (ms)",
         "Isis-like: blocking transfers",
     ]);
+    let mut agg = MetricsRegistry::new();
     for &m in &[2usize, 4, 8, 16] {
-        let (evs_views, evs_ms) = run_evs(m, 500 + m as u64);
-        let (prim_views, prim_ms, prim_transfers) = run_primary(m, 900 + m as u64);
+        let (evs_views, evs_ms) = run_evs(m, 500 + m as u64, &mut agg);
+        let (prim_views, prim_ms, prim_transfers) = run_primary(m, 900 + m as u64, &mut agg);
         table.row(&[
             &m,
             &format!("{evs_views:.1}"),
@@ -145,4 +157,5 @@ fn main() {
          the one-at-a-time model needs ~m, each with a blocking state transfer.\n\
          [PAPER SHAPE: reproduced if the Isis-like column grows linearly in m]"
     );
+    vs_bench::print_metrics_snapshot("exp_view_growth", &agg);
 }

@@ -13,4 +13,4 @@ pub mod faults;
 pub mod report;
 pub mod scenarios;
 
-pub use report::Table;
+pub use report::{metrics_json, print_metrics, print_metrics_snapshot, Table};

@@ -1,6 +1,10 @@
-//! Plain-text table rendering for experiment reports.
+//! Plain-text table rendering and machine-readable metrics snapshots for
+//! experiment reports.
 
 use std::fmt::Display;
+
+use vs_obs::json::Obj;
+use vs_obs::{MetricsRegistry, Obs};
 
 /// A simple right-padded text table, printed the way the paper's tables
 /// read: a header row, a rule, then data rows.
@@ -76,6 +80,39 @@ impl Table {
         println!("\n## {title}\n");
         print!("{}", self.render());
     }
+}
+
+/// Renders an experiment's metrics snapshot as one JSON object:
+/// `{"experiment":…,"metrics":{"counters":…,"gauges":…,"histograms":…}}`.
+///
+/// # Example
+///
+/// ```
+/// use vs_obs::MetricsRegistry;
+/// let mut m = MetricsRegistry::new();
+/// m.inc("net.sent");
+/// let json = vs_bench::metrics_json("demo", &m);
+/// assert!(json.contains("\"experiment\":\"demo\""));
+/// assert!(json.contains("\"net.sent\":1"));
+/// ```
+pub fn metrics_json(experiment: &str, metrics: &MetricsRegistry) -> String {
+    Obj::new()
+        .str("experiment", experiment)
+        .raw("metrics", &metrics.to_json())
+        .finish()
+}
+
+/// Prints the standard machine-readable result line every `exp_*` binary
+/// emits: `METRICS {…}` on its own stdout line, greppable by scripts and
+/// stable regardless of the human-readable tables around it.
+pub fn print_metrics(experiment: &str, obs: &Obs) {
+    print_metrics_snapshot(experiment, &obs.metrics_snapshot());
+}
+
+/// Like [`print_metrics`] but for an already-aggregated registry (sweep
+/// experiments absorb many simulator runs into one snapshot first).
+pub fn print_metrics_snapshot(experiment: &str, metrics: &MetricsRegistry) {
+    println!("\nMETRICS {}", metrics_json(experiment, metrics));
 }
 
 /// Formats a fraction as a percentage with one decimal.

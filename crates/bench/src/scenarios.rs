@@ -1,4 +1,10 @@
 //! Group builders shared by the experiment binaries.
+//!
+//! Every builder wires each endpoint's protocol layers into the
+//! simulator's own [`vs_obs::Obs`] handle, so a finished run carries one
+//! unified metrics registry and trace journal (reachable via
+//! [`vs_net::Sim::obs`]) spanning transport, membership, group
+//! communication and the enriched layer.
 
 use vs_apps::{KvStore, KvStoreApp, ObjectConfig, ReplicatedFile, ReplicatedFileApp};
 use vs_evs::{EvsConfig, EvsEndpoint};
@@ -13,8 +19,10 @@ pub fn evs_group(seed: u64, n: usize) -> (Sim<EvsEndpoint<String>>, Vec<ProcessI
         let site = sim.alloc_site();
         pids.push(sim.spawn_with(site, |pid| EvsEndpoint::new(pid, EvsConfig::default())));
     }
-    wire_contacts(&mut sim, &pids, |e: &mut EvsEndpoint<String>, all| {
-        e.set_contacts(all.iter().copied())
+    let obs = sim.obs().clone();
+    wire_contacts(&mut sim, &pids, move |e: &mut EvsEndpoint<String>, all| {
+        e.set_contacts(all.iter().copied());
+        e.set_obs(obs.clone());
     });
     sim.run_for(SimDuration::from_millis(600));
     (sim, pids)
@@ -30,8 +38,10 @@ pub fn file_group(seed: u64, n: usize, config: ObjectConfig) -> (Sim<ReplicatedF
             ReplicatedFile::new(pid, ReplicatedFileApp::new(), config)
         }));
     }
-    wire_contacts(&mut sim, &pids, |o: &mut ReplicatedFile, all| {
-        o.set_contacts(all.iter().copied())
+    let obs = sim.obs().clone();
+    wire_contacts(&mut sim, &pids, move |o: &mut ReplicatedFile, all| {
+        o.set_contacts(all.iter().copied());
+        o.set_obs(obs.clone());
     });
     sim.run_for(SimDuration::from_secs(2));
     (sim, pids)
@@ -51,8 +61,10 @@ pub fn kv_group(seed: u64, n: usize) -> (Sim<KvStore>, Vec<ProcessId>) {
             )
         }));
     }
-    wire_contacts(&mut sim, &pids, |o: &mut KvStore, all| {
-        o.set_contacts(all.iter().copied())
+    let obs = sim.obs().clone();
+    wire_contacts(&mut sim, &pids, move |o: &mut KvStore, all| {
+        o.set_contacts(all.iter().copied());
+        o.set_obs(obs.clone());
     });
     sim.run_for(SimDuration::from_secs(2));
     (sim, pids)

@@ -1,0 +1,35 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace marks protocol messages and reports as
+//! `#[derive(Serialize, Deserialize)]` to document serializability, but no
+//! code path actually drives a serde serializer (JSON output is produced by
+//! the hand-rolled writer in `vs-obs`). This stand-in keeps those
+//! annotations compiling offline: the traits are markers with blanket
+//! impls, and the derives (re-exported from the sibling `serde_derive`
+//! stand-in) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module path.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module path.
+pub mod ser {
+    pub use super::Serialize;
+}

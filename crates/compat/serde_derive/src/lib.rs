@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` stand-in provides blanket `Serialize` /
+//! `Deserialize` impls for every type, so the derive macros here only need
+//! to *exist* (so `#[derive(Serialize, Deserialize)]` attributes parse) and
+//! expand to nothing. The `serde` helper attribute is declared so
+//! `#[serde(...)]` field attributes would be accepted too.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

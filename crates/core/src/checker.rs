@@ -122,6 +122,45 @@ impl fmt::Display for EvsViolation {
     }
 }
 
+impl EvsViolation {
+    /// The processes implicated in this violation, for trace reporting.
+    pub fn processes(&self) -> Vec<ProcessId> {
+        match self {
+            EvsViolation::OrderMismatch { p, q, .. }
+            | EvsViolation::StructureDivergence { p, q, .. } => vec![*p, *q],
+            EvsViolation::CutViolation { process, .. }
+            | EvsViolation::GroupingLost { process, .. }
+            | EvsViolation::UnrequestedGrowth { process, .. }
+            | EvsViolation::InvalidStructure { process, .. } => vec![*process],
+        }
+    }
+}
+
+/// Renders `violations` together with the last `window` trace events of
+/// each offending process from the shared observability
+/// [`Journal`](vs_obs::Journal); the enriched-layer counterpart of
+/// [`vs_gcs::checker::report_with_trace`].
+pub fn report_with_trace(
+    violations: &[EvsViolation],
+    journal: &vs_obs::Journal,
+    window: usize,
+) -> String {
+    let mut out = String::new();
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str(&format!("violation {}: {v}\n", i + 1));
+        for p in v.processes() {
+            out.push_str(&format!("  last {window} trace events at {p}:\n"));
+            for line in journal.format_tail(p.raw(), window).lines() {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+    }
+    if out.ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
 /// Summary of a checked trace.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvsCheckStats {

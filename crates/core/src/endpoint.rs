@@ -29,6 +29,7 @@ use serde::{Deserialize, Serialize};
 
 use vs_gcs::{GcsConfig, GcsEndpoint, GcsEvent, View, ViewId, Wire};
 use vs_net::{Actor, Context, ProcessId, TimerId, TimerKind};
+use vs_obs::{EventKind, MergeKind, Obs};
 
 use crate::eview::EView;
 use crate::subview::{SubviewId, SvSetId};
@@ -191,6 +192,7 @@ pub struct EvsEndpoint<M> {
     pending_ops: BTreeMap<u64, MergeOp>,
     /// App messages gated on e-view changes not yet applied here.
     gated: Vec<GatedMsg<M>>,
+    obs: Obs,
 }
 
 #[derive(Debug)]
@@ -218,7 +220,20 @@ impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
             next_op_seq: 1,
             pending_ops: BTreeMap::new(),
             gated: Vec::new(),
+            obs: Obs::new(),
         }
+    }
+
+    /// Routes this endpoint's (and the whole underlying stack's) metrics
+    /// and trace events into a shared observability handle.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.gcs.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The observability handle this endpoint records into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Discovery seed; see [`GcsEndpoint::set_contacts`].
@@ -285,6 +300,18 @@ impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
     }
 
     fn request_op(&mut self, op: MergeOp, ctx: &mut Ctx<'_, M>) {
+        let kind = match &op {
+            MergeOp::SvSets(_) => MergeKind::SvSet,
+            MergeOp::Subviews(_) => MergeKind::Subview,
+        };
+        self.obs.with(|s| {
+            s.metrics.inc("evs.merge_requests");
+            s.journal.record(
+                ctx.me().raw(),
+                ctx.now().as_micros(),
+                EventKind::MergeIssue { kind },
+            );
+        });
         let (_, events) = ctx.scoped(|sub| self.gcs.mcast(EvsMsg::OpRequest(op), sub));
         self.handle_gcs_events(events, ctx);
     }
@@ -316,6 +343,19 @@ impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
                     self.next_op_seq = 1;
                     self.eview = EView::compose(view, &provenance);
                     self.gcs.set_annotation(self.eview.encode_annotation());
+                    self.obs.with(|s| {
+                        s.metrics.inc("evs.eviews_composed");
+                        s.metrics.add("evs.gated_dropped", dropped as u64);
+                        s.journal.record(
+                            ctx.me().raw(),
+                            ctx.now().as_micros(),
+                            EventKind::EViewApply {
+                                epoch: self.eview.view().id().epoch,
+                                subviews: self.eview.subviews().count() as u32,
+                                svsets: self.eview.svsets().count() as u32,
+                            },
+                        );
+                    });
                     ctx.output(EvsEvent::ViewChange {
                         eview: self.eview.clone(),
                     });
@@ -375,6 +415,25 @@ impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
             if result.is_ok() {
                 self.gcs.set_annotation(self.eview.encode_annotation());
             }
+            let kind = match &op {
+                MergeOp::SvSets(_) => MergeKind::SvSet,
+                MergeOp::Subviews(_) => MergeKind::Subview,
+            };
+            self.obs.with(|s| {
+                s.metrics.inc("evs.eview_changes_applied");
+                let me = ctx.me().raw();
+                let at = ctx.now().as_micros();
+                s.journal.record(me, at, EventKind::MergeComplete { kind });
+                s.journal.record(
+                    me,
+                    at,
+                    EventKind::EViewApply {
+                        epoch: view_id.epoch,
+                        subviews: self.eview.subviews().count() as u32,
+                        svsets: self.eview.svsets().count() as u32,
+                    },
+                );
+            });
             ctx.output(EvsEvent::EViewChange {
                 eview: self.eview.clone(),
                 seq,
@@ -683,6 +742,28 @@ mod tests {
                 "{p} structure"
             );
         }
+    }
+
+    #[test]
+    fn merge_operations_are_traced_through_shared_obs() {
+        let (mut sim, pids) = group(21, 3);
+        let obs = sim.obs().clone();
+        for &p in &pids {
+            let obs = obs.clone();
+            sim.invoke(p, move |e, _| e.set_obs(obs));
+        }
+        merge_all(&mut sim, pids[1]);
+        assert_eq!(obs.counter("evs.merge_requests"), 2, "svset + subview");
+        // Each of the three members applied both sequenced changes.
+        assert_eq!(obs.counter("evs.eview_changes_applied"), 6);
+        let names: Vec<&'static str> = obs
+            .tail(pids[1].raw(), vs_obs::DEFAULT_JOURNAL_CAPACITY)
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert!(names.contains(&"merge_issue"), "{names:?}");
+        assert!(names.contains(&"merge_complete"), "{names:?}");
+        assert!(names.contains(&"eview_apply"), "{names:?}");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::fmt;
 
 use vs_membership::ViewId;
 use vs_net::{ProcessId, SimTime};
+use vs_obs::Journal;
 
 use crate::events::GcsEvent;
 
@@ -79,6 +80,41 @@ pub enum Violation {
         /// The later (non-increasing) view.
         after: ViewId,
     },
+}
+
+impl Violation {
+    /// The processes implicated in this violation, for trace reporting.
+    pub fn processes(&self) -> Vec<ProcessId> {
+        match self {
+            Violation::DuplicateDelivery { process, .. }
+            | Violation::GhostMessage { process, .. }
+            | Violation::WrongView { process, .. }
+            | Violation::NonMonotonicView { process, .. } => vec![*process],
+            Violation::AgreementMismatch { p, q, .. } => vec![*p, *q],
+        }
+    }
+}
+
+/// Renders `violations` together with the last `window` trace events of
+/// each offending process, pulled from the shared observability
+/// [`Journal`]. This is what the experiment binaries and regression tests
+/// print when [`check`] fails: the bare violation says *what* broke, the
+/// trailing trace window says *what the process was doing* when it broke.
+pub fn report_with_trace(violations: &[Violation], journal: &Journal, window: usize) -> String {
+    let mut out = String::new();
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str(&format!("violation {}: {v}\n", i + 1));
+        for p in v.processes() {
+            out.push_str(&format!("  last {window} trace events at {p}:\n"));
+            for line in journal.format_tail(p.raw(), window).lines() {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+    }
+    if out.ends_with('\n') {
+        out.pop();
+    }
+    out
 }
 
 impl fmt::Display for Violation {
@@ -377,5 +413,27 @@ mod tests {
         };
         let s = v.to_string();
         assert!(s.contains("p3") && s.contains("twice"), "{s}");
+    }
+
+    #[test]
+    fn report_includes_the_offenders_trailing_trace() {
+        use vs_obs::EventKind;
+        let mut journal = Journal::default();
+        journal.record(3, 100, EventKind::ViewInstall { epoch: 1, members: 2 });
+        journal.record(3, 250, EventKind::MsgDeliver { from: 2, to: 3 });
+        journal.record(9, 300, EventKind::TimerFire { kind: 1 });
+        let violations = vec![Violation::DuplicateDelivery {
+            process: pid(3),
+            msg: (vid(1, 0), pid(2), 7),
+        }];
+        let report = report_with_trace(&violations, &journal, 8);
+        assert!(report.contains("violation 1"), "{report}");
+        assert!(report.contains("view_install"), "{report}");
+        assert!(report.contains("msg_deliver"), "{report}");
+        // Only the offender's ring is printed, not p9's.
+        assert!(!report.contains("timer_fire"), "{report}");
+        // A process with no retained events still reports gracefully.
+        let none = vec![Violation::GhostMessage { process: pid(42), msg: (vid(1, 0), pid(0), 1) }];
+        assert!(report_with_trace(&none, &journal, 8).contains("no trace events"));
     }
 }

@@ -25,6 +25,7 @@ use vs_membership::{
     EstimatorConfig, FailureDetector, MembershipEstimator, View, ViewId,
 };
 use vs_net::{Actor, Context, ProcessId, TimerId, TimerKind};
+use vs_obs::{EventKind, Obs};
 
 use crate::events::{GcsEvent, Provenance};
 use crate::flush::{flush_deliveries, FlushPayload};
@@ -122,6 +123,10 @@ pub struct GcsEndpoint<M> {
     /// Uniform mode: messages ready for delivery but not yet stable.
     held_for_stability: Vec<ViewMsg<M>>,
     left: bool,
+    obs: Obs,
+    /// Per-sender stable frontier last observed, for edge-triggered
+    /// `StabilityAdvance` trace events.
+    stab_floor: BTreeMap<ProcessId, u64>,
 }
 
 type Ctx<'a, M> = Context<'a, Wire<M>, GcsEvent<M>>;
@@ -154,7 +159,23 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
             stash: Vec::new(),
             held_for_stability: Vec::new(),
             left: false,
+            obs: Obs::new(),
+            stab_floor: BTreeMap::new(),
         }
+    }
+
+    /// Routes this endpoint's metrics and trace events (and those of the
+    /// agreement machine it drives) into a shared observability handle.
+    /// Experiments pass a clone of the simulator's [`Obs`] so the transport
+    /// and protocol layers write one journal.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.agreement.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The observability handle this endpoint records into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Sets the processes this endpoint heartbeats towards even before they
@@ -226,6 +247,7 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         let mut msg = ViewMsg::new(self.view.id(), self.me, self.my_seq, payload);
         msg.vc = self.order_buf.make_clock(self.me, self.my_seq);
         self.sent.insert(self.my_seq, msg.clone());
+        self.obs.inc("gcs.mcasts");
         ctx.output(GcsEvent::Sent {
             view: self.view.id(),
             seq: self.my_seq,
@@ -251,6 +273,7 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         }
         let gaps = self.acks.on_receive(msg.id.sender, msg.id.seq);
         if !gaps.is_empty() && msg.id.sender != self.me {
+            self.obs.inc("gcs.nacks_sent");
             ctx.send(
                 msg.id.sender,
                 Wire::Nack {
@@ -315,6 +338,7 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         if !self.delivered.insert(msg.id) {
             return;
         }
+        self.obs.inc("gcs.delivered");
         ctx.output(GcsEvent::Deliver {
             view: msg.view,
             sender: msg.id.sender,
@@ -361,6 +385,7 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         };
         ctx.send_all(self.heartbeat_targets(), hb);
         // 2. Membership estimation.
+        self.fd.poll_transitions(now, &self.obs);
         let trusted = self.fd.trusted(now);
         if let Some(candidate) = self.estimator.observe(trusted, now) {
             if candidate.iter().next() == Some(&self.me) {
@@ -378,6 +403,17 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         let senders: BTreeSet<ProcessId> = self.received.keys().map(|id| id.sender).collect();
         for s in senders {
             let frontier = self.acks.stable_frontier(self.me, s, members.iter().copied());
+            if frontier > self.stab_floor.get(&s).copied().unwrap_or(0) {
+                self.stab_floor.insert(s, frontier);
+                self.obs.with(|st| {
+                    st.metrics.inc("gcs.stability_advances");
+                    st.journal.record(
+                        self.me.raw(),
+                        now.as_micros(),
+                        EventKind::StabilityAdvance { frontier },
+                    );
+                });
+            }
             self.received
                 .retain(|id, _| id.sender != s || id.seq > frontier);
             if s == self.me {
@@ -407,6 +443,17 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
                         let mut unstable: Vec<ViewMsg<M>> =
                             self.received.values().cloned().collect();
                         unstable.sort_by_key(|m| m.flush_key());
+                        self.obs.with(|st| {
+                            st.metrics.inc("gcs.flush_rounds");
+                            st.journal.record(
+                                self.me.raw(),
+                                ctx.now().as_micros(),
+                                EventKind::FlushRound {
+                                    epoch: proposal.epoch,
+                                    pending: unstable.len() as u32,
+                                },
+                            );
+                        });
                         let payload = FlushPayload {
                             unstable,
                             annotation: self.annotation.clone(),
@@ -443,6 +490,10 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         // Synchronised deliveries of the old view, before anything else.
         let prev = self.view.id();
         let deliveries = flush_deliveries(prev, &self.delivered, &replies);
+        self.obs.with(|st| {
+            st.metrics.inc("gcs.views_installed");
+            st.metrics.add("gcs.flush_deliveries", deliveries.len() as u64);
+        });
         for msg in deliveries {
             self.deliver_now(msg, ctx);
         }
@@ -457,6 +508,7 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         self.next_order_idx = 1;
         self.stash.clear();
         self.held_for_stability.clear();
+        self.stab_floor.clear();
         self.estimator.view_installed(view.members().clone());
         let provenance: Vec<Provenance> = replies
             .iter()
@@ -507,6 +559,7 @@ impl<M: Clone + std::fmt::Debug + 'static> Actor for GcsEndpoint<M> {
                         .range((frontier + 1)..)
                         .map(|(_, m)| m.clone())
                         .collect();
+                    self.obs.add("gcs.retransmissions", resend.len() as u64);
                     for m in resend {
                         ctx.send(from, Wire::App(m));
                     }
@@ -527,6 +580,7 @@ impl<M: Clone + std::fmt::Debug + 'static> Actor for GcsEndpoint<M> {
                 if view == self.view.id() {
                     for seq in missing {
                         if let Some(m) = self.sent.get(&seq) {
+                            self.obs.inc("gcs.retransmissions");
                             ctx.send(from, Wire::App(m.clone()));
                         }
                     }
@@ -809,6 +863,55 @@ mod tests {
                 "seed {seed}: uniformity violated — only {deliverers:?} delivered"
             );
         }
+    }
+
+    #[test]
+    fn shared_obs_collects_protocol_metrics_and_traces() {
+        let mut sim: Sim<E> = Sim::new(11, SimConfig::default());
+        let obs = sim.obs().clone();
+        let mut pids = Vec::new();
+        for _ in 0..3 {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |pid| E::new(pid, GcsConfig::default())));
+        }
+        let all = pids.clone();
+        for &p in &pids {
+            let (obs, all) = (obs.clone(), all.clone());
+            sim.invoke(p, move |e, _| {
+                e.set_contacts(all.iter().copied());
+                e.set_obs(obs);
+            });
+        }
+        sim.run_for(SimDuration::from_millis(500));
+        sim.invoke(pids[0], |e, ctx| e.mcast("traced".to_string(), ctx));
+        sim.run_for(SimDuration::from_millis(100));
+        sim.crash(pids[2]);
+        sim.run_for(SimDuration::from_millis(500));
+
+        // Transport and protocol layers wrote into one registry.
+        assert!(obs.counter("net.sent") > 0, "transport counters");
+        assert_eq!(obs.counter("gcs.mcasts"), 1);
+        assert!(obs.counter("gcs.delivered") >= 3);
+        assert!(obs.counter("gcs.views_installed") >= 2, "merge + exclusion");
+        assert!(obs.counter("membership.views_installed") >= 2);
+        assert!(obs.counter("fd.suspicions_raised") >= 1, "crash suspected");
+        assert!(obs.counter("gcs.flush_rounds") >= 1);
+        let snap = obs.metrics_snapshot();
+        assert!(
+            snap.histogram("membership.view_change_latency_us")
+                .map(|h| h.count() > 0)
+                .unwrap_or(false),
+            "view-change latency histogram populated"
+        );
+        // The journal holds protocol events for the survivors (the dense
+        // transport events share the ring, so scan its full depth).
+        let names: Vec<&'static str> = obs
+            .tail(pids[0].raw(), vs_obs::DEFAULT_JOURNAL_CAPACITY)
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert!(names.contains(&"view_install"), "{names:?}");
+        assert!(names.contains(&"view_change_start"), "{names:?}");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use vs_net::{ProcessId, SimDuration, SimTime};
+use vs_obs::{EventKind, Obs};
 
 use crate::view::{View, ViewId};
 
@@ -155,6 +156,9 @@ struct Engagement {
     coordinator: ProcessId,
     deadline: SimTime,
     awaiting_payload: bool,
+    /// When this process first engaged in the lineage leading to the next
+    /// install; start of the `membership.view_change_latency_us` window.
+    since: SimTime,
 }
 
 /// The per-process view-agreement state machine.
@@ -169,6 +173,10 @@ pub struct AgreementMachine<P> {
     max_epoch_seen: u64,
     coord: Option<CoordState<P>>,
     engaged: Option<Engagement>,
+    obs: Obs,
+    /// Latest `now` passed to any entry point; install decisions triggered
+    /// by calls without a clock (e.g. `provide_payload`) are stamped with it.
+    clock: SimTime,
 }
 
 impl<P: Clone + fmt::Debug> AgreementMachine<P> {
@@ -182,7 +190,16 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
             max_epoch_seen: 0,
             coord: None,
             engaged: None,
+            obs: Obs::new(),
+            clock: SimTime::ZERO,
         }
+    }
+
+    /// Routes this machine's trace events and metrics into a shared
+    /// observability handle (by default each machine records into a private
+    /// one).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The view this process is currently in.
@@ -200,6 +217,7 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
     /// when `me` is the least process of `candidate`; otherwise this is a
     /// no-op returning no actions (the least member will coordinate).
     pub fn start(&mut self, candidate: BTreeSet<ProcessId>, now: SimTime) -> Vec<AgreementAction<P>> {
+        self.clock = self.clock.max(now);
         if candidate.iter().next() != Some(&self.me) || candidate.is_empty() {
             return Vec::new();
         }
@@ -223,12 +241,24 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
             replies: BTreeMap::new(),
             deadline: now + self.config.reply_timeout,
         });
-        // Engage ourselves like any other member.
+        // Engage ourselves like any other member. A retry of the same
+        // lineage keeps the original engagement instant so the latency
+        // histogram measures the whole change, not just the last attempt.
+        let since = self.engaged.as_ref().map(|e| e.since).unwrap_or(now);
         self.engaged = Some(Engagement {
             proposal,
             coordinator: self.me,
             deadline: now + self.config.commit_timeout,
             awaiting_payload: true,
+            since,
+        });
+        self.obs.with(|s| {
+            s.metrics.inc("membership.view_changes_started");
+            s.journal.record(
+                self.me.raw(),
+                now.as_micros(),
+                EventKind::ViewChangeStart { epoch: proposal.epoch },
+            );
         });
         let mut actions = vec![AgreementAction::NeedPayload { proposal }];
         for &p in invited.iter().filter(|&&p| p != self.me) {
@@ -276,6 +306,7 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
         msg: AgreementMsg<P>,
         now: SimTime,
     ) -> Vec<AgreementAction<P>> {
+        self.clock = self.clock.max(now);
         match msg {
             AgreementMsg::Prepare { proposal, invited } => self.on_prepare(from, proposal, invited, now),
             AgreementMsg::StateReply {
@@ -294,6 +325,7 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
 
     /// Periodic timeout check; call at least once per heartbeat interval.
     pub fn on_tick(&mut self, now: SimTime) -> Vec<AgreementAction<P>> {
+        self.clock = self.clock.max(now);
         let mut actions = Vec::new();
         // Coordinator: silent invitees are dropped and the proposal retried.
         if let Some(c) = &self.coord {
@@ -319,6 +351,7 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
         if let Some(eng) = &self.engaged {
             if eng.coordinator != self.me && now >= eng.deadline {
                 self.engaged = None;
+                self.obs.inc("membership.agreements_abandoned");
                 actions.push(AgreementAction::Abandoned);
             }
         }
@@ -355,11 +388,21 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
                 self.coord = None;
             }
         }
+        let since = self.engaged.as_ref().map(|e| e.since).unwrap_or(now);
         self.engaged = Some(Engagement {
             proposal,
             coordinator: from,
             deadline: now + self.config.commit_timeout,
             awaiting_payload: true,
+            since,
+        });
+        self.obs.with(|s| {
+            s.metrics.inc("membership.view_changes_started");
+            s.journal.record(
+                self.me.raw(),
+                now.as_micros(),
+                EventKind::ViewChangeStart { epoch: proposal.epoch },
+            );
         });
         vec![AgreementAction::NeedPayload { proposal }]
     }
@@ -458,8 +501,26 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
     ) -> Vec<AgreementAction<P>> {
         self.max_epoch_seen = self.max_epoch_seen.max(view.id().epoch);
         self.current_view = view.clone();
-        self.engaged = None;
+        let engaged_since = self.engaged.take().map(|e| e.since);
         self.coord = None;
+        let now = self.clock;
+        self.obs.with(|s| {
+            s.metrics.inc("membership.views_installed");
+            if let Some(since) = engaged_since {
+                s.metrics.observe(
+                    "membership.view_change_latency_us",
+                    now.saturating_since(since).as_micros(),
+                );
+            }
+            s.journal.record(
+                self.me.raw(),
+                now.as_micros(),
+                EventKind::ViewInstall {
+                    epoch: view.id().epoch,
+                    members: view.len() as u32,
+                },
+            );
+        });
         vec![AgreementAction::Install { view, replies }]
     }
 

@@ -13,6 +13,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use vs_net::{ProcessId, SimDuration, SimTime};
+use vs_obs::{EventKind, Obs};
 
 /// Tuning parameters of the failure detector.
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +54,9 @@ pub struct FailureDetector {
     me: ProcessId,
     config: DetectorConfig,
     last_heard: BTreeMap<ProcessId, SimTime>,
+    /// Suspicion set as of the last [`poll_transitions`](Self::poll_transitions)
+    /// call, for edge-triggered trace events.
+    last_suspected: BTreeSet<ProcessId>,
 }
 
 impl FailureDetector {
@@ -62,6 +66,7 @@ impl FailureDetector {
             me,
             config,
             last_heard: BTreeMap::new(),
+            last_suspected: BTreeSet::new(),
         }
     }
 
@@ -113,6 +118,44 @@ impl FailureDetector {
     /// Every process this detector has ever heard from (alive or not).
     pub fn known(&self) -> impl Iterator<Item = ProcessId> + '_ {
         self.last_heard.keys().copied()
+    }
+
+    /// The set of known processes suspected at `now`.
+    pub fn suspected(&self, now: SimTime) -> BTreeSet<ProcessId> {
+        self.last_heard
+            .iter()
+            .filter(|(_, &t)| now.saturating_since(t) >= self.config.suspect_after)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Edge-triggered suspicion tracking: compares the suspicion set at
+    /// `now` with the one seen at the previous poll and records a
+    /// [`EventKind::SuspicionRaised`] / [`EventKind::SuspicionCleared`]
+    /// trace event (plus the `fd.suspicions_raised` / `fd.suspicions_cleared`
+    /// counters) for each transition. Suspicion itself stays a derived,
+    /// lazily-computed property; this only observes its changes. Call it
+    /// once per tick.
+    pub fn poll_transitions(&mut self, now: SimTime, obs: &Obs) {
+        let suspected = self.suspected(now);
+        if suspected == self.last_suspected {
+            return;
+        }
+        let at_us = now.as_micros();
+        let me = self.me.raw();
+        obs.with(|s| {
+            for &p in suspected.difference(&self.last_suspected) {
+                s.metrics.inc("fd.suspicions_raised");
+                s.journal
+                    .record(me, at_us, EventKind::SuspicionRaised { suspect: p.raw() });
+            }
+            for &p in self.last_suspected.difference(&suspected) {
+                s.metrics.inc("fd.suspicions_cleared");
+                s.journal
+                    .record(me, at_us, EventKind::SuspicionCleared { suspect: p.raw() });
+            }
+        });
+        self.last_suspected = suspected;
     }
 }
 
@@ -175,6 +218,30 @@ mod tests {
     fn unknown_processes_are_not_suspected() {
         let fd = FailureDetector::new(pid(0), cfg());
         assert!(!fd.suspects(pid(7), SimTime::from_micros(1_000_000)));
+    }
+
+    #[test]
+    fn poll_transitions_records_raise_and_clear_once() {
+        let obs = Obs::new();
+        let mut fd = FailureDetector::new(pid(0), cfg());
+        fd.heard_from(pid(1), SimTime::ZERO);
+        fd.poll_transitions(SimTime::from_micros(10_000), &obs);
+        assert_eq!(obs.counter("fd.suspicions_raised"), 0);
+        // Silence past the threshold: raised exactly once across two polls.
+        fd.poll_transitions(SimTime::from_micros(40_000), &obs);
+        fd.poll_transitions(SimTime::from_micros(50_000), &obs);
+        assert_eq!(obs.counter("fd.suspicions_raised"), 1);
+        assert_eq!(obs.counter("fd.suspicions_cleared"), 0);
+        // Fresh evidence clears it.
+        fd.heard_from(pid(1), SimTime::from_micros(60_000));
+        fd.poll_transitions(SimTime::from_micros(61_000), &obs);
+        assert_eq!(obs.counter("fd.suspicions_cleared"), 1);
+        let events: Vec<String> = obs
+            .tail(0, 8)
+            .iter()
+            .map(|e| e.kind.name().to_string())
+            .collect();
+        assert_eq!(events, vec!["suspicion_raised", "suspicion_cleared"]);
     }
 
     #[test]

@@ -139,4 +139,121 @@ mod tests {
         assert_eq!(script.len(), 1);
         assert!(!script.is_empty());
     }
+
+    #[test]
+    fn same_instant_order_survives_interleaved_inserts() {
+        // Ops at one instant must keep insertion order even when inserts at
+        // other instants land between them (partition_point uses `<=`, so a
+        // later same-instant insert always lands after its peers).
+        let t = SimTime::from_micros(50);
+        let script = FaultScript::new()
+            .at(t, FaultOp::Crash(pid(1)))
+            .at(SimTime::from_micros(10), FaultOp::Heal)
+            .at(t, FaultOp::Crash(pid(2)))
+            .at(SimTime::from_micros(90), FaultOp::Heal)
+            .at(t, FaultOp::Crash(pid(3)));
+        let at_t: Vec<ProcessId> = script
+            .iter()
+            .filter(|(when, _)| *when == t)
+            .map(|(_, op)| match op {
+                FaultOp::Crash(p) => *p,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(at_t, vec![pid(1), pid(2), pid(3)]);
+        let times: Vec<u64> = script.iter().map(|(when, _)| when.as_micros()).collect();
+        assert_eq!(times, vec![10, 50, 50, 50, 90]);
+    }
+
+    /// Test actor: reports every message it receives.
+    struct Probe;
+
+    impl crate::Actor for Probe {
+        type Msg = u32;
+        type Output = u32;
+        fn on_message(
+            &mut self,
+            _from: ProcessId,
+            msg: u32,
+            ctx: &mut crate::Context<'_, u32, u32>,
+        ) {
+            ctx.output(msg);
+        }
+    }
+
+    #[test]
+    fn heal_after_nested_partition_restores_full_connectivity() {
+        use crate::{Sim, SimConfig, SimDuration};
+        let mut sim: Sim<Probe> = Sim::new(7, SimConfig::default());
+        let a = sim.spawn(Probe);
+        let b = sim.spawn(Probe);
+        let c = sim.spawn(Probe);
+        // A partition, then a *nested* partition refining one side, then a
+        // heal — the heal must undo both levels at once.
+        let script = FaultScript::new()
+            .at(
+                SimTime::from_micros(10_000),
+                FaultOp::Partition(vec![vec![a], vec![b, c]]),
+            )
+            .at(
+                SimTime::from_micros(20_000),
+                FaultOp::Partition(vec![vec![b], vec![c]]),
+            )
+            .at(SimTime::from_micros(30_000), FaultOp::Heal);
+        sim.load_script(script);
+
+        // Inside the first split: a |> b is dropped, b <-> c still flows.
+        sim.run_for(SimDuration::from_millis(12));
+        sim.post(a, b, 1);
+        sim.post(b, c, 2);
+        sim.run_for(SimDuration::from_millis(5));
+        let got: Vec<u32> = sim.outputs().iter().map(|(_, _, m)| *m).collect();
+        assert_eq!(got, vec![2], "nested side still connected, a cut off");
+        sim.drain_outputs();
+
+        // Inside the nested split: b |> c is dropped too.
+        sim.run_for(SimDuration::from_millis(5));
+        sim.post(b, c, 3);
+        sim.run_for(SimDuration::from_millis(5));
+        assert!(sim.outputs().is_empty(), "nested partition severed b-c");
+
+        // After the heal: every pair communicates again.
+        sim.run_for(SimDuration::from_millis(5));
+        sim.post(a, b, 4);
+        sim.post(b, c, 5);
+        sim.post(c, a, 6);
+        sim.run_for(SimDuration::from_millis(5));
+        let mut got: Vec<u32> = sim.outputs().iter().map(|(_, _, m)| *m).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![4, 5, 6], "heal undoes both partition levels");
+    }
+
+    #[test]
+    fn recover_on_a_site_with_no_prior_crash_spawns_a_fresh_incarnation() {
+        use crate::{Sim, SimConfig, SimDuration};
+        let mut sim: Sim<Probe> = Sim::new(8, SimConfig::default());
+        let site = sim.alloc_site();
+        let original = sim.spawn_with(site, |_| Probe);
+        sim.set_recovery_factory(|_, _| Probe);
+        // A scripted Recover on a site whose process never crashed: per the
+        // paper's model an incarnation is a *new* process, so the original
+        // keeps running alongside it rather than being replaced.
+        sim.load_script(
+            FaultScript::new().at(SimTime::from_micros(5_000), FaultOp::Recover(site)),
+        );
+        sim.run_for(SimDuration::from_millis(10));
+        let alive = sim.alive_pids();
+        assert_eq!(alive.len(), 2, "both incarnations alive");
+        assert!(alive.contains(&original));
+        let fresh = *alive.iter().find(|&&p| p != original).expect("new pid");
+        assert_ne!(fresh, original, "recovery mints a new process id");
+        assert_eq!(sim.site_of(fresh), Some(site), "same site, same storage");
+        // Both incarnations are functional.
+        sim.post(original, fresh, 1);
+        sim.post(fresh, original, 2);
+        sim.run_for(SimDuration::from_millis(5));
+        let mut got: Vec<u32> = sim.outputs().iter().map(|(_, _, m)| *m).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
 }

@@ -2,12 +2,12 @@
 //!
 //! All randomness in the simulator — link delays, fault schedules, workload
 //! generation — flows from a single seeded generator so that a run is fully
-//! determined by `(seed, script, actor code)`. [`DetRng`] is a thin wrapper
-//! over `rand`'s `SmallRng` with a few distribution helpers that the link
-//! model and the workload generators share.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! determined by `(seed, script, actor code)`. [`DetRng`] is an embedded
+//! xoshiro256++ generator (seeded via SplitMix64, the same construction the
+//! `rand` crate's `SmallRng` uses on 64-bit targets) with a few
+//! distribution helpers that the link model and the workload generators
+//! share. It is self-contained so the workspace builds without crates.io
+//! access.
 
 use crate::time::SimDuration;
 
@@ -23,14 +23,30 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        // Expand the seed through SplitMix64 so similar seeds yield
+        // uncorrelated xoshiro states (all-zero state is unreachable).
+        let mut sm = seed;
         DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -41,9 +57,20 @@ impl DetRng {
         DetRng::seed_from(self.next_u64())
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -53,7 +80,15 @@ impl DetRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Rejection sampling over the widest multiple of `bound`, so the
+        // draw is exactly uniform.
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
     }
 
     /// Uniform integer in the inclusive range `[lo, hi]`.
@@ -63,18 +98,27 @@ impl DetRng {
     /// Panics if `lo > hi`.
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "lo must not exceed hi");
-        self.inner.gen_range(lo..=hi)
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        if span == 0 {
+            // Full 64-bit range: every value is admissible.
+            return self.next_u64();
+        }
+        lo + self.below(span)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen_bool(p)
+        if p >= 1.0 {
+            return true;
+        }
+        self.unit() < p
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high-quality bits -> [0, 1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A duration sampled uniformly between `lo` and `hi` (inclusive).

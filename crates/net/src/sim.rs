@@ -3,6 +3,8 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
+use vs_obs::{DropReason, EventKind, Obs};
+
 use crate::actor::{Actor, Context, TimerId, TimerKind};
 use crate::fault::{FaultOp, FaultScript};
 use crate::id::{ProcessId, SiteId};
@@ -42,6 +44,7 @@ pub struct Sim<A: Actor> {
     cancelled: BTreeSet<TimerId>,
     outputs: Vec<(SimTime, ProcessId, A::Output)>,
     stats: NetStats,
+    obs: Obs,
     recovery: Option<Box<dyn FnMut(ProcessId, SiteId) -> A>>,
 }
 
@@ -109,8 +112,22 @@ impl<A: Actor> Sim<A> {
             cancelled: BTreeSet::new(),
             outputs: Vec::new(),
             stats: NetStats::default(),
+            obs: Obs::new(),
             recovery: None,
         }
+    }
+
+    /// The observability handle recording this simulator's metrics and
+    /// trace events. Clone it into protocol endpoints (via their
+    /// `set_obs`-style hooks) so the whole stack writes one journal.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Replaces the observability handle, e.g. to share one registry
+    /// across several simulators in an experiment.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Registers the factory used to build recovered process incarnations
@@ -354,34 +371,78 @@ impl<A: Actor> Sim<A> {
 
     fn route(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) {
         self.stats.sent += 1;
+        let now_us = self.now.as_micros();
+        self.obs.with(|o| {
+            o.metrics.inc("net.sent");
+            o.journal.record(
+                from.raw(),
+                now_us,
+                EventKind::MsgSend { from: from.raw(), to: to.raw() },
+            );
+        });
         // Send-time partition check: a sender in a different component
         // cannot inject anything into the receiver's component.
         if !self.topology.reachable(from, to) {
             self.stats.dropped_partition += 1;
+            self.drop_event(from, to, DropReason::Partition);
             return;
         }
         match self.links.schedule(&mut self.rng, from, to, self.now) {
-            Some(at) => self.push_event(at, Queued::Deliver { from, to, msg }),
-            None => self.stats.dropped_loss += 1,
+            Some(at) => {
+                self.obs.with(|o| {
+                    o.metrics
+                        .observe("net.link_delay_us", at.as_micros() - now_us)
+                });
+                self.push_event(at, Queued::Deliver { from, to, msg })
+            }
+            None => {
+                self.stats.dropped_loss += 1;
+                self.drop_event(from, to, DropReason::Loss);
+            }
         }
     }
 
-    fn dispatch_delivery(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) {
-        let Some(entry) = self.procs.get(&to) else {
-            self.stats.dropped_crashed += 1;
-            return;
+    fn drop_event(&mut self, from: ProcessId, to: ProcessId, reason: DropReason) {
+        let name = match reason {
+            DropReason::Partition => "net.dropped_partition",
+            DropReason::Loss => "net.dropped_loss",
+            DropReason::Crashed => "net.dropped_crashed",
         };
-        if !entry.alive {
+        let now_us = self.now.as_micros();
+        self.obs.with(|o| {
+            o.metrics.inc(name);
+            o.journal.record(
+                from.raw(),
+                now_us,
+                EventKind::MsgDrop { from: from.raw(), to: to.raw(), reason },
+            );
+        });
+    }
+
+    fn dispatch_delivery(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) {
+        let alive = self.procs.get(&to).map(|e| e.alive).unwrap_or(false);
+        if !alive {
             self.stats.dropped_crashed += 1;
+            self.drop_event(from, to, DropReason::Crashed);
             return;
         }
         // Delivery-time partition check: a partition that appeared while the
         // message was in flight destroys it.
         if !self.topology.reachable(from, to) {
             self.stats.dropped_partition += 1;
+            self.drop_event(from, to, DropReason::Partition);
             return;
         }
         self.stats.delivered += 1;
+        let now_us = self.now.as_micros();
+        self.obs.with(|o| {
+            o.metrics.inc("net.delivered");
+            o.journal.record(
+                to.raw(),
+                now_us,
+                EventKind::MsgDeliver { from: from.raw(), to: to.raw() },
+            );
+        });
         self.with_ctx(to, |actor, ctx| actor.on_message(from, msg, ctx));
     }
 
@@ -395,6 +456,12 @@ impl<A: Actor> Sim<A> {
             return;
         }
         self.stats.timers_fired += 1;
+        let now_us = self.now.as_micros();
+        self.obs.with(|o| {
+            o.metrics.inc("net.timers_fired");
+            o.journal
+                .record(pid.raw(), now_us, EventKind::TimerFire { kind: kind.0 });
+        });
         self.with_ctx(pid, |actor, ctx| actor.on_timer(id, kind, ctx));
     }
 

@@ -1,7 +1,7 @@
 //! Real, threaded in-process transport.
 //!
 //! Drives the same [`Actor`] state machines as the simulator, but over real
-//! OS threads, crossbeam channels and wall-clock timers. It exists to
+//! OS threads, `std::sync::mpsc` channels and wall-clock timers. It exists to
 //! demonstrate that the protocol stack is genuinely sans-I/O: nothing in
 //! `vs-membership`, `vs-gcs` or `vs-evs` knows whether time is virtual.
 //!
@@ -41,8 +41,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::RwLock;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::RwLock;
+
+use vs_obs::{DropReason, EventKind, Obs};
 
 use crate::actor::{Actor, Context, TimerId, TimerKind};
 use crate::id::{ProcessId, SiteId};
@@ -79,6 +81,8 @@ type ProcHandle<M> = (Sender<ProcEvent<M>>, JoinHandle<()>);
 /// the worker threads; prefer an explicit shutdown.
 pub struct ThreadedNet<A: Actor> {
     topology: Arc<RwLock<Topology>>,
+    obs: Obs,
+    epoch: Instant,
     router_tx: Sender<RouterEvent<A::Msg>>,
     outputs_rx: Receiver<(ProcessId, A::Output)>,
     outputs_tx: Sender<(ProcessId, A::Output)>,
@@ -99,9 +103,12 @@ where
     /// system).
     pub fn new(seed: u64) -> Self {
         let topology = Arc::new(RwLock::new(Topology::new()));
-        let (router_tx, router_rx) = unbounded::<RouterEvent<A::Msg>>();
-        let (outputs_tx, outputs_rx) = unbounded();
+        let obs = Obs::new();
+        let epoch = Instant::now();
+        let (router_tx, router_rx) = channel::<RouterEvent<A::Msg>>();
+        let (outputs_tx, outputs_rx) = channel();
         let topo = Arc::clone(&topology);
+        let router_obs = obs.clone();
         let router = std::thread::spawn(move || {
             let mut inboxes: BTreeMap<ProcessId, Sender<ProcEvent<A::Msg>>> = BTreeMap::new();
             while let Ok(ev) = router_rx.recv() {
@@ -110,10 +117,57 @@ where
                         inboxes.insert(pid, inbox);
                     }
                     RouterEvent::Send { from, to, msg } => {
-                        if topo.read().reachable(from, to) {
+                        let at_us = epoch.elapsed().as_micros() as u64;
+                        router_obs.with(|o| {
+                            o.metrics.inc("net.sent");
+                            o.journal.record(
+                                from.raw(),
+                                at_us,
+                                EventKind::MsgSend { from: from.raw(), to: to.raw() },
+                            );
+                        });
+                        if topo.read().expect("topology lock").reachable(from, to) {
                             if let Some(inbox) = inboxes.get(&to) {
-                                let _ = inbox.send(ProcEvent::Msg { from, msg });
+                                let delivered = inbox.send(ProcEvent::Msg { from, msg }).is_ok();
+                                let at_us = epoch.elapsed().as_micros() as u64;
+                                router_obs.with(|o| {
+                                    if delivered {
+                                        o.metrics.inc("net.delivered");
+                                        o.journal.record(
+                                            to.raw(),
+                                            at_us,
+                                            EventKind::MsgDeliver {
+                                                from: from.raw(),
+                                                to: to.raw(),
+                                            },
+                                        );
+                                    } else {
+                                        o.metrics.inc("net.dropped_crashed");
+                                        o.journal.record(
+                                            from.raw(),
+                                            at_us,
+                                            EventKind::MsgDrop {
+                                                from: from.raw(),
+                                                to: to.raw(),
+                                                reason: DropReason::Crashed,
+                                            },
+                                        );
+                                    }
+                                });
                             }
+                        } else {
+                            router_obs.with(|o| {
+                                o.metrics.inc("net.dropped_partition");
+                                o.journal.record(
+                                    from.raw(),
+                                    at_us,
+                                    EventKind::MsgDrop {
+                                        from: from.raw(),
+                                        to: to.raw(),
+                                        reason: DropReason::Partition,
+                                    },
+                                );
+                            });
                         }
                     }
                     RouterEvent::Shutdown => break,
@@ -122,6 +176,8 @@ where
         });
         ThreadedNet {
             topology,
+            obs,
+            epoch,
             router_tx,
             outputs_rx,
             outputs_tx,
@@ -137,7 +193,7 @@ where
         let pid = ProcessId::from_raw(self.next_pid);
         self.next_pid += 1;
         let site = SiteId::from_raw(pid.raw() as u32);
-        let (inbox_tx, inbox_rx) = unbounded::<ProcEvent<A::Msg>>();
+        let (inbox_tx, inbox_rx) = channel::<ProcEvent<A::Msg>>();
         let _ = self.router_tx.send(RouterEvent::Register {
             pid,
             inbox: inbox_tx.clone(),
@@ -145,11 +201,18 @@ where
         let router_tx = self.router_tx.clone();
         let outputs_tx = self.outputs_tx.clone();
         let seed = self.seed ^ pid.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let obs = self.obs.clone();
+        let epoch = self.epoch;
         let handle = std::thread::spawn(move || {
-            run_process(pid, site, actor, inbox_rx, router_tx, outputs_tx, seed);
+            run_process(pid, site, actor, inbox_rx, router_tx, outputs_tx, seed, obs, epoch);
         });
         self.procs.insert(pid, (inbox_tx, handle));
         pid
+    }
+
+    /// The observability handle shared by the router and all processes.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Injects a message attributed to `from`.
@@ -159,12 +222,12 @@ where
 
     /// Splits the network (asynchronously with respect to in-flight traffic).
     pub fn partition(&self, groups: &[Vec<ProcessId>]) {
-        self.topology.write().partition(groups);
+        self.topology.write().expect("topology lock").partition(groups);
     }
 
     /// Reunifies the network.
     pub fn heal(&self) {
-        self.topology.write().heal();
+        self.topology.write().expect("topology lock").heal();
     }
 
     /// Crashes a process: its thread stops handling events.
@@ -224,6 +287,7 @@ impl<A: Actor> std::fmt::Debug for ThreadedNet<A> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_process<A>(
     pid: ProcessId,
     site: SiteId,
@@ -232,6 +296,8 @@ fn run_process<A>(
     router: Sender<RouterEvent<A::Msg>>,
     outputs: Sender<(ProcessId, A::Output)>,
     seed: u64,
+    obs: Obs,
+    epoch: Instant,
 ) where
     A: Actor,
 {
@@ -283,6 +349,12 @@ fn run_process<A>(
                 cancelled.swap_remove(i);
                 continue;
             }
+            let at_us = epoch.elapsed().as_micros() as u64;
+            obs.with(|o| {
+                o.metrics.inc("net.timers_fired");
+                o.journal
+                    .record(pid.raw(), at_us, EventKind::TimerFire { kind: kind.0 });
+            });
             with_ctx!(|a: &mut A, ctx: &mut Context<'_, A::Msg, A::Output>| {
                 a.on_timer(tid, kind, ctx)
             });

@@ -1,0 +1,158 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace builds without crates.io access, so instead of pulling in
+//! `serde_json` the snapshot types serialize themselves through these two
+//! small builders. Output is deterministic: object fields appear in
+//! insertion order and the metric maps iterate sorted (`BTreeMap`).
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental JSON object builder.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+    any: bool,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    fn key(&mut self, name: &str) -> &mut String {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        self.buf.push_str(&escape(name));
+        self.buf.push_str("\":");
+        &mut self.buf
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, name: &str, v: u64) -> Self {
+        let buf = self.key(name);
+        buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(mut self, name: &str, v: i64) -> Self {
+        let buf = self.key(name);
+        buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (rendered with full precision; NaN/∞ become null).
+    pub fn f64(mut self, name: &str, v: f64) -> Self {
+        let buf = self.key(name);
+        if v.is_finite() {
+            buf.push_str(&format!("{v}"));
+        } else {
+            buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, name: &str, v: &str) -> Self {
+        let escaped = escape(v);
+        let buf = self.key(name);
+        buf.push('"');
+        buf.push_str(&escaped);
+        buf.push('"');
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON.
+    pub fn raw(mut self, name: &str, v: &str) -> Self {
+        let buf = self.key(name);
+        buf.push_str(v);
+        self
+    }
+
+    /// Finishes the object, returning its JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Incremental JSON array builder.
+#[derive(Debug, Default)]
+pub struct Arr {
+    buf: String,
+    any: bool,
+}
+
+impl Arr {
+    /// Starts an empty array.
+    pub fn new() -> Self {
+        Arr::default()
+    }
+
+    fn sep(&mut self) -> &mut String {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        &mut self.buf
+    }
+
+    /// Appends an unsigned integer element.
+    pub fn u64(mut self, v: u64) -> Self {
+        let buf = self.sep();
+        buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Appends an already-rendered JSON element.
+    pub fn raw(mut self, v: &str) -> Self {
+        let buf = self.sep();
+        buf.push_str(v);
+        self
+    }
+
+    /// Finishes the array, returning its JSON text.
+    pub fn finish(self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_and_control() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn objects_and_arrays_render() {
+        let inner = Arr::new().u64(1).u64(2).finish();
+        let s = Obj::new()
+            .str("name", "x\"y")
+            .u64("n", 7)
+            .raw("xs", &inner)
+            .finish();
+        assert_eq!(s, r#"{"name":"x\"y","n":7,"xs":[1,2]}"#);
+    }
+}

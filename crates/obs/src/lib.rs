@@ -1,0 +1,195 @@
+//! # vs-obs — protocol-level observability
+//!
+//! A zero-external-dependency observability substrate for the
+//! view-synchrony stack: a [`MetricsRegistry`] of counters, gauges and
+//! fixed-bucket latency histograms, plus a structured [`Journal`] of
+//! [`TraceEvent`]s (virtual-time-stamped, globally sequenced, bounded ring
+//! buffer per process). The paper's quantitative claims — §5's
+//! message-complexity comparison, §6.2's "undisturbed internal operations"
+//! — become measurable through this layer, and the safety checkers use the
+//! journal to print the trailing protocol activity of an offending process
+//! instead of a bare violation enum.
+//!
+//! Layers share a single [`Obs`] handle (a cheap clone around a mutex), so
+//! the simulator, the failure detector, the group-communication endpoint
+//! and the EVS endpoint all write into one registry and one journal:
+//!
+//! ```
+//! use vs_obs::{EventKind, Obs};
+//!
+//! let obs = Obs::new();
+//! obs.inc("net.sent");
+//! obs.observe("net.delivery_latency_us", 750);
+//! obs.record(0, 1_000, EventKind::ViewInstall { epoch: 1, members: 3 });
+//!
+//! assert_eq!(obs.counter("net.sent"), 1);
+//! let json = obs.metrics_json();
+//! assert!(json.contains("\"net.sent\":1"));
+//! assert_eq!(obs.tail(0, 8).len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS_US};
+pub use trace::{
+    DropReason, EventKind, Journal, MergeKind, TraceEvent, DEFAULT_JOURNAL_CAPACITY,
+};
+
+use std::sync::{Arc, Mutex};
+
+/// Everything a process stack records: metrics plus the trace journal.
+#[derive(Debug, Default, Clone)]
+pub struct ObsState {
+    /// The metrics registry.
+    pub metrics: MetricsRegistry,
+    /// The trace journal.
+    pub journal: Journal,
+}
+
+/// A shared, cheaply clonable observability handle.
+///
+/// All layers of one experiment hold clones of the same `Obs`; recording is
+/// a short critical section around plain data. The handle is `Send + Sync`
+/// so the threaded transport can use it too; under the deterministic
+/// simulator there is no contention at all.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Arc<Mutex<ObsState>>,
+}
+
+impl Obs {
+    /// A fresh handle with default journal capacity.
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// A fresh handle retaining the last `capacity` events per process.
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        Obs {
+            inner: Arc::new(Mutex::new(ObsState {
+                metrics: MetricsRegistry::new(),
+                journal: Journal::with_capacity(capacity),
+            })),
+        }
+    }
+
+    /// Whether two handles share the same underlying state.
+    pub fn same_as(&self, other: &Obs) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Runs `f` with exclusive access to the underlying state.
+    pub fn with<R>(&self, f: impl FnOnce(&mut ObsState) -> R) -> R {
+        let mut guard = self.inner.lock().expect("obs lock poisoned");
+        f(&mut guard)
+    }
+
+    // ---- metrics shorthands -------------------------------------------
+
+    /// Increments counter `name`.
+    pub fn inc(&self, name: &str) {
+        self.with(|s| s.metrics.inc(name));
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.with(|s| s.metrics.add(name, delta));
+    }
+
+    /// Current value of counter `name`.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.with(|s| s.metrics.counter(name))
+    }
+
+    /// Sets gauge `name`.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.with(|s| s.metrics.set_gauge(name, value));
+    }
+
+    /// Records a histogram observation under `name` (default latency
+    /// buckets).
+    pub fn observe(&self, name: &str, value: u64) {
+        self.with(|s| s.metrics.observe(name, value));
+    }
+
+    /// A deep copy of the current metrics.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        self.with(|s| s.metrics.clone())
+    }
+
+    /// The metrics rendered as JSON.
+    pub fn metrics_json(&self) -> String {
+        self.with(|s| s.metrics.to_json())
+    }
+
+    // ---- journal shorthands -------------------------------------------
+
+    /// Appends a trace event for `process` at virtual microsecond `at_us`.
+    pub fn record(&self, process: u64, at_us: u64, kind: EventKind) {
+        self.with(|s| s.journal.record(process, at_us, kind));
+    }
+
+    /// The last `n` retained events at `process`, oldest first.
+    pub fn tail(&self, process: u64, n: usize) -> Vec<TraceEvent> {
+        self.with(|s| s.journal.tail(process, n))
+    }
+
+    /// A deep copy of the current journal.
+    pub fn journal_snapshot(&self) -> Journal {
+        self.with(|s| s.journal.clone())
+    }
+
+    /// A human-readable rendering of the last `n` events at `process`.
+    pub fn format_tail(&self, process: u64, n: usize) -> String {
+        self.with(|s| s.journal.format_tail(process, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = Obs::new();
+        let b = a.clone();
+        a.inc("x");
+        b.inc("x");
+        assert_eq!(a.counter("x"), 2);
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&Obs::new()));
+    }
+
+    #[test]
+    fn journal_and_metrics_are_independent_sections() {
+        let obs = Obs::with_journal_capacity(4);
+        obs.record(1, 5, EventKind::TimerFire { kind: 2 });
+        obs.observe("lat", 5);
+        assert_eq!(obs.tail(1, 10).len(), 1);
+        assert_eq!(obs.metrics_snapshot().histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn threads_can_record_concurrently() {
+        let obs = Obs::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let obs = obs.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        obs.inc("contended");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(obs.counter("contended"), 4000);
+    }
+}

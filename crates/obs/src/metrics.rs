@@ -1,0 +1,373 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Everything is plain data behind string names so any layer of the stack
+//! can record without compile-time coupling. Registries are cheap to
+//! snapshot and render themselves to JSON through [`crate::json`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::json::{Arr, Obj};
+
+/// Default latency bucket upper bounds, in microseconds of virtual time.
+///
+/// The last implicit bucket is `+Inf`; these cover the simulator's
+/// sub-millisecond link delays up to multi-second convergence times.
+pub const DEFAULT_LATENCY_BUCKETS_US: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+];
+
+/// A fixed-bucket histogram with count/sum/min/max, in the spirit of a
+/// Prometheus histogram but for virtual-time latencies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Upper bound (inclusive) of each bucket; an implicit `+Inf` bucket
+    /// follows the last bound.
+    bounds: Vec<u64>,
+    /// One slot per bound plus the overflow bucket.
+    counts: Vec<u64>,
+    /// Total number of observations.
+    count: u64,
+    /// Sum of all observed values.
+    sum: u64,
+    /// Smallest observation (meaningless while `count == 0`).
+    min: u64,
+    /// Largest observation.
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// An empty histogram over [`DEFAULT_LATENCY_BUCKETS_US`].
+    pub fn latency() -> Self {
+        Histogram::with_bounds(DEFAULT_LATENCY_BUCKETS_US)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation, or `None` while empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest observation, or `None` while empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest observation, or `None` while empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Bucket upper bounds (the `+Inf` bucket is implicit).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, overflow bucket last. Sums to [`Histogram::count`].
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`) from bucket
+    /// boundaries, or `None` while empty. Observations past the last bound
+    /// report `u64::MAX`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Renders the histogram as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut bounds = Arr::new();
+        for &b in &self.bounds {
+            bounds = bounds.u64(b);
+        }
+        let mut counts = Arr::new();
+        for &c in &self.counts {
+            counts = counts.u64(c);
+        }
+        let mut obj = Obj::new()
+            .u64("count", self.count)
+            .u64("sum", self.sum)
+            .raw("bounds_us", &bounds.finish())
+            .raw("bucket_counts", &counts.finish());
+        if let (Some(min), Some(max), Some(mean)) = (self.min(), self.max(), self.mean()) {
+            obj = obj.u64("min", min).u64("max", max).f64("mean", mean);
+            if let (Some(p50), Some(p99)) = (self.quantile(0.5), self.quantile(0.99)) {
+                obj = obj.u64("p50_le", p50).u64("p99_le", p99);
+            }
+        }
+        obj.finish()
+    }
+}
+
+/// A named collection of counters, gauges and histograms.
+///
+/// Names are dotted paths (`net.sent`, `gcs.flush.rounds`); creation is
+/// implicit on first touch so instrumentation sites stay one-liners.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of gauge `name`, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `value` into histogram `name`, creating it with the default
+    /// latency buckets on first use.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::latency)
+            .observe(value);
+    }
+
+    /// Records `value` into histogram `name`, creating it with the given
+    /// bucket bounds on first use.
+    pub fn observe_with_bounds(&mut self, name: &str, bounds: &[u64], value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .observe(value);
+    }
+
+    /// The histogram registered under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one (counters add, gauges take the
+    /// other's value, histogram buckets add when bounds match).
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges.insert(k.clone(), v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) if mine.bounds == h.bounds => {
+                    for (c, o) in mine.counts.iter_mut().zip(&h.counts) {
+                        *c += o;
+                    }
+                    mine.count += h.count;
+                    mine.sum = mine.sum.saturating_add(h.sum);
+                    mine.min = mine.min.min(h.min);
+                    mine.max = mine.max.max(h.max);
+                }
+                _ => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Resets every metric (counters/gauges cleared, histograms emptied).
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
+    /// Renders the whole registry as a JSON object with `counters`,
+    /// `gauges` and `histograms` sections.
+    pub fn to_json(&self) -> String {
+        let mut counters = Obj::new();
+        for (k, v) in self.counters() {
+            counters = counters.u64(k, v);
+        }
+        let mut gauges = Obj::new();
+        for (k, v) in self.gauges() {
+            gauges = gauges.i64(k, v);
+        }
+        let mut histograms = Obj::new();
+        for (k, h) in self.histograms() {
+            histograms = histograms.raw(k, &h.to_json());
+        }
+        Obj::new()
+            .raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &histograms.finish())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.inc("x");
+        m.add("x", 4);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let mut h = Histogram::with_bounds(&[10, 100]);
+        for v in [1, 10, 11, 100, 101, 5_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 2, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(5_000));
+    }
+
+    #[test]
+    fn quantile_upper_bounds() {
+        let mut h = Histogram::with_bounds(&[10, 100, 1000]);
+        for _ in 0..98 {
+            h.observe(5);
+        }
+        h.observe(50);
+        h.observe(500);
+        assert_eq!(h.quantile(0.5), Some(10));
+        assert_eq!(h.quantile(0.99), Some(100));
+        assert_eq!(h.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_buckets() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.add("c", 1);
+        b.add("c", 2);
+        a.observe("h", 5);
+        b.observe("h", 7);
+        a.absorb(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h").unwrap().sum(), 12);
+    }
+
+    #[test]
+    fn json_snapshot_is_wellformed_and_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.add("b.two", 2);
+        m.add("a.one", 1);
+        m.set_gauge("g", -3);
+        m.observe_with_bounds("lat", &[10, 20], 15);
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        let a = json.find("a.one").unwrap();
+        let b = json.find("b.two").unwrap();
+        assert!(a < b, "counters must render sorted");
+        assert!(json.contains("\"gauges\":{\"g\":-3}"));
+        assert!(json.contains("\"bounds_us\":[10,20]"));
+    }
+}

@@ -1,0 +1,437 @@
+//! The structured trace journal.
+//!
+//! Every layer of the stack appends [`TraceEvent`]s — virtual-time-stamped,
+//! globally sequenced, one bounded ring buffer per process — so that when a
+//! safety checker flags a violation the *trailing window* of protocol
+//! activity at the offending process can be printed instead of a bare
+//! violation enum. Events are plain data (`serde`-serializable) and render
+//! to JSON through [`crate::json`].
+
+use std::collections::{BTreeMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::json::{Arr, Obj};
+
+/// Why a message never reached its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Sender and receiver were in different partition components.
+    Partition,
+    /// The probabilistic loss model discarded it.
+    Loss,
+    /// The destination process had crashed.
+    Crashed,
+}
+
+/// Which merge primitive of §6 of the paper an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeKind {
+    /// `SubviewMerge` — merging subviews within a subview-set.
+    Subview,
+    /// `SVSetMerge` — merging whole subview-sets.
+    SvSet,
+}
+
+/// One structured protocol event.
+///
+/// Process and view identifiers are raw `u64`s so this crate sits below
+/// `vs-net` in the dependency order; the typed wrappers live upstream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A message was accepted for transmission.
+    MsgSend {
+        /// Sending process.
+        from: u64,
+        /// Destination process.
+        to: u64,
+    },
+    /// A message was handed to the receiving actor.
+    MsgDeliver {
+        /// Sending process.
+        from: u64,
+        /// Destination process.
+        to: u64,
+    },
+    /// A message was destroyed in transit.
+    MsgDrop {
+        /// Sending process.
+        from: u64,
+        /// Destination process.
+        to: u64,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// A timer fired at its owner.
+    TimerFire {
+        /// The owner's timer kind discriminant.
+        kind: u32,
+    },
+    /// The failure detector started suspecting a peer.
+    SuspicionRaised {
+        /// The suspected process.
+        suspect: u64,
+    },
+    /// A previously suspected peer was heard from again.
+    SuspicionCleared {
+        /// The no-longer-suspected process.
+        suspect: u64,
+    },
+    /// View agreement began working towards a new view.
+    ViewChangeStart {
+        /// Epoch of the proposed view.
+        epoch: u64,
+    },
+    /// A view was installed at this process.
+    ViewInstall {
+        /// Epoch of the installed view.
+        epoch: u64,
+        /// Number of members in the installed view.
+        members: u32,
+    },
+    /// A flush round made progress during a view change.
+    FlushRound {
+        /// Epoch being flushed into.
+        epoch: u64,
+        /// Messages still awaiting stabilization when the round ran.
+        pending: u32,
+    },
+    /// The message-stability frontier advanced.
+    StabilityAdvance {
+        /// New stable frontier (sequence number).
+        frontier: u64,
+    },
+    /// An enriched view (e-view) change was applied.
+    EViewApply {
+        /// Epoch of the underlying view.
+        epoch: u64,
+        /// Number of subviews after the change.
+        subviews: u32,
+        /// Number of subview-sets after the change.
+        svsets: u32,
+    },
+    /// A merge primitive was issued.
+    MergeIssue {
+        /// Which primitive.
+        kind: MergeKind,
+    },
+    /// A previously issued merge primitive completed in an e-view change.
+    MergeComplete {
+        /// Which primitive.
+        kind: MergeKind,
+    },
+    /// An escape hatch for layer-specific events not worth a variant.
+    Custom {
+        /// A short static label.
+        label: &'static str,
+        /// A free-form value.
+        value: u64,
+    },
+}
+
+impl EventKind {
+    /// A short stable name for the event kind (used in JSON and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::MsgSend { .. } => "msg_send",
+            EventKind::MsgDeliver { .. } => "msg_deliver",
+            EventKind::MsgDrop { .. } => "msg_drop",
+            EventKind::TimerFire { .. } => "timer_fire",
+            EventKind::SuspicionRaised { .. } => "suspicion_raised",
+            EventKind::SuspicionCleared { .. } => "suspicion_cleared",
+            EventKind::ViewChangeStart { .. } => "view_change_start",
+            EventKind::ViewInstall { .. } => "view_install",
+            EventKind::FlushRound { .. } => "flush_round",
+            EventKind::StabilityAdvance { .. } => "stability_advance",
+            EventKind::EViewApply { .. } => "eview_apply",
+            EventKind::MergeIssue { .. } => "merge_issue",
+            EventKind::MergeComplete { .. } => "merge_complete",
+            EventKind::Custom { label, .. } => label,
+        }
+    }
+
+    fn detail_json(&self) -> String {
+        match *self {
+            EventKind::MsgSend { from, to } | EventKind::MsgDeliver { from, to } => {
+                Obj::new().u64("from", from).u64("to", to).finish()
+            }
+            EventKind::MsgDrop { from, to, reason } => Obj::new()
+                .u64("from", from)
+                .u64("to", to)
+                .str("reason", &format!("{reason:?}"))
+                .finish(),
+            EventKind::TimerFire { kind } => Obj::new().u64("kind", kind as u64).finish(),
+            EventKind::SuspicionRaised { suspect } | EventKind::SuspicionCleared { suspect } => {
+                Obj::new().u64("suspect", suspect).finish()
+            }
+            EventKind::ViewChangeStart { epoch } => Obj::new().u64("epoch", epoch).finish(),
+            EventKind::ViewInstall { epoch, members } => Obj::new()
+                .u64("epoch", epoch)
+                .u64("members", members as u64)
+                .finish(),
+            EventKind::FlushRound { epoch, pending } => Obj::new()
+                .u64("epoch", epoch)
+                .u64("pending", pending as u64)
+                .finish(),
+            EventKind::StabilityAdvance { frontier } => {
+                Obj::new().u64("frontier", frontier).finish()
+            }
+            EventKind::EViewApply {
+                epoch,
+                subviews,
+                svsets,
+            } => Obj::new()
+                .u64("epoch", epoch)
+                .u64("subviews", subviews as u64)
+                .u64("svsets", svsets as u64)
+                .finish(),
+            EventKind::MergeIssue { kind } | EventKind::MergeComplete { kind } => {
+                Obj::new().str("kind", &format!("{kind:?}")).finish()
+            }
+            EventKind::Custom { value, .. } => Obj::new().u64("value", value).finish(),
+        }
+    }
+}
+
+/// One journal entry: what happened, where, and at what virtual time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Global sequence number (total order across all processes).
+    pub seq: u64,
+    /// Virtual time of the event, in microseconds.
+    pub at_us: u64,
+    /// Raw identifier of the process the event happened at.
+    pub process: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Renders the event as a JSON object.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .u64("seq", self.seq)
+            .u64("at_us", self.at_us)
+            .u64("process", self.process)
+            .str("event", self.kind.name())
+            .raw("detail", &self.kind.detail_json())
+            .finish()
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:>10}us seq={:>6} p{}] {:<18} {:?}",
+            self.at_us,
+            self.seq,
+            self.process,
+            self.kind.name(),
+            self.kind
+        )
+    }
+}
+
+/// Per-process bounded ring buffers of [`TraceEvent`]s.
+///
+/// Appends are O(1); when a process's ring is full the oldest entry is
+/// evicted (and counted), so memory stays bounded over arbitrarily long
+/// runs while the *trailing* window — the part a violation report needs —
+/// is always intact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Journal {
+    capacity_per_process: usize,
+    rings: BTreeMap<u64, VecDeque<TraceEvent>>,
+    next_seq: u64,
+    evicted: u64,
+    last_at_us: u64,
+}
+
+/// Default ring capacity per process.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 512;
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// A journal keeping the last `capacity_per_process` events per process.
+    pub fn with_capacity(capacity_per_process: usize) -> Self {
+        Journal {
+            capacity_per_process: capacity_per_process.max(1),
+            rings: BTreeMap::new(),
+            next_seq: 0,
+            evicted: 0,
+            last_at_us: 0,
+        }
+    }
+
+    /// Appends an event for `process` at virtual time `at_us`.
+    ///
+    /// The journal is monotone in time by construction: timestamps are
+    /// clamped to the latest one seen, so even racy wall-clock readers
+    /// (the threaded transport) cannot make recorded time run backwards.
+    /// The simulator's virtual clock is already non-decreasing, so there
+    /// the clamp never fires.
+    pub fn record(&mut self, process: u64, at_us: u64, kind: EventKind) {
+        let at_us = at_us.max(self.last_at_us);
+        self.last_at_us = at_us;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let ring = self.rings.entry(process).or_default();
+        if ring.len() == self.capacity_per_process {
+            ring.pop_front();
+            self.evicted += 1;
+        }
+        ring.push_back(TraceEvent {
+            seq,
+            at_us,
+            process,
+            kind,
+        });
+    }
+
+    /// Total number of events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of events evicted from full rings.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Events currently retained for `process`, oldest first.
+    pub fn events_for(&self, process: u64) -> impl Iterator<Item = &TraceEvent> {
+        self.rings.get(&process).into_iter().flatten()
+    }
+
+    /// The last `n` retained events for `process`, oldest first.
+    pub fn tail(&self, process: u64, n: usize) -> Vec<TraceEvent> {
+        let ring = match self.rings.get(&process) {
+            Some(r) => r,
+            None => return Vec::new(),
+        };
+        ring.iter().skip(ring.len().saturating_sub(n)).cloned().collect()
+    }
+
+    /// All retained events across every process, in global `seq` order.
+    pub fn all(&self) -> Vec<TraceEvent> {
+        let mut out: Vec<TraceEvent> = self.rings.values().flatten().cloned().collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Processes with at least one retained event.
+    pub fn processes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.rings.keys().copied()
+    }
+
+    /// A human-readable rendering of the last `n` events at `process`, for
+    /// violation reports.
+    pub fn format_tail(&self, process: u64, n: usize) -> String {
+        let tail = self.tail(process, n);
+        if tail.is_empty() {
+            return format!("  (no trace events retained for process {process})");
+        }
+        let mut out = String::new();
+        for ev in tail {
+            out.push_str(&format!("  {ev}\n"));
+        }
+        out.pop();
+        out
+    }
+
+    /// Renders the retained journal as a JSON array (global `seq` order).
+    pub fn to_json(&self) -> String {
+        let mut arr = Arr::new();
+        for ev in self.all() {
+            arr = arr.raw(&ev.to_json());
+        }
+        arr.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_assigns_global_sequence() {
+        let mut j = Journal::default();
+        j.record(1, 10, EventKind::TimerFire { kind: 0 });
+        j.record(2, 10, EventKind::TimerFire { kind: 0 });
+        j.record(1, 20, EventKind::TimerFire { kind: 1 });
+        let all = j.all();
+        assert_eq!(all.len(), 3);
+        assert_eq!(
+            all.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(j.recorded(), 3);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_per_process() {
+        let mut j = Journal::with_capacity(3);
+        for i in 0..5 {
+            j.record(7, i * 10, EventKind::StabilityAdvance { frontier: i });
+        }
+        let tail: Vec<u64> = j
+            .events_for(7)
+            .map(|e| match e.kind {
+                EventKind::StabilityAdvance { frontier } => frontier,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tail, vec![2, 3, 4]);
+        assert_eq!(j.evicted(), 2);
+        assert_eq!(j.recorded(), 5);
+    }
+
+    #[test]
+    fn tail_returns_last_n_oldest_first() {
+        let mut j = Journal::default();
+        for i in 0..10 {
+            j.record(1, i, EventKind::TimerFire { kind: i as u32 });
+        }
+        let tail = j.tail(1, 3);
+        assert_eq!(
+            tail.iter().map(|e| e.at_us).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert!(j.tail(99, 3).is_empty());
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed() {
+        let mut j = Journal::default();
+        j.record(
+            1,
+            5,
+            EventKind::MsgDrop {
+                from: 1,
+                to: 2,
+                reason: DropReason::Partition,
+            },
+        );
+        let json = j.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"event\":\"msg_drop\""));
+        assert!(json.contains("\"reason\":\"Partition\""));
+    }
+
+    #[test]
+    fn format_tail_mentions_every_event() {
+        let mut j = Journal::default();
+        j.record(3, 1, EventKind::ViewChangeStart { epoch: 9 });
+        j.record(3, 2, EventKind::ViewInstall { epoch: 9, members: 4 });
+        let text = j.format_tail(3, 8);
+        assert!(text.contains("view_change_start"));
+        assert!(text.contains("view_install"));
+        assert!(j.format_tail(8, 4).contains("no trace events"));
+    }
+}

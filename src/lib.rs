@@ -17,6 +17,7 @@
 //! | [`gcs`] | `vs-gcs` | view-synchronous reliable multicast (Properties 2.1–2.3), ordering layers, trace checker |
 //! | [`evs`] | `vs-evs` | enriched views, merge primitives (Properties 6.1–6.3), mode engine, classification, state machinery |
 //! | [`apps`] | `vs-apps` | group-object framework, replicated file, lock manager, KV store, parallel DB, Isis-like baseline |
+//! | [`obs`] | `vs-obs` | protocol-level observability: metrics registry and structured trace journal shared by every layer |
 //!
 //! # Quickstart
 //!
@@ -63,3 +64,4 @@ pub use vs_evs as evs;
 pub use vs_gcs as gcs;
 pub use vs_membership as membership;
 pub use vs_net as net;
+pub use vs_obs as obs;

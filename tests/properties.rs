@@ -257,7 +257,13 @@ proptest! {
         }
         sim.run_for(SimDuration::from_secs(2));
         if let Err(errs) = check(sim.outputs()) {
-            return Err(TestCaseError::fail(format!("{errs:?}")));
+            return Err(TestCaseError::fail(
+                view_synchrony::gcs::checker::report_with_trace(
+                    &errs,
+                    &sim.obs().journal_snapshot(),
+                    10,
+                ),
+            ));
         }
     }
 
@@ -294,7 +300,13 @@ proptest! {
         }
         sim.run_for(SimDuration::from_secs(2));
         if let Err(errs) = check_evs(sim.outputs()) {
-            return Err(TestCaseError::fail(format!("{errs:?}")));
+            return Err(TestCaseError::fail(
+                view_synchrony::evs::checker::report_with_trace(
+                    &errs,
+                    &sim.obs().journal_snapshot(),
+                    10,
+                ),
+            ));
         }
     }
 
@@ -379,6 +391,124 @@ proptest! {
                 let disjoint = a.members().intersection(b.members()).next().is_none();
                 prop_assert!(!disjoint, "disjoint majorities {a} and {b}");
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// observability invariants
+// ---------------------------------------------------------------------
+
+/// Minimal timerless actor: with no periodic traffic the network quiesces,
+/// so every routed message is eventually accounted as delivered or dropped.
+struct Probe;
+
+impl view_synchrony::net::Actor for Probe {
+    type Msg = u64;
+    type Output = u64;
+    fn on_message(
+        &mut self,
+        _from: ProcessId,
+        msg: u64,
+        ctx: &mut view_synchrony::net::Context<'_, u64, u64>,
+    ) {
+        ctx.output(msg);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Message conservation: once the network is quiescent, every send is
+    /// accounted exactly once — `net.sent` equals `net.delivered` plus the
+    /// three drop counters.
+    #[test]
+    fn net_counters_conserve_messages(
+        seed in 0u64..1000,
+        posts in proptest::collection::vec((0usize..5, 0usize..5, 0u8..5), 1..40),
+    ) {
+        let mut sim: Sim<Probe> = Sim::new(seed, SimConfig::default());
+        let pids: Vec<ProcessId> = (0..5).map(|_| sim.spawn(Probe)).collect();
+        for (i, &(a, b, fault)) in posts.iter().enumerate() {
+            match fault {
+                1 => sim.partition(&[pids[..2].to_vec(), pids[2..].to_vec()]),
+                2 => sim.heal(),
+                3 => sim.crash(pids[(a + b) % pids.len()]),
+                _ => {}
+            }
+            sim.post(pids[a], pids[b], i as u64);
+            sim.run_for(SimDuration::from_millis(1));
+        }
+        // Quiesce: no timers exist, so in-flight messages drain fully.
+        sim.run_for(SimDuration::from_secs(1));
+        let m = sim.obs().metrics_snapshot();
+        prop_assert_eq!(
+            m.counter("net.sent"),
+            m.counter("net.delivered")
+                + m.counter("net.dropped_partition")
+                + m.counter("net.dropped_loss")
+                + m.counter("net.dropped_crashed"),
+            "sent must equal delivered + dropped"
+        );
+        prop_assert_eq!(m.counter("net.sent"), posts.len() as u64);
+    }
+
+    /// Histogram bookkeeping: the count equals the number of observations,
+    /// the sum equals their sum, and absorbing a registry adds both.
+    #[test]
+    fn histogram_count_matches_observations(
+        values in proptest::collection::vec(0u64..10_000_000, 0..200),
+    ) {
+        use view_synchrony::obs::MetricsRegistry;
+        let mut m = MetricsRegistry::new();
+        for &v in &values {
+            m.observe("lat_us", v);
+        }
+        if values.is_empty() {
+            prop_assert!(m.histogram("lat_us").is_none());
+        } else {
+            let h = m.histogram("lat_us").expect("recorded");
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        }
+        let mut agg = MetricsRegistry::new();
+        agg.absorb(&m);
+        agg.absorb(&m);
+        if let Some(h) = agg.histogram("lat_us") {
+            prop_assert_eq!(h.count(), 2 * values.len() as u64);
+            prop_assert_eq!(h.sum(), 2 * values.iter().sum::<u64>());
+        } else {
+            prop_assert!(values.is_empty());
+        }
+    }
+
+    /// Journal monotonicity: regardless of the order events are recorded
+    /// in (wall-clock races under the threaded transport can present
+    /// out-of-order timestamps), each process's retained tail is
+    /// non-decreasing in virtual time.
+    #[test]
+    fn journal_tails_are_monotone_in_virtual_time(
+        events in proptest::collection::vec((0u64..4, 0u64..1_000_000), 0..300),
+        capacity in 1usize..64,
+    ) {
+        use view_synchrony::obs::{EventKind, Obs};
+        let obs = Obs::with_journal_capacity(capacity);
+        for &(p, at) in &events {
+            obs.record(p, at, EventKind::TimerFire { kind: 0 });
+        }
+        for p in 0..4u64 {
+            let tail = obs.tail(p, capacity + 8);
+            prop_assert!(tail.len() <= capacity, "ring respects its capacity");
+            prop_assert!(
+                tail.windows(2).all(|w| w[0].at_us <= w[1].at_us),
+                "tail at process {} not monotone: {:?}",
+                p,
+                tail.iter().map(|e| e.at_us).collect::<Vec<_>>()
+            );
+            prop_assert!(
+                tail.windows(2).all(|w| w[0].seq < w[1].seq),
+                "global sequence numbers must strictly increase"
+            );
         }
     }
 }
