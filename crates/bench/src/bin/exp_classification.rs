@@ -278,6 +278,7 @@ fn main() {
         .count();
     println!("bootstrap: {scratch} creation-from-scratch classifications (expected >= 5)");
     assert!(scratch >= 5);
+    vs_bench::assert_monitor_clean("exp_classification", sim.obs());
     agg.absorb(&sim.obs().metrics_snapshot());
 
     // Scenario B: heal after a minority partition => transfer at the
@@ -298,6 +299,7 @@ fn main() {
         .count();
     println!("heal: {transfers} transfer classification(s) at the rejoiner (expected >= 1)");
     assert!(transfers >= 1);
+    vs_bench::assert_monitor_clean("exp_classification", sim.obs());
     agg.absorb(&sim.obs().metrics_snapshot());
 
     println!("\n[PAPER SHAPE: reproduced] — EVS classifies exactly; plain VS cannot.");

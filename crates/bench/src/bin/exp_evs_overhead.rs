@@ -37,7 +37,7 @@ where
     FMcast: Fn(&mut Sim<A>, ProcessId, String),
     FView: Fn(&Sim<A>, ProcessId) -> usize,
 {
-    let mut sim: Sim<A> = Sim::new(seed, SimConfig::default());
+    let mut sim: Sim<A> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
     let mut pids = Vec::new();
     for _ in 0..n {
         pids.push(spawn(&mut sim));
@@ -65,6 +65,7 @@ where
         }
     }
     sim.run_for(SimDuration::from_millis(300));
+    vs_bench::assert_monitor_clean("exp_evs_overhead", sim.obs());
     Run {
         stats: *sim.stats(),
         merge_ms: merged_at
@@ -167,5 +168,8 @@ fn main() {
          [PAPER SHAPE: supported if the message overhead is within a few percent\n\
           and merge times are comparable]"
     );
+    vs_bench::write_bench_json("BENCH_evs_overhead.json", "exp_evs_overhead", &agg)
+        .expect("write BENCH_evs_overhead.json");
+    println!("bench snapshot written to BENCH_evs_overhead.json");
     vs_bench::print_metrics_snapshot("exp_evs_overhead", &agg);
 }

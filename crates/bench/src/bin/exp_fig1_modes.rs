@@ -64,7 +64,15 @@ fn main() {
                 }
             }
         }
+        vs_bench::assert_monitor_clean("exp_fig1_modes", sim.obs());
         agg.absorb(&sim.obs().metrics_snapshot());
+        if seed == 0 {
+            // One representative run exported as a Chrome trace (open in
+            // Perfetto or chrome://tracing); CI uploads it as an artifact.
+            std::fs::write("trace_exp_fig1_modes.json", sim.obs().chrome_trace_json())
+                .expect("write trace_exp_fig1_modes.json");
+            println!("chrome trace written to trace_exp_fig1_modes.json");
+        }
     }
 
     // Scripted total-failure scenario: recovery proceeds site by site, so
@@ -132,6 +140,7 @@ fn main() {
         let obj = sim.actor(*recovered.last().unwrap()).unwrap();
         assert_eq!(obj.app().data(), b"survivor", "last-to-fail recovery");
         assert!(blocked > 0, "creation was blocked awaiting the authority");
+        vs_bench::assert_monitor_clean("exp_fig1_modes", sim.obs());
         agg.absorb(&sim.obs().metrics_snapshot());
     }
 

@@ -105,6 +105,7 @@ fn main() {
                     );
                 }
             }
+            vs_bench::assert_monitor_clean("exp_fig2_structure", sim.obs());
             agg.absorb(&sim.obs().metrics_snapshot());
         }
         all_clean &= violations == 0;

@@ -98,6 +98,7 @@ fn main() {
     println!("\nFigure 3 sequence reproduced; e-view changes are ~{}x cheaper than view changes.",
         (vc.as_micros() / evc1.as_micros().max(1)));
     println!("[PAPER SHAPE: reproduced]");
+    vs_bench::assert_monitor_clean("exp_fig3_merge_calls", sim.obs());
     vs_bench::print_metrics("exp_fig3_merge_calls", sim.obs());
 }
 

@@ -24,7 +24,7 @@ fn main() {
     let dataset: Vec<u64> = (0..keys as u64).map(|k| (k * 7 + 3) % 23).collect();
     let n = 6;
 
-    let mut sim: Sim<ParallelDb> = Sim::new(99, SimConfig::default());
+    let mut sim: Sim<ParallelDb> = Sim::new(99, SimConfig { monitor: true, ..SimConfig::default() });
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();
@@ -133,5 +133,6 @@ fn main() {
          every completed query tiles the key space exactly, across {settles} re-divisions.\n\
          [PAPER SHAPE: reproduced]"
     );
+    vs_bench::assert_monitor_clean("exp_parallel_db", sim.obs());
     vs_bench::print_metrics("exp_parallel_db", sim.obs());
 }

@@ -98,6 +98,7 @@ fn run(state_size: usize, mode: TransferMode, seed: u64, agg: &mut MetricsRegist
             (8, ((wire as usize) * chunk_size + 8).min(snapshot_len + 8))
         }
     };
+    vs_bench::assert_monitor_clean("exp_state_transfer", sim.obs());
     agg.absorb(&sim.obs().metrics_snapshot());
     Outcome {
         bytes_before_serving,

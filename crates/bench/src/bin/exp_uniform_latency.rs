@@ -15,7 +15,7 @@ use vs_net::{ProcessId, Sim, SimConfig, SimDuration, SimTime};
 use vs_obs::MetricsRegistry;
 
 fn run(n: usize, uniform: bool, seed: u64, agg: &mut MetricsRegistry) -> Vec<f64> {
-    let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, SimConfig::default());
+    let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();
@@ -71,6 +71,7 @@ fn run(n: usize, uniform: bool, seed: u64, agg: &mut MetricsRegistry) -> Vec<f64
         })
         .collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    vs_bench::assert_monitor_clean("exp_uniform_latency", sim.obs());
     agg.absorb(&sim.obs().metrics_snapshot());
     latencies
 }

@@ -22,7 +22,7 @@ use vs_obs::MetricsRegistry;
 /// Partitionable EVS: count view changes per process caused by the heal.
 fn run_evs(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64) {
     let n = 2 * m + 1;
-    let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed, SimConfig::default());
+    let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();
@@ -62,6 +62,7 @@ fn run_evs(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64) {
         }
     }
     let avg = per_proc.iter().sum::<u64>() as f64 / per_proc.len() as f64;
+    vs_bench::assert_monitor_clean("exp_view_growth", sim.obs());
     agg.absorb(&sim.obs().metrics_snapshot());
     (avg, merged_at.saturating_since(t0).as_millis_f64())
 }
@@ -70,7 +71,7 @@ fn run_evs(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64) {
 /// re-admitted one process at a time; count virtual view changes.
 fn run_primary(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64, u64) {
     let n = 2 * m + 1;
-    let mut sim: Sim<PrimaryEndpoint> = Sim::new(seed, SimConfig::default());
+    let mut sim: Sim<PrimaryEndpoint> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
     let mut pids: Vec<ProcessId> = Vec::new();
     for i in 0..n {
         let site = sim.alloc_site();
@@ -124,6 +125,7 @@ fn run_primary(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64, u64
     // Average over the surviving primary members (the left side), who are
     // the paper's "each of the two partitions" observers.
     let avg = per_proc[..m + 1].iter().sum::<u64>() as f64 / (m + 1) as f64;
+    vs_bench::assert_monitor_clean("exp_view_growth", sim.obs());
     agg.absorb(&sim.obs().metrics_snapshot());
     (avg, done_at.saturating_since(t0).as_millis_f64(), transfers / 2)
 }
@@ -157,5 +159,8 @@ fn main() {
          the one-at-a-time model needs ~m, each with a blocking state transfer.\n\
          [PAPER SHAPE: reproduced if the Isis-like column grows linearly in m]"
     );
+    vs_bench::write_bench_json("BENCH_view_growth.json", "exp_view_growth", &agg)
+        .expect("write BENCH_view_growth.json");
+    println!("bench snapshot written to BENCH_view_growth.json");
     vs_bench::print_metrics_snapshot("exp_view_growth", &agg);
 }

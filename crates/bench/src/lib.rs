@@ -13,4 +13,7 @@ pub mod faults;
 pub mod report;
 pub mod scenarios;
 
-pub use report::{metrics_json, print_metrics, print_metrics_snapshot, Table};
+pub use report::{
+    assert_monitor_clean, metrics_json, print_metrics, print_metrics_snapshot, write_bench_json,
+    Table,
+};

@@ -115,6 +115,36 @@ pub fn print_metrics_snapshot(experiment: &str, metrics: &MetricsRegistry) {
     println!("\nMETRICS {}", metrics_json(experiment, metrics));
 }
 
+/// Writes an experiment's metrics snapshot to `path` as pretty-ish JSON
+/// (the same object [`metrics_json`] renders), for committed `BENCH_*.json`
+/// baselines that regressions can be diffed against.
+pub fn write_bench_json(
+    path: &str,
+    experiment: &str,
+    metrics: &MetricsRegistry,
+) -> std::io::Result<()> {
+    let mut doc = metrics_json(experiment, metrics);
+    doc.push('\n');
+    std::fs::write(path, doc)
+}
+
+/// Panics with every [`vs_obs::MonitorReport`] (violation, offending
+/// event, causal slice) if the online invariant monitor flagged anything
+/// during the run. Every `exp_*` binary calls this before printing its
+/// `METRICS` line, so a sweep that quietly broke a VS/EVS property fails
+/// loudly instead of producing plausible-looking numbers.
+pub fn assert_monitor_clean(experiment: &str, obs: &Obs) {
+    let reports = obs.monitor_reports();
+    if reports.is_empty() {
+        return;
+    }
+    let mut out = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!("monitor report {}:\n{}\n", i + 1, r.format()));
+    }
+    panic!("{experiment}: online invariant monitor flagged {} violation(s)\n{out}", reports.len());
+}
+
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(part: f64, whole: f64) -> String {
     if whole == 0.0 {

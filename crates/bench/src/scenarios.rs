@@ -4,7 +4,9 @@
 //! simulator's own [`vs_obs::Obs`] handle, so a finished run carries one
 //! unified metrics registry and trace journal (reachable via
 //! [`vs_net::Sim::obs`]) spanning transport, membership, group
-//! communication and the enriched layer.
+//! communication and the enriched layer. The online invariant monitor is
+//! enabled on every builder — drivers should end their run with
+//! [`crate::assert_monitor_clean`].
 
 use vs_apps::{KvStore, KvStoreApp, ObjectConfig, ReplicatedFile, ReplicatedFileApp};
 use vs_evs::{EvsConfig, EvsEndpoint};
@@ -13,7 +15,7 @@ use vs_net::{ProcessId, Sim, SimConfig, SimDuration};
 /// Spawns `n` enriched endpoints that know about each other and lets the
 /// group form. Returns the simulator and the process ids.
 pub fn evs_group(seed: u64, n: usize) -> (Sim<EvsEndpoint<String>>, Vec<ProcessId>) {
-    let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed, SimConfig::default());
+    let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();
@@ -30,7 +32,7 @@ pub fn evs_group(seed: u64, n: usize) -> (Sim<EvsEndpoint<String>>, Vec<ProcessI
 
 /// Spawns a quorum-replicated-file group of `n` (universe `n`).
 pub fn file_group(seed: u64, n: usize, config: ObjectConfig) -> (Sim<ReplicatedFile>, Vec<ProcessId>) {
-    let mut sim: Sim<ReplicatedFile> = Sim::new(seed, SimConfig::default());
+    let mut sim: Sim<ReplicatedFile> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();
@@ -49,7 +51,7 @@ pub fn file_group(seed: u64, n: usize, config: ObjectConfig) -> (Sim<ReplicatedF
 
 /// Spawns a weak-consistency KV group of `n`.
 pub fn kv_group(seed: u64, n: usize) -> (Sim<KvStore>, Vec<ProcessId>) {
-    let mut sim: Sim<KvStore> = Sim::new(seed, SimConfig::default());
+    let mut sim: Sim<KvStore> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();

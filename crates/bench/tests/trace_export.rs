@@ -1,0 +1,138 @@
+//! End-to-end validation of the Chrome-trace export and span coverage on
+//! the same scenarios the experiment binaries drive (`exp_fig1_modes`
+//! exports exactly this builder's trace).
+//!
+//! Two properties are pinned here:
+//!
+//! * the exported document round-trips through the in-tree JSON parser
+//!   and has the Chrome-trace shape (metadata records, `"X"` spans with
+//!   `ts`/`dur`, `"i"` instants);
+//! * every view whose installation was recorded carries a *complete*
+//!   span breakdown — detect, agree, flush and install all present and
+//!   closed — so the latency decomposition the spans promise exists for
+//!   every installed view, not just the easy ones.
+
+use vs_apps::{ObjectConfig, ReplicatedFile, ReplicatedFileApp};
+use vs_bench::scenarios::evs_group;
+use vs_net::{Sim, SimConfig, SimDuration};
+use vs_obs::{json, EventKind, Obs};
+
+/// Asserts the full span breakdown exists for every recorded view
+/// installation in `obs`'s journal.
+fn assert_breakdowns_complete(obs: &Obs, context: &str) {
+    let journal = obs.journal_snapshot();
+    let spans = obs.spans_snapshot();
+    let mut installs = 0;
+    for p in journal.processes().collect::<Vec<_>>() {
+        for ev in journal.events_for(p) {
+            if let EventKind::GroupView { epoch, .. } = ev.kind {
+                installs += 1;
+                let b = spans
+                    .breakdown(p, epoch)
+                    .unwrap_or_else(|| panic!("{context}: p{p} epoch {epoch}: no breakdown"));
+                assert!(
+                    b.is_complete(),
+                    "{context}: p{p} epoch {epoch}: incomplete breakdown {b:?}"
+                );
+            }
+        }
+    }
+    assert!(installs > 0, "{context}: scenario recorded no view installs");
+}
+
+#[test]
+fn chrome_export_is_valid_and_breakdowns_are_complete() {
+    // The exp_fig1_modes scenario — a quorum-replicated-file group plus a
+    // crash — built inline so the journal ring can be sized to keep every
+    // install of the whole run in view (the default 512-events/process
+    // ring is meant for post-mortem tails, not whole-run audits).
+    let config = ObjectConfig { universe: 5, ..ObjectConfig::default() };
+    let mut sim: Sim<ReplicatedFile> =
+        Sim::new(7, SimConfig { monitor: true, ..SimConfig::default() });
+    sim.set_obs(Obs::with_journal_capacity(1 << 16));
+    let mut pids = Vec::new();
+    for _ in 0..5 {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |pid| {
+            ReplicatedFile::new(pid, ReplicatedFileApp::new(), config)
+        }));
+    }
+    let all = pids.clone();
+    let obs = sim.obs().clone();
+    for &p in &pids {
+        sim.invoke(p, |o, _| {
+            o.set_contacts(all.iter().copied());
+            o.set_obs(obs.clone());
+        });
+    }
+    sim.run_for(SimDuration::from_secs(2));
+    sim.crash(pids[4]);
+    sim.run_for(SimDuration::from_secs(2));
+    vs_bench::assert_monitor_clean("trace_export", sim.obs());
+
+    let doc = sim.obs().chrome_trace_json();
+    let v = json::parse(&doc).expect("export parses as JSON");
+    assert_eq!(
+        v.get("displayTimeUnit").and_then(|u| u.as_str()),
+        Some("ms"),
+        "display unit"
+    );
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace has events");
+
+    let mut metadata = 0;
+    let mut complete_spans = 0;
+    let mut instants = 0;
+    let mut view_change_spans = 0;
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph field");
+        match ph {
+            "M" => metadata += 1,
+            "X" => {
+                complete_spans += 1;
+                assert!(e.get("ts").and_then(|t| t.as_f64()).is_some(), "X has ts");
+                assert!(e.get("dur").and_then(|d| d.as_f64()).is_some(), "X has dur");
+                assert!(e.get("pid").and_then(|p| p.as_f64()).is_some(), "X has pid");
+                if e.get("name").and_then(|n| n.as_str()) == Some("view_change") {
+                    view_change_spans += 1;
+                }
+            }
+            "i" => instants += 1,
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(metadata >= 5, "one track-name record per process");
+    assert!(complete_spans > 0, "spans exported");
+    assert!(view_change_spans > 0, "view-change lineage spans exported");
+    assert!(instants > 0, "journal instants exported");
+
+    assert_breakdowns_complete(sim.obs(), "file_group");
+}
+
+#[test]
+fn enriched_scenario_views_carry_complete_breakdowns() {
+    let (mut sim, pids) = evs_group(21, 4);
+    sim.crash(pids[3]);
+    sim.run_for(SimDuration::from_secs(2));
+    vs_bench::assert_monitor_clean("trace_export_evs", sim.obs());
+    assert_breakdowns_complete(sim.obs(), "evs_group");
+
+    // Enriched stacks additionally reconstruct the e-view; the breakdown
+    // carries that phase too.
+    let journal = sim.obs().journal_snapshot();
+    let spans = sim.obs().spans_snapshot();
+    let mut eview_phases = 0;
+    for p in journal.processes().collect::<Vec<_>>() {
+        for ev in journal.events_for(p) {
+            if let EventKind::GroupView { epoch, .. } = ev.kind {
+                if spans.breakdown(p, epoch).and_then(|b| b.eview_us).is_some() {
+                    eview_phases += 1;
+                }
+            }
+        }
+    }
+    assert!(eview_phases > 0, "e-view reconstruction phase present");
+}

@@ -136,8 +136,8 @@ impl EvsViolation {
     }
 }
 
-/// Renders `violations` together with the last `window` trace events of
-/// each offending process from the shared observability
+/// Renders `violations` together with the causal slice leading to each
+/// offending process' latest event from the shared observability
 /// [`Journal`](vs_obs::Journal); the enriched-layer counterpart of
 /// [`vs_gcs::checker::report_with_trace`].
 pub fn report_with_trace(
@@ -149,8 +149,8 @@ pub fn report_with_trace(
     for (i, v) in violations.iter().enumerate() {
         out.push_str(&format!("violation {}: {v}\n", i + 1));
         for p in v.processes() {
-            out.push_str(&format!("  last {window} trace events at {p}:\n"));
-            for line in journal.format_tail(p.raw(), window).lines() {
+            out.push_str(&format!("  causal slice ({window} events) ending at {p}:\n"));
+            for line in journal.format_causal_slice(p.raw(), window).lines() {
                 out.push_str(&format!("  {line}\n"));
             }
         }

@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 
 use vs_gcs::{GcsConfig, GcsEndpoint, GcsEvent, View, ViewId, Wire};
 use vs_net::{Actor, Context, ProcessId, TimerId, TimerKind};
-use vs_obs::{EventKind, MergeKind, Obs};
+use vs_obs::{fnv1a, EventKind, MergeKind, Obs};
 
 use crate::eview::EView;
 use crate::subview::{SubviewId, SvSetId};
@@ -261,6 +261,57 @@ impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
         self.gcs.is_blocked()
     }
 
+    /// Records the partition arithmetic of the current e-view (EVS 6.3):
+    /// every member sits in exactly one subview, every subview in exactly
+    /// one sv-set, so the summed slot counts must match the distinct counts.
+    fn record_structure(&self, at_us: u64, me: u64) {
+        let vid = self.eview.view().id();
+        let members = self.eview.view().len() as u32;
+        let member_slots: u32 = self.eview.subviews().map(|(_, m)| m.len() as u32).sum();
+        let subviews = self.eview.subviews().count() as u32;
+        let svset_slots: u32 = self.eview.svsets().map(|(_, s)| s.len() as u32).sum();
+        self.obs.with(|s| {
+            s.journal.record(
+                me,
+                at_us,
+                EventKind::EViewStructure {
+                    epoch: vid.epoch,
+                    coord: vid.coordinator.raw(),
+                    members,
+                    member_slots,
+                    subviews,
+                    svset_slots,
+                },
+            );
+        });
+    }
+
+    /// Records an enriched-layer delivery for the monitor's causal-cut
+    /// check (EVS 6.2).
+    fn record_evs_deliver(
+        &self,
+        at_us: u64,
+        me: u64,
+        view: ViewId,
+        sender: ProcessId,
+        seq: u64,
+        eview_seq: u64,
+    ) {
+        self.obs.with(|s| {
+            s.journal.record(
+                me,
+                at_us,
+                EventKind::EvsDeliver {
+                    epoch: view.epoch,
+                    coord: view.coordinator.raw(),
+                    sender: sender.raw(),
+                    seq,
+                    eview_seq,
+                },
+            );
+        });
+    }
+
     /// Multicasts `payload` to the current view.
     pub fn mcast(&mut self, payload: M, ctx: &mut Ctx<'_, M>) {
         let msg = EvsMsg::App {
@@ -341,21 +392,36 @@ impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
                     self.pending_ops.clear();
                     self.applied_seq = 0;
                     self.next_op_seq = 1;
+                    let at_us = ctx.now().as_micros();
+                    let me = ctx.me().raw();
+                    let epoch = view.id().epoch;
+                    // E-view reconstruction rides as a child of the view
+                    // change's root span (closed by the GCS at install; the
+                    // parent link still attributes the phase correctly).
+                    let span = self.obs.span_start(
+                        me,
+                        at_us,
+                        "eview",
+                        self.gcs.last_view_span(),
+                        epoch,
+                    );
                     self.eview = EView::compose(view, &provenance);
                     self.gcs.set_annotation(self.eview.encode_annotation());
+                    self.obs.span_end(span, at_us);
                     self.obs.with(|s| {
                         s.metrics.inc("evs.eviews_composed");
                         s.metrics.add("evs.gated_dropped", dropped as u64);
                         s.journal.record(
-                            ctx.me().raw(),
-                            ctx.now().as_micros(),
+                            me,
+                            at_us,
                             EventKind::EViewApply {
-                                epoch: self.eview.view().id().epoch,
+                                epoch,
                                 subviews: self.eview.subviews().count() as u32,
                                 svsets: self.eview.svsets().count() as u32,
                             },
                         );
                     });
+                    self.record_structure(at_us, me);
                     ctx.output(EvsEvent::ViewChange {
                         eview: self.eview.clone(),
                     });
@@ -375,6 +441,14 @@ impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
         match payload {
             EvsMsg::App { eview_seq, payload } => {
                 if eview_seq <= self.applied_seq {
+                    self.record_evs_deliver(
+                        ctx.now().as_micros(),
+                        ctx.me().raw(),
+                        view,
+                        sender,
+                        seq,
+                        eview_seq,
+                    );
                     ctx.output(EvsEvent::Deliver { view, sender, seq, eview_seq, payload });
                 } else {
                     self.gated.push(GatedMsg { eview_seq, view, sender, seq, payload });
@@ -419,11 +493,24 @@ impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
                 MergeOp::SvSets(_) => MergeKind::SvSet,
                 MergeOp::Subviews(_) => MergeKind::Subview,
             };
+            // The digest lets the monitor check that every member applied
+            // the *same* operation at this slot of the total order (6.1).
+            let digest = fnv1a(format!("{op:?}").as_bytes());
             self.obs.with(|s| {
                 s.metrics.inc("evs.eview_changes_applied");
                 let me = ctx.me().raw();
                 let at = ctx.now().as_micros();
                 s.journal.record(me, at, EventKind::MergeComplete { kind });
+                s.journal.record(
+                    me,
+                    at,
+                    EventKind::EViewOp {
+                        epoch: view_id.epoch,
+                        coord: view_id.coordinator.raw(),
+                        seq,
+                        digest,
+                    },
+                );
                 s.journal.record(
                     me,
                     at,
@@ -434,6 +521,7 @@ impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
                     },
                 );
             });
+            self.record_structure(ctx.now().as_micros(), ctx.me().raw());
             ctx.output(EvsEvent::EViewChange {
                 eview: self.eview.clone(),
                 seq,
@@ -455,6 +543,14 @@ impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
                 ready
             };
             for g in now_ready {
+                self.record_evs_deliver(
+                    ctx.now().as_micros(),
+                    ctx.me().raw(),
+                    g.view,
+                    g.sender,
+                    g.seq,
+                    g.eview_seq,
+                );
                 ctx.output(EvsEvent::Deliver {
                     view: g.view,
                     sender: g.sender,

@@ -95,18 +95,20 @@ impl Violation {
     }
 }
 
-/// Renders `violations` together with the last `window` trace events of
-/// each offending process, pulled from the shared observability
+/// Renders `violations` together with the *causal slice* leading to each
+/// offending process' latest event, pulled from the shared observability
 /// [`Journal`]. This is what the experiment binaries and regression tests
 /// print when [`check`] fails: the bare violation says *what* broke, the
-/// trailing trace window says *what the process was doing* when it broke.
+/// causal slice says *which chain of events across the whole group* led
+/// there — not just the offender's own tail, but everything its vector
+/// clock shows it causally depends on.
 pub fn report_with_trace(violations: &[Violation], journal: &Journal, window: usize) -> String {
     let mut out = String::new();
     for (i, v) in violations.iter().enumerate() {
         out.push_str(&format!("violation {}: {v}\n", i + 1));
         for p in v.processes() {
-            out.push_str(&format!("  last {window} trace events at {p}:\n"));
-            for line in journal.format_tail(p.raw(), window).lines() {
+            out.push_str(&format!("  causal slice ({window} events) ending at {p}:\n"));
+            for line in journal.format_causal_slice(p.raw(), window).lines() {
                 out.push_str(&format!("  {line}\n"));
             }
         }

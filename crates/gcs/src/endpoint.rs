@@ -25,7 +25,7 @@ use vs_membership::{
     EstimatorConfig, FailureDetector, MembershipEstimator, View, ViewId,
 };
 use vs_net::{Actor, Context, ProcessId, TimerId, TimerKind};
-use vs_obs::{EventKind, Obs};
+use vs_obs::{EventKind, Obs, SpanId};
 
 use crate::events::{GcsEvent, Provenance};
 use crate::flush::{flush_deliveries, FlushPayload};
@@ -127,6 +127,9 @@ pub struct GcsEndpoint<M> {
     /// Per-sender stable frontier last observed, for edge-triggered
     /// `StabilityAdvance` trace events.
     stab_floor: BTreeMap<ProcessId, u64>,
+    /// Open `flush` span of the in-flight view change (child of the
+    /// agreement machine's `view_change` root).
+    span_flush: Option<SpanId>,
 }
 
 type Ctx<'a, M> = Context<'a, Wire<M>, GcsEvent<M>>;
@@ -161,6 +164,7 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
             left: false,
             obs: Obs::new(),
             stab_floor: BTreeMap::new(),
+            span_flush: None,
         }
     }
 
@@ -206,6 +210,12 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         self.left
     }
 
+    /// The `view_change` root span of the most recently installed view.
+    /// The enriched layer parents its `eview` reconstruction span on it.
+    pub fn last_view_span(&self) -> Option<SpanId> {
+        self.agreement.last_view_span()
+    }
+
     /// Multicasts `payload` to the current view (including the local
     /// process). If a view change is in progress the message is queued and
     /// multicast in the next view — it will be delivered in exactly one
@@ -247,7 +257,19 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         let mut msg = ViewMsg::new(self.view.id(), self.me, self.my_seq, payload);
         msg.vc = self.order_buf.make_clock(self.me, self.my_seq);
         self.sent.insert(self.my_seq, msg.clone());
-        self.obs.inc("gcs.mcasts");
+        let vid = self.view.id();
+        self.obs.with(|st| {
+            st.metrics.inc("gcs.mcasts");
+            st.journal.record(
+                self.me.raw(),
+                ctx.now().as_micros(),
+                EventKind::McastSent {
+                    epoch: vid.epoch,
+                    coord: vid.coordinator.raw(),
+                    seq: self.my_seq,
+                },
+            );
+        });
         ctx.output(GcsEvent::Sent {
             view: self.view.id(),
             seq: self.my_seq,
@@ -338,7 +360,19 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         if !self.delivered.insert(msg.id) {
             return;
         }
-        self.obs.inc("gcs.delivered");
+        self.obs.with(|st| {
+            st.metrics.inc("gcs.delivered");
+            st.journal.record(
+                self.me.raw(),
+                ctx.now().as_micros(),
+                EventKind::McastDeliver {
+                    epoch: msg.view.epoch,
+                    coord: msg.view.coordinator.raw(),
+                    sender: msg.id.sender.raw(),
+                    seq: msg.id.seq,
+                },
+            );
+        });
         ctx.output(GcsEvent::Deliver {
             view: msg.view,
             sender: msg.id.sender,
@@ -388,6 +422,10 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         self.fd.poll_transitions(now, &self.obs);
         let trusted = self.fd.trusted(now);
         if let Some(candidate) = self.estimator.observe(trusted, now) {
+            // Anchor the `detect` span of the coming lineage at the moment
+            // the estimator settles on a changed membership — also at
+            // non-coordinators, whose engagement only starts at Prepare.
+            self.agreement.note_detection(now);
             if candidate.iter().next() == Some(&self.me) {
                 self.estimator.agreement_started();
                 let actions = self.agreement.start(candidate, now);
@@ -440,6 +478,15 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
                             self.estimator.agreement_started();
                         }
                         ctx.output(GcsEvent::Blocked);
+                        if self.span_flush.is_none() {
+                            self.span_flush = Some(self.obs.span_start(
+                                self.me.raw(),
+                                ctx.now().as_micros(),
+                                "flush",
+                                self.agreement.current_view_span(),
+                                proposal.epoch,
+                            ));
+                        }
                         let mut unstable: Vec<ViewMsg<M>> =
                             self.received.values().cloned().collect();
                         unstable.sort_by_key(|m| m.flush_key());
@@ -465,6 +512,9 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
                     }
                     AgreementAction::Abandoned => {
                         self.estimator.agreement_failed();
+                        if let Some(f) = self.span_flush.take() {
+                            self.obs.span_end(f, ctx.now().as_micros());
+                        }
                         ctx.output(GcsEvent::FlushAbandoned);
                         // Replay messages that arrived during the aborted
                         // flush: the view did not change, they are live.
@@ -489,6 +539,17 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
     ) {
         // Synchronised deliveries of the old view, before anything else.
         let prev = self.view.id();
+        let now_us = ctx.now().as_micros();
+        let epoch = view.id().epoch;
+        // The agreement machine already closed detect/agree and handed us
+        // the lineage root; flush covers the synchronised deliveries, and a
+        // commit that skipped the local block phase still gets a
+        // zero-length flush so every install has a complete breakdown.
+        let root = self.agreement.last_view_span();
+        let flush = self.span_flush.take().unwrap_or_else(|| {
+            self.obs
+                .span_start(self.me.raw(), now_us, "flush", root, epoch)
+        });
         let deliveries = flush_deliveries(prev, &self.delivered, &replies);
         self.obs.with(|st| {
             st.metrics.inc("gcs.views_installed");
@@ -497,6 +558,9 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         for msg in deliveries {
             self.deliver_now(msg, ctx);
         }
+        self.obs.span_retag_epoch(flush, epoch);
+        self.obs.span_end(flush, now_us);
+        let inst = self.obs.span_start(self.me.raw(), now_us, "install", root, epoch);
         // Reset per-view multicast state.
         self.view = view.clone();
         self.my_seq = 0;
@@ -518,6 +582,24 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
                 annotation: payload.annotation.clone(),
             })
             .collect();
+        // The group-level view event is recorded *after* the flush
+        // deliveries above, so the monitor's delivery-set freeze for the
+        // old view observes the complete synchronised closure.
+        self.obs.with(|st| {
+            st.journal.record(
+                self.me.raw(),
+                now_us,
+                EventKind::GroupView {
+                    epoch,
+                    coord: view.id().coordinator.raw(),
+                    members: view.len() as u32,
+                },
+            );
+        });
+        self.obs.span_end(inst, now_us);
+        if let Some(r) = root {
+            self.obs.span_end(r, now_us);
+        }
         ctx.output(GcsEvent::ViewChange { view, provenance });
         // Multicasts queued during the block phase go out in the new view.
         for payload in std::mem::take(&mut self.pending_out) {

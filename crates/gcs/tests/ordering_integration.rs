@@ -13,7 +13,7 @@ fn group(
     ordering: OrderingMode,
     link: LinkConfig,
 ) -> (Sim<GcsEndpoint<String>>, Vec<ProcessId>) {
-    let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, SimConfig { link });
+    let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, SimConfig { link, ..SimConfig::default() });
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();

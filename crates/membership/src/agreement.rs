@@ -30,7 +30,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use vs_net::{ProcessId, SimDuration, SimTime};
-use vs_obs::{EventKind, Obs};
+use vs_obs::{EventKind, Obs, SpanId};
 
 use crate::view::{View, ViewId};
 
@@ -177,6 +177,18 @@ pub struct AgreementMachine<P> {
     /// Latest `now` passed to any entry point; install decisions triggered
     /// by calls without a clock (e.g. `provide_payload`) are stamped with it.
     clock: SimTime,
+    /// When the driver first noted a suspicion feeding the next lineage;
+    /// anchors the `detect` span (engagement alone would under-count).
+    detect_since: Option<SimTime>,
+    /// Open `view_change` root span of the in-flight lineage.
+    span_root: Option<SpanId>,
+    /// Closed `detect` child (kept so install can retag its epoch).
+    span_detect: Option<SpanId>,
+    /// Open `agree` child, closed and retagged at install.
+    span_agree: Option<SpanId>,
+    /// Root span of the most recently installed view; the driver parents
+    /// its `flush`/`install` spans on it and closes it.
+    last_root: Option<SpanId>,
 }
 
 impl<P: Clone + fmt::Debug> AgreementMachine<P> {
@@ -192,7 +204,88 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
             engaged: None,
             obs: Obs::new(),
             clock: SimTime::ZERO,
+            detect_since: None,
+            span_root: None,
+            span_detect: None,
+            span_agree: None,
+            last_root: None,
         }
+    }
+
+    /// Notes that the failure detector (or membership estimator) raised the
+    /// suspicion that will feed the next view change. Anchors the `detect`
+    /// span; idempotent until the next install consumes it.
+    pub fn note_detection(&mut self, now: SimTime) {
+        self.clock = self.clock.max(now);
+        if self.detect_since.is_none() {
+            self.detect_since = Some(now);
+        }
+    }
+
+    /// The still-open `view_change` root span of the most recently installed
+    /// view. The driver parents its `flush`/`install` (and `eview`) spans on
+    /// it and is responsible for closing it.
+    pub fn last_view_span(&self) -> Option<SpanId> {
+        self.last_root
+    }
+
+    /// The root span of the lineage currently in flight, if engaged. The
+    /// driver parents its `flush` span on it while the block phase runs.
+    pub fn current_view_span(&self) -> Option<SpanId> {
+        self.span_root
+    }
+
+    /// Opens the root/detect/agree spans when a fresh lineage engages.
+    fn open_spans(&mut self, epoch: u64, now: SimTime) {
+        if self.span_root.is_some() {
+            return; // retry of the same lineage keeps the original spans
+        }
+        let started = self.detect_since.unwrap_or(now);
+        let root =
+            self.obs
+                .span_start(self.me.raw(), started.as_micros(), "view_change", None, epoch);
+        let detect =
+            self.obs
+                .span_start(self.me.raw(), started.as_micros(), "detect", Some(root), epoch);
+        self.obs.span_end(detect, now.as_micros());
+        let agree = self
+            .obs
+            .span_start(self.me.raw(), now.as_micros(), "agree", Some(root), epoch);
+        self.span_root = Some(root);
+        self.span_detect = Some(detect);
+        self.span_agree = Some(agree);
+    }
+
+    /// Closes the lineage spans at install time, retagging them with the
+    /// epoch that actually got installed. A commit received without a local
+    /// engagement still produces a complete (zero-length) breakdown.
+    fn close_spans_for_install(&mut self, epoch: u64, now: SimTime) {
+        if self.span_root.is_none() {
+            self.open_spans(epoch, now);
+        }
+        let root = self.span_root.take().expect("opened above");
+        self.obs.span_retag_epoch(root, epoch);
+        if let Some(d) = self.span_detect.take() {
+            self.obs.span_retag_epoch(d, epoch);
+        }
+        if let Some(a) = self.span_agree.take() {
+            self.obs.span_retag_epoch(a, epoch);
+            self.obs.span_end(a, now.as_micros());
+        }
+        self.detect_since = None;
+        self.last_root = Some(root);
+    }
+
+    /// Closes the lineage spans when the engagement is abandoned.
+    fn close_spans_for_abandon(&mut self, now: SimTime) {
+        if let Some(a) = self.span_agree.take() {
+            self.obs.span_end(a, now.as_micros());
+        }
+        if let Some(r) = self.span_root.take() {
+            self.obs.span_end(r, now.as_micros());
+        }
+        self.span_detect = None;
+        self.detect_since = None;
     }
 
     /// Routes this machine's trace events and metrics into a shared
@@ -252,6 +345,7 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
             awaiting_payload: true,
             since,
         });
+        self.open_spans(proposal.epoch, now);
         self.obs.with(|s| {
             s.metrics.inc("membership.view_changes_started");
             s.journal.record(
@@ -351,6 +445,7 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
         if let Some(eng) = &self.engaged {
             if eng.coordinator != self.me && now >= eng.deadline {
                 self.engaged = None;
+                self.close_spans_for_abandon(now);
                 self.obs.inc("membership.agreements_abandoned");
                 actions.push(AgreementAction::Abandoned);
             }
@@ -396,6 +491,7 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
             awaiting_payload: true,
             since,
         });
+        self.open_spans(proposal.epoch, now);
         self.obs.with(|s| {
             s.metrics.inc("membership.view_changes_started");
             s.journal.record(
@@ -504,6 +600,7 @@ impl<P: Clone + fmt::Debug> AgreementMachine<P> {
         let engaged_since = self.engaged.take().map(|e| e.since);
         self.coord = None;
         let now = self.clock;
+        self.close_spans_for_install(view.id().epoch, now);
         self.obs.with(|s| {
             s.metrics.inc("membership.views_installed");
             if let Some(since) = engaged_since {

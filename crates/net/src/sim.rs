@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
-use vs_obs::{DropReason, EventKind, Obs};
+use vs_obs::{DropReason, EventKind, Obs, VClock};
 
 use crate::actor::{Actor, Context, TimerId, TimerKind};
 use crate::fault::{FaultOp, FaultScript};
@@ -20,6 +20,11 @@ use crate::topology::Topology;
 pub struct SimConfig {
     /// Link delay and loss model.
     pub link: LinkConfig,
+    /// Enables the online invariant monitor on the simulator's journal
+    /// (see [`vs_obs::monitor`]): every recorded event streams through
+    /// incremental automata for the VS/EVS safety properties, and the
+    /// first violation is captured with its causal slice.
+    pub monitor: bool,
 }
 
 /// The deterministic discrete-event simulator.
@@ -45,6 +50,7 @@ pub struct Sim<A: Actor> {
     outputs: Vec<(SimTime, ProcessId, A::Output)>,
     stats: NetStats,
     obs: Obs,
+    monitor: bool,
     recovery: Option<Box<dyn FnMut(ProcessId, SiteId) -> A>>,
 }
 
@@ -65,6 +71,9 @@ enum Queued<M> {
         from: ProcessId,
         to: ProcessId,
         msg: M,
+        /// The sender's vector clock at send time, piggybacked so the
+        /// receiver's journal clock can merge it at delivery.
+        stamp: VClock,
     },
     Timer {
         pid: ProcessId,
@@ -97,6 +106,11 @@ impl<A: Actor> Sim<A> {
         let mut rng = DetRng::seed_from(seed);
         let link_rng = rng.fork();
         let _ = link_rng; // links share the main stream; forking reserved for workloads
+        let obs = Obs::new();
+        if config.monitor {
+            obs.enable_monitor();
+        }
+        let monitor = config.monitor;
         Sim {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
@@ -112,7 +126,8 @@ impl<A: Actor> Sim<A> {
             cancelled: BTreeSet::new(),
             outputs: Vec::new(),
             stats: NetStats::default(),
-            obs: Obs::new(),
+            obs,
+            monitor,
             recovery: None,
         }
     }
@@ -125,8 +140,13 @@ impl<A: Actor> Sim<A> {
     }
 
     /// Replaces the observability handle, e.g. to share one registry
-    /// across several simulators in an experiment.
+    /// across several simulators in an experiment. If the simulator was
+    /// configured with [`SimConfig::monitor`], the online invariant
+    /// monitor is enabled on the replacement handle too.
     pub fn set_obs(&mut self, obs: Obs) {
+        if self.monitor {
+            obs.enable_monitor();
+        }
         self.obs = obs;
     }
 
@@ -322,7 +342,9 @@ impl<A: Actor> Sim<A> {
         debug_assert!(entry.at >= self.now, "time ran backwards");
         self.now = entry.at;
         match entry.ev {
-            Queued::Deliver { from, to, msg } => self.dispatch_delivery(from, to, msg),
+            Queued::Deliver { from, to, msg, stamp } => {
+                self.dispatch_delivery(from, to, msg, stamp)
+            }
             Queued::Timer { pid, id, kind } => self.dispatch_timer(pid, id, kind),
             Queued::Fault(op) => self.apply_fault(op),
         }
@@ -372,13 +394,16 @@ impl<A: Actor> Sim<A> {
     fn route(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) {
         self.stats.sent += 1;
         let now_us = self.now.as_micros();
-        self.obs.with(|o| {
+        // The stamp carried by the message is the sender's clock *after*
+        // recording the send, so the delivery event causally follows it.
+        let stamp = self.obs.with(|o| {
             o.metrics.inc("net.sent");
             o.journal.record(
                 from.raw(),
                 now_us,
                 EventKind::MsgSend { from: from.raw(), to: to.raw() },
             );
+            o.journal.clock_of(from.raw())
         });
         // Send-time partition check: a sender in a different component
         // cannot inject anything into the receiver's component.
@@ -393,7 +418,7 @@ impl<A: Actor> Sim<A> {
                     o.metrics
                         .observe("net.link_delay_us", at.as_micros() - now_us)
                 });
-                self.push_event(at, Queued::Deliver { from, to, msg })
+                self.push_event(at, Queued::Deliver { from, to, msg, stamp })
             }
             None => {
                 self.stats.dropped_loss += 1;
@@ -419,7 +444,7 @@ impl<A: Actor> Sim<A> {
         });
     }
 
-    fn dispatch_delivery(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg) {
+    fn dispatch_delivery(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg, stamp: VClock) {
         let alive = self.procs.get(&to).map(|e| e.alive).unwrap_or(false);
         if !alive {
             self.stats.dropped_crashed += 1;
@@ -437,6 +462,9 @@ impl<A: Actor> Sim<A> {
         let now_us = self.now.as_micros();
         self.obs.with(|o| {
             o.metrics.inc("net.delivered");
+            // Merge the piggybacked send-time stamp first so the delivery
+            // event (and everything after it) causally follows the send.
+            o.journal.merge_clock(to.raw(), &stamp);
             o.journal.record(
                 to.raw(),
                 now_us,

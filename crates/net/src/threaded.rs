@@ -118,13 +118,19 @@ where
                     }
                     RouterEvent::Send { from, to, msg } => {
                         let at_us = epoch.elapsed().as_micros() as u64;
-                        router_obs.with(|o| {
+                        // The sender's clock right after the send record is
+                        // piggybacked to the delivery record below. Coarser
+                        // than the simulator's per-message stamp (the router
+                        // serialises sends), but still cycle-free: the merge
+                        // happens strictly after the send was journalled.
+                        let stamp = router_obs.with(|o| {
                             o.metrics.inc("net.sent");
                             o.journal.record(
                                 from.raw(),
                                 at_us,
                                 EventKind::MsgSend { from: from.raw(), to: to.raw() },
                             );
+                            o.journal.clock_of(from.raw())
                         });
                         if topo.read().expect("topology lock").reachable(from, to) {
                             if let Some(inbox) = inboxes.get(&to) {
@@ -133,6 +139,7 @@ where
                                 router_obs.with(|o| {
                                     if delivered {
                                         o.metrics.inc("net.delivered");
+                                        o.journal.merge_clock(to.raw(), &stamp);
                                         o.journal.record(
                                             to.raw(),
                                             at_us,

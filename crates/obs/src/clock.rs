@@ -1,0 +1,159 @@
+//! Per-process vector clocks stamped onto every trace event.
+//!
+//! The paper's guarantees are *causal* statements — "delivered in the same
+//! view", "before the next e-view change" — so the journal needs more than
+//! wall or virtual time to order events across processes. Each process
+//! carries a [`VClock`]; the journal ticks the recording process's own
+//! component on every append, and the transports merge the sender's clock
+//! into the receiver's at delivery (the stamp piggybacks on message
+//! metadata). The resulting invariant: event `f` at process `p` causally
+//! precedes event `e` iff `e.clock[p] >= f.clock[p]` — because `f`'s own
+//! component counts `f` itself, and components only flow forward along
+//! messages.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::json::Obj;
+
+/// A sparse vector clock: absent components are zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VClock {
+    entries: BTreeMap<u64, u64>,
+}
+
+impl VClock {
+    /// The all-zero clock.
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// The component for `process` (zero when absent).
+    pub fn get(&self, process: u64) -> u64 {
+        self.entries.get(&process).copied().unwrap_or(0)
+    }
+
+    /// Increments `process`'s own component, returning the new value.
+    pub fn tick(&mut self, process: u64) -> u64 {
+        let c = self.entries.entry(process).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Componentwise maximum with `other` (message receipt).
+    pub fn merge(&mut self, other: &VClock) {
+        for (&p, &c) in &other.entries {
+            let slot = self.entries.entry(p).or_insert(0);
+            if c > *slot {
+                *slot = c;
+            }
+        }
+    }
+
+    /// Whether `self >= other` componentwise (everything `other` has seen,
+    /// `self` has seen too).
+    pub fn dominates(&self, other: &VClock) -> bool {
+        other.entries.iter().all(|(&p, &c)| self.get(p) >= c)
+    }
+
+    /// Strict happens-before: `self < other` in the componentwise order.
+    pub fn happened_before(&self, other: &VClock) -> bool {
+        other.dominates(self) && self != other
+    }
+
+    /// Neither clock dominates the other.
+    pub fn concurrent(&self, other: &VClock) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+
+    /// Whether no component has ever ticked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates non-zero components as `(process, count)`, ascending.
+    pub fn components(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.entries.iter().map(|(&p, &c)| (p, c))
+    }
+
+    /// Renders the clock as a JSON object keyed by process id.
+    pub fn to_json(&self) -> String {
+        let mut obj = Obj::new();
+        for (&p, &c) in &self.entries {
+            obj = obj.u64(&p.to_string(), c);
+        }
+        obj.finish()
+    }
+}
+
+/// FNV-1a over `bytes`: the journal's cheap deterministic digest, used to
+/// compare "the same operation" across processes without shipping payloads.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get_track_own_component() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        assert_eq!(c.tick(3), 1);
+        assert_eq!(c.tick(3), 2);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(4), 0);
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = VClock::new();
+        a.tick(1);
+        a.tick(1);
+        let mut b = VClock::new();
+        b.tick(1);
+        b.tick(2);
+        a.merge(&b);
+        assert_eq!(a.get(1), 2);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn happens_before_is_strict_and_concurrency_is_symmetric() {
+        let mut a = VClock::new();
+        a.tick(1);
+        let mut b = a.clone();
+        b.tick(2);
+        assert!(a.happened_before(&b));
+        assert!(!b.happened_before(&a));
+        assert!(!a.happened_before(&a));
+
+        let mut c = VClock::new();
+        c.tick(3);
+        assert!(b.concurrent(&c));
+        assert!(c.concurrent(&b));
+    }
+
+    #[test]
+    fn json_lists_components_sorted() {
+        let mut c = VClock::new();
+        c.tick(10);
+        c.tick(2);
+        assert_eq!(c.to_json(), r#"{"2":1,"10":1}"#);
+        assert_eq!(VClock::new().to_json(), "{}");
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"view"), fnv1a(b"view"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Global, causally-consistent trace merge.
+//!
+//! Per-process journals are rings; cross-process questions ("what led to
+//! this install?") need one sequence that respects the happens-before
+//! order carried by the vector clocks. [`GlobalTrace::merge`] produces it:
+//! a topological sort on the clocks with a deterministic tie-break on
+//! `(time, process, seq)` for concurrent events, so the same journal
+//! always merges to the same sequence. [`causal_cone`] restricts a trace
+//! to the causal past of one anchor event — the shape violation reports
+//! print instead of a single-process tail.
+//!
+//! Eviction tolerance: a ring may have dropped the oldest events of a
+//! process, so a dependency can point at an event that is no longer
+//! retained. The merge treats evicted prefixes as already emitted; the
+//! retained part of each ring is contiguous, which keeps the order exact
+//! for everything still in memory.
+
+use std::collections::BTreeMap;
+
+use crate::trace::{Journal, TraceEvent};
+
+/// One causally-consistent sequence over every retained event.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GlobalTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl GlobalTrace {
+    /// Merges the per-process rings of `journal` into one sequence.
+    pub fn merge(journal: &Journal) -> GlobalTrace {
+        GlobalTrace {
+            events: causal_order(journal.all()),
+        }
+    }
+
+    /// The merged events, causal order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of merged events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Verifies the sequence respects happens-before: per-process events
+    /// appear in their own order, and no event appears before a retained
+    /// cross-process predecessor.
+    pub fn is_causally_consistent(&self) -> bool {
+        // All self-components present per process, sorted, to distinguish
+        // "dependency evicted" from "dependency not yet emitted".
+        let mut present: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for e in &self.events {
+            present.entry(e.process).or_default().push(e.clock.get(e.process));
+        }
+        for v in present.values_mut() {
+            v.sort_unstable();
+        }
+        // emitted[q] = highest self-component of q emitted so far.
+        let mut emitted: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in &self.events {
+            let own = e.clock.get(e.process);
+            if own <= emitted.get(&e.process).copied().unwrap_or(0) {
+                return false; // out of order within the process
+            }
+            for (q, c) in e.clock.components() {
+                if q == e.process {
+                    continue;
+                }
+                let done = emitted.get(&q).copied().unwrap_or(0);
+                let outstanding = present
+                    .get(&q)
+                    .map(|v| v.iter().any(|&x| x <= c && x > done))
+                    .unwrap_or(false);
+                if outstanding {
+                    return false; // a retained predecessor comes later
+                }
+            }
+            emitted.insert(e.process, own);
+        }
+        true
+    }
+}
+
+/// Topologically sorts `events` by their vector clocks, breaking ties on
+/// `(at_us, process, seq)`. The result is deterministic for a given input
+/// set regardless of the input order.
+pub fn causal_order(events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+    // Partition into per-process queues; within a process the clock's own
+    // component is strictly increasing with seq, so seq order is ring order.
+    let mut queues: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+    for e in events {
+        queues.entry(e.process).or_default().push(e);
+    }
+    for q in queues.values_mut() {
+        q.sort_by_key(|e| e.seq);
+    }
+    let procs: Vec<u64> = queues.keys().copied().collect();
+    let mut heads: BTreeMap<u64, usize> = procs.iter().map(|&p| (p, 0)).collect();
+    let total: usize = queues.values().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+
+    // A head is ready when, for every foreign component (q, c) of its
+    // clock, process q has no unemitted retained event with self-component
+    // <= c (evicted events count as emitted).
+    let head_of = |queues: &BTreeMap<u64, Vec<TraceEvent>>,
+                   heads: &BTreeMap<u64, usize>,
+                   p: u64|
+     -> Option<TraceEvent> {
+        queues.get(&p).and_then(|q| q.get(heads[&p]).cloned())
+    };
+    while out.len() < total {
+        let mut best: Option<(u64, u64, u64, u64)> = None; // (at, proc, seq) + proc key
+        let mut fallback: Option<(u64, u64, u64, u64)> = None;
+        for &p in &procs {
+            let e = match head_of(&queues, &heads, p) {
+                Some(e) => e,
+                None => continue,
+            };
+            let key = (e.at_us, e.process, e.seq, p);
+            if fallback.map(|f| key < f).unwrap_or(true) {
+                fallback = Some(key);
+            }
+            let ready = e.clock.components().all(|(q, c)| {
+                q == e.process
+                    || head_of(&queues, &heads, q)
+                        .map(|h| h.clock.get(q) > c)
+                        .unwrap_or(true)
+            });
+            if ready && best.map(|b| key < b).unwrap_or(true) {
+                best = Some(key);
+            }
+        }
+        // `fallback` only fires on malformed stamps (a cycle cannot arise
+        // from tick-and-merge clocks); it guarantees termination anyway.
+        let (_, _, _, p) = match best.or(fallback) {
+            Some(k) => k,
+            None => break,
+        };
+        let e = head_of(&queues, &heads, p).expect("head exists");
+        *heads.get_mut(&p).expect("known proc") += 1;
+        out.push(e);
+    }
+    out
+}
+
+/// The causal past of `anchor` within `events` (anchor included), in the
+/// same deterministic causal order as [`causal_order`].
+///
+/// Membership test: `f` is in the cone iff the anchor's clock has seen
+/// `f`'s own component, i.e. `anchor.clock[f.process] >= f.clock[f.process]`.
+pub fn causal_cone(events: &[TraceEvent], anchor: &TraceEvent) -> Vec<TraceEvent> {
+    let cone: Vec<TraceEvent> = events
+        .iter()
+        .filter(|f| anchor.clock.get(f.process) >= f.clock.get(f.process) && !f.clock.is_empty())
+        .cloned()
+        .collect();
+    causal_order(cone)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EventKind;
+
+    /// Builds a journal with a send at p1 merged into p2, plus an
+    /// unrelated event at p3.
+    fn sample() -> Journal {
+        let mut j = Journal::default();
+        j.record(1, 10, EventKind::MsgSend { from: 1, to: 2 });
+        let stamp = j.clock_of(1);
+        j.record(3, 11, EventKind::TimerFire { kind: 9 });
+        j.merge_clock(2, &stamp);
+        j.record(2, 15, EventKind::MsgDeliver { from: 1, to: 2 });
+        j
+    }
+
+    #[test]
+    fn merge_respects_happens_before() {
+        let j = sample();
+        let g = GlobalTrace::merge(&j);
+        assert_eq!(g.len(), 3);
+        assert!(g.is_causally_consistent());
+        let send_pos = g.events().iter().position(|e| e.process == 1).unwrap();
+        let deliver_pos = g.events().iter().position(|e| e.process == 2).unwrap();
+        assert!(send_pos < deliver_pos, "send precedes its delivery");
+    }
+
+    #[test]
+    fn ties_break_on_time_then_process() {
+        let mut j = Journal::default();
+        j.record(5, 100, EventKind::TimerFire { kind: 0 });
+        j.record(4, 100, EventKind::TimerFire { kind: 0 });
+        let g = GlobalTrace::merge(&j);
+        let procs: Vec<u64> = g.events().iter().map(|e| e.process).collect();
+        assert_eq!(procs, vec![4, 5], "concurrent same-time events sort by process");
+    }
+
+    #[test]
+    fn cone_contains_the_cross_process_past_only() {
+        let j = sample();
+        let all = j.all();
+        let anchor = all.iter().find(|e| e.process == 2).unwrap();
+        let cone = causal_cone(&all, anchor);
+        let procs: Vec<u64> = cone.iter().map(|e| e.process).collect();
+        assert_eq!(procs, vec![1, 2], "p3's concurrent event is outside the cone");
+    }
+
+    #[test]
+    fn merge_survives_eviction_of_dependencies() {
+        let mut j = Journal::with_capacity(2);
+        for i in 0..6 {
+            j.record(1, i, EventKind::TimerFire { kind: 0 });
+        }
+        let stamp = j.clock_of(1);
+        j.merge_clock(2, &stamp);
+        j.record(2, 10, EventKind::MsgDeliver { from: 1, to: 2 });
+        let g = GlobalTrace::merge(&j);
+        // 2 retained at p1 + 1 at p2; the evicted prefix doesn't wedge it.
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.events().last().unwrap().process, 2);
+    }
+}

@@ -1,9 +1,14 @@
-//! A minimal hand-rolled JSON writer.
+//! A minimal hand-rolled JSON writer and parser.
 //!
 //! The workspace builds without crates.io access, so instead of pulling in
 //! `serde_json` the snapshot types serialize themselves through these two
 //! small builders. Output is deterministic: object fields appear in
 //! insertion order and the metric maps iterate sorted (`BTreeMap`).
+//!
+//! [`parse`] is the matching reader: a recursive-descent parser into
+//! [`Value`], used to validate that exported documents (metrics snapshots,
+//! Chrome traces) round-trip, and by tests that pick exported numbers back
+//! apart.
 
 /// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
 pub fn escape(s: &str) -> String {
@@ -135,6 +140,316 @@ impl Arr {
     }
 }
 
+/// A parsed JSON value.
+///
+/// Numbers are kept as `f64` — every number this workspace writes fits
+/// (counters stay far below 2^53 in any realistic run).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, fields in document order (duplicates kept as written).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object (first occurrence); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What the parser expected.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(s: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    p.ws();
+    let v = p.value(0)?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> ParseError {
+        ParseError { at: self.i, msg }
+    }
+
+    fn ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8, msg: &'static str) -> Result<(), ParseError> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(c) if *c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.ws();
+            let v = self.value(depth + 1)?;
+            fields.push((key, v));
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.eat(b'[', "expected '['")?;
+        let mut xs = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Value::Arr(xs));
+        }
+        loop {
+            self.ws();
+            xs.push(self.value(depth + 1)?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(xs));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let c = *self.b.get(self.i).ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.i += 1;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let c = *self.b.get(self.i).ok_or_else(|| self.err("unterminated string"))?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.b.get(self.i).ok_or_else(|| self.err("truncated escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if self.b.get(self.i) == Some(&b'\\')
+                                    && self.b.get(self.i + 1) == Some(&b'u')
+                                {
+                                    self.i += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ if c < 0x20 => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Re-assemble UTF-8 multibyte sequences byte-faithfully:
+                    // the input is a &str, so this is always valid.
+                    let start = self.i - 1;
+                    let mut end = self.i;
+                    while end < self.b.len() && (self.b[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.b[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = chunk.chars().next().ok_or_else(|| self.err("invalid UTF-8"))?;
+                    out.push(ch);
+                    self.i = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .map(|c| c.is_ascii_digit() || *c == b'.' || *c == b'e' || *c == b'E' || *c == b'+' || *c == b'-')
+            .unwrap_or(false)
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| self.err("invalid number"))?;
+        let n: f64 = text.parse().map_err(|_| {
+            ParseError { at: start, msg: "invalid number" }
+        })?;
+        if !n.is_finite() {
+            return Err(ParseError { at: start, msg: "number out of range" });
+        }
+        Ok(Value::Num(n))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +469,58 @@ mod tests {
             .raw("xs", &inner)
             .finish();
         assert_eq!(s, r#"{"name":"x\"y","n":7,"xs":[1,2]}"#);
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let doc = Obj::new()
+            .str("name", "x\"y\nz")
+            .u64("n", 7)
+            .i64("neg", -3)
+            .f64("f", 1.5)
+            .raw("xs", &Arr::new().u64(1).raw("null").finish())
+            .finish();
+        let v = parse(&doc).expect("writer output parses");
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("x\"y\nz"));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("neg").and_then(Value::as_f64), Some(-3.0));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(1.5));
+        let xs = v.get("xs").and_then(Value::as_arr).unwrap();
+        assert_eq!(xs.len(), 2);
+        assert!(xs[1].is_null());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = parse(r#"["\u0041\u00e9", "\ud83d\ude00", "π", true, false]"#).unwrap();
+        let xs = v.as_arr().unwrap();
+        assert_eq!(xs[0].as_str(), Some("Aé"));
+        assert_eq!(xs[1].as_str(), Some("😀"));
+        assert_eq!(xs[2].as_str(), Some("π"));
+        assert_eq!(xs[3].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "[1] garbage",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "01x",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_everywhere() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] , \"b\" : { } } \n").unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_arr).map(<[Value]>::len), Some(2));
+        assert!(matches!(v.get("b"), Some(Value::Obj(f)) if f.is_empty()));
     }
 }

@@ -3,12 +3,19 @@
 //! A zero-external-dependency observability substrate for the
 //! view-synchrony stack: a [`MetricsRegistry`] of counters, gauges and
 //! fixed-bucket latency histograms, plus a structured [`Journal`] of
-//! [`TraceEvent`]s (virtual-time-stamped, globally sequenced, bounded ring
-//! buffer per process). The paper's quantitative claims — §5's
-//! message-complexity comparison, §6.2's "undisturbed internal operations"
-//! — become measurable through this layer, and the safety checkers use the
-//! journal to print the trailing protocol activity of an offending process
-//! instead of a bare violation enum.
+//! [`TraceEvent`]s (virtual-time-stamped, globally sequenced,
+//! vector-clock-stamped, bounded ring buffer per process). The paper's
+//! quantitative claims — §5's message-complexity comparison, §6.2's
+//! "undisturbed internal operations" — become measurable through this
+//! layer, and the safety checkers use the journal to print the *causal
+//! slice* leading to an offending event instead of a bare violation enum.
+//!
+//! Version 2 adds the causal toolkit on top: [`VClock`] stamps maintained
+//! by the transports ([`clock`]), a [`span`] log decomposing every view
+//! change into detect/agree/flush/install phases, a causally consistent
+//! [`global`] trace merge with Chrome-trace export ([`trace_export`]),
+//! and a streaming [`monitor`] that checks VS Properties 2.1–2.3 and EVS
+//! Properties 6.1–6.3 while the system runs.
 //!
 //! Layers share a single [`Obs`] handle (a cheap clone around a mutex), so
 //! the simulator, the failure detector, the group-communication endpoint
@@ -31,24 +38,37 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
+pub mod global;
 pub mod json;
 mod metrics;
+pub mod monitor;
+pub mod span;
 mod trace;
+#[path = "export.rs"]
+pub mod trace_export;
 
+pub use clock::{fnv1a, VClock};
+pub use global::GlobalTrace;
 pub use metrics::{Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS_US};
+pub use monitor::{Monitor, MonitorReport, MonitorViolation, MAX_MONITOR_REPORTS};
+pub use span::{Span, SpanId, SpanLog, ViewBreakdown, DEFAULT_SPAN_CAPACITY};
 pub use trace::{
     DropReason, EventKind, Journal, MergeKind, TraceEvent, DEFAULT_JOURNAL_CAPACITY,
 };
 
 use std::sync::{Arc, Mutex};
 
-/// Everything a process stack records: metrics plus the trace journal.
+/// Everything a process stack records: metrics, the trace journal, and
+/// the view-change span log.
 #[derive(Debug, Default, Clone)]
 pub struct ObsState {
     /// The metrics registry.
     pub metrics: MetricsRegistry,
     /// The trace journal.
     pub journal: Journal,
+    /// The span log.
+    pub spans: SpanLog,
 }
 
 /// A shared, cheaply clonable observability handle.
@@ -74,6 +94,7 @@ impl Obs {
             inner: Arc::new(Mutex::new(ObsState {
                 metrics: MetricsRegistry::new(),
                 journal: Journal::with_capacity(capacity),
+                spans: SpanLog::default(),
             })),
         }
     }
@@ -148,6 +169,69 @@ impl Obs {
     pub fn format_tail(&self, process: u64, n: usize) -> String {
         self.with(|s| s.journal.format_tail(process, n))
     }
+
+    /// The current vector clock of `process`.
+    pub fn clock_of(&self, process: u64) -> VClock {
+        self.with(|s| s.journal.clock_of(process))
+    }
+
+    /// The causal slice anchored at `process`'s latest event.
+    pub fn causal_slice(&self, process: u64, window: usize) -> Vec<TraceEvent> {
+        self.with(|s| s.journal.causal_slice(process, window))
+    }
+
+    // ---- span shorthands ----------------------------------------------
+
+    /// Opens a span; see [`SpanLog::start`].
+    pub fn span_start(
+        &self,
+        process: u64,
+        at_us: u64,
+        name: &'static str,
+        parent: Option<SpanId>,
+        epoch: u64,
+    ) -> SpanId {
+        self.with(|s| s.spans.start(process, at_us, name, parent, epoch))
+    }
+
+    /// Closes a span and records its duration under the `span.<name>_us`
+    /// histogram. Idempotent like [`SpanLog::end`].
+    pub fn span_end(&self, id: SpanId, at_us: u64) {
+        self.with(|s| {
+            if let Some((name, dur)) = s.spans.end(id, at_us) {
+                s.metrics.observe(&format!("span.{name}_us"), dur);
+            }
+        })
+    }
+
+    /// Re-attributes a span to `epoch` (agreement retries bump epochs
+    /// between engagement and install).
+    pub fn span_retag_epoch(&self, id: SpanId, epoch: u64) {
+        self.with(|s| s.spans.retag_epoch(id, epoch));
+    }
+
+    /// A deep copy of the current span log.
+    pub fn spans_snapshot(&self) -> SpanLog {
+        self.with(|s| s.spans.clone())
+    }
+
+    // ---- monitor & export shorthands ----------------------------------
+
+    /// Switches on the online invariant monitor (idempotent).
+    pub fn enable_monitor(&self) {
+        self.with(|s| s.journal.enable_monitor());
+    }
+
+    /// Violations flagged by the online monitor so far.
+    pub fn monitor_reports(&self) -> Vec<MonitorReport> {
+        self.with(|s| s.journal.monitor_reports().to_vec())
+    }
+
+    /// The journal and span log rendered as one Chrome-trace JSON
+    /// document; see [`trace_export::chrome_json`].
+    pub fn chrome_trace_json(&self) -> String {
+        self.with(|s| trace_export::chrome_json(&s.journal, &s.spans))
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +256,42 @@ mod tests {
         obs.observe("lat", 5);
         assert_eq!(obs.tail(1, 10).len(), 1);
         assert_eq!(obs.metrics_snapshot().histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn span_shorthands_record_durations_as_metrics() {
+        let obs = Obs::new();
+        let root = obs.span_start(1, 100, "view_change", None, 4);
+        let agree = obs.span_start(1, 100, "agree", Some(root), 4);
+        obs.span_end(agree, 350);
+        obs.span_end(root, 400);
+        let spans = obs.spans_snapshot();
+        assert_eq!(spans.len(), 2);
+        let m = obs.metrics_snapshot();
+        assert_eq!(m.histogram("span.agree_us").unwrap().count(), 1);
+        assert_eq!(m.histogram("span.view_change_us").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn monitor_shorthands_flag_violations() {
+        let obs = Obs::new();
+        obs.enable_monitor();
+        obs.record(1, 0, EventKind::GroupView { epoch: 2, coord: 1, members: 2 });
+        obs.record(1, 1, EventKind::GroupView { epoch: 2, coord: 1, members: 2 });
+        let reports = obs.monitor_reports();
+        assert_eq!(reports.len(), 1);
+        assert!(!reports[0].slice.is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_json_parses() {
+        let obs = Obs::new();
+        obs.record(0, 10, EventKind::ViewInstall { epoch: 1, members: 3 });
+        let id = obs.span_start(0, 5, "view_change", None, 1);
+        obs.span_end(id, 12);
+        let doc = obs.chrome_trace_json();
+        let v = json::parse(&doc).expect("valid chrome trace");
+        assert!(v.get("traceEvents").and_then(json::Value::as_arr).is_some());
     }
 
     #[test]

@@ -1,0 +1,657 @@
+//! Online invariant monitor for the VS and EVS safety properties.
+//!
+//! The post-hoc checkers (`vs-gcs`'s `check`, `vs-evs`'s `check_evs`)
+//! verify whole runs after the fact; this module verifies the *event
+//! stream as it is recorded*. A [`Monitor`] embedded in the journal
+//! consumes every [`TraceEvent`] and maintains incremental automata for
+//!
+//! - **VS 2.1 Agreement** — processes transitioning between the same pair
+//!   of views delivered the same message set in the old view;
+//! - **VS 2.2 Uniqueness** — a message is delivered only in the view it
+//!   was sent in, and views install at most once with monotone epochs;
+//! - **VS 2.3 Integrity** — deliveries are not duplicated and correspond
+//!   to real sends;
+//! - **EVS 6.1** — e-view changes apply in a single total order per view
+//!   (sequence gap-free, operation digests identical across processes);
+//! - **EVS 6.2** — application deliveries respect the causal cut (no
+//!   message from a later e-view than the receiver has applied);
+//! - **EVS 6.3** — the enriched structure stays a partition (every member
+//!   in exactly one subview, every subview in exactly one sv-set).
+//!
+//! The first violating event is captured together with its causal slice
+//! (cross-process predecessor cone), so a report points at the chain of
+//! events that produced the violation rather than one process's tail.
+//!
+//! The monitor sees only what is recorded: events from before a layer was
+//! handed the shared [`crate::Obs`] (e.g. initial singleton views) are
+//! invisible, so per-process checks start at the first recorded
+//! `group_view` — conservative, never a false positive.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{EventKind, TraceEvent};
+
+/// Maximum number of reports retained (the stream keeps flowing after the
+/// first violation, but state past it is suspect — keep a few, not all).
+pub const MAX_MONITOR_REPORTS: usize = 16;
+
+/// A property violation flagged by the online monitor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MonitorViolation {
+    /// The same view id was installed twice at one process (VS 2.2).
+    DuplicateViewInstall {
+        /// Offending process.
+        process: u64,
+        /// Epoch of the re-installed view.
+        epoch: u64,
+        /// Coordinator component of the view id.
+        coord: u64,
+    },
+    /// A view with a non-increasing epoch was installed (VS 2.2).
+    NonMonotonicView {
+        /// Offending process.
+        process: u64,
+        /// Epoch of the previously current view.
+        prev_epoch: u64,
+        /// Epoch of the newly installed view.
+        epoch: u64,
+    },
+    /// A message was delivered in a view other than its send view (VS 2.2).
+    WrongViewDelivery {
+        /// Offending process.
+        process: u64,
+        /// Epoch the message was sent in.
+        epoch: u64,
+        /// Coordinator of the send view.
+        coord: u64,
+        /// Epoch current at the receiver.
+        current_epoch: u64,
+        /// Coordinator of the receiver's current view.
+        current_coord: u64,
+    },
+    /// The same message was delivered twice at one process (VS 2.3).
+    DuplicateDelivery {
+        /// Offending process.
+        process: u64,
+        /// Epoch of the delivery view.
+        epoch: u64,
+        /// Coordinator of the delivery view.
+        coord: u64,
+        /// Original sender.
+        sender: u64,
+        /// Sender-local sequence number.
+        seq: u64,
+    },
+    /// A message was delivered that no process sent (VS 2.3).
+    GhostDelivery {
+        /// Offending process.
+        process: u64,
+        /// Epoch of the claimed send view.
+        epoch: u64,
+        /// Coordinator of the claimed send view.
+        coord: u64,
+        /// Claimed sender.
+        sender: u64,
+        /// Claimed sequence number.
+        seq: u64,
+    },
+    /// Two processes crossed the same view transition with different
+    /// delivery sets (VS 2.1).
+    AgreementMismatch {
+        /// The process that just completed the transition.
+        process: u64,
+        /// The process it disagrees with.
+        other: u64,
+        /// Epoch of the view being left.
+        from_epoch: u64,
+        /// Coordinator of the view being left.
+        from_coord: u64,
+        /// Epoch of the view being entered.
+        to_epoch: u64,
+        /// Coordinator of the view being entered.
+        to_coord: u64,
+    },
+    /// An e-view operation applied out of sequence (EVS 6.1).
+    EViewOrderMismatch {
+        /// Offending process.
+        process: u64,
+        /// Epoch of the underlying view.
+        epoch: u64,
+        /// Coordinator of the underlying view.
+        coord: u64,
+        /// Sequence number the operation claimed.
+        seq: u64,
+        /// Sequence number the process should have applied next.
+        expected: u64,
+    },
+    /// Two processes applied different operations at the same e-view
+    /// sequence slot (EVS 6.1).
+    EViewDigestMismatch {
+        /// Offending process.
+        process: u64,
+        /// Epoch of the underlying view.
+        epoch: u64,
+        /// Coordinator of the underlying view.
+        coord: u64,
+        /// Sequence slot in dispute.
+        seq: u64,
+        /// Digest this process applied.
+        digest: u64,
+        /// Digest first applied at that slot.
+        expected: u64,
+    },
+    /// A delivery jumped ahead of the receiver's applied e-view prefix,
+    /// violating the causal cut (EVS 6.2).
+    CausalCutViolation {
+        /// Offending process.
+        process: u64,
+        /// Epoch of the delivery view.
+        epoch: u64,
+        /// Coordinator of the delivery view.
+        coord: u64,
+        /// Original sender.
+        sender: u64,
+        /// Sender-local sequence number.
+        seq: u64,
+        /// E-view sequence the message was sent under.
+        eview_seq: u64,
+        /// E-view sequence the receiver had applied.
+        applied: u64,
+    },
+    /// The enriched structure stopped being a partition (EVS 6.3).
+    InvalidStructure {
+        /// Offending process.
+        process: u64,
+        /// Epoch of the underlying view.
+        epoch: u64,
+        /// Coordinator of the underlying view.
+        coord: u64,
+        /// Distinct members of the view.
+        members: u32,
+        /// Membership slots summed over subviews.
+        member_slots: u32,
+        /// Distinct subviews.
+        subviews: u32,
+        /// Subview slots summed over sv-sets.
+        svset_slots: u32,
+    },
+}
+
+impl std::fmt::Display for MonitorViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            MonitorViolation::DuplicateViewInstall { process, epoch, coord } => write!(
+                f,
+                "VS 2.2: p{process} installed view (epoch {epoch}, coord p{coord}) twice"
+            ),
+            MonitorViolation::NonMonotonicView { process, prev_epoch, epoch } => write!(
+                f,
+                "VS 2.2: p{process} installed epoch {epoch} after epoch {prev_epoch}"
+            ),
+            MonitorViolation::WrongViewDelivery {
+                process,
+                epoch,
+                coord,
+                current_epoch,
+                current_coord,
+            } => write!(
+                f,
+                "VS 2.2: p{process} delivered a message sent in (epoch {epoch}, coord \
+                 p{coord}) while in (epoch {current_epoch}, coord p{current_coord})"
+            ),
+            MonitorViolation::DuplicateDelivery { process, epoch, coord, sender, seq } => write!(
+                f,
+                "VS 2.3: p{process} delivered (p{sender}, seq {seq}) twice in (epoch \
+                 {epoch}, coord p{coord})"
+            ),
+            MonitorViolation::GhostDelivery { process, epoch, coord, sender, seq } => write!(
+                f,
+                "VS 2.3: p{process} delivered (p{sender}, seq {seq}) in (epoch {epoch}, \
+                 coord p{coord}) but no such send was recorded"
+            ),
+            MonitorViolation::AgreementMismatch {
+                process,
+                other,
+                from_epoch,
+                from_coord,
+                to_epoch,
+                to_coord,
+            } => write!(
+                f,
+                "VS 2.1: p{process} and p{other} both moved (epoch {from_epoch}, coord \
+                 p{from_coord}) -> (epoch {to_epoch}, coord p{to_coord}) with different \
+                 delivery sets"
+            ),
+            MonitorViolation::EViewOrderMismatch { process, epoch, coord, seq, expected } => {
+                write!(
+                    f,
+                    "EVS 6.1: p{process} applied e-view op seq {seq} in (epoch {epoch}, \
+                     coord p{coord}) but expected seq {expected}"
+                )
+            }
+            MonitorViolation::EViewDigestMismatch {
+                process,
+                epoch,
+                coord,
+                seq,
+                digest,
+                expected,
+            } => write!(
+                f,
+                "EVS 6.1: p{process} applied op digest {digest:#x} at seq {seq} in (epoch \
+                 {epoch}, coord p{coord}) where digest {expected:#x} was applied first"
+            ),
+            MonitorViolation::CausalCutViolation {
+                process,
+                epoch,
+                coord,
+                sender,
+                seq,
+                eview_seq,
+                applied,
+            } => write!(
+                f,
+                "EVS 6.2: p{process} delivered (p{sender}, seq {seq}) from e-view seq \
+                 {eview_seq} having applied only {applied} in (epoch {epoch}, coord p{coord})"
+            ),
+            MonitorViolation::InvalidStructure {
+                process,
+                epoch,
+                coord,
+                members,
+                member_slots,
+                subviews,
+                svset_slots,
+            } => write!(
+                f,
+                "EVS 6.3: p{process} e-view in (epoch {epoch}, coord p{coord}) is not a \
+                 partition: {member_slots} member slots over {members} members, \
+                 {svset_slots} subview slots over {subviews} subviews"
+            ),
+        }
+    }
+}
+
+/// One flagged violation: what, where, and the causal chain leading to it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorReport {
+    /// The violated property.
+    pub violation: MonitorViolation,
+    /// The first event that violated it.
+    pub event: TraceEvent,
+    /// The event's causal slice: its cross-process predecessor cone
+    /// (trailing window), anchor last.
+    pub slice: Vec<TraceEvent>,
+}
+
+impl MonitorReport {
+    /// A multi-line human-readable rendering.
+    pub fn format(&self) -> String {
+        let mut out = format!("monitor: {}\n  at: {}\n  causal slice:\n", self.violation, self.event);
+        if self.slice.is_empty() {
+            out.push_str("    (no events retained)");
+            return out;
+        }
+        for e in &self.slice {
+            out.push_str(&format!("    {e}\n"));
+        }
+        out.pop();
+        out
+    }
+}
+
+/// A frozen delivery set pinned by the first process to cross a given
+/// view transition: that process's id plus its `(sender, seq)` set.
+type FrozenSet = (u64, BTreeSet<(u64, u64)>);
+
+/// A view transition `(from, to)`, each view as `(epoch, coord)`.
+type Transition = ((u64, u64), (u64, u64));
+
+/// Streaming automata over the recorded event stream.
+///
+/// Fed by [`crate::Journal::record`] when enabled; all state is keyed by
+/// raw process and view identifiers so the monitor sits below `vs-net` in
+/// the dependency order, like the rest of this crate.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Monitor {
+    /// Current view per process, as recorded by `group_view` events.
+    views: BTreeMap<u64, (u64, u64)>,
+    /// Every view id ever installed per process.
+    installed: BTreeSet<(u64, u64, u64)>,
+    /// Delivery sets: (process, view) -> {(sender, seq)}. Frozen and
+    /// removed at the process's next transition.
+    delivered: BTreeMap<(u64, u64, u64), BTreeSet<(u64, u64)>>,
+    /// Every recorded send, keyed (epoch, coord, sender, seq).
+    sent: BTreeSet<(u64, u64, u64, u64)>,
+    /// First frozen delivery set per view transition: (from, to) ->
+    /// (first process, its set).
+    transitions: BTreeMap<Transition, FrozenSet>,
+    /// Last applied e-view op per (process, view).
+    applied: BTreeMap<(u64, u64, u64), u64>,
+    /// Canonical op digest per (view, seq).
+    op_digests: BTreeMap<(u64, u64, u64), u64>,
+    /// Violations found so far (bounded by [`MAX_MONITOR_REPORTS`]).
+    reports: Vec<MonitorReport>,
+}
+
+impl Monitor {
+    /// A fresh monitor with empty automata.
+    pub fn new() -> Self {
+        Monitor::default()
+    }
+
+    /// Reports collected so far, in detection order.
+    pub fn reports(&self) -> &[MonitorReport] {
+        &self.reports
+    }
+
+    /// Attaches a finished report (the journal computes the causal slice,
+    /// which the monitor itself cannot see).
+    pub fn push_report(&mut self, report: MonitorReport) {
+        if self.reports.len() < MAX_MONITOR_REPORTS {
+            self.reports.push(report);
+        }
+    }
+
+    /// Feeds one event through every automaton; returns the violation it
+    /// triggered, if any.
+    pub fn observe(&mut self, event: &TraceEvent) -> Option<MonitorViolation> {
+        let p = event.process;
+        match event.kind {
+            EventKind::GroupView { epoch, coord, .. } => {
+                let id = (epoch, coord);
+                if !self.installed.insert((p, epoch, coord)) {
+                    return Some(MonitorViolation::DuplicateViewInstall {
+                        process: p,
+                        epoch,
+                        coord,
+                    });
+                }
+                let prev = self.views.insert(p, id);
+                if let Some(prev) = prev {
+                    if epoch <= prev.0 {
+                        return Some(MonitorViolation::NonMonotonicView {
+                            process: p,
+                            prev_epoch: prev.0,
+                            epoch,
+                        });
+                    }
+                    // VS 2.1: freeze the delivery set of the view being
+                    // left and compare with whoever crossed (prev -> id)
+                    // first.
+                    let set = self
+                        .delivered
+                        .remove(&(p, prev.0, prev.1))
+                        .unwrap_or_default();
+                    match self.transitions.get(&(prev, id)) {
+                        Some((other, first)) if *first != set => {
+                            return Some(MonitorViolation::AgreementMismatch {
+                                process: p,
+                                other: *other,
+                                from_epoch: prev.0,
+                                from_coord: prev.1,
+                                to_epoch: epoch,
+                                to_coord: coord,
+                            });
+                        }
+                        Some(_) => {}
+                        None => {
+                            self.transitions.insert((prev, id), (p, set));
+                        }
+                    }
+                }
+            }
+            EventKind::McastSent { epoch, coord, seq } => {
+                self.sent.insert((epoch, coord, p, seq));
+            }
+            EventKind::McastDeliver { epoch, coord, sender, seq } => {
+                if !self.sent.contains(&(epoch, coord, sender, seq)) {
+                    return Some(MonitorViolation::GhostDelivery {
+                        process: p,
+                        epoch,
+                        coord,
+                        sender,
+                        seq,
+                    });
+                }
+                if let Some(&(ce, cc)) = self.views.get(&p) {
+                    if (ce, cc) != (epoch, coord) {
+                        return Some(MonitorViolation::WrongViewDelivery {
+                            process: p,
+                            epoch,
+                            coord,
+                            current_epoch: ce,
+                            current_coord: cc,
+                        });
+                    }
+                }
+                if !self
+                    .delivered
+                    .entry((p, epoch, coord))
+                    .or_default()
+                    .insert((sender, seq))
+                {
+                    return Some(MonitorViolation::DuplicateDelivery {
+                        process: p,
+                        epoch,
+                        coord,
+                        sender,
+                        seq,
+                    });
+                }
+            }
+            EventKind::EViewOp { epoch, coord, seq, digest } => {
+                let slot = self.applied.entry((p, epoch, coord)).or_insert(0);
+                if seq != *slot + 1 {
+                    return Some(MonitorViolation::EViewOrderMismatch {
+                        process: p,
+                        epoch,
+                        coord,
+                        seq,
+                        expected: *slot + 1,
+                    });
+                }
+                *slot = seq;
+                match self.op_digests.get(&(epoch, coord, seq)) {
+                    Some(&expected) if expected != digest => {
+                        return Some(MonitorViolation::EViewDigestMismatch {
+                            process: p,
+                            epoch,
+                            coord,
+                            seq,
+                            digest,
+                            expected,
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.op_digests.insert((epoch, coord, seq), digest);
+                    }
+                }
+            }
+            EventKind::EvsDeliver { epoch, coord, sender, seq, eview_seq } => {
+                let applied = self.applied.get(&(p, epoch, coord)).copied().unwrap_or(0);
+                if eview_seq > applied {
+                    return Some(MonitorViolation::CausalCutViolation {
+                        process: p,
+                        epoch,
+                        coord,
+                        sender,
+                        seq,
+                        eview_seq,
+                        applied,
+                    });
+                }
+            }
+            EventKind::EViewStructure {
+                epoch,
+                coord,
+                members,
+                member_slots,
+                subviews,
+                svset_slots,
+            } if member_slots != members || svset_slots != subviews => {
+                return Some(MonitorViolation::InvalidStructure {
+                    process: p,
+                    epoch,
+                    coord,
+                    members,
+                    member_slots,
+                    subviews,
+                    svset_slots,
+                });
+            }
+            _ => {}
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VClock;
+
+    fn ev(process: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            at_us: 0,
+            process,
+            clock: VClock::new(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn healthy_stream_raises_nothing() {
+        let mut m = Monitor::new();
+        let script = [
+            ev(1, EventKind::GroupView { epoch: 1, coord: 1, members: 2 }),
+            ev(2, EventKind::GroupView { epoch: 1, coord: 1, members: 2 }),
+            ev(1, EventKind::McastSent { epoch: 1, coord: 1, seq: 1 }),
+            ev(1, EventKind::McastDeliver { epoch: 1, coord: 1, sender: 1, seq: 1 }),
+            ev(2, EventKind::McastDeliver { epoch: 1, coord: 1, sender: 1, seq: 1 }),
+            ev(1, EventKind::GroupView { epoch: 2, coord: 1, members: 2 }),
+            ev(2, EventKind::GroupView { epoch: 2, coord: 1, members: 2 }),
+        ];
+        for e in script {
+            assert_eq!(m.observe(&e), None, "unexpected violation on {e}");
+        }
+    }
+
+    #[test]
+    fn duplicate_install_and_stale_epoch_are_flagged() {
+        let mut m = Monitor::new();
+        assert!(m
+            .observe(&ev(1, EventKind::GroupView { epoch: 3, coord: 1, members: 1 }))
+            .is_none());
+        let dup = m.observe(&ev(1, EventKind::GroupView { epoch: 3, coord: 1, members: 1 }));
+        assert!(matches!(dup, Some(MonitorViolation::DuplicateViewInstall { .. })));
+        let stale = m.observe(&ev(1, EventKind::GroupView { epoch: 2, coord: 2, members: 1 }));
+        assert!(matches!(stale, Some(MonitorViolation::NonMonotonicView { .. })));
+    }
+
+    #[test]
+    fn agreement_compares_frozen_delivery_sets() {
+        let mut m = Monitor::new();
+        for p in [1, 2] {
+            m.observe(&ev(p, EventKind::GroupView { epoch: 1, coord: 1, members: 2 }));
+        }
+        m.observe(&ev(1, EventKind::McastSent { epoch: 1, coord: 1, seq: 1 }));
+        // Only p1 delivers before crossing to epoch 2.
+        m.observe(&ev(1, EventKind::McastDeliver { epoch: 1, coord: 1, sender: 1, seq: 1 }));
+        assert!(m
+            .observe(&ev(1, EventKind::GroupView { epoch: 2, coord: 1, members: 2 }))
+            .is_none());
+        let v = m.observe(&ev(2, EventKind::GroupView { epoch: 2, coord: 1, members: 2 }));
+        assert!(matches!(v, Some(MonitorViolation::AgreementMismatch { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn integrity_catches_ghosts_and_duplicates() {
+        let mut m = Monitor::new();
+        m.observe(&ev(1, EventKind::GroupView { epoch: 1, coord: 1, members: 1 }));
+        let ghost =
+            m.observe(&ev(1, EventKind::McastDeliver { epoch: 1, coord: 1, sender: 9, seq: 4 }));
+        assert!(matches!(ghost, Some(MonitorViolation::GhostDelivery { .. })));
+        m.observe(&ev(1, EventKind::McastSent { epoch: 1, coord: 1, seq: 1 }));
+        assert!(m
+            .observe(&ev(1, EventKind::McastDeliver { epoch: 1, coord: 1, sender: 1, seq: 1 }))
+            .is_none());
+        let dup =
+            m.observe(&ev(1, EventKind::McastDeliver { epoch: 1, coord: 1, sender: 1, seq: 1 }));
+        assert!(matches!(dup, Some(MonitorViolation::DuplicateDelivery { .. })));
+    }
+
+    #[test]
+    fn uniqueness_rejects_cross_view_delivery() {
+        let mut m = Monitor::new();
+        m.observe(&ev(1, EventKind::McastSent { epoch: 1, coord: 1, seq: 1 }));
+        m.observe(&ev(2, EventKind::GroupView { epoch: 2, coord: 1, members: 1 }));
+        let wrong =
+            m.observe(&ev(2, EventKind::McastDeliver { epoch: 1, coord: 1, sender: 1, seq: 1 }));
+        assert!(matches!(wrong, Some(MonitorViolation::WrongViewDelivery { .. })));
+    }
+
+    #[test]
+    fn eview_total_order_and_digests() {
+        let mut m = Monitor::new();
+        assert!(m
+            .observe(&ev(1, EventKind::EViewOp { epoch: 1, coord: 1, seq: 1, digest: 7 }))
+            .is_none());
+        let gap = m.observe(&ev(1, EventKind::EViewOp { epoch: 1, coord: 1, seq: 3, digest: 8 }));
+        assert!(matches!(gap, Some(MonitorViolation::EViewOrderMismatch { .. })));
+        let fork = m.observe(&ev(2, EventKind::EViewOp { epoch: 1, coord: 1, seq: 1, digest: 9 }));
+        assert!(matches!(fork, Some(MonitorViolation::EViewDigestMismatch { .. })));
+    }
+
+    #[test]
+    fn causal_cut_and_structure() {
+        let mut m = Monitor::new();
+        let cut = m.observe(&ev(1, EventKind::EvsDeliver {
+            epoch: 1,
+            coord: 1,
+            sender: 2,
+            seq: 1,
+            eview_seq: 2,
+        }));
+        assert!(matches!(cut, Some(MonitorViolation::CausalCutViolation { .. })));
+        let bad = m.observe(&ev(1, EventKind::EViewStructure {
+            epoch: 1,
+            coord: 1,
+            members: 3,
+            member_slots: 3,
+            subviews: 2,
+            svset_slots: 3,
+        }));
+        assert!(matches!(bad, Some(MonitorViolation::InvalidStructure { .. })));
+        assert!(m
+            .observe(&ev(1, EventKind::EViewStructure {
+                epoch: 1,
+                coord: 1,
+                members: 3,
+                member_slots: 3,
+                subviews: 2,
+                svset_slots: 2,
+            }))
+            .is_none());
+    }
+
+    #[test]
+    fn violations_render_with_property_numbers() {
+        let v = MonitorViolation::CausalCutViolation {
+            process: 1,
+            epoch: 2,
+            coord: 3,
+            sender: 4,
+            seq: 5,
+            eview_seq: 6,
+            applied: 0,
+        };
+        let s = v.to_string();
+        assert!(s.contains("EVS 6.2"));
+        assert!(s.contains("p1"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Hierarchical latency spans over the view-change pipeline.
+//!
+//! A [`Span`] is a named interval at one process with an optional parent,
+//! so an installed view carries a *breakdown* — suspicion detected →
+//! agreement rounds → flush → install → (EVS) e-view reconstruction —
+//! instead of one opaque histogram sample. Spans live in a bounded
+//! [`SpanLog`] inside the shared observability state and are exported to
+//! Chrome-trace JSON by [`crate::trace_export`].
+//!
+//! The convention used by the protocol layers: one root span named
+//! `view_change` per agreement lineage, with children `detect`, `agree`,
+//! `flush`, `install` and (enriched stacks) `eview`. Phases that a
+//! particular install skipped (e.g. a commit received without a local
+//! engagement) are recorded as zero-length spans so every installed view
+//! has the complete breakdown.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::json::Obj;
+
+/// Identifier of a span within one [`SpanLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpanId(pub u64);
+
+/// One named interval at one process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// This span's identifier.
+    pub id: SpanId,
+    /// The enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Raw identifier of the process the span belongs to.
+    pub process: u64,
+    /// Phase name (`view_change`, `detect`, `agree`, `flush`, …).
+    pub name: &'static str,
+    /// Epoch of the view this span contributes to (retagged at install,
+    /// since retries can bump the epoch mid-lineage).
+    pub epoch: u64,
+    /// Start, in virtual microseconds.
+    pub start_us: u64,
+    /// End, in virtual microseconds; `None` while still open.
+    pub end_us: Option<u64>,
+}
+
+impl Span {
+    /// Duration in microseconds, if the span has ended.
+    pub fn duration_us(&self) -> Option<u64> {
+        self.end_us.map(|e| e.saturating_sub(self.start_us))
+    }
+
+    /// Renders the span as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = Obj::new()
+            .u64("id", self.id.0)
+            .u64("process", self.process)
+            .str("name", self.name)
+            .u64("epoch", self.epoch)
+            .u64("start_us", self.start_us);
+        obj = match self.parent {
+            Some(p) => obj.u64("parent", p.0),
+            None => obj.raw("parent", "null"),
+        };
+        obj = match self.end_us {
+            Some(e) => obj.u64("end_us", e),
+            None => obj.raw("end_us", "null"),
+        };
+        obj.finish()
+    }
+}
+
+/// Default number of spans retained per [`SpanLog`].
+pub const DEFAULT_SPAN_CAPACITY: usize = 16_384;
+
+/// A bounded log of spans, oldest evicted first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanLog {
+    capacity: usize,
+    next_id: u64,
+    spans: VecDeque<Span>,
+    evicted: u64,
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        SpanLog::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl SpanLog {
+    /// A log retaining at most `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanLog {
+            capacity: capacity.max(1),
+            next_id: 0,
+            spans: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Opens a span and returns its id.
+    pub fn start(
+        &mut self,
+        process: u64,
+        at_us: u64,
+        name: &'static str,
+        parent: Option<SpanId>,
+        epoch: u64,
+    ) -> SpanId {
+        let id = SpanId(self.next_id);
+        self.next_id += 1;
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.evicted += 1;
+        }
+        self.spans.push_back(Span {
+            id,
+            parent,
+            process,
+            name,
+            epoch,
+            start_us: at_us,
+            end_us: None,
+        });
+        id
+    }
+
+    /// Closes a span (idempotent; the first end wins). Returns the span's
+    /// name and duration when it was found and newly closed.
+    pub fn end(&mut self, id: SpanId, at_us: u64) -> Option<(&'static str, u64)> {
+        let span = self.spans.iter_mut().rev().find(|s| s.id == id)?;
+        if span.end_us.is_some() {
+            return None;
+        }
+        let end = at_us.max(span.start_us);
+        span.end_us = Some(end);
+        Some((span.name, end - span.start_us))
+    }
+
+    /// Rewrites the epoch attributed to a span (agreement retries can bump
+    /// the epoch between engagement and install).
+    pub fn retag_epoch(&mut self, id: SpanId, epoch: u64) {
+        if let Some(span) = self.spans.iter_mut().rev().find(|s| s.id == id) {
+            span.epoch = epoch;
+        }
+    }
+
+    /// Retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+
+    /// Number of spans currently retained.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no span was ever recorded or retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Number of spans evicted from the full log.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The view-change latency breakdown for `(process, epoch)`, if a
+    /// closed root span exists for it.
+    pub fn breakdown(&self, process: u64, epoch: u64) -> Option<ViewBreakdown> {
+        let root = self
+            .spans
+            .iter()
+            .rev()
+            .find(|s| s.name == "view_change" && s.process == process && s.epoch == epoch)?;
+        let mut b = ViewBreakdown {
+            total_us: root.duration_us(),
+            ..ViewBreakdown::default()
+        };
+        for s in self.spans.iter().filter(|s| s.parent == Some(root.id)) {
+            let d = s.duration_us();
+            match s.name {
+                "detect" => b.detect_us = d,
+                "agree" => b.agree_us = d,
+                "flush" => b.flush_us = d,
+                "install" => b.install_us = d,
+                "eview" => b.eview_us = d,
+                _ => {}
+            }
+        }
+        Some(b)
+    }
+
+    /// Renders the retained spans as a JSON array, oldest first.
+    pub fn to_json(&self) -> String {
+        let mut arr = crate::json::Arr::new();
+        for s in &self.spans {
+            arr = arr.raw(&s.to_json());
+        }
+        arr.finish()
+    }
+}
+
+/// Per-phase durations of one installed view at one process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewBreakdown {
+    /// Suspicion raised → agreement engaged.
+    pub detect_us: Option<u64>,
+    /// Agreement engaged → commit decided.
+    pub agree_us: Option<u64>,
+    /// Flush started → unstable messages delivered.
+    pub flush_us: Option<u64>,
+    /// State reset and view announcement.
+    pub install_us: Option<u64>,
+    /// E-view reconstruction (enriched stacks only).
+    pub eview_us: Option<u64>,
+    /// Whole lineage, detect through install.
+    pub total_us: Option<u64>,
+}
+
+impl ViewBreakdown {
+    /// Whether the four core phases (detect/agree/flush/install) are all
+    /// present and closed.
+    pub fn is_complete(&self) -> bool {
+        self.detect_us.is_some()
+            && self.agree_us.is_some()
+            && self.flush_us.is_some()
+            && self.install_us.is_some()
+            && self.total_us.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_end_and_duration() {
+        let mut log = SpanLog::default();
+        let id = log.start(1, 100, "view_change", None, 7);
+        assert_eq!(log.end(id, 350), Some(("view_change", 250)));
+        // Second end is a no-op.
+        assert_eq!(log.end(id, 999), None);
+        let span = log.spans().next().unwrap();
+        assert_eq!(span.duration_us(), Some(250));
+        assert_eq!(span.epoch, 7);
+    }
+
+    #[test]
+    fn end_clamps_to_start() {
+        let mut log = SpanLog::default();
+        let id = log.start(1, 100, "agree", None, 1);
+        log.end(id, 50);
+        assert_eq!(log.spans().next().unwrap().duration_us(), Some(0));
+    }
+
+    #[test]
+    fn breakdown_collects_children_of_the_root() {
+        let mut log = SpanLog::default();
+        let root = log.start(2, 0, "view_change", None, 3);
+        let d = log.start(2, 0, "detect", Some(root), 3);
+        log.end(d, 10);
+        let a = log.start(2, 10, "agree", Some(root), 3);
+        log.end(a, 40);
+        let f = log.start(2, 40, "flush", Some(root), 3);
+        log.end(f, 60);
+        let i = log.start(2, 60, "install", Some(root), 3);
+        log.end(i, 61);
+        log.end(root, 61);
+        let b = log.breakdown(2, 3).expect("root exists");
+        assert!(b.is_complete());
+        assert_eq!(b.detect_us, Some(10));
+        assert_eq!(b.agree_us, Some(30));
+        assert_eq!(b.flush_us, Some(20));
+        assert_eq!(b.install_us, Some(1));
+        assert_eq!(b.total_us, Some(61));
+        assert!(log.breakdown(2, 99).is_none());
+    }
+
+    #[test]
+    fn retag_epoch_moves_the_breakdown() {
+        let mut log = SpanLog::default();
+        let root = log.start(1, 0, "view_change", None, 5);
+        log.end(root, 9);
+        log.retag_epoch(root, 6);
+        assert!(log.breakdown(1, 5).is_none());
+        assert!(log.breakdown(1, 6).is_some());
+    }
+
+    #[test]
+    fn log_is_bounded() {
+        let mut log = SpanLog::with_capacity(2);
+        for i in 0..5 {
+            log.start(1, i, "agree", None, 1);
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.evicted(), 3);
+        assert_eq!(log.spans().next().unwrap().start_us, 3);
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed() {
+        let mut log = SpanLog::default();
+        let id = log.start(1, 5, "flush", None, 2);
+        log.end(id, 8);
+        log.start(1, 9, "agree", Some(id), 2);
+        let json = log.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"flush\""));
+        assert!(json.contains("\"end_us\":null"));
+        assert!(json.contains("\"parent\":0"));
+    }
+}

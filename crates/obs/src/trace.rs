@@ -1,17 +1,24 @@
 //! The structured trace journal.
 //!
 //! Every layer of the stack appends [`TraceEvent`]s — virtual-time-stamped,
-//! globally sequenced, one bounded ring buffer per process — so that when a
-//! safety checker flags a violation the *trailing window* of protocol
-//! activity at the offending process can be printed instead of a bare
-//! violation enum. Events are plain data (`serde`-serializable) and render
-//! to JSON through [`crate::json`].
+//! globally sequenced, vector-clock-stamped, one bounded ring buffer per
+//! process — so that when a safety checker flags a violation the *causal
+//! slice* of protocol activity leading to it can be printed instead of a
+//! bare violation enum. Events are plain data (`serde`-serializable) and
+//! render to JSON through [`crate::json`].
+//!
+//! The journal also hosts the optional online [`Monitor`]
+//! ([`Journal::enable_monitor`]): because every layer records through
+//! [`Journal::record`], feeding the monitor there gives it the complete
+//! stream in exactly the order the system produced it.
 
 use std::collections::{BTreeMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
+use crate::clock::VClock;
 use crate::json::{Arr, Obj};
+use crate::monitor::{Monitor, MonitorReport};
 
 /// Why a message never reached its destination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -120,6 +127,78 @@ pub enum EventKind {
         /// Which primitive.
         kind: MergeKind,
     },
+    /// The GCS made a view current for delivery bookkeeping (recorded
+    /// *after* the closing flush deliveries of the previous view, unlike
+    /// [`EventKind::ViewInstall`] which marks membership agreement).
+    GroupView {
+        /// Epoch of the view.
+        epoch: u64,
+        /// Coordinator component of the view id.
+        coord: u64,
+        /// Number of members.
+        members: u32,
+    },
+    /// A view-synchronous multicast was accepted at its sender.
+    McastSent {
+        /// Epoch of the send view.
+        epoch: u64,
+        /// Coordinator of the send view.
+        coord: u64,
+        /// Sender-local sequence number in that view.
+        seq: u64,
+    },
+    /// A view-synchronous multicast was delivered to the layer above.
+    McastDeliver {
+        /// Epoch of the send view.
+        epoch: u64,
+        /// Coordinator of the send view.
+        coord: u64,
+        /// Original sender.
+        sender: u64,
+        /// Sender-local sequence number.
+        seq: u64,
+    },
+    /// The enriched layer delivered an application message (after the
+    /// Property 6.2 causal-cut gate).
+    EvsDeliver {
+        /// Epoch of the delivery view.
+        epoch: u64,
+        /// Coordinator of the delivery view.
+        coord: u64,
+        /// Original sender.
+        sender: u64,
+        /// Sender-local sequence number.
+        seq: u64,
+        /// E-view sequence the message was sent under.
+        eview_seq: u64,
+    },
+    /// A sequenced e-view operation was applied (EVS 6.1 total order).
+    EViewOp {
+        /// Epoch of the underlying view.
+        epoch: u64,
+        /// Coordinator of the underlying view.
+        coord: u64,
+        /// Position in the view's e-view operation order (1-based).
+        seq: u64,
+        /// Deterministic digest of the operation.
+        digest: u64,
+    },
+    /// Snapshot of the enriched structure's partition arithmetic, recorded
+    /// after composition and after every applied operation (EVS 6.3).
+    EViewStructure {
+        /// Epoch of the underlying view.
+        epoch: u64,
+        /// Coordinator of the underlying view.
+        coord: u64,
+        /// Distinct members of the view.
+        members: u32,
+        /// Membership slots summed over all subviews.
+        member_slots: u32,
+        /// Distinct subviews.
+        subviews: u32,
+        /// Subview slots summed over all sv-sets.
+        svset_slots: u32,
+    },
     /// An escape hatch for layer-specific events not worth a variant.
     Custom {
         /// A short static label.
@@ -146,11 +225,18 @@ impl EventKind {
             EventKind::EViewApply { .. } => "eview_apply",
             EventKind::MergeIssue { .. } => "merge_issue",
             EventKind::MergeComplete { .. } => "merge_complete",
+            EventKind::GroupView { .. } => "group_view",
+            EventKind::McastSent { .. } => "mcast_sent",
+            EventKind::McastDeliver { .. } => "mcast_deliver",
+            EventKind::EvsDeliver { .. } => "evs_deliver",
+            EventKind::EViewOp { .. } => "eview_op",
+            EventKind::EViewStructure { .. } => "eview_structure",
             EventKind::Custom { label, .. } => label,
         }
     }
 
-    fn detail_json(&self) -> String {
+    /// Renders the variant's fields as a JSON object (no name).
+    pub fn detail_json(&self) -> String {
         match *self {
             EventKind::MsgSend { from, to } | EventKind::MsgDeliver { from, to } => {
                 Obj::new().u64("from", from).u64("to", to).finish()
@@ -188,12 +274,57 @@ impl EventKind {
             EventKind::MergeIssue { kind } | EventKind::MergeComplete { kind } => {
                 Obj::new().str("kind", &format!("{kind:?}")).finish()
             }
+            EventKind::GroupView { epoch, coord, members } => Obj::new()
+                .u64("epoch", epoch)
+                .u64("coord", coord)
+                .u64("members", members as u64)
+                .finish(),
+            EventKind::McastSent { epoch, coord, seq } => Obj::new()
+                .u64("epoch", epoch)
+                .u64("coord", coord)
+                .u64("seq", seq)
+                .finish(),
+            EventKind::McastDeliver { epoch, coord, sender, seq } => Obj::new()
+                .u64("epoch", epoch)
+                .u64("coord", coord)
+                .u64("sender", sender)
+                .u64("seq", seq)
+                .finish(),
+            EventKind::EvsDeliver { epoch, coord, sender, seq, eview_seq } => Obj::new()
+                .u64("epoch", epoch)
+                .u64("coord", coord)
+                .u64("sender", sender)
+                .u64("seq", seq)
+                .u64("eview_seq", eview_seq)
+                .finish(),
+            EventKind::EViewOp { epoch, coord, seq, digest } => Obj::new()
+                .u64("epoch", epoch)
+                .u64("coord", coord)
+                .u64("seq", seq)
+                .u64("digest", digest)
+                .finish(),
+            EventKind::EViewStructure {
+                epoch,
+                coord,
+                members,
+                member_slots,
+                subviews,
+                svset_slots,
+            } => Obj::new()
+                .u64("epoch", epoch)
+                .u64("coord", coord)
+                .u64("members", members as u64)
+                .u64("member_slots", member_slots as u64)
+                .u64("subviews", subviews as u64)
+                .u64("svset_slots", svset_slots as u64)
+                .finish(),
             EventKind::Custom { value, .. } => Obj::new().u64("value", value).finish(),
         }
     }
 }
 
-/// One journal entry: what happened, where, and at what virtual time.
+/// One journal entry: what happened, where, at what virtual time, and
+/// after which causal past.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// Global sequence number (total order across all processes).
@@ -202,6 +333,9 @@ pub struct TraceEvent {
     pub at_us: u64,
     /// Raw identifier of the process the event happened at.
     pub process: u64,
+    /// The recording process's vector clock *including this event* (its
+    /// own component counts the event itself).
+    pub clock: VClock,
     /// What happened.
     pub kind: EventKind,
 }
@@ -213,9 +347,16 @@ impl TraceEvent {
             .u64("seq", self.seq)
             .u64("at_us", self.at_us)
             .u64("process", self.process)
+            .raw("clock", &self.clock.to_json())
             .str("event", self.kind.name())
             .raw("detail", &self.kind.detail_json())
             .finish()
+    }
+
+    /// Whether `self` is in `other`'s causal past (or is `other` itself):
+    /// true iff `other`'s clock has seen `self`'s own component.
+    pub fn causally_precedes(&self, other: &TraceEvent) -> bool {
+        other.clock.get(self.process) >= self.clock.get(self.process)
     }
 }
 
@@ -235,18 +376,36 @@ impl std::fmt::Display for TraceEvent {
 
 /// Per-process bounded ring buffers of [`TraceEvent`]s.
 ///
-/// Appends are O(1); when a process's ring is full the oldest entry is
-/// evicted (and counted), so memory stays bounded over arbitrarily long
+/// # Eviction
+///
+/// Appends are O(1); when a process's ring is full ([`Journal::capacity`]
+/// entries) the **oldest entry of that ring** is evicted and counted in
+/// [`Journal::evicted`], so memory stays bounded over arbitrarily long
 /// runs while the *trailing* window — the part a violation report needs —
-/// is always intact.
+/// is always intact. Consequences callers can rely on:
+///
+/// - each ring always holds a **contiguous suffix** of the events recorded
+///   at its process — eviction never opens a gap in the middle, so
+///   [`Journal::tail`] can never silently return a gap-spanning window;
+/// - global `seq` and the per-process vector-clock component remain
+///   **strictly monotone** across eviction (they are assigned at record
+///   time and never reused);
+/// - cross-process analyses ([`crate::global`]) treat an evicted prefix as
+///   "already emitted": a retained event may causally depend on evicted
+///   ones, but never on a *retained-but-missorted* one.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Journal {
     capacity_per_process: usize,
     rings: BTreeMap<u64, VecDeque<TraceEvent>>,
+    clocks: BTreeMap<u64, VClock>,
     next_seq: u64,
     evicted: u64,
     last_at_us: u64,
+    monitor: Option<Monitor>,
 }
+
+/// Trailing-window length of the causal slice attached to monitor reports.
+const MONITOR_SLICE_WINDOW: usize = 32;
 
 /// Default ring capacity per process.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 512;
@@ -263,10 +422,17 @@ impl Journal {
         Journal {
             capacity_per_process: capacity_per_process.max(1),
             rings: BTreeMap::new(),
+            clocks: BTreeMap::new(),
             next_seq: 0,
             evicted: 0,
             last_at_us: 0,
+            monitor: None,
         }
+    }
+
+    /// Ring capacity per process.
+    pub fn capacity(&self) -> usize {
+        self.capacity_per_process
     }
 
     /// Appends an event for `process` at virtual time `at_us`.
@@ -276,22 +442,75 @@ impl Journal {
     /// (the threaded transport) cannot make recorded time run backwards.
     /// The simulator's virtual clock is already non-decreasing, so there
     /// the clamp never fires.
+    ///
+    /// Recording ticks `process`'s vector clock and stamps the event with
+    /// it; if the online monitor is enabled the event is fed through it,
+    /// and a violation captures the event's causal slice on the spot.
     pub fn record(&mut self, process: u64, at_us: u64, kind: EventKind) {
         let at_us = at_us.max(self.last_at_us);
         self.last_at_us = at_us;
         let seq = self.next_seq;
         self.next_seq += 1;
+        let clock = self.clocks.entry(process).or_default();
+        clock.tick(process);
+        let event = TraceEvent {
+            seq,
+            at_us,
+            process,
+            clock: clock.clone(),
+            kind,
+        };
         let ring = self.rings.entry(process).or_default();
         if ring.len() == self.capacity_per_process {
             ring.pop_front();
             self.evicted += 1;
         }
-        ring.push_back(TraceEvent {
-            seq,
-            at_us,
-            process,
-            kind,
-        });
+        ring.push_back(event.clone());
+        if let Some(mut monitor) = self.monitor.take() {
+            if let Some(violation) = monitor.observe(&event) {
+                let cone = crate::global::causal_cone(&self.all(), &event);
+                let skip = cone.len().saturating_sub(MONITOR_SLICE_WINDOW);
+                monitor.push_report(MonitorReport {
+                    violation,
+                    event,
+                    slice: cone.into_iter().skip(skip).collect(),
+                });
+            }
+            self.monitor = Some(monitor);
+        }
+    }
+
+    /// The current vector clock of `process` (its last event's stamp).
+    ///
+    /// Transports capture this right after recording a send and carry it
+    /// as message metadata; see [`Journal::merge_clock`].
+    pub fn clock_of(&self, process: u64) -> VClock {
+        self.clocks.get(&process).cloned().unwrap_or_default()
+    }
+
+    /// Merges a piggybacked `stamp` into `process`'s clock — call at
+    /// message delivery, *before* recording the delivery event, so the
+    /// delivery's own stamp dominates the send's.
+    pub fn merge_clock(&mut self, process: u64, stamp: &VClock) {
+        self.clocks.entry(process).or_default().merge(stamp);
+    }
+
+    /// Switches on the online invariant monitor; subsequent events stream
+    /// through it. Idempotent.
+    pub fn enable_monitor(&mut self) {
+        if self.monitor.is_none() {
+            self.monitor = Some(Monitor::new());
+        }
+    }
+
+    /// Whether the online monitor is running.
+    pub fn monitor_enabled(&self) -> bool {
+        self.monitor.is_some()
+    }
+
+    /// Violations the online monitor has flagged (empty when disabled).
+    pub fn monitor_reports(&self) -> &[MonitorReport] {
+        self.monitor.as_ref().map(Monitor::reports).unwrap_or(&[])
     }
 
     /// Total number of events ever recorded (including evicted ones).
@@ -331,7 +550,8 @@ impl Journal {
     }
 
     /// A human-readable rendering of the last `n` events at `process`, for
-    /// violation reports.
+    /// violation reports. The window is always a contiguous suffix of the
+    /// process's recorded events (see the eviction notes on [`Journal`]).
     pub fn format_tail(&self, process: u64, n: usize) -> String {
         let tail = self.tail(process, n);
         if tail.is_empty() {
@@ -339,6 +559,35 @@ impl Journal {
         }
         let mut out = String::new();
         for ev in tail {
+            out.push_str(&format!("  {ev}\n"));
+        }
+        out.pop();
+        out
+    }
+
+    /// The causal slice anchored at `process`'s most recent event: the
+    /// anchor's cross-process predecessor cone restricted to retained
+    /// events, in deterministic causal order, truncated to the trailing
+    /// `window` entries. Empty when the process has no retained events.
+    pub fn causal_slice(&self, process: u64, window: usize) -> Vec<TraceEvent> {
+        let anchor = match self.rings.get(&process).and_then(VecDeque::back) {
+            Some(a) => a.clone(),
+            None => return Vec::new(),
+        };
+        let cone = crate::global::causal_cone(&self.all(), &anchor);
+        let skip = cone.len().saturating_sub(window);
+        cone.into_iter().skip(skip).collect()
+    }
+
+    /// A human-readable rendering of [`Journal::causal_slice`], for
+    /// violation reports.
+    pub fn format_causal_slice(&self, process: u64, window: usize) -> String {
+        let slice = self.causal_slice(process, window);
+        if slice.is_empty() {
+            return format!("  (no trace events retained for process {process})");
+        }
+        let mut out = String::new();
+        for ev in slice {
             out.push_str(&format!("  {ev}\n"));
         }
         out.pop();
@@ -433,5 +682,125 @@ mod tests {
         assert!(text.contains("view_change_start"));
         assert!(text.contains("view_install"));
         assert!(j.format_tail(8, 4).contains("no trace events"));
+    }
+
+    #[test]
+    fn eviction_at_default_capacity_is_oldest_first() {
+        let mut j = Journal::default();
+        let n = DEFAULT_JOURNAL_CAPACITY as u64;
+        for i in 0..n + 5 {
+            j.record(1, i, EventKind::StabilityAdvance { frontier: i });
+        }
+        assert_eq!(j.evicted(), 5);
+        let retained: Vec<_> = j.events_for(1).collect();
+        assert_eq!(retained.len(), DEFAULT_JOURNAL_CAPACITY);
+        // Oldest-first: the five dropped entries are exactly frontiers 0–4.
+        assert!(matches!(
+            retained[0].kind,
+            EventKind::StabilityAdvance { frontier: 5 }
+        ));
+        assert!(matches!(
+            retained.last().unwrap().kind,
+            EventKind::StabilityAdvance { frontier } if frontier == n + 4
+        ));
+    }
+
+    #[test]
+    fn seq_and_clock_stay_strictly_monotone_across_eviction() {
+        let mut j = Journal::with_capacity(4);
+        for i in 0..20 {
+            j.record(2, i, EventKind::TimerFire { kind: 0 });
+            j.record(3, i, EventKind::TimerFire { kind: 1 });
+        }
+        for p in [2u64, 3] {
+            let events: Vec<_> = j.events_for(p).collect();
+            for w in events.windows(2) {
+                assert!(w[1].seq > w[0].seq, "global seq strictly monotone");
+                assert!(
+                    w[1].clock.get(p) == w[0].clock.get(p) + 1,
+                    "own clock component is dense within a process"
+                );
+            }
+        }
+        // Components keep counting from where eviction left off: the 20th
+        // event of p2 carries component 20 even though only 4 are retained.
+        assert_eq!(j.events_for(2).last().unwrap().clock.get(2), 20);
+    }
+
+    #[test]
+    fn tail_never_spans_a_gap() {
+        let mut j = Journal::with_capacity(6);
+        for i in 0..50 {
+            j.record(9, i, EventKind::StabilityAdvance { frontier: i });
+        }
+        // Ask for more than is retained: the answer is the full contiguous
+        // retained suffix, never a window with holes.
+        let tail = j.tail(9, 100);
+        assert_eq!(tail.len(), 6);
+        for w in tail.windows(2) {
+            assert_eq!(
+                w[1].clock.get(9),
+                w[0].clock.get(9) + 1,
+                "retained window is contiguous"
+            );
+        }
+        assert!(matches!(
+            tail[0].kind,
+            EventKind::StabilityAdvance { frontier: 44 }
+        ));
+    }
+
+    #[test]
+    fn record_stamps_events_with_ticking_clocks() {
+        let mut j = Journal::default();
+        j.record(1, 0, EventKind::TimerFire { kind: 0 });
+        let stamp = j.clock_of(1);
+        assert_eq!(stamp.get(1), 1);
+        j.merge_clock(2, &stamp);
+        j.record(2, 1, EventKind::MsgDeliver { from: 1, to: 2 });
+        let deliver = j.events_for(2).next().unwrap();
+        assert_eq!(deliver.clock.get(1), 1, "sender's component piggybacked");
+        assert_eq!(deliver.clock.get(2), 1, "own component ticked");
+        let send = j.events_for(1).next().unwrap().clone();
+        assert!(send.causally_precedes(deliver));
+        assert!(!deliver.causally_precedes(&send));
+    }
+
+    #[test]
+    fn embedded_monitor_reports_with_causal_slice() {
+        let mut j = Journal::default();
+        j.enable_monitor();
+        assert!(j.monitor_enabled());
+        j.record(1, 0, EventKind::GroupView { epoch: 1, coord: 1, members: 2 });
+        let stamp = j.clock_of(1);
+        j.merge_clock(2, &stamp);
+        // p2 delivers a message nobody sent: VS 2.3 ghost.
+        j.record(
+            2,
+            5,
+            EventKind::McastDeliver { epoch: 1, coord: 1, sender: 1, seq: 1 },
+        );
+        let reports = j.monitor_reports();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].violation.to_string().contains("VS 2.3"));
+        let slice = &reports[0].slice;
+        assert!(!slice.is_empty());
+        assert_eq!(slice.last().unwrap().process, 2, "anchor comes last");
+        assert!(
+            slice.iter().any(|e| e.process == 1),
+            "cross-process predecessor included"
+        );
+    }
+
+    #[test]
+    fn journals_without_monitor_report_nothing() {
+        let mut j = Journal::default();
+        j.record(
+            2,
+            5,
+            EventKind::McastDeliver { epoch: 1, coord: 1, sender: 1, seq: 1 },
+        );
+        assert!(!j.monitor_enabled());
+        assert!(j.monitor_reports().is_empty());
     }
 }

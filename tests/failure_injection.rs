@@ -77,6 +77,7 @@ fn message_loss_during_flush_is_repaired() {
     // must still form views and deliver consistently.
     let config = SimConfig {
         link: LinkConfig { loss: 0.15, ..LinkConfig::default() },
+        ..SimConfig::default()
     };
     let (mut sim, pids) = gcs_group_with(3, 4, config);
     // The group may need longer under loss.

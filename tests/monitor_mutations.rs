@@ -1,0 +1,145 @@
+//! Mutation testing for the online invariant monitor: three seeded
+//! protocol mutations, each a way a buggy stack could silently break a
+//! VS/EVS property, are injected into the event stream *after* a healthy
+//! run. The monitor must flag each one and attach a non-empty causal
+//! slice — proving it catches real violations, not just that it stays
+//! quiet on correct runs (the no-false-positives half lives in
+//! `seed_sweep.rs`).
+//!
+//! The mutations are injected through the same [`view_synchrony::obs::Obs`]
+//! handle the protocol layers record through, so they flow through the
+//! identical vector-clock stamping and monitoring path as real events.
+
+use view_synchrony::evs::{EvsConfig, EvsEndpoint};
+use view_synchrony::net::{ProcessId, Sim, SimConfig, SimDuration};
+use view_synchrony::obs::{EventKind, MonitorViolation};
+
+/// A healthy four-member enriched group with the monitor enabled: the
+/// clean prefix every mutation rides on.
+fn healthy_group(seed: u64) -> (Sim<EvsEndpoint<String>>, Vec<ProcessId>) {
+    let mut sim: Sim<EvsEndpoint<String>> =
+        Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
+    let mut pids = Vec::new();
+    for _ in 0..4 {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |p| EvsEndpoint::new(p, EvsConfig::default())));
+    }
+    let all = pids.clone();
+    let obs = sim.obs().clone();
+    for &p in &pids {
+        sim.invoke(p, |e, _| {
+            e.set_contacts(all.iter().copied());
+            e.set_obs(obs.clone());
+        });
+    }
+    sim.run_for(SimDuration::from_millis(600));
+    assert_eq!(sim.actor(pids[0]).unwrap().view().len(), 4, "healthy prefix formed");
+    assert!(
+        sim.obs().monitor_reports().is_empty(),
+        "healthy prefix must be clean"
+    );
+    (sim, pids)
+}
+
+/// Mutation 1 — a process installs the same view twice (a broken
+/// membership layer re-announcing an id). VS Uniqueness (2.2) forbids it.
+#[test]
+fn duplicate_view_install_is_caught_with_causal_slice() {
+    let (sim, pids) = healthy_group(11);
+    let vid = sim.actor(pids[0]).unwrap().view().id();
+    let at_us = sim.now().as_micros();
+    sim.obs().record(
+        pids[0].raw(),
+        at_us,
+        EventKind::GroupView {
+            epoch: vid.epoch,
+            coord: vid.coordinator.raw(),
+            members: 4,
+        },
+    );
+    let reports = sim.obs().monitor_reports();
+    assert_eq!(reports.len(), 1, "exactly the injected violation");
+    let r = &reports[0];
+    assert!(
+        matches!(
+            r.violation,
+            MonitorViolation::DuplicateViewInstall { process, epoch, .. }
+                if process == pids[0].raw() && epoch == vid.epoch
+        ),
+        "unexpected violation: {}",
+        r.format()
+    );
+    assert!(!r.slice.is_empty(), "report carries a causal slice");
+    // The slice ends at the offending event itself.
+    assert_eq!(r.slice.last().unwrap().kind, r.event.kind);
+}
+
+/// Mutation 2 — a delivery claims a causal context *ahead* of the e-view
+/// ops its receiver has applied (a broken gate releasing a message before
+/// the structure ops it depends on). EVS 6.2 (causal-cut) forbids it.
+#[test]
+fn premature_delivery_violating_causal_cut_is_caught() {
+    let (sim, pids) = healthy_group(12);
+    let vid = sim.actor(pids[0]).unwrap().view().id();
+    let at_us = sim.now().as_micros();
+    sim.obs().record(
+        pids[0].raw(),
+        at_us,
+        EventKind::EvsDeliver {
+            epoch: vid.epoch,
+            coord: vid.coordinator.raw(),
+            sender: pids[1].raw(),
+            seq: 999,
+            eview_seq: 1_000_000, // far ahead of anything applied
+        },
+    );
+    let reports = sim.obs().monitor_reports();
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+    assert!(
+        matches!(
+            r.violation,
+            MonitorViolation::CausalCutViolation { process, eview_seq: 1_000_000, .. }
+                if process == pids[0].raw()
+        ),
+        "unexpected violation: {}",
+        r.format()
+    );
+    assert!(!r.slice.is_empty(), "report carries a causal slice");
+}
+
+/// Mutation 3 — an e-view whose partition arithmetic is wrong: one
+/// subview counted in two sv-sets, so the sv-set slots exceed the
+/// subviews. EVS 6.3 (structure preservation: sv-sets partition the
+/// subviews) forbids it.
+#[test]
+fn subview_in_two_svsets_is_caught() {
+    let (sim, pids) = healthy_group(13);
+    let vid = sim.actor(pids[0]).unwrap().view().id();
+    let at_us = sim.now().as_micros();
+    sim.obs().record(
+        pids[0].raw(),
+        at_us,
+        EventKind::EViewStructure {
+            epoch: vid.epoch + 1,
+            coord: vid.coordinator.raw(),
+            members: 4,
+            member_slots: 4,
+            subviews: 2,
+            svset_slots: 3, // one subview claimed by two sv-sets
+        },
+    );
+    let reports = sim.obs().monitor_reports();
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+    assert!(
+        matches!(
+            r.violation,
+            MonitorViolation::InvalidStructure { process, subviews: 2, svset_slots: 3, .. }
+                if process == pids[0].raw()
+        ),
+        "unexpected violation: {}",
+        r.format()
+    );
+    assert!(!r.slice.is_empty(), "report carries a causal slice");
+}

@@ -7,7 +7,12 @@
 //! [`check`], Properties 6.1–6.3 via [`check_evs`]. The schedules are pure
 //! functions of the seed, so a failure here is a *regression*, not flake:
 //! the exact run can be replayed by its seed. On violation the report
-//! includes the offending process's trailing journal window.
+//! includes the causal slice of the offending process's journal.
+//!
+//! Every run also enables the *online* invariant monitor
+//! ([`view_synchrony::obs::Monitor`]) and asserts it agrees with the
+//! post-hoc checkers: a clean `check`/`check_evs` with a non-empty monitor
+//! report is a monitor false positive, and vice versa.
 
 use view_synchrony::evs::{checker::check_evs, EvsConfig, EvsEndpoint};
 use view_synchrony::gcs::{checker::check, GcsConfig, GcsEndpoint};
@@ -45,7 +50,7 @@ fn script_for(seed: u64, pids: &[ProcessId]) -> FaultScript {
 fn gcs_sweep_over_fixed_seeds_stays_view_synchronous() {
     for seed in 0..SEEDS {
         let n = 4 + (seed % 3) as usize;
-        let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, SimConfig::default());
+        let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
         let mut pids = Vec::new();
         for _ in 0..n {
             let site = sim.alloc_site();
@@ -85,6 +90,15 @@ fn gcs_sweep_over_fixed_seeds_stays_view_synchronous() {
             m.counter("membership.views_installed") >= n as u64,
             "seed {seed}: formation recorded"
         );
+        // Cross-validation: the online monitor must agree with the
+        // post-hoc checker — the run passed `check`, so the monitor must
+        // not have flagged anything either (no false positives).
+        let reports = sim.obs().monitor_reports();
+        assert!(
+            reports.is_empty(),
+            "seed {seed}: online monitor disagrees with the post-hoc checker:\n{}",
+            reports.iter().map(|r| r.format()).collect::<Vec<_>>().join("\n")
+        );
     }
 }
 
@@ -92,7 +106,7 @@ fn gcs_sweep_over_fixed_seeds_stays_view_synchronous() {
 fn evs_sweep_over_fixed_seeds_preserves_enrichment() {
     for seed in 0..SEEDS {
         let n = 4 + (seed % 3) as usize;
-        let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed ^ 0xE5, SimConfig::default());
+        let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed ^ 0xE5, SimConfig { monitor: true, ..SimConfig::default() });
         let mut pids = Vec::new();
         for _ in 0..n {
             let site = sim.alloc_site();
@@ -140,6 +154,13 @@ fn evs_sweep_over_fixed_seeds_preserves_enrichment() {
         assert!(
             m.counter("evs.eviews_composed") >= 1,
             "seed {seed}: enrichment recorded"
+        );
+        // Cross-validation against `check_evs`, as in the GCS sweep.
+        let reports = sim.obs().monitor_reports();
+        assert!(
+            reports.is_empty(),
+            "seed {seed}: online monitor disagrees with the post-hoc checker:\n{}",
+            reports.iter().map(|r| r.format()).collect::<Vec<_>>().join("\n")
         );
     }
 }
