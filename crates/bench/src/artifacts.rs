@@ -1,0 +1,92 @@
+//! Experiment artifact handling.
+//!
+//! Everything an `exp_*` binary writes — bench snapshots, chrome traces,
+//! recorded schedule logs, exported journals — lands under `artifacts/`
+//! in the working directory (gitignored; committed `BENCH_*.json`
+//! baselines stay at the repo root and are compared against fresh
+//! `artifacts/` output by `vstool bench-gate`).
+//!
+//! Every binary also accepts a `--record` flag: [`sim_config`] turns on
+//! the simulator's schedule recorder, and [`save_run_artifacts`] then
+//! writes each run's [`vs_net::ScheduleLog`] (`.vsl`) and exported trace
+//! journal (`.journal.json`) for `vstool replay` / `vstool trace`.
+
+use std::path::PathBuf;
+
+use vs_net::{Actor, Sim, SimConfig};
+
+/// The experiment output directory (`artifacts/` under the working
+/// directory), created on first use.
+pub fn artifacts_dir() -> PathBuf {
+    let dir = PathBuf::from("artifacts");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        panic!("cannot create artifacts/: {e}");
+    }
+    dir
+}
+
+/// Path of `name` inside [`artifacts_dir`], as a displayable string.
+pub fn artifact_path(name: &str) -> String {
+    artifacts_dir().join(name).to_string_lossy().into_owned()
+}
+
+/// Whether the binary was invoked with `--record`.
+pub fn record_requested() -> bool {
+    std::env::args().skip(1).any(|a| a == "--record")
+}
+
+/// The standard experiment simulator configuration: online monitor on,
+/// schedule recording on iff `--record` was passed.
+pub fn sim_config() -> SimConfig {
+    SimConfig { monitor: true, record: record_requested(), ..SimConfig::default() }
+}
+
+/// Persists a finished run's replay artifacts, if it was recorded: the
+/// schedule log to `artifacts/<experiment>[_<label>].vsl` and the
+/// retained trace journal to `….journal.json`. A no-op for unrecorded
+/// runs, so binaries call it unconditionally after each simulator run.
+pub fn save_run_artifacts<A: Actor>(experiment: &str, label: &str, sim: &mut Sim<A>) {
+    let log = match sim.take_schedule_log() {
+        Some(log) => log,
+        None => return,
+    };
+    let stem = if label.is_empty() {
+        experiment.to_string()
+    } else {
+        format!("{experiment}_{label}")
+    };
+    let log_path = artifact_path(&format!("{stem}.vsl"));
+    std::fs::write(&log_path, log.to_bytes()).expect("write schedule log");
+    let journal_path = artifact_path(&format!("{stem}.journal.json"));
+    let mut doc = sim.obs().journal_snapshot().to_json();
+    doc.push('\n');
+    std::fs::write(&journal_path, doc).expect("write journal export");
+    println!(
+        "recorded {} decisions (schedule digest 0x{:016x}) to {log_path}; journal to {journal_path}",
+        log.len(),
+        log.digest()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_paths_live_under_the_artifacts_dir() {
+        assert_eq!(
+            PathBuf::from(artifact_path("x.json")),
+            artifacts_dir().join("x.json")
+        );
+    }
+
+    #[test]
+    fn unrecorded_runs_save_nothing() {
+        // `--record` is not passed to the test binary, so the standard
+        // config records nothing and save_run_artifacts is a no-op.
+        let mut sim: Sim<vs_evs::EvsEndpoint<String>> = Sim::new(1, sim_config());
+        sim.run_for(vs_net::SimDuration::from_millis(10));
+        assert!(sim.schedule_log().is_none());
+        save_run_artifacts("test_none", "", &mut sim);
+    }
+}

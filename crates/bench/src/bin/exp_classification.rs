@@ -265,7 +265,7 @@ fn main() {
     let mut agg = MetricsRegistry::new();
 
     // Scenario A: group bootstrap => creation-from-scratch at every member.
-    let (sim, _pids) = file_group(77, 5, ObjectConfig { universe: 5, ..ObjectConfig::default() });
+    let (mut sim, _pids) = file_group(77, 5, ObjectConfig { universe: 5, ..ObjectConfig::default() });
     let scratch = sim
         .outputs()
         .iter()
@@ -280,6 +280,7 @@ fn main() {
     assert!(scratch >= 5);
     vs_bench::assert_monitor_clean("exp_classification", sim.obs());
     agg.absorb(&sim.obs().metrics_snapshot());
+    vs_bench::save_run_artifacts("exp_classification", "bootstrap", &mut sim);
 
     // Scenario B: heal after a minority partition => transfer at the
     // rejoining member.
@@ -301,6 +302,7 @@ fn main() {
     assert!(transfers >= 1);
     vs_bench::assert_monitor_clean("exp_classification", sim.obs());
     agg.absorb(&sim.obs().metrics_snapshot());
+    vs_bench::save_run_artifacts("exp_classification", "heal", &mut sim);
 
     println!("\n[PAPER SHAPE: reproduced] — EVS classifies exactly; plain VS cannot.");
     vs_bench::print_metrics_snapshot("exp_classification", &agg);

@@ -11,7 +11,7 @@
 use vs_bench::Table;
 use vs_evs::{EvsConfig, EvsEndpoint};
 use vs_gcs::{GcsConfig, GcsEndpoint};
-use vs_net::{NetStats, ProcessId, Sim, SimConfig, SimDuration, SimTime};
+use vs_net::{NetStats, ProcessId, Sim, SimDuration, SimTime};
 use vs_obs::MetricsRegistry;
 
 struct Run {
@@ -22,7 +22,7 @@ struct Run {
 }
 
 fn workload<A, FSpawn, FWire, FMcast, FView>(
-    seed: u64,
+    label: &str,
     n: usize,
     spawn: FSpawn,
     wire: FWire,
@@ -37,7 +37,8 @@ where
     FMcast: Fn(&mut Sim<A>, ProcessId, String),
     FView: Fn(&Sim<A>, ProcessId) -> usize,
 {
-    let mut sim: Sim<A> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
+    // The seed is the group size: both stacks see the same schedule per n.
+    let mut sim: Sim<A> = Sim::new(n as u64, vs_bench::sim_config());
     let mut pids = Vec::new();
     for _ in 0..n {
         pids.push(spawn(&mut sim));
@@ -66,6 +67,7 @@ where
     }
     sim.run_for(SimDuration::from_millis(300));
     vs_bench::assert_monitor_clean("exp_evs_overhead", sim.obs());
+    vs_bench::save_run_artifacts("exp_evs_overhead", label, &mut sim);
     Run {
         stats: *sim.stats(),
         merge_ms: merged_at
@@ -90,7 +92,7 @@ fn main() {
     let mut agg = MetricsRegistry::new();
     for &n in &[4usize, 8, 16] {
         let plain = workload::<GcsEndpoint<String>, _, _, _, _>(
-            n as u64,
+            &format!("plain_n{n}"),
             n,
             |sim| {
                 let site = sim.alloc_site();
@@ -113,7 +115,7 @@ fn main() {
             |_, _| 0,
         );
         let enriched = workload::<EvsEndpoint<String>, _, _, _, _>(
-            n as u64,
+            &format!("enriched_n{n}"),
             n,
             |sim| {
                 let site = sim.alloc_site();
@@ -168,8 +170,9 @@ fn main() {
          [PAPER SHAPE: supported if the message overhead is within a few percent\n\
           and merge times are comparable]"
     );
-    vs_bench::write_bench_json("BENCH_evs_overhead.json", "exp_evs_overhead", &agg)
+    let bench_path = vs_bench::artifact_path("BENCH_evs_overhead.json");
+    vs_bench::write_bench_json(&bench_path, "exp_evs_overhead", &agg)
         .expect("write BENCH_evs_overhead.json");
-    println!("bench snapshot written to BENCH_evs_overhead.json");
+    println!("bench snapshot written to {bench_path}");
     vs_bench::print_metrics_snapshot("exp_evs_overhead", &agg);
 }

@@ -69,10 +69,12 @@ fn main() {
         if seed == 0 {
             // One representative run exported as a Chrome trace (open in
             // Perfetto or chrome://tracing); CI uploads it as an artifact.
-            std::fs::write("trace_exp_fig1_modes.json", sim.obs().chrome_trace_json())
+            let trace_path = vs_bench::artifact_path("trace_exp_fig1_modes.json");
+            std::fs::write(&trace_path, sim.obs().chrome_trace_json())
                 .expect("write trace_exp_fig1_modes.json");
-            println!("chrome trace written to trace_exp_fig1_modes.json");
+            println!("chrome trace written to {trace_path}");
         }
+        vs_bench::save_run_artifacts("exp_fig1_modes", &format!("s{seed}"), &mut sim);
     }
 
     // Scripted total-failure scenario: recovery proceeds site by site, so
@@ -142,6 +144,7 @@ fn main() {
         assert!(blocked > 0, "creation was blocked awaiting the authority");
         vs_bench::assert_monitor_clean("exp_fig1_modes", sim.obs());
         agg.absorb(&sim.obs().metrics_snapshot());
+        vs_bench::save_run_artifacts("exp_fig1_modes", "total_failure", &mut sim);
     }
 
     println!("E1 — Figure 1 mode-transition relation");

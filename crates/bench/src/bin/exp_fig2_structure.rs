@@ -107,6 +107,11 @@ fn main() {
             }
             vs_bench::assert_monitor_clean("exp_fig2_structure", sim.obs());
             agg.absorb(&sim.obs().metrics_snapshot());
+            vs_bench::save_run_artifacts(
+                "exp_fig2_structure",
+                &format!("s{seed}_n{n}"),
+                &mut sim,
+            );
         }
         all_clean &= violations == 0;
         table.row(&[&n, &seeds.len(), &eviews, &changes, &deliveries, &violations]);

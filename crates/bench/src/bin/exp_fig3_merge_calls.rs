@@ -99,6 +99,7 @@ fn main() {
         (vc.as_micros() / evc1.as_micros().max(1)));
     println!("[PAPER SHAPE: reproduced]");
     vs_bench::assert_monitor_clean("exp_fig3_merge_calls", sim.obs());
+    vs_bench::save_run_artifacts("exp_fig3_merge_calls", "", &mut sim);
     vs_bench::print_metrics("exp_fig3_merge_calls", sim.obs());
 }
 

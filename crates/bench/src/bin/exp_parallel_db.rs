@@ -16,7 +16,7 @@ use vs_apps::{DbEvent, ParallelDb};
 use vs_bench::faults::{random_script, FaultPlan};
 use vs_bench::Table;
 use vs_evs::EvsConfig;
-use vs_net::{DetRng, ProcessId, Sim, SimConfig, SimDuration};
+use vs_net::{DetRng, ProcessId, Sim, SimDuration};
 
 fn main() {
     println!("E9 — parallel-query re-division under view changes");
@@ -24,7 +24,7 @@ fn main() {
     let dataset: Vec<u64> = (0..keys as u64).map(|k| (k * 7 + 3) % 23).collect();
     let n = 6;
 
-    let mut sim: Sim<ParallelDb> = Sim::new(99, SimConfig { monitor: true, ..SimConfig::default() });
+    let mut sim: Sim<ParallelDb> = Sim::new(99, vs_bench::sim_config());
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();
@@ -134,5 +134,6 @@ fn main() {
          [PAPER SHAPE: reproduced]"
     );
     vs_bench::assert_monitor_clean("exp_parallel_db", sim.obs());
+    vs_bench::save_run_artifacts("exp_parallel_db", "", &mut sim);
     vs_bench::print_metrics("exp_parallel_db", sim.obs());
 }

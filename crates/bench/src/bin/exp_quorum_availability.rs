@@ -139,6 +139,7 @@ fn main() {
     assert!(converged, "replicas must converge after the final heal");
     println!("all replicas converged after the final heal: OK");
     vs_bench::assert_monitor_clean("exp_quorum_availability", sim.obs());
+    vs_bench::save_run_artifacts("exp_quorum_availability", "", &mut sim);
     vs_bench::print_metrics("exp_quorum_availability", sim.obs());
     println!(
         "\npaper expectation: availability follows quorum membership — majority-side\n\

@@ -100,6 +100,7 @@ fn run(state_size: usize, mode: TransferMode, seed: u64, agg: &mut MetricsRegist
     };
     vs_bench::assert_monitor_clean("exp_state_transfer", sim.obs());
     agg.absorb(&sim.obs().metrics_snapshot());
+    vs_bench::save_run_artifacts("exp_state_transfer", &format!("s{seed}"), &mut sim);
     Outcome {
         bytes_before_serving,
         total_bytes,

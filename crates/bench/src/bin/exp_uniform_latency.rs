@@ -11,11 +11,11 @@
 
 use vs_bench::Table;
 use vs_gcs::{GcsConfig, GcsEndpoint, GcsEvent};
-use vs_net::{ProcessId, Sim, SimConfig, SimDuration, SimTime};
+use vs_net::{ProcessId, Sim, SimDuration, SimTime};
 use vs_obs::MetricsRegistry;
 
 fn run(n: usize, uniform: bool, seed: u64, agg: &mut MetricsRegistry) -> Vec<f64> {
-    let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
+    let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, vs_bench::sim_config());
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();
@@ -73,6 +73,8 @@ fn run(n: usize, uniform: bool, seed: u64, agg: &mut MetricsRegistry) -> Vec<f64
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     vs_bench::assert_monitor_clean("exp_uniform_latency", sim.obs());
     agg.absorb(&sim.obs().metrics_snapshot());
+    let mode = if uniform { "uniform" } else { "regular" };
+    vs_bench::save_run_artifacts("exp_uniform_latency", &format!("{mode}_n{n}"), &mut sim);
     latencies
 }
 

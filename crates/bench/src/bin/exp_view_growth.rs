@@ -16,13 +16,13 @@
 use vs_apps::primary::{PrimEvent, PrimaryConfig, PrimaryEndpoint};
 use vs_bench::Table;
 use vs_evs::{EvsConfig, EvsEndpoint, EvsEvent};
-use vs_net::{ProcessId, Sim, SimConfig, SimDuration};
+use vs_net::{ProcessId, Sim, SimDuration};
 use vs_obs::MetricsRegistry;
 
 /// Partitionable EVS: count view changes per process caused by the heal.
 fn run_evs(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64) {
     let n = 2 * m + 1;
-    let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
+    let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed, vs_bench::sim_config());
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();
@@ -64,6 +64,7 @@ fn run_evs(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64) {
     let avg = per_proc.iter().sum::<u64>() as f64 / per_proc.len() as f64;
     vs_bench::assert_monitor_clean("exp_view_growth", sim.obs());
     agg.absorb(&sim.obs().metrics_snapshot());
+    vs_bench::save_run_artifacts("exp_view_growth", &format!("evs_m{m}"), &mut sim);
     (avg, merged_at.saturating_since(t0).as_millis_f64())
 }
 
@@ -71,7 +72,7 @@ fn run_evs(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64) {
 /// re-admitted one process at a time; count virtual view changes.
 fn run_primary(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64, u64) {
     let n = 2 * m + 1;
-    let mut sim: Sim<PrimaryEndpoint> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
+    let mut sim: Sim<PrimaryEndpoint> = Sim::new(seed, vs_bench::sim_config());
     let mut pids: Vec<ProcessId> = Vec::new();
     for i in 0..n {
         let site = sim.alloc_site();
@@ -127,6 +128,7 @@ fn run_primary(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64, u64
     let avg = per_proc[..m + 1].iter().sum::<u64>() as f64 / (m + 1) as f64;
     vs_bench::assert_monitor_clean("exp_view_growth", sim.obs());
     agg.absorb(&sim.obs().metrics_snapshot());
+    vs_bench::save_run_artifacts("exp_view_growth", &format!("primary_m{m}"), &mut sim);
     (avg, done_at.saturating_since(t0).as_millis_f64(), transfers / 2)
 }
 
@@ -159,8 +161,9 @@ fn main() {
          the one-at-a-time model needs ~m, each with a blocking state transfer.\n\
          [PAPER SHAPE: reproduced if the Isis-like column grows linearly in m]"
     );
-    vs_bench::write_bench_json("BENCH_view_growth.json", "exp_view_growth", &agg)
+    let bench_path = vs_bench::artifact_path("BENCH_view_growth.json");
+    vs_bench::write_bench_json(&bench_path, "exp_view_growth", &agg)
         .expect("write BENCH_view_growth.json");
-    println!("bench snapshot written to BENCH_view_growth.json");
+    println!("bench snapshot written to {bench_path}");
     vs_bench::print_metrics_snapshot("exp_view_growth", &agg);
 }

@@ -9,10 +9,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod faults;
 pub mod report;
 pub mod scenarios;
 
+pub use artifacts::{
+    artifact_path, artifacts_dir, record_requested, save_run_artifacts, sim_config,
+};
 pub use report::{
     assert_monitor_clean, metrics_json, print_metrics, print_metrics_snapshot, write_bench_json,
     Table,

@@ -10,12 +10,12 @@
 
 use vs_apps::{KvStore, KvStoreApp, ObjectConfig, ReplicatedFile, ReplicatedFileApp};
 use vs_evs::{EvsConfig, EvsEndpoint};
-use vs_net::{ProcessId, Sim, SimConfig, SimDuration};
+use vs_net::{ProcessId, Sim, SimDuration};
 
 /// Spawns `n` enriched endpoints that know about each other and lets the
 /// group form. Returns the simulator and the process ids.
 pub fn evs_group(seed: u64, n: usize) -> (Sim<EvsEndpoint<String>>, Vec<ProcessId>) {
-    let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
+    let mut sim: Sim<EvsEndpoint<String>> = Sim::new(seed, crate::sim_config());
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();
@@ -32,7 +32,7 @@ pub fn evs_group(seed: u64, n: usize) -> (Sim<EvsEndpoint<String>>, Vec<ProcessI
 
 /// Spawns a quorum-replicated-file group of `n` (universe `n`).
 pub fn file_group(seed: u64, n: usize, config: ObjectConfig) -> (Sim<ReplicatedFile>, Vec<ProcessId>) {
-    let mut sim: Sim<ReplicatedFile> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
+    let mut sim: Sim<ReplicatedFile> = Sim::new(seed, crate::sim_config());
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();
@@ -51,7 +51,7 @@ pub fn file_group(seed: u64, n: usize, config: ObjectConfig) -> (Sim<ReplicatedF
 
 /// Spawns a weak-consistency KV group of `n`.
 pub fn kv_group(seed: u64, n: usize) -> (Sim<KvStore>, Vec<ProcessId>) {
-    let mut sim: Sim<KvStore> = Sim::new(seed, SimConfig { monitor: true, ..SimConfig::default() });
+    let mut sim: Sim<KvStore> = Sim::new(seed, crate::sim_config());
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();

@@ -103,20 +103,16 @@ impl Violation {
 /// there — not just the offender's own tail, but everything its vector
 /// clock shows it causally depends on.
 pub fn report_with_trace(violations: &[Violation], journal: &Journal, window: usize) -> String {
-    let mut out = String::new();
-    for (i, v) in violations.iter().enumerate() {
-        out.push_str(&format!("violation {}: {v}\n", i + 1));
-        for p in v.processes() {
-            out.push_str(&format!("  causal slice ({window} events) ending at {p}:\n"));
-            for line in journal.format_causal_slice(p.raw(), window).lines() {
-                out.push_str(&format!("  {line}\n"));
-            }
-        }
-    }
-    if out.ends_with('\n') {
-        out.pop();
-    }
-    out
+    vs_obs::render_violation_report(
+        violations.iter().map(|v| {
+            (
+                v.to_string(),
+                v.processes().iter().map(|p| p.raw()).collect(),
+            )
+        }),
+        journal,
+        window,
+    )
 }
 
 impl fmt::Display for Violation {

@@ -87,7 +87,165 @@ impl FaultScript {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// Renders the script in the line-oriented text format parsed by
+    /// [`FaultScript::parse`]: one `<at_us> <op> [args…]` line per
+    /// operation, time-ordered. The format is what shrunk counterexample
+    /// fixtures are committed in, so it is stable.
+    ///
+    /// ```
+    /// use vs_net::{FaultOp, FaultScript, ProcessId, SimTime};
+    /// let p = ProcessId::from_raw(3);
+    /// let s = FaultScript::new()
+    ///     .at(SimTime::from_micros(500), FaultOp::Isolate(p))
+    ///     .at(SimTime::from_micros(900), FaultOp::Heal);
+    /// assert_eq!(s.to_text(), "500 isolate 3\n900 heal\n");
+    /// assert_eq!(FaultScript::parse(&s.to_text()).unwrap().to_text(), s.to_text());
+    /// ```
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (at, op) in self.iter() {
+            let _ = write!(out, "{} ", at.as_micros());
+            match op {
+                FaultOp::Crash(p) => {
+                    let _ = write!(out, "crash {}", p.raw());
+                }
+                FaultOp::Recover(s) => {
+                    let _ = write!(out, "recover {}", s.raw());
+                }
+                FaultOp::Partition(groups) => {
+                    let _ = write!(out, "partition");
+                    for (i, g) in groups.iter().enumerate() {
+                        if i > 0 {
+                            let _ = write!(out, " |");
+                        }
+                        for p in g {
+                            let _ = write!(out, " {}", p.raw());
+                        }
+                    }
+                }
+                FaultOp::MergeComponents(ps) => {
+                    let _ = write!(out, "merge");
+                    for p in ps {
+                        let _ = write!(out, " {}", p.raw());
+                    }
+                }
+                FaultOp::Heal => {
+                    let _ = write!(out, "heal");
+                }
+                FaultOp::Isolate(p) => {
+                    let _ = write!(out, "isolate {}", p.raw());
+                }
+                FaultOp::SeverLink(a, b) => {
+                    let _ = write!(out, "sever {} {}", a.raw(), b.raw());
+                }
+                FaultOp::RestoreLink(a, b) => {
+                    let _ = write!(out, "restore {} {}", a.raw(), b.raw());
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`FaultScript::to_text`]. Blank
+    /// lines and `#` comments are ignored. Errors name the offending line.
+    pub fn parse(text: &str) -> Result<FaultScript, ScriptParseError> {
+        let mut script = FaultScript::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| ScriptParseError {
+                line: lineno + 1,
+                what: what.to_string(),
+            };
+            let mut words = line.split_whitespace();
+            let at: u64 = words
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| err("expected a microsecond timestamp"))?;
+            let op_name = words.next().ok_or_else(|| err("expected an op name"))?;
+            let rest: Vec<&str> = words.collect();
+            let pid = |w: &str| -> Result<ProcessId, ScriptParseError> {
+                w.parse::<u64>()
+                    .map(ProcessId::from_raw)
+                    .map_err(|_| err("expected a process id"))
+            };
+            let op = match op_name {
+                "crash" => FaultOp::Crash(pid(rest.first().ok_or_else(|| err("crash needs a pid"))?)?),
+                "recover" => FaultOp::Recover(
+                    rest.first()
+                        .and_then(|w| w.parse::<u32>().ok())
+                        .map(SiteId::from_raw)
+                        .ok_or_else(|| err("recover needs a site id"))?,
+                ),
+                "partition" => {
+                    let mut groups: Vec<Vec<ProcessId>> = vec![Vec::new()];
+                    for w in &rest {
+                        if *w == "|" {
+                            groups.push(Vec::new());
+                        } else {
+                            groups.last_mut().unwrap().push(pid(w)?);
+                        }
+                    }
+                    if groups.iter().any(|g| g.is_empty()) {
+                        return Err(err("partition groups must be non-empty"));
+                    }
+                    FaultOp::Partition(groups)
+                }
+                "merge" => {
+                    let mut ps = Vec::new();
+                    for w in &rest {
+                        ps.push(pid(w)?);
+                    }
+                    if ps.is_empty() {
+                        return Err(err("merge needs at least one pid"));
+                    }
+                    FaultOp::MergeComponents(ps)
+                }
+                "heal" => FaultOp::Heal,
+                "isolate" => {
+                    FaultOp::Isolate(pid(rest.first().ok_or_else(|| err("isolate needs a pid"))?)?)
+                }
+                "sever" | "restore" => {
+                    if rest.len() != 2 {
+                        return Err(err("sever/restore need exactly two pids"));
+                    }
+                    let a = pid(rest[0])?;
+                    let b = pid(rest[1])?;
+                    if op_name == "sever" {
+                        FaultOp::SeverLink(a, b)
+                    } else {
+                        FaultOp::RestoreLink(a, b)
+                    }
+                }
+                other => return Err(err(&format!("unknown op `{other}`"))),
+            };
+            script.push(SimTime::from_micros(at), op);
+        }
+        Ok(script)
+    }
 }
+
+/// A syntax error in the [`FaultScript`] text format, naming the line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub what: String,
+}
+
+impl std::fmt::Display for ScriptParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault script line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for ScriptParseError {}
 
 impl IntoIterator for FaultScript {
     type Item = (SimTime, FaultOp);
@@ -129,6 +287,39 @@ mod tests {
             })
             .collect();
         assert_eq!(who, vec![pid(1), pid(2)]);
+    }
+
+    #[test]
+    fn text_codec_round_trips_every_op() {
+        let script = FaultScript::new()
+            .at(SimTime::from_micros(100), FaultOp::Crash(pid(1)))
+            .at(SimTime::from_micros(200), FaultOp::Recover(SiteId::from_raw(2)))
+            .at(
+                SimTime::from_micros(300),
+                FaultOp::Partition(vec![vec![pid(0), pid(1)], vec![pid(2)]]),
+            )
+            .at(SimTime::from_micros(400), FaultOp::MergeComponents(vec![pid(0), pid(2)]))
+            .at(SimTime::from_micros(500), FaultOp::Heal)
+            .at(SimTime::from_micros(600), FaultOp::Isolate(pid(3)))
+            .at(SimTime::from_micros(700), FaultOp::SeverLink(pid(0), pid(1)))
+            .at(SimTime::from_micros(800), FaultOp::RestoreLink(pid(0), pid(1)));
+        let text = script.to_text();
+        let back = FaultScript::parse(&text).expect("round trip");
+        let a: Vec<_> = script.iter().map(|(t, op)| (t, op.clone())).collect();
+        let b: Vec<_> = back.iter().map(|(t, op)| (t, op.clone())).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_names_bad_lines() {
+        let script = FaultScript::parse("# a comment\n\n500 heal\n").unwrap();
+        assert_eq!(script.len(), 1);
+        let err = FaultScript::parse("500 heal\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = FaultScript::parse("700 frobnicate 3\n").unwrap_err();
+        assert!(err.to_string().contains("unknown op `frobnicate`"), "{err}");
+        let err = FaultScript::parse("900 partition 0 | | 1\n").unwrap_err();
+        assert!(err.to_string().contains("non-empty"), "{err}");
     }
 
     #[test]

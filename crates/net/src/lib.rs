@@ -61,6 +61,7 @@ mod fault;
 mod id;
 mod link;
 mod rng;
+pub mod schedule;
 mod sim;
 mod stats;
 mod storage;
@@ -69,10 +70,13 @@ mod time;
 mod topology;
 
 pub use actor::{Actor, Context, TimerId, TimerKind};
-pub use fault::{FaultOp, FaultScript};
+pub use fault::{FaultOp, FaultScript, ScriptParseError};
 pub use id::{ProcessId, SiteId};
 pub use link::{DelayModel, LinkConfig};
 pub use rng::DetRng;
+pub use schedule::{
+    Decision, Divergence, LogCodecError, PopKind, RecordUnsupported, ReplayError, ScheduleLog,
+};
 pub use sim::{Sim, SimConfig};
 pub use stats::NetStats;
 pub use storage::Storage;

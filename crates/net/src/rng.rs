@@ -24,6 +24,11 @@ use crate::time::SimDuration;
 #[derive(Debug, Clone)]
 pub struct DetRng {
     s: [u64; 4],
+    /// Raw draws consumed since seeding (audit trail for record/replay).
+    draws: u64,
+    /// FNV-style running digest over every value drawn; two generators
+    /// with equal `(draws, digest)` consumed the same stream.
+    digest: u64,
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -47,6 +52,8 @@ impl DetRng {
                 splitmix64(&mut sm),
                 splitmix64(&mut sm),
             ],
+            draws: 0,
+            digest: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
         }
     }
 
@@ -70,7 +77,19 @@ impl DetRng {
         self.s[0] ^= self.s[3];
         self.s[2] ^= t;
         self.s[3] = self.s[3].rotate_left(45);
+        self.draws = self.draws.wrapping_add(1);
+        self.digest = (self.digest ^ result).wrapping_mul(0x0000_0100_0000_01b3);
         result
+    }
+
+    /// The audit trail: `(draws consumed, running digest over them)`.
+    ///
+    /// The simulator snapshots this around each actor callback; the delta
+    /// becomes a recorded RNG decision, so a replayed actor that draws a
+    /// different amount (or different values) of randomness is caught as a
+    /// schedule divergence.
+    pub fn audit(&self) -> (u64, u64) {
+        (self.draws, self.digest)
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -230,6 +249,28 @@ mod tests {
         let empty: [u8; 0] = [];
         assert!(r.pick(&empty).is_none());
         assert_eq!(r.pick(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn audit_tracks_draw_count_and_stream_content() {
+        let mut a = DetRng::seed_from(10);
+        let mut b = DetRng::seed_from(10);
+        assert_eq!(a.audit(), b.audit(), "fresh generators agree");
+        for _ in 0..5 {
+            a.next_u64();
+            b.next_u64();
+        }
+        assert_eq!(a.audit(), b.audit(), "same stream, same audit");
+        assert_eq!(a.audit().0, 5);
+        a.next_u64();
+        assert_ne!(a.audit(), b.audit(), "extra draw changes the audit");
+        b.next_u64();
+        let mut c = DetRng::seed_from(11);
+        for _ in 0..6 {
+            c.next_u64();
+        }
+        assert_eq!(c.audit().0, 6);
+        assert_ne!(c.audit().1, a.audit().1, "different values, different digest");
     }
 
     #[test]

@@ -1,0 +1,586 @@
+//! Schedule recording and deterministic replay.
+//!
+//! [`Sim`](crate::Sim) is already deterministic: a run is fully determined
+//! by `(seed, fault script, actor code, driver calls)`. Record/replay
+//! builds a *witness* on top of that determinism. With
+//! [`SimConfig::record`](crate::SimConfig::record) set, the simulator
+//! captures every nondeterministic decision it makes — event-queue pops,
+//! link delay/loss samples, fault-script firings, and actor RNG draws —
+//! into a compact [`ScheduleLog`]. Replaying re-executes the same driver
+//! and *validates* each decision against the log: the first mismatch is
+//! reported as a [`Divergence`] naming the differing decision, which is
+//! how schedule drift (a perturbed log, changed actor code, a different
+//! seed) is detected rather than silently producing a different run.
+//!
+//! The log has an in-tree varint codec ([`ScheduleLog::to_bytes`] /
+//! [`ScheduleLog::from_bytes`]) and a stable digest so two runs can be
+//! compared without retaining both logs.
+//!
+//! Recording is simulator-only: the threaded transport's scheduling comes
+//! from the OS and cannot be captured, so
+//! [`threaded::ThreadedNet::enable_record`](crate::threaded::ThreadedNet::enable_record)
+//! refuses with [`RecordUnsupported`].
+
+use std::fmt;
+
+/// One nondeterministic decision taken by the simulator.
+///
+/// The stream of decisions, in order, pins down a run: replaying the same
+/// driver against the same seed must reproduce the identical stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The event queue surfaced the entry `(at_us, seq)`; `kind` is the
+    /// queued event class (see [`PopKind`]).
+    Pop {
+        /// Virtual time of the popped entry, in microseconds.
+        at_us: u64,
+        /// Tie-breaking sequence number of the popped entry.
+        seq: u64,
+        /// Class of the popped event.
+        kind: PopKind,
+    },
+    /// The link model scheduled a delivery `from -> to` after `delay_us`.
+    LinkDelay {
+        /// Sending process (raw id).
+        from: u64,
+        /// Receiving process (raw id).
+        to: u64,
+        /// Sampled propagation delay, in microseconds.
+        delay_us: u64,
+    },
+    /// The link model dropped a message `from -> to` (loss draw).
+    LinkLoss {
+        /// Sending process (raw id).
+        from: u64,
+        /// Receiving process (raw id).
+        to: u64,
+    },
+    /// An actor callback drew from its deterministic RNG: `draws` values
+    /// were consumed and the generator's running audit digest became
+    /// `digest` (see [`DetRng::audit`](crate::DetRng::audit)).
+    Rng {
+        /// Number of raw draws consumed inside the callback.
+        draws: u64,
+        /// Running audit digest after the callback.
+        digest: u64,
+    },
+    /// A scripted fault fired at `at_us`; `tag` identifies the
+    /// [`FaultOp`](crate::FaultOp) variant (0=crash, 1=recover,
+    /// 2=partition, 3=merge, 4=heal, 5=isolate, 6=sever, 7=restore).
+    Fault {
+        /// Virtual time the fault applied, in microseconds.
+        at_us: u64,
+        /// Fault-variant tag.
+        tag: u8,
+    },
+}
+
+/// Class of a popped event-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopKind {
+    /// A message delivery.
+    Deliver,
+    /// A timer expiry.
+    Timer,
+    /// A scripted fault.
+    Fault,
+}
+
+impl PopKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            PopKind::Deliver => 0,
+            PopKind::Timer => 1,
+            PopKind::Fault => 2,
+        }
+    }
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(PopKind::Deliver),
+            1 => Some(PopKind::Timer),
+            2 => Some(PopKind::Fault),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PopKind::Deliver => "deliver",
+            PopKind::Timer => "timer",
+            PopKind::Fault => "fault",
+        })
+    }
+}
+
+/// Human-readable name of a fault-variant tag as stored in
+/// [`Decision::Fault`].
+pub fn fault_tag_name(tag: u8) -> &'static str {
+    match tag {
+        0 => "crash",
+        1 => "recover",
+        2 => "partition",
+        3 => "merge",
+        4 => "heal",
+        5 => "isolate",
+        6 => "sever",
+        7 => "restore",
+        _ => "unknown",
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Pop { at_us, seq, kind } => {
+                write!(f, "pop(at={at_us}us, seq={seq}, {kind})")
+            }
+            Decision::LinkDelay { from, to, delay_us } => {
+                write!(f, "link-delay({from}->{to}, {delay_us}us)")
+            }
+            Decision::LinkLoss { from, to } => write!(f, "link-loss({from}->{to})"),
+            Decision::Rng { draws, digest } => {
+                write!(f, "rng(draws={draws}, digest={digest:#018x})")
+            }
+            Decision::Fault { at_us, tag } => {
+                write!(f, "fault(at={at_us}us, op={})", fault_tag_name(*tag))
+            }
+        }
+    }
+}
+
+/// The recorded witness of one simulated run: the seed plus every
+/// [`Decision`] in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleLog {
+    seed: u64,
+    decisions: Vec<Decision>,
+}
+
+/// Magic header of the binary codec (versioned; bump on layout change).
+const MAGIC: &[u8; 4] = b"VSL1";
+
+impl ScheduleLog {
+    /// Creates an empty log for a run seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        ScheduleLog { seed, decisions: Vec::new() }
+    }
+
+    /// The seed of the recorded run.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The recorded decisions, in execution order.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Mutable access to the decisions — for tools and tests that perturb
+    /// a log to prove divergence detection works. Mutating a log and
+    /// expecting a clean replay breaks the witness by construction.
+    pub fn decisions_mut(&mut self) -> &mut Vec<Decision> {
+        &mut self.decisions
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether the log holds no decisions.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, d: Decision) {
+        self.decisions.push(d);
+    }
+
+    /// Serialises the log with the in-tree varint codec.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.decisions.len() * 4);
+        out.extend_from_slice(MAGIC);
+        put_varint(&mut out, self.seed);
+        put_varint(&mut out, self.decisions.len() as u64);
+        for d in &self.decisions {
+            match *d {
+                Decision::Pop { at_us, seq, kind } => {
+                    out.push(0);
+                    put_varint(&mut out, at_us);
+                    put_varint(&mut out, seq);
+                    out.push(kind.to_byte());
+                }
+                Decision::LinkDelay { from, to, delay_us } => {
+                    out.push(1);
+                    put_varint(&mut out, from);
+                    put_varint(&mut out, to);
+                    put_varint(&mut out, delay_us);
+                }
+                Decision::LinkLoss { from, to } => {
+                    out.push(2);
+                    put_varint(&mut out, from);
+                    put_varint(&mut out, to);
+                }
+                Decision::Rng { draws, digest } => {
+                    out.push(3);
+                    put_varint(&mut out, draws);
+                    put_varint(&mut out, digest);
+                }
+                Decision::Fault { at_us, tag } => {
+                    out.push(4);
+                    put_varint(&mut out, at_us);
+                    out.push(tag);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a log serialised by [`ScheduleLog::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, LogCodecError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err(LogCodecError::BadMagic);
+        }
+        let seed = r.varint()?;
+        let count = r.varint()?;
+        let mut decisions = Vec::with_capacity(count.min(1 << 20) as usize);
+        for _ in 0..count {
+            let tag = r.byte()?;
+            let d = match tag {
+                0 => {
+                    let at_us = r.varint()?;
+                    let seq = r.varint()?;
+                    let k = r.byte()?;
+                    let kind = PopKind::from_byte(k).ok_or(LogCodecError::BadTag(k))?;
+                    Decision::Pop { at_us, seq, kind }
+                }
+                1 => Decision::LinkDelay {
+                    from: r.varint()?,
+                    to: r.varint()?,
+                    delay_us: r.varint()?,
+                },
+                2 => Decision::LinkLoss { from: r.varint()?, to: r.varint()? },
+                3 => Decision::Rng { draws: r.varint()?, digest: r.varint()? },
+                4 => Decision::Fault { at_us: r.varint()?, tag: r.byte()? },
+                other => return Err(LogCodecError::BadTag(other)),
+            };
+            decisions.push(d);
+        }
+        if r.pos != bytes.len() {
+            return Err(LogCodecError::TrailingBytes);
+        }
+        Ok(ScheduleLog { seed, decisions })
+    }
+
+    /// A stable FNV-1a digest over the serialised log; equal digests mean
+    /// identical recorded schedules.
+    pub fn digest(&self) -> u64 {
+        let bytes = self.to_bytes();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Unsigned LEB128.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], LogCodecError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(LogCodecError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn byte(&mut self) -> Result<u8, LogCodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn varint(&mut self) -> Result<u64, LogCodecError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 {
+                return Err(LogCodecError::Overflow);
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Errors parsing a serialised [`ScheduleLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogCodecError {
+    /// The buffer does not start with the schedule-log magic.
+    BadMagic,
+    /// The buffer ended mid-record.
+    Truncated,
+    /// An unknown decision or pop-kind tag.
+    BadTag(u8),
+    /// A varint exceeded 64 bits.
+    Overflow,
+    /// Well-formed records followed by leftover bytes.
+    TrailingBytes,
+}
+
+impl fmt::Display for LogCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogCodecError::BadMagic => write!(f, "not a schedule log (bad magic)"),
+            LogCodecError::Truncated => write!(f, "schedule log truncated"),
+            LogCodecError::BadTag(t) => write!(f, "unknown decision tag {t}"),
+            LogCodecError::Overflow => write!(f, "varint overflow"),
+            LogCodecError::TrailingBytes => write!(f, "trailing bytes after log"),
+        }
+    }
+}
+
+impl std::error::Error for LogCodecError {}
+
+/// The first point where a replayed run departed from its log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the differing decision in the log.
+    pub index: usize,
+    /// The recorded decision, or `None` when the replay produced more
+    /// decisions than the log holds.
+    pub expected: Option<Decision>,
+    /// The decision the replayed run actually took.
+    pub actual: Decision,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.expected {
+            Some(e) => write!(
+                f,
+                "replay diverged at decision #{}: expected {e}, got {}",
+                self.index, self.actual
+            ),
+            None => write!(
+                f,
+                "replay ran past the end of the log at decision #{}: got {}",
+                self.index, self.actual
+            ),
+        }
+    }
+}
+
+/// Why a replay failed to validate against its log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A decision differed from the recorded one.
+    Diverged(Divergence),
+    /// The replay ended before consuming the whole log.
+    Incomplete {
+        /// Decisions consumed by the replay.
+        consumed: usize,
+        /// Decisions in the log.
+        total: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Diverged(d) => d.fmt(f),
+            ReplayError::Incomplete { consumed, total } => write!(
+                f,
+                "replay consumed {consumed} of {total} recorded decisions; \
+                 the driver ran less of the schedule than the recording"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Recording is refused outside the simulator.
+///
+/// Returned by
+/// [`ThreadedNet::enable_record`](crate::threaded::ThreadedNet::enable_record):
+/// thread interleavings and wall-clock timer firings come from the OS
+/// scheduler, so there is no deterministic decision stream to capture or
+/// validate. Record/replay is a simulator-only facility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordUnsupported;
+
+impl fmt::Display for RecordUnsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "record/replay is simulator-only: the threaded transport's \
+             scheduling comes from the OS and cannot be captured \
+             deterministically; run the scenario under vs_net::Sim with \
+             SimConfig {{ record: true }} instead"
+        )
+    }
+}
+
+impl std::error::Error for RecordUnsupported {}
+
+/// The simulator's recording state machine (crate-internal).
+#[derive(Debug)]
+pub(crate) enum Recorder {
+    /// Neither recording nor replaying.
+    Off,
+    /// Appending every decision to a log.
+    Record(ScheduleLog),
+    /// Validating every decision against a log.
+    Replay {
+        log: ScheduleLog,
+        cursor: usize,
+        divergence: Option<Divergence>,
+    },
+}
+
+impl Recorder {
+    /// Feeds one decision through the recorder: appended when recording,
+    /// validated (first mismatch captured) when replaying.
+    pub(crate) fn note(&mut self, actual: Decision) {
+        match self {
+            Recorder::Off => {}
+            Recorder::Record(log) => log.push(actual),
+            Recorder::Replay { log, cursor, divergence } => {
+                let index = *cursor;
+                *cursor += 1;
+                if divergence.is_some() {
+                    return; // only the first divergence is meaningful
+                }
+                match log.decisions().get(index) {
+                    Some(expected) if *expected == actual => {}
+                    Some(expected) => {
+                        *divergence = Some(Divergence {
+                            index,
+                            expected: Some(*expected),
+                            actual,
+                        });
+                    }
+                    None => {
+                        *divergence = Some(Divergence { index, expected: None, actual });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> ScheduleLog {
+        let mut log = ScheduleLog::new(42);
+        log.push(Decision::Pop { at_us: 1_000, seq: 3, kind: PopKind::Deliver });
+        log.push(Decision::LinkDelay { from: 0, to: 1, delay_us: 732 });
+        log.push(Decision::LinkLoss { from: 1, to: 0 });
+        log.push(Decision::Rng { draws: 5, digest: 0xdead_beef });
+        log.push(Decision::Fault { at_us: 2_000, tag: 2 });
+        log
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let log = sample_log();
+        let bytes = log.to_bytes();
+        let back = ScheduleLog::from_bytes(&bytes).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(back.digest(), log.digest());
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        assert_eq!(ScheduleLog::from_bytes(b"nope"), Err(LogCodecError::BadMagic));
+        let mut bytes = sample_log().to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(ScheduleLog::from_bytes(&bytes), Err(LogCodecError::Truncated));
+        let mut padded = sample_log().to_bytes();
+        padded.push(0);
+        assert_eq!(ScheduleLog::from_bytes(&padded), Err(LogCodecError::TrailingBytes));
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_every_field() {
+        let base = sample_log();
+        let mut d = base.clone();
+        d.decisions_mut()[1] = Decision::LinkDelay { from: 0, to: 1, delay_us: 733 };
+        assert_ne!(base.digest(), d.digest());
+        let mut s = base.clone();
+        s = ScheduleLog { seed: s.seed + 1, decisions: s.decisions };
+        assert_ne!(base.digest(), s.digest());
+    }
+
+    #[test]
+    fn replay_recorder_flags_first_mismatch_only() {
+        let log = sample_log();
+        let mut rec = Recorder::Replay { log: log.clone(), cursor: 0, divergence: None };
+        rec.note(log.decisions()[0]);
+        rec.note(Decision::LinkLoss { from: 9, to: 9 }); // mismatch at #1
+        rec.note(Decision::LinkLoss { from: 8, to: 8 }); // later noise ignored
+        match rec {
+            Recorder::Replay { divergence: Some(d), cursor, .. } => {
+                assert_eq!(d.index, 1);
+                assert_eq!(cursor, 3);
+                assert_eq!(d.expected, Some(log.decisions()[1]));
+                let msg = d.to_string();
+                assert!(msg.contains("decision #1"), "{msg}");
+                assert!(msg.contains("link-delay(0->1, 732us)"), "{msg}");
+                assert!(msg.contains("link-loss(9->9)"), "{msg}");
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_recorder_detects_log_overrun() {
+        let mut log = ScheduleLog::new(1);
+        log.push(Decision::LinkLoss { from: 0, to: 1 });
+        let mut rec = Recorder::Replay { log: log.clone(), cursor: 0, divergence: None };
+        rec.note(log.decisions()[0]);
+        rec.note(Decision::LinkLoss { from: 0, to: 1 });
+        match rec {
+            Recorder::Replay { divergence: Some(d), .. } => {
+                assert_eq!(d.index, 1);
+                assert_eq!(d.expected, None);
+                assert!(d.to_string().contains("past the end"), "{d}");
+            }
+            other => panic!("expected overrun divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn varint_handles_u64_extremes() {
+        let mut log = ScheduleLog::new(u64::MAX);
+        log.push(Decision::Rng { draws: u64::MAX, digest: 0 });
+        let back = ScheduleLog::from_bytes(&log.to_bytes()).unwrap();
+        assert_eq!(back, log);
+    }
+}

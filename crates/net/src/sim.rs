@@ -10,6 +10,7 @@ use crate::fault::{FaultOp, FaultScript};
 use crate::id::{ProcessId, SiteId};
 use crate::link::{LinkConfig, LinkModel};
 use crate::rng::DetRng;
+use crate::schedule::{Decision, PopKind, Recorder, ReplayError, ScheduleLog};
 use crate::stats::NetStats;
 use crate::storage::Storage;
 use crate::time::{SimDuration, SimTime};
@@ -25,6 +26,11 @@ pub struct SimConfig {
     /// incremental automata for the VS/EVS safety properties, and the
     /// first violation is captured with its causal slice.
     pub monitor: bool,
+    /// Records every nondeterministic decision (event-queue pops, link
+    /// delay/loss samples, fault firings, actor RNG draws) into a
+    /// [`ScheduleLog`] retrievable via [`Sim::schedule_log`] /
+    /// [`Sim::take_schedule_log`]. Replay the log with [`Sim::replay`].
+    pub record: bool,
 }
 
 /// The deterministic discrete-event simulator.
@@ -51,6 +57,7 @@ pub struct Sim<A: Actor> {
     stats: NetStats,
     obs: Obs,
     monitor: bool,
+    recorder: Recorder,
     recovery: Option<Box<dyn FnMut(ProcessId, SiteId) -> A>>,
 }
 
@@ -103,6 +110,27 @@ impl<M> Ord for QueueEntry<M> {
 impl<A: Actor> Sim<A> {
     /// Creates a simulator with the given seed and configuration.
     pub fn new(seed: u64, config: SimConfig) -> Self {
+        let recorder = if config.record {
+            Recorder::Record(ScheduleLog::new(seed))
+        } else {
+            Recorder::Off
+        };
+        Sim::build(seed, config, recorder)
+    }
+
+    /// Creates a simulator that replays a recorded schedule: it is seeded
+    /// from the log and validates every decision it takes against the
+    /// recorded stream. Drive it with the *same* scenario code that
+    /// produced the recording, then call [`Sim::finish_replay`] (or check
+    /// [`Sim::replay_divergence`] mid-run) to learn whether the execution
+    /// matched bit-for-bit.
+    pub fn replay(log: ScheduleLog, config: SimConfig) -> Self {
+        let seed = log.seed();
+        let recorder = Recorder::Replay { log, cursor: 0, divergence: None };
+        Sim::build(seed, config, recorder)
+    }
+
+    fn build(seed: u64, config: SimConfig, recorder: Recorder) -> Self {
         let mut rng = DetRng::seed_from(seed);
         let link_rng = rng.fork();
         let _ = link_rng; // links share the main stream; forking reserved for workloads
@@ -128,7 +156,55 @@ impl<A: Actor> Sim<A> {
             stats: NetStats::default(),
             obs,
             monitor,
+            recorder,
             recovery: None,
+        }
+    }
+
+    /// The schedule log being recorded, if [`SimConfig::record`] was set.
+    pub fn schedule_log(&self) -> Option<&ScheduleLog> {
+        match &self.recorder {
+            Recorder::Record(log) => Some(log),
+            _ => None,
+        }
+    }
+
+    /// Takes ownership of the recorded schedule log, turning recording
+    /// off. Returns `None` when the simulator was not recording.
+    pub fn take_schedule_log(&mut self) -> Option<ScheduleLog> {
+        match std::mem::replace(&mut self.recorder, Recorder::Off) {
+            Recorder::Record(log) => Some(log),
+            other => {
+                self.recorder = other;
+                None
+            }
+        }
+    }
+
+    /// During a replay, the first decision that departed from the log (if
+    /// any so far). `None` when not replaying or still bit-identical.
+    pub fn replay_divergence(&self) -> Option<&crate::schedule::Divergence> {
+        match &self.recorder {
+            Recorder::Replay { divergence, .. } => divergence.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Finishes a replay: `Ok(())` when every recorded decision was
+    /// reproduced exactly and the whole log was consumed. Not an error to
+    /// call outside replay mode (recording and plain runs return `Ok`).
+    pub fn finish_replay(&self) -> Result<(), ReplayError> {
+        match &self.recorder {
+            Recorder::Replay { log, cursor, divergence } => {
+                if let Some(d) = divergence {
+                    return Err(ReplayError::Diverged(d.clone()));
+                }
+                if *cursor != log.len() {
+                    return Err(ReplayError::Incomplete { consumed: *cursor, total: log.len() });
+                }
+                Ok(())
+            }
+            _ => Ok(()),
         }
     }
 
@@ -341,6 +417,16 @@ impl<A: Actor> Sim<A> {
         let Reverse(entry) = self.queue.pop()?;
         debug_assert!(entry.at >= self.now, "time ran backwards");
         self.now = entry.at;
+        let kind = match &entry.ev {
+            Queued::Deliver { .. } => PopKind::Deliver,
+            Queued::Timer { .. } => PopKind::Timer,
+            Queued::Fault(_) => PopKind::Fault,
+        };
+        self.recorder.note(Decision::Pop {
+            at_us: entry.at.as_micros(),
+            seq: entry.seq,
+            kind,
+        });
         match entry.ev {
             Queued::Deliver { from, to, msg, stamp } => {
                 self.dispatch_delivery(from, to, msg, stamp)
@@ -414,6 +500,11 @@ impl<A: Actor> Sim<A> {
         }
         match self.links.schedule(&mut self.rng, from, to, self.now) {
             Some(at) => {
+                self.recorder.note(Decision::LinkDelay {
+                    from: from.raw(),
+                    to: to.raw(),
+                    delay_us: at.as_micros() - now_us,
+                });
                 self.obs.with(|o| {
                     o.metrics
                         .observe("net.link_delay_us", at.as_micros() - now_us)
@@ -421,6 +512,7 @@ impl<A: Actor> Sim<A> {
                 self.push_event(at, Queued::Deliver { from, to, msg, stamp })
             }
             None => {
+                self.recorder.note(Decision::LinkLoss { from: from.raw(), to: to.raw() });
                 self.stats.dropped_loss += 1;
                 self.drop_event(from, to, DropReason::Loss);
             }
@@ -494,6 +586,17 @@ impl<A: Actor> Sim<A> {
     }
 
     fn apply_fault(&mut self, op: FaultOp) {
+        let tag = match &op {
+            FaultOp::Crash(_) => 0,
+            FaultOp::Recover(_) => 1,
+            FaultOp::Partition(_) => 2,
+            FaultOp::MergeComponents(_) => 3,
+            FaultOp::Heal => 4,
+            FaultOp::Isolate(_) => 5,
+            FaultOp::SeverLink(..) => 6,
+            FaultOp::RestoreLink(..) => 7,
+        };
+        self.recorder.note(Decision::Fault { at_us: self.now.as_micros(), tag });
         match op {
             FaultOp::Crash(pid) => self.crash(pid),
             FaultOp::Recover(site) => {
@@ -516,6 +619,7 @@ impl<A: Actor> Sim<A> {
         // Temporarily detach the entry so the context can borrow sim parts.
         let mut entry = self.procs.remove(&pid).expect("process must exist");
         let storage = self.sites.entry(entry.site).or_default();
+        let (draws_before, _) = self.rng.audit();
         // The context borrows storage and rng; collect the rest after.
         let (result, sends, timers_set, timers_cancelled, outputs) = {
             let mut ctx = Context::new(
@@ -535,6 +639,16 @@ impl<A: Actor> Sim<A> {
                 std::mem::take(&mut ctx.outputs),
             )
         };
+        // Audit the actor's own randomness before routed sends draw more:
+        // a replayed actor drawing a different stream must surface as a
+        // divergence at the callback, not downstream in the link model.
+        let (draws_after, digest) = self.rng.audit();
+        if draws_after != draws_before {
+            self.recorder.note(Decision::Rng {
+                draws: draws_after - draws_before,
+                digest,
+            });
+        }
         self.procs.insert(pid, entry);
         for (to, msg) in sends {
             self.route(pid, to, msg);
@@ -799,6 +913,143 @@ mod tests {
         sim.run_for(SimDuration::from_secs(1));
         assert_eq!(sim.drain_outputs().len(), 1);
         assert!(sim.outputs().is_empty());
+    }
+
+    /// Test actor: draws from the context RNG on every message, so replay
+    /// must reproduce its randomness too.
+    struct Gambler {
+        peer: Option<ProcessId>,
+        rolls: u32,
+    }
+
+    impl Actor for Gambler {
+        type Msg = u32;
+        type Output = u64;
+        fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut Context<'_, u32, u64>) {
+            let roll = ctx.rng().below(100);
+            ctx.output(roll);
+            if let Some(peer) = self.peer {
+                if msg < self.rolls {
+                    ctx.send(peer, msg + 1);
+                }
+            }
+        }
+    }
+
+    fn gambler_run(seed: u64, recorder_cfg: SimConfig) -> Sim<Gambler> {
+        let mut sim: Sim<Gambler> = Sim::new(seed, recorder_cfg);
+        let a = sim.spawn(Gambler { peer: None, rolls: 8 });
+        let b = sim.spawn(Gambler { peer: Some(a), rolls: 8 });
+        sim.actor_mut(a).unwrap().peer = Some(b);
+        sim.post(a, b, 0);
+        sim.load_script(
+            FaultScript::new()
+                .at(SimTime::from_micros(2_000), FaultOp::Isolate(a))
+                .at(SimTime::from_micros(4_000), FaultOp::Heal),
+        );
+        sim.run_for(SimDuration::from_millis(50));
+        sim
+    }
+
+    #[test]
+    fn record_then_replay_is_bit_identical() {
+        let mut rec = gambler_run(21, SimConfig { record: true, ..SimConfig::default() });
+        let log = rec.take_schedule_log().expect("recording was on");
+        assert!(!log.is_empty());
+        let rec_outputs: Vec<_> = rec
+            .outputs()
+            .iter()
+            .map(|(t, p, v)| (t.as_micros(), p.raw(), *v))
+            .collect();
+
+        // Replay: re-run the *same driver* against the log.
+        let mut sim: Sim<Gambler> = Sim::replay(log, SimConfig::default());
+        let a = sim.spawn(Gambler { peer: None, rolls: 8 });
+        let b = sim.spawn(Gambler { peer: Some(a), rolls: 8 });
+        sim.actor_mut(a).unwrap().peer = Some(b);
+        sim.post(a, b, 0);
+        sim.load_script(
+            FaultScript::new()
+                .at(SimTime::from_micros(2_000), FaultOp::Isolate(a))
+                .at(SimTime::from_micros(4_000), FaultOp::Heal),
+        );
+        sim.run_for(SimDuration::from_millis(50));
+        sim.finish_replay().expect("replay matches the recording");
+        let replay_outputs: Vec<_> = sim
+            .outputs()
+            .iter()
+            .map(|(t, p, v)| (t.as_micros(), p.raw(), *v))
+            .collect();
+        assert_eq!(rec_outputs, replay_outputs);
+    }
+
+    #[test]
+    fn perturbed_log_reports_first_divergence() {
+        let mut rec = gambler_run(22, SimConfig { record: true, ..SimConfig::default() });
+        let mut log = rec.take_schedule_log().unwrap();
+        // Find a link-delay decision and nudge it by one microsecond.
+        let idx = log
+            .decisions()
+            .iter()
+            .position(|d| matches!(d, Decision::LinkDelay { .. }))
+            .expect("a run has link delays");
+        if let Decision::LinkDelay { delay_us, .. } = &mut log.decisions_mut()[idx] {
+            *delay_us += 1;
+        }
+
+        let mut sim: Sim<Gambler> = Sim::replay(log, SimConfig::default());
+        let a = sim.spawn(Gambler { peer: None, rolls: 8 });
+        let b = sim.spawn(Gambler { peer: Some(a), rolls: 8 });
+        sim.actor_mut(a).unwrap().peer = Some(b);
+        sim.post(a, b, 0);
+        sim.load_script(
+            FaultScript::new()
+                .at(SimTime::from_micros(2_000), FaultOp::Isolate(a))
+                .at(SimTime::from_micros(4_000), FaultOp::Heal),
+        );
+        sim.run_for(SimDuration::from_millis(50));
+        let err = sim.finish_replay().expect_err("perturbation must be caught");
+        match err {
+            ReplayError::Diverged(d) => {
+                assert_eq!(d.index, idx, "first differing decision is the perturbed one");
+                let msg = d.to_string();
+                assert!(msg.contains(&format!("decision #{idx}")), "{msg}");
+                assert!(msg.contains("link-delay"), "{msg}");
+            }
+            other => panic!("expected divergence, got {other}"),
+        }
+    }
+
+    #[test]
+    fn replay_of_a_shorter_drive_is_incomplete() {
+        let mut rec = gambler_run(23, SimConfig { record: true, ..SimConfig::default() });
+        let log = rec.take_schedule_log().unwrap();
+        let total = log.len();
+        let sim: Sim<Gambler> = Sim::replay(log, SimConfig::default());
+        // Driver does nothing: no decision is ever consumed.
+        let err = sim.finish_replay().expect_err("unconsumed log must error");
+        assert_eq!(err, ReplayError::Incomplete { consumed: 0, total });
+    }
+
+    #[test]
+    fn recording_does_not_change_the_run() {
+        let outputs = |record: bool| {
+            let sim = gambler_run(24, SimConfig { record, ..SimConfig::default() });
+            sim.outputs()
+                .iter()
+                .map(|(t, p, v)| (t.as_micros(), p.raw(), *v))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(outputs(false), outputs(true));
+    }
+
+    #[test]
+    fn schedule_log_round_trips_through_bytes() {
+        let mut rec = gambler_run(25, SimConfig { record: true, ..SimConfig::default() });
+        let log = rec.take_schedule_log().unwrap();
+        let back = ScheduleLog::from_bytes(&log.to_bytes()).unwrap();
+        assert_eq!(back, log);
+        assert_eq!(back.digest(), log.digest());
     }
 
     #[test]

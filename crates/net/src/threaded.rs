@@ -222,6 +222,19 @@ where
         &self.obs
     }
 
+    /// Always refuses: schedule recording is a simulator-only facility.
+    ///
+    /// The threaded transport's nondeterminism (thread interleavings,
+    /// wall-clock timers, channel wakeups) is owned by the OS scheduler —
+    /// there is no decision stream to capture, so a "recording" here
+    /// could never be replayed. Run the same actors under
+    /// [`Sim`](crate::Sim) with
+    /// [`SimConfig::record`](crate::SimConfig::record) to get a
+    /// replayable [`ScheduleLog`](crate::ScheduleLog).
+    pub fn enable_record(&mut self) -> Result<(), crate::schedule::RecordUnsupported> {
+        Err(crate::schedule::RecordUnsupported)
+    }
+
     /// Injects a message attributed to `from`.
     pub fn post(&self, from: ProcessId, to: ProcessId, msg: A::Msg) {
         let _ = self.router_tx.send(RouterEvent::Send { from, to, msg });

@@ -41,6 +41,18 @@ impl VClock {
         *c
     }
 
+    /// Sets `process`'s component directly (zero removes it), keeping the
+    /// sparse representation canonical. Used when reconstructing clocks
+    /// from serialized form; protocol code should only [`VClock::tick`]
+    /// and [`VClock::merge`].
+    pub fn set(&mut self, process: u64, count: u64) {
+        if count == 0 {
+            self.entries.remove(&process);
+        } else {
+            self.entries.insert(process, count);
+        }
+    }
+
     /// Componentwise maximum with `other` (message receipt).
     pub fn merge(&mut self, other: &VClock) {
         for (&p, &c) in &other.entries {

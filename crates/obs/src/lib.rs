@@ -54,7 +54,8 @@ pub use metrics::{Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS_US};
 pub use monitor::{Monitor, MonitorReport, MonitorViolation, MAX_MONITOR_REPORTS};
 pub use span::{Span, SpanId, SpanLog, ViewBreakdown, DEFAULT_SPAN_CAPACITY};
 pub use trace::{
-    DropReason, EventKind, Journal, MergeKind, TraceEvent, DEFAULT_JOURNAL_CAPACITY,
+    events_from_json, render_slice, render_violation_report, DropReason, EventKind, Journal,
+    MergeKind, TraceEvent, DEFAULT_JOURNAL_CAPACITY,
 };
 
 use std::sync::{Arc, Mutex};
@@ -163,6 +164,17 @@ impl Obs {
     /// A deep copy of the current journal.
     pub fn journal_snapshot(&self) -> Journal {
         self.with(|s| s.journal.clone())
+    }
+
+    /// The journal's stable digest; see [`Journal::digest`].
+    pub fn journal_digest(&self) -> u64 {
+        self.with(|s| s.journal.digest())
+    }
+
+    /// The metrics registry's stable digest; see
+    /// [`MetricsRegistry::digest`].
+    pub fn metrics_digest(&self) -> u64 {
+        self.with(|s| s.metrics.digest())
     }
 
     /// A human-readable rendering of the last `n` events at `process`.

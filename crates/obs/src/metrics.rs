@@ -301,6 +301,14 @@ impl MetricsRegistry {
             .raw("histograms", &histograms.finish())
             .finish()
     }
+
+    /// A stable FNV-1a digest over the registry's JSON rendering: equal
+    /// digests mean identical counters, gauges and histograms. Paired with
+    /// [`Journal::digest`](crate::Journal::digest) to prove record→replay
+    /// bit-equality.
+    pub fn digest(&self) -> u64 {
+        crate::clock::fnv1a(self.to_json().as_bytes())
+    }
 }
 
 #[cfg(test)]

@@ -287,17 +287,12 @@ pub struct MonitorReport {
 }
 
 impl MonitorReport {
-    /// A multi-line human-readable rendering.
+    /// A multi-line human-readable rendering. The slice is rendered by the
+    /// shared [`render_slice`](crate::render_slice) path so it looks
+    /// identical to checker reports and `vstool trace` output.
     pub fn format(&self) -> String {
         let mut out = format!("monitor: {}\n  at: {}\n  causal slice:\n", self.violation, self.event);
-        if self.slice.is_empty() {
-            out.push_str("    (no events retained)");
-            return out;
-        }
-        for e in &self.slice {
-            out.push_str(&format!("    {e}\n"));
-        }
-        out.pop();
+        out.push_str(&crate::trace::render_slice(&self.slice, 4));
         out
     }
 }

@@ -557,12 +557,7 @@ impl Journal {
         if tail.is_empty() {
             return format!("  (no trace events retained for process {process})");
         }
-        let mut out = String::new();
-        for ev in tail {
-            out.push_str(&format!("  {ev}\n"));
-        }
-        out.pop();
-        out
+        render_slice(&tail, 2)
     }
 
     /// The causal slice anchored at `process`'s most recent event: the
@@ -586,12 +581,7 @@ impl Journal {
         if slice.is_empty() {
             return format!("  (no trace events retained for process {process})");
         }
-        let mut out = String::new();
-        for ev in slice {
-            out.push_str(&format!("  {ev}\n"));
-        }
-        out.pop();
-        out
+        render_slice(&slice, 2)
     }
 
     /// Renders the retained journal as a JSON array (global `seq` order).
@@ -602,6 +592,202 @@ impl Journal {
         }
         arr.finish()
     }
+
+    /// A stable FNV-1a digest over the retained journal's JSON rendering:
+    /// two journals with equal digests retained the same events with the
+    /// same stamps. This is what record/replay equality checks compare.
+    pub fn digest(&self) -> u64 {
+        crate::clock::fnv1a(self.to_json().as_bytes())
+    }
+}
+
+/// Renders a slice of events one per line at `indent` spaces, no trailing
+/// newline. This is the **single** slice renderer shared by
+/// [`Journal::format_causal_slice`], [`Journal::format_tail`], the monitor
+/// report formatter and the `vstool trace` CLI, so every causal slice a
+/// user sees looks the same.
+pub fn render_slice(events: &[TraceEvent], indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    if events.is_empty() {
+        return format!("{pad}(no events retained)");
+    }
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&format!("{pad}{ev}\n"));
+    }
+    out.pop();
+    out
+}
+
+/// Renders violations together with the causal slice ending at each
+/// implicated process, pulled from `journal`. Each item pairs a rendered
+/// violation description with the raw ids of the processes it implicates.
+/// The protocol checkers (`vs_gcs::checker::report_with_trace`,
+/// `vs_evs::checker::report_with_trace`) delegate here so checker reports
+/// and `vstool trace` output share one formatting path.
+pub fn render_violation_report<I>(violations: I, journal: &Journal, window: usize) -> String
+where
+    I: IntoIterator<Item = (String, Vec<u64>)>,
+{
+    let mut out = String::new();
+    for (i, (desc, procs)) in violations.into_iter().enumerate() {
+        out.push_str(&format!("violation {}: {desc}\n", i + 1));
+        for p in procs {
+            out.push_str(&format!("  causal slice ({window} events) ending at p{p}:\n"));
+            let slice = journal.causal_slice(p, window);
+            if slice.is_empty() {
+                out.push_str(&format!("    (no trace events retained for process {p})\n"));
+            } else {
+                out.push_str(&render_slice(&slice, 4));
+                out.push('\n');
+            }
+        }
+    }
+    if out.ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
+/// Parses a journal JSON document (the output of [`Journal::to_json`])
+/// back into its events, in the order the array lists them.
+///
+/// Labels of [`EventKind::Custom`] events are interned with `Box::leak`
+/// (the variant stores a `&'static str`); importing is meant for tools
+/// inspecting a finite set of documents, where the leak is bounded by the
+/// set of distinct labels.
+pub fn events_from_json(doc: &str) -> Result<Vec<TraceEvent>, String> {
+    let v = crate::json::parse(doc).map_err(|e| e.to_string())?;
+    let arr = v.as_arr().ok_or("expected a JSON array of trace events")?;
+    arr.iter().map(event_from_value).collect()
+}
+
+fn event_from_value(v: &crate::json::Value) -> Result<TraceEvent, String> {
+    use crate::json::Value;
+    let field = |key: &str| -> Result<&Value, String> {
+        v.get(key).ok_or_else(|| format!("event missing field `{key}`"))
+    };
+    let num = |key: &str| -> Result<u64, String> {
+        field(key)?
+            .as_f64()
+            .map(|f| f as u64)
+            .ok_or_else(|| format!("event field `{key}` is not a number"))
+    };
+    let seq = num("seq")?;
+    let at_us = num("at_us")?;
+    let process = num("process")?;
+    let mut clock = VClock::new();
+    match field("clock")? {
+        Value::Obj(fields) => {
+            for (k, c) in fields {
+                let p: u64 = k.parse().map_err(|_| format!("bad clock key `{k}`"))?;
+                let n = c.as_f64().ok_or("bad clock component")? as u64;
+                clock.set(p, n);
+            }
+        }
+        _ => return Err("event field `clock` is not an object".into()),
+    }
+    let name = field("event")?
+        .as_str()
+        .ok_or("event field `event` is not a string")?;
+    let detail = field("detail")?;
+    let kind = kind_from_parts(name, detail)?;
+    Ok(TraceEvent { seq, at_us, process, clock, kind })
+}
+
+fn kind_from_parts(name: &str, detail: &crate::json::Value) -> Result<EventKind, String> {
+    let num = |key: &str| -> Result<u64, String> {
+        detail
+            .get(key)
+            .and_then(crate::json::Value::as_f64)
+            .map(|f| f as u64)
+            .ok_or_else(|| format!("`{name}` detail missing numeric `{key}`"))
+    };
+    let drop_reason = || -> Result<DropReason, String> {
+        match detail.get("reason").and_then(crate::json::Value::as_str) {
+            Some("Partition") => Ok(DropReason::Partition),
+            Some("Loss") => Ok(DropReason::Loss),
+            Some("Crashed") => Ok(DropReason::Crashed),
+            other => Err(format!("unknown drop reason {other:?}")),
+        }
+    };
+    let merge_kind = || -> Result<MergeKind, String> {
+        match detail.get("kind").and_then(crate::json::Value::as_str) {
+            Some("Subview") => Ok(MergeKind::Subview),
+            Some("SvSet") => Ok(MergeKind::SvSet),
+            other => Err(format!("unknown merge kind {other:?}")),
+        }
+    };
+    Ok(match name {
+        "msg_send" => EventKind::MsgSend { from: num("from")?, to: num("to")? },
+        "msg_deliver" => EventKind::MsgDeliver { from: num("from")?, to: num("to")? },
+        "msg_drop" => EventKind::MsgDrop {
+            from: num("from")?,
+            to: num("to")?,
+            reason: drop_reason()?,
+        },
+        "timer_fire" => EventKind::TimerFire { kind: num("kind")? as u32 },
+        "suspicion_raised" => EventKind::SuspicionRaised { suspect: num("suspect")? },
+        "suspicion_cleared" => EventKind::SuspicionCleared { suspect: num("suspect")? },
+        "view_change_start" => EventKind::ViewChangeStart { epoch: num("epoch")? },
+        "view_install" => EventKind::ViewInstall {
+            epoch: num("epoch")?,
+            members: num("members")? as u32,
+        },
+        "flush_round" => EventKind::FlushRound {
+            epoch: num("epoch")?,
+            pending: num("pending")? as u32,
+        },
+        "stability_advance" => EventKind::StabilityAdvance { frontier: num("frontier")? },
+        "eview_apply" => EventKind::EViewApply {
+            epoch: num("epoch")?,
+            subviews: num("subviews")? as u32,
+            svsets: num("svsets")? as u32,
+        },
+        "merge_issue" => EventKind::MergeIssue { kind: merge_kind()? },
+        "merge_complete" => EventKind::MergeComplete { kind: merge_kind()? },
+        "group_view" => EventKind::GroupView {
+            epoch: num("epoch")?,
+            coord: num("coord")?,
+            members: num("members")? as u32,
+        },
+        "mcast_sent" => EventKind::McastSent {
+            epoch: num("epoch")?,
+            coord: num("coord")?,
+            seq: num("seq")?,
+        },
+        "mcast_deliver" => EventKind::McastDeliver {
+            epoch: num("epoch")?,
+            coord: num("coord")?,
+            sender: num("sender")?,
+            seq: num("seq")?,
+        },
+        "evs_deliver" => EventKind::EvsDeliver {
+            epoch: num("epoch")?,
+            coord: num("coord")?,
+            sender: num("sender")?,
+            seq: num("seq")?,
+            eview_seq: num("eview_seq")?,
+        },
+        "eview_op" => EventKind::EViewOp {
+            epoch: num("epoch")?,
+            coord: num("coord")?,
+            seq: num("seq")?,
+            digest: num("digest")?,
+        },
+        "eview_structure" => EventKind::EViewStructure {
+            epoch: num("epoch")?,
+            coord: num("coord")?,
+            members: num("members")? as u32,
+            member_slots: num("member_slots")? as u32,
+            subviews: num("subviews")? as u32,
+            svset_slots: num("svset_slots")? as u32,
+        },
+        custom => EventKind::Custom {
+            label: Box::leak(custom.to_string().into_boxed_str()),
+            value: num("value").unwrap_or(0),
+        },
+    })
 }
 
 #[cfg(test)]
@@ -790,6 +976,92 @@ mod tests {
             slice.iter().any(|e| e.process == 1),
             "cross-process predecessor included"
         );
+    }
+
+    #[test]
+    fn render_slice_is_the_single_formatting_path() {
+        let mut j = Journal::default();
+        j.record(3, 1, EventKind::ViewChangeStart { epoch: 9 });
+        j.record(3, 2, EventKind::ViewInstall { epoch: 9, members: 4 });
+        let slice = j.causal_slice(3, 8);
+        let rendered = render_slice(&slice, 2);
+        assert_eq!(rendered, j.format_causal_slice(3, 8));
+        // Indent is the only difference between call sites.
+        let deeper = render_slice(&slice, 4);
+        assert_eq!(
+            deeper.lines().map(|l| l.trim_start()).collect::<Vec<_>>(),
+            rendered.lines().map(|l| l.trim_start()).collect::<Vec<_>>()
+        );
+        assert!(deeper.lines().all(|l| l.starts_with("    ")));
+        assert_eq!(render_slice(&[], 4), "    (no events retained)");
+    }
+
+    #[test]
+    fn violation_report_prints_slices_per_process() {
+        let mut j = Journal::default();
+        j.record(1, 1, EventKind::ViewInstall { epoch: 1, members: 2 });
+        j.record(2, 2, EventKind::ViewInstall { epoch: 1, members: 2 });
+        let report = render_violation_report(
+            vec![
+                ("something broke".to_string(), vec![1, 2]),
+                ("elsewhere".to_string(), vec![99]),
+            ],
+            &j,
+            8,
+        );
+        assert!(report.contains("violation 1: something broke"));
+        assert!(report.contains("causal slice (8 events) ending at p1:"));
+        assert!(report.contains("causal slice (8 events) ending at p2:"));
+        assert!(report.contains("violation 2: elsewhere"));
+        assert!(report.contains("(no trace events retained for process 99)"));
+        assert!(report.contains("view_install"));
+    }
+
+    #[test]
+    fn journal_json_round_trips_through_events_from_json() {
+        let mut j = Journal::default();
+        j.record(1, 10, EventKind::MsgSend { from: 1, to: 2 });
+        let stamp = j.clock_of(1);
+        j.merge_clock(2, &stamp);
+        j.record(2, 20, EventKind::MsgDeliver { from: 1, to: 2 });
+        j.record(
+            2,
+            25,
+            EventKind::MsgDrop { from: 2, to: 1, reason: DropReason::Loss },
+        );
+        j.record(1, 30, EventKind::EViewStructure {
+            epoch: 3,
+            coord: 1,
+            members: 4,
+            member_slots: 4,
+            subviews: 2,
+            svset_slots: 2,
+        });
+        j.record(1, 40, EventKind::MergeIssue { kind: MergeKind::SvSet });
+        j.record(1, 50, EventKind::Custom { label: "checkpoint", value: 7 });
+        let events = events_from_json(&j.to_json()).expect("parses");
+        assert_eq!(events, j.all(), "parsed events match the originals exactly");
+    }
+
+    #[test]
+    fn events_from_json_rejects_malformed_documents() {
+        assert!(events_from_json("{}").is_err(), "not an array");
+        assert!(events_from_json("[{\"seq\":1}]").is_err(), "missing fields");
+        let doc = r#"[{"seq":0,"at_us":1,"process":1,"clock":{"x":1},"event":"heal","detail":{}}]"#;
+        assert!(events_from_json(doc).is_err(), "bad clock key");
+    }
+
+    #[test]
+    fn journal_digest_tracks_content() {
+        let mut a = Journal::default();
+        let mut b = Journal::default();
+        for j in [&mut a, &mut b] {
+            j.record(1, 5, EventKind::TimerFire { kind: 1 });
+            j.record(2, 6, EventKind::TimerFire { kind: 2 });
+        }
+        assert_eq!(a.digest(), b.digest());
+        b.record(2, 7, EventKind::TimerFire { kind: 3 });
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! `vstool` — debugging CLI for the view-synchrony stack.
+//!
+//! Subcommands (see `DEBUGGING.md` for the intended workflow):
+//!
+//! - `trace <journal.json> [filters…]` — query an exported trace journal;
+//! - `metrics-diff <a> <b>` — diff two metrics snapshots;
+//! - `bench-gate <baseline> <fresh>` — fail on benchmark regressions;
+//! - `record --seed N --out <log.vsl>` — record the canonical sweep;
+//! - `replay <log.vsl>` — re-execute a recorded sweep and verify it;
+//! - `shrink --class <c> --seed N` — minimise a failing fault script.
+//!
+//! Exit codes: 0 success, 1 the inspected artifact is bad (gate failed,
+//! replay diverged, shrink found nothing), 2 usage error.
+
+use std::process::ExitCode;
+
+use view_synchrony::scenario::{
+    run_gcs_sweep, run_mutation_case, sweep_script, MutationClass, RunMode,
+};
+use view_synchrony::shrink::shrink_script;
+use vs_net::{FaultScript, ProcessId, ScheduleLog};
+use vstool::{
+    bench_gate, causal_slice_of, filter_events, metrics_diff, MetricsDoc, TraceFilter,
+    DEFAULT_US_TOLERANCE,
+};
+
+const USAGE: &str = "\
+vstool — debugging CLI for the view-synchrony stack
+
+USAGE:
+  vstool trace <journal.json> [--process P] [--kind NAME] [--after P:C]
+               [--before P:C] [--last N] [--slice P] [--window N]
+  vstool metrics-diff <a.json|stdout.txt> <b.json|stdout.txt>
+  vstool bench-gate <baseline.json> <fresh.json|stdout.txt> [--tolerance FRAC]
+  vstool record --seed N --out <log.vsl>
+  vstool replay <log.vsl> [--seed N]
+  vstool shrink --class <duplicate-view-install|causal-cut|invalid-structure|
+                         partition-drop> --seed N [--script <file>] [--out <file>]
+
+`trace` filters compose conjunctively; --after/--before cut on vector-clock
+components (`P:C` keeps events whose clock for process P is >=C / <=C).
+`--slice P` prints the causal slice ending at P's last event instead of a
+flat listing. Metrics inputs may be BENCH_*.json files or captured stdout
+containing `METRICS {...}` lines (last line wins).";
+
+fn fail(msg: String) -> ExitCode {
+    eprintln!("vstool: {msg}");
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Pulls the value following a `--flag` out of `args`, removing both.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(v))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn parse_u64(what: &str, s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("{what}: expected an integer, got {s:?}"))
+}
+
+fn parse_cut(s: &str) -> Result<(u64, u64), String> {
+    let (p, c) = s
+        .split_once(':')
+        .ok_or_else(|| format!("clock cut {s:?}: expected P:C"))?;
+    Ok((parse_u64("cut process", p)?, parse_u64("cut count", c)?))
+}
+
+fn cmd_trace(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let mut filter = TraceFilter::default();
+    if let Some(p) = take_opt(&mut args, "--process")? {
+        filter.process = Some(parse_u64("--process", &p)?);
+    }
+    filter.kind = take_opt(&mut args, "--kind")?;
+    if let Some(cut) = take_opt(&mut args, "--after")? {
+        filter.clock_ge.push(parse_cut(&cut)?);
+    }
+    if let Some(cut) = take_opt(&mut args, "--before")? {
+        filter.clock_le.push(parse_cut(&cut)?);
+    }
+    if let Some(n) = take_opt(&mut args, "--last")? {
+        filter.last = Some(parse_u64("--last", &n)? as usize);
+    }
+    let slice = take_opt(&mut args, "--slice")?;
+    let window = match take_opt(&mut args, "--window")? {
+        Some(w) => parse_u64("--window", &w)? as usize,
+        None => 32,
+    };
+    let [path] = args.as_slice() else {
+        return Err("trace: expected exactly one journal file".into());
+    };
+    let events = vs_obs::events_from_json(&read(path)?)
+        .map_err(|e| format!("{path}: {e}"))?;
+    if let Some(p) = slice {
+        let p = parse_u64("--slice", &p)?;
+        let events = filter_events(&events, &filter);
+        match causal_slice_of(&events, p, window) {
+            Some(slice) => {
+                println!("causal slice ({window} events) ending at p{p}:");
+                println!("{}", vs_obs::render_slice(&slice, 2));
+            }
+            None => println!("(no events for process {p} after filtering)"),
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let kept = filter_events(&events, &filter);
+    if kept.is_empty() {
+        println!("(no events matched; {} in journal)", events.len());
+    } else {
+        println!("{}", vs_obs::render_slice(&kept, 0));
+        println!("({} of {} events)", kept.len(), events.len());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_metrics_diff(args: Vec<String>) -> Result<ExitCode, String> {
+    let [a, b] = args.as_slice() else {
+        return Err("metrics-diff: expected exactly two files".into());
+    };
+    let da = MetricsDoc::parse(&read(a)?).map_err(|e| format!("{a}: {e}"))?;
+    let db = MetricsDoc::parse(&read(b)?).map_err(|e| format!("{b}: {e}"))?;
+    print!("{}", metrics_diff(&da, &db));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench_gate(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let tolerance = match take_opt(&mut args, "--tolerance")? {
+        Some(t) => t
+            .parse::<f64>()
+            .map_err(|_| format!("--tolerance: expected a fraction, got {t:?}"))?,
+        None => DEFAULT_US_TOLERANCE,
+    };
+    let [baseline, fresh] = args.as_slice() else {
+        return Err("bench-gate: expected <baseline> <fresh>".into());
+    };
+    let db = MetricsDoc::parse(&read(baseline)?).map_err(|e| format!("{baseline}: {e}"))?;
+    let df = MetricsDoc::parse(&read(fresh)?).map_err(|e| format!("{fresh}: {e}"))?;
+    let report = bench_gate(&db, &df, tolerance);
+    for n in &report.notes {
+        println!("note: {n}");
+    }
+    if report.passed() {
+        println!(
+            "bench-gate PASS: {} within baseline {} ({} counters, {} histograms)",
+            fresh,
+            baseline,
+            db.counters.len(),
+            db.histograms.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for f in &report.failures {
+            println!("REGRESSION: {f}");
+        }
+        println!("bench-gate FAIL: {} regression(s) vs {}", report.failures.len(), baseline);
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn cmd_record(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let seed = parse_u64(
+        "--seed",
+        &take_opt(&mut args, "--seed")?.ok_or("record: --seed is required")?,
+    )?;
+    let out = take_opt(&mut args, "--out")?.ok_or("record: --out is required")?;
+    if !args.is_empty() {
+        return Err(format!("record: unexpected arguments {args:?}"));
+    }
+    let run = run_gcs_sweep(seed, RunMode::Record);
+    let log = run.log.expect("record mode keeps the log");
+    std::fs::write(&out, log.to_bytes()).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "recorded sweep seed {seed}: {} decisions, schedule digest 0x{:016x}",
+        log.len(),
+        log.digest()
+    );
+    println!(
+        "journal digest 0x{:016x}, metrics digest 0x{:016x}",
+        run.journal_digest, run.metrics_digest
+    );
+    println!("schedule log written to {out}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_replay(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let seed_override = take_opt(&mut args, "--seed")?;
+    let [path] = args.as_slice() else {
+        return Err("replay: expected exactly one log file".into());
+    };
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let log = ScheduleLog::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let seed = match seed_override {
+        Some(s) => parse_u64("--seed", &s)?,
+        None => log.seed(),
+    };
+    println!(
+        "replaying sweep seed {seed}: {} decisions, schedule digest 0x{:016x}",
+        log.len(),
+        log.digest()
+    );
+    let run = run_gcs_sweep(seed, RunMode::Replay(log));
+    println!(
+        "journal digest 0x{:016x}, metrics digest 0x{:016x}",
+        run.journal_digest, run.metrics_digest
+    );
+    match run.replay {
+        Ok(()) => {
+            println!("replay OK: every decision matched the log");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            println!("replay FAILED: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_shrink(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let class_name =
+        take_opt(&mut args, "--class")?.ok_or("shrink: --class is required")?;
+    let class = MutationClass::from_name(&class_name).ok_or_else(|| {
+        format!(
+            "shrink: unknown class {class_name:?} (expected one of {})",
+            MutationClass::all().map(|c| c.name()).join(", ")
+        )
+    })?;
+    let seed = parse_u64(
+        "--seed",
+        &take_opt(&mut args, "--seed")?.ok_or("shrink: --seed is required")?,
+    )?;
+    let out = take_opt(&mut args, "--out")?;
+    let script = match take_opt(&mut args, "--script")? {
+        Some(path) => FaultScript::parse(&read(&path)?).map_err(|e| format!("{path}: {e}"))?,
+        None => {
+            // The case scenario spawns four processes, ids 0..4.
+            let pids: Vec<ProcessId> = (0..4u64).map(ProcessId::from_raw).collect();
+            sweep_script(seed, &pids)
+        }
+    };
+    if !args.is_empty() {
+        return Err(format!("shrink: unexpected arguments {args:?}"));
+    }
+    println!(
+        "shrinking a {}-op script against oracle {} (seed {seed})",
+        script.len(),
+        class.name()
+    );
+    let result = shrink_script(&script, |candidate| {
+        run_mutation_case(class, seed, candidate, RunMode::Normal)
+    });
+    let Some(r) = result else {
+        println!("the initial script does not trip the {} oracle — nothing to shrink", class.name());
+        return Ok(ExitCode::FAILURE);
+    };
+    println!(
+        "minimal script after {} probes ({} ops removed, {} times shrunk):",
+        r.probes, r.removed_ops, r.shrunk_times
+    );
+    if r.script.is_empty() {
+        println!("  (empty — the violation needs no faults at all)");
+    } else {
+        for line in r.script.to_text().lines() {
+            println!("  {line}");
+        }
+    }
+    println!("\nwitness of the minimal run:\n{}", r.witness.report);
+    if let Some(path) = out {
+        std::fs::write(&path, r.script.to_text()).map_err(|e| format!("{path}: {e}"))?;
+        println!("minimal script written to {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "trace" => cmd_trace(args),
+        "metrics-diff" => cmd_metrics_diff(args),
+        "bench-gate" => cmd_bench_gate(args),
+        "record" => cmd_record(args),
+        "replay" => cmd_replay(args),
+        "shrink" => cmd_shrink(args),
+        other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => fail(msg),
+    }
+}

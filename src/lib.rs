@@ -53,11 +53,20 @@
 //! assert_eq!(deliveries, 3);
 //! ```
 //!
+//! Beyond the re-exports, the umbrella contributes the debugging layer
+//! that needs the whole stack at once: [`scenario`] (canonical replayable
+//! drivers shared by the regression sweeps, the replay-determinism tests
+//! and the `vstool` CLI) and [`shrink`] (ddmin-style counterexample
+//! shrinking of fault scripts). See `DEBUGGING.md` for the workflow.
+//!
 //! See the `examples/` directory for runnable scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the paper-reproduction map.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod scenario;
+pub mod shrink;
 
 pub use vs_apps as apps;
 pub use vs_evs as evs;

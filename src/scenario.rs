@@ -1,0 +1,360 @@
+//! Canonical, replayable scenario drivers.
+//!
+//! Record/replay (see [`vs_net::schedule`]) validates a run by
+//! *re-executing the same driver* against a [`ScheduleLog`]. That only
+//! works if the driver is a named, reusable function rather than an inline
+//! test body — this module is the library of such drivers, shared by the
+//! regression sweeps in `tests/`, the shrinker in [`crate::shrink`] and
+//! the `vstool record`/`replay`/`shrink` subcommands, so all of them
+//! exercise byte-identical schedules.
+
+use vs_evs::{EvsConfig, EvsEndpoint};
+use vs_gcs::{checker::check, GcsConfig, GcsEndpoint};
+use vs_net::{
+    DetRng, FaultOp, FaultScript, ProcessId, ReplayError, ScheduleLog, Sim, SimConfig,
+    SimDuration, SimTime,
+};
+use vs_obs::{EventKind, MonitorReport, MonitorViolation};
+
+/// How a scenario run interacts with the schedule recorder.
+#[derive(Debug, Clone)]
+pub enum RunMode {
+    /// A plain deterministic run (no witness kept).
+    Normal,
+    /// Record every nondeterministic decision into a [`ScheduleLog`].
+    Record,
+    /// Re-execute the driver, validating each decision against the log.
+    Replay(ScheduleLog),
+}
+
+impl RunMode {
+    fn config(&self) -> SimConfig {
+        SimConfig {
+            monitor: true,
+            record: matches!(self, RunMode::Record),
+            ..SimConfig::default()
+        }
+    }
+
+    fn build<A: vs_net::Actor>(self, seed: u64) -> Sim<A> {
+        let config = self.config();
+        match self {
+            RunMode::Replay(log) => Sim::replay(log, config),
+            _ => Sim::new(seed, config),
+        }
+    }
+}
+
+/// What a scenario run left behind: digests for bit-equality checks, the
+/// recorded log (in [`RunMode::Record`]), the replay verdict (in
+/// [`RunMode::Replay`]) and everything the monitor flagged.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// Digest of the retained trace journal ([`vs_obs::Journal::digest`]).
+    pub journal_digest: u64,
+    /// Digest of the METRICS snapshot
+    /// ([`vs_obs::MetricsRegistry::digest`]).
+    pub metrics_digest: u64,
+    /// The recorded schedule (present only under [`RunMode::Record`]).
+    pub log: Option<ScheduleLog>,
+    /// `Ok` outside replay mode; under replay, whether the run reproduced
+    /// the log bit-for-bit.
+    pub replay: Result<(), ReplayError>,
+    /// Reports from the online monitor.
+    pub monitor_reports: Vec<MonitorReport>,
+    /// Post-hoc checker violations, rendered (empty on a clean run).
+    pub violations: Vec<String>,
+}
+
+/// The sweep's seed-derived fault schedule over `pids`: 4–7 operations,
+/// each a partition, isolation or heal, finishing with a heal so the
+/// group can re-form before the final check. (Moved verbatim from the
+/// seed-sweep regression test; the sweep, the replay-determinism tests
+/// and `vstool record` must agree on it.)
+pub fn sweep_script(seed: u64, pids: &[ProcessId]) -> FaultScript {
+    let mut rng = DetRng::seed_from(seed.wrapping_mul(0x9E37_79B9) ^ 0x5EED);
+    let mut script = FaultScript::new();
+    let mut t = SimTime::ZERO;
+    let ops = 4 + rng.below(4);
+    for _ in 0..ops {
+        t += SimDuration::from_millis(200 + rng.below(500));
+        let op = match rng.below(4) {
+            0 => {
+                let cut = 1 + (rng.below(pids.len() as u64 - 1) as usize);
+                FaultOp::Partition(vec![pids[..cut].to_vec(), pids[cut..].to_vec()])
+            }
+            1 => FaultOp::Isolate(pids[rng.below(pids.len() as u64) as usize]),
+            _ => FaultOp::Heal,
+        };
+        script.push(t, op);
+    }
+    script.push(t + SimDuration::from_millis(600), FaultOp::Heal);
+    script
+}
+
+/// Runs the canonical GCS sweep scenario for `seed` under `mode`: a
+/// 4–6 member group forms, a [`sweep_script`] fault schedule plays out
+/// under concurrent multicast traffic, the group settles, and the
+/// post-hoc checker plus monitor verdicts are collected.
+pub fn run_gcs_sweep(seed: u64, mode: RunMode) -> ScenarioRun {
+    let n = 4 + (seed % 3) as usize;
+    let mut sim: Sim<GcsEndpoint<String>> = mode.build(seed);
+    let mut pids = Vec::new();
+    for _ in 0..n {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |p| GcsEndpoint::new(p, GcsConfig::default())));
+    }
+    let all = pids.clone();
+    let obs = sim.obs().clone();
+    for &p in &pids {
+        sim.invoke(p, |e, _| {
+            e.set_contacts(all.iter().copied());
+            e.set_obs(obs.clone());
+        });
+    }
+    sim.run_for(SimDuration::from_millis(600));
+    sim.load_script(sweep_script(seed, &pids));
+    for i in 0..10u64 {
+        sim.run_for(SimDuration::from_millis(250));
+        let target = pids[((seed + i) as usize) % n];
+        sim.invoke(target, |e, ctx| e.mcast(format!("s{seed}m{i}"), ctx));
+    }
+    sim.run_for(SimDuration::from_secs(2));
+
+    let violations = match check(sim.outputs()) {
+        Ok(_) => Vec::new(),
+        Err(errs) => errs.iter().map(|v| v.to_string()).collect(),
+    };
+    ScenarioRun {
+        journal_digest: sim.obs().journal_digest(),
+        metrics_digest: sim.obs().metrics_digest(),
+        replay: sim.finish_replay(),
+        log: sim.take_schedule_log(),
+        monitor_reports: sim.obs().monitor_reports(),
+        violations,
+    }
+}
+
+/// The known monitor-violation classes the shrinker is exercised against
+/// (one per mutation in `tests/monitor_mutations.rs`, plus a
+/// network-level drop oracle that genuinely needs a fault op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationClass {
+    /// VS 2.2: a process re-installs an already installed view.
+    DuplicateViewInstall,
+    /// EVS 6.2: a delivery claims a causal context ahead of its receiver.
+    CausalCut,
+    /// EVS 6.3: sv-set slots exceed the subviews they must partition.
+    InvalidStructure,
+    /// Not a protocol violation but a network-level oracle: the run
+    /// dropped at least one message to a partition. Unlike the injected
+    /// mutations (which need *no* faults), this one cannot shrink to the
+    /// empty script.
+    PartitionDrop,
+}
+
+impl MutationClass {
+    /// Every class, in a stable order.
+    pub fn all() -> [MutationClass; 4] {
+        [
+            MutationClass::DuplicateViewInstall,
+            MutationClass::CausalCut,
+            MutationClass::InvalidStructure,
+            MutationClass::PartitionDrop,
+        ]
+    }
+
+    /// Stable kebab-case name (CLI argument, fixture file stem).
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationClass::DuplicateViewInstall => "duplicate-view-install",
+            MutationClass::CausalCut => "causal-cut",
+            MutationClass::InvalidStructure => "invalid-structure",
+            MutationClass::PartitionDrop => "partition-drop",
+        }
+    }
+
+    /// Parses a [`MutationClass::name`].
+    pub fn from_name(name: &str) -> Option<MutationClass> {
+        MutationClass::all().into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// What a mutation-case run produced when its oracle held.
+#[derive(Debug)]
+pub struct CaseRun {
+    /// Human-readable description of the caught violation (shared
+    /// renderer: [`vs_obs::render_slice`] via [`MonitorReport::format`]).
+    pub report: String,
+    /// Digest of the run's journal.
+    pub journal_digest: u64,
+    /// The recorded schedule (present only under [`RunMode::Record`]).
+    pub log: Option<ScheduleLog>,
+    /// Replay verdict, as in [`ScenarioRun::replay`].
+    pub replay: Result<(), ReplayError>,
+}
+
+/// Runs the mutation-case scenario: a four-member enriched group forms,
+/// `script` plays out under light traffic, the network heals and settles,
+/// and then the class's mutation is injected (for the monitor classes) or
+/// the journal is inspected (for [`MutationClass::PartitionDrop`]).
+///
+/// Returns `Some` iff the class's oracle holds — the monitor caught
+/// exactly this violation class, or the journal shows a partition drop.
+/// This is the oracle the shrinker re-runs candidate scripts through.
+pub fn run_mutation_case(
+    class: MutationClass,
+    seed: u64,
+    script: &FaultScript,
+    mode: RunMode,
+) -> Option<CaseRun> {
+    let mut sim: Sim<EvsEndpoint<String>> = mode.build(seed);
+    let mut pids = Vec::new();
+    for _ in 0..4 {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |p| EvsEndpoint::new(p, EvsConfig::default())));
+    }
+    let all = pids.clone();
+    let obs = sim.obs().clone();
+    for &p in &pids {
+        sim.invoke(p, |e, _| {
+            e.set_contacts(all.iter().copied());
+            e.set_obs(obs.clone());
+        });
+    }
+    sim.run_for(SimDuration::from_millis(600));
+    sim.load_script(script.clone());
+    for i in 0..6u64 {
+        sim.run_for(SimDuration::from_millis(250));
+        let target = pids[((seed + i) as usize) % pids.len()];
+        sim.invoke(target, |e, ctx| e.mcast(format!("c{seed}m{i}"), ctx));
+    }
+    // Settle: heal whatever the script left split so the group re-forms
+    // and the injected event lands in a stable view.
+    sim.heal();
+    sim.run_for(SimDuration::from_secs(2));
+
+    let finish = |sim: &mut Sim<EvsEndpoint<String>>, report: String| {
+        Some(CaseRun {
+            report,
+            journal_digest: sim.obs().journal_digest(),
+            replay: sim.finish_replay(),
+            log: sim.take_schedule_log(),
+        })
+    };
+
+    if class == MutationClass::PartitionDrop {
+        // Counter, not journal: drop events from the fault window would be
+        // evicted from the bounded per-process rings by the settle phase.
+        let dropped = sim.obs().metrics_snapshot().counter("net.dropped_partition");
+        if dropped == 0 {
+            return None;
+        }
+        return finish(&mut sim, format!("{dropped} message(s) dropped to a partition"));
+    }
+
+    // The monitor classes: inject the mutation through the same Obs path
+    // the protocol layers record through, then require the monitor to
+    // have caught exactly this class.
+    if !sim.obs().monitor_reports().is_empty() {
+        return None; // the healthy prefix must be clean
+    }
+    let vid = sim.actor(pids[0])?.view().id();
+    let at_us = sim.now().as_micros();
+    let kind = match class {
+        MutationClass::DuplicateViewInstall => EventKind::GroupView {
+            epoch: vid.epoch,
+            coord: vid.coordinator.raw(),
+            members: 4,
+        },
+        MutationClass::CausalCut => EventKind::EvsDeliver {
+            epoch: vid.epoch,
+            coord: vid.coordinator.raw(),
+            sender: pids[1].raw(),
+            seq: 999,
+            eview_seq: 1_000_000,
+        },
+        MutationClass::InvalidStructure => EventKind::EViewStructure {
+            epoch: vid.epoch + 1,
+            coord: vid.coordinator.raw(),
+            members: 4,
+            member_slots: 4,
+            subviews: 2,
+            svset_slots: 3,
+        },
+        MutationClass::PartitionDrop => unreachable!("handled above"),
+    };
+    sim.obs().record(pids[0].raw(), at_us, kind);
+    let reports = sim.obs().monitor_reports();
+    let caught = reports.iter().any(|r| {
+        matches!(
+            (class, &r.violation),
+            (
+                MutationClass::DuplicateViewInstall,
+                MonitorViolation::DuplicateViewInstall { .. }
+            ) | (MutationClass::CausalCut, MonitorViolation::CausalCutViolation { .. })
+                | (MutationClass::InvalidStructure, MonitorViolation::InvalidStructure { .. })
+        )
+    });
+    if !caught {
+        return None;
+    }
+    let report = reports
+        .iter()
+        .map(MonitorReport::format)
+        .collect::<Vec<_>>()
+        .join("\n");
+    finish(&mut sim, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_scripts_are_pure_functions_of_the_seed() {
+        let pids: Vec<ProcessId> = (0..5u64).map(ProcessId::from_raw).collect();
+        let a = sweep_script(3, &pids);
+        let b = sweep_script(3, &pids);
+        assert_eq!(a.to_text(), b.to_text());
+        assert_ne!(sweep_script(4, &pids).to_text(), a.to_text());
+        assert!(a.len() >= 5, "4–7 ops plus the final heal");
+    }
+
+    #[test]
+    fn gcs_sweep_records_and_replays_bit_identically() {
+        let rec = run_gcs_sweep(5, RunMode::Record);
+        assert!(rec.violations.is_empty() && rec.monitor_reports.is_empty());
+        let log = rec.log.expect("recording was on");
+        let rep = run_gcs_sweep(5, RunMode::Replay(log));
+        rep.replay.expect("replay matches");
+        assert_eq!(rec.journal_digest, rep.journal_digest);
+        assert_eq!(rec.metrics_digest, rep.metrics_digest);
+    }
+
+    #[test]
+    fn mutation_classes_round_trip_names() {
+        for c in MutationClass::all() {
+            assert_eq!(MutationClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(MutationClass::from_name("nope"), None);
+    }
+
+    #[test]
+    fn mutation_oracle_holds_on_empty_script_for_injected_classes() {
+        for class in [
+            MutationClass::DuplicateViewInstall,
+            MutationClass::CausalCut,
+            MutationClass::InvalidStructure,
+        ] {
+            let run = run_mutation_case(class, 11, &FaultScript::new(), RunMode::Normal);
+            assert!(run.is_some(), "{} holds without any faults", class.name());
+        }
+        // The drop oracle genuinely needs a fault op.
+        assert!(
+            run_mutation_case(MutationClass::PartitionDrop, 11, &FaultScript::new(), RunMode::Normal)
+                .is_none(),
+            "no partition, no partition drop"
+        );
+    }
+}

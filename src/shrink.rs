@@ -1,0 +1,219 @@
+//! Counterexample shrinking for fault scripts.
+//!
+//! When a monitor or checker fires under some [`FaultScript`], the script
+//! that provoked it is usually mostly noise: seed-derived sweeps schedule
+//! 4–7 operations, of which often zero or one actually matter. This
+//! module delta-debugs the script against a caller-supplied *oracle*
+//! (does this candidate still trip the violation?) until no single
+//! operation can be removed and no operation's time can be halved — a
+//! 1-minimal counterexample in the ddmin sense.
+//!
+//! Every oracle probe is a fresh deterministic run (same seed, candidate
+//! script), so the shrink is itself reproducible; the drivers in
+//! [`crate::scenario`] are the intended oracles, and `vstool shrink`
+//! wraps this for the command line.
+
+use vs_net::{FaultOp, FaultScript, SimTime};
+
+/// Upper bound on oracle probes per shrink, so a pathological oracle
+/// cannot loop forever. Generously above what the 4–7 op sweep scripts
+/// need (they finish in well under a hundred probes).
+pub const MAX_PROBES: usize = 400;
+
+/// Outcome of a successful shrink.
+#[derive(Debug)]
+pub struct ShrinkResult<T> {
+    /// The 1-minimal script that still trips the oracle.
+    pub script: FaultScript,
+    /// What the oracle returned for the minimal script (e.g. the
+    /// violation report of the final run).
+    pub witness: T,
+    /// Oracle probes spent, including the initial confirmation run.
+    pub probes: usize,
+    /// Operations removed from the initial script.
+    pub removed_ops: usize,
+    /// Operations whose times were shrunk toward zero.
+    pub shrunk_times: usize,
+}
+
+fn build(ops: &[(SimTime, FaultOp)]) -> FaultScript {
+    let mut script = FaultScript::new();
+    for (at, op) in ops {
+        script.push(*at, op.clone());
+    }
+    script
+}
+
+/// Delta-debugs `initial` against `oracle`.
+///
+/// The oracle returns `Some(witness)` when the candidate script still
+/// provokes the failure, `None` when it does not. Returns `None` if the
+/// *initial* script does not trip the oracle (nothing to shrink);
+/// otherwise the result's script is 1-minimal: removing any single
+/// remaining operation, or halving any remaining operation's time, makes
+/// the failure vanish (within the [`MAX_PROBES`] budget).
+///
+/// Phase 1 removes operations — largest chunks first (so a failure that
+/// needs *no* faults collapses to the empty script in one probe), then
+/// ever finer, to a fixpoint. Phase 2 shrinks each surviving operation's
+/// time by repeated halving, pulling partitions and isolations as early
+/// as they will go.
+pub fn shrink_script<T>(
+    initial: &FaultScript,
+    mut oracle: impl FnMut(&FaultScript) -> Option<T>,
+) -> Option<ShrinkResult<T>> {
+    let mut ops: Vec<(SimTime, FaultOp)> = initial
+        .iter()
+        .map(|(at, op)| (at, op.clone()))
+        .collect();
+    let mut probes = 1usize;
+    let mut witness = oracle(&build(&ops))?;
+    let initial_len = ops.len();
+
+    // Phase 1: chunk removal to a fixpoint.
+    let mut chunk = ops.len().max(1);
+    while !ops.is_empty() && probes < MAX_PROBES {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < ops.len() && probes < MAX_PROBES {
+            let end = (i + chunk).min(ops.len());
+            let mut candidate = ops.clone();
+            candidate.drain(i..end);
+            probes += 1;
+            if let Some(w) = oracle(&build(&candidate)) {
+                witness = w;
+                ops = candidate;
+                removed_any = true;
+                // Stay at `i`: the next chunk slid into this position.
+            } else {
+                i = end;
+            }
+        }
+        if removed_any {
+            continue; // same granularity again until it stops helping
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+
+    // Phase 2: halve each surviving operation's time while the failure
+    // persists.
+    let mut shrunk_times = 0usize;
+    for idx in 0..ops.len() {
+        let mut shrunk_this = false;
+        while probes < MAX_PROBES {
+            let at = ops[idx].0;
+            if at == SimTime::ZERO {
+                break;
+            }
+            let mut candidate = ops.clone();
+            candidate[idx].0 = SimTime::from_micros(at.as_micros() / 2);
+            probes += 1;
+            match oracle(&build(&candidate)) {
+                Some(w) => {
+                    witness = w;
+                    ops = candidate;
+                    shrunk_this = true;
+                }
+                None => break,
+            }
+        }
+        if shrunk_this {
+            shrunk_times += 1;
+        }
+    }
+
+    Some(ShrinkResult {
+        removed_ops: initial_len - ops.len(),
+        script: build(&ops),
+        witness,
+        probes,
+        shrunk_times,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_net::{ProcessId, SimDuration};
+
+    fn p(raw: u64) -> ProcessId {
+        ProcessId::from_raw(raw)
+    }
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(n)
+    }
+
+    /// Oracle: the script isolates process 2 at some point.
+    fn isolates_two(script: &FaultScript) -> Option<&'static str> {
+        script
+            .iter()
+            .any(|(_, op)| matches!(op, FaultOp::Isolate(q) if q.raw() == 2))
+            .then_some("isolated p2")
+    }
+
+    fn noisy_script() -> FaultScript {
+        FaultScript::new()
+            .at(ms(200), FaultOp::Heal)
+            .at(ms(400), FaultOp::Partition(vec![vec![p(0)], vec![p(1), p(2)]]))
+            .at(ms(600), FaultOp::Isolate(p(2)))
+            .at(ms(800), FaultOp::Heal)
+            .at(ms(1000), FaultOp::Isolate(p(1)))
+    }
+
+    #[test]
+    fn shrinks_to_the_single_relevant_op_and_pulls_it_early() {
+        let r = shrink_script(&noisy_script(), isolates_two).expect("initial trips");
+        assert_eq!(r.script.len(), 1, "got: {}", r.script.to_text());
+        assert_eq!(r.removed_ops, 4);
+        let (at, op) = r.script.iter().next().unwrap();
+        assert!(matches!(op, FaultOp::Isolate(q) if q.raw() == 2));
+        assert_eq!(at, SimTime::ZERO, "time halves all the way down");
+        assert_eq!(r.witness, "isolated p2");
+        assert!(r.probes <= MAX_PROBES);
+    }
+
+    #[test]
+    fn failure_needing_no_faults_collapses_in_one_removal_probe() {
+        let r = shrink_script(&noisy_script(), |_| Some(())).expect("always trips");
+        assert!(r.script.is_empty());
+        // Initial confirmation + the single whole-script removal probe.
+        assert_eq!(r.probes, 2);
+    }
+
+    #[test]
+    fn non_failing_initial_script_returns_none() {
+        let script = FaultScript::new().at(ms(100), FaultOp::Heal);
+        assert!(shrink_script::<()>(&script, |_| None).is_none());
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Oracle needs BOTH an isolate of p2 and a later heal.
+        let oracle = |s: &FaultScript| {
+            let iso = s
+                .iter()
+                .position(|(_, op)| matches!(op, FaultOp::Isolate(q) if q.raw() == 2))?;
+            s.iter()
+                .skip(iso + 1)
+                .any(|(_, op)| matches!(op, FaultOp::Heal))
+                .then_some(())
+        };
+        let r = shrink_script(&noisy_script(), oracle).expect("initial trips");
+        assert_eq!(r.script.len(), 2, "got: {}", r.script.to_text());
+        // Dropping either remaining op breaks the failure.
+        let ops: Vec<_> = r.script.iter().map(|(t, op)| (t, op.clone())).collect();
+        for skip in 0..ops.len() {
+            let mut reduced = FaultScript::new();
+            for (i, (t, op)) in ops.iter().enumerate() {
+                if i != skip {
+                    reduced.push(*t, op.clone());
+                }
+            }
+            assert!(oracle(&reduced).is_none(), "op {skip} was removable");
+        }
+    }
+}

@@ -11,8 +11,10 @@
 //! identical vector-clock stamping and monitoring path as real events.
 
 use view_synchrony::evs::{EvsConfig, EvsEndpoint};
-use view_synchrony::net::{ProcessId, Sim, SimConfig, SimDuration};
+use view_synchrony::net::{FaultScript, ProcessId, Sim, SimConfig, SimDuration};
 use view_synchrony::obs::{EventKind, MonitorViolation};
+use view_synchrony::scenario::{run_mutation_case, sweep_script, MutationClass, RunMode};
+use view_synchrony::shrink::shrink_script;
 
 /// A healthy four-member enriched group with the monitor enabled: the
 /// clean prefix every mutation rides on.
@@ -106,6 +108,68 @@ fn premature_delivery_violating_causal_cut_is_caught() {
         r.format()
     );
     assert!(!r.slice.is_empty(), "report carries a causal slice");
+}
+
+/// The seed the committed fixtures were shrunk under: the partition-drop
+/// fixture is the minimum of this seed's random sweep script.
+const SHRINK_SEED: u64 = 3;
+
+/// Loads the committed known-minimal counterexample for a mutation class.
+fn fixture(class: MutationClass) -> FaultScript {
+    let path = format!(
+        "{}/tests/fixtures/{}.faults",
+        env!("CARGO_MANIFEST_DIR"),
+        class.name()
+    );
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    FaultScript::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+/// The shrinker contract: starting from the full random sweep script,
+/// every mutation class must delta-debug down to a counterexample no
+/// larger than the committed known-minimal fixture — and, since both the
+/// simulator and ddmin are deterministic, to exactly that fixture. The
+/// three injected monitor mutations need no faults at all (their
+/// fixtures are empty); the partition-drop oracle genuinely needs one
+/// isolate, and nothing more.
+#[test]
+fn every_mutation_class_shrinks_to_its_committed_minimal_fixture() {
+    let pids: Vec<ProcessId> = (0..4).map(ProcessId::from_raw).collect();
+    let initial = sweep_script(SHRINK_SEED, &pids);
+    assert!(!initial.is_empty(), "the sweep script has ops to remove");
+    for class in MutationClass::all() {
+        let result = shrink_script(&initial, |candidate| {
+            run_mutation_case(class, SHRINK_SEED, candidate, RunMode::Normal)
+        })
+        .unwrap_or_else(|| {
+            panic!("{}: the full sweep script must trip the oracle", class.name())
+        });
+        let known = fixture(class);
+        assert!(
+            result.script.len() <= known.len(),
+            "{}: shrunk to {} ops, but the committed minimum is {} ops:\n{}",
+            class.name(),
+            result.script.len(),
+            known.len(),
+            result.script.to_text()
+        );
+        assert_eq!(
+            result.script.to_text(),
+            known.to_text(),
+            "{}: minimal counterexample drifted from the committed fixture",
+            class.name()
+        );
+        assert!(
+            !result.witness.report.is_empty(),
+            "{}: the minimal run still produces a violation report",
+            class.name()
+        );
+        assert!(
+            result.probes <= view_synchrony::shrink::MAX_PROBES,
+            "{}: probe budget respected",
+            class.name()
+        );
+    }
 }
 
 /// Mutation 3 — an e-view whose partition arithmetic is wrong: one

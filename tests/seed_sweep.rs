@@ -16,35 +16,13 @@
 
 use view_synchrony::evs::{checker::check_evs, EvsConfig, EvsEndpoint};
 use view_synchrony::gcs::{checker::check, GcsConfig, GcsEndpoint};
-use view_synchrony::net::{
-    DetRng, FaultOp, FaultScript, ProcessId, Sim, SimConfig, SimDuration, SimTime,
-};
+use view_synchrony::net::{Sim, SimConfig, SimDuration};
+// The schedule generator is shared with the replay-determinism tests and
+// `vstool record`, so a sweep failure can be re-recorded and shrunk with
+// the exact same script (see DEBUGGING.md).
+use view_synchrony::scenario::sweep_script as script_for;
 
 const SEEDS: u64 = 20;
-
-/// A seed-derived fault schedule over `pids`: 4–7 operations, each a
-/// partition, isolation or heal, finishing with a heal so the group can
-/// re-form before the final check.
-fn script_for(seed: u64, pids: &[ProcessId]) -> FaultScript {
-    let mut rng = DetRng::seed_from(seed.wrapping_mul(0x9E37_79B9) ^ 0x5EED);
-    let mut script = FaultScript::new();
-    let mut t = SimTime::ZERO;
-    let ops = 4 + rng.below(4);
-    for _ in 0..ops {
-        t += SimDuration::from_millis(200 + rng.below(500));
-        let op = match rng.below(4) {
-            0 => {
-                let cut = 1 + (rng.below(pids.len() as u64 - 1) as usize);
-                FaultOp::Partition(vec![pids[..cut].to_vec(), pids[cut..].to_vec()])
-            }
-            1 => FaultOp::Isolate(pids[rng.below(pids.len() as u64) as usize]),
-            _ => FaultOp::Heal,
-        };
-        script.push(t, op);
-    }
-    script.push(t + SimDuration::from_millis(600), FaultOp::Heal);
-    script
-}
 
 #[test]
 fn gcs_sweep_over_fixed_seeds_stays_view_synchronous() {
