@@ -79,7 +79,10 @@ impl KvStoreApp {
 
     /// Encodes a command for [`GroupObject::submit_update`].
     pub fn encode_cmd(cmd: &KvCmd) -> Bytes {
-        let mut w = Writer::new();
+        let mut w = match cmd {
+            KvCmd::Put { key, value } => Writer::with_capacity(1 + 16 + key.len() + value.len()),
+            KvCmd::Delete { key } => Writer::with_capacity(1 + 8 + key.len()),
+        };
         match cmd {
             KvCmd::Put { key, value } => {
                 w.u8(0);
@@ -105,7 +108,15 @@ impl KvStoreApp {
     }
 
     fn encode_cells(&self) -> Bytes {
-        let mut w = Writer::new();
+        let cap = 16
+            + self
+                .cells
+                .iter()
+                .map(|(k, c)| {
+                    8 + k.len() + 17 + c.value.as_ref().map_or(0, |v| 8 + v.len())
+                })
+                .sum::<usize>();
+        let mut w = Writer::with_capacity(cap);
         w.u64(self.clock);
         w.u64(self.cells.len() as u64);
         for (key, cell) in &self.cells {

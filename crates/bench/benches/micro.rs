@@ -199,7 +199,7 @@ fn bench_ack_tracking() {
         t.on_receive(pid(9), s);
     }
     for m in 1..8u64 {
-        t.on_peer_acks(pid(m), [(pid(9), 50 + m)].into_iter().collect());
+        t.on_peer_acks(pid(m), [(pid(9), 50 + m)]);
     }
     let members: Vec<ProcessId> = (0..8).map(pid).collect();
     bench("stable_frontier_8_members", || {

@@ -1,0 +1,136 @@
+//! W1 — wire efficiency of the overhauled data plane.
+//!
+//! Runs the same workload — group formation, a multicast load, a
+//! partition, a heal — once with the legacy data plane (full-vector
+//! heartbeats every tick towards every target, blanket retransmit on
+//! lagging heartbeat acks) and once with the optimized one (piggybacked
+//! ack deltas, NACK-driven selective retransmission, heartbeat
+//! suppression), across group size × load, and compares what reaches the
+//! wire: `net.sent`, `gcs.retransmissions`, and `gcs.stability_advances`.
+//!
+//! Only the optimized runs (the default configuration) are aggregated
+//! into `BENCH_wire_efficiency.json`; the legacy runs exist to print the
+//! before/after table.
+
+use vs_bench::Table;
+use vs_gcs::{GcsConfig, GcsEndpoint, WireConfig};
+use vs_net::{NetStats, ProcessId, Sim, SimDuration};
+use vs_obs::MetricsRegistry;
+
+struct Run {
+    stats: NetStats,
+    metrics: MetricsRegistry,
+}
+
+fn workload(label: &str, n: usize, load: u64, wire: WireConfig) -> Run {
+    // Seed on (n, load) only, so both data planes face the same schedule.
+    let mut sim: Sim<GcsEndpoint<String>> =
+        Sim::new(n as u64 * 1000 + load, vs_bench::sim_config());
+    let mut pids: Vec<ProcessId> = Vec::new();
+    for _ in 0..n {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, move |p| {
+            GcsEndpoint::new(p, GcsConfig { wire, ..GcsConfig::default() })
+        }));
+    }
+    let all = pids.clone();
+    let obs = sim.obs().clone();
+    for &p in &pids {
+        sim.invoke(p, |e, _| {
+            e.set_contacts(all.iter().copied());
+            e.set_obs(obs.clone());
+        });
+    }
+    sim.run_for(SimDuration::from_millis(700));
+    assert_eq!(
+        sim.actor(pids[0]).map(|e| e.view().len()).unwrap_or(0),
+        n,
+        "group formed"
+    );
+    // Steady-state multicast load.
+    for i in 0..load {
+        let p = pids[(i as usize) % n];
+        sim.invoke(p, |e, ctx| e.mcast(format!("m{i}"), ctx));
+        sim.run_for(SimDuration::from_millis(15));
+    }
+    // Partition + heal: the membership traffic is part of the bill.
+    sim.partition(&[pids[..n / 2].to_vec(), pids[n / 2..].to_vec()]);
+    sim.run_for(SimDuration::from_secs(1));
+    sim.heal();
+    sim.run_for(SimDuration::from_secs(3));
+    assert_eq!(
+        sim.actor(pids[0]).map(|e| e.view().len()).unwrap_or(0),
+        n,
+        "group re-merged after heal"
+    );
+    vs_bench::assert_monitor_clean("exp_wire_efficiency", sim.obs());
+    vs_bench::save_run_artifacts("exp_wire_efficiency", label, &mut sim);
+    Run {
+        stats: *sim.stats(),
+        metrics: sim.obs().metrics_snapshot(),
+    }
+}
+
+fn main() {
+    println!("W1 — wire efficiency: legacy vs optimized data plane (same workload)");
+    let mut table = Table::new(&[
+        "n",
+        "load",
+        "data plane",
+        "net.sent",
+        "retransmissions",
+        "stability advances",
+        "sent reduction",
+    ]);
+    let mut agg = MetricsRegistry::new();
+    for &n in &[4usize, 8, 16] {
+        for &load in &[10u64, 50] {
+            let legacy = workload(
+                &format!("legacy_n{n}_l{load}"),
+                n,
+                load,
+                WireConfig::legacy(),
+            );
+            let optimized = workload(
+                &format!("optimized_n{n}_l{load}"),
+                n,
+                load,
+                WireConfig::default(),
+            );
+            agg.absorb(&optimized.metrics);
+            let reduction =
+                (1.0 - optimized.stats.sent as f64 / legacy.stats.sent as f64) * 100.0;
+            table.row(&[
+                &n,
+                &load,
+                &"legacy",
+                &legacy.stats.sent,
+                &legacy.metrics.counter("gcs.retransmissions"),
+                &legacy.metrics.counter("gcs.stability_advances"),
+                &"-",
+            ]);
+            table.row(&[
+                &n,
+                &load,
+                &"optimized",
+                &optimized.stats.sent,
+                &optimized.metrics.counter("gcs.retransmissions"),
+                &optimized.metrics.counter("gcs.stability_advances"),
+                &format!("{reduction:+.1}%"),
+            ]);
+        }
+    }
+    table.print("identical workload per row pair: form, load multicasts, partition, heal");
+    println!(
+        "\nthe optimized plane folds acks into data (piggyback deltas), repairs\n\
+         losses by NACK instead of blanket retransmission, and suppresses\n\
+         heartbeats towards peers that recently received any traffic; stability\n\
+         advances must stay comparable — the cut still moves, it just rides\n\
+         existing messages instead of dedicated rounds."
+    );
+    let bench_path = vs_bench::artifact_path("BENCH_wire_efficiency.json");
+    vs_bench::write_bench_json(&bench_path, "exp_wire_efficiency", &agg)
+        .expect("write BENCH_wire_efficiency.json");
+    println!("bench snapshot written to {bench_path}");
+    vs_bench::print_metrics_snapshot("exp_wire_efficiency", &agg);
+}

@@ -29,6 +29,23 @@ impl Writer {
         Writer::default()
     }
 
+    /// Creates an empty writer with `cap` bytes pre-allocated. The format
+    /// is fixed-width, so encoders that know their shape can size the
+    /// buffer exactly and avoid every growth reallocation.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
     /// Writes one byte.
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);

@@ -280,7 +280,12 @@ impl EView {
     /// Serializes the structure (not the view itself) into the flush
     /// annotation format.
     pub fn encode_annotation(&self) -> Bytes {
-        let mut w = Writer::new();
+        // Every id variant is a 25-byte fixed encoding, so the output size
+        // is known up front — pre-size the buffer to skip reallocs.
+        let cap = 8
+            + self.svsets.values().map(|svs| 25 + 8 + svs.len() * (25 + 8)).sum::<usize>()
+            + self.subviews.values().map(|m| m.len() * 8).sum::<usize>();
+        let mut w = Writer::with_capacity(cap);
         w.u64(self.svsets.len() as u64);
         for (ss_id, svs) in &self.svsets {
             w.svset_id(*ss_id);

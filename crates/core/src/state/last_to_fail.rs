@@ -77,7 +77,10 @@ impl ViewLog {
 
     /// Serializes the log for stable storage.
     pub fn encode(&self) -> Bytes {
-        let mut w = Writer::new();
+        // Fixed-width format: 8 (count) + per entry 16 (view id) + 8
+        // (member count) + 8 per member. Pre-size to skip reallocs.
+        let cap = 8 + self.entries.iter().map(|e| 24 + e.members.len() * 8).sum::<usize>();
+        let mut w = Writer::with_capacity(cap);
         w.u64(self.entries.len() as u64);
         for e in &self.entries {
             w.view_id(e.view);

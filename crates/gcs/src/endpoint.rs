@@ -24,7 +24,7 @@ use vs_membership::{
     AgreementAction, AgreementConfig, AgreementMachine, AgreementMsg, DetectorConfig,
     EstimatorConfig, FailureDetector, MembershipEstimator, View, ViewId,
 };
-use vs_net::{Actor, Context, ProcessId, TimerId, TimerKind};
+use vs_net::{Actor, Context, ProcessId, SimDuration, SimTime, TimerId, TimerKind};
 use vs_obs::{EventKind, Obs, SpanId};
 
 use crate::events::{GcsEvent, Provenance};
@@ -35,6 +35,50 @@ use crate::stability::AckTracker;
 
 /// Timer kind used for the endpoint's single periodic tick.
 const TICK: TimerKind = TimerKind(1);
+
+/// Backoff floor/ceiling of the receiver-side NACK retry path.
+const NACK_RETRY: SimDuration = SimDuration::from_millis(25);
+const NACK_RETRY_CAP: SimDuration = SimDuration::from_millis(200);
+/// Hold-off before the *first* NACK of a freshly noticed tail gap: long
+/// enough for an in-flight original overtaken by its announcement to land.
+const TAIL_NACK_GRACE: SimDuration = SimDuration::from_millis(5);
+/// Grace before the sender-side fallback resends to a lagging peer, and
+/// the ceiling its per-peer backoff doubles up to.
+const RESEND_GRACE: SimDuration = SimDuration::from_millis(45);
+const RESEND_CAP: SimDuration = SimDuration::from_millis(250);
+
+/// Wire-efficiency knobs (the optimized data plane is the default; the
+/// legacy switches exist so experiments can measure the before/after).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Fold the stability/ack vector (delta-encoded against the last
+    /// advertised cut) and the send frontier into outgoing multicasts and
+    /// agreement traffic, instead of relying on heartbeats alone.
+    pub piggyback_acks: bool,
+    /// Repair losses with receiver-driven gap/tail NACKs (plus a backed-off
+    /// sender-side fallback), instead of blanket retransmission towards
+    /// every heartbeat whose ack vector lags.
+    pub nack_retransmit: bool,
+    /// Suppress dedicated heartbeats towards peers that recently received
+    /// any traffic from this process (see
+    /// [`DetectorConfig::suppress_within`](vs_membership::DetectorConfig)).
+    pub suppress_heartbeats: bool,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig { piggyback_acks: true, nack_retransmit: true, suppress_heartbeats: true }
+    }
+}
+
+impl WireConfig {
+    /// The pre-overhaul data plane: per-tick full-vector heartbeats to
+    /// every target and retransmit-on-heartbeat. For before/after
+    /// comparisons (`exp_wire_efficiency`).
+    pub fn legacy() -> Self {
+        WireConfig { piggyback_acks: false, nack_retransmit: false, suppress_heartbeats: false }
+    }
+}
 
 /// Configuration of a [`GcsEndpoint`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -53,6 +97,27 @@ pub struct GcsConfig {
     /// excluded — delivers a message the others might miss. Trades latency
     /// (one extra acknowledgement round) for the uniformity guarantee.
     pub uniform: bool,
+    /// Wire-efficiency knobs (piggybacking, NACK repair, heartbeat
+    /// suppression).
+    pub wire: WireConfig,
+}
+
+/// Acknowledgement state folded into a data or agreement message, so
+/// stability information rides the traffic that is flowing anyway and
+/// dedicated stability rounds (full-vector heartbeats) are only needed
+/// when the group is quiescent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Piggyback {
+    /// View the frontiers belong to (sequence numbers restart per view).
+    pub view: ViewId,
+    /// Ack-frontier entries, delta-encoded against the sender's last
+    /// advertised cut. Values are absolute and monotone, so a lost or
+    /// reordered delta leaves the receiver conservative, never wrong;
+    /// full-vector heartbeats heal any residual staleness.
+    pub acks: Vec<(ProcessId, u64)>,
+    /// The sender's highest multicast sequence number in `view` — lets the
+    /// receiver detect tail loss (messages it does not know exist).
+    pub sent_upto: u64,
 }
 
 /// Wire messages exchanged between endpoints.
@@ -65,9 +130,13 @@ pub enum Wire<M> {
         view: ViewId,
         /// Per-sender contiguous receive frontiers at the sender.
         acks: BTreeMap<ProcessId, u64>,
+        /// The sender's highest multicast sequence number in `view`, for
+        /// tail-loss detection by the receiver.
+        sent_upto: u64,
     },
-    /// An application multicast (original transmission or retransmission).
-    App(ViewMsg<M>),
+    /// An application multicast (original transmission or retransmission),
+    /// with the sender's piggybacked acknowledgement state.
+    App(ViewMsg<M>, Option<Piggyback>),
     /// Request to resend the sender's own messages with these sequence
     /// numbers (gap repair).
     Nack {
@@ -86,8 +155,9 @@ pub enum Wire<M> {
         /// The message assigned to that index.
         id: MsgId,
     },
-    /// View-agreement traffic.
-    Agreement(AgreementMsg<FlushPayload<M>>),
+    /// View-agreement traffic, with the sender's piggybacked
+    /// acknowledgement state (flush messages carry acks too).
+    Agreement(AgreementMsg<FlushPayload<M>>, Option<Piggyback>),
     /// A point-to-point payload outside the view-synchronous multicast
     /// stream (no ordering, agreement or uniqueness guarantees). Used for
     /// bulk state transfer, which the paper explicitly wants *outside* the
@@ -127,9 +197,46 @@ pub struct GcsEndpoint<M> {
     /// Per-sender stable frontier last observed, for edge-triggered
     /// `StabilityAdvance` trace events.
     stab_floor: BTreeMap<ProcessId, u64>,
+    /// Ack frontiers last advertised to the view (via piggyback or
+    /// heartbeat) — the base of the delta encoding.
+    advertised: BTreeMap<ProcessId, u64>,
+    /// Per-sender retry throttle of the receiver-side tail-NACK path.
+    nack_backoff: BTreeMap<ProcessId, NackState>,
+    /// Per-peer grace/backoff state of the sender-side fallback
+    /// retransmission (timer-driven, scoped to the lagging peer).
+    resend_state: BTreeMap<ProcessId, ResendState>,
+    /// View members whose heartbeats announce a *different* view id, and
+    /// when the divergence was first seen. Same-membership views with
+    /// different ids never differ in the estimator's eyes, so a persistent
+    /// divergence must force a re-agreement or the group wedges.
+    diverged: BTreeMap<ProcessId, SimTime>,
     /// Open `flush` span of the in-flight view change (child of the
     /// agreement machine's `view_change` root).
     span_flush: Option<SpanId>,
+}
+
+/// Retry throttle of the tail-NACK path towards one sender.
+#[derive(Debug, Clone, Copy)]
+struct NackState {
+    /// Lowest sequence number missing when the last NACK went out; a gap
+    /// that moves resets the backoff (progress is being made).
+    oldest: u64,
+    /// Earliest instant the next NACK to this sender may be sent.
+    next_allowed: SimTime,
+    /// Current retry delay (doubles up to [`NACK_RETRY_CAP`]).
+    delay: SimDuration,
+}
+
+/// Sender-side fallback retransmission state towards one lagging peer.
+#[derive(Debug, Clone, Copy)]
+struct ResendState {
+    /// The peer's ack frontier for our messages when last observed; an
+    /// advance re-arms the grace period instead of retransmitting.
+    frontier: u64,
+    /// Earliest instant a fallback resend to this peer may fire.
+    next_retry: SimTime,
+    /// Current retry delay (doubles up to [`RESEND_CAP`]).
+    delay: SimDuration,
 }
 
 type Ctx<'a, M> = Context<'a, Wire<M>, GcsEvent<M>>;
@@ -164,6 +271,10 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
             left: false,
             obs: Obs::new(),
             stab_floor: BTreeMap::new(),
+            advertised: BTreeMap::new(),
+            nack_backoff: BTreeMap::new(),
+            resend_state: BTreeMap::new(),
+            diverged: BTreeMap::new(),
             span_flush: None,
         }
     }
@@ -237,7 +348,7 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
     /// chunks) that must not block view installations (§5 of the paper).
     pub fn send_direct(&mut self, to: ProcessId, payload: M, ctx: &mut Ctx<'_, M>) {
         if !self.left {
-            ctx.send(to, Wire::Direct(payload));
+            self.post(to, Wire::Direct(payload), ctx);
         }
     }
 
@@ -250,6 +361,165 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         self.left = true;
         let peers: Vec<ProcessId> = self.view.members().iter().copied().filter(|&p| p != self.me).collect();
         ctx.send_all(peers, Wire::Goodbye);
+    }
+
+    /// The stability cut this endpoint currently observes for `sender`'s
+    /// messages in the installed view: the highest sequence number known to
+    /// be received by *every* view member. Messages past the cut are not
+    /// stable and must survive in retransmission buffers and flush unions.
+    pub fn stability_cut(&self, sender: ProcessId) -> u64 {
+        self.acks
+            .stable_frontier(self.me, sender, self.view.members().iter().copied())
+    }
+
+    /// Sends `msg` to `to`, recording the outbound traffic with the
+    /// failure detector so it doubles as liveness evidence (heartbeat
+    /// suppression feeds off this).
+    fn post(&mut self, to: ProcessId, msg: Wire<M>, ctx: &mut Ctx<'_, M>) {
+        self.fd.note_sent(to, ctx.now());
+        ctx.send(to, msg);
+    }
+
+    /// Builds the piggyback for an outgoing message: the ack entries that
+    /// advanced since the last advertised cut (`full` sends the whole
+    /// vector instead — used on rare agreement traffic, where starving
+    /// other peers of a delta until the next heartbeat is not worth the
+    /// bookkeeping). Returns `None` when piggybacking is disabled.
+    fn make_piggyback(&mut self, full: bool) -> Option<Piggyback> {
+        if !self.config.wire.piggyback_acks {
+            return None;
+        }
+        let current = self.acks.ack_vector();
+        let delta: Vec<(ProcessId, u64)> = current
+            .iter()
+            .filter(|&(p, &k)| self.advertised.get(p).copied().unwrap_or(0) < k)
+            .map(|(&p, &k)| (p, k))
+            .collect();
+        if !delta.is_empty() {
+            self.obs.add("gcs.piggybacked_acks", delta.len() as u64);
+        }
+        let acks = if full {
+            current.iter().map(|(&p, &k)| (p, k)).collect()
+        } else {
+            delta
+        };
+        self.advertised = current;
+        Some(Piggyback {
+            view: self.view.id(),
+            acks,
+            sent_upto: self.my_seq,
+        })
+    }
+
+    /// Merges a piggyback received from `from`: advances the peer's ack
+    /// frontiers (monotone merge), releases newly stable messages, and
+    /// checks the peer's send frontier for tail loss.
+    fn absorb_piggyback(&mut self, from: ProcessId, pb: Piggyback, ctx: &mut Ctx<'_, M>) {
+        if pb.view != self.view.id() || !self.view.contains(from) {
+            return;
+        }
+        self.acks.on_peer_acks(from, pb.acks);
+        self.release_stable(ctx);
+        if self.config.wire.nack_retransmit {
+            self.maybe_nack_tail(from, pb.sent_upto, ctx);
+        }
+    }
+
+    /// Receiver-driven repair: `from` claims to have multicast up to
+    /// `sent_upto` in the current view; NACK whatever of that range is
+    /// missing here, with a per-sender doubling backoff so a dead path is
+    /// not flooded. Progress (the oldest missing seq moving) resets the
+    /// backoff.
+    fn maybe_nack_tail(&mut self, from: ProcessId, sent_upto: u64, ctx: &mut Ctx<'_, M>) {
+        let frontier = self.acks.received_frontier(from);
+        let missing: Vec<u64> = ((frontier + 1)..=sent_upto)
+            .filter(|&s| !self.acks.has_received(from, s))
+            .collect();
+        let Some(&oldest) = missing.first() else {
+            self.nack_backoff.remove(&from);
+            return;
+        };
+        // A tail gap is speculative, unlike an out-of-order gap: the
+        // announcement (a heartbeat or piggyback sent just after the data)
+        // routinely overtakes the data message itself in flight. Hold the
+        // first NACK for one grace window; if the gap is real it is still
+        // there at the announcer's next beacon, and only then do we NACK
+        // and start backing off.
+        let now = ctx.now();
+        match self.nack_backoff.get_mut(&from) {
+            Some(st) if st.oldest == oldest && now < st.next_allowed => return,
+            Some(st) if st.oldest == oldest => {
+                st.delay = st.delay.saturating_mul(2).min(NACK_RETRY_CAP);
+                st.next_allowed = now + st.delay;
+            }
+            _ => {
+                self.nack_backoff.insert(
+                    from,
+                    NackState { oldest, next_allowed: now + TAIL_NACK_GRACE, delay: NACK_RETRY },
+                );
+                return;
+            }
+        }
+        self.obs.inc("gcs.nacks_sent");
+        let view = self.view.id();
+        self.post(from, Wire::Nack { view, missing }, ctx);
+    }
+
+    /// Sender-side fallback: if a view member's ack frontier for our
+    /// messages has not moved for [`RESEND_GRACE`], resend it the unacked
+    /// suffix — to that peer only, with per-peer doubling backoff. The
+    /// NACK path is the fast repair; this catches the pathological case
+    /// where both the announcement and the NACK were lost.
+    fn retransmit_lagging(&mut self, now: SimTime, ctx: &mut Ctx<'_, M>) {
+        if self.my_seq == 0 || self.sent.is_empty() {
+            self.resend_state.clear();
+            return;
+        }
+        let peers: Vec<ProcessId> = self
+            .view
+            .members()
+            .iter()
+            .copied()
+            .filter(|&p| p != self.me)
+            .collect();
+        for p in peers {
+            let frontier = self.acks.peer_frontier(p, self.me);
+            if frontier >= self.my_seq {
+                self.resend_state.remove(&p);
+                continue;
+            }
+            if self.fd.suspects(p, now) {
+                // Unreachable, not lagging: it is about to be excluded by a
+                // view change, or will tail-NACK the gap when it reconnects
+                // and hears our send frontier again.
+                continue;
+            }
+            let st = self.resend_state.entry(p).or_insert(ResendState {
+                frontier,
+                next_retry: now + RESEND_GRACE,
+                delay: RESEND_GRACE,
+            });
+            if frontier > st.frontier {
+                // The peer is catching up (acks or NACK repair in flight):
+                // re-arm the grace period instead of resending.
+                *st = ResendState { frontier, next_retry: now + RESEND_GRACE, delay: RESEND_GRACE };
+                continue;
+            }
+            if now < st.next_retry {
+                continue;
+            }
+            st.delay = st.delay.saturating_mul(2).min(RESEND_CAP);
+            st.next_retry = now + st.delay;
+            let resend: Vec<ViewMsg<M>> = self
+                .sent
+                .range((frontier + 1)..)
+                .map(|(_, m)| m.clone())
+                .collect();
+            self.obs.add("gcs.retransmissions", resend.len() as u64);
+            for m in resend {
+                self.post(p, Wire::App(m, None), ctx);
+            }
+        }
     }
 
     fn do_mcast(&mut self, payload: M, ctx: &mut Ctx<'_, M>) {
@@ -281,7 +551,12 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
             .copied()
             .filter(|&p| p != self.me)
             .collect();
-        ctx.send_all(peers, Wire::App(msg.clone()));
+        // The multicast carries the delta-encoded stability state: acks
+        // ride the data while it flows; dedicated rounds only when idle.
+        let pb = self.make_piggyback(false);
+        for &p in &peers {
+            self.post(p, Wire::App(msg.clone(), pb.clone()), ctx);
+        }
         self.offer(msg, ctx);
     }
 
@@ -296,13 +571,11 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         let gaps = self.acks.on_receive(msg.id.sender, msg.id.seq);
         if !gaps.is_empty() && msg.id.sender != self.me {
             self.obs.inc("gcs.nacks_sent");
-            ctx.send(
-                msg.id.sender,
-                Wire::Nack {
-                    view: self.view.id(),
-                    missing: gaps,
-                },
-            );
+            let nack = Wire::Nack {
+                view: self.view.id(),
+                missing: gaps,
+            };
+            self.post(msg.id.sender, nack, ctx);
         }
         self.received.insert(msg.id, msg.clone());
         // Total order: the view leader sequences every fresh message.
@@ -316,14 +589,14 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
                 .copied()
                 .filter(|&p| p != self.me)
                 .collect();
-            ctx.send_all(
-                peers,
-                Wire::Order {
-                    view: self.view.id(),
-                    idx,
-                    id: msg.id,
-                },
-            );
+            let order = Wire::Order {
+                view: self.view.id(),
+                idx,
+                id: msg.id,
+            };
+            for &p in &peers {
+                self.post(p, order.clone(), ctx);
+            }
             let id = msg.id;
             let mut ready = self.order_buf.insert(msg);
             ready.extend(self.order_buf.on_order(idx, id));
@@ -412,16 +685,67 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
 
     fn on_tick(&mut self, ctx: &mut Ctx<'_, M>) {
         let now = ctx.now();
-        // 1. Heartbeats (liveness beacon + ack gossip).
-        let hb = Wire::Heartbeat {
-            view: self.view.id(),
-            acks: self.acks.ack_vector(),
-        };
-        ctx.send_all(self.heartbeat_targets(), hb);
+        // 1. Heartbeats (liveness beacon + the dedicated stability round).
+        //    A peer that recently received any traffic from us — data with
+        //    piggybacked acks, agreement messages, or an earlier beacon —
+        //    already holds fresh liveness evidence, so its beacon is
+        //    suppressed; full-vector heartbeats remain the quiescent-path
+        //    stability round and heal piggyback deltas lost in flight.
+        //    A beacon carrying *news* (the ack vector moved since it was
+        //    last advertised) is never suppressed: receivers' acks are what
+        //    advance the stability cut — and what uniform delivery waits
+        //    on — so fresh acks must not idle out a beacon period.
+        let acks = self.acks.ack_vector();
+        let fresh_acks = acks != self.advertised;
+        let needed: Vec<ProcessId> = self
+            .heartbeat_targets()
+            .into_iter()
+            .filter(|&p| {
+                if !self.config.wire.suppress_heartbeats
+                    || fresh_acks
+                    || self.fd.should_heartbeat(p, now)
+                {
+                    true
+                } else {
+                    self.obs.inc("fd.heartbeats_suppressed");
+                    false
+                }
+            })
+            .collect();
+        if !needed.is_empty() {
+            self.advertised = acks.clone();
+            let hb = Wire::Heartbeat {
+                view: self.view.id(),
+                acks,
+                sent_upto: self.my_seq,
+            };
+            for p in needed {
+                self.post(p, hb.clone(), ctx);
+            }
+        }
         // 2. Membership estimation.
         self.fd.poll_transitions(now, &self.obs);
         let trusted = self.fd.trusted(now);
-        if let Some(candidate) = self.estimator.observe(trusted, now) {
+        // Views with identical membership but different ids look settled to
+        // the estimator, so a persistent id divergence (a member beaconing
+        // another view past the debounce window) must force a re-agreement
+        // from whoever coordinates the trusted set — otherwise the group
+        // wedges in incompatible views it can never reconcile.
+        let debounce = self.config.estimator.debounce;
+        let stuck = !self.agreement.is_engaged()
+            && !self.estimator.is_in_progress()
+            && trusted.iter().next() == Some(&self.me)
+            && self
+                .diverged
+                .values()
+                .any(|&since| now.saturating_since(since) >= debounce);
+        if stuck {
+            self.diverged.clear();
+            self.agreement.note_detection(now);
+            self.estimator.agreement_started();
+            let actions = self.agreement.start(trusted.clone(), now);
+            self.process_agreement(actions, ctx);
+        } else if let Some(candidate) = self.estimator.observe(trusted, now) {
             // Anchor the `detect` span of the coming lineage at the moment
             // the estimator settles on a changed membership — also at
             // non-coordinators, whose engagement only starts at Prepare.
@@ -458,7 +782,12 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
                 self.sent.retain(|&seq, _| seq > frontier);
             }
         }
-        // 5. Re-arm.
+        // 5. Fallback retransmission towards peers whose acks stalled —
+        //    scoped to the lagging peer and its unacked suffix only.
+        if self.config.wire.nack_retransmit && !self.agreement.is_engaged() {
+            self.retransmit_lagging(now, ctx);
+        }
+        // 6. Re-arm.
         ctx.set_timer(self.config.detector.heartbeat_every, TICK);
     }
 
@@ -472,7 +801,12 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
             let mut next = Vec::new();
             for action in work {
                 match action {
-                    AgreementAction::Send(to, msg) => ctx.send(to, Wire::Agreement(msg)),
+                    AgreementAction::Send(to, msg) => {
+                        // Flush/agreement traffic carries acks too (full
+                        // vector: these messages are rare and per-peer).
+                        let pb = self.make_piggyback(true);
+                        self.post(to, Wire::Agreement(msg, pb), ctx);
+                    }
                     AgreementAction::NeedPayload { proposal } => {
                         if !self.estimator.is_in_progress() {
                             self.estimator.agreement_started();
@@ -573,6 +907,10 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         self.stash.clear();
         self.held_for_stability.clear();
         self.stab_floor.clear();
+        self.advertised.clear();
+        self.nack_backoff.clear();
+        self.resend_state.clear();
+        self.diverged.clear();
         self.estimator.view_installed(view.members().clone());
         let provenance: Vec<Provenance> = replies
             .iter()
@@ -630,24 +968,45 @@ impl<M: Clone + std::fmt::Debug + 'static> Actor for GcsEndpoint<M> {
         }
         self.fd.heard_from(from, ctx.now());
         match msg {
-            Wire::Heartbeat { view, acks } => {
+            Wire::Heartbeat { view, acks, sent_upto } => {
+                if self.view.contains(from) {
+                    // A view member beaconing a different view id has moved
+                    // on without us (or we without it): note when the
+                    // divergence started so the tick can force a merge if
+                    // it persists (see `on_tick` step 2).
+                    if view == self.view.id() {
+                        self.diverged.remove(&from);
+                    } else {
+                        self.diverged.entry(from).or_insert(ctx.now());
+                    }
+                }
                 if view == self.view.id() && self.view.contains(from) {
                     self.acks.on_peer_acks(from, acks);
                     self.release_stable(ctx);
-                    // Retransmit whatever the peer is missing of ours.
-                    let frontier = self.acks.peer_frontier(from, self.me);
-                    let resend: Vec<ViewMsg<M>> = self
-                        .sent
-                        .range((frontier + 1)..)
-                        .map(|(_, m)| m.clone())
-                        .collect();
-                    self.obs.add("gcs.retransmissions", resend.len() as u64);
-                    for m in resend {
-                        ctx.send(from, Wire::App(m));
+                    if self.config.wire.nack_retransmit {
+                        // Receiver-driven repair: NACK the tail the peer
+                        // announced but we never saw.
+                        self.maybe_nack_tail(from, sent_upto, ctx);
+                    } else {
+                        // Legacy path: blanket-retransmit whatever the
+                        // peer's ack vector has not covered yet.
+                        let frontier = self.acks.peer_frontier(from, self.me);
+                        let resend: Vec<ViewMsg<M>> = self
+                            .sent
+                            .range((frontier + 1)..)
+                            .map(|(_, m)| m.clone())
+                            .collect();
+                        self.obs.add("gcs.retransmissions", resend.len() as u64);
+                        for m in resend {
+                            ctx.send(from, Wire::App(m, None));
+                        }
                     }
                 }
             }
-            Wire::App(msg) => {
+            Wire::App(msg, pb) => {
+                if let Some(pb) = pb {
+                    self.absorb_piggyback(from, pb, ctx);
+                }
                 if self.is_blocked() {
                     // Received mid-flush: its fate is decided by the flush
                     // union; keep it aside in case the flush is abandoned.
@@ -663,7 +1022,8 @@ impl<M: Clone + std::fmt::Debug + 'static> Actor for GcsEndpoint<M> {
                     for seq in missing {
                         if let Some(m) = self.sent.get(&seq) {
                             self.obs.inc("gcs.retransmissions");
-                            ctx.send(from, Wire::App(m.clone()));
+                            let m = m.clone();
+                            self.post(from, Wire::App(m, None), ctx);
                         }
                     }
                 }
@@ -676,7 +1036,10 @@ impl<M: Clone + std::fmt::Debug + 'static> Actor for GcsEndpoint<M> {
                     }
                 }
             }
-            Wire::Agreement(am) => {
+            Wire::Agreement(am, pb) => {
+                if let Some(pb) = pb {
+                    self.absorb_piggyback(from, pb, ctx);
+                }
                 let now = ctx.now();
                 let actions = self.agreement.handle(from, am, now);
                 self.process_agreement(actions, ctx);

@@ -42,7 +42,7 @@ mod message;
 pub mod ordering;
 mod stability;
 
-pub use endpoint::{GcsConfig, GcsEndpoint, Wire};
+pub use endpoint::{GcsConfig, GcsEndpoint, Piggyback, Wire, WireConfig};
 pub use events::{GcsEvent, Provenance};
 pub use flush::{flush_deliveries, FlushPayload};
 pub use message::{MsgId, ViewMsg};

@@ -70,6 +70,12 @@ impl AckTracker {
                 .unwrap_or(false)
     }
 
+    /// The contiguous receive frontier for messages of `sender` here (0 if
+    /// nothing received yet).
+    pub fn received_frontier(&self, sender: ProcessId) -> u64 {
+        self.received_upto.get(&sender).copied().unwrap_or(0)
+    }
+
     /// This process' acknowledgement vector: contiguous frontier per sender.
     pub fn ack_vector(&self) -> BTreeMap<ProcessId, u64> {
         self.received_upto
@@ -79,9 +85,19 @@ impl AckTracker {
             .collect()
     }
 
-    /// Records the acknowledgement vector heard from `peer`.
-    pub fn on_peer_acks(&mut self, peer: ProcessId, acks: BTreeMap<ProcessId, u64>) {
-        self.peer_acks.insert(peer, acks);
+    /// Merges an acknowledgement vector heard from `peer`. Frontiers are
+    /// absolute and monotone within a view, so merging takes the maximum
+    /// per entry: a stale or delta-encoded vector (piggybacked on data and
+    /// possibly overtaken in flight) can only leave knowledge conservative,
+    /// never regress it.
+    pub fn on_peer_acks(&mut self, peer: ProcessId, acks: impl IntoIterator<Item = (ProcessId, u64)>) {
+        let known = self.peer_acks.entry(peer).or_default();
+        for (sender, upto) in acks {
+            let e = known.entry(sender).or_insert(0);
+            if *e < upto {
+                *e = upto;
+            }
+        }
     }
 
     /// The last frontier `peer` reported for messages of `sender` (0 if
@@ -181,8 +197,8 @@ mod tests {
         for s in 1..=5 {
             t.on_receive(pid(9), s);
         }
-        t.on_peer_acks(pid(1), [(pid(9), 3)].into_iter().collect());
-        t.on_peer_acks(pid(2), [(pid(9), 4)].into_iter().collect());
+        t.on_peer_acks(pid(1), [(pid(9), 3)]);
+        t.on_peer_acks(pid(2), [(pid(9), 4)]);
         let members = [me, pid(1), pid(2)];
         assert_eq!(t.stable_frontier(me, pid(9), members.iter().copied()), 3);
     }
@@ -192,10 +208,23 @@ mod tests {
         let me = pid(0);
         let mut t = AckTracker::new();
         t.on_receive(pid(9), 1);
-        t.on_peer_acks(pid(1), [(pid(9), 1)].into_iter().collect());
+        t.on_peer_acks(pid(1), [(pid(9), 1)]);
         // p2 never reported anything.
         let members = [me, pid(1), pid(2)];
         assert_eq!(t.stable_frontier(me, pid(9), members.iter().copied()), 0);
+    }
+
+    #[test]
+    fn peer_acks_merge_monotonically() {
+        let mut t = AckTracker::new();
+        t.on_peer_acks(pid(1), [(pid(9), 4)]);
+        // A stale (reordered) vector must not regress the frontier…
+        t.on_peer_acks(pid(1), [(pid(9), 2)]);
+        assert_eq!(t.peer_frontier(pid(1), pid(9)), 4);
+        // …and a delta touching another sender leaves it intact.
+        t.on_peer_acks(pid(1), [(pid(8), 1)]);
+        assert_eq!(t.peer_frontier(pid(1), pid(9)), 4);
+        assert_eq!(t.peer_frontier(pid(1), pid(8)), 1);
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub struct DetectorConfig {
     pub heartbeat_every: SimDuration,
     /// Silence threshold after which a contact is suspected.
     pub suspect_after: SimDuration,
+    /// Outbound-traffic window within which a dedicated heartbeat to a
+    /// peer is redundant: any message this process sent to the peer (data,
+    /// acks, agreement traffic — or a previous heartbeat) already serves
+    /// as its liveness evidence, since the peer's detector counts every
+    /// received message. Must stay well under `suspect_after` so the
+    /// worst-case inter-beacon gap keeps a detection margin.
+    pub suppress_within: SimDuration,
 }
 
 impl Default for DetectorConfig {
@@ -29,6 +36,7 @@ impl Default for DetectorConfig {
         DetectorConfig {
             heartbeat_every: SimDuration::from_millis(10),
             suspect_after: SimDuration::from_millis(35),
+            suppress_within: SimDuration::from_millis(18),
         }
     }
 }
@@ -54,6 +62,9 @@ pub struct FailureDetector {
     me: ProcessId,
     config: DetectorConfig,
     last_heard: BTreeMap<ProcessId, SimTime>,
+    /// Last instant *any* message went out towards each peer, heartbeats
+    /// included — the basis for [`should_heartbeat`](Self::should_heartbeat).
+    last_sent: BTreeMap<ProcessId, SimTime>,
     /// Suspicion set as of the last [`poll_transitions`](Self::poll_transitions)
     /// call, for edge-triggered trace events.
     last_suspected: BTreeSet<ProcessId>,
@@ -66,6 +77,7 @@ impl FailureDetector {
             me,
             config,
             last_heard: BTreeMap::new(),
+            last_sent: BTreeMap::new(),
             last_suspected: BTreeSet::new(),
         }
     }
@@ -87,9 +99,34 @@ impl FailureDetector {
         }
     }
 
+    /// Records that a message (of any kind) was sent to `p` at `now`. The
+    /// peer's detector treats every received message as liveness evidence,
+    /// so this send doubles as a heartbeat.
+    pub fn note_sent(&mut self, p: ProcessId, now: SimTime) {
+        if p == self.me {
+            return;
+        }
+        let entry = self.last_sent.entry(p).or_insert(now);
+        if *entry < now {
+            *entry = now;
+        }
+    }
+
+    /// Whether a dedicated heartbeat towards `p` is still needed at `now`:
+    /// `false` while recent outbound traffic (per
+    /// [`DetectorConfig::suppress_within`]) already carries the liveness
+    /// signal. A peer never sent to always warrants a beacon.
+    pub fn should_heartbeat(&self, p: ProcessId, now: SimTime) -> bool {
+        match self.last_sent.get(&p) {
+            Some(&t) => now.saturating_since(t) >= self.config.suppress_within,
+            None => true,
+        }
+    }
+
     /// Forgets a process entirely (it left, or its partition is stale).
     pub fn forget(&mut self, p: ProcessId) {
         self.last_heard.remove(&p);
+        self.last_sent.remove(&p);
     }
 
     /// The set of processes currently trusted at `now`: every contact heard
@@ -171,6 +208,7 @@ mod tests {
         DetectorConfig {
             heartbeat_every: SimDuration::from_millis(10),
             suspect_after: SimDuration::from_millis(30),
+            suppress_within: SimDuration::from_millis(15),
         }
     }
 
@@ -242,6 +280,28 @@ mod tests {
             .map(|e| e.kind.name().to_string())
             .collect();
         assert_eq!(events, vec!["suspicion_raised", "suspicion_cleared"]);
+    }
+
+    #[test]
+    fn recent_sends_suppress_heartbeats_until_the_window_expires() {
+        let mut fd = FailureDetector::new(pid(0), cfg());
+        assert!(fd.should_heartbeat(pid(1), SimTime::ZERO), "unknown peer: beacon");
+        fd.note_sent(pid(1), SimTime::from_micros(0));
+        assert!(!fd.should_heartbeat(pid(1), SimTime::from_micros(10_000)));
+        assert!(fd.should_heartbeat(pid(1), SimTime::from_micros(15_000)));
+        // Any later send — data or another heartbeat — re-arms the window.
+        fd.note_sent(pid(1), SimTime::from_micros(20_000));
+        assert!(!fd.should_heartbeat(pid(1), SimTime::from_micros(30_000)));
+    }
+
+    #[test]
+    fn sends_to_self_and_stale_sends_are_ignored() {
+        let mut fd = FailureDetector::new(pid(0), cfg());
+        fd.note_sent(pid(0), SimTime::from_micros(1_000));
+        assert!(fd.should_heartbeat(pid(0), SimTime::from_micros(1_000)));
+        fd.note_sent(pid(1), SimTime::from_micros(20_000));
+        fd.note_sent(pid(1), SimTime::from_micros(5_000)); // out-of-order
+        assert!(!fd.should_heartbeat(pid(1), SimTime::from_micros(30_000)));
     }
 
     #[test]

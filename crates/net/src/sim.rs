@@ -44,7 +44,10 @@ pub struct Sim<A: Actor> {
     now: SimTime,
     queue: BinaryHeap<Reverse<QueueEntry<A::Msg>>>,
     seq: u64,
-    procs: BTreeMap<ProcessId, ProcEntry<A>>,
+    /// Process table, indexed directly by the raw process id (ids are
+    /// allocated densely from 0, so the id doubles as the slot) — the
+    /// hot-path lookup is an array index, not a tree walk.
+    procs: Vec<Option<ProcEntry<A>>>,
     sites: BTreeMap<SiteId, Storage>,
     topology: Topology,
     links: LinkModel,
@@ -143,7 +146,7 @@ impl<A: Actor> Sim<A> {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
             seq: 0,
-            procs: BTreeMap::new(),
+            procs: Vec::new(),
             sites: BTreeMap::new(),
             topology: Topology::new(),
             links: LinkModel::new(config.link),
@@ -251,7 +254,8 @@ impl<A: Actor> Sim<A> {
         self.next_site = self.next_site.max(site.raw() + 1);
         let actor = f(pid);
         self.sites.entry(site).or_default();
-        self.procs.insert(pid, ProcEntry { actor, site, alive: true });
+        debug_assert_eq!(self.procs.len() as u64, pid.raw(), "dense pid allocation");
+        self.procs.push(Some(ProcEntry { actor, site, alive: true }));
         self.with_ctx(pid, |actor, ctx| actor.on_start(ctx));
         pid
     }
@@ -267,10 +271,18 @@ impl<A: Actor> Sim<A> {
     /// Crashes a process immediately. Safe to call on an already crashed or
     /// unknown process (no-op).
     pub fn crash(&mut self, pid: ProcessId) {
-        if let Some(entry) = self.procs.get_mut(&pid) {
+        if let Some(entry) = self.proc_mut(pid) {
             entry.alive = false;
         }
         self.links.forget(pid);
+    }
+
+    fn proc(&self, pid: ProcessId) -> Option<&ProcEntry<A>> {
+        self.procs.get(pid.raw() as usize).and_then(|e| e.as_ref())
+    }
+
+    fn proc_mut(&mut self, pid: ProcessId) -> Option<&mut ProcEntry<A>> {
+        self.procs.get_mut(pid.raw() as usize).and_then(|e| e.as_mut())
     }
 
     /// Starts a fresh process incarnation at `site` using the recovery
@@ -289,7 +301,8 @@ impl<A: Actor> Sim<A> {
         let actor = factory(pid, site);
         self.recovery = Some(factory);
         self.sites.entry(site).or_default();
-        self.procs.insert(pid, ProcEntry { actor, site, alive: true });
+        debug_assert_eq!(self.procs.len() as u64, pid.raw(), "dense pid allocation");
+        self.procs.push(Some(ProcEntry { actor, site, alive: true }));
         self.with_ctx(pid, |actor, ctx| actor.on_start(ctx));
         pid
     }
@@ -346,33 +359,34 @@ impl<A: Actor> Sim<A> {
 
     /// Whether the process exists and has not crashed.
     pub fn is_alive(&self, pid: ProcessId) -> bool {
-        self.procs.get(&pid).map(|e| e.alive).unwrap_or(false)
+        self.proc(pid).map(|e| e.alive).unwrap_or(false)
     }
 
     /// The site a process runs (or ran) at.
     pub fn site_of(&self, pid: ProcessId) -> Option<SiteId> {
-        self.procs.get(&pid).map(|e| e.site)
+        self.proc(pid).map(|e| e.site)
     }
 
     /// Identifiers of all live processes, ascending.
     pub fn alive_pids(&self) -> Vec<ProcessId> {
         self.procs
             .iter()
-            .filter(|(_, e)| e.alive)
-            .map(|(&p, _)| p)
+            .enumerate()
+            .filter(|(_, e)| e.as_ref().map(|e| e.alive).unwrap_or(false))
+            .map(|(i, _)| ProcessId::from_raw(i as u64))
             .collect()
     }
 
     /// Shared access to an actor (alive or crashed), for post-mortem
     /// inspection in tests.
     pub fn actor(&self, pid: ProcessId) -> Option<&A> {
-        self.procs.get(&pid).map(|e| &e.actor)
+        self.proc(pid).map(|e| &e.actor)
     }
 
     /// Exclusive access to an actor. Mutating protocol state out-of-band
     /// breaks determinism of replays; reserved for tests.
     pub fn actor_mut(&mut self, pid: ProcessId) -> Option<&mut A> {
-        self.procs.get_mut(&pid).map(|e| &mut e.actor)
+        self.proc_mut(pid).map(|e| &mut e.actor)
     }
 
     /// Read access to a site's stable storage.
@@ -413,6 +427,12 @@ impl<A: Actor> Sim<A> {
 
     /// Processes the next event, if any. Returns the new virtual time, or
     /// `None` when the queue is empty.
+    ///
+    /// Consecutive deliveries to the same process at the same instant
+    /// (bursts coalesced by the FIFO link clamp) are drained as one batch
+    /// and dispatched under a single actor detach. Each pop is still
+    /// recorded individually, and record/replay run the identical batching
+    /// code, so the decision stream stays bit-reproducible.
     pub fn step(&mut self) -> Option<SimTime> {
         let Reverse(entry) = self.queue.pop()?;
         debug_assert!(entry.at >= self.now, "time ran backwards");
@@ -429,7 +449,24 @@ impl<A: Actor> Sim<A> {
         });
         match entry.ev {
             Queued::Deliver { from, to, msg, stamp } => {
-                self.dispatch_delivery(from, to, msg, stamp)
+                let mut batch = vec![(from, msg, stamp)];
+                while let Some(Reverse(next)) = self.queue.peek() {
+                    let same = next.at == entry.at
+                        && matches!(&next.ev, Queued::Deliver { to: t, .. } if *t == to);
+                    if !same {
+                        break;
+                    }
+                    let Reverse(next) = self.queue.pop().expect("peeked");
+                    self.recorder.note(Decision::Pop {
+                        at_us: next.at.as_micros(),
+                        seq: next.seq,
+                        kind: PopKind::Deliver,
+                    });
+                    if let Queued::Deliver { from, msg, stamp, .. } = next.ev {
+                        batch.push((from, msg, stamp));
+                    }
+                }
+                self.dispatch_deliveries(to, batch);
             }
             Queued::Timer { pid, id, kind } => self.dispatch_timer(pid, id, kind),
             Queued::Fault(op) => self.apply_fault(op),
@@ -536,34 +573,51 @@ impl<A: Actor> Sim<A> {
         });
     }
 
-    fn dispatch_delivery(&mut self, from: ProcessId, to: ProcessId, msg: A::Msg, stamp: VClock) {
-        let alive = self.procs.get(&to).map(|e| e.alive).unwrap_or(false);
-        if !alive {
-            self.stats.dropped_crashed += 1;
-            self.drop_event(from, to, DropReason::Crashed);
+    fn dispatch_deliveries(&mut self, to: ProcessId, batch: Vec<(ProcessId, A::Msg, VClock)>) {
+        // Neither liveness nor reachability can change mid-batch (only
+        // faults touch them, and faults are never batched with deliveries),
+        // so filtering up front counts drops exactly as per-event dispatch
+        // would.
+        let alive = self.is_alive(to);
+        let mut live = Vec::with_capacity(batch.len());
+        for (from, msg, stamp) in batch {
+            if !alive {
+                self.stats.dropped_crashed += 1;
+                self.drop_event(from, to, DropReason::Crashed);
+                continue;
+            }
+            // Delivery-time partition check: a partition that appeared
+            // while the message was in flight destroys it.
+            if !self.topology.reachable(from, to) {
+                self.stats.dropped_partition += 1;
+                self.drop_event(from, to, DropReason::Partition);
+                continue;
+            }
+            self.stats.delivered += 1;
+            live.push((from, msg, stamp));
+        }
+        if live.is_empty() {
             return;
         }
-        // Delivery-time partition check: a partition that appeared while the
-        // message was in flight destroys it.
-        if !self.topology.reachable(from, to) {
-            self.stats.dropped_partition += 1;
-            self.drop_event(from, to, DropReason::Partition);
-            return;
-        }
-        self.stats.delivered += 1;
         let now_us = self.now.as_micros();
-        self.obs.with(|o| {
-            o.metrics.inc("net.delivered");
-            // Merge the piggybacked send-time stamp first so the delivery
-            // event (and everything after it) causally follows the send.
-            o.journal.merge_clock(to.raw(), &stamp);
-            o.journal.record(
-                to.raw(),
-                now_us,
-                EventKind::MsgDeliver { from: from.raw(), to: to.raw() },
-            );
+        let obs = self.obs.clone();
+        self.with_ctx(to, |actor, ctx| {
+            for (from, msg, stamp) in live {
+                obs.with(|o| {
+                    o.metrics.inc("net.delivered");
+                    // Merge the piggybacked send-time stamp first so the
+                    // delivery event (and everything after it) causally
+                    // follows the send.
+                    o.journal.merge_clock(to.raw(), &stamp);
+                    o.journal.record(
+                        to.raw(),
+                        now_us,
+                        EventKind::MsgDeliver { from: from.raw(), to: to.raw() },
+                    );
+                });
+                actor.on_message(from, msg, ctx);
+            }
         });
-        self.with_ctx(to, |actor, ctx| actor.on_message(from, msg, ctx));
     }
 
     fn dispatch_timer(&mut self, pid: ProcessId, id: TimerId, kind: TimerKind) {
@@ -617,7 +671,8 @@ impl<A: Actor> Sim<A> {
         f: impl FnOnce(&mut A, &mut Context<'_, A::Msg, A::Output>) -> R,
     ) -> R {
         // Temporarily detach the entry so the context can borrow sim parts.
-        let mut entry = self.procs.remove(&pid).expect("process must exist");
+        let slot = pid.raw() as usize;
+        let mut entry = self.procs[slot].take().expect("process must exist");
         let storage = self.sites.entry(entry.site).or_default();
         let (draws_before, _) = self.rng.audit();
         // The context borrows storage and rng; collect the rest after.
@@ -649,7 +704,7 @@ impl<A: Actor> Sim<A> {
                 digest,
             });
         }
-        self.procs.insert(pid, entry);
+        self.procs[slot] = Some(entry);
         for (to, msg) in sends {
             self.route(pid, to, msg);
         }

@@ -58,19 +58,24 @@ pub struct MetricsDoc {
 }
 
 impl MetricsDoc {
+    /// Locates the raw snapshot JSON inside `text`: the payload of the
+    /// last `METRICS {…}` line if any (an experiment's captured stdout),
+    /// otherwise the whole text (a `BENCH_*.json` file). This is the exact
+    /// document [`MetricsDoc::parse`] reads, so `bench-gate --update` can
+    /// write it back as the new committed baseline verbatim.
+    pub fn extract_json(text: &str) -> &str {
+        text.lines()
+            .rev()
+            .find_map(|l| l.trim().strip_prefix("METRICS "))
+            .unwrap_or(text)
+    }
+
     /// Parses a metrics snapshot from `text`: either a bare JSON object
     /// (a `BENCH_*.json` file) or any text containing `METRICS {…}`
     /// lines (an experiment's captured stdout; the **last** such line
     /// wins, matching "the run's final snapshot").
     pub fn parse(text: &str) -> Result<MetricsDoc, String> {
-        let doc = match text
-            .lines()
-            .rev()
-            .find_map(|l| l.trim().strip_prefix("METRICS "))
-        {
-            Some(rest) => rest,
-            None => text,
-        };
+        let doc = MetricsDoc::extract_json(text);
         let v = json::parse(doc).map_err(|e| format!("bad metrics JSON: {e}"))?;
         let experiment = v
             .get("experiment")

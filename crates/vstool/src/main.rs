@@ -32,6 +32,7 @@ USAGE:
                [--before P:C] [--last N] [--slice P] [--window N]
   vstool metrics-diff <a.json|stdout.txt> <b.json|stdout.txt>
   vstool bench-gate <baseline.json> <fresh.json|stdout.txt> [--tolerance FRAC]
+                    [--update]
   vstool record --seed N --out <log.vsl>
   vstool replay <log.vsl> [--seed N]
   vstool shrink --class <duplicate-view-install|causal-cut|invalid-structure|
@@ -41,7 +42,8 @@ USAGE:
 components (`P:C` keeps events whose clock for process P is >=C / <=C).
 `--slice P` prints the causal slice ending at P's last event instead of a
 flat listing. Metrics inputs may be BENCH_*.json files or captured stdout
-containing `METRICS {...}` lines (last line wins).";
+containing `METRICS {...}` lines (last line wins). `bench-gate --update`
+rewrites <baseline.json> from the fresh run instead of gating against it.";
 
 fn fail(msg: String) -> ExitCode {
     eprintln!("vstool: {msg}");
@@ -50,6 +52,17 @@ fn fail(msg: String) -> ExitCode {
 
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Removes a boolean `--flag` from `args`, reporting whether it was there.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
 }
 
 /// Pulls the value following a `--flag` out of `args`, removing both.
@@ -140,9 +153,27 @@ fn cmd_bench_gate(mut args: Vec<String>) -> Result<ExitCode, String> {
             .map_err(|_| format!("--tolerance: expected a fraction, got {t:?}"))?,
         None => DEFAULT_US_TOLERANCE,
     };
+    let update = take_flag(&mut args, "--update");
     let [baseline, fresh] = args.as_slice() else {
         return Err("bench-gate: expected <baseline> <fresh>".into());
     };
+    if update {
+        // Regenerate the committed baseline from the fresh run: validate
+        // it parses, then write the exact snapshot JSON bench-gate reads.
+        let text = read(fresh)?;
+        let doc = MetricsDoc::parse(&text).map_err(|e| format!("{fresh}: {e}"))?;
+        let raw = MetricsDoc::extract_json(&text).trim();
+        std::fs::write(baseline, format!("{raw}\n"))
+            .map_err(|e| format!("{baseline}: {e}"))?;
+        println!(
+            "bench-gate UPDATE: {} rewritten from {} ({} counters, {} histograms)",
+            baseline,
+            fresh,
+            doc.counters.len(),
+            doc.histograms.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
     let db = MetricsDoc::parse(&read(baseline)?).map_err(|e| format!("{baseline}: {e}"))?;
     let df = MetricsDoc::parse(&read(fresh)?).map_err(|e| format!("{fresh}: {e}"))?;
     let report = bench_gate(&db, &df, tolerance);

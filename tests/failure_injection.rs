@@ -115,6 +115,115 @@ fn flapping_partition_does_not_wedge_the_group() {
 }
 
 #[test]
+fn flush_closure_delivers_messages_a_member_missed() {
+    // Drive the flush-delivery path end to end: a multicast that one
+    // member missed (dead link to the sender) must reach it through the
+    // flush union when the sender's crash forces a view change — and the
+    // `gcs.flush_deliveries` counter must observe it.
+    let mut sim: Sim<GcsEndpoint<String>> = Sim::new(11, SimConfig::default());
+    let mut pids = Vec::new();
+    for _ in 0..3 {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |p| GcsEndpoint::new(p, GcsConfig::default())));
+    }
+    let all = pids.clone();
+    let obs = sim.obs().clone();
+    for &p in &pids {
+        sim.invoke(p, |e, _| {
+            e.set_contacts(all.iter().copied());
+            e.set_obs(obs.clone());
+        });
+    }
+    sim.run_for(SimDuration::from_millis(700));
+    let (a, b, c) = (pids[0], pids[1], pids[2]);
+    assert_eq!(sim.actor(a).unwrap().view().len(), 3, "group formed");
+    // c cannot hear a: the multicast reaches b only, and c has no path to
+    // repair it (NACKs towards a would die on the severed link too).
+    sim.topology_mut().sever_link(a, c);
+    sim.invoke(a, |e, ctx| e.mcast("closure".to_string(), ctx));
+    sim.run_for(SimDuration::from_millis(25));
+    // Kill the sender before the severed link itself triggers a view
+    // change: the only copies now live in b's unstable set.
+    sim.crash(a);
+    sim.run_for(SimDuration::from_secs(2));
+    let v = sim.actor(b).unwrap().view().clone();
+    assert_eq!(v.len(), 2, "survivors regrouped: {v}");
+    let delivered_at_c = sim
+        .outputs()
+        .iter()
+        .any(|(_, p, ev)| {
+            *p == c
+                && matches!(
+                    ev,
+                    view_synchrony::gcs::GcsEvent::Deliver { payload, .. } if payload == "closure"
+                )
+        });
+    assert!(delivered_at_c, "c got the missed multicast through the flush");
+    let m = sim.obs().metrics_snapshot();
+    assert!(
+        m.counter("gcs.flush_deliveries") >= 1,
+        "the flush-delivery path was exercised and counted"
+    );
+    check(sim.outputs()).unwrap_or_else(|e| panic!("{e:?}"));
+}
+
+#[test]
+fn partitioned_minority_never_advances_stability_past_the_majority() {
+    // Piggybacked stability under partition + merge: a multicast sent by a
+    // minority member while the (old, 5-member) view is still installed
+    // cannot become stable — the majority never acked it — no matter what
+    // ack deltas bounce around inside the minority island. Swept over 20
+    // seeds with the online monitor armed.
+    for seed in 0..20u64 {
+        let mut sim: Sim<GcsEndpoint<String>> =
+            Sim::new(seed.wrapping_mul(31).wrapping_add(7), SimConfig {
+                monitor: true,
+                ..SimConfig::default()
+            });
+        let mut pids = Vec::new();
+        for _ in 0..5 {
+            let site = sim.alloc_site();
+            pids.push(sim.spawn_with(site, |p| GcsEndpoint::new(p, GcsConfig::default())));
+        }
+        let all = pids.clone();
+        let obs = sim.obs().clone();
+        for &p in &pids {
+            sim.invoke(p, |e, _| {
+                e.set_contacts(all.iter().copied());
+                e.set_obs(obs.clone());
+            });
+        }
+        sim.run_for(SimDuration::from_millis(700));
+        assert_eq!(sim.actor(pids[0]).unwrap().view().len(), 5, "seed {seed}");
+        // Minority island {p3, p4}: p3 multicasts into the stale view.
+        sim.partition(&[pids[..3].to_vec(), pids[3..].to_vec()]);
+        let minority = pids[3];
+        sim.invoke(minority, |e, ctx| e.mcast(format!("orphan-{seed}"), ctx));
+        // Inside the suspicion + debounce window the old view is still
+        // installed; p4's acks flow, the majority's never will.
+        sim.run_for(SimDuration::from_millis(40));
+        let e = sim.actor(minority).unwrap();
+        assert_eq!(e.view().len(), 5, "seed {seed}: old view still installed");
+        assert_eq!(
+            e.stability_cut(minority),
+            0,
+            "seed {seed}: minority multicast must stay unstable without majority acks"
+        );
+        sim.heal();
+        sim.run_for(SimDuration::from_secs(3));
+        let v = sim.actor(pids[0]).unwrap().view().clone();
+        assert_eq!(v.len(), 5, "seed {seed}: merged after heal: {v}");
+        check(sim.outputs()).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        let reports = sim.obs().monitor_reports();
+        assert!(
+            reports.is_empty(),
+            "seed {seed}: online monitor flagged the run:\n{}",
+            reports.iter().map(|r| r.format()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}
+
+#[test]
 fn one_way_link_failure_excludes_cleanly() {
     // Sever a single link: p0 and p1 cannot talk, everyone else sees both.
     // The membership must still converge to agreed views (which particular
