@@ -100,6 +100,17 @@ pub struct GcsConfig {
     /// Wire-efficiency knobs (piggybacking, NACK repair, heartbeat
     /// suppression).
     pub wire: WireConfig,
+    /// **Seeded mutation** for the bounded model checker's regression
+    /// suite: computes every stability cut with
+    /// [`AckTracker::stable_frontier_broken_max_merge`] (any member's
+    /// receipt counts as stability) instead of the correct min-merge.
+    /// Unstable messages then get pruned from retransmission buffers and
+    /// flush payloads, so a member that missed a multicast can install
+    /// the next view without it — an Agreement (Property 2.1) violation
+    /// that random seed sweeps never hit but `vstool explore` finds.
+    /// Off by default; never enable outside the explorer's mutation
+    /// testing.
+    pub broken_stability_cut: bool,
 }
 
 /// Acknowledgement state folded into a data or agreement message, so
@@ -368,8 +379,24 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
     /// be received by *every* view member. Messages past the cut are not
     /// stable and must survive in retransmission buffers and flush unions.
     pub fn stability_cut(&self, sender: ProcessId) -> u64 {
-        self.acks
-            .stable_frontier(self.me, sender, self.view.members().iter().copied())
+        self.stability_frontier_for(sender, self.view.members().iter().copied())
+    }
+
+    /// Every stability decision funnels through here: the correct
+    /// min-merge cut, or — with
+    /// [`GcsConfig::broken_stability_cut`] set — the seeded broken
+    /// max-merge the model-checking regression suite hunts for.
+    fn stability_frontier_for(
+        &self,
+        sender: ProcessId,
+        members: impl IntoIterator<Item = ProcessId>,
+    ) -> u64 {
+        if self.config.broken_stability_cut {
+            self.acks
+                .stable_frontier_broken_max_merge(self.me, sender, members)
+        } else {
+            self.acks.stable_frontier(self.me, sender, members)
+        }
     }
 
     /// Sends `msg` to `to`, recording the outbound traffic with the
@@ -618,9 +645,7 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
             // change — by then its delivery is agreed among all
             // survivors, which is the uniformity condition.)
             let members: Vec<ProcessId> = self.view.members().iter().copied().collect();
-            let frontier =
-                self.acks
-                    .stable_frontier(self.me, msg.id.sender, members.iter().copied());
+            let frontier = self.stability_frontier_for(msg.id.sender, members.iter().copied());
             if msg.id.seq > frontier {
                 self.held_for_stability.push(msg);
                 return;
@@ -662,9 +687,7 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         let members: Vec<ProcessId> = self.view.members().iter().copied().collect();
         let held = std::mem::take(&mut self.held_for_stability);
         for msg in held {
-            let frontier =
-                self.acks
-                    .stable_frontier(self.me, msg.id.sender, members.iter().copied());
+            let frontier = self.stability_frontier_for(msg.id.sender, members.iter().copied());
             if msg.id.seq <= frontier {
                 self.deliver_now(msg, ctx);
             } else {
@@ -764,7 +787,7 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         let members: Vec<ProcessId> = self.view.members().iter().copied().collect();
         let senders: BTreeSet<ProcessId> = self.received.keys().map(|id| id.sender).collect();
         for s in senders {
-            let frontier = self.acks.stable_frontier(self.me, s, members.iter().copied());
+            let frontier = self.stability_frontier_for(s, members.iter().copied());
             if frontier > self.stab_floor.get(&s).copied().unwrap_or(0) {
                 self.stab_floor.insert(s, frontier);
                 self.obs.with(|st| {

@@ -131,6 +131,39 @@ impl AckTracker {
             .min()
             .unwrap_or(0)
     }
+
+    /// A **deliberately broken** stability cut: merges the per-member
+    /// frontiers with `max` instead of `min`, declaring a message stable
+    /// as soon as *any* member (including this process itself) has
+    /// received it.
+    ///
+    /// This is the seeded mutation behind
+    /// [`GcsConfig::broken_stability_cut`](crate::GcsConfig::broken_stability_cut),
+    /// kept for the bounded model checker's regression suite: the broken
+    /// cut prunes unstable messages from the retransmission store and
+    /// flush payloads, so a member that missed a multicast can install the
+    /// next view without it — a Property 2.1 (Agreement) violation. The
+    /// window between "first receipt" and "last receipt" is a handful of
+    /// link delays wide, which is why random 20-seed sweeps never catch it
+    /// but exhaustive exploration of a 3-process flush scenario does.
+    pub fn stable_frontier_broken_max_merge(
+        &self,
+        me: ProcessId,
+        sender: ProcessId,
+        members: impl IntoIterator<Item = ProcessId>,
+    ) -> u64 {
+        members
+            .into_iter()
+            .map(|m| {
+                if m == me {
+                    self.received_upto.get(&sender).copied().unwrap_or(0)
+                } else {
+                    self.peer_frontier(m, sender)
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +258,22 @@ mod tests {
         t.on_peer_acks(pid(1), [(pid(8), 1)]);
         assert_eq!(t.peer_frontier(pid(1), pid(9)), 4);
         assert_eq!(t.peer_frontier(pid(1), pid(8)), 1);
+    }
+
+    #[test]
+    fn broken_max_merge_calls_unstable_messages_stable() {
+        let me = pid(0);
+        let mut t = AckTracker::new();
+        t.on_receive(pid(9), 1);
+        // p2 never acked anything: the correct cut pins at 0, the seeded
+        // mutation leaps to the best frontier anyone has.
+        t.on_peer_acks(pid(1), [(pid(9), 1)]);
+        let members = [me, pid(1), pid(2)];
+        assert_eq!(t.stable_frontier(me, pid(9), members.iter().copied()), 0);
+        assert_eq!(
+            t.stable_frontier_broken_max_merge(me, pid(9), members.iter().copied()),
+            1
+        );
     }
 
     #[test]

@@ -60,6 +60,7 @@ mod actor;
 mod fault;
 mod id;
 mod link;
+mod oracle;
 mod rng;
 pub mod schedule;
 mod sim;
@@ -73,6 +74,7 @@ pub use actor::{Actor, Context, TimerId, TimerKind};
 pub use fault::{FaultOp, FaultScript, ScriptParseError};
 pub use id::{ProcessId, SiteId};
 pub use link::{DelayModel, LinkConfig};
+pub use oracle::{LinkOutcome, PopCandidate, ScheduleOracle};
 pub use rng::DetRng;
 pub use schedule::{
     Decision, Divergence, LogCodecError, PopKind, RecordUnsupported, ReplayError, ScheduleLog,

@@ -1,0 +1,91 @@
+//! Controlled scheduling: the branching API for the bounded model checker.
+//!
+//! A [`ScheduleOracle`] installed via [`Sim::set_oracle`](crate::Sim::set_oracle)
+//! turns the simulator's fixed `(at, seq)` event ordering into a *choice*:
+//! at every pop the simulator collects the **ready set** — all queue
+//! entries at the minimal virtual time — and asks the oracle which one to
+//! dispatch. Entries the oracle defers go back into the queue and are
+//! offered again at the next pop, so an oracle enumerating all answers
+//! enumerates all interleavings of same-instant events. This is the hook
+//! the `view_synchrony::explore` bounded model checker drives: each
+//! recorded decision point becomes a branch point.
+//!
+//! Under an oracle the simulator dispatches events strictly one at a time
+//! (the same-instant delivery batching of the fast path is disabled) and
+//! marks any recorded [`ScheduleLog`](crate::ScheduleLog) as
+//! [`sequential`](crate::ScheduleLog::sequential), because batching changes
+//! how sequence numbers are allocated to an actor's sends — replay of a
+//! sequential log uses the same one-at-a-time stepping, guided by the
+//! recorded pop order.
+
+use crate::schedule::PopKind;
+
+/// One entry of the simulator's ready set, as presented to a
+/// [`ScheduleOracle`]. Describes the queued event without exposing its
+/// payload: enough to decide scheduling (and independence, for
+/// partial-order reduction) but nothing that would let an oracle alter the
+/// run beyond its ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopCandidate {
+    /// Virtual time of the entry, in microseconds (equal for the whole
+    /// ready set).
+    pub at_us: u64,
+    /// The entry's tie-breaking sequence number — stable across runs of
+    /// the same prefix, so it identifies "the same event" in siblings of a
+    /// branch point.
+    pub seq: u64,
+    /// Class of the queued event.
+    pub kind: PopKind,
+    /// The process the event acts on: the receiver of a delivery or the
+    /// owner of a timer. `None` for scripted faults, which act on the
+    /// whole network (and therefore commute with nothing).
+    pub target: Option<u64>,
+    /// The sending process, for deliveries.
+    pub from: Option<u64>,
+}
+
+/// The link model's verdict on one routed message, as offered to
+/// [`ScheduleOracle::choose_link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// Deliver after `delay_us` microseconds of propagation.
+    Deliver {
+        /// Propagation delay in microseconds.
+        delay_us: u64,
+    },
+    /// Drop the message (loss).
+    Drop,
+}
+
+/// A scheduling policy consulted at every nondeterministic decision the
+/// simulator takes. Install with [`Sim::set_oracle`](crate::Sim::set_oracle).
+pub trait ScheduleOracle {
+    /// Picks which ready entry to dispatch next.
+    ///
+    /// Called on **every** pop, including singleton ready sets (so a
+    /// stateful oracle sees the full dispatch order, not only the branch
+    /// points). `ready` is non-empty and sorted by sequence number — index
+    /// 0 is what the uncontrolled scheduler would have dispatched. An
+    /// out-of-range index falls back to 0 rather than panicking the run.
+    fn choose_pop(&mut self, ready: &[PopCandidate]) -> usize;
+
+    /// Overrides the link model's sampled outcome for a message
+    /// `from -> to`. The default keeps the sample.
+    ///
+    /// Overriding the sampled delay bypasses the link model's FIFO clamp
+    /// bookkeeping, and a log recorded under an overriding oracle replays
+    /// faithfully only with the same oracle installed; the bundled
+    /// explorer never overrides outcomes, so its logs replay standalone.
+    fn choose_link(&mut self, _from: u64, _to: u64, sampled: LinkOutcome) -> LinkOutcome {
+        sampled
+    }
+}
+
+impl<T: ScheduleOracle + ?Sized> ScheduleOracle for Box<T> {
+    fn choose_pop(&mut self, ready: &[PopCandidate]) -> usize {
+        (**self).choose_pop(ready)
+    }
+    fn choose_link(&mut self, from: u64, to: u64, sampled: LinkOutcome) -> LinkOutcome {
+        (**self).choose_link(from, to, sampled)
+    }
+}

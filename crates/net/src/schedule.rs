@@ -130,6 +130,21 @@ pub fn fault_tag_name(tag: u8) -> &'static str {
     }
 }
 
+impl Decision {
+    /// Short class name of the decision ("pop", "link-delay", "link-loss",
+    /// "rng", "fault") — used by divergence reports so every branch names
+    /// the *kind* of decision, not just its payload.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Decision::Pop { .. } => "pop",
+            Decision::LinkDelay { .. } => "link-delay",
+            Decision::LinkLoss { .. } => "link-loss",
+            Decision::Rng { .. } => "rng",
+            Decision::Fault { .. } => "fault",
+        }
+    }
+}
+
 impl fmt::Display for Decision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -155,21 +170,43 @@ impl fmt::Display for Decision {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleLog {
     seed: u64,
+    sequential: bool,
     decisions: Vec<Decision>,
 }
 
-/// Magic header of the binary codec (versioned; bump on layout change).
-const MAGIC: &[u8; 4] = b"VSL1";
+/// Magic header of the original (v1) binary codec: batched schedules only.
+const MAGIC_V1: &[u8; 4] = b"VSL1";
+/// Magic header of the v2 codec: adds a flags byte (bit 0 = sequential).
+const MAGIC_V2: &[u8; 4] = b"VSL2";
+/// Flags-byte bit marking a log recorded under controlled (one-event-at-a-
+/// time) scheduling.
+const FLAG_SEQUENTIAL: u8 = 0b0000_0001;
 
 impl ScheduleLog {
     /// Creates an empty log for a run seeded with `seed`.
     pub fn new(seed: u64) -> Self {
-        ScheduleLog { seed, decisions: Vec::new() }
+        ScheduleLog { seed, sequential: false, decisions: Vec::new() }
     }
 
     /// The seed of the recorded run.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Whether the log was recorded under **controlled scheduling** (a
+    /// [`ScheduleOracle`](crate::ScheduleOracle) was installed): events were
+    /// dispatched strictly one at a time, so replay must use the same
+    /// one-at-a-time stepping instead of the batched fast path — batching
+    /// changes how sequence numbers are allocated to the messages an actor
+    /// sends, and a sequential log replayed with batched dispatch diverges
+    /// by construction.
+    pub fn sequential(&self) -> bool {
+        self.sequential
+    }
+
+    /// Marks the log as recorded under controlled scheduling.
+    pub(crate) fn set_sequential(&mut self) {
+        self.sequential = true;
     }
 
     /// The recorded decisions, in execution order.
@@ -198,10 +235,12 @@ impl ScheduleLog {
         self.decisions.push(d);
     }
 
-    /// Serialises the log with the in-tree varint codec.
+    /// Serialises the log with the in-tree varint codec (v2 layout: magic,
+    /// flags byte, seed, count, decisions).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + self.decisions.len() * 4);
-        out.extend_from_slice(MAGIC);
+        let mut out = Vec::with_capacity(9 + self.decisions.len() * 4);
+        out.extend_from_slice(MAGIC_V2);
+        out.push(if self.sequential { FLAG_SEQUENTIAL } else { 0 });
         put_varint(&mut out, self.seed);
         put_varint(&mut out, self.decisions.len() as u64);
         for d in &self.decisions {
@@ -238,13 +277,23 @@ impl ScheduleLog {
         out
     }
 
-    /// Parses a log serialised by [`ScheduleLog::to_bytes`].
+    /// Parses a log serialised by [`ScheduleLog::to_bytes`]. Both codec
+    /// versions are accepted: v1 logs (no flags byte) predate controlled
+    /// scheduling and are always batched (`sequential == false`).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, LogCodecError> {
         let mut r = Reader { bytes, pos: 0 };
         let magic = r.take(4)?;
-        if magic != MAGIC {
+        let sequential = if magic == MAGIC_V2 {
+            let flags = r.byte()?;
+            if flags & !FLAG_SEQUENTIAL != 0 {
+                return Err(LogCodecError::BadTag(flags));
+            }
+            flags & FLAG_SEQUENTIAL != 0
+        } else if magic == MAGIC_V1 {
+            false
+        } else {
             return Err(LogCodecError::BadMagic);
-        }
+        };
         let seed = r.varint()?;
         let count = r.varint()?;
         let mut decisions = Vec::with_capacity(count.min(1 << 20) as usize);
@@ -273,7 +322,7 @@ impl ScheduleLog {
         if r.pos != bytes.len() {
             return Err(LogCodecError::TrailingBytes);
         }
-        Ok(ScheduleLog { seed, decisions })
+        Ok(ScheduleLog { seed, sequential, decisions })
     }
 
     /// A stable FNV-1a digest over the serialised log; equal digests mean
@@ -377,18 +426,57 @@ pub struct Divergence {
     pub actual: Decision,
 }
 
+impl Divergence {
+    /// Class name of the decision at the divergence point: the recorded
+    /// decision's kind when one exists, otherwise the kind the replay
+    /// actually produced.
+    pub fn kind_name(&self) -> &'static str {
+        match &self.expected {
+            Some(e) => e.kind_name(),
+            None => self.actual.kind_name(),
+        }
+    }
+}
+
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Every branch names the decision *index and kind*: the explorer
+        // reuses replay validation for branch checking and keys its
+        // diagnostics off this prefix.
         match &self.expected {
+            // An RNG decision with matching draw counts can still differ in
+            // its audit digest (same number of draws, different values).
+            // Spell that out rather than printing two near-identical tuples.
+            Some(Decision::Rng { draws: ed, digest: edg })
+                if matches!(
+                    self.actual,
+                    Decision::Rng { draws, .. } if draws == *ed
+                ) =>
+            {
+                let Decision::Rng { digest: adg, .. } = self.actual else {
+                    unreachable!("guard matched an rng decision");
+                };
+                write!(
+                    f,
+                    "replay diverged at decision #{} (rng): same draw count \
+                     ({ed}) but audit digest {adg:#018x} != recorded \
+                     {edg:#018x} — the actor consumed different random values",
+                    self.index
+                )
+            }
             Some(e) => write!(
                 f,
-                "replay diverged at decision #{}: expected {e}, got {}",
-                self.index, self.actual
+                "replay diverged at decision #{} ({}): expected {e}, got {}",
+                self.index,
+                self.kind_name(),
+                self.actual
             ),
             None => write!(
                 f,
-                "replay ran past the end of the log at decision #{}: got {}",
-                self.index, self.actual
+                "replay ran past the end of the log at decision #{} ({}): got {}",
+                self.index,
+                self.kind_name(),
+                self.actual
             ),
         }
     }
@@ -405,6 +493,9 @@ pub enum ReplayError {
         consumed: usize,
         /// Decisions in the log.
         total: usize,
+        /// The first unconsumed decision — the point (index `consumed`)
+        /// where the recording kept going but the replayed driver stopped.
+        next: Option<Decision>,
     },
 }
 
@@ -412,11 +503,21 @@ impl fmt::Display for ReplayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReplayError::Diverged(d) => d.fmt(f),
-            ReplayError::Incomplete { consumed, total } => write!(
-                f,
-                "replay consumed {consumed} of {total} recorded decisions; \
-                 the driver ran less of the schedule than the recording"
-            ),
+            ReplayError::Incomplete { consumed, total, next } => {
+                write!(
+                    f,
+                    "replay consumed {consumed} of {total} recorded decisions; \
+                     the driver ran less of the schedule than the recording"
+                )?;
+                if let Some(next) = next {
+                    write!(
+                        f,
+                        " (first unconsumed: decision #{consumed} ({}): {next})",
+                        next.kind_name()
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -463,6 +564,25 @@ pub(crate) enum Recorder {
 }
 
 impl Recorder {
+    /// When replaying, the next recorded decision the run is expected to
+    /// take (`None` once the log is exhausted, a divergence was already
+    /// found, or the recorder is not replaying). Guided sequential replay
+    /// peeks this to pick the matching entry out of the ready set.
+    pub(crate) fn expected_next(&self) -> Option<Decision> {
+        match self {
+            Recorder::Replay { log, cursor, divergence: None } => {
+                log.decisions().get(*cursor).copied()
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this recorder is replaying a log recorded under controlled
+    /// (one-event-at-a-time) scheduling.
+    pub(crate) fn replaying_sequential(&self) -> bool {
+        matches!(self, Recorder::Replay { log, .. } if log.sequential())
+    }
+
     /// Feeds one decision through the recorder: appended when recording,
     /// validated (first mismatch captured) when replaying.
     pub(crate) fn note(&mut self, actual: Decision) {
@@ -534,8 +654,48 @@ mod tests {
         d.decisions_mut()[1] = Decision::LinkDelay { from: 0, to: 1, delay_us: 733 };
         assert_ne!(base.digest(), d.digest());
         let mut s = base.clone();
-        s = ScheduleLog { seed: s.seed + 1, decisions: s.decisions };
+        s = ScheduleLog { seed: s.seed + 1, sequential: s.sequential, decisions: s.decisions };
         assert_ne!(base.digest(), s.digest());
+        let mut q = base.clone();
+        q.set_sequential();
+        assert_ne!(base.digest(), q.digest(), "the sequential flag is part of the witness");
+    }
+
+    #[test]
+    fn v1_logs_still_parse_as_batched() {
+        // A v2 serialisation differs from v1 only by magic + flags byte;
+        // reconstruct the v1 layout and check back-compat parsing.
+        let log = sample_log();
+        let v2 = log.to_bytes();
+        let mut v1 = Vec::with_capacity(v2.len() - 1);
+        v1.extend_from_slice(b"VSL1");
+        v1.extend_from_slice(&v2[5..]); // skip v2 magic + flags byte
+        let back = ScheduleLog::from_bytes(&v1).unwrap();
+        assert_eq!(back, log);
+        assert!(!back.sequential());
+    }
+
+    #[test]
+    fn sequential_flag_round_trips() {
+        let mut log = sample_log();
+        log.set_sequential();
+        let back = ScheduleLog::from_bytes(&log.to_bytes()).unwrap();
+        assert!(back.sequential());
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn rng_digest_mismatch_is_spelled_out() {
+        let d = Divergence {
+            index: 7,
+            expected: Some(Decision::Rng { draws: 3, digest: 0xaaaa }),
+            actual: Decision::Rng { draws: 3, digest: 0xbbbb },
+        };
+        let msg = d.to_string();
+        assert!(msg.contains("decision #7"), "{msg}");
+        assert!(msg.contains("(rng)"), "{msg}");
+        assert!(msg.contains("same draw count (3)"), "{msg}");
+        assert!(msg.contains("different random values"), "{msg}");
     }
 
     #[test]

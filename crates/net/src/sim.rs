@@ -9,6 +9,7 @@ use crate::actor::{Actor, Context, TimerId, TimerKind};
 use crate::fault::{FaultOp, FaultScript};
 use crate::id::{ProcessId, SiteId};
 use crate::link::{LinkConfig, LinkModel};
+use crate::oracle::{LinkOutcome, PopCandidate, ScheduleOracle};
 use crate::rng::DetRng;
 use crate::schedule::{Decision, PopKind, Recorder, ReplayError, ScheduleLog};
 use crate::stats::NetStats;
@@ -61,6 +62,7 @@ pub struct Sim<A: Actor> {
     obs: Obs,
     monitor: bool,
     recorder: Recorder,
+    oracle: Option<Box<dyn ScheduleOracle>>,
     recovery: Option<Box<dyn FnMut(ProcessId, SiteId) -> A>>,
 }
 
@@ -91,6 +93,19 @@ enum Queued<M> {
         kind: TimerKind,
     },
     Fault(FaultOp),
+}
+
+/// Describes a queue entry to a [`ScheduleOracle`] without exposing its
+/// payload.
+fn candidate_of<M>(entry: &QueueEntry<M>) -> PopCandidate {
+    let (kind, target, from) = match &entry.ev {
+        Queued::Deliver { from, to, .. } => {
+            (PopKind::Deliver, Some(to.raw()), Some(from.raw()))
+        }
+        Queued::Timer { pid, .. } => (PopKind::Timer, Some(pid.raw()), None),
+        Queued::Fault(_) => (PopKind::Fault, None, None),
+    };
+    PopCandidate { at_us: entry.at.as_micros(), seq: entry.seq, kind, target, from }
 }
 
 impl<M> PartialEq for QueueEntry<M> {
@@ -160,8 +175,35 @@ impl<A: Actor> Sim<A> {
             obs,
             monitor,
             recorder,
+            oracle: None,
             recovery: None,
         }
+    }
+
+    /// Installs a **scheduling oracle** (see [`ScheduleOracle`]): every
+    /// subsequent pop presents the full ready set — all queue entries at
+    /// the minimal virtual time — and dispatches whichever entry the
+    /// oracle picks, one event at a time (the same-instant delivery
+    /// batching of the uncontrolled fast path is disabled, since the
+    /// oracle may interleave other events between two deliveries). If the
+    /// simulator is recording, the log is marked
+    /// [`ScheduleLog::sequential`] so replays use the same one-at-a-time
+    /// stepping.
+    pub fn set_oracle(&mut self, oracle: Box<dyn ScheduleOracle>) {
+        if let Recorder::Record(log) = &mut self.recorder {
+            log.set_sequential();
+        }
+        self.oracle = Some(oracle);
+    }
+
+    /// Raw draws consumed so far from the simulator's global deterministic
+    /// RNG (link sampling, actor [`Context::rng`] use, and the one
+    /// construction-time fork). The explorer compares this across a run:
+    /// a scenario that consumes no randomness keeps same-instant events
+    /// genuinely independent, which is what makes commutativity-based
+    /// schedule pruning sound.
+    pub fn rng_draws(&self) -> u64 {
+        self.rng.audit().0
     }
 
     /// The schedule log being recorded, if [`SimConfig::record`] was set.
@@ -203,7 +245,11 @@ impl<A: Actor> Sim<A> {
                     return Err(ReplayError::Diverged(d.clone()));
                 }
                 if *cursor != log.len() {
-                    return Err(ReplayError::Incomplete { consumed: *cursor, total: log.len() });
+                    return Err(ReplayError::Incomplete {
+                        consumed: *cursor,
+                        total: log.len(),
+                        next: log.decisions().get(*cursor).copied(),
+                    });
                 }
                 Ok(())
             }
@@ -433,7 +479,15 @@ impl<A: Actor> Sim<A> {
     /// and dispatched under a single actor detach. Each pop is still
     /// recorded individually, and record/replay run the identical batching
     /// code, so the decision stream stays bit-reproducible.
+    ///
+    /// With a [`ScheduleOracle`] installed — or when replaying a
+    /// [`sequential`](ScheduleLog::sequential) log recorded under one —
+    /// stepping switches to the controlled one-event-at-a-time path
+    /// instead.
     pub fn step(&mut self) -> Option<SimTime> {
+        if self.oracle.is_some() || self.recorder.replaying_sequential() {
+            return self.step_controlled();
+        }
         let Reverse(entry) = self.queue.pop()?;
         debug_assert!(entry.at >= self.now, "time ran backwards");
         self.now = entry.at;
@@ -467,6 +521,68 @@ impl<A: Actor> Sim<A> {
                     }
                 }
                 self.dispatch_deliveries(to, batch);
+            }
+            Queued::Timer { pid, id, kind } => self.dispatch_timer(pid, id, kind),
+            Queued::Fault(op) => self.apply_fault(op),
+        }
+        Some(self.now)
+    }
+
+    /// Controlled stepping: collect the ready set (all entries at the
+    /// minimal virtual time), let the oracle — or, during guided replay,
+    /// the recorded pop order — pick one, and dispatch exactly that event.
+    fn step_controlled(&mut self) -> Option<SimTime> {
+        let Reverse(first) = self.queue.pop()?;
+        debug_assert!(first.at >= self.now, "time ran backwards");
+        let at = first.at;
+        let mut ready = vec![first];
+        while let Some(Reverse(peek)) = self.queue.peek() {
+            if peek.at != at {
+                break;
+            }
+            let Reverse(next) = self.queue.pop().expect("peeked");
+            ready.push(next);
+        }
+        // The heap pops in (at, seq) order, so `ready` is seq-ascending —
+        // index 0 is what the uncontrolled scheduler would dispatch.
+        let chosen = if let Some(oracle) = self.oracle.as_mut() {
+            let candidates: Vec<PopCandidate> = ready.iter().map(candidate_of).collect();
+            let i = oracle.choose_pop(&candidates);
+            if i < ready.len() {
+                i
+            } else {
+                0
+            }
+        } else {
+            // Guided sequential replay: dispatch the entry whose sequence
+            // number the log says was popped here. A missing match means
+            // the run already departed from the recording; falling back to
+            // index 0 lets the recorder report the divergence normally.
+            match self.recorder.expected_next() {
+                Some(Decision::Pop { seq, .. }) => {
+                    ready.iter().position(|e| e.seq == seq).unwrap_or(0)
+                }
+                _ => 0,
+            }
+        };
+        let entry = ready.swap_remove(chosen);
+        for deferred in ready {
+            self.queue.push(Reverse(deferred));
+        }
+        self.now = entry.at;
+        let kind = match &entry.ev {
+            Queued::Deliver { .. } => PopKind::Deliver,
+            Queued::Timer { .. } => PopKind::Timer,
+            Queued::Fault(_) => PopKind::Fault,
+        };
+        self.recorder.note(Decision::Pop {
+            at_us: entry.at.as_micros(),
+            seq: entry.seq,
+            kind,
+        });
+        match entry.ev {
+            Queued::Deliver { from, to, msg, stamp } => {
+                self.dispatch_deliveries(to, vec![(from, msg, stamp)])
             }
             Queued::Timer { pid, id, kind } => self.dispatch_timer(pid, id, kind),
             Queued::Fault(op) => self.apply_fault(op),
@@ -535,20 +651,26 @@ impl<A: Actor> Sim<A> {
             self.drop_event(from, to, DropReason::Partition);
             return;
         }
-        match self.links.schedule(&mut self.rng, from, to, self.now) {
-            Some(at) => {
+        let sampled = match self.links.schedule(&mut self.rng, from, to, self.now) {
+            Some(at) => LinkOutcome::Deliver { delay_us: at.as_micros() - now_us },
+            None => LinkOutcome::Drop,
+        };
+        let outcome = match self.oracle.as_mut() {
+            Some(oracle) => oracle.choose_link(from.raw(), to.raw(), sampled),
+            None => sampled,
+        };
+        match outcome {
+            LinkOutcome::Deliver { delay_us } => {
                 self.recorder.note(Decision::LinkDelay {
                     from: from.raw(),
                     to: to.raw(),
-                    delay_us: at.as_micros() - now_us,
+                    delay_us,
                 });
-                self.obs.with(|o| {
-                    o.metrics
-                        .observe("net.link_delay_us", at.as_micros() - now_us)
-                });
+                self.obs.with(|o| o.metrics.observe("net.link_delay_us", delay_us));
+                let at = self.now + SimDuration::from_micros(delay_us);
                 self.push_event(at, Queued::Deliver { from, to, msg, stamp })
             }
-            None => {
+            LinkOutcome::Drop => {
                 self.recorder.note(Decision::LinkLoss { from: from.raw(), to: to.raw() });
                 self.stats.dropped_loss += 1;
                 self.drop_event(from, to, DropReason::Loss);
@@ -1080,10 +1202,19 @@ mod tests {
         let mut rec = gambler_run(23, SimConfig { record: true, ..SimConfig::default() });
         let log = rec.take_schedule_log().unwrap();
         let total = log.len();
+        let first = log.decisions()[0];
         let sim: Sim<Gambler> = Sim::replay(log, SimConfig::default());
         // Driver does nothing: no decision is ever consumed.
         let err = sim.finish_replay().expect_err("unconsumed log must error");
-        assert_eq!(err, ReplayError::Incomplete { consumed: 0, total });
+        assert_eq!(
+            err,
+            ReplayError::Incomplete { consumed: 0, total, next: Some(first) }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("decision #0") && msg.contains(&format!("({})", first.kind_name())),
+            "incomplete replay names the first unconsumed decision: {msg}"
+        );
     }
 
     #[test]
@@ -1105,6 +1236,97 @@ mod tests {
         let back = ScheduleLog::from_bytes(&log.to_bytes()).unwrap();
         assert_eq!(back, log);
         assert_eq!(back.digest(), log.digest());
+    }
+
+    use crate::oracle::{PopCandidate, ScheduleOracle};
+
+    /// Oracle that always defers to the last ready entry (reverse of the
+    /// default order) and counts how often it saw a real choice.
+    struct ReverseOracle {
+        choice_points: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+
+    impl ScheduleOracle for ReverseOracle {
+        fn choose_pop(&mut self, ready: &[PopCandidate]) -> usize {
+            if ready.len() > 1 {
+                self.choice_points.set(self.choice_points.get() + 1);
+            }
+            ready.len() - 1
+        }
+    }
+
+    /// Two ticker processes with the same period: every tick instant has a
+    /// two-entry ready set, so a reversing oracle flips the dispatch order
+    /// at each one.
+    fn twin_tickers(config: SimConfig) -> Sim<Ticker> {
+        let mut sim: Sim<Ticker> = Sim::new(31, config);
+        sim.spawn(Ticker { period: SimDuration::from_millis(10), ticks: 0 });
+        sim.spawn(Ticker { period: SimDuration::from_millis(10), ticks: 0 });
+        sim
+    }
+
+    #[test]
+    fn oracle_reorders_same_instant_events() {
+        let order = |reverse: bool| {
+            let mut sim = twin_tickers(SimConfig::default());
+            if reverse {
+                let counter = std::rc::Rc::new(std::cell::Cell::new(0));
+                sim.set_oracle(Box::new(ReverseOracle { choice_points: counter.clone() }));
+                sim.run_for(SimDuration::from_millis(35));
+                assert!(counter.get() >= 3, "every tick instant is a choice point");
+            } else {
+                sim.run_for(SimDuration::from_millis(35));
+            }
+            sim.outputs()
+                .iter()
+                .map(|(t, p, v)| (t.as_micros(), p.raw(), *v))
+                .collect::<Vec<_>>()
+        };
+        let forward = order(false);
+        let reversed = order(true);
+        assert_eq!(forward.len(), reversed.len(), "same events, different order");
+        assert_ne!(forward, reversed, "the oracle changed the interleaving");
+        // Same multiset of events either way — only the order moved.
+        let sorted = |mut v: Vec<(u64, u64, u32)>| {
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(forward.clone()), sorted(reversed.clone()));
+        // The very first instant has ready set {p0, p1} in seq order, so
+        // the reversing oracle dispatches p1 first.
+        assert_eq!(forward[0].1, 0);
+        assert_eq!(reversed[0].1, 1);
+    }
+
+    #[test]
+    fn controlled_recording_replays_with_guided_stepping() {
+        let counter = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut rec = twin_tickers(SimConfig { record: true, ..SimConfig::default() });
+        rec.set_oracle(Box::new(ReverseOracle { choice_points: counter }));
+        rec.run_for(SimDuration::from_millis(35));
+        let log = rec.take_schedule_log().expect("recording was on");
+        assert!(log.sequential(), "oracle-driven recordings are sequential");
+        let rec_outputs: Vec<_> = rec
+            .outputs()
+            .iter()
+            .map(|(t, p, v)| (t.as_micros(), p.raw(), *v))
+            .collect();
+
+        // Replay with NO oracle installed: the sequential flag routes
+        // stepping through the guided path, which follows the recorded
+        // pop order instead of the (different) default order.
+        let log = ScheduleLog::from_bytes(&log.to_bytes()).expect("codec round trip");
+        let mut sim: Sim<Ticker> = Sim::replay(log, SimConfig::default());
+        sim.spawn(Ticker { period: SimDuration::from_millis(10), ticks: 0 });
+        sim.spawn(Ticker { period: SimDuration::from_millis(10), ticks: 0 });
+        sim.run_for(SimDuration::from_millis(35));
+        sim.finish_replay().expect("guided replay matches the recording");
+        let replay_outputs: Vec<_> = sim
+            .outputs()
+            .iter()
+            .map(|(t, p, v)| (t.as_micros(), p.raw(), *v))
+            .collect();
+        assert_eq!(rec_outputs, replay_outputs);
     }
 
     #[test]

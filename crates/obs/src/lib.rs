@@ -239,6 +239,33 @@ impl Obs {
         self.with(|s| s.journal.monitor_reports().to_vec())
     }
 
+    /// Whether the online monitor has flagged nothing so far. The
+    /// explorer asks this after every schedule — a clone-free emptiness
+    /// check keeps the per-schedule oracle cost flat.
+    pub fn monitor_clean(&self) -> bool {
+        self.with(|s| s.journal.monitor_reports().is_empty())
+    }
+
+    /// One digest over the end state of a run: the trace journal combined
+    /// with the metrics registry. Two runs with equal state digests
+    /// produced identical observable histories; the explorer counts
+    /// distinct values to report how many distinguishable end states the
+    /// schedule space reached.
+    pub fn state_digest(&self) -> u64 {
+        self.with(|s| {
+            let j = s.journal.digest();
+            let m = s.metrics.digest();
+            // FNV-1a over the two component digests keeps the combination
+            // order-sensitive and stable.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in j.to_le_bytes().into_iter().chain(m.to_le_bytes()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        })
+    }
+
     /// The journal and span log rendered as one Chrome-trace JSON
     /// document; see [`trace_export::chrome_json`].
     pub fn chrome_trace_json(&self) -> String {

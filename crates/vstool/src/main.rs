@@ -6,16 +6,22 @@
 //! - `metrics-diff <a> <b>` — diff two metrics snapshots;
 //! - `bench-gate <baseline> <fresh>` — fail on benchmark regressions;
 //! - `record --seed N --out <log.vsl>` — record the canonical sweep;
-//! - `replay <log.vsl>` — re-execute a recorded sweep and verify it;
-//! - `shrink --class <c> --seed N` — minimise a failing fault script.
+//! - `replay <log.vsl>` — re-execute a recorded scenario and verify it;
+//! - `shrink --class <c> --seed N` — minimise a failing fault script;
+//! - `explore` — bounded model checking of the flush scenario
+//!   ([`view_synchrony::explore`]): enumerate schedules, stop at the
+//!   first property violation, minimise and serialise it.
 //!
 //! Exit codes: 0 success, 1 the inspected artifact is bad (gate failed,
-//! replay diverged, shrink found nothing), 2 usage error.
+//! replay diverged, shrink found nothing, explore's verdict contradicts
+//! the expectation), 2 usage error.
 
 use std::process::ExitCode;
 
+use view_synchrony::explore::{explore_flush, ExploreOpts};
 use view_synchrony::scenario::{
-    run_gcs_sweep, run_mutation_case, sweep_script, MutationClass, RunMode,
+    run_flush_scenario, run_gcs_sweep, run_mutation_case, sweep_script, FlushMode, FlushOpts,
+    MutationClass, RunMode,
 };
 use view_synchrony::shrink::shrink_script;
 use vs_net::{FaultScript, ProcessId, ScheduleLog};
@@ -34,16 +40,25 @@ USAGE:
   vstool bench-gate <baseline.json> <fresh.json|stdout.txt> [--tolerance FRAC]
                     [--update]
   vstool record --seed N --out <log.vsl>
-  vstool replay <log.vsl> [--seed N]
+  vstool replay <log.vsl> [--seed N] [--scenario sweep|flush] [--mutate]
   vstool shrink --class <duplicate-view-install|causal-cut|invalid-structure|
                          partition-drop> --seed N [--script <file>] [--out <file>]
+  vstool explore [--procs N] [--ops N] [--mutate] [--max-schedules N]
+                 [--depth N] [--window LO:HI] [--no-dpor] [--report <file>]
+                 [--out-dir <dir>] [--expect-violation]
 
 `trace` filters compose conjunctively; --after/--before cut on vector-clock
 components (`P:C` keeps events whose clock for process P is >=C / <=C).
 `--slice P` prints the causal slice ending at P's last event instead of a
 flat listing. Metrics inputs may be BENCH_*.json files or captured stdout
 containing `METRICS {...}` lines (last line wins). `bench-gate --update`
-rewrites <baseline.json> from the fresh run instead of gating against it.";
+rewrites <baseline.json> from the fresh run instead of gating against it.
+`replay --scenario flush` re-executes the explorer's flush scenario instead
+of the sweep (use --mutate for witnesses recorded with the seeded mutation
+on). `explore` enumerates flush-scenario schedules (window in µs of virtual
+time, depth = max forced choice points), writes a coverage report, and on a
+violation serialises witness.vsl / minimal.vsl into --out-dir; exit is 0 on
+a clean space, 1 on a violation — inverted by --expect-violation.";
 
 fn fail(msg: String) -> ExitCode {
     eprintln!("vstool: {msg}");
@@ -225,6 +240,8 @@ fn cmd_record(mut args: Vec<String>) -> Result<ExitCode, String> {
 
 fn cmd_replay(mut args: Vec<String>) -> Result<ExitCode, String> {
     let seed_override = take_opt(&mut args, "--seed")?;
+    let scenario = take_opt(&mut args, "--scenario")?.unwrap_or_else(|| "sweep".into());
+    let mutate = take_flag(&mut args, "--mutate");
     let [path] = args.as_slice() else {
         return Err("replay: expected exactly one log file".into());
     };
@@ -235,15 +252,37 @@ fn cmd_replay(mut args: Vec<String>) -> Result<ExitCode, String> {
         None => log.seed(),
     };
     println!(
-        "replaying sweep seed {seed}: {} decisions, schedule digest 0x{:016x}",
+        "replaying {scenario} seed {seed}: {} decisions{}, schedule digest 0x{:016x}",
         log.len(),
+        if log.sequential() { " (sequential)" } else { "" },
         log.digest()
     );
-    let run = run_gcs_sweep(seed, RunMode::Replay(log));
+    let run = match scenario.as_str() {
+        "sweep" => {
+            if mutate {
+                return Err("replay: --mutate only applies to --scenario flush".into());
+            }
+            run_gcs_sweep(seed, RunMode::Replay(log))
+        }
+        "flush" => {
+            let opts = FlushOpts {
+                broken_stability_cut: mutate,
+                ..FlushOpts::default()
+            };
+            run_flush_scenario(opts, FlushMode::Replay(log))
+        }
+        other => return Err(format!("replay: unknown scenario {other:?} (sweep|flush)")),
+    };
     println!(
         "journal digest 0x{:016x}, metrics digest 0x{:016x}",
         run.journal_digest, run.metrics_digest
     );
+    if view_synchrony::explore::is_violating(&run) {
+        println!("run violated properties:");
+        for line in view_synchrony::explore::report_of(&run).lines() {
+            println!("  {line}");
+        }
+    }
     match run.replay {
         Ok(()) => {
             println!("replay OK: every decision matched the log");
@@ -312,6 +351,85 @@ fn cmd_shrink(mut args: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_explore(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let mut opts = ExploreOpts::default();
+    if let Some(p) = take_opt(&mut args, "--procs")? {
+        opts.flush.procs = parse_u64("--procs", &p)? as usize;
+    }
+    if let Some(o) = take_opt(&mut args, "--ops")? {
+        opts.flush.ops = parse_u64("--ops", &o)? as usize;
+    }
+    opts.flush.broken_stability_cut = take_flag(&mut args, "--mutate");
+    if let Some(n) = take_opt(&mut args, "--max-schedules")? {
+        opts.max_schedules = parse_u64("--max-schedules", &n)? as usize;
+    }
+    if let Some(d) = take_opt(&mut args, "--depth")? {
+        opts.max_branch_points = parse_u64("--depth", &d)? as usize;
+    }
+    if let Some(w) = take_opt(&mut args, "--window")? {
+        let (lo, hi) = w
+            .split_once(':')
+            .ok_or_else(|| format!("--window {w:?}: expected LO:HI in µs"))?;
+        opts.window_us = (parse_u64("--window lo", lo)?, parse_u64("--window hi", hi)?);
+    }
+    if take_flag(&mut args, "--no-dpor") {
+        opts.dpor = false;
+    }
+    let report_path = take_opt(&mut args, "--report")?;
+    let out_dir = take_opt(&mut args, "--out-dir")?;
+    let expect_violation = take_flag(&mut args, "--expect-violation");
+    if !args.is_empty() {
+        return Err(format!("explore: unexpected arguments {args:?}"));
+    }
+    if !(2..=4).contains(&opts.flush.procs) {
+        return Err(format!(
+            "explore: --procs {} out of the model-checked range 2..=4",
+            opts.flush.procs
+        ));
+    }
+
+    println!(
+        "exploring flush scenario: n={} ops={} window={}..{}µs depth<={} budget={} dpor={} mutation={}",
+        opts.flush.procs,
+        opts.flush.ops,
+        opts.window_us.0,
+        opts.window_us.1,
+        opts.max_branch_points,
+        opts.max_schedules,
+        if opts.dpor { "on" } else { "off" },
+        if opts.flush.broken_stability_cut { "broken-stability-cut" } else { "none" },
+    );
+    let result = explore_flush(&opts);
+    let summary = result.summary();
+    print!("{summary}");
+    if let Some(path) = report_path {
+        std::fs::write(&path, &summary).map_err(|e| format!("{path}: {e}"))?;
+        println!("coverage report written to {path}");
+    }
+    if let Some(v) = &result.violation {
+        if let Some(dir) = out_dir {
+            std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
+            let witness = format!("{dir}/witness.vsl");
+            let minimal = format!("{dir}/minimal.vsl");
+            std::fs::write(&witness, v.witness.to_bytes())
+                .map_err(|e| format!("{witness}: {e}"))?;
+            std::fs::write(&minimal, v.minimized.to_bytes())
+                .map_err(|e| format!("{minimal}: {e}"))?;
+            println!("witness schedule written to {witness}");
+            println!("minimal schedule written to {minimal} (replay with --scenario flush --mutate)");
+        }
+    }
+    let ok = match (expect_violation, result.violation.is_some()) {
+        (false, false) | (true, true) => true,
+        (false, true) => false,
+        (true, false) => {
+            println!("expected a violation, but the explored space is clean");
+            false
+        }
+    };
+    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
@@ -326,6 +444,7 @@ fn main() -> ExitCode {
         "record" => cmd_record(args),
         "replay" => cmd_replay(args),
         "shrink" => cmd_shrink(args),
+        "explore" => cmd_explore(args),
         other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
     };
     match result {

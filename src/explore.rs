@@ -1,0 +1,532 @@
+//! Bounded model checking over the recorded schedule space: the engine
+//! behind `vstool explore`.
+//!
+//! The simulator's nondeterminism is exactly its recorded decision
+//! points (event-queue pops, link delays and losses, fault firings —
+//! see [`vs_net::schedule`]), so the space of behaviours of a scenario
+//! is the space of answers a [`ScheduleOracle`] can give at those
+//! points. This module enumerates that space for the *flush scenario*
+//! ([`crate::scenario::run_flush_scenario`]): a 3–4 member group in
+//! which a multicast delivery races a partition at the same virtual
+//! instant, followed by an isolation that forces a view change and with
+//! it a flush. Every explored schedule runs under the online monitor;
+//! the first violating schedule is serialized as a `.vsl` witness and
+//! its choice plan is delta-debugged ([`crate::shrink::ddmin`]) to a
+//! 1-minimal reproduction.
+//!
+//! # How exploration works
+//!
+//! Exploration is *stateless* (re-execution based): a schedule is
+//! identified by its **plan** — the sequence numbers to force at the
+//! first k *choice points* of a run. A choice point is any pop whose
+//! ready set has ≥ 2 entries inside the configured virtual-time window;
+//! past its plan a run picks defaults, records the candidates it saw,
+//! and the explorer spawns one child plan per alternative (depth-first,
+//! candidates in sequence order). Sequence numbers are stable across
+//! runs sharing a prefix, so a plan replays the same branch decisions.
+//!
+//! # Partial-order reduction
+//!
+//! Exploring every interleaving is wasteful: two deliveries to
+//! *different* processes commute. The explorer uses DPOR-style **sleep
+//! sets**: after a child of a branch point has been fully explored, the
+//! forced event is put to sleep in the siblings explored after it, and
+//! stays asleep until some *dependent* event (same target process, or a
+//! fault — faults act on the whole network) executes. A sleeping event
+//! is never chosen at a choice point, and a candidate already asleep at
+//! its branch point spawns no child at all. Two events are considered
+//! independent iff both act on a single process and those processes
+//! differ — an approximation that is exact for actor dispatch (an event
+//! only mutates its target's state) but assumes downstream tie-breaking
+//! does not re-couple them; the monitor still checks every schedule
+//! that *is* run, so pruning can at worst miss, never fabricate, a
+//! violation. Runs that consumed RNG draws disable sleep pruning
+//! entirely (a shared random stream couples everything); the flush
+//! scenario draws zero by construction.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use vs_net::{PopCandidate, ScheduleLog, ScheduleOracle};
+use vs_obs::MonitorReport;
+
+use crate::scenario::{run_flush_scenario, FlushMode, FlushOpts, ScenarioRun};
+use crate::shrink::ddmin;
+
+/// Default exploration window, in microseconds of virtual time: a tight
+/// bracket around t=604ms, the instant where the flush scenario's
+/// multicast deliveries race the scripted partition.
+pub const DEFAULT_WINDOW_US: (u64, u64) = (603_900, 604_100);
+
+/// Tunables of one exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOpts {
+    /// The scenario under exploration (group size, op count, seeded
+    /// mutation switch).
+    pub flush: FlushOpts,
+    /// Only pops inside this virtual-time window (µs, inclusive) branch;
+    /// outside it the default schedule is followed.
+    pub window_us: (u64, u64),
+    /// Hard cap on schedules run; exceeding it sets
+    /// [`ExploreStats::budget_exhausted`].
+    pub max_schedules: usize,
+    /// Maximum choice-point depth at which siblings are spawned (the
+    /// plan-length bound). Deeper choice points follow defaults.
+    pub max_branch_points: usize,
+    /// Sleep-set partial-order reduction on/off (`--no-dpor` sets false;
+    /// useful for measuring the reduction and as a soundness check).
+    pub dpor: bool,
+    /// Oracle-probe budget for minimizing a violating plan.
+    pub shrink_probes: usize,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> Self {
+        ExploreOpts {
+            flush: FlushOpts::default(),
+            window_us: DEFAULT_WINDOW_US,
+            max_schedules: 512,
+            max_branch_points: 8,
+            dpor: true,
+            shrink_probes: 64,
+        }
+    }
+}
+
+/// Coverage counters of one exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Schedules actually run (including sleep-blocked ones).
+    pub schedules: usize,
+    /// Largest number of choice points any single run encountered.
+    pub max_choice_points: u64,
+    /// Distinct end-state digests ([`ScenarioRun::state_digest`]) across
+    /// all runs — the observable size of the explored state space.
+    pub distinct_states: usize,
+    /// Branch-point candidates not spawned because they were asleep.
+    pub pruned_sleep: usize,
+    /// Runs whose choice points were entirely asleep at some point
+    /// (redundant continuations; they finish but spawn nothing further).
+    pub sleep_blocked_runs: usize,
+    /// Runs whose plan named a sequence number absent from the ready set
+    /// (tolerated: the default is taken; nonzero counts indicate a
+    /// shrunken plan re-contextualized an index).
+    pub plan_misses: usize,
+    /// Branch points skipped because they lay beyond
+    /// [`ExploreOpts::max_branch_points`].
+    pub depth_clipped: usize,
+    /// True iff [`ExploreOpts::max_schedules`] stopped exploration with
+    /// work still pending.
+    pub budget_exhausted: bool,
+    /// Largest RNG draw count any run consumed (expected 0 for the
+    /// flush scenario; nonzero disables sleep pruning for that subtree).
+    pub rng_draws: u64,
+}
+
+/// A violating schedule, its replayable witness and the minimized
+/// reproduction.
+#[derive(Debug)]
+pub struct ExploreViolation {
+    /// The choice plan (forced sequence numbers) that provoked it.
+    pub plan: Vec<u64>,
+    /// Full recorded schedule of the violating run — replayable with
+    /// `Sim::replay` / `vstool replay`, no oracle needed.
+    pub witness: ScheduleLog,
+    /// Monitor and checker output of the violating run.
+    pub report: String,
+    /// 1-minimal plan that still reproduces the violation.
+    pub minimized_plan: Vec<u64>,
+    /// Recorded schedule of the minimal reproduction.
+    pub minimized: ScheduleLog,
+    /// Monitor and checker output of the minimal reproduction.
+    pub minimized_report: String,
+    /// Oracle probes the minimization spent.
+    pub shrink_probes: usize,
+}
+
+/// What [`explore_flush`] found.
+#[derive(Debug)]
+pub struct ExploreResult {
+    /// Coverage counters.
+    pub stats: ExploreStats,
+    /// The first violating schedule, if any (exploration stops at it).
+    pub violation: Option<ExploreViolation>,
+}
+
+impl ExploreResult {
+    /// Human-readable coverage report (shared by `vstool explore` and
+    /// the regression tests).
+    pub fn summary(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "explored {} schedule(s), {} distinct end state(s)",
+            s.schedules, s.distinct_states
+        );
+        let _ = writeln!(
+            out,
+            "choice points: up to {} per run; sleep-set pruned {} sibling(s), {} run(s) sleep-blocked, depth-clipped {} point(s)",
+            s.max_choice_points, s.pruned_sleep, s.sleep_blocked_runs, s.depth_clipped
+        );
+        let _ = writeln!(
+            out,
+            "budget exhausted: {}; plan misses: {}; max rng draws: {}",
+            if s.budget_exhausted { "yes" } else { "no" },
+            s.plan_misses,
+            s.rng_draws
+        );
+        match &self.violation {
+            None => {
+                let _ = writeln!(out, "no violation in the explored space");
+            }
+            Some(v) => {
+                let _ = writeln!(
+                    out,
+                    "VIOLATION after {} schedule(s): plan {:?} minimized to {:?} in {} probe(s)",
+                    s.schedules, v.plan, v.minimized_plan, v.shrink_probes
+                );
+                for line in v.minimized_report.lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Sleeping events: sequence number → target process (`None` = acts on
+/// the whole network).
+type SleepSet = BTreeMap<u64, Option<u64>>;
+
+/// The explorer's independence approximation: both events act on a
+/// single process and those processes differ.
+fn independent(a: Option<u64>, b: Option<u64>) -> bool {
+    matches!((a, b), (Some(x), Some(y)) if x != y)
+}
+
+/// A free (unplanned) choice point one run passed through, as material
+/// for sibling spawning.
+#[derive(Debug, Clone)]
+struct FreePoint {
+    /// The ready set, in sequence order.
+    candidates: Vec<PopCandidate>,
+    /// Sequence number the run dispatched here.
+    chosen: u64,
+    /// Sleep set in force when the point was reached.
+    sleep: SleepSet,
+}
+
+/// Mutable per-run state behind the [`Guide`] oracle.
+#[derive(Debug)]
+struct GuideState {
+    plan: Vec<u64>,
+    window: (u64, u64),
+    dpor: bool,
+    /// Next plan entry to force.
+    cursor: usize,
+    /// Whether the sleep set is live: it belongs to the branch node at
+    /// the end of the plan, so it only filters (and is filtered by)
+    /// events executed *after* the last forced choice.
+    armed: bool,
+    sleep: SleepSet,
+    free_points: Vec<FreePoint>,
+    plan_miss: bool,
+    slept_through: bool,
+    choice_points: u64,
+}
+
+impl GuideState {
+    fn on_pop(&mut self, ready: &[PopCandidate]) -> usize {
+        let at = ready[0].at_us;
+        let in_window = at >= self.window.0 && at <= self.window.1;
+        let idx = if ready.len() >= 2 && in_window {
+            self.choice_points += 1;
+            if self.cursor < self.plan.len() {
+                let want = self.plan[self.cursor];
+                self.cursor += 1;
+                if self.cursor == self.plan.len() {
+                    self.armed = true;
+                }
+                match ready.iter().position(|c| c.seq == want) {
+                    Some(i) => i,
+                    None => {
+                        self.plan_miss = true;
+                        0
+                    }
+                }
+            } else if self.slept_through {
+                // The rest of this run is covered by earlier exploration;
+                // finish it on defaults without recording anything.
+                0
+            } else {
+                // Free point: dispatch the first candidate that is not
+                // asleep; record the point for sibling spawning unless
+                // the whole ready set is covered already.
+                let awake = if self.dpor && self.armed {
+                    ready.iter().position(|c| !self.sleep.contains_key(&c.seq))
+                } else {
+                    Some(0)
+                };
+                match awake {
+                    Some(i) => {
+                        self.free_points.push(FreePoint {
+                            candidates: ready.to_vec(),
+                            chosen: ready[i].seq,
+                            sleep: if self.armed { self.sleep.clone() } else { SleepSet::new() },
+                        });
+                        i
+                    }
+                    None => {
+                        self.slept_through = true;
+                        0
+                    }
+                }
+            }
+        } else {
+            0
+        };
+        // Wake-filtering: every executed event (choice point or not)
+        // wakes the sleeping events that depend on it.
+        if self.armed && self.dpor && !self.sleep.is_empty() {
+            let executed = ready[idx];
+            self.sleep.retain(|_, &mut t| independent(t, executed.target));
+            self.sleep.remove(&executed.seq);
+        }
+        idx
+    }
+}
+
+/// The [`ScheduleOracle`] installed for each exploration run; shares
+/// its state with the explorer through an `Rc` so the outcome survives
+/// the simulator consuming the box.
+struct Guide {
+    state: Rc<RefCell<GuideState>>,
+}
+
+impl ScheduleOracle for Guide {
+    fn choose_pop(&mut self, ready: &[PopCandidate]) -> usize {
+        self.state.borrow_mut().on_pop(ready)
+    }
+}
+
+/// What one guided run left behind, extracted from the guide state.
+struct RunOutcome {
+    free_points: Vec<FreePoint>,
+    plan_miss: bool,
+    slept_through: bool,
+    choice_points: u64,
+}
+
+fn run_plan(opts: &ExploreOpts, plan: &[u64], sleep: &SleepSet) -> (ScenarioRun, RunOutcome) {
+    let state = Rc::new(RefCell::new(GuideState {
+        plan: plan.to_vec(),
+        window: opts.window_us,
+        dpor: opts.dpor,
+        cursor: 0,
+        armed: plan.is_empty(),
+        sleep: sleep.clone(),
+        free_points: Vec::new(),
+        plan_miss: false,
+        slept_through: false,
+        choice_points: 0,
+    }));
+    let run = run_flush_scenario(
+        opts.flush,
+        FlushMode::Guided {
+            oracle: Box::new(Guide { state: Rc::clone(&state) }),
+            record: true,
+        },
+    );
+    let st = state.borrow();
+    let outcome = RunOutcome {
+        free_points: st.free_points.clone(),
+        plan_miss: st.plan_miss,
+        slept_through: st.slept_through,
+        choice_points: st.choice_points,
+    };
+    (run, outcome)
+}
+
+/// Re-executes the flush scenario forcing `plan`'s choices (defaults
+/// past the end of the plan, no sleep set): the standalone reproduction
+/// path for plans reported by [`explore_flush`], and the oracle the
+/// plan minimizer probes through.
+pub fn run_flush_plan(opts: &ExploreOpts, plan: &[u64]) -> ScenarioRun {
+    run_plan(opts, plan, &SleepSet::new()).0
+}
+
+/// Whether a run violated a property (monitor or post-hoc checker).
+pub fn is_violating(run: &ScenarioRun) -> bool {
+    !run.monitor_reports.is_empty() || !run.violations.is_empty()
+}
+
+/// Combined monitor + checker output of a run.
+pub fn report_of(run: &ScenarioRun) -> String {
+    let mut lines: Vec<String> = run.monitor_reports.iter().map(MonitorReport::format).collect();
+    lines.extend(run.violations.iter().cloned());
+    lines.join("\n")
+}
+
+/// A pending exploration node: a plan plus the sleep set of the node it
+/// leads to.
+struct Node {
+    plan: Vec<u64>,
+    sleep: SleepSet,
+}
+
+/// Explores the flush scenario's schedule space depth-first under the
+/// given bounds. Stops at the first violating schedule (serialized as a
+/// witness and minimized) or when the space/budget is exhausted.
+pub fn explore_flush(opts: &ExploreOpts) -> ExploreResult {
+    assert!(
+        opts.flush.procs <= 4,
+        "explore is bounded at n <= 4 processes (got {})",
+        opts.flush.procs
+    );
+    let mut stats = ExploreStats::default();
+    let mut digests: BTreeSet<u64> = BTreeSet::new();
+    let mut stack: Vec<Node> = vec![Node { plan: Vec::new(), sleep: SleepSet::new() }];
+    let mut violation = None;
+
+    while let Some(node) = stack.pop() {
+        if stats.schedules >= opts.max_schedules {
+            stats.budget_exhausted = true;
+            break;
+        }
+        let (run, out) = run_plan(opts, &node.plan, &node.sleep);
+        stats.schedules += 1;
+        stats.max_choice_points = stats.max_choice_points.max(out.choice_points);
+        stats.rng_draws = stats.rng_draws.max(run.rng_draws);
+        digests.insert(run.state_digest);
+        if out.plan_miss {
+            stats.plan_misses += 1;
+        }
+        if out.slept_through {
+            stats.sleep_blocked_runs += 1;
+        }
+        if is_violating(&run) {
+            // Flatten the run into a sleep-independent plan: the sleep
+            // set steered the free-point choices, so reproduction (and
+            // ddmin probing, which runs with no sleep set) must force
+            // every choice the run actually made.
+            let mut plan = node.plan.clone();
+            plan.extend(out.free_points.iter().map(|fp| fp.chosen));
+            violation = Some(minimize(opts, plan, run));
+            break;
+        }
+
+        // Sleep pruning is only sound when the run drew no randomness:
+        // a shared RNG stream makes every pair of events dependent.
+        let dpor_ok = opts.dpor && run.rng_draws == 0;
+        // Spawn siblings. Collect in (point ascending, candidate
+        // ascending) order, then push candidates of each point in
+        // reverse so the LIFO stack pops the deepest point's smallest
+        // candidate first: each sibling runs only after the entire
+        // subtree of its predecessors — the ordering sleep sets assume.
+        let mut prefix = node.plan.clone();
+        let mut spawned: Vec<Node> = Vec::new();
+        for (i, fp) in out.free_points.iter().enumerate() {
+            if prefix.len() >= opts.max_branch_points {
+                stats.depth_clipped += out.free_points.len() - i;
+                break;
+            }
+            let chosen = fp
+                .candidates
+                .iter()
+                .find(|c| c.seq == fp.chosen)
+                .expect("chosen came from the ready set");
+            let mut explored: Vec<(u64, Option<u64>)> = vec![(chosen.seq, chosen.target)];
+            let mut point_spawns: Vec<Node> = Vec::new();
+            for cand in fp.candidates.iter().filter(|c| c.seq != fp.chosen) {
+                if dpor_ok && fp.sleep.contains_key(&cand.seq) {
+                    stats.pruned_sleep += 1;
+                    continue;
+                }
+                let mut plan = prefix.clone();
+                plan.push(cand.seq);
+                let sleep = if dpor_ok {
+                    // Classic sleep-set inheritance: what the parent had
+                    // here, plus the siblings explored before this one,
+                    // minus everything dependent on the forced event.
+                    let mut s = fp.sleep.clone();
+                    for &(seq, target) in &explored {
+                        s.insert(seq, target);
+                    }
+                    s.retain(|_, &mut t| independent(t, cand.target));
+                    s.remove(&cand.seq);
+                    s
+                } else {
+                    SleepSet::new()
+                };
+                point_spawns.push(Node { plan, sleep });
+                explored.push((cand.seq, cand.target));
+            }
+            point_spawns.reverse();
+            spawned.extend(point_spawns);
+            prefix.push(fp.chosen);
+        }
+        stack.extend(spawned);
+    }
+
+    stats.distinct_states = digests.len();
+    ExploreResult { stats, violation }
+}
+
+/// Delta-debugs a violating plan to a 1-minimal reproduction and
+/// re-records both the original and the minimal schedule.
+fn minimize(opts: &ExploreOpts, plan: Vec<u64>, run: ScenarioRun) -> ExploreViolation {
+    let report = report_of(&run);
+    let witness = run.log.expect("guided exploration runs always record");
+    let shrunk = ddmin(&plan, opts.shrink_probes, |cand: &[u64]| {
+        let (probe, _) = run_plan(opts, cand, &SleepSet::new());
+        is_violating(&probe).then_some(probe)
+    })
+    .expect("the violating run is deterministic, so the initial probe trips");
+    let minimized_report = report_of(&shrunk.witness);
+    let minimized = shrunk
+        .witness
+        .log
+        .expect("probe runs record like exploration runs");
+    ExploreViolation {
+        plan,
+        witness,
+        report,
+        minimized_plan: shrunk.items,
+        minimized,
+        minimized_report,
+        shrink_probes: shrunk.probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independence_requires_two_distinct_targets() {
+        assert!(independent(Some(1), Some(2)));
+        assert!(!independent(Some(1), Some(1)));
+        assert!(!independent(None, Some(1)), "faults commute with nothing");
+        assert!(!independent(Some(1), None));
+        assert!(!independent(None, None));
+    }
+
+    #[test]
+    fn summary_mentions_coverage_and_verdict() {
+        let result = ExploreResult {
+            stats: ExploreStats {
+                schedules: 4,
+                distinct_states: 2,
+                ..ExploreStats::default()
+            },
+            violation: None,
+        };
+        let s = result.summary();
+        assert!(s.contains("explored 4 schedule(s)"), "{s}");
+        assert!(s.contains("2 distinct end state(s)"), "{s}");
+        assert!(s.contains("no violation"), "{s}");
+    }
+}

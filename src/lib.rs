@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explore;
 pub mod scenario;
 pub mod shrink;
 

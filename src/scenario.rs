@@ -11,8 +11,8 @@
 use vs_evs::{EvsConfig, EvsEndpoint};
 use vs_gcs::{checker::check, GcsConfig, GcsEndpoint};
 use vs_net::{
-    DetRng, FaultOp, FaultScript, ProcessId, ReplayError, ScheduleLog, Sim, SimConfig,
-    SimDuration, SimTime,
+    DelayModel, DetRng, FaultOp, FaultScript, LinkConfig, ProcessId, ReplayError, ScheduleLog,
+    ScheduleOracle, Sim, SimConfig, SimDuration, SimTime,
 };
 use vs_obs::{EventKind, MonitorReport, MonitorViolation};
 
@@ -55,6 +55,9 @@ pub struct ScenarioRun {
     /// Digest of the METRICS snapshot
     /// ([`vs_obs::MetricsRegistry::digest`]).
     pub metrics_digest: u64,
+    /// Combined end-state digest ([`vs_obs::Obs::state_digest`]): the
+    /// explorer counts distinct values across schedules.
+    pub state_digest: u64,
     /// The recorded schedule (present only under [`RunMode::Record`]).
     pub log: Option<ScheduleLog>,
     /// `Ok` outside replay mode; under replay, whether the run reproduced
@@ -64,6 +67,11 @@ pub struct ScenarioRun {
     pub monitor_reports: Vec<MonitorReport>,
     /// Post-hoc checker violations, rendered (empty on a clean run).
     pub violations: Vec<String>,
+    /// Raw draws the run consumed from the simulator's global RNG
+    /// (construction baseline excluded). The explorer refuses to apply
+    /// commutativity-based pruning to scenarios that consume randomness:
+    /// a shared RNG stream couples otherwise-independent events.
+    pub rng_draws: u64,
 }
 
 /// The sweep's seed-derived fault schedule over `pids`: 4–7 operations,
@@ -97,12 +105,22 @@ pub fn sweep_script(seed: u64, pids: &[ProcessId]) -> FaultScript {
 /// under concurrent multicast traffic, the group settles, and the
 /// post-hoc checker plus monitor verdicts are collected.
 pub fn run_gcs_sweep(seed: u64, mode: RunMode) -> ScenarioRun {
+    run_gcs_sweep_with(seed, mode, GcsConfig::default())
+}
+
+/// [`run_gcs_sweep`] with an explicit endpoint configuration. The
+/// explorer's mutation regression runs the identical sweep with
+/// [`GcsConfig::broken_stability_cut`] enabled to show that random
+/// schedules sail past the seeded bug that exhaustive exploration of the
+/// flush scenario catches.
+pub fn run_gcs_sweep_with(seed: u64, mode: RunMode, config: GcsConfig) -> ScenarioRun {
     let n = 4 + (seed % 3) as usize;
     let mut sim: Sim<GcsEndpoint<String>> = mode.build(seed);
+    let draws0 = sim.rng_draws();
     let mut pids = Vec::new();
     for _ in 0..n {
         let site = sim.alloc_site();
-        pids.push(sim.spawn_with(site, |p| GcsEndpoint::new(p, GcsConfig::default())));
+        pids.push(sim.spawn_with(site, |p| GcsEndpoint::new(p, config)));
     }
     let all = pids.clone();
     let obs = sim.obs().clone();
@@ -120,7 +138,11 @@ pub fn run_gcs_sweep(seed: u64, mode: RunMode) -> ScenarioRun {
         sim.invoke(target, |e, ctx| e.mcast(format!("s{seed}m{i}"), ctx));
     }
     sim.run_for(SimDuration::from_secs(2));
+    finish_scenario(sim, draws0)
+}
 
+/// Collects the common [`ScenarioRun`] epilogue from a finished sim.
+fn finish_scenario(mut sim: Sim<GcsEndpoint<String>>, draws0: u64) -> ScenarioRun {
     let violations = match check(sim.outputs()) {
         Ok(_) => Vec::new(),
         Err(errs) => errs.iter().map(|v| v.to_string()).collect(),
@@ -128,11 +150,160 @@ pub fn run_gcs_sweep(seed: u64, mode: RunMode) -> ScenarioRun {
     ScenarioRun {
         journal_digest: sim.obs().journal_digest(),
         metrics_digest: sim.obs().metrics_digest(),
+        state_digest: sim.obs().state_digest(),
         replay: sim.finish_replay(),
+        rng_draws: sim.rng_draws() - draws0,
         log: sim.take_schedule_log(),
         monitor_reports: sim.obs().monitor_reports(),
         violations,
     }
+}
+
+/// Seed of the flush scenario. The scenario consumes no RNG beyond the
+/// construction fork (constant link delay, zero loss), so the seed only
+/// names the schedule-log identity; exploration branches on event order,
+/// not on random draws.
+pub const FLUSH_SEED: u64 = 0xF1;
+
+/// How the flush scenario interacts with the recorder and the scheduler.
+///
+/// A separate type from [`RunMode`] because guided runs carry a
+/// [`ScheduleOracle`] trait object, which cannot be `Clone`/`Debug` the
+/// way the sweep's mode is.
+pub enum FlushMode {
+    /// A plain deterministic run.
+    Normal,
+    /// Record every nondeterministic decision into a [`ScheduleLog`].
+    Record,
+    /// Re-execute the driver, validating each decision against the log.
+    Replay(ScheduleLog),
+    /// Run under an explorer-controlled scheduler, optionally recording
+    /// the resulting (sequential) schedule as a replayable witness.
+    Guided {
+        /// Consulted on every event-queue pop (and link outcome, though
+        /// the explorer never overrides those).
+        oracle: Box<dyn ScheduleOracle>,
+        /// Whether to also record the guided run into a [`ScheduleLog`].
+        record: bool,
+    },
+}
+
+impl FlushMode {
+    fn config(&self) -> SimConfig {
+        SimConfig {
+            monitor: true,
+            record: matches!(self, FlushMode::Record | FlushMode::Guided { record: true, .. }),
+            link: LinkConfig {
+                delay: DelayModel::Constant(SimDuration::from_millis(3)),
+                loss: 0.0,
+            },
+        }
+    }
+}
+
+/// Parameters of the flush scenario (see [`run_flush_scenario`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FlushOpts {
+    /// Group size (the explorer bounds this at 4).
+    pub procs: usize,
+    /// Multicasts sent by `p0` right before the fault window.
+    pub ops: usize,
+    /// Enable the seeded stability-cut mutation
+    /// ([`GcsConfig::broken_stability_cut`]).
+    pub broken_stability_cut: bool,
+}
+
+impl Default for FlushOpts {
+    fn default() -> Self {
+        FlushOpts {
+            procs: 3,
+            ops: 1,
+            broken_stability_cut: false,
+        }
+    }
+}
+
+/// The flush scenario's fault script over `pids`: a momentary partition
+/// that cuts `p1` off right while `p0`'s multicast is in flight (the
+/// explorer decides whether the cut lands before or after the delivery),
+/// then a permanent isolation of the last member that forces a view
+/// change — and with it a flush whose payload must carry every message
+/// that is unstable under the *correct* stability cut.
+pub fn flush_script(pids: &[ProcessId]) -> FaultScript {
+    let victim = pids[1];
+    let rest: Vec<ProcessId> = pids.iter().copied().filter(|&p| p != victim).collect();
+    let mut script = FaultScript::new();
+    script.push(
+        SimTime::from_micros(604_000),
+        FaultOp::Partition(vec![rest, vec![victim]]),
+    );
+    script.push(SimTime::from_micros(605_000), FaultOp::Heal);
+    script.push(
+        SimTime::from_micros(612_000),
+        FaultOp::Isolate(pids[pids.len() - 1]),
+    );
+    script
+}
+
+/// Runs the flush scenario: `opts.procs` members form a group over a
+/// constant-delay, lossless link; at t=601ms `p0` multicasts (so the
+/// deliveries land at t=604ms, the same instant as the scripted
+/// partition but clear of the t=603ms heartbeat deliveries); the
+/// [`flush_script`] window briefly cuts `p1` off and then isolates the
+/// last member, forcing a view change whose flush must preserve
+/// Agreement (VS 2.1) for the survivors.
+///
+/// The fault script is loaded *after* the multicast is invoked, so the
+/// fault events carry higher sequence numbers than the in-flight
+/// deliveries: on the default (seq-ascending) schedule the delivery to
+/// `p1` wins the t=603ms race against the partition and the run is clean
+/// even with the mutation enabled. Only an explorer-chosen reordering
+/// exposes [`GcsConfig::broken_stability_cut`].
+pub fn run_flush_scenario(opts: FlushOpts, mode: FlushMode) -> ScenarioRun {
+    assert!(
+        (2..=4).contains(&opts.procs),
+        "flush scenario is bounded at 2..=4 processes"
+    );
+    let config = mode.config();
+    let mut sim: Sim<GcsEndpoint<String>> = match mode {
+        FlushMode::Replay(log) => Sim::replay(log, config),
+        FlushMode::Guided { oracle, .. } => {
+            let mut sim = Sim::new(FLUSH_SEED, config);
+            sim.set_oracle(oracle);
+            sim
+        }
+        _ => Sim::new(FLUSH_SEED, config),
+    };
+    let draws0 = sim.rng_draws();
+    let gcs_config = GcsConfig {
+        broken_stability_cut: opts.broken_stability_cut,
+        ..GcsConfig::default()
+    };
+    let mut pids = Vec::new();
+    for _ in 0..opts.procs {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |p| GcsEndpoint::new(p, gcs_config)));
+    }
+    let all = pids.clone();
+    let obs = sim.obs().clone();
+    for &p in &pids {
+        sim.invoke(p, |e, _| {
+            e.set_contacts(all.iter().copied());
+            e.set_obs(obs.clone());
+        });
+    }
+    sim.run_for(SimDuration::from_millis(601));
+    for i in 0..opts.ops as u64 {
+        if i > 0 {
+            sim.run_for(SimDuration::from_millis(2));
+        }
+        sim.invoke(pids[0], |e, ctx| e.mcast(format!("f{i}"), ctx));
+    }
+    // Loaded after the multicasts so the fault pops get *higher* seqs than
+    // the in-flight deliveries — see the function doc.
+    sim.load_script(flush_script(&pids));
+    sim.run_until(SimTime::from_micros(900_000));
+    finish_scenario(sim, draws0)
 }
 
 /// The known monitor-violation classes the shrinker is exercised against
@@ -330,6 +501,37 @@ mod tests {
         rep.replay.expect("replay matches");
         assert_eq!(rec.journal_digest, rep.journal_digest);
         assert_eq!(rec.metrics_digest, rep.metrics_digest);
+    }
+
+    #[test]
+    fn flush_scenario_default_schedule_is_clean() {
+        let run = run_flush_scenario(FlushOpts::default(), FlushMode::Normal);
+        assert!(run.monitor_reports.is_empty(), "{:?}", run.monitor_reports);
+        assert!(run.violations.is_empty(), "{:?}", run.violations);
+        assert_eq!(run.rng_draws, 0, "constant delay + zero loss draw nothing");
+    }
+
+    #[test]
+    fn flush_scenario_default_schedule_hides_the_mutation() {
+        // The seeded stability-cut bug only bites when the partition pops
+        // before the in-flight delivery — which the default seq-ascending
+        // order never does. This is exactly why the explorer exists.
+        let opts = FlushOpts {
+            broken_stability_cut: true,
+            ..FlushOpts::default()
+        };
+        let run = run_flush_scenario(opts, FlushMode::Normal);
+        assert!(run.monitor_reports.is_empty(), "{:?}", run.monitor_reports);
+    }
+
+    #[test]
+    fn flush_scenario_records_and_replays_bit_identically() {
+        let rec = run_flush_scenario(FlushOpts::default(), FlushMode::Record);
+        let log = rec.log.expect("recording was on");
+        let rep = run_flush_scenario(FlushOpts::default(), FlushMode::Replay(log));
+        rep.replay.expect("replay matches");
+        assert_eq!(rec.journal_digest, rep.journal_digest);
+        assert_eq!(rec.state_digest, rep.state_digest);
     }
 
     #[test]

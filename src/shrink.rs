@@ -20,6 +20,66 @@ use vs_net::{FaultOp, FaultScript, SimTime};
 /// need (they finish in well under a hundred probes).
 pub const MAX_PROBES: usize = 400;
 
+/// Outcome of a successful [`ddmin`] pass.
+#[derive(Debug)]
+pub struct DdminResult<T, W> {
+    /// The surviving items, in their original relative order.
+    pub items: Vec<T>,
+    /// What the oracle returned for the final candidate.
+    pub witness: W,
+    /// Oracle probes spent, including the initial confirmation probe.
+    pub probes: usize,
+}
+
+/// Generic delta-debugging core: removes chunks of `initial` — largest
+/// first, then ever finer, each granularity to a fixpoint — while the
+/// oracle keeps returning `Some`. Returns `None` if the *initial*
+/// sequence does not trip the oracle. The result is 1-minimal with
+/// respect to removal (within the probe budget): dropping any single
+/// surviving item makes the oracle return `None`.
+///
+/// This is the engine behind [`shrink_script`]'s phase 1 and the choice-
+/// plan shrinking in [`crate::explore`]; anything order-dependent that
+/// can be probed cheaply fits.
+pub fn ddmin<T: Clone, W>(
+    initial: &[T],
+    max_probes: usize,
+    mut oracle: impl FnMut(&[T]) -> Option<W>,
+) -> Option<DdminResult<T, W>> {
+    let mut items = initial.to_vec();
+    let mut probes = 1usize;
+    let mut witness = oracle(&items)?;
+
+    let mut chunk = items.len().max(1);
+    while !items.is_empty() && probes < max_probes {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < items.len() && probes < max_probes {
+            let end = (i + chunk).min(items.len());
+            let mut candidate = items.clone();
+            candidate.drain(i..end);
+            probes += 1;
+            if let Some(w) = oracle(&candidate) {
+                witness = w;
+                items = candidate;
+                removed_any = true;
+                // Stay at `i`: the next chunk slid into this position.
+            } else {
+                i = end;
+            }
+        }
+        if removed_any {
+            continue; // same granularity again until it stops helping
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+
+    Some(DdminResult { items, witness, probes })
+}
+
 /// Outcome of a successful shrink.
 #[derive(Debug)]
 pub struct ShrinkResult<T> {
@@ -62,41 +122,17 @@ pub fn shrink_script<T>(
     initial: &FaultScript,
     mut oracle: impl FnMut(&FaultScript) -> Option<T>,
 ) -> Option<ShrinkResult<T>> {
-    let mut ops: Vec<(SimTime, FaultOp)> = initial
+    let ops: Vec<(SimTime, FaultOp)> = initial
         .iter()
         .map(|(at, op)| (at, op.clone()))
         .collect();
-    let mut probes = 1usize;
-    let mut witness = oracle(&build(&ops))?;
     let initial_len = ops.len();
 
-    // Phase 1: chunk removal to a fixpoint.
-    let mut chunk = ops.len().max(1);
-    while !ops.is_empty() && probes < MAX_PROBES {
-        let mut removed_any = false;
-        let mut i = 0;
-        while i < ops.len() && probes < MAX_PROBES {
-            let end = (i + chunk).min(ops.len());
-            let mut candidate = ops.clone();
-            candidate.drain(i..end);
-            probes += 1;
-            if let Some(w) = oracle(&build(&candidate)) {
-                witness = w;
-                ops = candidate;
-                removed_any = true;
-                // Stay at `i`: the next chunk slid into this position.
-            } else {
-                i = end;
-            }
-        }
-        if removed_any {
-            continue; // same granularity again until it stops helping
-        }
-        if chunk == 1 {
-            break;
-        }
-        chunk = (chunk / 2).max(1);
-    }
+    // Phase 1: chunk removal to a fixpoint (the generic ddmin core).
+    let phase1 = ddmin(&ops, MAX_PROBES, |cand| oracle(&build(cand)))?;
+    let mut ops = phase1.items;
+    let mut witness = phase1.witness;
+    let mut probes = phase1.probes;
 
     // Phase 2: halve each surviving operation's time while the failure
     // persists.

@@ -8,8 +8,9 @@
 //! fast, naming the first decision that diverged — that error is the
 //! debugging entry point `vstool replay` surfaces.
 
+use view_synchrony::explore::{explore_flush, is_violating, run_flush_plan, ExploreOpts};
 use view_synchrony::net::{Decision, ReplayError, ScheduleLog};
-use view_synchrony::scenario::{run_gcs_sweep, RunMode};
+use view_synchrony::scenario::{run_flush_scenario, run_gcs_sweep, FlushMode, FlushOpts, RunMode};
 
 const SEEDS: u64 = 20;
 
@@ -87,6 +88,42 @@ fn replaying_under_the_wrong_seed_diverges_instead_of_lying() {
     // must be caught, not silently accepted.
     let run = run_gcs_sweep(8, RunMode::Replay(log));
     assert!(run.replay.is_err(), "cross-seed replay must fail validation");
+}
+
+/// Explorer-produced schedules are first-class recorded schedules: pick
+/// the violating schedule out of an exploration, re-execute its choice
+/// plan under recording, serialize the log to `.vsl` bytes, parse them
+/// back, and replay through the *plain* replay path — no oracle
+/// installed; the sequential flag alone selects guided stepping. The
+/// replay must validate and reproduce the guided run bit-identically.
+#[test]
+fn explored_schedule_round_trips_through_vsl_into_plain_replay() {
+    let opts = ExploreOpts {
+        flush: FlushOpts {
+            broken_stability_cut: true,
+            ..FlushOpts::default()
+        },
+        ..ExploreOpts::default()
+    };
+    let result = explore_flush(&opts);
+    let v = result.violation.expect("the seeded mutation is found");
+
+    // Re-execute the explorer's chosen schedule; the run records itself.
+    let guided = run_flush_plan(&opts, &v.minimized_plan);
+    assert!(is_violating(&guided), "the plan reproduces the violation");
+    let log = guided.log.as_ref().expect("guided runs record");
+    assert!(log.sequential(), "oracle-driven runs record sequential logs");
+
+    let parsed = ScheduleLog::from_bytes(&log.to_bytes()).expect("codec round trip");
+    let replayed = run_flush_scenario(opts.flush, FlushMode::Replay(parsed));
+    replayed
+        .replay
+        .as_ref()
+        .unwrap_or_else(|e| panic!("replay diverged: {e}"));
+    assert_eq!(guided.journal_digest, replayed.journal_digest);
+    assert_eq!(guided.metrics_digest, replayed.metrics_digest);
+    assert_eq!(guided.state_digest, replayed.state_digest);
+    assert!(is_violating(&replayed), "the replay reproduces the violation too");
 }
 
 #[test]
