@@ -194,6 +194,7 @@ fn enriched_matches(truth: Truth, problem: &ProblemClass) -> bool {
 }
 
 fn main() {
+    vs_bench::init_observability();
     println!("E4 — local classification of shared-state problems");
     let mut rng = DetRng::seed_from(0xC1A55);
     let per_class = 500;
@@ -266,6 +267,7 @@ fn main() {
 
     // Scenario A: group bootstrap => creation-from-scratch at every member.
     let (mut sim, _pids) = file_group(77, 5, ObjectConfig { universe: 5, ..ObjectConfig::default() });
+    vs_bench::observe_run("exp_classification", "bootstrap", &mut sim);
     let scratch = sim
         .outputs()
         .iter()
@@ -285,6 +287,7 @@ fn main() {
     // Scenario B: heal after a minority partition => transfer at the
     // rejoining member.
     let (mut sim, pids) = file_group(78, 5, ObjectConfig { universe: 5, ..ObjectConfig::default() });
+    vs_bench::observe_run("exp_classification", "heal", &mut sim);
     sim.partition(&[pids[..4].to_vec(), vec![pids[4]]]);
     sim.run_for(SimDuration::from_secs(1));
     sim.drain_outputs();

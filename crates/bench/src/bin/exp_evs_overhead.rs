@@ -44,6 +44,7 @@ where
         pids.push(spawn(&mut sim));
     }
     wire(&mut sim, &pids);
+    vs_bench::observe_run("exp_evs_overhead", label, &mut sim);
     sim.run_for(SimDuration::from_millis(700));
     assert_eq!(view_len(&sim, pids[0]), n, "group formed");
     // Steady-state multicast load.
@@ -80,6 +81,7 @@ where
 }
 
 fn main() {
+    vs_bench::init_observability();
     println!("E8b — system-level overhead of enrichment (same workload, both stacks)");
     let mut table = Table::new(&[
         "n",

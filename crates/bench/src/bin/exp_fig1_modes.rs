@@ -22,6 +22,7 @@ use vs_net::{DetRng, SimDuration};
 use vs_obs::MetricsRegistry;
 
 fn main() {
+    vs_bench::init_observability();
     let seeds: Vec<u64> = (0..30).collect();
     let n = 5;
     let mut counts: BTreeMap<(Mode, ModeTransition, Mode), u64> = BTreeMap::new();
@@ -50,6 +51,7 @@ fn main() {
             universe: n,
             ..ObjectConfig::default()
         });
+        vs_bench::observe_run("exp_fig1_modes", &format!("s{seed}"), &mut sim);
         let mut rng = DetRng::seed_from(seed ^ 0xF16);
         let script = random_script(&mut rng, &pids, plan, 3);
         sim.load_script(script);
@@ -88,6 +90,7 @@ fn main() {
             universe,
             ..ObjectConfig::default()
         });
+        vs_bench::observe_run("exp_fig1_modes", "total_failure", &mut sim);
         sim.set_recovery_factory(move |pid, _site| {
             ReplicatedFile::new(
                 pid,

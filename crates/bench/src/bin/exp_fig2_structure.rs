@@ -23,6 +23,7 @@ use vs_net::{DetRng, SimDuration};
 use vs_obs::MetricsRegistry;
 
 fn main() {
+    vs_bench::init_observability();
     println!("E2 — Figure 2 structure & Properties 6.1-6.3");
     let mut table = Table::new(&[
         "n", "seeds", "e-views", "e-view changes", "deliveries", "violations",
@@ -39,6 +40,7 @@ fn main() {
 
         for &seed in &seeds {
             let (mut sim, pids) = evs_group(seed * 100 + n as u64, n);
+            vs_bench::observe_run("exp_fig2_structure", &format!("n{n}_s{seed}"), &mut sim);
             let mut rng = DetRng::seed_from(seed ^ 0xF162);
             let plan = FaultPlan {
                 horizon: SimDuration::from_secs(6),

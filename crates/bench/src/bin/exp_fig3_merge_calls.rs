@@ -15,8 +15,10 @@ use vs_evs::{EvsEvent, SubviewId, SvSetId};
 use vs_net::{SimDuration, SimTime};
 
 fn main() {
+    vs_bench::init_observability();
     println!("E3 — Figure 3 e-view change sequence");
     let (mut sim, pids) = evs_group(42, 3);
+    vs_bench::observe_run("exp_fig3_merge_calls", "", &mut sim);
 
     // Stage 0: the view after three joins — three sv-sets, three subviews.
     {

@@ -19,6 +19,7 @@ use vs_evs::EvsConfig;
 use vs_net::{DetRng, ProcessId, Sim, SimDuration};
 
 fn main() {
+    vs_bench::init_observability();
     println!("E9 — parallel-query re-division under view changes");
     let keys = 2_000usize;
     let dataset: Vec<u64> = (0..keys as u64).map(|k| (k * 7 + 3) % 23).collect();
@@ -41,6 +42,7 @@ fn main() {
             o.set_obs(obs.clone());
         });
     }
+    vs_bench::observe_run("exp_parallel_db", "", &mut sim);
     sim.run_for(SimDuration::from_secs(1));
 
     // Fault schedule: partitions and heals (crashes would shrink the

@@ -22,6 +22,7 @@ use vs_evs::Mode;
 use vs_net::{DetRng, ProcessId, SimDuration, SimTime};
 
 fn main() {
+    vs_bench::init_observability();
     println!("E7 — quorum file availability under a random fault trace");
     let universe = 5;
     let horizon = SimDuration::from_secs(30);
@@ -29,6 +30,7 @@ fn main() {
         universe,
         ..ObjectConfig::default()
     });
+    vs_bench::observe_run("exp_quorum_availability", "", &mut sim);
     let mut rng = DetRng::seed_from(0xE7);
     let plan = FaultPlan {
         horizon,

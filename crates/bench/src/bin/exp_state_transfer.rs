@@ -44,6 +44,7 @@ fn run(state_size: usize, mode: TransferMode, seed: u64, agg: &mut MetricsRegist
         transfer: mode,
         ..ObjectConfig::default()
     });
+    vs_bench::observe_run("exp_state_transfer", &format!("s{seed}"), &mut sim);
     // Give the file `state_size` bytes of content, then cut p2 off.
     let payload = vec![0xAB; state_size];
     sim.invoke(pids[0], |o, ctx| {
@@ -111,6 +112,7 @@ fn run(state_size: usize, mode: TransferMode, seed: u64, agg: &mut MetricsRegist
 }
 
 fn main() {
+    vs_bench::init_observability();
     println!("E6 — blocking vs split state transfer (§5)");
     let mut agg = MetricsRegistry::new();
     let mut table = Table::new(&[

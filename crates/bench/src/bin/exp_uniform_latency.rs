@@ -31,6 +31,8 @@ fn run(n: usize, uniform: bool, seed: u64, agg: &mut MetricsRegistry) -> Vec<f64
             e.set_obs(obs.clone());
         });
     }
+    let mode = if uniform { "uniform" } else { "regular" };
+    vs_bench::observe_run("exp_uniform_latency", &format!("{mode}_n{n}"), &mut sim);
     sim.run_for(SimDuration::from_millis(700));
     sim.drain_outputs();
 
@@ -84,6 +86,7 @@ fn pctile(sorted: &[f64], q: f64) -> f64 {
 }
 
 fn main() {
+    vs_bench::init_observability();
     println!("E10 — delivery latency: regular vs uniform multicast");
     let mut table = Table::new(&[
         "n",

@@ -36,6 +36,7 @@ fn run_evs(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64) {
             e.set_obs(obs.clone());
         });
     }
+    vs_bench::observe_run("exp_view_growth", &format!("evs_m{m}"), &mut sim);
     // Pre-partition into the two sides and let each form its view.
     let (left, right) = pids.split_at(m + 1);
     sim.partition(&[left.to_vec(), right.to_vec()]);
@@ -88,6 +89,7 @@ fn run_primary(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64, u64
             e.set_obs(obs.clone());
         });
     }
+    vs_bench::observe_run("exp_view_growth", &format!("primary_m{m}"), &mut sim);
     // Let the full group assemble first (the founder admits everyone), then
     // partition and heal — the §5 merge scenario.
     sim.run_for(SimDuration::from_secs(3 + m as u64));
@@ -133,6 +135,7 @@ fn run_primary(m: usize, seed: u64, agg: &mut MetricsRegistry) -> (f64, f64, u64
 }
 
 fn main() {
+    vs_bench::init_observability();
     println!("E5 — view-change cost of merging two partitions of m members");
     let mut table = Table::new(&[
         "m",

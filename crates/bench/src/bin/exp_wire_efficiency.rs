@@ -41,6 +41,7 @@ fn workload(label: &str, n: usize, load: u64, wire: WireConfig) -> Run {
             e.set_obs(obs.clone());
         });
     }
+    vs_bench::observe_run("exp_wire_efficiency", &format!("{label}_n{n}_l{load}"), &mut sim);
     sim.run_for(SimDuration::from_millis(700));
     assert_eq!(
         sim.actor(pids[0]).map(|e| e.view().len()).unwrap_or(0),
@@ -72,6 +73,7 @@ fn workload(label: &str, n: usize, load: u64, wire: WireConfig) -> Run {
 }
 
 fn main() {
+    vs_bench::init_observability();
     println!("W1 — wire efficiency: legacy vs optimized data plane (same workload)");
     let mut table = Table::new(&[
         "n",

@@ -113,6 +113,10 @@ pub fn print_metrics(experiment: &str, obs: &Obs) {
 /// experiments absorb many simulator runs into one snapshot first).
 pub fn print_metrics_snapshot(experiment: &str, metrics: &MetricsRegistry) {
     println!("\nMETRICS {}", metrics_json(experiment, metrics));
+    // With --introspect-linger the process stays probe-able for a final
+    // window after the result line, so live tooling can read the
+    // completed run (no-op otherwise).
+    crate::observe::maybe_linger();
 }
 
 /// Writes an experiment's metrics snapshot to `path` as pretty-ish JSON
@@ -137,6 +141,12 @@ pub fn assert_monitor_clean(experiment: &str, obs: &Obs) {
     let reports = obs.monitor_reports();
     if reports.is_empty() {
         return;
+    }
+    // Leave the black box behind before escalating: the dump carries the
+    // causal slice, metrics and views of the violated run. The guard it
+    // sets also stops the panic hook from dumping a second time.
+    if let Some(dir) = vs_obs::blackbox::dump_if_violated() {
+        eprintln!("blackbox: wrote {}", dir.display());
     }
     let mut out = String::new();
     for (i, r) in reports.iter().enumerate() {

@@ -64,7 +64,13 @@ pub struct Sim<A: Actor> {
     recorder: Recorder,
     oracle: Option<Box<dyn ScheduleOracle>>,
     recovery: Option<Box<dyn FnMut(ProcessId, SiteId) -> A>>,
+    poll_every: SimDuration,
+    poll_next: SimTime,
+    poll_hook: Option<PollHook>,
 }
+
+/// An observational poll hook (see [`Sim::set_poll_hook`]).
+type PollHook = Box<dyn FnMut(&Obs, SimTime)>;
 
 struct ProcEntry<A> {
     actor: A,
@@ -177,6 +183,45 @@ impl<A: Actor> Sim<A> {
             recorder,
             oracle: None,
             recovery: None,
+            poll_every: SimDuration::ZERO,
+            poll_next: SimTime::ZERO,
+            poll_hook: None,
+        }
+    }
+
+    /// Installs an **observational poll hook**: after any step that
+    /// advances virtual time to or past the next poll instant, `hook` runs
+    /// with the observability handle and the current virtual time (and
+    /// once immediately on installation). This is how a simulated run
+    /// feeds the live introspection plane — e.g. publishing a
+    /// `time.now_us` gauge so `vstool top` computes rates over *virtual*
+    /// time, exactly as the threaded transport publishes wall time.
+    ///
+    /// The hook must stay observational: it sees `&Obs`, never the event
+    /// queue or the RNG, so it cannot perturb the schedule. (Anything it
+    /// writes does become part of the metrics digest; record/replay
+    /// comparisons install the same hook on both sides or neither.)
+    pub fn set_poll_hook(
+        &mut self,
+        every: SimDuration,
+        hook: impl FnMut(&Obs, SimTime) + 'static,
+    ) {
+        let mut hook = Box::new(hook);
+        hook(&self.obs, self.now);
+        self.poll_every = every;
+        self.poll_next = self.now + every;
+        self.poll_hook = Some(hook);
+    }
+
+    /// Runs the poll hook if virtual time reached the next poll instant.
+    fn fire_poll_hook(&mut self) {
+        if self.poll_hook.is_some() && self.now >= self.poll_next {
+            // Take the hook out so it can borrow `self.obs` while we hold
+            // no other borrow of `self`.
+            let mut hook = self.poll_hook.take().expect("checked above");
+            hook(&self.obs, self.now);
+            self.poll_next = self.now + self.poll_every;
+            self.poll_hook = Some(hook);
         }
     }
 
@@ -486,7 +531,11 @@ impl<A: Actor> Sim<A> {
     /// instead.
     pub fn step(&mut self) -> Option<SimTime> {
         if self.oracle.is_some() || self.recorder.replaying_sequential() {
-            return self.step_controlled();
+            let stepped = self.step_controlled();
+            if stepped.is_some() {
+                self.fire_poll_hook();
+            }
+            return stepped;
         }
         let Reverse(entry) = self.queue.pop()?;
         debug_assert!(entry.at >= self.now, "time ran backwards");
@@ -525,6 +574,7 @@ impl<A: Actor> Sim<A> {
             Queued::Timer { pid, id, kind } => self.dispatch_timer(pid, id, kind),
             Queued::Fault(op) => self.apply_fault(op),
         }
+        self.fire_poll_hook();
         Some(self.now)
     }
 
@@ -600,6 +650,7 @@ impl<A: Actor> Sim<A> {
             self.step();
         }
         self.now = self.now.max(deadline);
+        self.fire_poll_hook();
     }
 
     /// Runs the simulation for `span` of virtual time.
@@ -930,6 +981,36 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8), "different seeds should change timing");
+    }
+
+    #[test]
+    fn poll_hook_fires_on_virtual_time_and_stays_observational() {
+        let run = |hook: bool| {
+            let (mut sim, a, _) = two_relays(3);
+            let fired = std::rc::Rc::new(std::cell::Cell::new(0u32));
+            if hook {
+                let fired = std::rc::Rc::clone(&fired);
+                sim.set_poll_hook(SimDuration::from_millis(1), move |obs, now| {
+                    obs.set_gauge("time.now_us", now.as_micros() as i64);
+                    fired.set(fired.get() + 1);
+                });
+            }
+            sim.post(a, a, 0);
+            sim.run_for(SimDuration::from_secs(5));
+            let outputs = sim
+                .outputs()
+                .iter()
+                .map(|(t, p, v)| (t.as_micros(), p.raw(), *v))
+                .collect::<Vec<_>>();
+            (outputs, fired.get(), sim.obs().metrics_snapshot())
+        };
+        let (with_hook, fired, metrics) = run(true);
+        let (without_hook, _, _) = run(false);
+        // Observational: the schedule is bit-identical with and without.
+        assert_eq!(with_hook, without_hook);
+        assert!(fired >= 2, "install fire + at least one timed fire");
+        // The hook's last publication is the final virtual time.
+        assert_eq!(metrics.gauge("time.now_us"), Some(5_000_000));
     }
 
     #[test]

@@ -135,10 +135,22 @@ where
                         if topo.read().expect("topology lock").reachable(from, to) {
                             if let Some(inbox) = inboxes.get(&to) {
                                 let delivered = inbox.send(ProcEvent::Msg { from, msg }).is_ok();
+                                let sent_us = at_us;
                                 let at_us = epoch.elapsed().as_micros() as u64;
                                 router_obs.with(|o| {
+                                    // Wall time feeds the same gauge the
+                                    // simulator's poll hook publishes from
+                                    // virtual time, so live rate math is
+                                    // backend-agnostic.
+                                    o.metrics.set_gauge("time.now_us", at_us as i64);
                                     if delivered {
                                         o.metrics.inc("net.delivered");
+                                        // Real queueing delay stands in for
+                                        // the simulator's sampled link delay.
+                                        o.metrics.observe(
+                                            "net.link_delay_us",
+                                            at_us.saturating_sub(sent_us),
+                                        );
                                         o.journal.merge_clock(to.raw(), &stamp);
                                         o.journal.record(
                                             to.raw(),
@@ -371,6 +383,7 @@ fn run_process<A>(
             }
             let at_us = epoch.elapsed().as_micros() as u64;
             obs.with(|o| {
+                o.metrics.set_gauge("time.now_us", at_us as i64);
                 o.metrics.inc("net.timers_fired");
                 o.journal
                     .record(pid.raw(), at_us, EventKind::TimerFire { kind: kind.0 });

@@ -1,0 +1,265 @@
+//! Black-box failure dumps: when a run dies, leave the flight recorder
+//! behind.
+//!
+//! An aircraft black box is useless if it only works when the flight
+//! lands. Likewise a panic — an assertion, a monitor violation escalated
+//! by `assert_monitor_clean`, a plain bug — must not take the journal,
+//! the metrics and the views table down with the process. This module
+//! installs a panic hook and a monitor-violation hook that write a
+//! self-contained dump directory (`artifacts/blackbox-<stamp>/` by
+//! default) containing:
+//!
+//! - `reason.txt` — why the dump was taken (panic payload or violation),
+//! - `metrics.json` — the full metrics snapshot,
+//! - `views.json` — the per-process current-view table,
+//! - `health.json` — monitor verdict + journal eviction accounting,
+//! - `slice.txt` — the causal slice around the failure (the violation
+//!   reports' slices when the monitor flagged something, the trailing
+//!   per-process causal slices otherwise),
+//! - `journal.json` / `spans.json` — the raw retained rings,
+//! - `vsl.txt` — the path of the `.vsl` schedule recording, when the run
+//!   was recording (replayable with `vstool replay`).
+//!
+//! Usage: call [`install`] once per process, [`attach`] once per run
+//! (re-attaching clears the once-per-run dump guard), and let
+//! [`dump_if_violated`] / the panic hook do the rest. Everything in here
+//! is best-effort by design: a failing dump never masks the original
+//! failure.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::introspect::{health_json, views_json};
+use crate::Obs;
+
+/// The window of trailing events included per process when no monitor
+/// report pinned a slice of its own.
+const SLICE_WINDOW: usize = 32;
+
+/// What the hooks know about the current run.
+#[derive(Default)]
+struct BlackboxState {
+    obs: Option<Obs>,
+    label: String,
+    vsl: Option<PathBuf>,
+    artifacts_dir: Option<PathBuf>,
+    dumped: Option<PathBuf>,
+}
+
+fn state() -> &'static Mutex<BlackboxState> {
+    static STATE: OnceLock<Mutex<BlackboxState>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(BlackboxState::default()))
+}
+
+/// Installs the panic hook (idempotent, chains the previous hook so the
+/// normal panic message still prints). Call once near the top of `main`.
+pub fn install() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let reason = format!("panic: {info}");
+            if let Some(dir) = dump_now(&reason) {
+                eprintln!("blackbox: wrote {}", dir.display());
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Points the hooks at the current run's observability handle. Clears the
+/// once-per-run dump guard, so each attached run may produce one dump.
+pub fn attach(obs: &Obs, label: &str) {
+    let mut s = state().lock().expect("blackbox lock poisoned");
+    s.obs = Some(obs.clone());
+    s.label = label.to_string();
+    s.vsl = None;
+    s.dumped = None;
+}
+
+/// Records the path of the `.vsl` schedule recording for the current run,
+/// so the dump can point operators at the replayable artifact.
+pub fn set_vsl_hint(path: &Path) {
+    let mut s = state().lock().expect("blackbox lock poisoned");
+    s.vsl = Some(path.to_path_buf());
+}
+
+/// Overrides the directory dumps are written under (default
+/// `artifacts/`). Tests point this at scratch space.
+pub fn set_artifacts_dir(dir: &Path) {
+    let mut s = state().lock().expect("blackbox lock poisoned");
+    s.artifacts_dir = Some(dir.to_path_buf());
+}
+
+/// Where the most recent dump for the attached run went, if any.
+pub fn last_dump() -> Option<PathBuf> {
+    state().lock().expect("blackbox lock poisoned").dumped.clone()
+}
+
+/// Takes a dump if the attached run's monitor has flagged a violation.
+/// Call right before escalating a violation into a panic; the panic hook
+/// then sees the guard set and does not dump twice.
+pub fn dump_if_violated() -> Option<PathBuf> {
+    let violated = {
+        let s = state().lock().expect("blackbox lock poisoned");
+        match &s.obs {
+            Some(obs) => !obs.monitor_clean(),
+            None => false,
+        }
+    };
+    if violated {
+        dump_now("monitor violation (see slice.txt)")
+    } else {
+        None
+    }
+}
+
+/// Takes a dump unconditionally (once per attached run). Returns the dump
+/// directory, or `None` when nothing is attached, the run already dumped,
+/// or the filesystem refused. Never panics — this runs inside the panic
+/// hook.
+pub fn dump_now(reason: &str) -> Option<PathBuf> {
+    // Snapshot everything under the state lock, write outside it.
+    let (obs, label, vsl, root) = {
+        let mut s = match state().lock() {
+            Ok(s) => s,
+            Err(_) => return None,
+        };
+        if s.dumped.is_some() {
+            return None;
+        }
+        let obs = s.obs.clone()?;
+        // Hold the guard immediately: a panic *inside* the dump must not
+        // recurse into another dump.
+        let dir = dump_dir(s.artifacts_dir.as_deref());
+        s.dumped = Some(dir.clone());
+        (obs, s.label.clone(), s.vsl.clone(), dir)
+    };
+    write_dump(&obs, &label, vsl.as_deref(), reason, &root).ok()?;
+    Some(root)
+}
+
+/// A fresh, process-unique dump directory path (not yet created).
+fn dump_dir(artifacts_dir: Option<&Path>) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let root = artifacts_dir
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("artifacts"));
+    root.join(format!("blackbox-{secs}-{n}"))
+}
+
+/// Writes every dump file; any IO error aborts the remainder.
+fn write_dump(
+    obs: &Obs,
+    label: &str,
+    vsl: Option<&Path>,
+    reason: &str,
+    dir: &Path,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let (metrics, views, health, journal, spans, slice) = obs.with(|s| {
+        let reports = s.journal.monitor_reports();
+        let slice = if reports.is_empty() {
+            // No pinned violation slice: trailing causal slice per process.
+            let mut out = String::new();
+            for p in s.journal.processes().collect::<Vec<_>>() {
+                out.push_str(&format!("process {p} trailing causal slice:\n"));
+                out.push_str(&s.journal.format_causal_slice(p, SLICE_WINDOW));
+                out.push('\n');
+            }
+            out
+        } else {
+            let mut out = String::new();
+            for r in reports {
+                out.push_str(&r.format());
+                out.push('\n');
+            }
+            out
+        };
+        (
+            s.metrics.to_json(),
+            views_json(&s.journal),
+            health_json(s),
+            s.journal.to_json(),
+            s.spans.to_json(),
+            slice,
+        )
+    });
+    std::fs::write(dir.join("reason.txt"), format!("run: {label}\nreason: {reason}\n"))?;
+    std::fs::write(dir.join("metrics.json"), metrics)?;
+    std::fs::write(dir.join("views.json"), views)?;
+    std::fs::write(dir.join("health.json"), health)?;
+    std::fs::write(dir.join("journal.json"), journal)?;
+    std::fs::write(dir.join("spans.json"), spans)?;
+    std::fs::write(dir.join("slice.txt"), slice)?;
+    if let Some(vsl) = vsl {
+        std::fs::write(dir.join("vsl.txt"), format!("{}\n", vsl.display()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    // The hooks are process-global, so keep every scenario in ONE test to
+    // avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn dump_lifecycle_guard_and_contents() {
+        let scratch = std::env::temp_dir().join(format!(
+            "vs-blackbox-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&scratch);
+        set_artifacts_dir(&scratch);
+
+        // Nothing attached: no dump.
+        assert_eq!(dump_now("too early"), None);
+        assert_eq!(dump_if_violated(), None);
+
+        // Clean run: dump_if_violated declines, explicit dump works once.
+        let obs = Obs::new();
+        obs.enable_monitor();
+        obs.inc("net.sent");
+        obs.record(0, 10, EventKind::GroupView { epoch: 1, coord: 0, members: 2 });
+        attach(&obs, "clean-run");
+        assert_eq!(dump_if_violated(), None);
+        let dir = dump_now("operator asked").expect("dump");
+        assert_eq!(dump_now("again"), None, "one dump per attached run");
+        assert_eq!(last_dump().as_deref(), Some(dir.as_path()));
+        for f in ["reason.txt", "metrics.json", "views.json", "health.json", "journal.json", "spans.json", "slice.txt"] {
+            assert!(dir.join(f).is_file(), "{f} missing");
+        }
+        let slice = std::fs::read_to_string(dir.join("slice.txt")).unwrap();
+        assert!(slice.contains("trailing causal slice"));
+        assert!(!dir.join("vsl.txt").exists());
+
+        // Violated run: re-attach clears the guard, violation slice wins,
+        // vsl hint lands in the dump.
+        let obs = Obs::new();
+        obs.enable_monitor();
+        obs.record(1, 0, EventKind::GroupView { epoch: 2, coord: 1, members: 2 });
+        obs.record(1, 1, EventKind::GroupView { epoch: 2, coord: 1, members: 2 });
+        attach(&obs, "violated-run");
+        set_vsl_hint(Path::new("artifacts/run.vsl"));
+        let dir = dump_if_violated().expect("violation dumps");
+        let reason = std::fs::read_to_string(dir.join("reason.txt")).unwrap();
+        assert!(reason.contains("violated-run"));
+        assert!(reason.contains("monitor violation"));
+        let slice = std::fs::read_to_string(dir.join("slice.txt")).unwrap();
+        assert!(slice.contains("monitor:"), "violation slice rendered: {slice}");
+        let health = std::fs::read_to_string(dir.join("health.json")).unwrap();
+        assert!(health.contains("\"monitor_clean\":false"));
+        let vsl = std::fs::read_to_string(dir.join("vsl.txt")).unwrap();
+        assert!(vsl.contains("run.vsl"));
+
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+}

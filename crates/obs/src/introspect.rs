@@ -1,0 +1,493 @@
+//! Live introspection plane: ask a *running* process what it knows.
+//!
+//! Everything else in this crate is post-hoc — metrics print when the run
+//! ends, the journal is inspected after a violation. This module serves
+//! the same snapshots while the system runs, over a line-oriented
+//! request/response protocol on a local TCP socket. It is std-only and
+//! backend-agnostic: the server reads a shared [`Obs`] handle, so the
+//! deterministic simulator (via its virtual-time poll hook) and the
+//! threaded transport answer identically.
+//!
+//! # Protocol
+//!
+//! One request per line; the reply is zero or more payload lines followed
+//! by a line containing a single `.` (the terminator). Errors reply
+//! `ERR <message>` followed by the terminator. Connections are persistent:
+//! any number of requests may be issued before closing.
+//!
+//! | request          | payload                                            |
+//! |------------------|----------------------------------------------------|
+//! | `ping`           | `PONG`                                             |
+//! | `metrics`        | one line: the metrics registry as JSON             |
+//! | `metrics prom`   | Prometheus-style text exposition (multi-line)      |
+//! | `trace tail <n>` | last `n` journal events, one JSON object per line, |
+//! |                  | global `seq` order, vector clocks included         |
+//! | `spans`          | one line: the span log as a JSON array             |
+//! | `views`          | one line: JSON array of per-process current views  |
+//! | `health`         | one line: monitor verdict + journal eviction stats |
+//!
+//! [`respond`] is a pure function over [`ObsState`] — the tests and the
+//! simulator path call it directly, the TCP server merely frames it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::json::{Arr, Obj};
+use crate::{EventKind, Journal, MetricsRegistry, Obs, ObsState};
+
+/// The reply terminator line.
+pub const TERMINATOR: &str = ".";
+
+/// One process's current view as derived from its journal ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewRow {
+    /// Raw process identifier.
+    pub process: u64,
+    /// Epoch of the newest view event retained for the process.
+    pub epoch: u64,
+    /// Coordinator component of the view id, when known (the GCS
+    /// `GroupView` event carries it; bare `ViewInstall` does not).
+    pub coord: Option<u64>,
+    /// Number of members in the view.
+    pub members: u32,
+    /// Virtual time of the view event, in microseconds.
+    pub at_us: u64,
+}
+
+impl ViewRow {
+    /// Renders the row as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = Obj::new()
+            .u64("process", self.process)
+            .u64("epoch", self.epoch);
+        obj = match self.coord {
+            Some(c) => obj.u64("coord", c),
+            None => obj.raw("coord", "null"),
+        };
+        obj.u64("members", self.members as u64).u64("at_us", self.at_us).finish()
+    }
+}
+
+/// The per-process current-view table: for each process with retained
+/// events, the newest `GroupView` (delivery bookkeeping made the view
+/// current) or, failing that, the newest `ViewInstall` (membership
+/// agreement). Processes whose rings retain neither are omitted.
+pub fn views_table(journal: &Journal) -> Vec<ViewRow> {
+    let mut rows = Vec::new();
+    for p in journal.processes() {
+        let mut fallback = None;
+        let mut row = None;
+        for ev in journal.events_for(p) {
+            match ev.kind {
+                EventKind::GroupView { epoch, coord, members } => {
+                    row = Some(ViewRow {
+                        process: p,
+                        epoch,
+                        coord: Some(coord),
+                        members,
+                        at_us: ev.at_us,
+                    });
+                }
+                EventKind::ViewInstall { epoch, members } => {
+                    fallback = Some(ViewRow {
+                        process: p,
+                        epoch,
+                        coord: None,
+                        members,
+                        at_us: ev.at_us,
+                    });
+                }
+                _ => {}
+            }
+        }
+        if let Some(r) = row.or(fallback) {
+            rows.push(r);
+        }
+    }
+    rows
+}
+
+/// Renders [`views_table`] as one JSON array.
+pub fn views_json(journal: &Journal) -> String {
+    let mut arr = Arr::new();
+    for row in views_table(journal) {
+        arr = arr.raw(&row.to_json());
+    }
+    arr.finish()
+}
+
+/// The health verdict: monitor status plus journal/span eviction
+/// accounting, as one JSON object.
+pub fn health_json(state: &ObsState) -> String {
+    let reports = state.journal.monitor_reports();
+    let mut obj = Obj::new()
+        .raw(
+            "monitor_enabled",
+            if state.journal.monitor_enabled() { "true" } else { "false" },
+        )
+        .raw("monitor_clean", if reports.is_empty() { "true" } else { "false" })
+        .u64("violations", reports.len() as u64);
+    obj = match reports.last() {
+        Some(r) => obj.str("last_violation", &r.violation.to_string()),
+        None => obj.raw("last_violation", "null"),
+    };
+    obj.u64("journal_recorded", state.journal.recorded())
+        .u64("journal_evicted", state.journal.evicted())
+        .u64("journal_capacity", state.journal.capacity() as u64)
+        .u64("spans_retained", state.spans.len() as u64)
+        .u64("spans_evicted", state.spans.evicted())
+        .u64("processes", state.journal.processes().count() as u64)
+        .finish()
+}
+
+/// Escapes a metric name into the Prometheus exposition charset
+/// (`[a-zA-Z0-9_]`, dots become underscores).
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders the registry as Prometheus-style text exposition: counters and
+/// gauges as single samples, histograms as cumulative `_bucket{le=...}`
+/// series plus `_sum` and `_count`.
+pub fn prometheus_text(metrics: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, v) in metrics.counters() {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in metrics.gauges() {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in metrics.histograms() {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &c) in h.bucket_counts().iter().enumerate() {
+            cumulative += c;
+            match h.bounds().get(i) {
+                Some(&b) => out.push_str(&format!("{n}_bucket{{le=\"{b}\"}} {cumulative}\n")),
+                None => out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cumulative}\n")),
+            }
+        }
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum(), h.count()));
+    }
+    out
+}
+
+/// Answers one introspection request over a snapshot of the state.
+///
+/// Returns the payload *without* the terminator line; multi-line payloads
+/// use `\n` separators and no trailing newline. The empty string means an
+/// empty payload (the server still sends the terminator).
+pub fn respond(state: &ObsState, request: &str) -> String {
+    let words: Vec<&str> = request.split_whitespace().collect();
+    match words.as_slice() {
+        ["ping"] => "PONG".to_string(),
+        ["metrics"] | ["metrics", "json"] => state.metrics.to_json(),
+        ["metrics", "prom"] => {
+            let text = prometheus_text(&state.metrics);
+            text.trim_end_matches('\n').to_string()
+        }
+        ["trace", "tail", n] => match n.parse::<usize>() {
+            Ok(n) => {
+                let mut all = state.journal.all();
+                let skip = all.len().saturating_sub(n);
+                all.drain(..skip);
+                all.iter().map(|e| e.to_json()).collect::<Vec<_>>().join("\n")
+            }
+            Err(_) => format!("ERR trace tail wants a count, got {n:?}"),
+        },
+        ["spans"] => state.spans.to_json(),
+        ["views"] => views_json(&state.journal),
+        ["health"] => health_json(state),
+        [] => String::new(),
+        _ => format!("ERR unknown request {request:?} (try: ping | metrics [prom] | trace tail <n> | spans | views | health)"),
+    }
+}
+
+/// Shared between the accept loop, connection handlers and the owner.
+struct ServerShared {
+    obs: Mutex<Obs>,
+    stop: AtomicBool,
+}
+
+/// A background introspection server bound to a local TCP address.
+///
+/// The server holds an [`Obs`] handle and answers the protocol above on
+/// every accepted connection; [`IntrospectServer::attach`] repoints it at
+/// a different handle (experiment binaries create a fresh `Obs` per run
+/// while keeping one server alive for the whole process).
+pub struct IntrospectServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for IntrospectServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntrospectServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl IntrospectServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an OS-assigned port) and
+    /// starts answering requests against `obs` on a background thread.
+    pub fn spawn(obs: Obs, addr: &str) -> std::io::Result<IntrospectServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            obs: Mutex::new(obs),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("vs-introspect".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let conn = match conn {
+                        Ok(c) => c,
+                        Err(_) => continue,
+                    };
+                    let handler_shared = Arc::clone(&accept_shared);
+                    let _ = std::thread::Builder::new()
+                        .name("vs-introspect-conn".into())
+                        .spawn(move || serve_connection(conn, &handler_shared));
+                }
+            })?;
+        Ok(IntrospectServer {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Repoints the server at a different observability handle; subsequent
+    /// requests answer over `obs`.
+    pub fn attach(&self, obs: Obs) {
+        *self.shared.obs.lock().expect("introspect obs lock poisoned") = obs;
+    }
+
+    /// Stops the accept loop and joins it. Open connections drain on their
+    /// own when clients disconnect.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.shared.stop.store(true, Ordering::SeqCst);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for IntrospectServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one connection: read request lines, write framed replies.
+fn serve_connection(conn: TcpStream, shared: &ServerShared) {
+    let mut writer = match conn.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(conn);
+    for line in reader.lines() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => return,
+        };
+        // Snapshot under the obs lock, render outside any server lock.
+        let obs = shared.obs.lock().expect("introspect obs lock poisoned").clone();
+        let payload = obs.with(|state| respond(state, &line));
+        let framed = if payload.is_empty() {
+            format!("{TERMINATOR}\n")
+        } else {
+            format!("{payload}\n{TERMINATOR}\n")
+        };
+        if writer.write_all(framed.as_bytes()).is_err() {
+            return;
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn populated() -> Obs {
+        let obs = Obs::new();
+        obs.enable_monitor();
+        obs.inc("net.sent");
+        obs.inc("net.sent");
+        obs.observe("span.view_change_us", 1_500);
+        obs.set_gauge("time.now_us", 42_000);
+        obs.record(0, 10, EventKind::MsgSend { from: 0, to: 1 });
+        obs.record(1, 20, EventKind::MsgDeliver { from: 0, to: 1 });
+        obs.record(0, 30, EventKind::GroupView { epoch: 3, coord: 0, members: 2 });
+        obs.record(1, 31, EventKind::ViewInstall { epoch: 3, members: 2 });
+        let id = obs.span_start(0, 5, "view_change", None, 3);
+        obs.span_end(id, 40);
+        obs
+    }
+
+    #[test]
+    fn respond_ping() {
+        let obs = populated();
+        assert_eq!(obs.with(|s| respond(s, "ping")), "PONG");
+    }
+
+    #[test]
+    fn respond_metrics_is_parseable_json_with_quantiles() {
+        let obs = populated();
+        let payload = obs.with(|s| respond(s, "metrics"));
+        let v = json::parse(&payload).expect("valid json");
+        assert!(v.get("counters").is_some());
+        assert!(payload.contains("\"p99\""));
+    }
+
+    #[test]
+    fn respond_metrics_prom_has_bucket_series() {
+        let obs = populated();
+        let payload = obs.with(|s| respond(s, "metrics prom"));
+        assert!(payload.contains("# TYPE net_sent counter"));
+        assert!(payload.contains("net_sent 2"));
+        assert!(payload.contains("span_view_change_us_bucket{le=\"+Inf\"}"));
+        assert!(payload.contains("span_view_change_us_count 2"));
+        assert!(payload.contains("# TYPE time_now_us gauge"));
+    }
+
+    #[test]
+    fn respond_trace_tail_is_seq_ordered_jsonl_with_clocks() {
+        let obs = populated();
+        let payload = obs.with(|s| respond(s, "trace tail 3"));
+        let lines: Vec<&str> = payload.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mut prev = None;
+        for line in &lines {
+            let v = json::parse(line).expect("valid json");
+            let seq = v.get("seq").and_then(json::Value::as_f64).unwrap() as u64;
+            if let Some(p) = prev {
+                assert!(seq > p, "tail must be seq-monotone");
+            }
+            prev = Some(seq);
+            assert!(v.get("clock").is_some(), "events carry vector clocks");
+        }
+    }
+
+    #[test]
+    fn respond_views_prefers_group_view_and_falls_back_to_install() {
+        let obs = populated();
+        let payload = obs.with(|s| respond(s, "views"));
+        let v = json::parse(&payload).expect("valid json");
+        let rows = v.as_arr().expect("array");
+        assert_eq!(rows.len(), 2);
+        // p0 has a GroupView (coord known); p1 only a ViewInstall.
+        assert_eq!(rows[0].get("coord").and_then(json::Value::as_f64), Some(0.0));
+        assert!(rows[1].get("coord").unwrap().is_null());
+        for row in rows {
+            assert_eq!(row.get("epoch").and_then(json::Value::as_f64), Some(3.0));
+            assert_eq!(row.get("members").and_then(json::Value::as_f64), Some(2.0));
+        }
+    }
+
+    #[test]
+    fn respond_health_reports_monitor_and_evictions() {
+        let obs = populated();
+        let payload = obs.with(|s| respond(s, "health"));
+        let v = json::parse(&payload).expect("valid json");
+        assert_eq!(v.get("monitor_enabled").and_then(json::Value::as_bool), Some(true));
+        assert_eq!(v.get("monitor_clean").and_then(json::Value::as_bool), Some(true));
+        assert_eq!(v.get("violations").and_then(json::Value::as_f64), Some(0.0));
+        assert!(v.get("last_violation").unwrap().is_null());
+        assert_eq!(v.get("journal_recorded").and_then(json::Value::as_f64), Some(4.0));
+        assert_eq!(v.get("processes").and_then(json::Value::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn respond_health_flags_violations() {
+        let obs = Obs::new();
+        obs.enable_monitor();
+        obs.record(1, 0, EventKind::GroupView { epoch: 2, coord: 1, members: 2 });
+        obs.record(1, 1, EventKind::GroupView { epoch: 2, coord: 1, members: 2 });
+        let payload = obs.with(|s| respond(s, "health"));
+        let v = json::parse(&payload).expect("valid json");
+        assert_eq!(v.get("monitor_clean").and_then(json::Value::as_bool), Some(false));
+        assert_eq!(v.get("violations").and_then(json::Value::as_f64), Some(1.0));
+        assert!(v.get("last_violation").and_then(json::Value::as_str).is_some());
+    }
+
+    #[test]
+    fn respond_rejects_unknown_requests() {
+        let obs = Obs::new();
+        assert!(obs.with(|s| respond(s, "frobnicate")).starts_with("ERR "));
+        assert!(obs.with(|s| respond(s, "trace tail many")).starts_with("ERR "));
+        assert_eq!(obs.with(|s| respond(s, "   ")), "");
+    }
+
+    #[test]
+    fn server_answers_over_tcp_and_attach_repoints() {
+        let obs = populated();
+        let mut server = IntrospectServer::spawn(obs, "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let conn = TcpStream::connect(addr).expect("connect");
+        let mut writer = conn.try_clone().expect("clone");
+        let mut reader = BufReader::new(conn);
+        let mut ask = |req: &str| -> Vec<String> {
+            writer.write_all(format!("{req}\n").as_bytes()).unwrap();
+            writer.flush().unwrap();
+            let mut lines = Vec::new();
+            loop {
+                let mut line = String::new();
+                assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+                let line = line.trim_end().to_string();
+                if line == TERMINATOR {
+                    return lines;
+                }
+                lines.push(line);
+            }
+        };
+
+        assert_eq!(ask("ping"), vec!["PONG"]);
+        assert_eq!(ask("trace tail 2").len(), 2);
+        let health = ask("health").join("");
+        assert!(health.contains("\"monitor_enabled\":true"));
+
+        // Repoint at a fresh, empty Obs: same connection, new answers.
+        server.attach(Obs::new());
+        let health = ask("health").join("");
+        assert!(health.contains("\"journal_recorded\":0"));
+
+        server.shutdown();
+        // Further connects are refused or dropped without an answer.
+        if let Ok(c) = TcpStream::connect(addr) {
+            let mut w = c.try_clone().unwrap();
+            let _ = w.write_all(b"ping\n");
+            let mut r = BufReader::new(c);
+            let mut line = String::new();
+            assert_eq!(r.read_line(&mut line).unwrap_or(0), 0);
+        }
+    }
+}

@@ -38,8 +38,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blackbox;
 pub mod clock;
 pub mod global;
+pub mod introspect;
 pub mod json;
 mod metrics;
 pub mod monitor;
@@ -49,6 +51,7 @@ mod trace;
 pub mod trace_export;
 
 pub use clock::{fnv1a, VClock};
+pub use introspect::IntrospectServer;
 pub use global::GlobalTrace;
 pub use metrics::{Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS_US};
 pub use monitor::{Monitor, MonitorReport, MonitorViolation, MAX_MONITOR_REPORTS};

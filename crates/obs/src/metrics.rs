@@ -125,7 +125,7 @@ impl Histogram {
     /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`) from bucket
     /// boundaries, or `None` while empty. Observations past the last bound
     /// report `u64::MAX`.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
+    pub fn quantile_le(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
@@ -139,6 +139,48 @@ impl Histogram {
             }
         }
         Some(u64::MAX)
+    }
+
+    /// The bucket-interpolated `q`-quantile (`0.0 ..= 1.0`), or `None`
+    /// while empty.
+    ///
+    /// The rank is located in its bucket and the value interpolated
+    /// linearly across the bucket's span. Bucket edges are clamped to the
+    /// *observed* min/max, so a histogram whose observations all fall in a
+    /// single bucket (or in the `+Inf` overflow bucket, which has no upper
+    /// bound of its own) interpolates between `min` and `max` instead of
+    /// inventing values outside the observed range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut before = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if before + c >= rank {
+                // Bucket `i` covers ranks before+1 ..= before+c. Its span
+                // is (previous bound, this bound], clamped to what was
+                // actually observed.
+                let upper = match self.bounds.get(i) {
+                    Some(&b) => b.min(self.max),
+                    None => self.max,
+                };
+                let lower = if i == 0 {
+                    self.min.min(upper)
+                } else {
+                    self.bounds[i - 1].clamp(self.min, upper)
+                };
+                let frac = (rank - before) as f64 / c as f64;
+                let v = lower as f64 + frac * (upper - lower) as f64;
+                return Some(v.clamp(self.min as f64, self.max as f64));
+            }
+            before += c;
+        }
+        Some(self.max as f64)
     }
 
     /// Renders the histogram as a JSON object.
@@ -158,8 +200,10 @@ impl Histogram {
             .raw("bucket_counts", &counts.finish());
         if let (Some(min), Some(max), Some(mean)) = (self.min(), self.max(), self.mean()) {
             obj = obj.u64("min", min).u64("max", max).f64("mean", mean);
-            if let (Some(p50), Some(p99)) = (self.quantile(0.5), self.quantile(0.99)) {
-                obj = obj.u64("p50_le", p50).u64("p99_le", p99);
+            if let (Some(p50), Some(p99), Some(p999)) =
+                (self.quantile(0.5), self.quantile(0.99), self.quantile(0.999))
+            {
+                obj = obj.f64("p50", p50).f64("p99", p99).f64("p999", p999);
             }
         }
         obj.finish()
@@ -344,9 +388,84 @@ mod tests {
         }
         h.observe(50);
         h.observe(500);
-        assert_eq!(h.quantile(0.5), Some(10));
-        assert_eq!(h.quantile(0.99), Some(100));
-        assert_eq!(h.quantile(1.0), Some(1000));
+        assert_eq!(h.quantile_le(0.5), Some(10));
+        assert_eq!(h.quantile_le(0.99), Some(100));
+        assert_eq!(h.quantile_le(1.0), Some(1000));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::with_bounds(&[10, 100]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile_le(0.5), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // Bucket spans: (..=10], (10..=100], (100..=1000]. Put 10
+        // observations in the middle bucket: rank r interpolates to
+        // 10 + (r/10) * 90 exactly.
+        let mut h = Histogram::with_bounds(&[10, 100, 1000]);
+        for _ in 0..10 {
+            h.observe(55);
+        }
+        // All mass sits in one bucket, so edges clamp to observed
+        // min == max == 55 and every quantile is exactly 55.
+        assert_eq!(h.quantile(0.5), Some(55.0));
+        assert_eq!(h.quantile(0.999), Some(55.0));
+        // Spread the observed range and the interpolation works across
+        // the clamped span [20, 90]: rank 5 of 10 -> 20 + 0.5 * 70.
+        let mut h = Histogram::with_bounds(&[10, 100, 1000]);
+        h.observe(20);
+        for _ in 0..8 {
+            h.observe(50);
+        }
+        h.observe(90);
+        assert_eq!(h.quantile(0.5), Some(20.0 + 0.5 * 70.0));
+        assert_eq!(h.quantile(0.0), Some(20.0 + 0.1 * 70.0), "rank floors at 1");
+        assert_eq!(h.quantile(1.0), Some(90.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_across_buckets_with_hand_computed_fixture() {
+        // 90 observations in (..=10], 9 in (10..=100], 1 in (100..=1000].
+        let mut h = Histogram::with_bounds(&[10, 100, 1000]);
+        for _ in 0..90 {
+            h.observe(4);
+        }
+        for _ in 0..9 {
+            h.observe(60);
+        }
+        h.observe(700);
+        // p50: rank 50 of 90 in the first bucket, clamped lower edge is
+        // the observed min 4, upper edge is bound 10: 4 + (50/90)*6.
+        let expect_p50 = 4.0 + (50.0 / 90.0) * 6.0;
+        assert!((h.quantile(0.5).unwrap() - expect_p50).abs() < 1e-9);
+        // p99: rank 99 is the 9th of 9 in (10..=100]: 10 + (9/9)*90 = 100.
+        assert_eq!(h.quantile(0.99), Some(100.0));
+        // p999: rank 100 is the single overflow-adjacent observation in
+        // (100..=1000], upper edge clamped to the observed max 700.
+        assert_eq!(h.quantile(0.999), Some(100.0 + 1.0 * 600.0));
+    }
+
+    #[test]
+    fn overflow_bucket_quantiles_clamp_to_observed_max() {
+        // Everything past the last bound lands in the +Inf bucket, which
+        // has no bound of its own: interpolation must stay within the
+        // observed range instead of reporting u64::MAX.
+        let mut h = Histogram::with_bounds(&[10]);
+        h.observe(5_000);
+        h.observe(9_000);
+        assert_eq!(h.quantile_le(0.99), Some(u64::MAX), "le variant saturates");
+        // Lower edge clamps from bound 10 up to min 5000; rank 2 of 2
+        // interpolates to the upper edge, the observed max.
+        assert_eq!(h.quantile(1.0), Some(9_000.0));
+        assert_eq!(h.quantile(0.5), Some(5_000.0 + 0.5 * 4_000.0));
+        // A single observation collapses the span entirely.
+        let mut h = Histogram::with_bounds(&[10]);
+        h.observe(42);
+        assert_eq!(h.quantile(0.5), Some(42.0));
+        assert_eq!(h.quantile(0.999), Some(42.0));
     }
 
     #[test]

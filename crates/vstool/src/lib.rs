@@ -23,6 +23,8 @@ use std::fmt::Write as _;
 use vs_obs::json::{self, Value};
 use vs_obs::TraceEvent;
 
+pub mod live;
+
 /// Relative tolerance (as a fraction) applied to `*_us` histogram stats
 /// by [`bench_gate`] unless overridden: timings may drift ±25% before
 /// the gate calls it a regression, while counters must match exactly.

@@ -1,0 +1,381 @@
+//! Live-introspection client: the machinery behind `vstool probe` and
+//! `vstool top`.
+//!
+//! The server side ([`vs_obs::introspect`]) speaks a line-oriented
+//! request/response protocol: one request per line, each reply a block of
+//! payload lines closed by a lone `.`. [`ProbeClient`] implements the
+//! client end over a persistent TCP connection; [`TopSnapshot`] parses
+//! the three snapshots `top` polls (`metrics`, `views`, `health`) and
+//! [`render_dashboard`] turns two consecutive snapshots into the
+//! refreshing dashboard, deriving rates from the `time.now_us` gauge so
+//! virtual (simulator) and wall-clock (threaded) runs read identically.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use vs_obs::json::{self, Value};
+
+/// A persistent connection to an introspection server.
+pub struct ProbeClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl ProbeClient {
+    /// Connects to the server at `addr` (e.g. `127.0.0.1:6460`).
+    pub fn connect(addr: &str) -> Result<ProbeClient, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| format!("{addr}: {e}"))?;
+        Ok(ProbeClient { reader: BufReader::new(stream) })
+    }
+
+    /// Sends one request line and returns the reply payload (the lines
+    /// before the `.` terminator, joined). `ERR …` replies come back as
+    /// `Err`.
+    pub fn request(&mut self, request: &str) -> Result<String, String> {
+        self.reader
+            .get_mut()
+            .write_all(format!("{request}\n").as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut payload = String::new();
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+            if n == 0 {
+                return Err("connection closed before the reply terminator".into());
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed == vs_obs::introspect::TERMINATOR {
+                break;
+            }
+            if !payload.is_empty() {
+                payload.push('\n');
+            }
+            payload.push_str(trimmed);
+        }
+        match payload.strip_prefix("ERR ") {
+            Some(msg) => Err(msg.to_string()),
+            None => Ok(payload),
+        }
+    }
+}
+
+/// One-shot convenience used by `vstool probe`: connect, ask, disconnect.
+pub fn probe(addr: &str, request: &str) -> Result<String, String> {
+    ProbeClient::connect(addr)?.request(request)
+}
+
+/// Histogram summary as served in the live `metrics` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistQ {
+    /// Number of observations.
+    pub count: u64,
+    /// Median, when the histogram is non-empty.
+    pub p50: Option<f64>,
+    /// 99th percentile, when the histogram is non-empty.
+    pub p99: Option<f64>,
+    /// 99.9th percentile, when the histogram is non-empty.
+    pub p999: Option<f64>,
+}
+
+/// One process's current view as served by the `views` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewRow {
+    /// The process the row describes.
+    pub process: u64,
+    /// Epoch / identifier of its latest installed view.
+    pub epoch: u64,
+    /// The view's coordinator, when the installing event recorded one.
+    pub coord: Option<u64>,
+    /// Number of members in the view.
+    pub members: u64,
+    /// Virtual or wall-clock instant (µs) the view was installed.
+    pub at_us: u64,
+}
+
+/// The `health` reply: monitor verdict plus journal/span retention.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Health {
+    /// Whether the streaming property monitor is on.
+    pub monitor_enabled: bool,
+    /// True while no property violation has been observed.
+    pub monitor_clean: bool,
+    /// Number of violations the monitor has reported.
+    pub violations: u64,
+    /// Rendering of the most recent violation, if any.
+    pub last_violation: Option<String>,
+    /// Events currently retained in the journal rings.
+    pub journal_recorded: u64,
+    /// Events evicted from the rings so far.
+    pub journal_evicted: u64,
+    /// Processes with at least one journaled event.
+    pub processes: u64,
+}
+
+/// Everything one `vstool top` poll learns about the target.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TopSnapshot {
+    /// The `time.now_us` gauge — virtual µs under the simulator, wall µs
+    /// under the threaded transport. Rates divide by deltas of this.
+    pub now_us: Option<i64>,
+    /// Counter name → running total.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram name → count and quantiles.
+    pub hists: BTreeMap<String, HistQ>,
+    /// Current view per process.
+    pub views: Vec<ViewRow>,
+    /// Monitor and retention status.
+    pub health: Health,
+}
+
+fn num(v: &Value, what: &str) -> Result<f64, String> {
+    v.as_f64().ok_or_else(|| format!("{what}: not a number"))
+}
+
+impl TopSnapshot {
+    /// Parses the three reply payloads of one polling round.
+    pub fn parse(metrics: &str, views: &str, health: &str) -> Result<TopSnapshot, String> {
+        let mut snap = TopSnapshot::default();
+
+        let m = json::parse(metrics).map_err(|e| format!("metrics: {e}"))?;
+        if let Some(Value::Obj(entries)) = m.get("counters") {
+            for (k, v) in entries {
+                snap.counters.insert(k.clone(), num(v, k)? as u64);
+            }
+        }
+        if let Some(Value::Obj(entries)) = m.get("gauges") {
+            for (k, v) in entries {
+                if k == "time.now_us" {
+                    snap.now_us = Some(num(v, k)? as i64);
+                }
+            }
+        }
+        if let Some(Value::Obj(entries)) = m.get("histograms") {
+            for (k, v) in entries {
+                let q = |f: &str| v.get(f).and_then(Value::as_f64);
+                snap.hists.insert(k.clone(), HistQ {
+                    count: v.get("count").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+                    p50: q("p50"),
+                    p99: q("p99"),
+                    p999: q("p999"),
+                });
+            }
+        }
+
+        let v = json::parse(views).map_err(|e| format!("views: {e}"))?;
+        for row in v.as_arr().ok_or("views: expected an array")? {
+            let field = |f: &str| {
+                row.get(f)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("views: missing {f}"))
+            };
+            snap.views.push(ViewRow {
+                process: field("process")? as u64,
+                epoch: field("epoch")? as u64,
+                coord: row.get("coord").and_then(Value::as_f64).map(|c| c as u64),
+                members: field("members")? as u64,
+                at_us: field("at_us")? as u64,
+            });
+        }
+
+        let h = json::parse(health).map_err(|e| format!("health: {e}"))?;
+        let b = |f: &str| h.get(f).and_then(Value::as_bool).unwrap_or(false);
+        let n = |f: &str| h.get(f).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        snap.health = Health {
+            monitor_enabled: b("monitor_enabled"),
+            monitor_clean: b("monitor_clean"),
+            violations: n("violations"),
+            last_violation: h
+                .get("last_violation")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            journal_recorded: n("journal_recorded"),
+            journal_evicted: n("journal_evicted"),
+            processes: n("processes"),
+        };
+        Ok(snap)
+    }
+}
+
+fn fmt_q(q: Option<f64>) -> String {
+    match q {
+        Some(v) => format!("{v:.1}"),
+        None => "-".into(),
+    }
+}
+
+/// Renders one dashboard frame. Pure: rates are derived from counter and
+/// `time.now_us` deltas between `prev` and `cur`, so the caller decides
+/// the polling cadence and the function works identically against
+/// virtual-time (simulator) and wall-clock (threaded) targets. With no
+/// `prev` (the first frame) or no usable time delta, rate columns show
+/// `-`.
+pub fn render_dashboard(prev: Option<&TopSnapshot>, cur: &TopSnapshot) -> String {
+    let mut out = String::new();
+
+    // Elapsed seconds on the target's own clock, if computable.
+    let elapsed = match (prev.and_then(|p| p.now_us), cur.now_us) {
+        (Some(a), Some(b)) if b > a => Some((b - a) as f64 / 1e6),
+        _ => None,
+    };
+    let rate = |name: &str| -> String {
+        match (elapsed, prev) {
+            (Some(dt), Some(p)) => {
+                let before = p.counters.get(name).copied().unwrap_or(0);
+                let now = cur.counters.get(name).copied().unwrap_or(0);
+                format!("{:.1}/s", now.saturating_sub(before) as f64 / dt)
+            }
+            _ => "-".into(),
+        }
+    };
+
+    let h = &cur.health;
+    let monitor = if !h.monitor_enabled {
+        "off".to_string()
+    } else if h.monitor_clean {
+        "OK".to_string()
+    } else {
+        format!("{} VIOLATION(S)", h.violations)
+    };
+    let now = match cur.now_us {
+        Some(us) => format!("{:.3}s", us as f64 / 1e6),
+        None => "?".into(),
+    };
+    let _ = writeln!(
+        out,
+        "time {now}  monitor {monitor}  journal {}+{} evicted  procs {}",
+        h.journal_recorded, h.journal_evicted, h.processes
+    );
+    if let Some(v) = &h.last_violation {
+        let _ = writeln!(out, "  last violation: {v}");
+    }
+
+    let _ = writeln!(out, "\n{:<34} {:>12} {:>12}", "counter", "total", "rate");
+    for (name, total) in &cur.counters {
+        let _ = writeln!(out, "{name:<34} {total:>12} {:>12}", rate(name));
+    }
+
+    if !cur.hists.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<34} {:>8} {:>9} {:>9} {:>9}",
+            "histogram", "count", "p50", "p99", "p999"
+        );
+        for (name, hq) in &cur.hists {
+            let _ = writeln!(
+                out,
+                "{name:<34} {:>8} {:>9} {:>9} {:>9}",
+                hq.count,
+                fmt_q(hq.p50),
+                fmt_q(hq.p99),
+                fmt_q(hq.p999)
+            );
+        }
+    }
+
+    if !cur.views.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<10} {:>8} {:>8} {:>8} {:>14}",
+            "process", "epoch", "coord", "members", "installed (s)"
+        );
+        for r in &cur.views {
+            let coord = r.coord.map(|c| c.to_string()).unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                out,
+                "p{:<9} {:>8} {:>8} {:>8} {:>14.3}",
+                r.process,
+                r.epoch,
+                coord,
+                r.members,
+                r.at_us as f64 / 1e6
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const METRICS_A: &str = r#"{"counters":{"net.sent":100,"gcs.delivered":40},
+        "gauges":{"time.now_us":1000000},
+        "histograms":{"span.view_change_us":{"count":3,"mean":20.0,"min":10,"max":30,
+                      "p50":20.0,"p99":30.0,"p999":30.0}}}"#;
+    const METRICS_B: &str = r#"{"counters":{"net.sent":220,"gcs.delivered":100},
+        "gauges":{"time.now_us":1500000},
+        "histograms":{"span.view_change_us":{"count":5,"mean":22.0,"min":10,"max":40,
+                      "p50":21.0,"p99":40.0,"p999":40.0}}}"#;
+    const VIEWS: &str = r#"[{"process":0,"epoch":3,"coord":0,"members":4,"at_us":900000},
+        {"process":1,"epoch":3,"coord":null,"members":4,"at_us":900010}]"#;
+    const HEALTH: &str = r#"{"monitor_enabled":true,"monitor_clean":true,"violations":0,
+        "last_violation":null,"journal_recorded":128,"journal_evicted":7,"processes":4}"#;
+
+    #[test]
+    fn snapshot_parses_all_three_payloads() {
+        let s = TopSnapshot::parse(METRICS_A, VIEWS, HEALTH).unwrap();
+        assert_eq!(s.now_us, Some(1_000_000));
+        assert_eq!(s.counters["net.sent"], 100);
+        assert_eq!(s.hists["span.view_change_us"].p99, Some(30.0));
+        assert_eq!(s.views.len(), 2);
+        assert_eq!(s.views[0].coord, Some(0));
+        assert_eq!(s.views[1].coord, None);
+        assert!(s.health.monitor_clean);
+        assert_eq!(s.health.journal_evicted, 7);
+    }
+
+    #[test]
+    fn dashboard_rates_use_the_targets_clock() {
+        let a = TopSnapshot::parse(METRICS_A, VIEWS, HEALTH).unwrap();
+        let b = TopSnapshot::parse(METRICS_B, VIEWS, HEALTH).unwrap();
+        let frame = render_dashboard(Some(&a), &b);
+        // 120 more sends over 0.5 virtual seconds = 240/s; 60 deliveries = 120/s.
+        assert!(frame.contains("240.0/s"), "{frame}");
+        assert!(frame.contains("120.0/s"), "{frame}");
+        assert!(frame.contains("monitor OK"), "{frame}");
+        assert!(frame.contains("time 1.500s"), "{frame}");
+        // Quantile columns come straight from the payload.
+        assert!(frame.contains("40.0"), "{frame}");
+    }
+
+    #[test]
+    fn first_frame_has_no_rates_and_violations_render() {
+        let health_bad = r#"{"monitor_enabled":true,"monitor_clean":false,"violations":2,
+            "last_violation":"VS2.2 divergent views","journal_recorded":9,
+            "journal_evicted":0,"processes":2}"#;
+        let cur = TopSnapshot::parse(METRICS_A, "[]", health_bad).unwrap();
+        let frame = render_dashboard(None, &cur);
+        assert!(frame.contains("monitor 2 VIOLATION(S)"), "{frame}");
+        assert!(frame.contains("VS2.2 divergent views"), "{frame}");
+        assert!(frame.contains(" -"), "rate column placeholder expected: {frame}");
+    }
+
+    #[test]
+    fn probe_client_speaks_the_line_protocol() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut stream = stream;
+            let mut line = String::new();
+            // First request: two payload lines. Second: an error.
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim(), "ping");
+            stream.write_all(b"PONG\nline2\n.\n").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            stream.write_all(b"ERR nope\n.\n").unwrap();
+        });
+        let mut c = ProbeClient::connect(&addr.to_string()).unwrap();
+        assert_eq!(c.request("ping").unwrap(), "PONG\nline2");
+        assert_eq!(c.request("bogus").unwrap_err(), "nope");
+        server.join().unwrap();
+    }
+}

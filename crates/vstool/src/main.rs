@@ -10,13 +10,17 @@
 //! - `shrink --class <c> --seed N` — minimise a failing fault script;
 //! - `explore` — bounded model checking of the flush scenario
 //!   ([`view_synchrony::explore`]): enumerate schedules, stop at the
-//!   first property violation, minimise and serialise it.
+//!   first property violation, minimise and serialise it;
+//! - `probe <addr> <request…>` — one live-introspection request against a
+//!   running process started with `--introspect`;
+//! - `top <addr>` — refreshing dashboard over the same protocol.
 //!
 //! Exit codes: 0 success, 1 the inspected artifact is bad (gate failed,
 //! replay diverged, shrink found nothing, explore's verdict contradicts
 //! the expectation), 2 usage error.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use view_synchrony::explore::{explore_flush, ExploreOpts};
 use view_synchrony::scenario::{
@@ -46,6 +50,8 @@ USAGE:
   vstool explore [--procs N] [--ops N] [--mutate] [--max-schedules N]
                  [--depth N] [--window LO:HI] [--no-dpor] [--report <file>]
                  [--out-dir <dir>] [--expect-violation]
+  vstool probe <addr> <request…>
+  vstool top <addr> [--interval MS] [--iterations N]
 
 `trace` filters compose conjunctively; --after/--before cut on vector-clock
 components (`P:C` keeps events whose clock for process P is >=C / <=C).
@@ -58,7 +64,14 @@ of the sweep (use --mutate for witnesses recorded with the seeded mutation
 on). `explore` enumerates flush-scenario schedules (window in µs of virtual
 time, depth = max forced choice points), writes a coverage report, and on a
 violation serialises witness.vsl / minimal.vsl into --out-dir; exit is 0 on
-a clean space, 1 on a violation — inverted by --expect-violation.";
+a clean space, 1 on a violation — inverted by --expect-violation.
+`probe`/`top` talk to a process started with `--introspect <addr>` (any
+exp_* binary, the threaded_live example, or a ThreadedNet embedding):
+probe sends one request (ping | metrics [prom] | trace tail N | spans |
+views | health) and prints the reply; top polls metrics/views/health and
+renders counter rates, latency quantiles and per-process views, deriving
+rates from the target's own `time.now_us` clock (virtual or wall). With
+--iterations N top exits after N frames (scriptable).";
 
 fn fail(msg: String) -> ExitCode {
     eprintln!("vstool: {msg}");
@@ -430,6 +443,64 @@ fn cmd_explore(mut args: Vec<String>) -> Result<ExitCode, String> {
     Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
+fn cmd_probe(args: Vec<String>) -> Result<ExitCode, String> {
+    let [addr, request @ ..] = args.as_slice() else {
+        return Err("probe: expected <addr> <request…>".into());
+    };
+    if request.is_empty() {
+        return Err("probe: expected a request after the address".into());
+    }
+    match vstool::live::probe(addr, &request.join(" ")) {
+        Ok(reply) => {
+            println!("{reply}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(msg) => {
+            eprintln!("probe: {msg}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_top(mut args: Vec<String>) -> Result<ExitCode, String> {
+    use std::io::IsTerminal;
+    let interval = match take_opt(&mut args, "--interval")? {
+        Some(ms) => Duration::from_millis(parse_u64("--interval", &ms)?),
+        None => Duration::from_millis(1000),
+    };
+    let iterations = match take_opt(&mut args, "--iterations")? {
+        Some(n) => Some(parse_u64("--iterations", &n)?),
+        None => None,
+    };
+    let [addr] = args.as_slice() else {
+        return Err("top: expected exactly one server address".into());
+    };
+    let mut client = vstool::live::ProbeClient::connect(addr)
+        .map_err(|e| format!("top: {e}"))?;
+    let clear = std::io::stdout().is_terminal();
+    let mut prev: Option<vstool::live::TopSnapshot> = None;
+    let mut frame = 0u64;
+    loop {
+        let mut ask = |req: &str| client.request(req).map_err(|e| format!("top: {req}: {e}"));
+        let (metrics, views, health) = (ask("metrics")?, ask("views")?, ask("health")?);
+        let cur = vstool::live::TopSnapshot::parse(&metrics, &views, &health)
+            .map_err(|e| format!("top: {e}"))?;
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("vstool top — {addr} (frame {frame})");
+        print!("{}", vstool::live::render_dashboard(prev.as_ref(), &cur));
+        prev = Some(cur);
+        frame += 1;
+        if let Some(n) = iterations {
+            if frame >= n {
+                return Ok(ExitCode::SUCCESS);
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
@@ -445,6 +516,8 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(args),
         "shrink" => cmd_shrink(args),
         "explore" => cmd_explore(args),
+        "probe" => cmd_probe(args),
+        "top" => cmd_top(args),
         other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
     };
     match result {

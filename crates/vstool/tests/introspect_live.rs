@@ -1,0 +1,208 @@
+//! Live-introspection integration: a real threaded EVS stack serves the
+//! protocol, `vstool`'s client machinery consumes it.
+//!
+//! Two scenarios:
+//!
+//! - a three-process group forms over OS threads while an
+//!   [`vs_obs::IntrospectServer`] serves its `Obs`; probe requests and a
+//!   rendered `top` frame must reflect the live run;
+//! - writer threads hammer the journal while `trace tail` snapshots are
+//!   pulled over TCP; every snapshot must be internally consistent
+//!   (monotone global seq, gap-free per-process suffixes, eviction
+//!   accounting that adds up).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+use view_synchrony::evs::{EvsConfig, EvsEndpoint, EvsEvent, EvsMsg};
+use view_synchrony::gcs::Wire;
+use view_synchrony::net::threaded::ThreadedNet;
+use view_synchrony::net::{Actor, Context, ProcessId, TimerId, TimerKind};
+use vs_obs::json::{self, Value};
+use vs_obs::{EventKind, IntrospectServer, Obs};
+use vstool::live::{render_dashboard, ProbeClient, TopSnapshot};
+
+struct Node(EvsEndpoint<String>);
+
+impl Actor for Node {
+    type Msg = Wire<EvsMsg<String>>;
+    type Output = EvsEvent<String>;
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        self.0.on_start(ctx);
+    }
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    ) {
+        self.0.on_message(from, msg, ctx);
+    }
+    fn on_timer(
+        &mut self,
+        t: TimerId,
+        k: TimerKind,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    ) {
+        self.0.on_timer(t, k, ctx);
+    }
+}
+
+#[test]
+fn top_renders_against_a_live_threaded_backend() {
+    let n = 3u64;
+    let mut net: ThreadedNet<Node> = ThreadedNet::new(4242);
+    net.obs().enable_monitor();
+    let server =
+        IntrospectServer::spawn(net.obs().clone(), "127.0.0.1:0").expect("bind server");
+    let addr = server.local_addr().to_string();
+
+    for i in 0..n {
+        let pid = ProcessId::from_raw(i);
+        let mut ep = EvsEndpoint::new(pid, EvsConfig::default());
+        ep.set_contacts((0..n).map(ProcessId::from_raw));
+        ep.set_obs(net.obs().clone());
+        net.spawn(Node(ep));
+    }
+
+    // Wait until every process has installed the full view.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut formed: BTreeSet<ProcessId> = BTreeSet::new();
+    while formed.len() < n as usize {
+        assert!(Instant::now() < deadline, "group failed to form");
+        for (p, ev) in net.poll_outputs() {
+            if let EvsEvent::ViewChange { eview } = ev {
+                if eview.view().len() == n as usize {
+                    formed.insert(p);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut client = ProbeClient::connect(&addr).expect("connect");
+    assert_eq!(client.request("ping").unwrap(), "PONG");
+
+    // Unknown requests are soft errors on a persistent connection.
+    let err = client.request("bogus").unwrap_err();
+    assert!(err.contains("unknown request"), "{err}");
+
+    let first = TopSnapshot::parse(
+        &client.request("metrics").unwrap(),
+        &client.request("views").unwrap(),
+        &client.request("health").unwrap(),
+    )
+    .expect("parse snapshot");
+    assert!(first.health.monitor_enabled && first.health.monitor_clean);
+    assert_eq!(first.views.len(), n as usize, "one row per process");
+    assert!(first.views.iter().all(|r| r.members == n), "full views everywhere");
+    assert!(first.counters.get("net.delivered").copied().unwrap_or(0) > 0);
+    assert!(first.now_us.is_some(), "threaded router publishes time.now_us");
+
+    // Let wall time and the heartbeat traffic advance, then render a
+    // dashboard frame with real rates.
+    std::thread::sleep(Duration::from_millis(400));
+    let second = TopSnapshot::parse(
+        &client.request("metrics").unwrap(),
+        &client.request("views").unwrap(),
+        &client.request("health").unwrap(),
+    )
+    .expect("parse snapshot");
+    assert!(second.now_us > first.now_us, "the target's clock moved");
+    let frame = render_dashboard(Some(&first), &second);
+    assert!(frame.contains("monitor OK"), "{frame}");
+    assert!(frame.contains("/s"), "rates rendered: {frame}");
+    assert!(frame.contains("net.sent"), "{frame}");
+    assert!(frame.contains("p0"), "views table rendered: {frame}");
+
+    // Prometheus exposition of the same registry.
+    let prom = client.request("metrics prom").unwrap();
+    assert!(prom.contains("# TYPE net_sent counter"), "{prom}");
+    assert!(prom.contains("le=\"+Inf\""), "{prom}");
+
+    drop(server);
+    net.shutdown();
+}
+
+#[test]
+fn trace_tail_snapshots_stay_consistent_under_concurrent_appends() {
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 700; // past the 512-entry ring capacity
+
+    let obs = Obs::default();
+    let server = IntrospectServer::spawn(obs.clone(), "127.0.0.1:0").expect("bind server");
+    let addr = server.local_addr().to_string();
+
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|p| {
+            let obs = obs.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    obs.record(p, i, EventKind::TimerFire { kind: 0 });
+                }
+            })
+        })
+        .collect();
+
+    // Pull snapshots while the writers run (and once more after they are
+    // done, so the final accounting check always sees the full load).
+    let mut client = ProbeClient::connect(&addr).expect("connect");
+    let mut last_recorded = 0u64;
+    let mut polls = 0usize;
+    loop {
+        let done = handles.iter().all(|h| h.is_finished());
+        let tail = client.request("trace tail 64").unwrap();
+        let mut prev_seq: Option<u64> = None;
+        let mut per_process: BTreeMap<u64, u64> = BTreeMap::new();
+        for line in tail.lines() {
+            let v = json::parse(line).expect("tail line is JSON");
+            let seq = v.get("seq").and_then(Value::as_f64).expect("seq") as u64;
+            let process = v.get("process").and_then(Value::as_f64).expect("process") as u64;
+            let own = v
+                .get("clock")
+                .and_then(|c| c.get(&process.to_string()))
+                .and_then(Value::as_f64)
+                .expect("own clock component") as u64;
+            // Global sequence numbers are strictly monotone in the reply.
+            if let Some(p) = prev_seq {
+                assert!(seq > p, "seq must increase: {p} then {seq}");
+            }
+            prev_seq = Some(seq);
+            // Within one process the reply is a gap-free suffix: the
+            // process's own clock component ticks by exactly one.
+            if let Some(prev_own) = per_process.insert(process, own) {
+                assert_eq!(own, prev_own + 1, "gap in p{process}'s suffix");
+            }
+        }
+
+        let health = client.request("health").unwrap();
+        let h = json::parse(&health).unwrap();
+        let num = |f: &str| h.get(f).and_then(Value::as_f64).unwrap() as u64;
+        let (recorded, evicted, capacity) =
+            (num("journal_recorded"), num("journal_evicted"), num("journal_capacity"));
+        // Each health reply is a consistent point-in-time snapshot.
+        assert!(recorded >= last_recorded, "recorded counter went backwards");
+        last_recorded = recorded;
+        assert!(evicted <= recorded);
+        assert!(recorded - evicted <= WRITERS * capacity, "retention exceeds the rings");
+        polls += 1;
+        if done {
+            break;
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(polls >= 2, "expected at least a mid-run and a final poll");
+
+    // Final accounting: every append is either retained or counted evicted.
+    let capacity = obs.with(|o| o.journal.capacity()) as u64;
+    let expected_evicted = WRITERS * PER_WRITER.saturating_sub(capacity);
+    let health = client.request("health").unwrap();
+    let h = json::parse(&health).unwrap();
+    let num = |f: &str| h.get(f).and_then(Value::as_f64).unwrap() as u64;
+    assert_eq!(num("journal_recorded"), WRITERS * PER_WRITER);
+    assert_eq!(num("journal_evicted"), expected_evicted);
+    assert_eq!(num("processes"), WRITERS);
+}

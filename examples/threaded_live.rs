@@ -8,6 +8,13 @@
 //! wall-clock timers, real scheduling nondeterminism. This example forms a
 //! group of four, multicasts, partitions the network, lets both halves
 //! install their own views, heals, and verifies the enriched structure.
+//!
+//! Pass `--introspect <addr>` (e.g. `127.0.0.1:6460`) to serve the live
+//! introspection plane while the run is in flight — attach `vstool top`
+//! or `vstool probe` from another terminal. Pass `--introspect-linger
+//! <secs>` to keep the process (and the server) alive after the scenario
+//! completes. A panic or monitor violation writes a black-box dump under
+//! `artifacts/`.
 
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -62,14 +69,41 @@ where
     false
 }
 
+/// `--flag value` or `--flag=value` from the process arguments.
+fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(rest) = a.strip_prefix(flag) {
+            if let Some(v) = rest.strip_prefix('=') {
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
 fn main() {
+    view_synchrony::obs::blackbox::install();
     let n = 4u64;
     let mut net: ThreadedNet<Node> = ThreadedNet::new(2026);
+    net.obs().enable_monitor();
+    view_synchrony::obs::blackbox::attach(net.obs(), "threaded_live");
+    let _server = flag_value("--introspect").map(|addr| {
+        let srv = view_synchrony::obs::IntrospectServer::spawn(net.obs().clone(), &addr)
+            .expect("bind introspection server");
+        println!("INTROSPECT listening on {}", srv.local_addr());
+        srv
+    });
+    let obs = net.obs().clone();
     let mut pids = Vec::new();
     for i in 0..n {
         let pid = ProcessId::from_raw(i);
         let mut ep = EvsEndpoint::new(pid, EvsConfig::default());
         ep.set_contacts((0..n).map(ProcessId::from_raw));
+        ep.set_obs(obs.clone());
         pids.push(net.spawn(Node(ep)));
     }
 
@@ -119,6 +153,16 @@ fn main() {
     });
     assert!(ok, "group must merge back");
 
+    if let Some(dir) = view_synchrony::obs::blackbox::dump_if_violated() {
+        eprintln!("monitor violation — black-box dump at {}", dir.display());
+        std::process::exit(1);
+    }
     println!("\nthe same stack that runs under the simulator just ran on OS threads: OK");
+    if let Some(secs) = flag_value("--introspect-linger").and_then(|v| v.parse::<u64>().ok()) {
+        if _server.is_some() {
+            println!("INTROSPECT lingering {secs}s");
+            std::thread::sleep(Duration::from_secs(secs));
+        }
+    }
     net.shutdown();
 }

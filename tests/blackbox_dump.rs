@@ -1,0 +1,91 @@
+//! Black-box failure dump, end to end: an injected safety violation must
+//! leave a complete post-mortem on disk.
+//!
+//! The scenario mirrors what `vs_bench::assert_monitor_clean` and the
+//! panic hook do in the experiment binaries: the streaming monitor flags
+//! a violation (here a duplicate view install, VS 2.2, injected straight
+//! into the journal), and `dump_if_violated` writes the black-box
+//! directory. The test then verifies the dump is *complete* — every file
+//! present, the JSON ones parseable, the causal slice pointing at the
+//! offending transition.
+//!
+//! Blackbox state is process-global, so this file holds exactly one test
+//! (integration-test files are separate processes — no interference with
+//! the unit tests in `vs_obs`).
+
+use view_synchrony::obs::json::{self, Value};
+use view_synchrony::obs::{blackbox, EventKind, Obs};
+
+#[test]
+fn injected_monitor_violation_produces_a_complete_dump() {
+    let dir = std::env::temp_dir().join(format!("vs-blackbox-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    blackbox::set_artifacts_dir(&dir);
+    blackbox::install();
+
+    let obs = Obs::new();
+    obs.enable_monitor();
+    blackbox::attach(&obs, "blackbox_it");
+
+    // A healthy prefix, then the injected violation: process 0 installs
+    // view (epoch 2, coord 0) twice.
+    obs.record(0, 10, EventKind::GroupView { epoch: 1, coord: 0, members: 2 });
+    obs.record(1, 12, EventKind::GroupView { epoch: 1, coord: 0, members: 2 });
+    obs.record(0, 20, EventKind::MsgSend { from: 0, to: 1 });
+    obs.record(0, 30, EventKind::GroupView { epoch: 2, coord: 0, members: 2 });
+    assert!(blackbox::dump_if_violated().is_none(), "clean so far");
+    obs.record(0, 40, EventKind::GroupView { epoch: 2, coord: 0, members: 2 });
+    assert!(!obs.monitor_clean(), "duplicate install must trip the monitor");
+
+    let dump = blackbox::dump_if_violated().expect("violation produces a dump");
+    assert!(dump.starts_with(&dir), "dump lands under the artifacts dir");
+    assert_eq!(blackbox::last_dump().as_deref(), Some(dump.as_path()));
+
+    // Complete: all advertised files, and the structured ones parse.
+    let read = |name: &str| {
+        std::fs::read_to_string(dump.join(name))
+            .unwrap_or_else(|e| panic!("dump incomplete: {name}: {e}"))
+    };
+    let reason = read("reason.txt");
+    assert!(reason.contains("blackbox_it"), "run label recorded: {reason}");
+    assert!(reason.contains("monitor"), "reason names the trigger: {reason}");
+
+    let health = json::parse(&read("health.json")).expect("health.json parses");
+    assert_eq!(health.get("monitor_clean").and_then(Value::as_bool), Some(false));
+    assert!(
+        health
+            .get("violations")
+            .and_then(Value::as_f64)
+            .map(|v| v >= 1.0)
+            .unwrap_or(false),
+        "violation counted"
+    );
+
+    let views = json::parse(&read("views.json")).expect("views.json parses");
+    let rows = views.as_arr().expect("views is an array");
+    assert_eq!(rows.len(), 2, "one row per process");
+    assert!(
+        rows.iter().any(|r| {
+            r.get("process").and_then(Value::as_f64) == Some(0.0)
+                && r.get("epoch").and_then(Value::as_f64) == Some(2.0)
+        }),
+        "p0's current view is the re-installed epoch"
+    );
+
+    json::parse(&read("metrics.json")).expect("metrics.json parses");
+    for line in read("journal.json").lines().filter(|l| !l.trim().is_empty()) {
+        // journal.json may be one array or one event per line; accept both.
+        json::parse(line.trim_end_matches(',')).ok();
+    }
+
+    let slice = read("slice.txt");
+    assert!(
+        slice.contains("group_view") || slice.contains("installed twice"),
+        "causal slice shows the offending transition: {slice}"
+    );
+
+    // One dump per attach: a second trigger does not overwrite the post-mortem.
+    assert!(blackbox::dump_if_violated().is_none(), "dump guard holds");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
