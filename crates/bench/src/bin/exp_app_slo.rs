@@ -1,0 +1,147 @@
+//! E11 — application-level delivery SLOs under load × fault-rate.
+//!
+//! The latency-attribution stages (`stage.*` histograms) turn every run
+//! into an SLO measurement: this experiment sweeps multicast load against
+//! partition/heal fault rates and reports, per cell, the delivery SLO
+//! (p50/p99 of `stage.delivery_total_us`), the stability SLO (p99 of
+//! `stage.stable_us`), and the attribution health counters — how many
+//! samples were orphaned by journal eviction or caught up via flush. The
+//! pooled snapshot is the committed-baseline input for `vstool slo` /
+//! `bench-gate` style gating of fleet SLOs in CI.
+
+use vs_bench::faults::{random_script, FaultPlan};
+use vs_bench::Table;
+use vs_gcs::{GcsConfig, GcsEndpoint};
+use vs_net::{DetRng, SimDuration};
+use vs_obs::MetricsRegistry;
+
+struct Cell {
+    load_ms: u64,
+    faults: &'static str,
+    sent: u64,
+    delivery_p50: Option<f64>,
+    delivery_p99: Option<f64>,
+    stable_p99: Option<f64>,
+    views: u64,
+    orphaned: u64,
+    catchup: u64,
+}
+
+fn run(n: usize, load_ms: u64, faults: &'static str, seed: u64, agg: &mut MetricsRegistry) -> Cell {
+    let mut sim: Sim = vs_net::Sim::new(seed, vs_bench::sim_config());
+    let mut pids = Vec::new();
+    for _ in 0..n {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, move |p| {
+            GcsEndpoint::new(p, GcsConfig { uniform: true, ..GcsConfig::default() })
+        }));
+    }
+    let all = pids.clone();
+    let obs = sim.obs().clone();
+    for &p in &pids {
+        sim.invoke(p, |e, _| {
+            e.set_contacts(all.iter().copied());
+            e.set_obs(obs.clone());
+        });
+    }
+    let label = format!("load{load_ms}_{faults}");
+    vs_bench::observe_run("exp_app_slo", &label, &mut sim);
+    sim.run_for(SimDuration::from_millis(700));
+    sim.drain_outputs();
+
+    let horizon = SimDuration::from_secs(10);
+    if let Some(mean_gap_ms) = match faults {
+        "none" => None,
+        "low" => Some(2500),
+        "high" => Some(900),
+        other => unreachable!("fault rate {other}"),
+    } {
+        let mut rng = DetRng::seed_from(seed ^ 0xE11);
+        let plan = FaultPlan {
+            horizon,
+            mean_gap: SimDuration::from_millis(mean_gap_ms),
+            p_partition: 0.45,
+            p_heal: 0.55,
+            p_crash: 0.0, // partitions only: the universe stays accountable
+        };
+        sim.load_script(random_script(&mut rng, &pids, plan, n));
+    }
+
+    // Load: rotating senders multicast every `load_ms` until the horizon.
+    let start = sim.now();
+    let mut sent = 0u64;
+    while sim.now().saturating_since(start) < horizon {
+        sim.invoke(pids[(sent as usize) % n], |e, ctx| {
+            e.mcast(format!("m{sent}"), ctx)
+        });
+        sent += 1;
+        sim.run_for(SimDuration::from_millis(load_ms));
+    }
+    sim.heal();
+    sim.run_for(SimDuration::from_secs(3));
+
+    vs_bench::assert_monitor_clean("exp_app_slo", sim.obs());
+    let snap = sim.obs().metrics_snapshot();
+    agg.absorb(&snap);
+    vs_bench::save_run_artifacts("exp_app_slo", &label, &mut sim);
+    let q = |name: &str, p: f64| snap.histogram(name).and_then(|h| h.quantile(p));
+    Cell {
+        load_ms,
+        faults,
+        sent,
+        delivery_p50: q(vs_obs::latency::STAGE_DELIVERY_TOTAL, 0.50),
+        delivery_p99: q(vs_obs::latency::STAGE_DELIVERY_TOTAL, 0.99),
+        stable_p99: q(vs_obs::latency::STAGE_STABLE, 0.99),
+        views: snap.counter("gcs.views_installed"),
+        orphaned: snap.counter("latency.orphaned"),
+        catchup: snap.counter("latency.flush_catchup"),
+    }
+}
+
+type Sim = vs_net::Sim<GcsEndpoint<String>>;
+
+fn ms(q: Option<f64>) -> String {
+    q.map_or("-".into(), |v| format!("{:.2}", v / 1e3))
+}
+
+fn main() {
+    vs_bench::init_observability();
+    println!("E11 — delivery/stability SLOs across load × fault-rate (n=5, uniform)");
+    let mut table = Table::new(&[
+        "load (ms)",
+        "faults",
+        "sent",
+        "deliver p50 (ms)",
+        "deliver p99 (ms)",
+        "stable p99 (ms)",
+        "views",
+        "orphaned",
+        "flush catchup",
+    ]);
+    let mut agg = MetricsRegistry::new();
+    for &load_ms in &[100u64, 25] {
+        for faults in ["none", "low", "high"] {
+            let c = run(5, load_ms, faults, 0xA550 + load_ms, &mut agg);
+            table.row(&[
+                &c.load_ms,
+                &c.faults,
+                &c.sent,
+                &ms(c.delivery_p50),
+                &ms(c.delivery_p99),
+                &ms(c.stable_p99),
+                &c.views,
+                &c.orphaned,
+                &c.catchup,
+            ]);
+        }
+    }
+    table.print("10 s of load per cell, partition/heal scripts, 3 s settle");
+    println!(
+        "\nexpected shape: with no faults the delivery SLO tracks the uniform\n\
+         acknowledgement round (~heartbeat period) and stability p99 stays flat as\n\
+         load rises; under partitions the p99 tail stretches with the fault rate —\n\
+         messages ride out view changes via flush — while the orphaned counter\n\
+         stays at 0 (attribution never fabricates a latency it did not observe)."
+    );
+    vs_bench::print_metrics_snapshot("exp_app_slo", &agg);
+}

@@ -109,6 +109,39 @@ fn main() {
         }
     }
     table.print("time from multicast to the last member's delivery");
+
+    // Latency-attribution acceptance check: the per-stage breakdown
+    // (encode + wire + order hold + stability hold) must partition the
+    // independently stamped end-to-end delivery latency to within 5%.
+    let sum_us = |name: &str| agg.histogram(name).map_or(0u64, |h| h.sum());
+    let mut stages = Table::new(&["stage", "samples", "total (ms)", "share"]);
+    let total = sum_us(vs_obs::latency::STAGE_DELIVERY_TOTAL);
+    assert!(total > 0, "stage stamps recorded no deliveries");
+    let mut parts = 0u64;
+    for name in vs_obs::latency::PARTITION_STAGES {
+        let s = sum_us(name);
+        parts += s;
+        stages.row(&[
+            name,
+            &agg.histogram(name).map_or(0, |h| h.count()),
+            &format!("{:.2}", s as f64 / 1e3),
+            &format!("{:.1}%", 100.0 * s as f64 / total as f64),
+        ]);
+    }
+    stages.print("where delivery latency is spent (all runs pooled)");
+    let off = (parts as f64 - total as f64).abs() / total as f64;
+    assert!(
+        off <= 0.05,
+        "stage sums {parts}µs vs end-to-end {total}µs: {:.1}% apart",
+        off * 100.0
+    );
+    println!(
+        "\nstage partition check: Σ stages {:.2} ms vs end-to-end {:.2} ms ({:.2}% apart, ≤5% required)",
+        parts as f64 / 1e3,
+        total as f64 / 1e3,
+        off * 100.0
+    );
+
     println!(
         "\nexpected shape: regular delivery completes in one network hop (~1-2 ms at\n\
          the simulated latencies); uniform delivery additionally waits for the\n\

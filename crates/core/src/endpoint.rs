@@ -202,6 +202,8 @@ struct GatedMsg<M> {
     sender: ProcessId,
     seq: u64,
     payload: M,
+    /// When the message entered the gate, for `stage.evs_gate_us`.
+    gated_at_us: u64,
 }
 
 type Ctx<'a, M> = Context<'a, Wire<EvsMsg<M>>, EvsEvent<M>>;
@@ -441,17 +443,15 @@ impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
         match payload {
             EvsMsg::App { eview_seq, payload } => {
                 if eview_seq <= self.applied_seq {
-                    self.record_evs_deliver(
-                        ctx.now().as_micros(),
-                        ctx.me().raw(),
-                        view,
-                        sender,
-                        seq,
-                        eview_seq,
-                    );
+                    let now_us = ctx.now().as_micros();
+                    self.obs
+                        .with(|s| s.metrics.observe(vs_obs::latency::STAGE_EVS_GATE, 0));
+                    self.record_evs_deliver(now_us, ctx.me().raw(), view, sender, seq, eview_seq);
                     ctx.output(EvsEvent::Deliver { view, sender, seq, eview_seq, payload });
                 } else {
-                    self.gated.push(GatedMsg { eview_seq, view, sender, seq, payload });
+                    let gated_at_us = ctx.now().as_micros();
+                    self.gated
+                        .push(GatedMsg { eview_seq, view, sender, seq, payload, gated_at_us });
                 }
             }
             EvsMsg::Op { seq: op_seq, op } => {
@@ -543,8 +543,12 @@ impl<M: Clone + fmt::Debug + 'static> EvsEndpoint<M> {
                 ready
             };
             for g in now_ready {
+                let now_us = ctx.now().as_micros();
+                let held_us = now_us.saturating_sub(g.gated_at_us);
+                self.obs
+                    .with(|s| s.metrics.observe(vs_obs::latency::STAGE_EVS_GATE, held_us));
                 self.record_evs_deliver(
-                    ctx.now().as_micros(),
+                    now_us,
                     ctx.me().raw(),
                     g.view,
                     g.sender,

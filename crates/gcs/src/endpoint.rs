@@ -25,7 +25,7 @@ use vs_membership::{
     EstimatorConfig, FailureDetector, MembershipEstimator, View, ViewId,
 };
 use vs_net::{Actor, Context, ProcessId, SimDuration, SimTime, TimerId, TimerKind};
-use vs_obs::{EventKind, Obs, SpanId};
+use vs_obs::{EventKind, Obs, SpanId, StampKey};
 
 use crate::events::{GcsEvent, Provenance};
 use crate::flush::{flush_deliveries, FlushPayload};
@@ -35,6 +35,17 @@ use crate::stability::AckTracker;
 
 /// Timer kind used for the endpoint's single periodic tick.
 const TICK: TimerKind = TimerKind(1);
+
+/// The latency-attribution identity of a view message: view id + message
+/// id, unique across the fleet (see [`vs_obs::latency`]).
+fn stamp_key<M>(msg: &ViewMsg<M>) -> StampKey {
+    StampKey {
+        epoch: msg.view.epoch,
+        coord: msg.view.coordinator.raw(),
+        sender: msg.id.sender.raw(),
+        seq: msg.id.seq,
+    }
+}
 
 /// Backoff floor/ceiling of the receiver-side NACK retry path.
 const NACK_RETRY: SimDuration = SimDuration::from_millis(25);
@@ -555,11 +566,18 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         msg.vc = self.order_buf.make_clock(self.me, self.my_seq);
         self.sent.insert(self.my_seq, msg.clone());
         let vid = self.view.id();
+        let key = stamp_key(&msg);
+        let now_us = ctx.now().as_micros();
         self.obs.with(|st| {
             st.metrics.inc("gcs.mcasts");
+            // Stage stamps: the submit anchors the lineage; the transport
+            // hand-off happens in this same callback, so the encode stage
+            // closes at the same instant.
+            st.latency.on_submit(&mut st.metrics, key, now_us);
+            st.latency.on_encoded(&mut st.metrics, key, now_us);
             st.journal.record(
                 self.me.raw(),
-                ctx.now().as_micros(),
+                now_us,
                 EventKind::McastSent {
                     epoch: vid.epoch,
                     coord: vid.coordinator.raw(),
@@ -605,6 +623,13 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
             self.post(msg.id.sender, nack, ctx);
         }
         self.received.insert(msg.id, msg.clone());
+        // First acceptance at this endpoint closes the wire stage (the
+        // sender's own offer closes it at zero).
+        let key = stamp_key(&msg);
+        let me = self.me.raw();
+        let now_us = ctx.now().as_micros();
+        self.obs
+            .with(|st| st.latency.on_receive(&mut st.metrics, key, me, now_us));
         // Total order: the view leader sequences every fresh message.
         if self.config.ordering == OrderingMode::Total && self.view.leader() == self.me {
             let idx = self.next_order_idx;
@@ -639,6 +664,13 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
     }
 
     fn deliver(&mut self, msg: ViewMsg<M>, ctx: &mut Ctx<'_, M>) {
+        // The ordering buffer released the message: the order-hold stage
+        // ends here; whatever follows is the uniform stability hold.
+        let key = stamp_key(&msg);
+        let me = self.me.raw();
+        let now_us = ctx.now().as_micros();
+        self.obs
+            .with(|st| st.latency.on_order_release(&mut st.metrics, key, me, now_us));
         if self.config.uniform {
             // Uniform delivery: hold until the message is stable. (The
             // flush protocol delivers whatever is still held at a view
@@ -658,8 +690,11 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
         if !self.delivered.insert(msg.id) {
             return;
         }
+        let key = stamp_key(&msg);
         self.obs.with(|st| {
             st.metrics.inc("gcs.delivered");
+            st.latency
+                .on_deliver(&mut st.metrics, key, self.me.raw(), ctx.now().as_micros());
             st.journal.record(
                 self.me.raw(),
                 ctx.now().as_micros(),
@@ -790,8 +825,23 @@ impl<M: Clone + std::fmt::Debug + 'static> GcsEndpoint<M> {
             let frontier = self.stability_frontier_for(s, members.iter().copied());
             if frontier > self.stab_floor.get(&s).copied().unwrap_or(0) {
                 self.stab_floor.insert(s, frontier);
+                let own = s == self.me;
+                let vid = self.view.id();
                 self.obs.with(|st| {
                     st.metrics.inc("gcs.stability_advances");
+                    if own {
+                        // Only the sender stamps its messages stable: the
+                        // tracker is fleet-shared, and one stable sample
+                        // per message is the meaningful figure.
+                        st.latency.on_stable(
+                            &mut st.metrics,
+                            vid.epoch,
+                            vid.coordinator.raw(),
+                            s.raw(),
+                            frontier,
+                            now.as_micros(),
+                        );
+                    }
                     st.journal.record(
                         self.me.raw(),
                         now.as_micros(),

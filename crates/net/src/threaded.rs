@@ -333,7 +333,6 @@ fn run_process<A>(
 ) where
     A: Actor,
 {
-    let start = Instant::now();
     let mut storage = Storage::new();
     let mut rng = DetRng::seed_from(seed);
     let mut next_timer: u64 = 0;
@@ -343,7 +342,9 @@ fn run_process<A>(
     // A small shim around Context dispatch shared by all callbacks.
     macro_rules! with_ctx {
         ($body:expr) => {{
-            let now = SimTime::from_micros(start.elapsed().as_micros() as u64);
+            // All process threads (and the router) share the net's epoch so
+            // cross-process stage deltas in `vs_obs::latency` are meaningful.
+            let now = SimTime::from_micros(epoch.elapsed().as_micros() as u64);
             let mut ctx = Context::new(pid, site, now, &mut storage, &mut rng, &mut next_timer);
             #[allow(clippy::redundant_closure_call)]
             ($body)(&mut actor, &mut ctx);

@@ -25,6 +25,8 @@
 //! | `spans`          | one line: the span log as a JSON array             |
 //! | `views`          | one line: JSON array of per-process current views  |
 //! | `health`         | one line: monitor verdict + journal eviction stats |
+//! | `critical`       | one line: JSON array of per-view critical paths    |
+//! |                  | (see [`crate::latency::critical_paths`])           |
 //!
 //! [`respond`] is a pure function over [`ObsState`] — the tests and the
 //! simulator path call it directly, the TCP server merely frames it.
@@ -206,8 +208,9 @@ pub fn respond(state: &ObsState, request: &str) -> String {
         ["spans"] => state.spans.to_json(),
         ["views"] => views_json(&state.journal),
         ["health"] => health_json(state),
+        ["critical"] => crate::latency::critical_paths_json(&state.spans),
         [] => String::new(),
-        _ => format!("ERR unknown request {request:?} (try: ping | metrics [prom] | trace tail <n> | spans | views | health)"),
+        _ => format!("ERR unknown request {request:?} (try: ping | metrics [prom] | trace tail <n> | spans | views | health | critical)"),
     }
 }
 
@@ -436,6 +439,48 @@ mod tests {
         assert_eq!(v.get("monitor_clean").and_then(json::Value::as_bool), Some(false));
         assert_eq!(v.get("violations").and_then(json::Value::as_f64), Some(1.0));
         assert!(v.get("last_violation").and_then(json::Value::as_str).is_some());
+    }
+
+    #[test]
+    fn respond_metrics_includes_bucket_bounds_for_scrapers() {
+        // External scrapers (vstool slo) reassemble histograms from the
+        // exported parts; the reply must carry the bucket layout.
+        let obs = populated();
+        let payload = obs.with(|s| respond(s, "metrics"));
+        let v = json::parse(&payload).expect("valid json");
+        let h = v
+            .get("histograms")
+            .and_then(|h| h.get("span.view_change_us"))
+            .expect("histogram present");
+        let bounds = h.get("bounds_us").and_then(json::Value::as_arr).expect("bounds");
+        let counts = h.get("bucket_counts").and_then(json::Value::as_arr).expect("counts");
+        assert_eq!(bounds.len(), crate::DEFAULT_LATENCY_BUCKETS_US.len());
+        assert_eq!(counts.len(), bounds.len() + 1, "overflow bucket included");
+    }
+
+    #[test]
+    fn respond_critical_attributes_views_to_their_slowest_stage() {
+        let obs = populated();
+        // Give the closed view_change root a dominant child phase.
+        obs.with(|s| {
+            let root = s
+                .spans
+                .spans()
+                .find(|sp| sp.name == "view_change")
+                .map(|sp| sp.id)
+                .expect("root span");
+            let a = s.spans.start(0, 5, "agree", Some(root), 3);
+            s.spans.end(a, 35);
+            let f = s.spans.start(0, 35, "flush", Some(root), 3);
+            s.spans.end(f, 40);
+        });
+        let payload = obs.with(|s| respond(s, "critical"));
+        let v = json::parse(&payload).expect("valid json");
+        let rows = v.as_arr().expect("array");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("stage").and_then(json::Value::as_str), Some("agree"));
+        assert_eq!(rows[0].get("stage_us").and_then(json::Value::as_f64), Some(30.0));
+        assert_eq!(rows[0].get("epoch").and_then(json::Value::as_f64), Some(3.0));
     }
 
     #[test]

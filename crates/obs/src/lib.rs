@@ -43,6 +43,7 @@ pub mod clock;
 pub mod global;
 pub mod introspect;
 pub mod json;
+pub mod latency;
 mod metrics;
 pub mod monitor;
 pub mod span;
@@ -53,6 +54,7 @@ pub mod trace_export;
 pub use clock::{fnv1a, VClock};
 pub use introspect::IntrospectServer;
 pub use global::GlobalTrace;
+pub use latency::{critical_paths, CriticalPath, LatencyTracker, StampKey, DEFAULT_STAMP_CAPACITY};
 pub use metrics::{Histogram, MetricsRegistry, DEFAULT_LATENCY_BUCKETS_US};
 pub use monitor::{Monitor, MonitorReport, MonitorViolation, MAX_MONITOR_REPORTS};
 pub use span::{Span, SpanId, SpanLog, ViewBreakdown, DEFAULT_SPAN_CAPACITY};
@@ -73,6 +75,8 @@ pub struct ObsState {
     pub journal: Journal,
     /// The span log.
     pub spans: SpanLog,
+    /// In-flight per-message stage stamps.
+    pub latency: LatencyTracker,
 }
 
 /// A shared, cheaply clonable observability handle.
@@ -99,6 +103,7 @@ impl Obs {
                 metrics: MetricsRegistry::new(),
                 journal: Journal::with_capacity(capacity),
                 spans: SpanLog::default(),
+                latency: LatencyTracker::default(),
             })),
         }
     }

@@ -65,6 +65,31 @@ impl Histogram {
         Histogram::with_bounds(DEFAULT_LATENCY_BUCKETS_US)
     }
 
+    /// Reassembles a histogram from previously exported parts (the fields
+    /// [`Histogram::to_json`] emits), so a scraper can reconstruct remote
+    /// histograms and merge them with [`MetricsRegistry::absorb`] without
+    /// hard-coding any bucket layout. Returns `None` when the parts are
+    /// inconsistent: bounds not strictly increasing, a count vector that
+    /// does not have exactly one slot per bound plus overflow, or bucket
+    /// counts that do not sum to `count`.
+    pub fn from_parts(bounds: &[u64], bucket_counts: &[u64], sum: u64, min: u64, max: u64) -> Option<Self> {
+        if bounds.is_empty()
+            || !bounds.windows(2).all(|w| w[0] < w[1])
+            || bucket_counts.len() != bounds.len() + 1
+        {
+            return None;
+        }
+        let count: u64 = bucket_counts.iter().sum();
+        Some(Histogram {
+            bounds: bounds.to_vec(),
+            counts: bucket_counts.to_vec(),
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max: if count == 0 { 0 } else { max },
+        })
+    }
+
     /// Records one observation.
     pub fn observe(&mut self, value: u64) {
         let idx = self.bounds.partition_point(|&b| b < value);
@@ -275,6 +300,27 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Registers `histogram` under `name` wholesale, merging bucket-wise
+    /// into an existing entry with matching bounds (the same rule as
+    /// [`MetricsRegistry::absorb`]). Scrapers use this to rebuild a
+    /// registry from exported parts.
+    pub fn insert_histogram(&mut self, name: &str, histogram: Histogram) {
+        match self.histograms.get_mut(name) {
+            Some(mine) if mine.bounds == histogram.bounds => {
+                for (c, o) in mine.counts.iter_mut().zip(&histogram.counts) {
+                    *c += o;
+                }
+                mine.count += histogram.count;
+                mine.sum = mine.sum.saturating_add(histogram.sum);
+                mine.min = mine.min.min(histogram.min);
+                mine.max = mine.max.max(histogram.max);
+            }
+            _ => {
+                self.histograms.insert(name.to_string(), histogram);
+            }
+        }
+    }
+
     /// All counters, sorted by name.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
@@ -466,6 +512,47 @@ mod tests {
         h.observe(42);
         assert_eq!(h.quantile(0.5), Some(42.0));
         assert_eq!(h.quantile(0.999), Some(42.0));
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_inconsistency() {
+        let mut h = Histogram::with_bounds(&[10, 100]);
+        for v in [4, 40, 400] {
+            h.observe(v);
+        }
+        let back = Histogram::from_parts(
+            h.bounds(),
+            h.bucket_counts(),
+            h.sum(),
+            h.min().unwrap(),
+            h.max().unwrap(),
+        )
+        .expect("consistent parts");
+        assert_eq!(back, h);
+        assert_eq!(Histogram::from_parts(&[], &[1], 0, 0, 0), None);
+        assert_eq!(Histogram::from_parts(&[10, 5], &[0, 0, 0], 0, 0, 0), None);
+        assert_eq!(Histogram::from_parts(&[10], &[1], 0, 0, 0), None, "missing overflow slot");
+        // Empty parts normalise min/max so a later merge stays correct.
+        let empty = Histogram::from_parts(&[10], &[0, 0], 0, 7, 3).unwrap();
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+    }
+
+    #[test]
+    fn insert_histogram_merges_matching_bounds() {
+        let mut m = MetricsRegistry::new();
+        let mut a = Histogram::with_bounds(&[10, 100]);
+        a.observe(5);
+        let mut b = Histogram::with_bounds(&[10, 100]);
+        b.observe(50);
+        m.insert_histogram("h", a);
+        m.insert_histogram("h", b);
+        let h = m.histogram("h").unwrap();
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (2, 55, Some(5), Some(50)));
+        // Mismatched bounds replace rather than corrupt.
+        let other = Histogram::with_bounds(&[7]);
+        m.insert_histogram("h", other.clone());
+        assert_eq!(m.histogram("h"), Some(&other));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use vs_obs::json::{self, Value};
 use vs_obs::TraceEvent;
 
 pub mod live;
+pub mod slo;
 
 /// Relative tolerance (as a fraction) applied to `*_us` histogram stats
 /// by [`bench_gate`] unless overridden: timings may drift ±25% before

@@ -13,7 +13,9 @@
 //!   first property violation, minimise and serialise it;
 //! - `probe <addr> <request…>` — one live-introspection request against a
 //!   running process started with `--introspect`;
-//! - `top <addr>` — refreshing dashboard over the same protocol.
+//! - `top <addr>` — refreshing dashboard over the same protocol;
+//! - `slo <addr>…` — scrape several live endpoints, merge their metrics
+//!   into fleet delivery/stability SLOs and flag anomalies.
 //!
 //! Exit codes: 0 success, 1 the inspected artifact is bad (gate failed,
 //! replay diverged, shrink found nothing, explore's verdict contradicts
@@ -51,7 +53,9 @@ USAGE:
                  [--depth N] [--window LO:HI] [--no-dpor] [--report <file>]
                  [--out-dir <dir>] [--expect-violation]
   vstool probe <addr> <request…>
-  vstool top <addr> [--interval MS] [--iterations N]
+  vstool top <addr> [--interval MS] [--iterations N] [--once]
+  vstool slo <addr>… [--out <report.json>] [--storm-rate VIEWS_PER_SEC]
+             [--stall-ms MS] [--straggler-frac F] [--fail-on-anomaly]
 
 `trace` filters compose conjunctively; --after/--before cut on vector-clock
 components (`P:C` keeps events whose clock for process P is >=C / <=C).
@@ -68,10 +72,16 @@ a clean space, 1 on a violation — inverted by --expect-violation.
 `probe`/`top` talk to a process started with `--introspect <addr>` (any
 exp_* binary, the threaded_live example, or a ThreadedNet embedding):
 probe sends one request (ping | metrics [prom] | trace tail N | spans |
-views | health) and prints the reply; top polls metrics/views/health and
-renders counter rates, latency quantiles and per-process views, deriving
-rates from the target's own `time.now_us` clock (virtual or wall). With
---iterations N top exits after N frames (scriptable).";
+views | health | critical) and prints the reply; top polls
+metrics/views/health and renders counter rates, latency quantiles and
+per-process views, deriving rates from the target's own `time.now_us`
+clock (virtual or wall). With --iterations N top exits after N frames;
+--once renders a single frame and exits without polling (scriptable).
+`slo` scrapes metrics + critical paths from every listed endpoint, merges
+histograms bucket-wise into fleet p50/p99/p999 delivery and stability
+SLOs, and flags view-change storms, stability stalls and straggler
+processes; --out writes a JSON report bench-gate accepts as a baseline or
+fresh input, and --fail-on-anomaly turns any flag into exit 1.";
 
 fn fail(msg: String) -> ExitCode {
     eprintln!("vstool: {msg}");
@@ -468,8 +478,11 @@ fn cmd_top(mut args: Vec<String>) -> Result<ExitCode, String> {
         Some(ms) => Duration::from_millis(parse_u64("--interval", &ms)?),
         None => Duration::from_millis(1000),
     };
+    let once = take_flag(&mut args, "--once");
     let iterations = match take_opt(&mut args, "--iterations")? {
+        Some(_) if once => return Err("top: --once and --iterations conflict".into()),
         Some(n) => Some(parse_u64("--iterations", &n)?),
+        None if once => Some(1),
         None => None,
     };
     let [addr] = args.as_slice() else {
@@ -477,7 +490,8 @@ fn cmd_top(mut args: Vec<String>) -> Result<ExitCode, String> {
     };
     let mut client = vstool::live::ProbeClient::connect(addr)
         .map_err(|e| format!("top: {e}"))?;
-    let clear = std::io::stdout().is_terminal();
+    // A one-shot frame is for capture, never for a screen: don't clear.
+    let clear = !once && std::io::stdout().is_terminal();
     let mut prev: Option<vstool::live::TopSnapshot> = None;
     let mut frame = 0u64;
     loop {
@@ -501,6 +515,49 @@ fn cmd_top(mut args: Vec<String>) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_slo(mut args: Vec<String>) -> Result<ExitCode, String> {
+    use vstool::slo;
+    let mut thresholds = slo::SloThresholds::default();
+    if let Some(r) = take_opt(&mut args, "--storm-rate")? {
+        thresholds.storm_views_per_sec = r
+            .parse()
+            .map_err(|_| format!("--storm-rate: expected a number, got {r:?}"))?;
+    }
+    if let Some(ms) = take_opt(&mut args, "--stall-ms")? {
+        thresholds.stall_us = parse_u64("--stall-ms", &ms)? * 1000;
+    }
+    if let Some(f) = take_opt(&mut args, "--straggler-frac")? {
+        thresholds.straggler_fraction = f
+            .parse()
+            .map_err(|_| format!("--straggler-frac: expected a fraction, got {f:?}"))?;
+    }
+    let out = take_opt(&mut args, "--out")?;
+    let fail_on_anomaly = take_flag(&mut args, "--fail-on-anomaly");
+    if args.is_empty() {
+        return Err("slo: expected at least one endpoint address".into());
+    }
+    let mut snaps = Vec::new();
+    for addr in &args {
+        match slo::scrape(addr) {
+            Ok(s) => snaps.push(s),
+            Err(e) => eprintln!("slo: skipping {addr}: {e}"),
+        }
+    }
+    if snaps.is_empty() {
+        return Err("slo: no endpoint could be scraped".into());
+    }
+    let report = slo::merge(&snaps, &thresholds);
+    print!("{}", report.render());
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("SLO report written to {path}");
+    }
+    if fail_on_anomaly && !report.anomalies.is_empty() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
@@ -518,6 +575,7 @@ fn main() -> ExitCode {
         "explore" => cmd_explore(args),
         "probe" => cmd_probe(args),
         "top" => cmd_top(args),
+        "slo" => cmd_slo(args),
         other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
     };
     match result {

@@ -1,0 +1,482 @@
+//! Fleet-wide SLO collector: the machinery behind `vstool slo`.
+//!
+//! `vstool slo` scrapes the live-introspection endpoints of N running
+//! processes (any `exp_*` binary or `ThreadedNet` embedding started with
+//! `--introspect`), reconstructs each endpoint's histograms from the
+//! bucket bounds the `metrics` reply serves, and merges them bucket-wise
+//! into one fleet registry. From the merged `stage.*` histograms it
+//! derives the delivery and stability SLOs (p50/p99/p999) and flags
+//! anomalies:
+//!
+//! - **view-change storms** — an endpoint installing views faster than a
+//!   threshold rate on its own clock;
+//! - **stability stalls** — a message held for stability longer than a
+//!   threshold anywhere in the fleet;
+//! - **stragglers** — one process dominating the fleet's view-change
+//!   critical paths (via the `critical` request).
+//!
+//! The report is machine-readable JSON in the same shape as
+//! `vs_bench::metrics_json` output, so `vstool bench-gate` can gate a
+//! committed fleet baseline against a fresh scrape in CI.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use vs_obs::json::{self, Arr, Obj, Value};
+use vs_obs::{Histogram, MetricsRegistry};
+
+use crate::live::ProbeClient;
+
+/// Merged histogram the delivery SLO is computed from.
+pub const DELIVERY_SLO_HIST: &str = "stage.delivery_total_us";
+/// Merged histogram the stability SLO is computed from.
+pub const STABILITY_SLO_HIST: &str = "stage.stable_us";
+/// Merged histogram the stall anomaly inspects.
+pub const STALL_HIST: &str = "stage.stability_hold_us";
+
+/// Anomaly thresholds, all overridable from the CLI.
+#[derive(Debug, Clone, Copy)]
+pub struct SloThresholds {
+    /// An endpoint installing views faster than this (per second of its
+    /// own `time.now_us` clock) is flagged as a view-change storm.
+    pub storm_views_per_sec: f64,
+    /// A stability hold longer than this anywhere in the fleet is
+    /// flagged as a stall.
+    pub stall_us: u64,
+    /// One process accounting for more than this fraction of the
+    /// fleet's view-change critical-path time is flagged a straggler.
+    pub straggler_fraction: f64,
+}
+
+impl Default for SloThresholds {
+    fn default() -> Self {
+        SloThresholds {
+            storm_views_per_sec: 5.0,
+            stall_us: 2_000_000,
+            straggler_fraction: 0.6,
+        }
+    }
+}
+
+/// One row of an endpoint's `critical` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalRow {
+    /// Process that installed the view.
+    pub process: u64,
+    /// Epoch of the installed view.
+    pub epoch: u64,
+    /// Whole view-change lineage duration, µs.
+    pub total_us: u64,
+    /// Slowest phase of the lineage.
+    pub stage: String,
+    /// Duration of that phase, µs.
+    pub stage_us: u64,
+}
+
+/// Everything scraped from one introspection endpoint.
+#[derive(Debug, Clone)]
+pub struct EndpointSnapshot {
+    /// Address the snapshot came from.
+    pub addr: String,
+    /// The endpoint's `time.now_us` gauge (virtual or wall µs).
+    pub now_us: Option<i64>,
+    /// Counter name → running total.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms reconstructed from the served bucket bounds. Entries
+    /// without `bounds_us`/`bucket_counts` cannot be merged and are
+    /// skipped.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// The endpoint's view-change critical paths.
+    pub critical: Vec<CriticalRow>,
+}
+
+fn u64s(v: &Value) -> Option<Vec<u64>> {
+    v.as_arr()?.iter().map(|x| x.as_f64().map(|f| f as u64)).collect()
+}
+
+impl EndpointSnapshot {
+    /// Parses the `metrics` and `critical` reply payloads of one scrape.
+    /// Pure, so tests can feed canned payloads.
+    pub fn parse(addr: &str, metrics: &str, critical: &str) -> Result<EndpointSnapshot, String> {
+        let mut snap = EndpointSnapshot {
+            addr: addr.to_string(),
+            now_us: None,
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            critical: Vec::new(),
+        };
+        let m = json::parse(metrics).map_err(|e| format!("{addr}: metrics: {e}"))?;
+        if let Some(Value::Obj(entries)) = m.get("counters") {
+            for (k, v) in entries {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| format!("{addr}: counter {k}: not a number"))?;
+                snap.counters.insert(k.clone(), n as u64);
+            }
+        }
+        snap.now_us = m
+            .get("gauges")
+            .and_then(|g| g.get("time.now_us"))
+            .and_then(Value::as_f64)
+            .map(|f| f as i64);
+        if let Some(Value::Obj(entries)) = m.get("histograms") {
+            for (k, v) in entries {
+                let (Some(bounds), Some(counts)) = (
+                    v.get("bounds_us").and_then(u64s),
+                    v.get("bucket_counts").and_then(u64s),
+                ) else {
+                    continue; // not mergeable without the bucket layout
+                };
+                let stat = |f: &str| v.get(f).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+                if let Some(h) =
+                    Histogram::from_parts(&bounds, &counts, stat("sum"), stat("min"), stat("max"))
+                {
+                    snap.histograms.insert(k.clone(), h);
+                }
+            }
+        }
+        let c = json::parse(critical).map_err(|e| format!("{addr}: critical: {e}"))?;
+        for row in c.as_arr().ok_or_else(|| format!("{addr}: critical: expected an array"))? {
+            let n = |f: &str| {
+                row.get(f)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{addr}: critical: missing {f}"))
+            };
+            snap.critical.push(CriticalRow {
+                process: n("process")? as u64,
+                epoch: n("epoch")? as u64,
+                total_us: n("total_us")? as u64,
+                stage: row
+                    .get("stage")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                stage_us: n("stage_us")? as u64,
+            });
+        }
+        Ok(snap)
+    }
+}
+
+/// Scrapes one live endpoint (the `metrics` and `critical` requests).
+pub fn scrape(addr: &str) -> Result<EndpointSnapshot, String> {
+    let mut client = ProbeClient::connect(addr)?;
+    let metrics = client.request("metrics").map_err(|e| format!("{addr}: metrics: {e}"))?;
+    let critical = client.request("critical").map_err(|e| format!("{addr}: critical: {e}"))?;
+    EndpointSnapshot::parse(addr, &metrics, &critical)
+}
+
+/// Quantiles of one merged SLO histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloQuantiles {
+    /// Observations across the whole fleet.
+    pub count: u64,
+    /// Fleet median, µs.
+    pub p50: Option<f64>,
+    /// Fleet 99th percentile, µs.
+    pub p99: Option<f64>,
+    /// Fleet 99.9th percentile, µs.
+    pub p999: Option<f64>,
+}
+
+impl SloQuantiles {
+    fn of(h: &Histogram) -> SloQuantiles {
+        SloQuantiles {
+            count: h.count(),
+            p50: h.quantile(0.50),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let q = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.1}"));
+        Obj::new()
+            .u64("count", self.count)
+            .raw("p50", &q(self.p50))
+            .raw("p99", &q(self.p99))
+            .raw("p999", &q(self.p999))
+            .finish()
+    }
+}
+
+/// The merged fleet report `vstool slo` prints and writes.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Addresses that contributed, in scrape order.
+    pub endpoints: Vec<String>,
+    /// Bucket-wise merge of every endpoint's counters and histograms.
+    pub merged: MetricsRegistry,
+    /// Fleet delivery SLO ([`DELIVERY_SLO_HIST`]), when observed.
+    pub delivery: Option<SloQuantiles>,
+    /// Fleet stability SLO ([`STABILITY_SLO_HIST`]), when observed.
+    pub stability: Option<SloQuantiles>,
+    /// Human-readable anomaly flags; empty means healthy.
+    pub anomalies: Vec<String>,
+}
+
+/// Merges scraped snapshots into one fleet report and runs the anomaly
+/// checks against `thresholds`.
+pub fn merge(snaps: &[EndpointSnapshot], thresholds: &SloThresholds) -> FleetReport {
+    let mut merged = MetricsRegistry::new();
+    let mut anomalies = Vec::new();
+
+    for s in snaps {
+        for (k, v) in &s.counters {
+            merged.add(k, *v);
+        }
+        for (k, h) in &s.histograms {
+            merged.insert_histogram(k, h.clone());
+        }
+
+        // View-change storm: rate on the endpoint's own clock, so the
+        // check reads identically for virtual and wall time.
+        let views = s.counters.get("gcs.views_installed").copied().unwrap_or(0);
+        if let Some(now_us) = s.now_us.filter(|&n| n > 0) {
+            let per_sec = views as f64 / (now_us as f64 / 1e6);
+            if per_sec > thresholds.storm_views_per_sec {
+                anomalies.push(format!(
+                    "view-change storm at {}: {per_sec:.1} views/s (> {:.1}/s)",
+                    s.addr, thresholds.storm_views_per_sec
+                ));
+            }
+        }
+    }
+    if let Some(fleet_now) = snaps.iter().filter_map(|s| s.now_us).max() {
+        merged.set_gauge("time.now_us", fleet_now);
+    }
+
+    // Stability stall: the longest hold anywhere in the fleet.
+    if let Some(max_hold) = merged.histogram(STALL_HIST).and_then(Histogram::max) {
+        if max_hold > thresholds.stall_us {
+            anomalies.push(format!(
+                "stability stall: a message was held {:.1} ms for stability (> {:.1} ms)",
+                max_hold as f64 / 1e3,
+                thresholds.stall_us as f64 / 1e3
+            ));
+        }
+    }
+
+    // Straggler: one process dominating the fleet's critical paths.
+    let mut by_process: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut paths = 0usize;
+    for row in snaps.iter().flat_map(|s| &s.critical) {
+        *by_process.entry(row.process).or_default() += row.total_us;
+        paths += 1;
+    }
+    let fleet_total: u64 = by_process.values().sum();
+    if paths >= 3 && fleet_total > 0 {
+        if let Some((&p, &us)) = by_process.iter().max_by_key(|(_, &us)| us) {
+            let frac = us as f64 / fleet_total as f64;
+            if frac > thresholds.straggler_fraction {
+                anomalies.push(format!(
+                    "straggler: p{p} accounts for {:.0}% of view-change critical-path \
+                     time across {paths} paths (> {:.0}%)",
+                    frac * 100.0,
+                    thresholds.straggler_fraction * 100.0
+                ));
+            }
+        }
+    }
+
+    let delivery = merged.histogram(DELIVERY_SLO_HIST).map(SloQuantiles::of);
+    let stability = merged.histogram(STABILITY_SLO_HIST).map(SloQuantiles::of);
+    FleetReport {
+        endpoints: snaps.iter().map(|s| s.addr.clone()).collect(),
+        merged,
+        delivery,
+        stability,
+        anomalies,
+    }
+}
+
+impl FleetReport {
+    /// The machine-readable report. `experiment`/`metrics` mirror
+    /// `vs_bench::metrics_json`, so the file doubles as a `bench-gate`
+    /// baseline/fresh input; the `slo` and `anomalies` keys are extra.
+    pub fn to_json(&self) -> String {
+        let mut eps = Arr::new();
+        for e in &self.endpoints {
+            eps = eps.raw(&format!("\"{}\"", json::escape(e)));
+        }
+        let q = |s: &Option<SloQuantiles>| {
+            s.as_ref().map_or("null".to_string(), SloQuantiles::to_json)
+        };
+        let mut an = Arr::new();
+        for a in &self.anomalies {
+            an = an.raw(&format!("\"{}\"", json::escape(a)));
+        }
+        Obj::new()
+            .str("experiment", "fleet_slo")
+            .raw("endpoints", &eps.finish())
+            .raw(
+                "slo",
+                &Obj::new()
+                    .raw("delivery", &q(&self.delivery))
+                    .raw("stability", &q(&self.stability))
+                    .finish(),
+            )
+            .raw("anomalies", &an.finish())
+            .raw("metrics", &self.merged.to_json())
+            .finish()
+    }
+
+    /// Human-readable summary for stdout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "fleet SLO over {} endpoint(s):", self.endpoints.len());
+        for e in &self.endpoints {
+            let _ = writeln!(out, "  {e}");
+        }
+        let line = |name: &str, s: &Option<SloQuantiles>| match s {
+            Some(s) => {
+                let f = |v: Option<f64>| {
+                    v.map_or("-".to_string(), |x| format!("{:.1}ms", x / 1e3))
+                };
+                format!(
+                    "{name:<10} count {:<7} p50 {:<9} p99 {:<9} p999 {}",
+                    s.count,
+                    f(s.p50),
+                    f(s.p99),
+                    f(s.p999)
+                )
+            }
+            None => format!("{name:<10} (no samples)"),
+        };
+        let _ = writeln!(out, "{}", line("delivery", &self.delivery));
+        let _ = writeln!(out, "{}", line("stability", &self.stability));
+        if self.anomalies.is_empty() {
+            let _ = writeln!(out, "no anomalies");
+        } else {
+            for a in &self.anomalies {
+                let _ = writeln!(out, "ANOMALY: {a}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsDoc;
+
+    fn metrics_payload(views: u64, now_us: i64, delivery: &[u64], hold: &[u64]) -> String {
+        // Serve what a real endpoint serves: build a registry, render it.
+        let mut m = MetricsRegistry::new();
+        m.add("gcs.views_installed", views);
+        m.add("gcs.delivered", 10);
+        m.set_gauge("time.now_us", now_us);
+        for &v in delivery {
+            m.observe(DELIVERY_SLO_HIST, v);
+            m.observe(STABILITY_SLO_HIST, v * 2);
+        }
+        for &v in hold {
+            m.observe(STALL_HIST, v);
+        }
+        m.to_json()
+    }
+
+    fn crit(process: u64, total_us: u64) -> String {
+        format!(
+            r#"{{"process":{process},"epoch":2,"total_us":{total_us},"stage":"flush","stage_us":{},"fraction":0.5}}"#,
+            total_us / 2
+        )
+    }
+
+    #[test]
+    fn parse_reconstructs_mergeable_histograms_from_served_bounds() {
+        let payload = metrics_payload(2, 1_000_000, &[500, 1500], &[100]);
+        let s = EndpointSnapshot::parse("a:1", &payload, "[]").unwrap();
+        assert_eq!(s.counters["gcs.views_installed"], 2);
+        assert_eq!(s.now_us, Some(1_000_000));
+        let h = &s.histograms[DELIVERY_SLO_HIST];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 2000);
+        // The reconstruction used the served bounds, not a hard-coded layout.
+        assert_eq!(h.bounds(), vs_obs::DEFAULT_LATENCY_BUCKETS_US);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets_across_endpoints() {
+        let a = EndpointSnapshot::parse(
+            "a:1",
+            &metrics_payload(1, 1_000_000, &[500], &[10]),
+            "[]",
+        )
+        .unwrap();
+        let b = EndpointSnapshot::parse(
+            "b:2",
+            &metrics_payload(2, 2_000_000, &[1500, 90_000], &[20]),
+            "[]",
+        )
+        .unwrap();
+        let r = merge(&[a, b], &SloThresholds::default());
+        assert_eq!(r.endpoints, vec!["a:1", "b:2"]);
+        assert_eq!(r.merged.counter("gcs.views_installed"), 3);
+        let d = r.delivery.expect("fleet delivery SLO");
+        assert_eq!(d.count, 3);
+        assert!(d.p99.unwrap() > 0.0, "merged p99 must be nonzero");
+        assert!(r.anomalies.is_empty(), "{:?}", r.anomalies);
+    }
+
+    #[test]
+    fn report_json_is_a_valid_bench_gate_input() {
+        let a = EndpointSnapshot::parse(
+            "a:1",
+            &metrics_payload(1, 1_000_000, &[500, 700], &[10]),
+            "[]",
+        )
+        .unwrap();
+        let r = merge(&[a], &SloThresholds::default());
+        let doc = MetricsDoc::parse(&r.to_json()).expect("bench-gate parses the report");
+        assert_eq!(doc.experiment, "fleet_slo");
+        assert_eq!(doc.counters["gcs.views_installed"], 1);
+        assert_eq!(doc.histograms[DELIVERY_SLO_HIST].count, 2);
+        // And the SLO block itself survives a JSON round trip.
+        let v = json::parse(&r.to_json()).unwrap();
+        let p99 = v.get("slo").and_then(|s| s.get("delivery")).and_then(|d| d.get("p99"));
+        assert!(p99.and_then(Value::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn storm_stall_and_straggler_are_flagged() {
+        // 20 views in 2 virtual seconds = 10/s > 5/s; one 3s stability hold.
+        let noisy = EndpointSnapshot::parse(
+            "noisy:1",
+            &metrics_payload(20, 2_000_000, &[500], &[3_000_000]),
+            // p7 dominates the fleet's critical paths.
+            &format!("[{},{},{}]", crit(7, 900_000), crit(7, 800_000), crit(1, 100_000)),
+        )
+        .unwrap();
+        let r = merge(&[noisy], &SloThresholds::default());
+        assert!(
+            r.anomalies.iter().any(|a| a.contains("view-change storm at noisy:1")),
+            "{:?}",
+            r.anomalies
+        );
+        assert!(r.anomalies.iter().any(|a| a.contains("stability stall")), "{:?}", r.anomalies);
+        assert!(
+            r.anomalies.iter().any(|a| a.contains("straggler: p7")),
+            "{:?}",
+            r.anomalies
+        );
+        // Quiet fleet: none of the three trip.
+        let quiet = EndpointSnapshot::parse(
+            "quiet:1",
+            &metrics_payload(2, 2_000_000, &[500], &[1_000]),
+            &format!("[{},{}]", crit(0, 500_000), crit(1, 400_000)),
+        )
+        .unwrap();
+        assert!(merge(&[quiet], &SloThresholds::default()).anomalies.is_empty());
+    }
+
+    #[test]
+    fn histograms_without_bounds_are_skipped_not_fatal() {
+        let payload = r#"{"counters":{"gcs.views_installed":1},
+            "gauges":{"time.now_us":1000},
+            "histograms":{"legacy_us":{"count":3,"mean":20.0,"p50":20.0}}}"#;
+        let s = EndpointSnapshot::parse("a:1", payload, "[]").unwrap();
+        assert!(s.histograms.is_empty());
+    }
+}

@@ -24,14 +24,32 @@ use view_synchrony::gcs::Wire;
 use view_synchrony::net::threaded::ThreadedNet;
 use view_synchrony::net::{Actor, Context, ProcessId, TimerId, TimerKind};
 
-/// Thin newtype so the example owns the Actor impl.
-struct Node(EvsEndpoint<String>);
+const N: u64 = 4;
+
+/// Thin wrapper so the example owns the Actor impl. Each node multicasts
+/// one application message as soon as it sees the full view — actors
+/// drive themselves on the threaded transport — which also populates the
+/// `stage.*` latency histograms `vstool slo` scrapes.
+struct Node {
+    ep: EvsEndpoint<String>,
+    sent: bool,
+}
+
+impl Node {
+    fn maybe_mcast(&mut self, ctx: &mut Context<'_, Wire<EvsMsg<String>>, EvsEvent<String>>) {
+        if !self.sent && self.ep.view().len() == N as usize {
+            self.sent = true;
+            let me = ctx.me();
+            self.ep.mcast(format!("hello from {me}"), ctx);
+        }
+    }
+}
 
 impl Actor for Node {
     type Msg = Wire<EvsMsg<String>>;
     type Output = EvsEvent<String>;
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
-        self.0.on_start(ctx);
+        self.ep.on_start(ctx);
     }
     fn on_message(
         &mut self,
@@ -39,7 +57,8 @@ impl Actor for Node {
         msg: Self::Msg,
         ctx: &mut Context<'_, Self::Msg, Self::Output>,
     ) {
-        self.0.on_message(from, msg, ctx);
+        self.ep.on_message(from, msg, ctx);
+        self.maybe_mcast(ctx);
     }
     fn on_timer(
         &mut self,
@@ -47,7 +66,8 @@ impl Actor for Node {
         k: TimerKind,
         ctx: &mut Context<'_, Self::Msg, Self::Output>,
     ) {
-        self.0.on_timer(t, k, ctx);
+        self.ep.on_timer(t, k, ctx);
+        self.maybe_mcast(ctx);
     }
 }
 
@@ -87,7 +107,7 @@ fn flag_value(flag: &str) -> Option<String> {
 
 fn main() {
     view_synchrony::obs::blackbox::install();
-    let n = 4u64;
+    let n = N;
     let mut net: ThreadedNet<Node> = ThreadedNet::new(2026);
     net.obs().enable_monitor();
     view_synchrony::obs::blackbox::attach(net.obs(), "threaded_live");
@@ -104,7 +124,7 @@ fn main() {
         let mut ep = EvsEndpoint::new(pid, EvsConfig::default());
         ep.set_contacts((0..n).map(ProcessId::from_raw));
         ep.set_obs(obs.clone());
-        pids.push(net.spawn(Node(ep)));
+        pids.push(net.spawn(Node { ep, sent: false }));
     }
 
     println!("== forming a group of {n} over real threads ==");

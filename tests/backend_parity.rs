@@ -6,9 +6,10 @@
 //! `net.*` vocabulary, or dashboards and `vstool top` would read
 //! differently depending on the backend. This test runs one small
 //! scenario (form a group of three, multicast a little) on both backends
-//! and diffs the counter *name sets*: a core vocabulary must appear on
-//! both sides, and any difference must be a counter that is legitimately
-//! timing- or fault-dependent (it only exists once first incremented).
+//! and diffs the counter and histogram *name sets*: a core vocabulary
+//! must appear on both sides, and any difference must be a metric that is
+//! legitimately timing- or fault-dependent (it only exists once first
+//! incremented or observed).
 
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -32,13 +33,46 @@ const CORE: &[&str] = &[
     "membership.views_installed",
 ];
 
+/// Stage histograms the latency-attribution plane must register on both
+/// backends: every delivery passes the same stamp sites regardless of
+/// transport. `stage.stable_us` is *not* core — it only exists once a
+/// sender's stability frontier advances, which the threaded run's settle
+/// window does not guarantee.
+const CORE_STAGE_HISTS: &[&str] = &[
+    "stage.encode_us",
+    "stage.wire_us",
+    "stage.order_hold_us",
+    "stage.stability_hold_us",
+    "stage.delivery_total_us",
+    "stage.evs_gate_us",
+];
+
 /// Name prefixes whose presence legitimately differs between backends:
 /// they count faults that the scenario does not inject (`net.dropped_*`)
 /// or wire-level opportunities that depend on real scheduling (`fd.*`
-/// suppression, piggybacking, retransmission and flush bookkeeping).
-const TIMING_DEPENDENT: &[&str] = &["net.dropped_", "fd.", "gcs.", "evs."];
+/// suppression, piggybacking, retransmission and flush bookkeeping, and
+/// the `latency.*` eviction/orphan accounting). `evs.*` used to be
+/// allowlisted too, but both of its scenario counters
+/// (`evs.eviews_composed`, `evs.gated_dropped`) are recorded on every
+/// view change on either backend, so it now holds to exact parity.
+const TIMING_DEPENDENT: &[&str] = &["net.dropped_", "fd.", "gcs.", "latency."];
 
-fn sim_counters() -> BTreeSet<String> {
+/// Histogram names allowed to exist on only one backend: stability
+/// frontiers (sender-side `stage.stable_us`) and span phases depend on
+/// which timers actually fired before the snapshot.
+const TIMING_DEPENDENT_HISTS: &[&str] = &["stage.stable_us", "span.", "membership."];
+
+/// Counter and histogram name sets of one run.
+type NameSets = (BTreeSet<String>, BTreeSet<String>);
+
+fn name_sets(metrics: &view_synchrony::obs::MetricsRegistry) -> NameSets {
+    (
+        metrics.counters().map(|(name, _)| name.to_string()).collect(),
+        metrics.histograms().map(|(name, _)| name.to_string()).collect(),
+    )
+}
+
+fn sim_counters() -> NameSets {
     let config = SimConfig { monitor: true, ..SimConfig::default() };
     let mut sim: Sim<EvsEndpoint<String>> = Sim::new(11, config);
     let mut pids = Vec::new();
@@ -65,11 +99,7 @@ fn sim_counters() -> BTreeSet<String> {
         sim.run_for(SimDuration::from_millis(50));
     }
     sim.run_for(SimDuration::from_millis(500));
-    sim.obs()
-        .metrics_snapshot()
-        .counters()
-        .map(|(name, _)| name.to_string())
-        .collect()
+    name_sets(&sim.obs().metrics_snapshot())
 }
 
 /// Threaded-side actor: once the full view is installed, multicasts one
@@ -115,7 +145,7 @@ impl Actor for Node {
     }
 }
 
-fn threaded_counters() -> BTreeSet<String> {
+fn threaded_counters() -> NameSets {
     let mut net: ThreadedNet<Node> = ThreadedNet::new(11);
     net.obs().enable_monitor();
     for i in 0..N {
@@ -141,20 +171,15 @@ fn threaded_counters() -> BTreeSet<String> {
     // Each node multicasts once on its own once the view is full; give
     // the deliveries (and some heartbeat traffic) time to land.
     std::thread::sleep(Duration::from_millis(400));
-    let names = net
-        .obs()
-        .metrics_snapshot()
-        .counters()
-        .map(|(name, _)| name.to_string())
-        .collect();
+    let names = name_sets(&net.obs().metrics_snapshot());
     net.shutdown();
     names
 }
 
 #[test]
 fn both_backends_speak_the_same_counter_vocabulary() {
-    let sim = sim_counters();
-    let threaded = threaded_counters();
+    let (sim, sim_hists) = sim_counters();
+    let (threaded, threaded_hists) = threaded_counters();
 
     for &name in CORE {
         assert!(sim.contains(name), "sim run is missing core counter {name}");
@@ -169,5 +194,25 @@ fn both_backends_speak_the_same_counter_vocabulary() {
         stray.is_empty(),
         "counters on only one backend without a documented reason: {stray:?}\n\
          sim: {sim:?}\nthreaded: {threaded:?}"
+    );
+
+    // The latency-attribution stages are part of the shared vocabulary:
+    // a dashboard or `vstool slo` scrape must find the same stage
+    // histograms no matter which transport drives the stack.
+    for &name in CORE_STAGE_HISTS {
+        assert!(sim_hists.contains(name), "sim run is missing stage histogram {name}");
+        assert!(
+            threaded_hists.contains(name),
+            "threaded run is missing stage histogram {name}"
+        );
+    }
+    let stray_hists: Vec<&String> = sim_hists
+        .symmetric_difference(&threaded_hists)
+        .filter(|name| !TIMING_DEPENDENT_HISTS.iter().any(|p| name.starts_with(p)))
+        .collect();
+    assert!(
+        stray_hists.is_empty(),
+        "histograms on only one backend without a documented reason: {stray_hists:?}\n\
+         sim: {sim_hists:?}\nthreaded: {threaded_hists:?}"
     );
 }

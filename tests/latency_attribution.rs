@@ -1,0 +1,106 @@
+//! Latency attribution under journal pressure.
+//!
+//! The stage-stamp tracker (`vs_obs::latency`) is a bounded FIFO: under
+//! load, a message's submit stamp can be evicted while the message is
+//! still in flight. These tests pin the contract for that race — a
+//! delivery whose submit stamp is gone must be *flagged* (the
+//! `latency.orphaned` counter), never turned into a fabricated histogram
+//! sample — and the arithmetic identity that makes the per-stage
+//! breakdown trustworthy: encode + wire + order hold + stability hold
+//! sums to exactly the end-to-end delivery total when no sample was
+//! orphaned or flush-caught-up.
+
+use view_synchrony::gcs::{GcsConfig, GcsEndpoint};
+use view_synchrony::net::{Sim, SimConfig, SimDuration};
+use view_synchrony::obs::latency::{
+    EVICTED_COUNTER, FLUSH_CATCHUP_COUNTER, ORPHANED_COUNTER, PARTITION_STAGES,
+    STAGE_DELIVERY_TOTAL,
+};
+
+const N: usize = 3;
+
+/// Forms a group of three uniform endpoints and returns the sim.
+fn formed_group(seed: u64) -> (Sim<GcsEndpoint<String>>, Vec<view_synchrony::net::ProcessId>) {
+    let config = SimConfig { monitor: true, ..SimConfig::default() };
+    let mut sim: Sim<GcsEndpoint<String>> = Sim::new(seed, config);
+    let mut pids = Vec::new();
+    for _ in 0..N {
+        let site = sim.alloc_site();
+        pids.push(sim.spawn_with(site, |p| {
+            GcsEndpoint::new(p, GcsConfig { uniform: true, ..GcsConfig::default() })
+        }));
+    }
+    let all = pids.clone();
+    let obs = sim.obs().clone();
+    for &p in &pids {
+        sim.invoke(p, |e, _| {
+            e.set_contacts(all.iter().copied());
+            e.set_obs(obs.clone());
+        });
+    }
+    sim.run_for(SimDuration::from_millis(700));
+    assert_eq!(sim.actor(pids[0]).map(|e| e.view().len()), Some(N), "group formed");
+    (sim, pids)
+}
+
+#[test]
+fn evicted_stamps_orphan_deliveries_instead_of_fabricating_samples() {
+    let (mut sim, pids) = formed_group(77);
+    // Shrink the tracker far below the burst size, so submit stamps of
+    // still-in-flight messages are evicted before their deliveries land.
+    sim.obs().with(|st| st.latency.set_capacity(&mut st.metrics, 2));
+
+    // A burst of 12 multicasts with no time for deliveries in between:
+    // ten of the twelve submit stamps must be evicted immediately.
+    for i in 0..12u64 {
+        sim.invoke(pids[0], |e, ctx| e.mcast(format!("burst{i}"), ctx));
+    }
+    sim.run_for(SimDuration::from_secs(2));
+    let run_us = sim.now().as_micros();
+
+    let snap = sim.obs().metrics_snapshot();
+    assert!(snap.counter(EVICTED_COUNTER) >= 10, "the burst overflowed the tracker");
+    assert!(snap.counter(ORPHANED_COUNTER) > 0, "deliveries of evicted stamps are flagged");
+
+    // Every recorded sample is bounded by the run itself: an orphaned
+    // delivery never became a bogus huge (or any) latency sample.
+    let h = snap.histogram(STAGE_DELIVERY_TOTAL).expect("surviving stamps still measure");
+    assert!(h.count() > 0, "the stamps that survived produced samples");
+    assert!(
+        h.max().unwrap() <= run_us,
+        "sample {}µs exceeds the {}µs run — fabricated from a missing stamp",
+        h.max().unwrap(),
+        run_us
+    );
+    // Orphans are skipped, not guessed: fewer total-latency samples than
+    // deliveries, by exactly the orphan count (flush catchups still
+    // record a total, so they sit on the measured side).
+    assert_eq!(
+        h.count() + snap.counter(ORPHANED_COUNTER),
+        snap.counter("gcs.delivered"),
+        "every delivery is either measured or orphaned"
+    );
+}
+
+#[test]
+fn stage_sums_partition_the_delivery_total_exactly() {
+    let (mut sim, pids) = formed_group(78);
+    for i in 0..10u64 {
+        sim.invoke(pids[(i as usize) % N], |e, ctx| e.mcast(format!("m{i}"), ctx));
+        sim.run_for(SimDuration::from_millis(40));
+    }
+    sim.run_for(SimDuration::from_secs(1));
+
+    let snap = sim.obs().metrics_snapshot();
+    assert_eq!(snap.counter(ORPHANED_COUNTER), 0);
+    assert_eq!(snap.counter(FLUSH_CATCHUP_COUNTER), 0);
+    let total = snap.histogram(STAGE_DELIVERY_TOTAL).expect("deliveries measured");
+    assert_eq!(total.count() as usize, 10 * N, "every member measured every message");
+    let parts: u64 = PARTITION_STAGES
+        .iter()
+        .map(|s| snap.histogram(s).map_or(0, |h| h.sum()))
+        .sum();
+    // Not "within 5%" — the identity is arithmetic when nothing was
+    // orphaned: each sample's stages telescope to its total.
+    assert_eq!(parts, total.sum(), "stage sums must telescope to the end-to-end total");
+}
