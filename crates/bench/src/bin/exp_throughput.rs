@@ -1,0 +1,562 @@
+//! E12 — throughput saturation of the GCS over a real transport.
+//!
+//! Spawns `--procs` nodes, forms one view-synchronous group, then floods
+//! it with a closed-loop multicast load: every node keeps `--window`
+//! multicasts outstanding and replenishes each of its own messages the
+//! moment it is delivered back, for `--secs` seconds measured on the
+//! node's own clock from the instant the full view formed. The window is
+//! the saturation mechanism — the group runs as fast as flush-free
+//! steady state allows, and delivery latency under that load is the
+//! number the paper's serving-path claims stand on.
+//!
+//! `--backend socket` (the default) is the headline mode: each node is a
+//! **separate OS process** hosting a [`vs_net::socket::SocketNet`], the
+//! parent wires the fleet over loopback TCP (`NODE`/`PEERS` handshake on
+//! stdio), and per-node results are aggregated into
+//! `BENCH_throughput.json` — the only mode that commits a baseline,
+//! because it is the only one whose numbers include real syscalls.
+//! `--backend sim|threaded` run the identical workload in-process for
+//! comparison and debugging.
+//!
+//! Every payload is built with the pooled `vs_evs::Writer`, so the run
+//! also reports the `BufPool` hit rate — the codec hot path the pool
+//! exists for (steady state must stay ≥ 90 %).
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use vs_bench::Table;
+use vs_evs::{BufPool, Writer};
+use vs_gcs::{GcsConfig, GcsEndpoint, GcsEvent, Wire};
+use vs_net::socket::SocketNet;
+use vs_net::{Actor, BackendKind, Context, ProcessId, TimerId, TimerKind};
+use vs_obs::{MetricsRegistry, Obs};
+
+/// Seed base; child `i` uses `SEED + i` so RNG-driven jitter differs
+/// per node like it does per simulated process.
+const SEED: u64 = 1200;
+
+/// How long a node keeps serving the group after its own measurement
+/// window closed, so slower peers finish against a full group instead
+/// of a collapsing one.
+const DRAIN: Duration = Duration::from_millis(1500);
+
+/// Wall-clock cap on group formation; a fleet that cannot form a full
+/// view in this long is broken, not slow.
+const FORM_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[derive(Clone, Copy)]
+struct Knobs {
+    procs: usize,
+    secs: u64,
+    window: u64,
+    payload: usize,
+}
+
+impl Knobs {
+    fn from_flags() -> Knobs {
+        let num = |flag: &str, default: u64| {
+            vs_bench::flag_value(flag)
+                .map(|v| v.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("{flag} wants a number, got {v:?}");
+                    std::process::exit(2);
+                }))
+                .unwrap_or(default)
+        };
+        Knobs {
+            procs: num("--procs", 3) as usize,
+            secs: num("--secs", 2),
+            window: num("--window", 16),
+            payload: num("--payload", 96) as usize,
+        }
+    }
+
+    fn run_us(&self) -> u64 {
+        self.secs * 1_000_000
+    }
+}
+
+/// The flooding node: a [`GcsEndpoint`] wrapped in the closed-loop load
+/// generator. All bookkeeping lives on the endpoint's own clock
+/// (`ctx.now()`), so the same actor measures honestly on the simulator's
+/// virtual time and on the socket transport's shared unix epoch.
+struct FloodNode {
+    ep: GcsEndpoint<Bytes>,
+    group: usize,
+    window: u64,
+    payload: usize,
+    run_us: u64,
+    seq: u64,
+    formed_at: Option<u64>,
+    done: bool,
+    obs: Obs,
+}
+
+type Ctx<'a> = Context<'a, Wire<Bytes>, ()>;
+
+impl FloodNode {
+    fn new(
+        me: ProcessId,
+        contacts: Vec<ProcessId>,
+        obs: Obs,
+        knobs: &Knobs,
+    ) -> FloodNode {
+        let mut ep = GcsEndpoint::new(me, GcsConfig::default());
+        ep.set_contacts(contacts.iter().copied());
+        ep.set_obs(obs.clone());
+        FloodNode {
+            ep,
+            group: contacts.len(),
+            window: knobs.window,
+            payload: knobs.payload,
+            run_us: knobs.run_us(),
+            seq: 0,
+            formed_at: None,
+            done: false,
+            obs,
+        }
+    }
+
+    fn handle(&mut self, events: Vec<GcsEvent<Bytes>>, ctx: &mut Ctx<'_>) {
+        for ev in events {
+            match ev {
+                GcsEvent::ViewChange { view, .. }
+                    if view.len() == self.group && self.formed_at.is_none() =>
+                {
+                    self.formed_at = Some(ctx.now().as_micros());
+                    self.obs.inc("tp.nodes_started");
+                }
+                // Remote deliveries only: the local copy delivers in the
+                // same callback as the mcast, which would record a zero
+                // and skew the latency distribution by 1/n.
+                GcsEvent::Deliver { sender, payload, .. }
+                    if !self.done && sender != ctx.me() =>
+                {
+                    let mut r = vs_evs::codec::Reader::new(&payload);
+                    if let Ok(submit) = r.u64() {
+                        let now = ctx.now().as_micros();
+                        self.obs.observe("tp.delivery_us", now.saturating_sub(submit));
+                        self.obs.inc("tp.delivered");
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.pump(ctx);
+    }
+
+    /// Refills the in-flight window, or closes the measurement once the
+    /// node-side deadline passed. The window is clocked off the
+    /// **stability cut** — a message stays in flight until every member
+    /// acked it — because local delivery is synchronous with `mcast` and
+    /// therefore useless as a completion signal. Payloads go through the
+    /// pooled codec writer: (submit µs, sender, seq), zero-padded.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(formed) = self.formed_at else { return };
+        if self.done {
+            return;
+        }
+        let now = ctx.now().as_micros();
+        if now >= formed + self.run_us {
+            self.finish();
+            return;
+        }
+        let stable = self.ep.stability_cut(ctx.me());
+        while self.seq.saturating_sub(stable) < self.window {
+            self.seq += 1;
+            let mut w = Writer::with_capacity(self.payload.max(24));
+            w.u64(now);
+            w.pid(ctx.me());
+            w.u64(self.seq);
+            while w.len() < self.payload {
+                w.u8(0);
+            }
+            let payload = w.finish();
+            // The scoped events are this mcast's `Sent` and the
+            // synchronous local `Deliver`, both uninteresting here.
+            let ((), _own) =
+                ctx.scoped::<GcsEvent<Bytes>, _>(|sub| self.ep.mcast(payload, sub));
+        }
+    }
+
+    fn finish(&mut self) {
+        if !self.done {
+            self.done = true;
+            self.obs.inc("tp.nodes_done");
+        }
+    }
+}
+
+impl Actor for FloodNode {
+    type Msg = Wire<Bytes>;
+    type Output = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let ((), evs) = ctx.scoped(|sub| self.ep.on_start(sub));
+        self.handle(evs, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Wire<Bytes>, ctx: &mut Ctx<'_>) {
+        let ((), evs) = ctx.scoped(|sub| self.ep.on_message(from, msg, sub));
+        self.handle(evs, ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, kind: TimerKind, ctx: &mut Ctx<'_>) {
+        let ((), evs) = ctx.scoped(|sub| self.ep.on_timer(timer, kind, sub));
+        self.handle(evs, ctx);
+    }
+}
+
+/// One node's share of the run, as reported on its `TPRESULT` line.
+#[derive(Default, Clone, Copy)]
+struct NodeResult {
+    delivered: u64,
+    p50_us: u64,
+    p99_us: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+}
+
+fn quantiles(metrics: &MetricsRegistry) -> (u64, u64) {
+    let h = metrics.histogram("tp.delivery_us");
+    let q = |q: f64| h.and_then(|h| h.quantile(q)).unwrap_or(0.0).round() as u64;
+    (q(0.50), q(0.99))
+}
+
+/// Drives a backend until every node reported done (or panics on the
+/// wall-clock cap). Returns the final metrics snapshot.
+fn drive<F>(label: &str, n: usize, cap: Duration, mut step: F) -> MetricsRegistry
+where
+    F: FnMut() -> MetricsRegistry,
+{
+    let deadline = Instant::now() + cap;
+    loop {
+        let m = step();
+        if m.counter("tp.nodes_done") >= n as u64 {
+            return m;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{label}: fleet did not finish within {cap:?} \
+             (started {}, done {})",
+            m.counter("tp.nodes_started"),
+            m.counter("tp.nodes_done"),
+        );
+    }
+}
+
+/// In-process run over any backend via the [`vs_net::NetBackend`] trait —
+/// the sim and threaded comparison modes.
+fn run_in_process(kind: BackendKind, knobs: &Knobs) -> (MetricsRegistry, NodeResult) {
+    let mut net = vs_net::make_backend::<FloodNode>(kind, SEED).expect("backend");
+    let obs = net.obs();
+    obs.enable_monitor();
+    vs_bench::observe_live("exp_throughput", kind.as_str(), &obs);
+    let contacts: Vec<ProcessId> = (0..knobs.procs as u64).map(ProcessId::from_raw).collect();
+    let pool_before = BufPool::global().stats();
+    for _ in 0..knobs.procs {
+        let contacts = contacts.clone();
+        let obs = obs.clone();
+        let k = *knobs;
+        net.spawn_actor(Box::new(move |me| FloodNode::new(me, contacts, obs, &k)));
+    }
+    let cap = FORM_TIMEOUT + Duration::from_secs(knobs.secs) + DRAIN;
+    let metrics = drive(kind.as_str(), knobs.procs, cap + Duration::from_secs(60), || {
+        net.run(Duration::from_millis(200));
+        net.obs().metrics_snapshot()
+    });
+    // Let in-flight stability traffic settle before the teardown.
+    net.run(Duration::from_millis(300));
+    vs_bench::assert_monitor_clean("exp_throughput", &net.obs());
+    let metrics_final = net.obs().metrics_snapshot();
+    net.shutdown();
+    let pool = BufPool::global().stats();
+    let (p50_us, p99_us) = quantiles(&metrics_final);
+    let _ = metrics;
+    let result = NodeResult {
+        delivered: metrics_final.counter("tp.delivered"),
+        p50_us,
+        p99_us,
+        pool_hits: pool.hits - pool_before.hits,
+        pool_misses: pool.misses - pool_before.misses,
+    };
+    (metrics_final, result)
+}
+
+/// Child-process body for the socket fleet: bind, handshake over stdio,
+/// serve the group, report a `TPRESULT` line.
+fn run_child(idx: u64, knobs: &Knobs) {
+    let mut net: SocketNet<FloodNode> = SocketNet::new(SEED + idx).expect("bind socket net");
+    let obs = net.obs().clone();
+    // No invariant monitor here: Integrity (VS 2.3) relates deliveries to
+    // *peers'* sends, so it is only checkable on a fleet that shares one
+    // observability handle — the in-process modes and the loopback tests.
+    // A real multi-process node would flag every remote delivery.
+    vs_bench::observe_live("exp_throughput", &format!("node{idx}"), &obs);
+    println!("NODE {idx} {}", net.local_addr());
+
+    let mut line = String::new();
+    std::io::stdin().read_line(&mut line).expect("read PEERS");
+    let mut words = line.split_whitespace();
+    assert_eq!(words.next(), Some("PEERS"), "handshake: {line:?}");
+    let addrs: Vec<&str> = words.collect();
+    assert_eq!(addrs.len(), knobs.procs, "one address per node");
+    for (j, addr) in addrs.iter().enumerate() {
+        if j as u64 != idx {
+            net.add_peer(ProcessId::from_raw(j as u64), addr.parse().expect("peer addr"));
+        }
+    }
+
+    let contacts: Vec<ProcessId> = (0..knobs.procs as u64).map(ProcessId::from_raw).collect();
+    let pool_before = BufPool::global().stats();
+    net.spawn_as(
+        ProcessId::from_raw(idx),
+        FloodNode::new(ProcessId::from_raw(idx), contacts, obs.clone(), knobs),
+    );
+
+    let cap = FORM_TIMEOUT + Duration::from_secs(knobs.secs) + Duration::from_secs(60);
+    let metrics = drive(&format!("node{idx}"), 1, cap, || {
+        net.wait_outputs(usize::MAX, Duration::from_millis(100));
+        obs.metrics_snapshot()
+    });
+    // Keep serving so slower peers finish against a full group, then
+    // take the final snapshot (acks for their tail still count here).
+    net.wait_outputs(usize::MAX, DRAIN);
+    let pool = BufPool::global().stats();
+    BufPool::global().publish(&obs);
+    let metrics = {
+        let _ = metrics;
+        obs.metrics_snapshot()
+    };
+    let (p50_us, p99_us) = quantiles(&metrics);
+    println!(
+        "TPRESULT node={idx} delivered={} p50_us={p50_us} p99_us={p99_us} \
+         pool_hits={} pool_misses={}",
+        metrics.counter("tp.delivered"),
+        pool.hits - pool_before.hits,
+        pool.misses - pool_before.misses,
+    );
+    println!(
+        "NODE_METRICS {}",
+        vs_bench::metrics_json(&format!("exp_throughput_node{idx}"), &metrics)
+    );
+    vs_bench::observe::maybe_linger();
+    net.shutdown();
+}
+
+/// Reads child stdout until its `NODE <idx> <addr>` line, echoing
+/// everything else (`INTROSPECT ...` must reach our own stdout for CI).
+fn read_node_line(out: &mut impl BufRead, child: usize) -> String {
+    loop {
+        let mut line = String::new();
+        let n = out.read_line(&mut line).expect("child stdout");
+        assert!(n > 0, "child {child} exited before its NODE line");
+        if let Some(rest) = line.trim_end().strip_prefix("NODE ") {
+            let mut words = rest.split_whitespace();
+            assert_eq!(
+                words.next().and_then(|w| w.parse::<usize>().ok()),
+                Some(child),
+                "child announced the wrong index: {line:?}"
+            );
+            return words.next().expect("NODE line carries an address").to_string();
+        }
+        print!("{line}");
+    }
+}
+
+/// Parent body for the socket fleet: spawn one OS process per node, wire
+/// them to each other, aggregate their `TPRESULT` lines, commit the
+/// bench baseline.
+fn run_parent(knobs: &Knobs) {
+    let exe = std::env::current_exe().expect("own path");
+    let mut forwarded: Vec<String> = vec![
+        "--child".into(),
+        String::new(), // per-child index, patched below
+        "--backend".into(),
+        "socket".into(),
+        "--procs".into(),
+        knobs.procs.to_string(),
+        "--secs".into(),
+        knobs.secs.to_string(),
+        "--window".into(),
+        knobs.window.to_string(),
+        "--payload".into(),
+        knobs.payload.to_string(),
+    ];
+    if vs_bench::introspect_requested().is_some() {
+        // Children bind their own OS-assigned introspection ports; each
+        // prints its own INTROSPECT line, which we echo.
+        forwarded.extend(["--introspect".into(), "127.0.0.1:0".into()]);
+        if let Some(secs) = vs_bench::flag_value("--introspect-linger") {
+            forwarded.extend(["--introspect-linger".into(), secs]);
+        }
+    }
+
+    let started = Instant::now();
+    let mut children: Vec<Child> = (0..knobs.procs)
+        .map(|i| {
+            forwarded[1] = i.to_string();
+            Command::new(&exe)
+                .args(&forwarded)
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("spawn child node")
+        })
+        .collect();
+
+    let mut outs: Vec<BufReader<std::process::ChildStdout>> = children
+        .iter_mut()
+        .map(|c| BufReader::new(c.stdout.take().expect("piped stdout")))
+        .collect();
+    let addrs: Vec<String> = outs
+        .iter_mut()
+        .enumerate()
+        .map(|(i, out)| read_node_line(out, i))
+        .collect();
+    let peers = format!("PEERS {}\n", addrs.join(" "));
+    for child in &mut children {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        stdin.write_all(peers.as_bytes()).expect("send PEERS");
+        stdin.flush().expect("flush PEERS");
+    }
+    println!("fleet wired: {} processes on {}", knobs.procs, addrs.join(", "));
+
+    // Echo + harvest each child's remaining output concurrently; a slow
+    // reader here would otherwise block every child on a full pipe.
+    let harvesters: Vec<_> = outs
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut out)| {
+            std::thread::spawn(move || {
+                let mut result = NodeResult::default();
+                let mut saw_result = false;
+                loop {
+                    let mut line = String::new();
+                    if out.read_line(&mut line).expect("child stdout") == 0 {
+                        break;
+                    }
+                    if let Some(rest) = line.trim_end().strip_prefix("TPRESULT ") {
+                        for kv in rest.split_whitespace() {
+                            let (k, v) = kv.split_once('=').unwrap_or((kv, "0"));
+                            let v: u64 = v.parse().unwrap_or(0);
+                            match k {
+                                "delivered" => result.delivered = v,
+                                "p50_us" => result.p50_us = v,
+                                "p99_us" => result.p99_us = v,
+                                "pool_hits" => result.pool_hits = v,
+                                "pool_misses" => result.pool_misses = v,
+                                _ => {}
+                            }
+                        }
+                        saw_result = true;
+                    }
+                    print!("{line}");
+                }
+                assert!(saw_result, "node {i} exited without a TPRESULT line");
+                result
+            })
+        })
+        .collect();
+    let results: Vec<NodeResult> = harvesters
+        .into_iter()
+        .map(|h| h.join().expect("harvester"))
+        .collect();
+    for (i, child) in children.iter_mut().enumerate() {
+        let status = child.wait().expect("child exit");
+        assert!(status.success(), "node {i} failed: {status}");
+    }
+    let elapsed = started.elapsed();
+
+    report("socket", knobs, &results, Some(elapsed));
+}
+
+/// Renders the per-node table, checks the acceptance floors, and — for
+/// the socket fleet — writes `BENCH_throughput.json`.
+fn report(mode: &str, knobs: &Knobs, results: &[NodeResult], elapsed: Option<Duration>) {
+    let mut table = Table::new(&[
+        "node", "delivered", "p50 µs", "p99 µs", "pool hits", "pool misses",
+    ]);
+    let mut fleet = NodeResult::default();
+    for (i, r) in results.iter().enumerate() {
+        table.row(&[&i, &r.delivered, &r.p50_us, &r.p99_us, &r.pool_hits, &r.pool_misses]);
+        fleet.delivered += r.delivered;
+        fleet.p50_us = fleet.p50_us.max(r.p50_us);
+        fleet.p99_us = fleet.p99_us.max(r.p99_us);
+        fleet.pool_hits += r.pool_hits;
+        fleet.pool_misses += r.pool_misses;
+    }
+    table.print(&format!(
+        "{} nodes × window {} × {}B payloads, {}s measured on each node's clock ({mode})",
+        knobs.procs, knobs.window, knobs.payload, knobs.secs
+    ));
+    let msgs_per_sec = fleet.delivered / knobs.secs.max(1);
+    let hit_rate = (fleet.pool_hits * 100)
+        .checked_div(fleet.pool_hits + fleet.pool_misses)
+        .unwrap_or(100);
+    println!(
+        "\nfleet: {} deliveries = {msgs_per_sec} msgs/sec, delivery p50 {} µs / p99 {} µs \
+         (max over nodes), writer pool hit rate {hit_rate}%{}",
+        fleet.delivered,
+        fleet.p50_us,
+        fleet.p99_us,
+        elapsed.map(|e| format!(", {:.1}s wall", e.as_secs_f64())).unwrap_or_default(),
+    );
+
+    // Saturation sanity: every node must have turned its window over
+    // many times, not just drained the initial fill.
+    let floor = knobs.procs as u64 * knobs.window * 4;
+    assert!(
+        fleet.delivered >= floor,
+        "fleet delivered {} < saturation floor {floor}",
+        fleet.delivered
+    );
+    assert!(
+        hit_rate >= 90,
+        "pool hit rate {hit_rate}% below the 90% steady-state requirement"
+    );
+
+    let mut agg = MetricsRegistry::new();
+    agg.set_gauge("tp.procs", knobs.procs as i64);
+    agg.set_gauge("tp.delivered", fleet.delivered as i64);
+    agg.set_gauge("tp.msgs_per_sec", msgs_per_sec as i64);
+    agg.set_gauge("tp.delivery_p50_us", fleet.p50_us as i64);
+    agg.set_gauge("tp.delivery_p99_us", fleet.p99_us as i64);
+    agg.set_gauge("tp.pool_hit_rate_pct", hit_rate as i64);
+    if mode == "socket" {
+        let bench_path = vs_bench::artifact_path("BENCH_throughput.json");
+        vs_bench::write_bench_json(&bench_path, "exp_throughput", &agg)
+            .expect("write BENCH_throughput.json");
+        println!("bench snapshot written to {bench_path}");
+    }
+    vs_bench::print_metrics_snapshot("exp_throughput", &agg);
+}
+
+fn main() {
+    vs_bench::init_observability();
+    let knobs = Knobs::from_flags();
+    assert!(knobs.procs >= 2, "need at least two nodes to multicast");
+    let backend = vs_bench::backend_requested(BackendKind::Socket);
+    if let Some(idx) = vs_bench::flag_value("--child") {
+        assert_eq!(backend, BackendKind::Socket, "--child implies --backend socket");
+        run_child(idx.parse().expect("--child wants an index"), &knobs);
+        return;
+    }
+    println!(
+        "E12 — throughput saturation: {} nodes, window {}, {}B payloads, {}s ({backend})",
+        knobs.procs, knobs.window, knobs.payload, knobs.secs
+    );
+    match backend {
+        BackendKind::Socket => run_parent(&knobs),
+        kind => {
+            let (_metrics, result) = run_in_process(kind, &knobs);
+            let results = vec![result];
+            // One shared in-process registry: the node split is not
+            // observable, so report the fleet as a single row.
+            report(kind.as_str(), &knobs, &results, None);
+        }
+    }
+}

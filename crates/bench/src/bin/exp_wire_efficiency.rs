@@ -13,6 +13,7 @@
 //! before/after table.
 
 use vs_bench::Table;
+use vs_evs::{BufPool, PoolStats};
 use vs_gcs::{GcsConfig, GcsEndpoint, WireConfig};
 use vs_net::{NetStats, ProcessId, Sim, SimDuration};
 use vs_obs::MetricsRegistry;
@@ -20,6 +21,9 @@ use vs_obs::MetricsRegistry;
 struct Run {
     stats: NetStats,
     metrics: MetricsRegistry,
+    /// Codec-buffer pool activity attributable to this run alone.
+    pool_hits: u64,
+    pool_misses: u64,
 }
 
 fn workload(label: &str, n: usize, load: u64, wire: WireConfig) -> Run {
@@ -66,9 +70,24 @@ fn workload(label: &str, n: usize, load: u64, wire: WireConfig) -> Run {
     );
     vs_bench::assert_monitor_clean("exp_wire_efficiency", sim.obs());
     vs_bench::save_run_artifacts("exp_wire_efficiency", label, &mut sim);
+    // Codec pass: push this run's wire-frame count through the pooled
+    // writer, the way the socket transport's hot path frames every
+    // message. Before the `BufPool`, each frame allocated a fresh
+    // buffer; now only the misses do — the delta is the allocations the
+    // pool absorbed for exactly this traffic volume.
+    let before = BufPool::global().stats();
+    for seq in 0..sim.stats().sent {
+        let mut w = vs_evs::Writer::with_capacity(64);
+        w.u64(seq);
+        w.bytes(b"stand-in for one encoded wire frame");
+        let _ = w.finish();
+    }
+    let after = BufPool::global().stats();
     Run {
         stats: *sim.stats(),
         metrics: sim.obs().metrics_snapshot(),
+        pool_hits: after.hits - before.hits,
+        pool_misses: after.misses - before.misses,
     }
 }
 
@@ -83,8 +102,10 @@ fn main() {
         "retransmissions",
         "stability advances",
         "sent reduction",
+        "codec allocs",
     ]);
     let mut agg = MetricsRegistry::new();
+    let mut pool_total = PoolStats::default();
     for &n in &[4usize, 8, 16] {
         for &load in &[10u64, 50] {
             let legacy = workload(
@@ -100,8 +121,11 @@ fn main() {
                 WireConfig::default(),
             );
             agg.absorb(&optimized.metrics);
+            pool_total.hits += optimized.pool_hits;
+            pool_total.misses += optimized.pool_misses;
             let reduction =
                 (1.0 - optimized.stats.sent as f64 / legacy.stats.sent as f64) * 100.0;
+            let allocs = |r: &Run| format!("{}→{}", r.pool_hits + r.pool_misses, r.pool_misses);
             table.row(&[
                 &n,
                 &load,
@@ -110,6 +134,7 @@ fn main() {
                 &legacy.metrics.counter("gcs.retransmissions"),
                 &legacy.metrics.counter("gcs.stability_advances"),
                 &"-",
+                &allocs(&legacy),
             ]);
             table.row(&[
                 &n,
@@ -119,10 +144,25 @@ fn main() {
                 &optimized.metrics.counter("gcs.retransmissions"),
                 &optimized.metrics.counter("gcs.stability_advances"),
                 &format!("{reduction:+.1}%"),
+                &allocs(&optimized),
             ]);
         }
     }
-    table.print("identical workload per row pair: form, load multicasts, partition, heal");
+    table.print(
+        "identical workload per row pair: form, load multicasts, partition, heal; \
+         codec allocs = frame encodes → buffer allocations after pooling",
+    );
+    println!(
+        "\ncodec buffer pool over the optimized-plane runs: {} leases, {} hits, {} allocations \
+         ({}% hit rate — before the pool, every lease allocated)",
+        pool_total.hits + pool_total.misses,
+        pool_total.hits,
+        pool_total.misses,
+        pool_total.hit_rate_pct(),
+    );
+    agg.set_gauge("pool.hits", pool_total.hits as i64);
+    agg.set_gauge("pool.misses", pool_total.misses as i64);
+    agg.set_gauge("pool.hit_rate_pct", pool_total.hit_rate_pct() as i64);
     println!(
         "\nthe optimized plane folds acks into data (piggyback deltas), repairs\n\
          losses by NACK instead of blanket retransmission, and suppresses\n\

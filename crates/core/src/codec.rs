@@ -9,6 +9,9 @@
 //! plus one-byte tags — trivially deterministic, which matters because all
 //! members must compose *identical* e-views from the same annotations.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
 use bytes::Bytes;
 
 use vs_gcs::ViewId;
@@ -16,24 +19,153 @@ use vs_net::ProcessId;
 
 use crate::subview::{SubviewId, SvSetId};
 
-/// Append-only byte writer.
+/// Pool of reusable byte buffers backing [`Writer`].
+///
+/// Every encoder on the serving hot path builds its output in a `Writer`;
+/// without reuse that is one heap allocation (plus growth reallocations)
+/// per message. The pool turns those into leases: [`BufPool::lease`]
+/// hands out a previously-returned buffer when one is available (a *hit*)
+/// and allocates only when the pool is dry (a *miss*); dropping or
+/// finishing a `Writer` returns its buffer. At steady state — a fleet
+/// multicasting at a constant rate — the working set of buffers is
+/// reached within the first few messages and the hit rate approaches
+/// 100%.
+///
+/// The pool is bounded both in population ([`BufPool::MAX_POOLED`]) and
+/// in the capacity it will retain per buffer ([`BufPool::MAX_RETAINED`]),
+/// so a one-off giant encoding cannot pin memory forever.
+///
+/// [`Writer`] uses the process-wide [`BufPool::global`] pool; separate
+/// instances exist for tests and for callers that want isolated
+/// accounting.
 #[derive(Debug, Default)]
+pub struct BufPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    returned: AtomicU64,
+}
+
+/// A snapshot of one pool's counters: the `pool.{hits,misses,outstanding}`
+/// metric triple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Leases served from a pooled buffer (no allocation).
+    pub hits: u64,
+    /// Leases that had to allocate.
+    pub misses: u64,
+    /// Buffers currently leased out and not yet returned.
+    pub outstanding: u64,
+}
+
+impl PoolStats {
+    /// Hits as a percentage of all leases (100 when there were none).
+    pub fn hit_rate_pct(&self) -> u64 {
+        (self.hits * 100).checked_div(self.hits + self.misses).unwrap_or(100)
+    }
+}
+
+impl BufPool {
+    /// Most buffers retained while idle.
+    pub const MAX_POOLED: usize = 64;
+    /// Largest per-buffer capacity worth retaining; bigger ones are freed.
+    pub const MAX_RETAINED: usize = 1 << 20;
+
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BufPool::default()
+    }
+
+    /// The process-wide pool all [`Writer`]s lease from.
+    pub fn global() -> &'static BufPool {
+        static GLOBAL: OnceLock<BufPool> = OnceLock::new();
+        GLOBAL.get_or_init(BufPool::new)
+    }
+
+    /// Takes a cleared buffer with at least `cap` capacity, reusing a
+    /// returned one when possible.
+    pub fn lease(&self, cap: usize) -> Vec<u8> {
+        let pooled = self.free.lock().expect("pool lock").pop();
+        match pooled {
+            Some(mut buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                buf.reserve(cap);
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(cap)
+            }
+        }
+    }
+
+    /// Returns a leased buffer. Oversized buffers and overflow beyond
+    /// [`BufPool::MAX_POOLED`] are dropped instead of retained.
+    pub fn give_back(&self, mut buf: Vec<u8>) {
+        self.returned.fetch_add(1, Ordering::Relaxed);
+        if buf.capacity() > Self::MAX_RETAINED {
+            return;
+        }
+        let mut free = self.free.lock().expect("pool lock");
+        if free.len() < Self::MAX_POOLED {
+            buf.clear();
+            free.push(buf);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let returned = self.returned.load(Ordering::Relaxed);
+        PoolStats { hits, misses, outstanding: (hits + misses).saturating_sub(returned) }
+    }
+
+    /// Publishes the counters as the `pool.{hits,misses,outstanding}`
+    /// gauge triple on `obs`.
+    pub fn publish(&self, obs: &vs_obs::Obs) {
+        let s = self.stats();
+        obs.set_gauge("pool.hits", s.hits as i64);
+        obs.set_gauge("pool.misses", s.misses as i64);
+        obs.set_gauge("pool.outstanding", s.outstanding as i64);
+    }
+}
+
+/// Append-only byte writer over a buffer leased from [`BufPool::global`].
+///
+/// The buffer goes back to the pool when the writer is finished *or*
+/// dropped, so encoders on the hot path allocate only while the pool
+/// warms up.
+#[derive(Debug)]
 pub struct Writer {
-    /// Accumulated bytes.
+    /// Accumulated bytes (leased; returned on drop).
     buf: Vec<u8>,
 }
 
+impl Default for Writer {
+    fn default() -> Self {
+        Writer::new()
+    }
+}
+
+impl Drop for Writer {
+    fn drop(&mut self) {
+        BufPool::global().give_back(std::mem::take(&mut self.buf));
+    }
+}
+
 impl Writer {
-    /// Creates an empty writer.
+    /// Creates an empty writer backed by a pooled buffer.
     pub fn new() -> Self {
-        Writer::default()
+        Writer { buf: BufPool::global().lease(0) }
     }
 
-    /// Creates an empty writer with `cap` bytes pre-allocated. The format
-    /// is fixed-width, so encoders that know their shape can size the
-    /// buffer exactly and avoid every growth reallocation.
+    /// Creates an empty writer whose buffer holds at least `cap` bytes.
+    /// The format is fixed-width, so encoders that know their shape can
+    /// size the buffer exactly and avoid every growth reallocation; with
+    /// pooling, a warm buffer usually satisfies `cap` with no work at all.
     pub fn with_capacity(cap: usize) -> Self {
-        Writer { buf: Vec::with_capacity(cap) }
+        Writer { buf: BufPool::global().lease(cap) }
     }
 
     /// Bytes written so far.
@@ -105,9 +237,10 @@ impl Writer {
         self.buf.extend_from_slice(b);
     }
 
-    /// Finalizes the buffer.
+    /// Finalizes into an immutable byte string; the backing buffer goes
+    /// back to the pool (via `Drop`) for the next encoder to lease.
     pub fn finish(self) -> Bytes {
-        Bytes::from(self.buf)
+        Bytes::copy_from_slice(&self.buf)
     }
 }
 
@@ -324,5 +457,76 @@ mod tests {
     fn bad_tags_are_rejected() {
         let mut r = Reader::new(&[9]);
         assert_eq!(r.subview_id(), Err(DecodeError));
+    }
+
+    #[test]
+    fn local_pool_counts_hits_misses_outstanding() {
+        let pool = BufPool::new();
+        let a = pool.lease(16);
+        assert_eq!(pool.stats(), PoolStats { hits: 0, misses: 1, outstanding: 1 });
+        pool.give_back(a);
+        assert_eq!(pool.stats().outstanding, 0);
+        let _b = pool.lease(8);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.outstanding), (1, 1, 1));
+        assert_eq!(s.hit_rate_pct(), 50);
+    }
+
+    #[test]
+    fn oversized_buffers_are_dropped_not_retained() {
+        let pool = BufPool::new();
+        let mut a = pool.lease(0);
+        a.reserve(BufPool::MAX_RETAINED + 1);
+        pool.give_back(a);
+        let _b = pool.lease(0);
+        assert_eq!(pool.stats().misses, 2, "oversized buffer must not be pooled");
+    }
+
+    #[test]
+    fn pool_population_is_bounded() {
+        let pool = BufPool::new();
+        let leased: Vec<_> = (0..BufPool::MAX_POOLED + 10).map(|_| pool.lease(8)).collect();
+        for buf in leased {
+            pool.give_back(buf);
+        }
+        assert_eq!(pool.free.lock().unwrap().len(), BufPool::MAX_POOLED);
+    }
+
+    #[test]
+    fn writers_recycle_buffers_through_the_global_pool() {
+        // Warm the pool, then measure deltas only: other tests in this
+        // process share the global pool concurrently.
+        for _ in 0..4 {
+            let mut w = Writer::with_capacity(64);
+            w.u64(1);
+            drop(w.finish());
+        }
+        let before = BufPool::global().stats();
+        for _ in 0..32 {
+            let mut w = Writer::with_capacity(64);
+            w.u64(1);
+            drop(w.finish());
+        }
+        let after = BufPool::global().stats();
+        let leases = (after.hits + after.misses) - (before.hits + before.misses);
+        let hits = after.hits - before.hits;
+        assert!(leases >= 32);
+        assert!(
+            hits * 4 >= leases * 3,
+            "warm pool must serve most leases: {hits}/{leases} hits"
+        );
+    }
+
+    #[test]
+    fn pool_publishes_the_metric_triple() {
+        let pool = BufPool::new();
+        let a = pool.lease(4);
+        let obs = vs_obs::Obs::new();
+        pool.publish(&obs);
+        let snap = obs.metrics_snapshot();
+        assert_eq!(snap.gauge("pool.hits"), Some(0));
+        assert_eq!(snap.gauge("pool.misses"), Some(1));
+        assert_eq!(snap.gauge("pool.outstanding"), Some(1));
+        pool.give_back(a);
     }
 }

@@ -51,8 +51,9 @@ mod eview;
 mod modes;
 pub mod state;
 mod subview;
+mod wirefmt;
 
-pub use codec::DecodeError;
+pub use codec::{BufPool, DecodeError, PoolStats, Writer};
 pub use eview::StructureError;
 pub use classify::{
     classify_enriched, classify_plain, Classification, PlainClassification, ProblemClass,

@@ -41,6 +41,7 @@ mod flush;
 mod message;
 pub mod ordering;
 mod stability;
+mod wirefmt;
 
 pub use endpoint::{GcsConfig, GcsEndpoint, Piggyback, Wire, WireConfig};
 pub use events::{GcsEvent, Provenance};

@@ -1,0 +1,221 @@
+//! Wire encodings for the GCS protocol messages.
+//!
+//! [`WireCodec`] implementations covering everything [`Wire`] carries, so
+//! a `GcsEndpoint<M>` runs unchanged over the socket transport for any
+//! payload `M` that itself crosses the wire. Layouts are field-order
+//! fixed-width integers and length-prefixed containers; decoders treat
+//! all malformed input as [`WireDecodeError`], never panic.
+
+use std::collections::BTreeMap;
+
+use vs_net::wire::{WireCodec, WireDecodeError, WireReader};
+use vs_net::ProcessId;
+
+use vs_membership::{AgreementMsg, ViewId};
+
+use crate::endpoint::{Piggyback, Wire};
+use crate::flush::FlushPayload;
+use crate::message::{MsgId, ViewMsg};
+
+impl WireCodec for MsgId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.sender.encode_into(out);
+        self.seq.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        Ok(MsgId { sender: ProcessId::decode_from(r)?, seq: u64::decode_from(r)? })
+    }
+}
+
+impl<M: WireCodec> WireCodec for ViewMsg<M> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.view.encode_into(out);
+        self.id.encode_into(out);
+        self.vc.encode_into(out);
+        self.payload.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        Ok(ViewMsg {
+            view: ViewId::decode_from(r)?,
+            id: MsgId::decode_from(r)?,
+            vc: Option::<BTreeMap<ProcessId, u64>>::decode_from(r)?,
+            payload: M::decode_from(r)?,
+        })
+    }
+}
+
+impl WireCodec for Piggyback {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.view.encode_into(out);
+        self.acks.encode_into(out);
+        self.sent_upto.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        Ok(Piggyback {
+            view: ViewId::decode_from(r)?,
+            acks: Vec::decode_from(r)?,
+            sent_upto: u64::decode_from(r)?,
+        })
+    }
+}
+
+impl<M: WireCodec> WireCodec for FlushPayload<M> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.unstable.encode_into(out);
+        self.annotation.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        Ok(FlushPayload {
+            unstable: Vec::decode_from(r)?,
+            annotation: bytes::Bytes::decode_from(r)?,
+        })
+    }
+}
+
+impl<M: WireCodec> WireCodec for Wire<M> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Wire::Heartbeat { view, acks, sent_upto } => {
+                out.push(0);
+                view.encode_into(out);
+                acks.encode_into(out);
+                sent_upto.encode_into(out);
+            }
+            Wire::App(msg, pb) => {
+                out.push(1);
+                msg.encode_into(out);
+                pb.encode_into(out);
+            }
+            Wire::Nack { view, missing } => {
+                out.push(2);
+                view.encode_into(out);
+                missing.encode_into(out);
+            }
+            Wire::Order { view, idx, id } => {
+                out.push(3);
+                view.encode_into(out);
+                idx.encode_into(out);
+                id.encode_into(out);
+            }
+            Wire::Agreement(msg, pb) => {
+                out.push(4);
+                msg.encode_into(out);
+                pb.encode_into(out);
+            }
+            Wire::Direct(m) => {
+                out.push(5);
+                m.encode_into(out);
+            }
+            Wire::Goodbye => out.push(6),
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        match r.u8()? {
+            0 => Ok(Wire::Heartbeat {
+                view: ViewId::decode_from(r)?,
+                acks: BTreeMap::decode_from(r)?,
+                sent_upto: u64::decode_from(r)?,
+            }),
+            1 => Ok(Wire::App(ViewMsg::decode_from(r)?, Option::decode_from(r)?)),
+            2 => Ok(Wire::Nack { view: ViewId::decode_from(r)?, missing: Vec::decode_from(r)? }),
+            3 => Ok(Wire::Order {
+                view: ViewId::decode_from(r)?,
+                idx: u64::decode_from(r)?,
+                id: MsgId::decode_from(r)?,
+            }),
+            4 => Ok(Wire::Agreement(
+                AgreementMsg::<FlushPayload<M>>::decode_from(r)?,
+                Option::decode_from(r)?,
+            )),
+            5 => Ok(Wire::Direct(M::decode_from(r)?)),
+            6 => Ok(Wire::Goodbye),
+            _ => Err(WireDecodeError),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_membership::{ProposalId, View};
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn roundtrip<T: WireCodec + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.encode_vec();
+        let back = T::decode_all(&bytes).expect("decodes");
+        assert_eq!(&back, v);
+    }
+
+    fn vid() -> ViewId {
+        ViewId { epoch: 5, coordinator: pid(2) }
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        roundtrip(&MsgId { sender: pid(1), seq: 44 });
+        let mut m = ViewMsg::new(vid(), pid(1), 44, "payload".to_string());
+        roundtrip(&m);
+        m.vc = Some([(pid(0), 3), (pid(1), 44)].into_iter().collect());
+        roundtrip(&m);
+        roundtrip(&Piggyback { view: vid(), acks: vec![(pid(0), 3), (pid(1), 9)], sent_upto: 12 });
+    }
+
+    #[test]
+    fn every_wire_variant_round_trips() {
+        let pb = Some(Piggyback { view: vid(), acks: vec![(pid(0), 3)], sent_upto: 7 });
+        let flush = FlushPayload {
+            unstable: vec![ViewMsg::new(vid(), pid(0), 1, "m".to_string())],
+            annotation: bytes::Bytes::copy_from_slice(b"anno"),
+        };
+        let proposal = ProposalId { epoch: 6, attempt: 1, coordinator: pid(2) };
+        let view = View::new(vid(), [pid(0), pid(2)].into_iter().collect());
+        let msgs: Vec<Wire<String>> = vec![
+            Wire::Heartbeat {
+                view: vid(),
+                acks: [(pid(0), 1), (pid(2), 2)].into_iter().collect(),
+                sent_upto: 3,
+            },
+            Wire::App(ViewMsg::new(vid(), pid(0), 2, "hello".to_string()), pb.clone()),
+            Wire::App(ViewMsg::new(vid(), pid(0), 3, "naked".to_string()), None),
+            Wire::Nack { view: vid(), missing: vec![4, 7, 9] },
+            Wire::Order { view: vid(), idx: 2, id: MsgId { sender: pid(0), seq: 2 } },
+            Wire::Agreement(
+                AgreementMsg::Commit {
+                    proposal,
+                    view,
+                    replies: vec![(pid(0), vid(), flush.clone()), (pid(2), vid(), flush)],
+                },
+                pb,
+            ),
+            Wire::Direct("state-transfer".to_string()),
+            Wire::Goodbye,
+        ];
+        for m in &msgs {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn garbage_decodes_to_errors_not_panics() {
+        assert!(Wire::<String>::decode_all(&[]).is_err());
+        assert!(Wire::<String>::decode_all(&[200]).is_err(), "unknown tag");
+        let good = Wire::<String>::Goodbye.encode_vec();
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(Wire::<String>::decode_all(&trailing).is_err(), "trailing bytes rejected");
+        // Truncate an App frame at every prefix length: errors, not panics.
+        let app = Wire::<String>::App(ViewMsg::new(vid(), pid(0), 2, "hello".into()), None)
+            .encode_vec();
+        for cut in 0..app.len() {
+            assert!(Wire::<String>::decode_all(&app[..cut]).is_err());
+        }
+    }
+}

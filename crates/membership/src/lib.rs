@@ -28,6 +28,7 @@ mod agreement;
 mod detector;
 mod estimator;
 mod view;
+mod wirefmt;
 
 pub use agreement::{AgreementAction, AgreementConfig, AgreementMachine, AgreementMsg, ProposalId};
 pub use detector::{DetectorConfig, FailureDetector};

@@ -1,0 +1,161 @@
+//! Wire encodings for membership types.
+//!
+//! Hand-rolled [`WireCodec`] implementations so views, proposals and
+//! agreement messages can cross the socket transport's framed TCP
+//! boundary. The layouts are deliberately dumb — fixed-width integers
+//! and length-prefixed containers in field order — because the decoder
+//! must tolerate arbitrary bytes from the network without panicking.
+
+use std::collections::BTreeSet;
+
+use vs_net::wire::{WireCodec, WireDecodeError, WireReader};
+use vs_net::ProcessId;
+
+use crate::agreement::{AgreementMsg, ProposalId};
+use crate::view::{View, ViewId};
+
+impl WireCodec for ViewId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epoch.encode_into(out);
+        self.coordinator.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        Ok(ViewId { epoch: u64::decode_from(r)?, coordinator: ProcessId::decode_from(r)? })
+    }
+}
+
+impl WireCodec for View {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.id().encode_into(out);
+        let members: Vec<ProcessId> = self.members().iter().copied().collect();
+        members.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        let id = ViewId::decode_from(r)?;
+        let members: BTreeSet<ProcessId> = BTreeSet::decode_from(r)?;
+        Ok(View::new(id, members))
+    }
+}
+
+impl WireCodec for ProposalId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.epoch.encode_into(out);
+        self.attempt.encode_into(out);
+        self.coordinator.encode_into(out);
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        Ok(ProposalId {
+            epoch: u64::decode_from(r)?,
+            attempt: u32::decode_from(r)?,
+            coordinator: ProcessId::decode_from(r)?,
+        })
+    }
+}
+
+impl<P: WireCodec> WireCodec for AgreementMsg<P> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            AgreementMsg::Prepare { proposal, invited } => {
+                out.push(0);
+                proposal.encode_into(out);
+                invited.encode_into(out);
+            }
+            AgreementMsg::StateReply { proposal, prev_view, payload } => {
+                out.push(1);
+                proposal.encode_into(out);
+                prev_view.encode_into(out);
+                payload.encode_into(out);
+            }
+            AgreementMsg::Nack { proposal, epoch_hint } => {
+                out.push(2);
+                proposal.encode_into(out);
+                epoch_hint.encode_into(out);
+            }
+            AgreementMsg::Commit { proposal, view, replies } => {
+                out.push(3);
+                proposal.encode_into(out);
+                view.encode_into(out);
+                replies.encode_into(out);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        match r.u8()? {
+            0 => Ok(AgreementMsg::Prepare {
+                proposal: ProposalId::decode_from(r)?,
+                invited: BTreeSet::decode_from(r)?,
+            }),
+            1 => Ok(AgreementMsg::StateReply {
+                proposal: ProposalId::decode_from(r)?,
+                prev_view: ViewId::decode_from(r)?,
+                payload: P::decode_from(r)?,
+            }),
+            2 => Ok(AgreementMsg::Nack {
+                proposal: ProposalId::decode_from(r)?,
+                epoch_hint: u64::decode_from(r)?,
+            }),
+            3 => Ok(AgreementMsg::Commit {
+                proposal: ProposalId::decode_from(r)?,
+                view: View::decode_from(r)?,
+                replies: Vec::decode_from(r)?,
+            }),
+            _ => Err(WireDecodeError),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn roundtrip<T: WireCodec + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.encode_vec();
+        let back = T::decode_all(&bytes).expect("decodes");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn view_types_round_trip() {
+        let vid = ViewId { epoch: 7, coordinator: pid(3) };
+        roundtrip(&vid);
+        roundtrip(&View::new(vid, [pid(1), pid(3), pid(9)].into_iter().collect()));
+        roundtrip(&ProposalId { epoch: 8, attempt: 2, coordinator: pid(3) });
+    }
+
+    #[test]
+    fn agreement_msgs_round_trip() {
+        let proposal = ProposalId { epoch: 4, attempt: 0, coordinator: pid(0) };
+        let vid = ViewId { epoch: 3, coordinator: pid(1) };
+        let view = View::new(vid, [pid(0), pid(1)].into_iter().collect());
+        let msgs: Vec<AgreementMsg<u64>> = vec![
+            AgreementMsg::Prepare { proposal, invited: [pid(0), pid(1)].into_iter().collect() },
+            AgreementMsg::StateReply { proposal, prev_view: vid, payload: 99 },
+            AgreementMsg::Nack { proposal, epoch_hint: 12 },
+            AgreementMsg::Commit {
+                proposal,
+                view,
+                replies: vec![(pid(0), vid, 1), (pid(1), vid, 2)],
+            },
+        ];
+        for m in &msgs {
+            roundtrip(m);
+        }
+    }
+
+    #[test]
+    fn truncated_agreement_msg_is_an_error() {
+        let proposal = ProposalId { epoch: 4, attempt: 0, coordinator: pid(0) };
+        let m: AgreementMsg<u64> = AgreementMsg::Nack { proposal, epoch_hint: 12 };
+        let bytes = m.encode_vec();
+        assert!(AgreementMsg::<u64>::decode_all(&bytes[..bytes.len() - 1]).is_err());
+        assert!(AgreementMsg::<u64>::decode_all(&[9]).is_err(), "unknown tag");
+    }
+}

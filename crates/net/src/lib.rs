@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod actor;
+pub mod backend;
 mod fault;
 mod id;
 mod link;
@@ -64,13 +65,16 @@ mod oracle;
 mod rng;
 pub mod schedule;
 mod sim;
+pub mod socket;
 mod stats;
 mod storage;
 pub mod threaded;
 mod time;
 mod topology;
+pub mod wire;
 
 pub use actor::{Actor, Context, TimerId, TimerKind};
+pub use backend::{make_backend, make_backend_with, BackendKind, NetBackend};
 pub use fault::{FaultOp, FaultScript, ScriptParseError};
 pub use id::{ProcessId, SiteId};
 pub use link::{DelayModel, LinkConfig};
@@ -84,3 +88,4 @@ pub use stats::NetStats;
 pub use storage::Storage;
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;
+pub use wire::{WireCodec, WireDecodeError, WireReader};

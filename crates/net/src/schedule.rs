@@ -527,21 +527,39 @@ impl std::error::Error for ReplayError {}
 /// Recording is refused outside the simulator.
 ///
 /// Returned by
-/// [`ThreadedNet::enable_record`](crate::threaded::ThreadedNet::enable_record):
-/// thread interleavings and wall-clock timer firings come from the OS
-/// scheduler, so there is no deterministic decision stream to capture or
-/// validate. Record/replay is a simulator-only facility.
+/// [`ThreadedNet::enable_record`](crate::threaded::ThreadedNet::enable_record)
+/// and [`SocketNet::enable_record`](crate::socket::SocketNet::enable_record):
+/// on a live transport, thread interleavings, wall-clock timer firings and
+/// socket readiness come from the OS, so there is no deterministic decision
+/// stream to capture or validate. Record/replay is a simulator-only
+/// facility; both live backends refuse through this one error type so
+/// tooling (`vstool record`) reports the refusal uniformly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RecordUnsupported;
+pub struct RecordUnsupported {
+    backend: &'static str,
+}
+
+impl RecordUnsupported {
+    /// A refusal attributed to the named live backend.
+    pub fn for_backend(backend: &'static str) -> Self {
+        RecordUnsupported { backend }
+    }
+
+    /// The backend that refused to record.
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+}
 
 impl fmt::Display for RecordUnsupported {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "record/replay is simulator-only: the threaded transport's \
+            "record/replay is simulator-only: the {} transport's \
              scheduling comes from the OS and cannot be captured \
              deterministically; run the scenario under vs_net::Sim with \
-             SimConfig {{ record: true }} instead"
+             SimConfig {{ record: true }} instead",
+            self.backend
         )
     }
 }

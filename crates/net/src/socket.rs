@@ -1,0 +1,981 @@
+//! Real socket transport: nonblocking framed TCP between OS processes.
+//!
+//! Drives the same [`Actor`] state machines as the simulator and the
+//! threaded in-process transport, but over actual sockets, so separate
+//! OS processes (or separate nodes in one process, for tests) exchange
+//! protocol traffic through the kernel's network stack. Nothing in
+//! `vs-membership`, `vs-gcs` or `vs-evs` changes: the only new demand is
+//! that the message type crosses the wire, expressed as the
+//! [`WireCodec`] bound.
+//!
+//! # Design
+//!
+//! One [`SocketNet`] is one *node*: a nonblocking TCP listener, a set of
+//! local actor threads, and a single I/O thread that owns every socket.
+//! There is no epoll dependency — the I/O thread's wait point is a
+//! sub-millisecond `recv_timeout` on its command channel, after which it
+//! sweeps all sockets; sends from local actors wake it immediately.
+//!
+//! **Send batching**: each actor activation hands its whole send list to
+//! the I/O thread in one message; the I/O thread encodes frames for the
+//! same destination back-to-back into one per-peer pending buffer and
+//! flushes it with a single `write` per sweep (a writev-style coalesce —
+//! the buffer is retained and reused between flushes, so steady state
+//! allocates nothing). The `net.tx_batch_frames` histogram records how
+//! many frames each flush coalesced.
+//!
+//! **Receive batching**: each sweep drains every readable socket, parses
+//! all complete frames, groups them by destination actor, and delivers
+//! each group as *one* inbox event that the actor thread processes in a
+//! single run — mirroring the simulator fast path's same-instant
+//! batching. `net.rx_batch_msgs` records the batch sizes.
+//!
+//! **Clock**: every context observes `ctx.now()` as microseconds since
+//! the UNIX epoch, so cooperating processes on one host share a clock
+//! and the latency tracker's cross-process `stage.wire_us` deltas stay
+//! meaningful (frames carry their send instant; `net.link_delay_us` is
+//! measured receiver-side from it).
+//!
+//! Record/replay is refused, exactly like the threaded transport — see
+//! [`SocketNet::enable_record`].
+//!
+//! # Frame format
+//!
+//! `[u32 len][u64 from][u64 to][u64 sent_unix_us][payload]`, all
+//! big-endian; `len` covers everything after itself; the payload is the
+//! message's [`WireCodec`] encoding.
+//!
+//! # Example
+//!
+//! ```
+//! use vs_net::socket::SocketNet;
+//! use vs_net::{Actor, Context, ProcessId};
+//!
+//! struct Echo;
+//! impl Actor for Echo {
+//!     type Msg = u32;
+//!     type Output = u32;
+//!     fn on_message(&mut self, _f: ProcessId, m: u32, ctx: &mut Context<'_, u32, u32>) {
+//!         ctx.output(m);
+//!     }
+//! }
+//!
+//! let mut a = SocketNet::new(1).unwrap();
+//! let mut b = SocketNet::new(2).unwrap();
+//! let pa = a.spawn(Echo);
+//! let pb = b.spawn_as(ProcessId::from_raw(1), Echo);
+//! a.add_peer(pb, b.local_addr());
+//! b.add_peer(pa, a.local_addr());
+//! a.post(pa, pb, 7); // crosses a real TCP connection
+//! let outs = b.wait_outputs(1, std::time::Duration::from_secs(10));
+//! assert_eq!(outs, vec![(pb, 7)]);
+//! a.shutdown();
+//! b.shutdown();
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use vs_obs::{DropReason, EventKind, Obs};
+
+use crate::actor::{Actor, Context, TimerId, TimerKind};
+use crate::id::{ProcessId, SiteId};
+use crate::rng::DetRng;
+use crate::schedule::RecordUnsupported;
+use crate::storage::Storage;
+use crate::time::SimTime;
+use crate::topology::Topology;
+use crate::wire::{WireCodec, WireReader};
+
+/// Frame header bytes after the length prefix: from + to + sent stamp.
+const FRAME_HEADER: usize = 24;
+/// Upper bound on one frame's `len` field; larger values mean a corrupt
+/// or hostile stream and close the connection.
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+/// Per-peer cap on unflushed outbound bytes; beyond it the whole pending
+/// batch is dropped (the protocol layers repair through retransmission).
+const PENDING_CAP: usize = 8 * 1024 * 1024;
+/// How long the I/O thread parks on its command channel when idle.
+const IDLE_WAIT: Duration = Duration::from_micros(500);
+/// Minimum spacing between connection attempts to one unreachable peer.
+const CONNECT_RETRY: Duration = Duration::from_millis(100);
+/// Cap on one blocking connect attempt from the I/O thread.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Microseconds since the UNIX epoch — the socket backend's shared clock.
+/// Separate processes on one host derive `ctx.now()` from this same
+/// source, which is what keeps cross-process stage deltas meaningful.
+fn unix_now_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+enum ProcEvent<M> {
+    /// A batch of inbound messages, processed in one activation sweep.
+    Batch(Vec<(ProcessId, M)>),
+    Crash,
+    Shutdown,
+}
+
+enum IoEvent<M> {
+    /// One actor activation's whole send list.
+    Sends {
+        from: ProcessId,
+        sends: Vec<(ProcessId, M)>,
+    },
+    Register {
+        pid: ProcessId,
+        inbox: Sender<ProcEvent<M>>,
+    },
+    Peer {
+        pid: ProcessId,
+        addr: SocketAddr,
+    },
+    Shutdown,
+}
+
+/// An inbound connection: read-only byte stream plus its reassembly
+/// buffer (`off` marks the already-parsed prefix).
+struct InConn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    off: usize,
+}
+
+/// The outgoing connection to one peer, with the coalescing send buffer.
+struct OutConn {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Encoded frames awaiting flush; retained (not reallocated) between
+    /// flushes — this is the writev-style batch buffer.
+    pending: Vec<u8>,
+    /// Bytes of `pending` already written (partial-write resume point).
+    woff: usize,
+    /// Frames coalesced since the last flush attempt.
+    frames: u64,
+    next_connect: Instant,
+}
+
+impl OutConn {
+    fn new(addr: SocketAddr) -> Self {
+        OutConn {
+            addr,
+            stream: None,
+            pending: Vec::new(),
+            woff: 0,
+            frames: 0,
+            next_connect: Instant::now(),
+        }
+    }
+}
+
+/// Per-process handle: inbox sender plus the worker thread.
+type ProcHandle<M> = (Sender<ProcEvent<M>>, JoinHandle<()>);
+
+/// A running socket-backed node: local actors plus one I/O thread that
+/// owns the listener and every TCP connection.
+///
+/// Dropping the handle without calling [`SocketNet::shutdown`] detaches
+/// the worker threads; prefer an explicit shutdown.
+pub struct SocketNet<A: Actor> {
+    topology: Arc<RwLock<Topology>>,
+    obs: Obs,
+    local_addr: SocketAddr,
+    io_tx: Sender<IoEvent<A::Msg>>,
+    outputs_rx: Receiver<(ProcessId, A::Output)>,
+    outputs_tx: Sender<(ProcessId, A::Output)>,
+    procs: BTreeMap<ProcessId, ProcHandle<A::Msg>>,
+    io: Option<JoinHandle<()>>,
+    next_pid: u64,
+    seed: u64,
+}
+
+impl<A> SocketNet<A>
+where
+    A: Actor + Send,
+    A::Msg: WireCodec + Send,
+    A::Output: Send,
+{
+    /// Binds a listener on an OS-assigned loopback port and starts the
+    /// I/O thread. `seed` feeds each local process' deterministic RNG
+    /// stream (scheduling and the network remain nondeterministic).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot bind.
+    pub fn new(seed: u64) -> std::io::Result<Self> {
+        Self::bind(seed, "127.0.0.1:0", Obs::new(), Arc::new(RwLock::new(Topology::new())))
+    }
+
+    /// Like [`new`](Self::new) but sharing an observability handle and a
+    /// topology with other nodes — how an in-process fleet of
+    /// `SocketNet`s forms one observable group (tests, the loopback
+    /// smoke scenario). Separate OS processes each keep their own.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot bind.
+    pub fn with_shared(
+        seed: u64,
+        obs: Obs,
+        topology: Arc<RwLock<Topology>>,
+    ) -> std::io::Result<Self> {
+        Self::bind(seed, "127.0.0.1:0", obs, topology)
+    }
+
+    /// Binds on an explicit address (e.g. `"0.0.0.0:7400"`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot bind.
+    pub fn bind(
+        seed: u64,
+        addr: &str,
+        obs: Obs,
+        topology: Arc<RwLock<Topology>>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let (io_tx, io_rx) = channel::<IoEvent<A::Msg>>();
+        let (outputs_tx, outputs_rx) = channel();
+        let io_obs = obs.clone();
+        let topo = Arc::clone(&topology);
+        let io = std::thread::spawn(move || io_loop::<A>(listener, io_rx, io_obs, topo));
+        Ok(SocketNet {
+            topology,
+            obs,
+            local_addr,
+            io_tx,
+            outputs_rx,
+            outputs_tx,
+            procs: BTreeMap::new(),
+            io: Some(io),
+            next_pid: 0,
+            seed,
+        })
+    }
+
+    /// The address the listener is bound to (connect peers here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The observability handle shared by the I/O thread and all local
+    /// processes.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The topology handle, for sharing with other in-process nodes.
+    pub fn topology_handle(&self) -> Arc<RwLock<Topology>> {
+        Arc::clone(&self.topology)
+    }
+
+    /// Always refuses: schedule recording is a simulator-only facility.
+    ///
+    /// The socket transport's nondeterminism (thread interleavings,
+    /// wall-clock timers, TCP readiness and kernel buffering) is owned
+    /// by the OS — there is no decision stream to capture, so a
+    /// "recording" here could never be replayed. Run the same actors
+    /// under [`Sim`](crate::Sim) with
+    /// [`SimConfig::record`](crate::SimConfig::record) to get a
+    /// replayable [`ScheduleLog`](crate::ScheduleLog). The error type is
+    /// shared with
+    /// [`ThreadedNet::enable_record`](crate::threaded::ThreadedNet::enable_record)
+    /// so tooling reports both live backends' refusals uniformly.
+    pub fn enable_record(&mut self) -> Result<(), RecordUnsupported> {
+        Err(RecordUnsupported::for_backend("socket"))
+    }
+
+    /// Declares where a remote process lives. Frames to processes with
+    /// no local actor and no peer route are counted as
+    /// `net.dropped_unroutable`.
+    pub fn add_peer(&self, pid: ProcessId, addr: SocketAddr) {
+        let _ = self.io_tx.send(IoEvent::Peer { pid, addr });
+    }
+
+    /// Spawns an actor on its own thread under the next free local
+    /// process id.
+    pub fn spawn(&mut self, actor: A) -> ProcessId {
+        let pid = ProcessId::from_raw(self.next_pid);
+        self.spawn_as(pid, actor)
+    }
+
+    /// Spawns with the process id visible to the constructor — the
+    /// mirror of [`Sim::spawn_with`](crate::Sim::spawn_with).
+    pub fn spawn_with(&mut self, f: impl FnOnce(ProcessId) -> A) -> ProcessId {
+        let pid = ProcessId::from_raw(self.next_pid);
+        let actor = f(pid);
+        self.spawn_as(pid, actor)
+    }
+
+    /// Spawns an actor under an explicit process id — how cooperating OS
+    /// processes claim their fleet-wide identities.
+    pub fn spawn_as(&mut self, pid: ProcessId, actor: A) -> ProcessId {
+        self.next_pid = self.next_pid.max(pid.raw() + 1);
+        let site = SiteId::from_raw(pid.raw() as u32);
+        let (inbox_tx, inbox_rx) = channel::<ProcEvent<A::Msg>>();
+        let _ = self.io_tx.send(IoEvent::Register { pid, inbox: inbox_tx.clone() });
+        let io_tx = self.io_tx.clone();
+        let outputs_tx = self.outputs_tx.clone();
+        let seed = self.seed ^ pid.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let obs = self.obs.clone();
+        let handle = std::thread::spawn(move || {
+            run_process(pid, site, actor, inbox_rx, io_tx, outputs_tx, seed, obs);
+        });
+        self.procs.insert(pid, (inbox_tx, handle));
+        pid
+    }
+
+    /// Injects a message attributed to `from`.
+    pub fn post(&self, from: ProcessId, to: ProcessId, msg: A::Msg) {
+        let _ = self.io_tx.send(IoEvent::Sends { from, sends: vec![(to, msg)] });
+    }
+
+    /// Splits the network (asynchronously with respect to in-flight
+    /// traffic). Only meaningful for nodes sharing a topology handle.
+    pub fn partition(&self, groups: &[Vec<ProcessId>]) {
+        self.topology.write().expect("topology lock").partition(groups);
+    }
+
+    /// Reunifies the network.
+    pub fn heal(&self) {
+        self.topology.write().expect("topology lock").heal();
+    }
+
+    /// Crashes a local process: its thread stops handling events.
+    pub fn crash(&mut self, pid: ProcessId) {
+        if let Some((inbox, _)) = self.procs.get(&pid) {
+            let _ = inbox.send(ProcEvent::Crash);
+        }
+    }
+
+    /// Outputs recorded so far without blocking.
+    pub fn poll_outputs(&self) -> Vec<(ProcessId, A::Output)> {
+        let mut out = Vec::new();
+        while let Ok(o) = self.outputs_rx.try_recv() {
+            out.push(o);
+        }
+        out
+    }
+
+    /// Blocks until `n` outputs have been produced or `timeout` elapses;
+    /// returns whatever was collected.
+    pub fn wait_outputs(&self, n: usize, timeout: Duration) -> Vec<(ProcessId, A::Output)> {
+        let deadline = Instant::now() + timeout;
+        let mut out = Vec::new();
+        while out.len() < n {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.outputs_rx.recv_timeout(deadline - now) {
+                Ok(o) => out.push(o),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Stops every local process and the I/O thread, joining all threads
+    /// and closing all sockets.
+    pub fn shutdown(mut self) {
+        for (_, (inbox, _)) in self.procs.iter() {
+            let _ = inbox.send(ProcEvent::Shutdown);
+        }
+        let _ = self.io_tx.send(IoEvent::Shutdown);
+        for (_, (_, handle)) in std::mem::take(&mut self.procs) {
+            let _ = handle.join();
+        }
+        if let Some(io) = self.io.take() {
+            let _ = io.join();
+        }
+    }
+}
+
+impl<A: Actor> std::fmt::Debug for SocketNet<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketNet")
+            .field("local_addr", &self.local_addr)
+            .field("processes", &self.procs.len())
+            .finish()
+    }
+}
+
+/// The actor worker loop: identical contract to the threaded transport's,
+/// except that (a) the clock handed to every [`Context`] is the shared
+/// UNIX-epoch clock, and (b) inbound messages arrive in batches that one
+/// wakeup processes end-to-end.
+#[allow(clippy::too_many_arguments)]
+fn run_process<A>(
+    pid: ProcessId,
+    site: SiteId,
+    mut actor: A,
+    inbox: Receiver<ProcEvent<A::Msg>>,
+    io: Sender<IoEvent<A::Msg>>,
+    outputs: Sender<(ProcessId, A::Output)>,
+    seed: u64,
+    obs: Obs,
+) where
+    A: Actor,
+{
+    let mut storage = Storage::new();
+    let mut rng = DetRng::seed_from(seed);
+    let mut next_timer: u64 = 0;
+    let mut timers: BinaryHeap<Reverse<(Instant, u64, TimerKind)>> = BinaryHeap::new();
+    let mut cancelled: Vec<TimerId> = Vec::new();
+
+    macro_rules! with_ctx {
+        ($body:expr) => {{
+            // Every process in the fleet — including remote OS processes —
+            // derives `ctx.now()` from the same UNIX-epoch clock, so
+            // cross-process stage deltas in `vs_obs::latency` are
+            // meaningful (the socket analogue of the threaded router's
+            // shared epoch).
+            let now = SimTime::from_micros(unix_now_us());
+            let mut ctx = Context::new(pid, site, now, &mut storage, &mut rng, &mut next_timer);
+            #[allow(clippy::redundant_closure_call)]
+            ($body)(&mut actor, &mut ctx);
+            let sends = std::mem::take(&mut ctx.sends);
+            let set = std::mem::take(&mut ctx.timers_set);
+            let cancel = std::mem::take(&mut ctx.timers_cancelled);
+            let outs = std::mem::take(&mut ctx.outputs);
+            drop(ctx);
+            if !sends.is_empty() {
+                // The whole activation's send list travels as one I/O
+                // event; the I/O thread coalesces same-destination frames
+                // into one buffer flush.
+                let _ = io.send(IoEvent::Sends { from: pid, sends });
+            }
+            for (after, kind, id) in set {
+                let at = Instant::now() + Duration::from_micros(after.as_micros());
+                timers.push(Reverse((at, id.0, kind)));
+            }
+            cancelled.extend(cancel);
+            for o in outs {
+                let _ = outputs.send((pid, o));
+            }
+        }};
+    }
+
+    with_ctx!(|a: &mut A, ctx: &mut Context<'_, A::Msg, A::Output>| a.on_start(ctx));
+
+    loop {
+        // Fire due timers first.
+        let now = Instant::now();
+        while let Some(Reverse((at, id, kind))) = timers.peek().copied() {
+            if at > now {
+                break;
+            }
+            timers.pop();
+            let tid = TimerId(id);
+            if let Some(i) = cancelled.iter().position(|c| *c == tid) {
+                cancelled.swap_remove(i);
+                continue;
+            }
+            let at_us = unix_now_us();
+            obs.with(|o| {
+                o.metrics.set_gauge("time.now_us", at_us as i64);
+                o.metrics.inc("net.timers_fired");
+                o.journal.record(pid.raw(), at_us, EventKind::TimerFire { kind: kind.0 });
+            });
+            with_ctx!(|a: &mut A, ctx: &mut Context<'_, A::Msg, A::Output>| {
+                a.on_timer(tid, kind, ctx)
+            });
+        }
+        let wait = timers
+            .peek()
+            .map(|Reverse((at, _, _))| at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match inbox.recv_timeout(wait) {
+            Ok(ProcEvent::Batch(batch)) => {
+                // One wakeup handles the whole batch: the endpoint state
+                // is locked into this thread once, not once per message.
+                for (from, msg) in batch {
+                    with_ctx!(|a: &mut A, ctx: &mut Context<'_, A::Msg, A::Output>| {
+                        a.on_message(from, msg, ctx)
+                    });
+                }
+            }
+            Ok(ProcEvent::Crash) | Ok(ProcEvent::Shutdown) => return,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// The I/O thread: owns the listener and every TCP stream, routes local
+/// traffic directly, batches remote traffic per destination, and sweeps
+/// sockets between waits on the command channel.
+fn io_loop<A>(
+    listener: TcpListener,
+    rx: Receiver<IoEvent<A::Msg>>,
+    obs: Obs,
+    topology: Arc<RwLock<Topology>>,
+) where
+    A: Actor,
+    A::Msg: WireCodec,
+{
+    let mut inboxes: BTreeMap<ProcessId, Sender<ProcEvent<A::Msg>>> = BTreeMap::new();
+    let mut peers: BTreeMap<ProcessId, OutConn> = BTreeMap::new();
+    let mut inbound: Vec<InConn> = Vec::new();
+    // Batches accumulated this sweep, delivered at its end. The map and
+    // its vectors are retained across sweeps (drained, not dropped).
+    let mut batches: BTreeMap<ProcessId, Vec<(ProcessId, A::Msg)>> = BTreeMap::new();
+
+    loop {
+        let mut shutdown = false;
+        // Park on the command channel; any command (or the idle timeout)
+        // starts a sweep.
+        let mut cmd = match rx.recv_timeout(IDLE_WAIT) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        // 1. Drain every queued command.
+        loop {
+            match cmd {
+                Some(IoEvent::Register { pid, inbox }) => {
+                    inboxes.insert(pid, inbox);
+                }
+                Some(IoEvent::Peer { pid, addr }) => {
+                    peers.entry(pid).or_insert_with(|| OutConn::new(addr));
+                }
+                Some(IoEvent::Sends { from, sends }) => {
+                    handle_sends::<A>(from, sends, &obs, &topology, &inboxes, &mut peers, &mut batches);
+                }
+                Some(IoEvent::Shutdown) => shutdown = true,
+                None => break,
+            }
+            cmd = rx.try_recv().ok();
+        }
+        // 2. Accept new inbound connections.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    inbound.push(InConn { stream, inbuf: Vec::new(), off: 0 });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        // 3. Drain every readable socket into per-destination batches.
+        inbound.retain_mut(|conn| read_conn::<A>(conn, &obs, &topology, &inboxes, &mut batches));
+        // 4. Deliver each destination's batch as one inbox event.
+        deliver_batches::<A>(&obs, &inboxes, &mut batches);
+        // 5. Flush per-peer pending buffers: one write per destination.
+        for out in peers.values_mut() {
+            flush_out(out, &obs);
+        }
+        obs.with(|o| o.metrics.set_gauge("time.now_us", unix_now_us() as i64));
+        if shutdown {
+            return;
+        }
+    }
+}
+
+/// Routes one activation's send list: local destinations join the sweep's
+/// delivery batches; remote destinations get frames appended to their
+/// peer's coalescing buffer.
+fn handle_sends<A>(
+    from: ProcessId,
+    sends: Vec<(ProcessId, A::Msg)>,
+    obs: &Obs,
+    topology: &Arc<RwLock<Topology>>,
+    inboxes: &BTreeMap<ProcessId, Sender<ProcEvent<A::Msg>>>,
+    peers: &mut BTreeMap<ProcessId, OutConn>,
+    batches: &mut BTreeMap<ProcessId, Vec<(ProcessId, A::Msg)>>,
+) where
+    A: Actor,
+    A::Msg: WireCodec,
+{
+    let at_us = unix_now_us();
+    for (to, msg) in sends {
+        let reachable = topology.read().expect("topology lock").reachable(from, to);
+        obs.with(|o| {
+            o.metrics.inc("net.sent");
+            o.journal
+                .record(from.raw(), at_us, EventKind::MsgSend { from: from.raw(), to: to.raw() });
+            if !reachable {
+                o.metrics.inc("net.dropped_partition");
+                o.journal.record(
+                    from.raw(),
+                    at_us,
+                    EventKind::MsgDrop {
+                        from: from.raw(),
+                        to: to.raw(),
+                        reason: DropReason::Partition,
+                    },
+                );
+            }
+        });
+        if !reachable {
+            continue;
+        }
+        if inboxes.contains_key(&to) {
+            batches.entry(to).or_default().push((from, msg));
+        } else if let Some(out) = peers.get_mut(&to) {
+            if out.pending.len() - out.woff > PENDING_CAP {
+                // Backpressure: the peer is not draining; shed the whole
+                // batch and let the protocol's repair path recover.
+                let dropped = std::mem::take(&mut out.pending);
+                drop(dropped);
+                out.woff = 0;
+                out.frames = 0;
+                obs.with(|o| o.metrics.inc("net.dropped_backpressure"));
+            }
+            encode_frame(&mut out.pending, from, to, at_us, &msg);
+            out.frames += 1;
+        } else {
+            obs.with(|o| o.metrics.inc("net.dropped_unroutable"));
+        }
+    }
+}
+
+/// Appends one `[len][from][to][sent_us][payload]` frame to `buf`.
+fn encode_frame<M: WireCodec>(buf: &mut Vec<u8>, from: ProcessId, to: ProcessId, at_us: u64, msg: &M) {
+    let len_at = buf.len();
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.extend_from_slice(&from.raw().to_be_bytes());
+    buf.extend_from_slice(&to.raw().to_be_bytes());
+    buf.extend_from_slice(&at_us.to_be_bytes());
+    msg.encode_into(buf);
+    let len = (buf.len() - len_at - 4) as u32;
+    buf[len_at..len_at + 4].copy_from_slice(&len.to_be_bytes());
+}
+
+/// Reads everything available on one inbound connection and files the
+/// decoded messages into the sweep's batches. Returns false once the
+/// connection is closed or corrupt (it is then dropped).
+fn read_conn<A>(
+    conn: &mut InConn,
+    obs: &Obs,
+    topology: &Arc<RwLock<Topology>>,
+    inboxes: &BTreeMap<ProcessId, Sender<ProcEvent<A::Msg>>>,
+    batches: &mut BTreeMap<ProcessId, Vec<(ProcessId, A::Msg)>>,
+) -> bool
+where
+    A: Actor,
+    A::Msg: WireCodec,
+{
+    let mut tmp = [0u8; 64 * 1024];
+    let mut alive = true;
+    loop {
+        match conn.stream.read(&mut tmp) {
+            Ok(0) => {
+                alive = false;
+                break;
+            }
+            Ok(n) => conn.inbuf.extend_from_slice(&tmp[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                alive = false;
+                break;
+            }
+        }
+    }
+    // Parse every complete frame in the reassembly buffer.
+    loop {
+        let avail = conn.inbuf.len() - conn.off;
+        if avail < 4 {
+            break;
+        }
+        let len_bytes: [u8; 4] = conn.inbuf[conn.off..conn.off + 4].try_into().expect("4 bytes");
+        let len = u32::from_be_bytes(len_bytes);
+        if len < FRAME_HEADER as u32 || len > MAX_FRAME {
+            obs.with(|o| o.metrics.inc("net.decode_errors"));
+            return false; // corrupt stream: drop the connection
+        }
+        if avail < 4 + len as usize {
+            break;
+        }
+        let frame = &conn.inbuf[conn.off + 4..conn.off + 4 + len as usize];
+        conn.off += 4 + len as usize;
+        let mut r = WireReader::new(frame);
+        let (from, to, sent_us) = match (r.u64(), r.u64(), r.u64()) {
+            (Ok(f), Ok(t), Ok(s)) => (ProcessId::from_raw(f), ProcessId::from_raw(t), s),
+            _ => {
+                obs.with(|o| o.metrics.inc("net.decode_errors"));
+                return false;
+            }
+        };
+        let msg = match A::Msg::decode_from(&mut r) {
+            Ok(m) => m,
+            Err(_) => {
+                obs.with(|o| o.metrics.inc("net.decode_errors"));
+                continue; // skip the frame, keep the stream
+            }
+        };
+        if !inboxes.contains_key(&to) {
+            obs.with(|o| o.metrics.inc("net.dropped_unroutable"));
+            continue;
+        }
+        if !topology.read().expect("topology lock").reachable(from, to) {
+            obs.with(|o| o.metrics.inc("net.dropped_partition"));
+            continue;
+        }
+        // Real one-way wire time, measurable because sender and receiver
+        // share the UNIX-epoch clock (same host or synchronized hosts).
+        let delay = unix_now_us().saturating_sub(sent_us);
+        obs.with(|o| o.metrics.observe("net.link_delay_us", delay));
+        batches.entry(to).or_default().push((from, msg));
+    }
+    if conn.off > 0 {
+        conn.inbuf.drain(..conn.off);
+        conn.off = 0;
+    }
+    alive
+}
+
+/// Hands each destination's accumulated batch to its actor thread as one
+/// event, with one observability-lock acquisition per batch.
+fn deliver_batches<A>(
+    obs: &Obs,
+    inboxes: &BTreeMap<ProcessId, Sender<ProcEvent<A::Msg>>>,
+    batches: &mut BTreeMap<ProcessId, Vec<(ProcessId, A::Msg)>>,
+) where
+    A: Actor,
+{
+    let at_us = unix_now_us();
+    for (&to, batch) in batches.iter_mut() {
+        if batch.is_empty() {
+            continue;
+        }
+        let n = batch.len() as u64;
+        let inbox = match inboxes.get(&to) {
+            Some(i) => i,
+            None => {
+                batch.clear();
+                continue;
+            }
+        };
+        let senders: Vec<u64> = batch.iter().map(|(f, _)| f.raw()).collect();
+        let delivered = inbox.send(ProcEvent::Batch(std::mem::take(batch))).is_ok();
+        obs.with(|o| {
+            o.metrics.observe("net.rx_batch_msgs", n);
+            if delivered {
+                o.metrics.add("net.delivered", n);
+                for from in senders {
+                    // Merge the sender's journal clock where it is local
+                    // (same Obs); remote clocks live in the remote
+                    // process' journal and stay there.
+                    let stamp = o.journal.clock_of(from);
+                    o.journal.merge_clock(to.raw(), &stamp);
+                    o.journal
+                        .record(to.raw(), at_us, EventKind::MsgDeliver { from, to: to.raw() });
+                }
+            } else {
+                o.metrics.add("net.dropped_crashed", n);
+                for from in senders {
+                    o.journal.record(
+                        from,
+                        at_us,
+                        EventKind::MsgDrop { from, to: to.raw(), reason: DropReason::Crashed },
+                    );
+                }
+            }
+        });
+    }
+    batches.retain(|_, b| b.capacity() > 0 && b.len() < 1024); // keep warm, bounded
+}
+
+/// Connects (rate-limited) and writes as much of the pending buffer as
+/// the socket accepts: the whole coalesced batch goes out in one write
+/// when the kernel buffer allows.
+fn flush_out(out: &mut OutConn, obs: &Obs) {
+    if out.pending.len() == out.woff {
+        if out.woff > 0 {
+            out.pending.clear();
+            out.woff = 0;
+        }
+        return;
+    }
+    if out.stream.is_none() {
+        let now = Instant::now();
+        if now < out.next_connect {
+            return;
+        }
+        out.next_connect = now + CONNECT_RETRY;
+        match TcpStream::connect_timeout(&out.addr, CONNECT_TIMEOUT) {
+            Ok(s) => {
+                let _ = s.set_nonblocking(true);
+                let _ = s.set_nodelay(true);
+                out.stream = Some(s);
+            }
+            Err(_) => {
+                // Unreachable peer: shed the batch, protocols repair.
+                obs.with(|o| o.metrics.inc("net.dropped_unreachable"));
+                out.pending.clear();
+                out.woff = 0;
+                out.frames = 0;
+                return;
+            }
+        }
+    }
+    if out.frames > 0 {
+        obs.with(|o| o.metrics.observe("net.tx_batch_frames", out.frames));
+        out.frames = 0;
+    }
+    let stream = out.stream.as_mut().expect("stream connected");
+    loop {
+        match stream.write(&out.pending[out.woff..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                out.woff += n;
+                if out.woff == out.pending.len() {
+                    // Fully flushed: retain the allocation for the next
+                    // batch — this buffer is the send path's pool.
+                    out.pending.clear();
+                    out.woff = 0;
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Broken connection: drop it and reconnect on the next
+                // flush; unwritten frames are shed (repair recovers).
+                out.stream = None;
+                out.pending.clear();
+                out.woff = 0;
+                break;
+            }
+        }
+    }
+    if out.woff > 512 * 1024 {
+        out.pending.drain(..out.woff);
+        out.woff = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Actor for Echo {
+        type Msg = u32;
+        type Output = (ProcessId, u32);
+        fn on_message(
+            &mut self,
+            from: ProcessId,
+            msg: u32,
+            ctx: &mut Context<'_, u32, (ProcessId, u32)>,
+        ) {
+            ctx.output((from, msg));
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    /// Two nodes, two OS sockets, full round trips.
+    #[test]
+    fn messages_round_trip_over_real_tcp() {
+        let mut a: SocketNet<Echo> = SocketNet::new(42).unwrap();
+        let mut b: SocketNet<Echo> = SocketNet::new(43).unwrap();
+        let pa = a.spawn(Echo);
+        let pb = b.spawn_as(ProcessId::from_raw(1), Echo);
+        a.add_peer(pb, b.local_addr());
+        b.add_peer(pa, a.local_addr());
+        a.post(pa, pb, 3);
+        // 3 delivered at b, 2 at a, 1 at b, 0 at a — two per node.
+        let outs_b = b.wait_outputs(2, Duration::from_secs(10));
+        let outs_a = a.wait_outputs(2, Duration::from_secs(10));
+        assert_eq!(outs_b.len(), 2, "b sees 3 and 1");
+        assert_eq!(outs_a.len(), 2, "a sees 2 and 0");
+        assert!(b.obs().metrics_snapshot().counter("net.delivered") >= 2);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    /// Local destinations short-circuit the sockets but still batch.
+    #[test]
+    fn local_delivery_needs_no_peer_route() {
+        let mut net: SocketNet<Echo> = SocketNet::new(44).unwrap();
+        let a = net.spawn(Echo);
+        let b = net.spawn(Echo);
+        net.post(a, b, 2);
+        let outs = net.wait_outputs(3, Duration::from_secs(10));
+        assert_eq!(outs.len(), 3, "2,1,0 bounce locally");
+        let snap = net.obs().metrics_snapshot();
+        assert!(snap.histogram("net.rx_batch_msgs").is_some(), "batches are measured");
+        net.shutdown();
+    }
+
+    /// A shared topology partitions an in-process fleet.
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let mut a: SocketNet<Echo> = SocketNet::new(45).unwrap();
+        let mut b: SocketNet<Echo> =
+            SocketNet::with_shared(46, a.obs().clone(), a.topology_handle()).unwrap();
+        let pa = a.spawn(Echo);
+        let pb = b.spawn_as(ProcessId::from_raw(1), Echo);
+        a.add_peer(pb, b.local_addr());
+        b.add_peer(pa, a.local_addr());
+        a.partition(&[vec![pa], vec![pb]]);
+        a.post(pa, pb, 0);
+        let outs = b.wait_outputs(1, Duration::from_millis(300));
+        assert!(outs.is_empty(), "partitioned message must not arrive");
+        a.heal();
+        a.post(pa, pb, 0);
+        let outs = b.wait_outputs(1, Duration::from_secs(10));
+        assert_eq!(outs.len(), 1);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    /// The refusal carries the socket backend's name through the shared
+    /// error type.
+    #[test]
+    fn enable_record_refuses_with_backend_name() {
+        let mut net: SocketNet<Echo> = SocketNet::new(47).unwrap();
+        let err = net.enable_record().unwrap_err();
+        assert_eq!(err.backend(), "socket");
+        assert!(err.to_string().contains("socket transport"));
+        net.shutdown();
+    }
+
+    /// Crashed processes silently drop traffic, like the other backends.
+    #[test]
+    fn crash_silences_a_process() {
+        let mut net: SocketNet<Echo> = SocketNet::new(48).unwrap();
+        let a = net.spawn(Echo);
+        let b = net.spawn(Echo);
+        net.crash(b);
+        std::thread::sleep(Duration::from_millis(100));
+        net.post(a, b, 5);
+        let outs = net.wait_outputs(1, Duration::from_millis(300));
+        assert!(outs.is_empty());
+        net.shutdown();
+    }
+
+    /// Unroutable destinations are shed and counted, not buffered forever.
+    #[test]
+    fn unroutable_sends_are_counted() {
+        let net: SocketNet<Echo> = {
+            let mut n = SocketNet::new(49).unwrap();
+            let a = n.spawn(Echo);
+            n.post(a, ProcessId::from_raw(99), 1);
+            n
+        };
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while net.obs().counter("net.dropped_unroutable") == 0 {
+            assert!(Instant::now() < deadline, "drop must be counted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        net.shutdown();
+    }
+}

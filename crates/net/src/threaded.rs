@@ -229,6 +229,13 @@ where
         pid
     }
 
+    /// Spawns with the process id visible to the constructor — the
+    /// mirror of [`Sim::spawn_with`](crate::Sim::spawn_with).
+    pub fn spawn_with(&mut self, f: impl FnOnce(ProcessId) -> A) -> ProcessId {
+        let actor = f(ProcessId::from_raw(self.next_pid));
+        self.spawn(actor)
+    }
+
     /// The observability handle shared by the router and all processes.
     pub fn obs(&self) -> &Obs {
         &self.obs
@@ -244,7 +251,7 @@ where
     /// [`SimConfig::record`](crate::SimConfig::record) to get a
     /// replayable [`ScheduleLog`](crate::ScheduleLog).
     pub fn enable_record(&mut self) -> Result<(), crate::schedule::RecordUnsupported> {
-        Err(crate::schedule::RecordUnsupported)
+        Err(crate::schedule::RecordUnsupported::for_backend("threaded"))
     }
 
     /// Injects a message attributed to `from`.

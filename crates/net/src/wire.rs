@@ -1,0 +1,384 @@
+//! Wire encoding for messages that cross a real socket.
+//!
+//! The workspace carries no general-purpose serializer (the `serde`
+//! dependency is a no-op compatibility marker), so the socket transport
+//! in [`socket`](crate::socket) needs its own deterministic binary
+//! format. [`WireCodec`] is that format's contract: fixed-width
+//! big-endian integers, one-byte enum tags, `u32` length prefixes —
+//! the same conventions as the e-view annotation codec in `vs-evs`,
+//! extended to generic containers so every protocol layer can derive
+//! its message encoding by hand in a few lines.
+//!
+//! Determinism matters beyond interoperability: identical messages must
+//! encode to identical bytes on every process, so frame sizes (and the
+//! `net.*` byte accounting built on them) agree fleet-wide.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+
+use crate::id::ProcessId;
+
+/// Decoding failure: truncated input, bad tag, or malformed payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireDecodeError;
+
+impl std::fmt::Display for WireDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed wire frame")
+    }
+}
+
+impl std::error::Error for WireDecodeError {}
+
+/// Sequential reader over a received frame's payload bytes.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn u8(&mut self) -> Result<u8, WireDecodeError> {
+        let (&first, rest) = self.buf.split_first().ok_or(WireDecodeError)?;
+        self.buf = rest;
+        Ok(first)
+    }
+
+    /// Reads a big-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn u32(&mut self) -> Result<u32, WireDecodeError> {
+        if self.buf.len() < 4 {
+            return Err(WireDecodeError);
+        }
+        let (head, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        Ok(u32::from_be_bytes(head.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a big-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn u64(&mut self) -> Result<u64, WireDecodeError> {
+        if self.buf.len() < 8 {
+            return Err(WireDecodeError);
+        }
+        let (head, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        Ok(u64::from_be_bytes(head.try_into().expect("8 bytes")))
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireDecodeError> {
+        if self.buf.len() < n {
+            return Err(WireDecodeError);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Reads a `u32` length prefix and that many bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireDecodeError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+}
+
+/// Deterministic binary encoding for a socket-crossing message type.
+///
+/// Implementations append to a caller-provided buffer, so the transport
+/// can batch many frames into one reused allocation (see
+/// [`socket`](crate::socket)). The format conventions are fixed:
+/// big-endian fixed-width integers, `u32` length prefixes for variable
+/// parts, one-byte tags for enums.
+pub trait WireCodec: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the reader, consuming exactly the bytes
+    /// the matching [`encode_into`](Self::encode_into) produced.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input.
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError>;
+
+    /// This value's encoding as a fresh buffer (convenience for tests).
+    fn encode_vec(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a value that must span the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated, malformed, or trailing input.
+    fn decode_all(buf: &[u8]) -> Result<Self, WireDecodeError> {
+        let mut r = WireReader::new(buf);
+        let v = Self::decode_from(&mut r)?;
+        if !r.is_empty() {
+            return Err(WireDecodeError);
+        }
+        Ok(v)
+    }
+}
+
+impl WireCodec for u8 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        r.u8()
+    }
+}
+
+impl WireCodec for u32 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        r.u32()
+    }
+}
+
+impl WireCodec for u64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_be_bytes());
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        r.u64()
+    }
+}
+
+impl WireCodec for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireDecodeError),
+        }
+    }
+}
+
+impl WireCodec for () {
+    fn encode_into(&self, _out: &mut Vec<u8>) {}
+    fn decode_from(_r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        Ok(())
+    }
+}
+
+impl WireCodec for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_into(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        let raw = r.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireDecodeError)
+    }
+}
+
+impl WireCodec for Bytes {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_into(out);
+        out.extend_from_slice(self);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        Ok(Bytes::copy_from_slice(r.bytes()?))
+    }
+}
+
+impl WireCodec for ProcessId {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.raw().encode_into(out);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        Ok(ProcessId::from_raw(r.u64()?))
+    }
+}
+
+impl<T: WireCodec> WireCodec for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(r)?)),
+            _ => Err(WireDecodeError),
+        }
+    }
+}
+
+impl<T: WireCodec> WireCodec for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_into(out);
+        for v in self {
+            v.encode_into(out);
+        }
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        let n = r.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(T::decode_from(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: WireCodec + Ord> WireCodec for BTreeSet<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_into(out);
+        for v in self {
+            v.encode_into(out);
+        }
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        let n = r.u32()? as usize;
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            out.insert(T::decode_from(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: WireCodec + Ord, V: WireCodec> WireCodec for BTreeMap<K, V> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode_into(out);
+        for (k, v) in self {
+            k.encode_into(out);
+            v.encode_into(out);
+        }
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        let n = r.u32()? as usize;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::decode_from(r)?;
+            let v = V::decode_from(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: WireCodec, B: WireCodec> WireCodec for (A, B) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        Ok((A::decode_from(r)?, B::decode_from(r)?))
+    }
+}
+
+impl<A: WireCodec, B: WireCodec, C: WireCodec> WireCodec for (A, B, C) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+        self.2.encode_into(out);
+    }
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireDecodeError> {
+        Ok((A::decode_from(r)?, B::decode_from(r)?, C::decode_from(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: WireCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encode_vec();
+        assert_eq!(T::decode_all(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u8::MAX);
+        round_trip(7u32);
+        round_trip(u64::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(());
+        round_trip("hé".to_string());
+        round_trip(Bytes::copy_from_slice(b"abc"));
+        round_trip(ProcessId::from_raw(42));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(Some(9u64));
+        round_trip(Option::<u64>::None);
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(BTreeSet::from([ProcessId::from_raw(1), ProcessId::from_raw(2)]));
+        round_trip(BTreeMap::from([(ProcessId::from_raw(3), 7u64)]));
+        round_trip((1u64, "x".to_string()));
+        round_trip((1u64, 2u64, Some(3u64)));
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_errors() {
+        let bytes = 5u64.encode_vec();
+        assert_eq!(u64::decode_all(&bytes[..4]), Err(WireDecodeError));
+        assert_eq!(bool::decode_all(&[9]), Err(WireDecodeError));
+        assert_eq!(Option::<u64>::decode_all(&[2]), Err(WireDecodeError));
+        // Trailing bytes are rejected by decode_all.
+        let mut long = 1u8.encode_vec();
+        long.push(0);
+        assert_eq!(u8::decode_all(&long), Err(WireDecodeError));
+        // A claimed huge string length cannot read past the buffer.
+        let mut lying = Vec::new();
+        u32::MAX.encode_into(&mut lying);
+        assert_eq!(String::decode_all(&lying), Err(WireDecodeError));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected_not_panicked() {
+        let mut buf = Vec::new();
+        2u32.encode_into(&mut buf);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(String::decode_all(&buf), Err(WireDecodeError));
+    }
+}

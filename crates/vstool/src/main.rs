@@ -45,7 +45,7 @@ USAGE:
   vstool metrics-diff <a.json|stdout.txt> <b.json|stdout.txt>
   vstool bench-gate <baseline.json> <fresh.json|stdout.txt> [--tolerance FRAC]
                     [--update]
-  vstool record --seed N --out <log.vsl>
+  vstool record --seed N --out <log.vsl> [--backend sim|threaded|socket]
   vstool replay <log.vsl> [--seed N] [--scenario sweep|flush] [--mutate]
   vstool shrink --class <duplicate-view-install|causal-cut|invalid-structure|
                          partition-drop> --seed N [--script <file>] [--out <file>]
@@ -236,14 +236,47 @@ fn cmd_bench_gate(mut args: Vec<String>) -> Result<ExitCode, String> {
     }
 }
 
+/// Minimal actor used only to instantiate a live transport so its
+/// [`vs_net::schedule::RecordUnsupported`] refusal can be reported
+/// through the same error type every backend shares.
+struct RecordProbe;
+
+impl vs_net::Actor for RecordProbe {
+    type Msg = u8;
+    type Output = ();
+    fn on_message(&mut self, _: ProcessId, _: u8, _: &mut vs_net::Context<'_, u8, ()>) {}
+}
+
 fn cmd_record(mut args: Vec<String>) -> Result<ExitCode, String> {
     let seed = parse_u64(
         "--seed",
         &take_opt(&mut args, "--seed")?.ok_or("record: --seed is required")?,
     )?;
     let out = take_opt(&mut args, "--out")?.ok_or("record: --out is required")?;
+    let backend = match take_opt(&mut args, "--backend")? {
+        None => vs_net::BackendKind::Sim,
+        Some(v) => v.parse().map_err(|e| format!("record: {e}"))?,
+    };
     if !args.is_empty() {
         return Err(format!("record: unexpected arguments {args:?}"));
+    }
+    // The live transports refuse deterministic recording; surface their
+    // shared refusal verbatim so every caller sees the same wording.
+    match backend {
+        vs_net::BackendKind::Sim => {}
+        vs_net::BackendKind::Threaded => {
+            let err = vs_net::threaded::ThreadedNet::<RecordProbe>::new(seed)
+                .enable_record()
+                .expect_err("threaded transport cannot record");
+            return Err(format!("record: {err}"));
+        }
+        vs_net::BackendKind::Socket => {
+            let mut net = vs_net::socket::SocketNet::<RecordProbe>::new(seed)
+                .map_err(|e| format!("record: cannot bind socket transport: {e}"))?;
+            let err = net.enable_record().expect_err("socket transport cannot record");
+            net.shutdown();
+            return Err(format!("record: {err}"));
+        }
     }
     let run = run_gcs_sweep(seed, RunMode::Record);
     let log = run.log.expect("record mode keeps the log");

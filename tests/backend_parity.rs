@@ -1,23 +1,29 @@
-//! Counter parity between the two transports.
+//! Counter parity across the three transports.
 //!
 //! The protocol layers are sans-I/O state machines, so the *same* code
-//! records metrics whether the deterministic simulator or the threaded
-//! transport drives it — the transports themselves must then agree on the
-//! `net.*` vocabulary, or dashboards and `vstool top` would read
-//! differently depending on the backend. This test runs one small
-//! scenario (form a group of three, multicast a little) on both backends
-//! and diffs the counter and histogram *name sets*: a core vocabulary
-//! must appear on both sides, and any difference must be a metric that is
-//! legitimately timing- or fault-dependent (it only exists once first
+//! records metrics whether the deterministic simulator, the threaded
+//! transport, or the socket transport drives it — the transports
+//! themselves must then agree on the `net.*` vocabulary, or dashboards
+//! and `vstool top` would read differently depending on the backend.
+//! This test runs one small scenario (form a group of three, multicast a
+//! little) on all three backends and diffs the counter and histogram
+//! *name sets*: a core vocabulary must appear everywhere, and any
+//! difference must be a metric that is legitimately timing-,
+//! fault-, or transport-dependent (it only exists once first
 //! incremented or observed).
 
 use std::collections::BTreeSet;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use view_synchrony::evs::{EvsConfig, EvsEndpoint, EvsEvent, EvsMsg};
 use view_synchrony::gcs::Wire;
+use view_synchrony::net::socket::SocketNet;
 use view_synchrony::net::threaded::ThreadedNet;
-use view_synchrony::net::{Actor, Context, ProcessId, Sim, SimConfig, SimDuration, TimerId, TimerKind};
+use view_synchrony::net::{
+    Actor, Context, ProcessId, Sim, SimConfig, SimDuration, TimerId, TimerKind, Topology,
+};
+use view_synchrony::obs::Obs;
 
 const N: u64 = 3;
 
@@ -59,8 +65,12 @@ const TIMING_DEPENDENT: &[&str] = &["net.dropped_", "fd.", "gcs.", "latency."];
 
 /// Histogram names allowed to exist on only one backend: stability
 /// frontiers (sender-side `stage.stable_us`) and span phases depend on
-/// which timers actually fired before the snapshot.
-const TIMING_DEPENDENT_HISTS: &[&str] = &["stage.stable_us", "span.", "membership."];
+/// which timers actually fired before the snapshot; `net.link_delay_us`
+/// needs at least one remote delivery; and the batching histograms
+/// (`net.tx_batch_frames`, `net.rx_batch_msgs`) are observations the
+/// socket transport alone can make — the other backends have no frames.
+const TIMING_DEPENDENT_HISTS: &[&str] =
+    &["stage.stable_us", "span.", "membership.", "net.link_delay_us", "net.tx_batch", "net.rx_batch"];
 
 /// Counter and histogram name sets of one run.
 type NameSets = (BTreeSet<String>, BTreeSet<String>);
@@ -176,43 +186,95 @@ fn threaded_counters() -> NameSets {
     names
 }
 
-#[test]
-fn both_backends_speak_the_same_counter_vocabulary() {
-    let (sim, sim_hists) = sim_counters();
-    let (threaded, threaded_hists) = threaded_counters();
+/// Socket-side fleet: three `SocketNet`s in one process, sharing one
+/// observability handle and one topology, wired to each other over real
+/// loopback TCP. Same self-driving [`Node`] actor as the threaded run.
+fn socket_counters() -> NameSets {
+    let obs = Obs::new();
+    obs.enable_monitor();
+    let topology = Arc::new(RwLock::new(Topology::new()));
+    let mut nets: Vec<SocketNet<Node>> = (0..N)
+        .map(|i| SocketNet::with_shared(11 + i, obs.clone(), Arc::clone(&topology)).expect("bind"))
+        .collect();
+    let addrs: Vec<_> = nets.iter().map(|n| n.local_addr()).collect();
+    for (i, net) in nets.iter().enumerate() {
+        for (j, &addr) in addrs.iter().enumerate() {
+            if i != j {
+                net.add_peer(ProcessId::from_raw(j as u64), addr);
+            }
+        }
+    }
+    for (i, net) in nets.iter_mut().enumerate() {
+        let pid = ProcessId::from_raw(i as u64);
+        let mut ep = EvsEndpoint::new(pid, EvsConfig::default());
+        ep.set_contacts((0..N).map(ProcessId::from_raw));
+        ep.set_obs(obs.clone());
+        net.spawn_as(pid, Node { ep, sent: false });
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut formed: BTreeSet<ProcessId> = BTreeSet::new();
+    while formed.len() < N as usize {
+        assert!(Instant::now() < deadline, "socket group failed to form");
+        for net in &nets {
+            for (p, ev) in net.poll_outputs() {
+                if let EvsEvent::ViewChange { eview } = ev {
+                    if eview.view().len() == N as usize {
+                        formed.insert(p);
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(400));
+    let names = name_sets(&obs.metrics_snapshot());
+    for net in nets {
+        net.shutdown();
+    }
+    names
+}
 
-    for &name in CORE {
-        assert!(sim.contains(name), "sim run is missing core counter {name}");
-        assert!(threaded.contains(name), "threaded run is missing core counter {name}");
+#[test]
+fn all_backends_speak_the_same_counter_vocabulary() {
+    let runs = [
+        ("sim", sim_counters()),
+        ("threaded", threaded_counters()),
+        ("socket", socket_counters()),
+    ];
+
+    for (backend, (counters, hists)) in &runs {
+        for &name in CORE {
+            assert!(counters.contains(name), "{backend} run is missing core counter {name}");
+        }
+        // The latency-attribution stages are part of the shared
+        // vocabulary: a dashboard or `vstool slo` scrape must find the
+        // same stage histograms no matter which transport drives the
+        // stack.
+        for &name in CORE_STAGE_HISTS {
+            assert!(hists.contains(name), "{backend} run is missing stage histogram {name}");
+        }
     }
 
-    let stray: Vec<&String> = sim
-        .symmetric_difference(&threaded)
-        .filter(|name| !TIMING_DEPENDENT.iter().any(|p| name.starts_with(p)))
-        .collect();
-    assert!(
-        stray.is_empty(),
-        "counters on only one backend without a documented reason: {stray:?}\n\
-         sim: {sim:?}\nthreaded: {threaded:?}"
-    );
-
-    // The latency-attribution stages are part of the shared vocabulary:
-    // a dashboard or `vstool slo` scrape must find the same stage
-    // histograms no matter which transport drives the stack.
-    for &name in CORE_STAGE_HISTS {
-        assert!(sim_hists.contains(name), "sim run is missing stage histogram {name}");
+    for pair in runs.windows(2) {
+        let (a_name, (a, a_hists)) = &pair[0];
+        let (b_name, (b, b_hists)) = &pair[1];
+        let stray: Vec<&String> = a
+            .symmetric_difference(b)
+            .filter(|name| !TIMING_DEPENDENT.iter().any(|p| name.starts_with(p)))
+            .collect();
         assert!(
-            threaded_hists.contains(name),
-            "threaded run is missing stage histogram {name}"
+            stray.is_empty(),
+            "counters on only one of {a_name}/{b_name} without a documented reason: \
+             {stray:?}\n{a_name}: {a:?}\n{b_name}: {b:?}"
+        );
+        let stray_hists: Vec<&String> = a_hists
+            .symmetric_difference(b_hists)
+            .filter(|name| !TIMING_DEPENDENT_HISTS.iter().any(|p| name.starts_with(p)))
+            .collect();
+        assert!(
+            stray_hists.is_empty(),
+            "histograms on only one of {a_name}/{b_name} without a documented reason: \
+             {stray_hists:?}\n{a_name}: {a_hists:?}\n{b_name}: {b_hists:?}"
         );
     }
-    let stray_hists: Vec<&String> = sim_hists
-        .symmetric_difference(&threaded_hists)
-        .filter(|name| !TIMING_DEPENDENT_HISTS.iter().any(|p| name.starts_with(p)))
-        .collect();
-    assert!(
-        stray_hists.is_empty(),
-        "histograms on only one backend without a documented reason: {stray_hists:?}\n\
-         sim: {sim_hists:?}\nthreaded: {threaded_hists:?}"
-    );
 }

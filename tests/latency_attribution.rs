@@ -10,12 +10,19 @@
 //! sums to exactly the end-to-end delivery total when no sample was
 //! orphaned or flush-caught-up.
 
-use view_synchrony::gcs::{GcsConfig, GcsEndpoint};
-use view_synchrony::net::{Sim, SimConfig, SimDuration};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use view_synchrony::gcs::{GcsConfig, GcsEndpoint, GcsEvent, Wire};
+use view_synchrony::net::socket::SocketNet;
+use view_synchrony::net::{
+    Actor, Context, ProcessId, Sim, SimConfig, SimDuration, TimerId, TimerKind, Topology,
+};
 use view_synchrony::obs::latency::{
     EVICTED_COUNTER, FLUSH_CATCHUP_COUNTER, ORPHANED_COUNTER, PARTITION_STAGES,
     STAGE_DELIVERY_TOTAL,
 };
+use view_synchrony::obs::Obs;
 
 const N: usize = 3;
 
@@ -103,4 +110,108 @@ fn stage_sums_partition_the_delivery_total_exactly() {
     // Not "within 5%" — the identity is arithmetic when nothing was
     // orphaned: each sample's stages telescope to its total.
     assert_eq!(parts, total.sum(), "stage sums must telescope to the end-to-end total");
+}
+
+/// Self-driving sender for the socket fleet: once the full view is
+/// installed, multicasts `to_send` messages, one per activation (there
+/// is no external `invoke` on a live transport).
+struct Sender {
+    ep: GcsEndpoint<String>,
+    to_send: u64,
+}
+
+impl Sender {
+    fn drive(&mut self, ctx: &mut Context<'_, Wire<String>, GcsEvent<String>>) {
+        if self.ep.view().len() == N && self.to_send > 0 && !self.ep.is_blocked() {
+            self.to_send -= 1;
+            let tag = self.to_send;
+            self.ep.mcast(format!("m{tag}"), ctx);
+        }
+    }
+}
+
+impl Actor for Sender {
+    type Msg = Wire<String>;
+    type Output = GcsEvent<String>;
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg, Self::Output>) {
+        self.ep.on_start(ctx);
+    }
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    ) {
+        self.ep.on_message(from, msg, ctx);
+        self.drive(ctx);
+    }
+    fn on_timer(
+        &mut self,
+        t: TimerId,
+        k: TimerKind,
+        ctx: &mut Context<'_, Self::Msg, Self::Output>,
+    ) {
+        self.ep.on_timer(t, k, ctx);
+        self.drive(ctx);
+    }
+}
+
+/// The telescoping identity must survive the socket transport: stamps
+/// are taken on the shared unix-epoch clock the poll loop threads into
+/// every `ctx.now()`, so the per-stage deltas of a message that crossed
+/// a real TCP connection still partition its end-to-end total exactly.
+#[test]
+fn stage_sums_telescope_on_the_socket_backend() {
+    const PER_NODE: u64 = 4;
+    let obs = Obs::new();
+    let topology = Arc::new(RwLock::new(Topology::new()));
+    let mut nets: Vec<SocketNet<Sender>> = (0..N as u64)
+        .map(|i| SocketNet::with_shared(80 + i, obs.clone(), Arc::clone(&topology)).expect("bind"))
+        .collect();
+    let addrs: Vec<_> = nets.iter().map(|n| n.local_addr()).collect();
+    for (i, net) in nets.iter().enumerate() {
+        for (j, &addr) in addrs.iter().enumerate() {
+            if i != j {
+                net.add_peer(ProcessId::from_raw(j as u64), addr);
+            }
+        }
+    }
+    for (i, net) in nets.iter_mut().enumerate() {
+        let pid = ProcessId::from_raw(i as u64);
+        let mut ep = GcsEndpoint::new(pid, GcsConfig { uniform: true, ..GcsConfig::default() });
+        ep.set_contacts((0..N as u64).map(ProcessId::from_raw));
+        ep.set_obs(obs.clone());
+        net.spawn_as(pid, Sender { ep, to_send: PER_NODE });
+    }
+
+    // Every multicast is delivered at every member.
+    let expected = N as u64 * PER_NODE * N as u64;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if obs.metrics_snapshot().counter("gcs.delivered") >= expected {
+            break;
+        }
+        assert!(Instant::now() < deadline, "socket fleet never delivered the full load");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Let the last deliveries' stage samples land before snapshotting.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let snap = obs.metrics_snapshot();
+    assert_eq!(snap.counter(ORPHANED_COUNTER), 0);
+    assert_eq!(snap.counter(FLUSH_CATCHUP_COUNTER), 0);
+    let total = snap.histogram(STAGE_DELIVERY_TOTAL).expect("deliveries measured");
+    assert_eq!(total.count(), expected, "every member measured every message");
+    let parts: u64 = PARTITION_STAGES
+        .iter()
+        .map(|s| snap.histogram(s).map_or(0, |h| h.sum()))
+        .sum();
+    assert_eq!(
+        parts,
+        total.sum(),
+        "stage sums must telescope to the end-to-end total over real sockets"
+    );
+    for net in nets {
+        net.shutdown();
+    }
 }
